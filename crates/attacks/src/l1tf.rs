@@ -1,0 +1,111 @@
+//! L1 Terminal Fault proof of concept (raw machine).
+//!
+//! A non-present PTE whose frame bits still point at a victim frame lets
+//! a transient load observe that frame's data — but only while it is
+//! resident in L1 (§5.6). The two mitigations are PTE inversion (never
+//! create such PTEs) and, at the hypervisor boundary, flushing L1 before
+//! VM entry; the hypervisor-level variant lives in the `hypervisor`
+//! crate's tests.
+
+use uarch::isa::{Inst, Reg, Width};
+use uarch::mem::PAGE_SHIFT;
+use uarch::mmu::Pte;
+use uarch::model::CpuModel;
+use uarch::ProgramBuilder;
+
+use crate::channel::AttackOutcome;
+use crate::scene::{Scene, CODE_BASE, PROBE_BASE};
+
+/// How the victim side is configured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L1tfSetup {
+    /// Naive non-present PTE with a stale frame, victim line hot in L1.
+    StalePteHotL1,
+    /// Same PTE, but the L1 was flushed (the VM-entry mitigation).
+    StalePteFlushedL1,
+    /// PTE inversion applied (the OS-level mitigation).
+    InvertedPte,
+}
+
+/// Runs the attack against a "victim frame" that the stale PTE names.
+pub fn run(model: CpuModel, setup: L1tfSetup) -> AttackOutcome {
+    let secret: u8 = 0x2F;
+    let victim_frame = 0x800u64;
+    let victim_paddr = victim_frame << PAGE_SHIFT;
+    let evil_vaddr = 0x50_0000u64;
+
+    let mut s = Scene::new(model);
+    s.machine.mem.write_u8(victim_paddr, secret);
+
+    // Craft the PTE.
+    let pte = match setup {
+        L1tfSetup::StalePteHotL1 | L1tfSetup::StalePteFlushedL1 => {
+            Pte::user(victim_frame).non_present_stale()
+        }
+        L1tfSetup::InvertedPte => Pte::user(victim_frame).inverted(),
+    };
+    let table = s.table();
+    s.machine.mmu.table_mut(table).expect("scene table").map(evil_vaddr, pte);
+
+    let mut b = ProgramBuilder::new();
+    let done = b.new_label();
+    b.lea(Reg::R13, done);
+    b.mov_imm(Reg::R1, evil_vaddr);
+    b.mov_imm(Reg::R3, PROBE_BASE);
+    b.push(Inst::Load { dst: Reg::R4, base: Reg::R1, offset: 0, width: Width::B1 });
+    b.push(Inst::Shl(Reg::R4, 9));
+    b.push(Inst::Add(Reg::R4, Reg::R3));
+    b.push(Inst::Load { dst: Reg::R5, base: Reg::R4, offset: 0, width: Width::B1 });
+    b.bind(done);
+    b.push(Inst::Halt);
+    s.machine.load_program(b.link(CODE_BASE));
+
+    // Victim residency.
+    s.machine.l1d.flush_all();
+    if setup == L1tfSetup::StalePteHotL1 || setup == L1tfSetup::InvertedPte {
+        // The victim "recently touched" its secret.
+        s.machine.l1d.access(victim_paddr);
+    }
+    s.probe.flush(&mut s.machine);
+
+    s.run_at(CODE_BASE);
+    AttackOutcome { secret, recovered: s.probe.readout(&s.machine) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpu_models::CpuId;
+
+    #[test]
+    fn l1tf_leaks_hot_lines_on_vulnerable_parts() {
+        for id in [CpuId::Broadwell, CpuId::SkylakeClient] {
+            let out = run(id.model(), L1tfSetup::StalePteHotL1);
+            assert!(out.leaked(), "{id}");
+        }
+    }
+
+    #[test]
+    fn l1_flush_blocks_the_leak() {
+        for id in [CpuId::Broadwell, CpuId::SkylakeClient] {
+            let out = run(id.model(), L1tfSetup::StalePteFlushedL1);
+            assert!(!out.leaked(), "{id}");
+        }
+    }
+
+    #[test]
+    fn pte_inversion_blocks_the_leak() {
+        for id in [CpuId::Broadwell, CpuId::SkylakeClient] {
+            let out = run(id.model(), L1tfSetup::InvertedPte);
+            assert!(!out.leaked(), "{id}");
+        }
+    }
+
+    #[test]
+    fn fixed_hardware_does_not_leak() {
+        for id in [CpuId::CascadeLake, CpuId::IceLakeServer, CpuId::Zen, CpuId::Zen3] {
+            let out = run(id.model(), L1tfSetup::StalePteHotL1);
+            assert!(!out.leaked(), "{id}");
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! LazyFP proof of concept against the simulated kernel's FPU switching
+//! policy.
+//!
+//! Process A loads a secret into an FP register and yields. Under *lazy*
+//! switching the kernel leaves A's registers live and merely disables the
+//! FPU; process B's first FP instruction traps — but on a vulnerable CPU
+//! its transient dependents still see A's stale register (§3.1). Eager
+//! switching (`Always save FPU`, the Table 1 default everywhere) restores
+//! B's own state instead.
+
+use sim_kernel::abi::nr;
+use sim_kernel::{userlib, BootParams, Kernel};
+use uarch::isa::{Cond, FReg, Inst, Reg, Width};
+use uarch::model::CpuModel;
+
+use crate::channel::{AttackOutcome, ProbeArray};
+
+/// Runs the attack. `cmdline` controls the kernel (`"eagerfpu=off"`
+/// selects the lazy policy the mitigation replaced).
+pub fn run(model: CpuModel, cmdline: &str) -> AttackOutcome {
+    let secret: u8 = 0x42;
+    let mut k = Kernel::boot(model, &BootParams::parse(cmdline));
+    let data = userlib::data_base();
+    let probe_base = data + 0x8000;
+
+    // Victim (runs first): plant secret bits in F0, yield forever.
+    let victim = k.spawn(move |b| {
+        b.push(Inst::Fload { dst: FReg::F0, base: Reg::R4, offset: 0 });
+        let top = userlib::begin_loop(b, Reg::R7, 6);
+        userlib::emit_syscall(b, nr::YIELD);
+        userlib::end_loop(b, Reg::R7, top);
+        userlib::emit_exit(b);
+    });
+    // F0 := bits (secret << 9), via memory.
+    let bits = (secret as u64) << 9;
+    k.poke_user_data(victim, 0, &bits.to_le_bytes());
+
+    // Attacker: read F0 into a GPR. The committed value is its own
+    // (zero); the transient value on a lazy+vulnerable system is the
+    // victim's. Skip the probe on the committed (zero) path so the
+    // readout stays unambiguous.
+    let attacker = k.spawn(move |b| {
+        let skip = b.new_label();
+        b.mov_imm(Reg::R3, probe_base);
+        b.push(Inst::FtoG(Reg::R4, FReg::F0));
+        b.cmp_imm(Reg::R4, 0);
+        b.jcc(Cond::Eq, skip);
+        b.push(Inst::Add(Reg::R4, Reg::R3));
+        b.push(Inst::Load { dst: Reg::R5, base: Reg::R4, offset: 0, width: Width::B1 });
+        b.bind(skip);
+        userlib::emit_exit(b);
+    });
+
+    // Victim must point R4 at its planted bits before Fload.
+    // (Registers start at zero; R4 = data base.)
+    // Re-spawned programs cannot easily pre-set registers, so the victim
+    // loads from offset 0 with R4 = 0 + data: patch via saved regs.
+    // Simplest: set R4 via the program itself — rebuild is awkward, so we
+    // poke the saved register directly.
+    // (The victim has not run yet; its saved_regs are the initial frame.)
+    // NOTE: done through the public test hook below.
+    k.set_initial_reg(victim, Reg::R4, data);
+
+    k.start();
+    k.machine.l1d.flush_all();
+    k.run(10_000_000).expect("attack halts");
+
+    // The probe lives in the *attacker's* address space.
+    let table = k.process(attacker).expect("attacker").full_table;
+    let probe = ProbeArray { base: probe_base, table };
+    let hot = probe.hot_slots(&k.machine);
+    let recovered = if hot.contains(&secret) { Some(secret) } else { None };
+    AttackOutcome { secret, recovered }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpu_models::CpuId;
+
+    #[test]
+    fn lazy_fpu_leaks_on_vulnerable_parts() {
+        for id in [CpuId::Broadwell, CpuId::SkylakeClient] {
+            let out = run(id.model(), "eagerfpu=off");
+            assert!(out.leaked(), "{id}");
+        }
+    }
+
+    #[test]
+    fn eager_fpu_blocks_the_leak() {
+        for id in [CpuId::Broadwell, CpuId::SkylakeClient] {
+            let out = run(id.model(), "");
+            assert!(!out.leaked(), "{id}");
+        }
+    }
+
+    #[test]
+    fn fixed_hardware_does_not_leak_even_lazily() {
+        for id in [CpuId::CascadeLake, CpuId::IceLakeServer] {
+            let out = run(id.model(), "eagerfpu=off");
+            assert!(!out.leaked(), "{id}");
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # attacks — transient-execution attack proof-of-concepts
+//!
+//! Executable implementations of every attack the paper's mitigations
+//! address, run against the `uarch` simulator (and, where the mitigation
+//! is kernel policy, against the `sim-kernel` OS). Each module couples an
+//! attack to its mitigations so the test suite can assert the two sides
+//! of Table 1: on a vulnerable CPU the unmitigated attack **recovers the
+//! secret** through the cache timing channel, and the deployed mitigation
+//! (or hardware fix) stops it.
+//!
+//! | module | attack | mitigations exercised |
+//! |---|---|---|
+//! | [`meltdown`] | Meltdown | PTI, RDCL_NO hardware |
+//! | [`spectre_v1`] | Spectre V1 | index masking, lfence |
+//! | [`spectre_v2`] | Spectre V2 | retpolines (both kinds), IBPB, eIBRS tagging |
+//! | [`spectre_rsb`] | SpectreRSB | RSB stuffing |
+//! | [`ssb`] | Speculative Store Bypass | SSBD (MSR + prctl/seccomp policy) |
+//! | [`mds`] | MDS (RIDL/ZombieLoad class) | verw buffer clearing, MDS_NO hardware |
+//! | [`l1tf`] | L1 Terminal Fault | PTE inversion, L1D flush |
+//! | [`lazyfp`] | LazyFP | eager FPU switching |
+//! | [`js_sandbox`] | in-sandbox Spectre V1 with in-sandbox timing readout | index masking, timer-precision reduction |
+//! | [`ebpf`] | Spectre V1 through the eBPF/kernel boundary (beyond the paper) | verifier index masking |
+//!
+//! The [`channel`] module implements the shared Flush+Reload readout; the
+//! [`scene`] module provides the bare-machine address-space harness.
+
+pub mod channel;
+pub mod ebpf;
+pub mod js_sandbox;
+pub mod l1tf;
+pub mod lazyfp;
+pub mod mds;
+pub mod meltdown;
+pub mod scene;
+pub mod spectre_rsb;
+pub mod spectre_v1;
+pub mod spectre_v2;
+pub mod ssb;
+
+pub use channel::{AttackOutcome, ProbeArray};

@@ -1,0 +1,102 @@
+//! Meltdown (rogue data cache load) proof of concept.
+//!
+//! Two variants:
+//!
+//! * [`run_raw`] exercises the hardware lever directly: a user-mode load
+//!   of a mapped supervisor page forwards real data to its transient
+//!   dependents on vulnerable parts and zero on fixed parts.
+//! * [`run_against_kernel`] attacks the simulated kernel: it shows that
+//!   page-table isolation defeats the attack *regardless* of the
+//!   hardware, by removing the kernel mapping altogether.
+
+use sim_kernel::{userlib, BootParams, Kernel};
+use uarch::isa::{Inst, Reg, Width};
+use uarch::model::CpuModel;
+use uarch::ProgramBuilder;
+
+use crate::channel::{AttackOutcome, ProbeArray};
+use crate::scene::{Scene, CODE_BASE, KSECRET_VADDR, PROBE_BASE};
+
+/// Emits the canonical Meltdown sequence: transiently load `[R1]`, probe
+/// `probe[byte * 512]`, recover at `done`.
+fn emit_meltdown_gadget(b: &mut ProgramBuilder, secret_vaddr: u64, probe_base: u64) {
+    let done = b.new_label();
+    b.lea(Reg::R13, done);
+    b.mov_imm(Reg::R1, secret_vaddr);
+    b.mov_imm(Reg::R3, probe_base);
+    b.push(Inst::Load { dst: Reg::R4, base: Reg::R1, offset: 0, width: Width::B1 });
+    b.push(Inst::Shl(Reg::R4, 9));
+    b.push(Inst::Add(Reg::R4, Reg::R3));
+    b.push(Inst::Load { dst: Reg::R5, base: Reg::R4, offset: 0, width: Width::B1 });
+    b.bind(done);
+}
+
+/// Raw-machine Meltdown against a mapped supervisor page.
+pub fn run_raw(model: CpuModel) -> AttackOutcome {
+    let secret = 0x5C;
+    let mut s = Scene::new(model);
+    s.plant_kernel_secret(secret);
+    let mut b = ProgramBuilder::new();
+    emit_meltdown_gadget(&mut b, KSECRET_VADDR, PROBE_BASE);
+    b.push(Inst::Halt);
+    s.machine.load_program(b.link(CODE_BASE));
+    s.machine.l1d.flush_all();
+    s.run_at(CODE_BASE);
+    AttackOutcome { secret, recovered: s.probe.readout(&s.machine) }
+}
+
+/// Meltdown against the simulated kernel's data, under the given boot
+/// parameters (pass `"nopti"` to drop the software mitigation).
+pub fn run_against_kernel(model: CpuModel, cmdline: &str) -> AttackOutcome {
+    let secret = 0xA5;
+    let mut k = Kernel::boot(model, &BootParams::parse(cmdline));
+    k.machine.mem.write_u8(k.kernel_data_paddr(), secret);
+    let kdata = sim_kernel::layout::KERNEL_DATA_VADDR;
+    let probe_base = userlib::data_base() + 0x8000;
+    let pid = k.spawn(move |b| {
+        emit_meltdown_gadget(b, kdata, probe_base);
+        userlib::emit_exit(b);
+    });
+    k.start();
+    k.machine.l1d.flush_all();
+    k.run(10_000_000).expect("attack runs to halt");
+    let table = k.process(pid).expect("attacker exists").full_table;
+    let probe = ProbeArray { base: probe_base, table };
+    AttackOutcome { secret, recovered: probe.readout(&k.machine) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpu_models::CpuId;
+
+    #[test]
+    fn raw_meltdown_tracks_hardware_vulnerability() {
+        for id in CpuId::ALL {
+            let out = run_raw(id.model());
+            let vulnerable = matches!(id, CpuId::Broadwell | CpuId::SkylakeClient);
+            assert_eq!(out.leaked(), vulnerable, "{id}: {:?}", out.recovered);
+        }
+    }
+
+    #[test]
+    fn pti_blocks_kernel_meltdown_on_vulnerable_parts() {
+        for id in [CpuId::Broadwell, CpuId::SkylakeClient] {
+            let unmitigated = run_against_kernel(id.model(), "nopti");
+            assert!(unmitigated.leaked(), "{id} without PTI");
+            let mitigated = run_against_kernel(id.model(), "");
+            assert!(!mitigated.leaked(), "{id} with PTI");
+        }
+    }
+
+    #[test]
+    fn fixed_hardware_needs_no_pti() {
+        for id in [CpuId::CascadeLake, CpuId::IceLakeServer, CpuId::Zen3] {
+            let out = run_against_kernel(id.model(), "");
+            assert!(!out.leaked(), "{id}");
+            // And the kernel indeed did not deploy PTI (Table 1).
+            let k = Kernel::boot(id.model(), &BootParams::default());
+            assert!(!k.state.config.pti, "{id}");
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! A shared "attack scene" for raw-machine proof-of-concepts.
+//!
+//! Attacks whose mitigations are *application-level* (index masking,
+//! lfence hardening, retpolines, IBPB placement) don't need a full
+//! kernel; they run on a bare [`Machine`] with a standard address space:
+//! a user data arena, a supervisor secret page, a probe array, and a
+//! stack, plus a fault handler that resumes at the recovery address in
+//! `R13` (an attacker's signal handler).
+
+use uarch::isa::{Inst, Reg};
+use uarch::machine::{Env, Machine};
+use uarch::mem::PAGE_SHIFT;
+use uarch::mmu::{make_cr3, PageTable, PageTableId, Pte};
+use uarch::model::CpuModel;
+use uarch::predictor::PrivMode;
+use uarch::{ProgramBuilder, SimError};
+
+use crate::channel::ProbeArray;
+
+/// Virtual base of the user data arena.
+pub const DATA_BASE: u64 = 0x10_0000;
+/// First physical frame of the data arena.
+pub const DATA_FRAME: u64 = 0x100;
+/// Supervisor page holding the kernel secret.
+pub const KSECRET_VADDR: u64 = 0x20_0000;
+/// Physical frame of the kernel secret.
+pub const KSECRET_FRAME: u64 = 0x400;
+/// Virtual base of the probe array.
+pub const PROBE_BASE: u64 = 0x30_0000;
+/// First physical frame of the probe array.
+pub const PROBE_FRAME: u64 = 0x500;
+/// Stack top.
+pub const STACK_TOP: u64 = 0x40_0000;
+/// First physical frame of the stack.
+pub const STACK_FRAME: u64 = 0x700;
+/// Base address where attack programs are linked.
+pub const CODE_BASE: u64 = 0x1000;
+/// Address of the fault-handler stub.
+pub const HANDLER_BASE: u64 = 0xf000;
+
+/// A ready-to-attack machine and its probe array.
+#[derive(Debug)]
+pub struct Scene {
+    /// The machine, in user mode with the scene address space loaded.
+    pub machine: Machine,
+    /// The probe array.
+    pub probe: ProbeArray,
+    table: PageTableId,
+}
+
+/// The fault environment: resumes at the recovery address in `R13`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RecoverEnv;
+
+impl Env for RecoverEnv {
+    fn host_call(&mut self, m: &mut Machine, id: u16) -> Result<(), SimError> {
+        debug_assert_eq!(id, 1);
+        let recovery = m.reg(Reg::R13);
+        if let Some(f) = &mut m.fault_frame {
+            f.resume_pc = if recovery != 0 { recovery } else { f.faulting_pc + 4 };
+        }
+        Ok(())
+    }
+}
+
+impl Scene {
+    /// Builds a scene for the given CPU model.
+    pub fn new(model: CpuModel) -> Scene {
+        let mut m = Machine::new(model);
+        let mut pt = PageTable::new();
+        pt.map_range(DATA_BASE, DATA_FRAME, 16, Pte::user(0));
+        pt.map(KSECRET_VADDR, Pte::kernel(KSECRET_FRAME));
+        pt.map_range(PROBE_BASE, PROBE_FRAME, 64, Pte::user(0));
+        pt.map_range(STACK_TOP - 0x4000, STACK_FRAME, 4, Pte::user(0));
+        let table = m.mmu.register_table(pt);
+        assert!(m.mmu.load_cr3(make_cr3(table, 0, false)));
+        m.set_reg(Reg::SP, STACK_TOP - 64);
+        m.mode = PrivMode::User;
+
+        // Fault handler: host recovery hook + iret.
+        let mut b = ProgramBuilder::new();
+        b.push(Inst::Host(1));
+        b.push(Inst::Iret);
+        m.load_program(b.link(HANDLER_BASE));
+        m.fault_vectors.page_fault = Some(HANDLER_BASE);
+        m.fault_vectors.general_protection = Some(HANDLER_BASE);
+        m.fault_vectors.device_not_available = Some(HANDLER_BASE);
+        m.fault_vectors.divide_error = Some(HANDLER_BASE);
+
+        let probe = ProbeArray { base: PROBE_BASE, table };
+        Scene { machine: m, probe, table }
+    }
+
+    /// The scene's page table id.
+    pub fn table(&self) -> PageTableId {
+        self.table
+    }
+
+    /// Plants the supervisor secret byte.
+    pub fn plant_kernel_secret(&mut self, secret: u8) {
+        self.machine.mem.write_u8(KSECRET_FRAME << PAGE_SHIFT, secret);
+    }
+
+    /// Plants a byte in the user data arena at `offset`.
+    pub fn plant_user_byte(&mut self, offset: u64, value: u8) {
+        self.machine.mem.write_u8((DATA_FRAME << PAGE_SHIFT) + offset, value);
+    }
+
+    /// Runs a program already loaded at `pc` until halt.
+    pub fn run_at(&mut self, pc: u64) {
+        self.machine.pc = pc;
+        self.machine
+            .run(&mut RecoverEnv, 1_000_000)
+            .expect("attack program must halt");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uarch::isa::Width;
+
+    #[test]
+    fn scene_runs_programs_and_recovers_faults() {
+        let mut s = Scene::new(CpuModel::test_model());
+        let mut b = ProgramBuilder::new();
+        let done = b.new_label();
+        b.lea(Reg::R13, done);
+        b.mov_imm(Reg::R0, KSECRET_VADDR);
+        // Faults; handler resumes at `done`.
+        b.push(Inst::Load { dst: Reg::R1, base: Reg::R0, offset: 0, width: Width::B8 });
+        b.mov_imm(Reg::R2, 0xbad);
+        b.bind(done);
+        b.mov_imm(Reg::R3, 0x600d);
+        b.push(Inst::Halt);
+        s.machine.load_program(b.link(CODE_BASE));
+        s.run_at(CODE_BASE);
+        assert_eq!(s.machine.reg(Reg::R3), 0x600d);
+        assert_ne!(s.machine.reg(Reg::R2), 0xbad, "recovery must skip the dead code");
+    }
+}

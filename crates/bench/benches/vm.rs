@@ -1,0 +1,22 @@
+//! Criterion benchmarks for the §4.4 virtual-machine workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cpu_models::CpuId;
+use spectrebench::experiments::vm;
+
+fn bench_vm(c: &mut Criterion) {
+    eprintln!(
+        "== VM workloads (subset) ==\n{}",
+        vm::render(&vm::run(&[CpuId::SkylakeClient, CpuId::CascadeLake]))
+    );
+
+    let mut g = c.benchmark_group("vm");
+    g.sample_size(10);
+    g.bench_function("lfs_smallfile_in_guest", |b| {
+        b.iter(|| vm::run(&[CpuId::CascadeLake]))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_vm);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Regenerates the paper's tables and figures from the simulation.
+//!
+//! ```text
+//! cargo run --release -p bench --bin regen            # everything
+//! cargo run --release -p bench --bin regen -- figure2 # one artifact
+//! cargo run --release -p bench --bin regen -- --quick # fast variants
+//! ```
+
+use bench::Artifact;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let names: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if args.iter().any(|a| a == "--help") {
+        eprintln!("usage: regen [--quick] [artifact ...]");
+        eprintln!("artifacts:");
+        for a in Artifact::ALL {
+            eprintln!("  {:14} {}", a.name(), a.caption());
+        }
+        return;
+    }
+    let selected: Vec<Artifact> = if names.is_empty() {
+        Artifact::ALL.to_vec()
+    } else {
+        names
+            .iter()
+            .map(|n| Artifact::parse(n).unwrap_or_else(|| panic!("unknown artifact: {n}")))
+            .collect()
+    };
+    for a in selected {
+        println!("== {} ==", a.caption());
+        println!("{}", a.regenerate(quick));
+    }
+}

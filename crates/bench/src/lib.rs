@@ -1,0 +1,221 @@
+//! # bench — regeneration harness and Criterion benchmarks
+//!
+//! The `regen` binary reprints every table and figure of the paper from
+//! the simulation (see `cargo run -p bench --bin regen -- --help`); the
+//! Criterion benches under `benches/` time the harness itself, one group
+//! per paper artifact.
+
+use cpu_models::CpuId;
+use spectrebench::experiments as exp;
+
+/// Every regenerable artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Artifact {
+    /// Table 1: default mitigations.
+    Table1,
+    /// Table 2: CPU inventory.
+    Table2,
+    /// Figure 2: LEBench attribution.
+    Figure2,
+    /// Figure 3: Octane attribution.
+    Figure3,
+    /// Table 3: entry/exit primitives.
+    Table3,
+    /// Table 4: verw.
+    Table4,
+    /// Table 5: indirect branches.
+    Table5,
+    /// Table 6: IBPB.
+    Table6,
+    /// Table 7: RSB fill.
+    Table7,
+    /// Table 8: lfence.
+    Table8,
+    /// Figure 5: SSBD on PARSEC.
+    Figure5,
+    /// Table 9: speculation matrix, IBRS off.
+    Table9,
+    /// Table 10: speculation matrix, IBRS on.
+    Table10,
+    /// §4.4 VM workloads.
+    VmWorkloads,
+    /// §6.2.2 eIBRS bimodal entries.
+    EibrsBimodal,
+    /// The eBPF/kernel boundary (the paper's acknowledged gap).
+    EbpfBoundary,
+    /// §7 what-ifs + design ablations (beyond the paper's artifacts).
+    Discussion,
+}
+
+impl Artifact {
+    /// All artifacts in paper order.
+    pub const ALL: [Artifact; 17] = [
+        Artifact::Table1,
+        Artifact::Table2,
+        Artifact::Figure2,
+        Artifact::Figure3,
+        Artifact::Table3,
+        Artifact::Table4,
+        Artifact::Table5,
+        Artifact::Table6,
+        Artifact::Table7,
+        Artifact::Table8,
+        Artifact::Figure5,
+        Artifact::Table9,
+        Artifact::Table10,
+        Artifact::VmWorkloads,
+        Artifact::EibrsBimodal,
+        Artifact::EbpfBoundary,
+        Artifact::Discussion,
+    ];
+
+    /// CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Artifact::Table1 => "table1",
+            Artifact::Table2 => "table2",
+            Artifact::Figure2 => "figure2",
+            Artifact::Figure3 => "figure3",
+            Artifact::Table3 => "table3",
+            Artifact::Table4 => "table4",
+            Artifact::Table5 => "table5",
+            Artifact::Table6 => "table6",
+            Artifact::Table7 => "table7",
+            Artifact::Table8 => "table8",
+            Artifact::Figure5 => "figure5",
+            Artifact::Table9 => "table9",
+            Artifact::Table10 => "table10",
+            Artifact::VmWorkloads => "vm",
+            Artifact::EibrsBimodal => "eibrs-bimodal",
+            Artifact::EbpfBoundary => "ebpf",
+            Artifact::Discussion => "discussion",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(name: &str) -> Option<Artifact> {
+        Artifact::ALL.iter().copied().find(|a| a.name() == name)
+    }
+
+    /// Paper caption.
+    pub fn caption(self) -> &'static str {
+        match self {
+            Artifact::Table1 => "Table 1: default mitigations used by Linux on each processor",
+            Artifact::Table2 => "Table 2: evaluated CPUs",
+            Artifact::Figure2 => "Figure 2: mitigation overhead on LEBench (geomean, attributed)",
+            Artifact::Figure3 => "Figure 3: Octane slowdown from JS and OS mitigations",
+            Artifact::Table3 => "Table 3: syscall/sysret/swap-cr3 cycles",
+            Artifact::Table4 => "Table 4: verw buffer-clear cycles",
+            Artifact::Table5 => "Table 5: indirect branch cycles per mitigation",
+            Artifact::Table6 => "Table 6: IBPB cycles",
+            Artifact::Table7 => "Table 7: RSB stuffing cycles",
+            Artifact::Table8 => "Table 8: lfence cycles",
+            Artifact::Figure5 => "Figure 5: SSBD slowdown on PARSEC",
+            Artifact::Table9 => "Table 9: speculation matrix (IBRS disabled)",
+            Artifact::Table10 => "Table 10: speculation matrix (IBRS enabled)",
+            Artifact::VmWorkloads => "Section 4.4: VM workloads",
+            Artifact::EibrsBimodal => "Section 6.2.2: eIBRS bimodal kernel-entry latency",
+            Artifact::EbpfBoundary => {
+                "Beyond the paper: the eBPF/kernel boundary (verifier masking cost)"
+            }
+            Artifact::Discussion => {
+                "Beyond the paper: section 7 what-ifs and design ablations"
+            }
+        }
+    }
+
+    /// Regenerates the artifact and returns its text rendering.
+    ///
+    /// `quick` trades workload size for speed where the driver supports
+    /// it (used by tests; the full run is what EXPERIMENTS.md records).
+    pub fn regenerate(self, quick: bool) -> String {
+        match self {
+            Artifact::Table1 => exp::table1::render(&exp::table1::run()),
+            Artifact::Table2 => exp::table2::render(),
+            Artifact::Figure2 => exp::figure2::render(&exp::figure2::run(&CpuId::ALL, quick)),
+            Artifact::Figure3 => exp::figure3::render(&exp::figure3::run(&CpuId::ALL, quick)),
+            Artifact::Table3 => exp::tables3to8::render_table3(),
+            Artifact::Table4 => exp::tables3to8::render_table4(),
+            Artifact::Table5 => exp::tables3to8::render_table5(),
+            Artifact::Table6 => exp::tables3to8::render_table6(),
+            Artifact::Table7 => exp::tables3to8::render_table7(),
+            Artifact::Table8 => exp::tables3to8::render_table8(),
+            Artifact::Figure5 => exp::figure5::render(&exp::figure5::run(&CpuId::ALL)),
+            Artifact::Table9 => exp::tables9and10::render(&exp::tables9and10::run(false)),
+            Artifact::Table10 => exp::tables9and10::render(&exp::tables9and10::run(true)),
+            Artifact::VmWorkloads => {
+                let cpus: &[CpuId] = if quick {
+                    &[CpuId::SkylakeClient, CpuId::CascadeLake]
+                } else {
+                    &CpuId::ALL
+                };
+                exp::vm::render(&exp::vm::run(cpus))
+            }
+            Artifact::EibrsBimodal => {
+                let mut s = String::new();
+                for id in [CpuId::CascadeLake, CpuId::IceLakeClient, CpuId::IceLakeServer] {
+                    s.push_str(&format!("{}:\n", id.microarch()));
+                    s.push_str(&exp::eibrs_bimodal::render(&exp::eibrs_bimodal::run(
+                        &id.model(),
+                        128,
+                    )));
+                }
+                s
+            }
+            Artifact::EbpfBoundary => {
+                let cpus: &[CpuId] = if quick {
+                    &[CpuId::Broadwell, CpuId::IceLakeServer]
+                } else {
+                    &CpuId::ALL
+                };
+                exp::ebpf::render(&exp::ebpf::run(cpus))
+            }
+            Artifact::Discussion => {
+                let cpus: &[CpuId] = if quick {
+                    &[CpuId::SkylakeClient, CpuId::IceLakeServer]
+                } else {
+                    &CpuId::ALL
+                };
+                let mut s = String::new();
+                s.push_str("Spectre V2 strategy (LEBench overhead, V2 isolated):\n");
+                s.push_str(&exp::ablations::render_v2_strategies(cpus));
+                s.push_str("\nSection 7 what-ifs (suite-score gains):\n");
+                s.push_str(&exp::ablations::render_discussion(cpus));
+                let a = exp::ablations::pcid_ablation(&CpuId::Broadwell.model());
+                s.push_str(&format!(
+                    "\nPCID ablation on Broadwell: PTI overhead {:.1}% with PCID, {:.1}% without\n",
+                    a.with_pcid * 100.0,
+                    a.without_pcid * 100.0
+                ));
+                s.push_str("\nMDS: verw vs disabling SMT (Table 1's '!'):\n");
+                s.push_str(&exp::smt::render(&exp::smt::run(&[
+                    CpuId::Broadwell,
+                    CpuId::SkylakeClient,
+                    CpuId::CascadeLake,
+                ])));
+                s
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_names_round_trip() {
+        for a in Artifact::ALL {
+            assert_eq!(Artifact::parse(a.name()), Some(a));
+        }
+        assert_eq!(Artifact::parse("nope"), None);
+    }
+
+    #[test]
+    fn cheap_artifacts_regenerate() {
+        for a in [Artifact::Table1, Artifact::Table2, Artifact::Table9, Artifact::Table10] {
+            let s = a.regenerate(true);
+            assert!(s.lines().count() >= 8, "{}:\n{s}", a.name());
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Mitigation attribution by successive disabling (paper §4.1).
+//!
+//! "To measure the impact of individual mitigations, we run Linux with
+//! the default set of mitigations enabled, and then use kernel boot
+//! parameters to successively disable them to determine the overhead that
+//! each one causes." Each slice of the stacked bars in Figures 2 and 3 is
+//! the marginal cost of one mitigation: the difference between adjacent
+//! configurations in the disabling order, normalized to the
+//! everything-off baseline.
+
+use sim_kernel::BootParams;
+
+use crate::stats::{measure_until, Measurement, NoiseModel, StopPolicy};
+
+/// One attribution dimension: a mitigation and the boot parameter that
+/// disables it.
+#[derive(Debug, Clone, Copy)]
+pub struct Toggle {
+    /// Display name (matches the paper's figure legends).
+    pub name: &'static str,
+    /// Boot-parameter token that disables the mitigation.
+    pub disable_param: &'static str,
+}
+
+/// The OS-level toggles in Figure 2's stacking order: the expensive
+/// mitigations first, then everything else pooled as "other".
+pub const OS_TOGGLES: [Toggle; 5] = [
+    Toggle { name: "Page Table Isolation", disable_param: "nopti" },
+    Toggle { name: "MDS buffer clearing", disable_param: "mds=off" },
+    Toggle { name: "Spectre V2", disable_param: "nospectre_v2" },
+    Toggle { name: "Spectre V1 (lfence)", disable_param: "nospectre_v1" },
+    Toggle { name: "L1TF", disable_param: "l1tf=off" },
+];
+
+/// One slice of a stacked attribution bar.
+#[derive(Debug, Clone)]
+pub struct Slice {
+    /// Mitigation name.
+    pub name: &'static str,
+    /// Overhead attributable to this mitigation, as a fraction of the
+    /// everything-off baseline (may be slightly negative within noise).
+    pub overhead: f64,
+    /// 95% CI half-width of the overhead estimate.
+    pub ci95: f64,
+}
+
+/// A full attribution for one CPU and workload.
+#[derive(Debug, Clone)]
+pub struct Attribution {
+    /// Total overhead of the default configuration vs everything-off.
+    pub total: f64,
+    /// Per-mitigation slices in disabling order, plus a final "other"
+    /// slice for everything not individually toggled.
+    pub slices: Vec<Slice>,
+    /// Raw per-configuration measurements (first = default config,
+    /// last = mitigations=off).
+    pub configs: Vec<Measurement>,
+}
+
+/// Runs the successive-disable attribution.
+///
+/// `workload` maps a boot command line to a deterministic score in
+/// simulated cycles (lower is faster); the simulator is run once per
+/// configuration and the paper's adaptive-CI methodology is then applied
+/// over the (synthetic, seeded) run-to-run noise — see DESIGN.md's noise
+/// note.
+pub fn attribute(
+    toggles: &[Toggle],
+    noise_seed: u64,
+    policy: StopPolicy,
+    mut workload: impl FnMut(&BootParams) -> f64,
+) -> Attribution {
+    // Build cumulative command lines: default, then disabling one more
+    // mitigation each step, then the master switch.
+    let mut cmdlines: Vec<String> = vec![String::new()];
+    let mut acc = String::new();
+    for t in toggles {
+        if !acc.is_empty() {
+            acc.push(' ');
+        }
+        acc.push_str(t.disable_param);
+        cmdlines.push(acc.clone());
+    }
+    cmdlines.push(format!("{acc} mitigations=off"));
+
+    let mut measurements = Vec::with_capacity(cmdlines.len());
+    for (i, cmd) in cmdlines.iter().enumerate() {
+        let base = workload(&BootParams::parse(cmd));
+        let mut noise = NoiseModel::paper_default(noise_seed.wrapping_add(i as u64 * 7919));
+        let m = measure_until(policy, || noise.apply(base));
+        measurements.push(m);
+    }
+
+    let off = measurements.last().expect("at least two configs").mean;
+    let total = measurements[0].mean / off - 1.0;
+    let mut slices = Vec::new();
+    for (i, t) in toggles.iter().enumerate() {
+        let hi = &measurements[i];
+        let lo = &measurements[i + 1];
+        slices.push(Slice {
+            name: t.name,
+            overhead: (hi.mean - lo.mean) / off,
+            ci95: (hi.ci95 + lo.ci95) / off,
+        });
+    }
+    // Everything not individually toggled.
+    let n = toggles.len();
+    slices.push(Slice {
+        name: "other",
+        overhead: (measurements[n].mean - off) / off,
+        ci95: (measurements[n].ci95 + measurements[n + 1].ci95) / off,
+    });
+
+    Attribution { total, slices, configs: measurements }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpu_models::broadwell;
+    use workloads::lebench::{run_op, LeBenchOp};
+
+    #[test]
+    fn cumulative_cmdlines_cover_all_toggles() {
+        // Smoke-test the attribution plumbing with a cheap synthetic
+        // workload whose cost depends on the parsed params.
+        let att = attribute(
+            &OS_TOGGLES,
+            1,
+            StopPolicy { min_runs: 3, max_runs: 6, target_relative_ci: 0.05 },
+            |p| {
+                let mut cost = 1000.0;
+                if !p.nopti {
+                    cost += 100.0;
+                }
+                if !p.mds_off {
+                    cost += 50.0;
+                }
+                if !p.nospectre_v2 {
+                    cost += 20.0;
+                }
+                if p.mitigations_off {
+                    cost = 1000.0;
+                }
+                cost
+            },
+        );
+        assert_eq!(att.slices.len(), OS_TOGGLES.len() + 1);
+        assert!((att.total - 0.17).abs() < 0.02, "total {}", att.total);
+        let pti = &att.slices[0];
+        assert!((pti.overhead - 0.10).abs() < 0.02);
+        let other = att.slices.last().unwrap();
+        assert!(other.overhead.abs() < 0.02);
+    }
+
+    #[test]
+    fn attribution_of_real_getpid_on_broadwell() {
+        // PTI and MDS must dominate getpid overhead on Broadwell (§5.1,
+        // §5.2); the sum of slices must equal the total.
+        let att = attribute(
+            &OS_TOGGLES,
+            2,
+            StopPolicy { min_runs: 3, max_runs: 6, target_relative_ci: 0.05 },
+            |p| run_op(&broadwell(), p, LeBenchOp::GetPid).cycles_per_op,
+        );
+        assert!(att.total > 0.5, "getpid overhead on Broadwell is large: {}", att.total);
+        let sum: f64 = att.slices.iter().map(|s| s.overhead).sum();
+        assert!(
+            (sum - att.total).abs() < 0.05 + att.total * 0.1,
+            "slices ({sum}) must sum to total ({})",
+            att.total
+        );
+        let by_name = |n: &str| {
+            att.slices.iter().find(|s| s.name.contains(n)).map(|s| s.overhead).unwrap()
+        };
+        assert!(by_name("Page Table") > 0.2, "PTI slice");
+        assert!(by_name("MDS") > 0.2, "MDS slice");
+        assert!(by_name("Page Table") + by_name("MDS") > att.total * 0.6);
+    }
+}

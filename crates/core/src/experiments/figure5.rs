@@ -1,0 +1,73 @@
+//! Figure 5: the slowdown caused by force-enabling Speculative Store
+//! Bypass Disable on the PARSEC benchmarks, per CPU.
+
+use cpu_models::CpuId;
+use sim_kernel::BootParams;
+use workloads::parsec::{run_bench, ParsecBench};
+
+use crate::report::{pct, TextTable};
+use crate::stats::{measure_until, NoiseModel, StopPolicy};
+
+/// Figure 5's data: `slowdowns[cpu][bench]` as fractions.
+#[derive(Debug, Clone)]
+pub struct Figure5 {
+    /// Rows in CPU order; columns in [`ParsecBench::ALL`] order.
+    pub rows: Vec<(CpuId, [f64; 3])>,
+}
+
+/// Runs the experiment.
+pub fn run(cpus: &[CpuId]) -> Figure5 {
+    let policy = StopPolicy { min_runs: 5, max_runs: 10, target_relative_ci: 0.01 };
+    let mut rows = Vec::new();
+    for (i, id) in cpus.iter().enumerate() {
+        let model = id.model();
+        let mut cols = [0.0; 3];
+        for (j, bench) in ParsecBench::ALL.iter().enumerate() {
+            let off = run_bench(&model, &BootParams::default(), *bench).cycles as f64;
+            let on = run_bench(
+                &model,
+                &BootParams::parse("spec_store_bypass_disable=on"),
+                *bench,
+            )
+            .cycles as f64;
+            let mut noise = NoiseModel::paper_default(0xF16_5 + (i * 3 + j) as u64);
+            let m_on = measure_until(policy, || noise.apply(on));
+            let m_off = measure_until(policy, || noise.apply(off));
+            cols[j] = m_on.mean / m_off.mean - 1.0;
+        }
+        rows.push((*id, cols));
+    }
+    Figure5 { rows }
+}
+
+/// Renders the figure.
+pub fn render(f: &Figure5) -> String {
+    let mut t = TextTable::new(&["CPU", "swaptions", "facesim", "bodytrack"]);
+    for (id, cols) in &f.rows {
+        t.row(&[
+            id.microarch().to_string(),
+            pct(cols[0]),
+            pct(cols[1]),
+            pct(cols[2]),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ssbd_slowdown_trends_worse_over_time() {
+        let f = run(&[CpuId::Broadwell, CpuId::IceLakeServer, CpuId::Zen, CpuId::Zen3]);
+        let get = |id: CpuId| f.rows.iter().find(|(c, _)| *c == id).unwrap().1;
+        // Newer parts pay more (Figure 5's headline).
+        assert!(get(CpuId::IceLakeServer)[2] > get(CpuId::Broadwell)[2]);
+        assert!(get(CpuId::Zen3)[2] > get(CpuId::Zen)[2]);
+        // The worst case is tens of percent.
+        assert!(get(CpuId::Zen3)[2] > 0.15);
+        let s = render(&f);
+        assert!(s.contains("bodytrack"));
+    }
+}

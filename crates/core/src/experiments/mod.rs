@@ -1,0 +1,33 @@
+//! One driver per paper table/figure.
+//!
+//! Every driver returns a structured result plus a plain-text rendering,
+//! so the `bench` crate's regeneration binaries, the examples, and
+//! EXPERIMENTS.md all print from the same code.
+//!
+//! | module | artifact |
+//! |---|---|
+//! | [`table1`] | Table 1 — default mitigations per CPU |
+//! | [`table2`] | Table 2 — CPU inventory |
+//! | [`figure2`] | Figure 2 — LEBench overhead attribution |
+//! | [`figure3`] | Figure 3 — Octane slowdown attribution |
+//! | [`tables3to8`] | Tables 3–8 — per-mitigation microbenchmarks |
+//! | [`figure5`] | Figure 5 — SSBD slowdown on PARSEC |
+//! | [`tables9and10`] | Tables 9/10 — the speculation matrix |
+//! | [`vm`] | §4.4 — VM workloads (LEBench-in-VM, LFS) |
+//! | [`eibrs_bimodal`] | §6.2.2 — bimodal kernel-entry latency |
+//! | [`ablations`] | §7 what-ifs + design-choice ablations (beyond the paper's artifacts) |
+//! | [`ebpf`] | the eBPF/kernel boundary (the paper's acknowledged gap) |
+//! | [`smt`] | the §3.3 verw-vs-SMT-off trade-off behind Table 1's "Disable SMT" row |
+
+pub mod ablations;
+pub mod ebpf;
+pub mod smt;
+pub mod eibrs_bimodal;
+pub mod figure2;
+pub mod figure3;
+pub mod figure5;
+pub mod table1;
+pub mod table2;
+pub mod tables3to8;
+pub mod tables9and10;
+pub mod vm;

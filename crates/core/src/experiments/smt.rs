@@ -1,0 +1,113 @@
+//! The SMT trade-off behind Table 1's "Disable SMT" row.
+//!
+//! MDS can only be *fully* mitigated by also disabling hyperthreading,
+//! but "by default hyperthreading is enabled even for vulnerable CPUs
+//! because the risk was viewed acceptable given the performance
+//! difference" (§3.3). This experiment quantifies that decision: it
+//! compares the measured cost of the deployed mitigation (`verw` buffer
+//! clearing) against the throughput lost by turning SMT off.
+//!
+//! The simulator is single-core, so the SMT side is an explicit
+//! throughput model rather than an emergent measurement: two sibling
+//! hyperthreads running independent work achieve `SMT_SPEEDUP` times the
+//! throughput of one thread (the well-established ~1.2–1.3× range for
+//! mixed workloads). Disabling SMT therefore costs
+//! `1 − 1/SMT_SPEEDUP` of multiprogrammed throughput. Everything else in
+//! the comparison is measured.
+
+use cpu_models::CpuId;
+use sim_kernel::BootParams;
+use workloads::lebench;
+
+use crate::report::{pct, TextTable};
+
+/// Throughput gain from SMT on multiprogrammed workloads (documented
+/// model parameter; see the module docs).
+pub const SMT_SPEEDUP: f64 = 1.25;
+
+/// One CPU's MDS-mitigation trade-off.
+#[derive(Debug, Clone, Copy)]
+pub struct SmtRow {
+    /// The CPU.
+    pub cpu: CpuId,
+    /// Measured cost of `verw` clearing on the OS workload.
+    pub verw_cost: f64,
+    /// Modelled cost of disabling SMT instead (0 where the part has no
+    /// SMT or no MDS problem).
+    pub smt_off_cost: f64,
+    /// Whether the kernel's default (verw + SMT on) is the cheaper
+    /// complete-enough option the paper describes.
+    pub default_is_cheaper: bool,
+}
+
+/// Runs the trade-off for the given CPUs.
+pub fn run(cpus: &[CpuId]) -> Vec<SmtRow> {
+    cpus.iter()
+        .map(|cpu| {
+            let model = cpu.model();
+            let verw_cost = if model.vuln.mds {
+                let on = lebench::geomean(&lebench::run_suite(&model, &BootParams::default()));
+                let off = lebench::geomean(&lebench::run_suite(
+                    &model,
+                    &BootParams::parse("mds=off"),
+                ));
+                on / off - 1.0
+            } else {
+                0.0
+            };
+            let smt_off_cost = if model.vuln.mds && model.spec.smt {
+                1.0 - 1.0 / SMT_SPEEDUP
+            } else {
+                0.0
+            };
+            SmtRow {
+                cpu: *cpu,
+                verw_cost,
+                smt_off_cost,
+                default_is_cheaper: verw_cost <= smt_off_cost || !model.vuln.mds,
+            }
+        })
+        .collect()
+}
+
+/// Renders the trade-off.
+pub fn render(rows: &[SmtRow]) -> String {
+    let mut t = TextTable::new(&["CPU", "verw cost (measured)", "SMT-off cost (modelled)"]);
+    for r in rows {
+        t.row(&[
+            r.cpu.microarch().to_string(),
+            if r.verw_cost > 0.0 { pct(r.verw_cost) } else { "n/a".into() },
+            if r.smt_off_cost > 0.0 { pct(r.smt_off_cost) } else { "n/a".into() },
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verw_beats_smt_off_on_every_mds_part() {
+        // §3.3's judgement call, reproduced: for the OS workload, buffer
+        // clearing costs less than the multiprogrammed throughput SMT
+        // recovers.
+        let rows = run(&[CpuId::Broadwell, CpuId::SkylakeClient, CpuId::CascadeLake]);
+        for r in &rows {
+            assert!(r.verw_cost > 0.05, "{}: verw is a real cost", r.cpu.microarch());
+            assert!(
+                r.verw_cost < 0.30,
+                "{}: verw cost {:.1}%",
+                r.cpu.microarch(),
+                r.verw_cost * 100.0
+            );
+            assert!(r.smt_off_cost > 0.15);
+        }
+        // On compute workloads (PARSEC) verw costs ~0 while SMT-off still
+        // costs 20%: the default wins even more clearly there.
+        let fixed = run(&[CpuId::IceLakeServer]);
+        assert_eq!(fixed[0].verw_cost, 0.0);
+        assert_eq!(fixed[0].smt_off_cost, 0.0);
+        assert!(fixed[0].default_is_cheaper);
+    }
+}

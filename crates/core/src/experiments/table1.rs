@@ -1,0 +1,72 @@
+//! Table 1: default mitigations used by Linux on each processor.
+
+use cpu_models::CpuId;
+use sim_kernel::Mitigation;
+
+use crate::report::TextTable;
+
+/// One cell: ✓ (used), ! (needed but not default), or empty.
+pub type Cell = Option<bool>;
+
+/// The full matrix in paper order: `rows[mitigation][cpu]`.
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// Rows in [`Mitigation::TABLE1_ORDER`] order.
+    pub rows: Vec<(Mitigation, [Cell; 8])>,
+}
+
+/// Computes the matrix from the kernel's mitigation-selection logic.
+pub fn run() -> Table1 {
+    let rows = Mitigation::TABLE1_ORDER
+        .iter()
+        .map(|mit| {
+            let mut cells = [None; 8];
+            for (i, id) in CpuId::ALL.iter().enumerate() {
+                cells[i] = mit.table1_cell(&id.model());
+            }
+            (*mit, cells)
+        })
+        .collect();
+    Table1 { rows }
+}
+
+/// Renders the matrix as text (✓ / ! / blank, like the paper).
+pub fn render(t: &Table1) -> String {
+    let mut header = vec!["Attack", "Mitigation"];
+    for id in &CpuId::ALL {
+        header.push(id.microarch());
+    }
+    let mut table = TextTable::new(&header);
+    for (mit, cells) in &t.rows {
+        let mut row = vec![mit.attack().to_string(), mit.name().to_string()];
+        for c in cells {
+            row.push(
+                match c {
+                    Some(true) => "Y",
+                    Some(false) => "!",
+                    None => "",
+                }
+                .to_string(),
+            );
+        }
+        table.row(&row);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_rows_and_render() {
+        let t = run();
+        assert_eq!(t.rows.len(), 15);
+        let s = render(&t);
+        assert!(s.contains("Page Table Isolation"));
+        assert!(s.contains("Broadwell"));
+        // SSBD row is all '!'.
+        let ssbd = t.rows.iter().find(|(m, _)| m.name() == "SSBD").unwrap();
+        assert!(ssbd.1.iter().all(|c| *c == Some(false)));
+    }
+}

@@ -1,0 +1,50 @@
+//! Table 2: information about each evaluated CPU.
+
+use cpu_models::CpuId;
+
+use crate::report::TextTable;
+
+/// Renders the CPU inventory (vendor, model, microarchitecture, power,
+/// clock, cores), straight from the catalog.
+pub fn render() -> String {
+    let mut t = TextTable::new(&[
+        "Vendor",
+        "Model",
+        "Microarchitecture",
+        "Power (W)",
+        "Clock (GHz)",
+        "Cores",
+    ]);
+    for id in CpuId::ALL {
+        let m = id.model();
+        t.row(&[
+            format!("{}", m.vendor),
+            m.name.to_string(),
+            format!("{} ({})", m.microarch, m.year),
+            m.power_watts.to_string(),
+            format!("{}", m.clock_ghz),
+            m.cores.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn render_contains_all_rows() {
+        let s = super::render();
+        for name in [
+            "E5-2640v4",
+            "i7-6600U",
+            "Xeon Silver 4210R",
+            "i5-10351G1",
+            "Xeon Gold 6354",
+            "Ryzen 3 1200",
+            "EPYC 7452",
+            "Ryzen 5 5600X",
+        ] {
+            assert!(s.contains(name), "{name}");
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Tables 9 and 10: whether each processor speculatively executes a
+//! poisoned indirect branch, per privilege-mode configuration, with IBRS
+//! disabled (Table 9) and enabled (Table 10).
+
+use cpu_models::CpuId;
+
+use crate::probe::{columns, table_row, ProbeResult};
+use crate::report::TextTable;
+
+/// One speculation matrix (either table).
+#[derive(Debug, Clone)]
+pub struct SpecMatrix {
+    /// Whether this is the IBRS-enabled variant (Table 10).
+    pub ibrs: bool,
+    /// Per-CPU rows of (column name, result).
+    pub rows: Vec<(CpuId, Vec<(&'static str, ProbeResult)>)>,
+}
+
+/// Runs the probe matrix for all CPUs.
+pub fn run(ibrs: bool) -> SpecMatrix {
+    let rows = CpuId::ALL
+        .iter()
+        .map(|id| (*id, table_row(&id.model(), ibrs)))
+        .collect();
+    SpecMatrix { ibrs, rows }
+}
+
+/// Renders the matrix with the paper's cell conventions (✓ / blank / N/A).
+pub fn render(m: &SpecMatrix) -> String {
+    let mut header = vec!["CPU"];
+    let cols = columns();
+    for (name, _) in &cols {
+        header.push(name);
+    }
+    let mut t = TextTable::new(&header);
+    for (id, row) in &m.rows {
+        let mut cells = vec![id.microarch().to_string()];
+        for (_, r) in row {
+            cells.push(
+                match r {
+                    ProbeResult::Speculated => "Y",
+                    ProbeResult::Blocked => "",
+                    ProbeResult::NotApplicable => "N/A",
+                }
+                .to_string(),
+            );
+        }
+        t.row(&cells);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table9_full_matrix_shape() {
+        let m = run(false);
+        assert_eq!(m.rows.len(), 8);
+        let s = render(&m);
+        // Zen 3's row is empty in Table 9.
+        let zen3_line = s.lines().find(|l| l.starts_with("Zen 3")).unwrap();
+        assert!(!zen3_line.contains('Y'), "{zen3_line}");
+        // Broadwell's row is all ✓.
+        let bdw = &m.rows.iter().find(|(c, _)| *c == CpuId::Broadwell).unwrap().1;
+        assert!(bdw.iter().all(|(_, r)| *r == ProbeResult::Speculated));
+    }
+
+    #[test]
+    fn table10_zen_row_is_na() {
+        let m = run(true);
+        let zen = &m.rows.iter().find(|(c, _)| *c == CpuId::Zen).unwrap().1;
+        assert!(zen.iter().all(|(_, r)| *r == ProbeResult::NotApplicable));
+        let s = render(&m);
+        assert!(s.contains("N/A"));
+    }
+}

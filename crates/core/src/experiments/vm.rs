@@ -1,0 +1,145 @@
+//! §4.4: virtual machine workloads.
+//!
+//! Two experiments: LEBench running inside a guest with host mitigations
+//! toggled (the paper measured ±3% — i.e. indistinguishable from noise),
+//! and the LFS smallfile/largefile benchmarks against an emulated disk
+//! (median overhead under 2%), plus the exit-rate bookkeeping that
+//! explains both.
+
+use cpu_models::CpuId;
+use hypervisor::Hypervisor;
+use sim_kernel::BootParams;
+use uarch::isa::Reg;
+use workloads::lfs::{self, LfsBench};
+
+use crate::report::{pct, TextTable};
+use crate::stats::{measure_until, NoiseModel, StopPolicy};
+
+/// Instruction budget per guest run.
+const BUDGET: u64 = 4_000_000_000;
+
+/// One VM-workload measurement.
+#[derive(Debug, Clone)]
+pub struct VmRow {
+    /// The CPU.
+    pub cpu: CpuId,
+    /// Guest-visible overhead of host mitigations (fraction).
+    pub lebench_overhead: f64,
+    /// LFS smallfile overhead.
+    pub smallfile_overhead: f64,
+    /// LFS largefile overhead.
+    pub largefile_overhead: f64,
+    /// VM exits observed during the LFS smallfile run (mitigated host).
+    pub smallfile_exits: u64,
+    /// Guest syscalls during the same run.
+    pub smallfile_syscalls: u64,
+}
+
+fn guest_lebench_cycles(cpu: CpuId, host: &str) -> u64 {
+    let mut hv = Hypervisor::new(cpu.model(), &BootParams::parse(host), &BootParams::default());
+    hv.guest.spawn(|b| {
+        use sim_kernel::userlib::{begin_loop, emit_exit, emit_getpid, end_loop};
+        let top = begin_loop(b, Reg::R7, 300);
+        emit_getpid(b);
+        end_loop(b, Reg::R7, top);
+        emit_exit(b);
+    });
+    hv.guest.start();
+    hv.run(BUDGET).expect("guest completes");
+    hv.guest.cycles()
+}
+
+fn guest_lfs(cpu: CpuId, host: &str, bench: LfsBench) -> (u64, u64, u64) {
+    let mut hv = Hypervisor::new(cpu.model(), &BootParams::parse(host), &BootParams::default());
+    lfs::build(&mut hv.guest, bench);
+    hv.guest.start();
+    hv.run(BUDGET).expect("guest completes");
+    (hv.guest.cycles(), hv.stats.exits, hv.guest.state.stats.syscalls)
+}
+
+/// Runs the §4.4 experiments for the given CPUs.
+pub fn run(cpus: &[CpuId]) -> Vec<VmRow> {
+    let policy = StopPolicy { min_runs: 5, max_runs: 10, target_relative_ci: 0.015 };
+    let mut rows = Vec::new();
+    for (i, cpu) in cpus.iter().enumerate() {
+        let seed = 0x44_4 + i as u64 * 977;
+        let measure = |base: f64, s: u64| {
+            let mut noise = NoiseModel::paper_default(s);
+            measure_until(policy, || noise.apply(base)).mean
+        };
+        let le_on = measure(guest_lebench_cycles(*cpu, "") as f64, seed);
+        let le_off = measure(guest_lebench_cycles(*cpu, "mitigations=off") as f64, seed + 1);
+        let (sf_on, exits, syscalls) = guest_lfs(*cpu, "", LfsBench::Smallfile);
+        let (sf_off, _, _) = guest_lfs(*cpu, "mitigations=off", LfsBench::Smallfile);
+        let (lf_on, _, _) = guest_lfs(*cpu, "", LfsBench::Largefile);
+        let (lf_off, _, _) = guest_lfs(*cpu, "mitigations=off", LfsBench::Largefile);
+        rows.push(VmRow {
+            cpu: *cpu,
+            lebench_overhead: le_on / le_off - 1.0,
+            smallfile_overhead: measure(sf_on as f64, seed + 2)
+                / measure(sf_off as f64, seed + 3)
+                - 1.0,
+            largefile_overhead: measure(lf_on as f64, seed + 4)
+                / measure(lf_off as f64, seed + 5)
+                - 1.0,
+            smallfile_exits: exits,
+            smallfile_syscalls: syscalls,
+        });
+    }
+    rows
+}
+
+/// Renders the rows.
+pub fn render(rows: &[VmRow]) -> String {
+    let mut t = TextTable::new(&[
+        "CPU",
+        "LEBench-in-VM",
+        "smallfile",
+        "largefile",
+        "exits",
+        "guest syscalls",
+    ]);
+    for r in rows {
+        t.row(&[
+            r.cpu.microarch().to_string(),
+            pct(r.lebench_overhead),
+            pct(r.smallfile_overhead),
+            pct(r.largefile_overhead),
+            r.smallfile_exits.to_string(),
+            r.smallfile_syscalls.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_mitigations_invisible_from_the_guest() {
+        // Paper §4.4: LEBench-in-VM within ±3%; LFS median under 2%.
+        let rows = run(&[CpuId::SkylakeClient, CpuId::CascadeLake]);
+        for r in &rows {
+            assert!(
+                r.lebench_overhead.abs() < 0.04,
+                "{}: LEBench-in-VM {:.2}%",
+                r.cpu.microarch(),
+                r.lebench_overhead * 100.0
+            );
+            // Paper: median under 2%. Our simulated fsync path is leaner
+            // than a real journaling FS + virtio stack, so the per-exit
+            // L1D-flush cost is less diluted; single digits is the
+            // faithful bound here (EXPERIMENTS.md discusses the delta).
+            assert!(
+                r.smallfile_overhead.abs() < 0.09,
+                "{}: smallfile {:.2}%",
+                r.cpu.microarch(),
+                r.smallfile_overhead * 100.0
+            );
+            assert!(r.smallfile_exits > 0, "the disk must cause exits");
+        }
+        let s = render(&rows);
+        assert!(s.contains("smallfile"));
+    }
+}

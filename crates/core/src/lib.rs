@@ -1,0 +1,29 @@
+//! # spectrebench — the paper's measurement and analysis harness
+//!
+//! This crate is the reproduction's primary contribution, mirroring the
+//! paper's own `spectrebench` artifact: it measures the performance cost
+//! of transient-execution mitigations on the simulated systems and
+//! attributes the total slowdown to individual mitigations.
+//!
+//! * [`stats`] — the §4.1 methodology: adaptive repetition until the 95%
+//!   confidence interval is tight, geometric means, seeded noise.
+//! * [`attribution`] — successive-disable attribution (the stacked bars
+//!   of Figures 2 and 3).
+//! * [`micro`] — per-mitigation instruction microbenchmarks (Tables 3–8).
+//! * [`probe`] — the §6 speculation probe built on the divider
+//!   performance counter (Figure 6 → Tables 9 and 10).
+//! * [`experiments`] — one driver per paper table/figure, each returning
+//!   a structured result and a text rendering.
+//! * [`report`] — plain-text table rendering and paper-vs-measured
+//!   comparisons.
+
+pub mod attribution;
+pub mod experiments;
+pub mod micro;
+pub mod probe;
+pub mod report;
+pub mod stats;
+
+pub use attribution::{attribute, Attribution, Slice, Toggle, OS_TOGGLES};
+pub use probe::{ProbeConfig, ProbeResult};
+pub use stats::{geomean, measure_until, Measurement, NoiseModel, StopPolicy};

@@ -1,0 +1,385 @@
+//! Per-mitigation microbenchmarks: the instruction sequences behind
+//! Tables 3–8, measured on the simulator the same way the paper measured
+//! them on hardware — timestamp deltas around tight loops, averaged over
+//! many iterations (§5).
+//!
+//! The simulator's primitive latencies were *calibrated from* these same
+//! tables, so these measurements largely verify the calibration — except
+//! where costs are emergent (retpolines are real instruction sequences
+//! whose cost comes out of call/store/ret-mispredict mechanics; IBRS
+//! overhead comes from prediction actually being blocked).
+
+use uarch::isa::{msr_index, spec_ctrl, Inst, Reg, Width};
+use uarch::machine::{Machine, NoEnv};
+use uarch::mmu::{make_cr3, PageTable, Pte};
+use uarch::model::CpuModel;
+use uarch::predictor::PrivMode;
+use uarch::ProgramBuilder;
+
+const STACK_TOP: u64 = 0x20_0000;
+const ITERS: u64 = 200;
+
+/// A machine with a stack, in kernel mode, ready for microbenchmarks.
+fn bench_machine(model: &CpuModel) -> Machine {
+    let mut m = Machine::new(model.clone());
+    let mut pt = PageTable::new();
+    // User-accessible so measured loops can run in either mode (the
+    // paper's Table 5 loop is a userspace benchmark).
+    pt.map_range(STACK_TOP - 0x4000, 0x200, 4, Pte::user(0));
+    pt.map(0x10_0000, Pte::user(0x300));
+    let table = m.mmu.register_table(pt);
+    assert!(m.mmu.load_cr3(make_cr3(table, 0, false)));
+    m.set_reg(Reg::SP, STACK_TOP - 64);
+    m.mode = PrivMode::Kernel;
+    m
+}
+
+/// Measures average cycles per iteration of `body`, subtracting the
+/// cost of an empty loop (the paper's methodology of averaging over many
+/// runs to eliminate noise).
+fn measure_loop(model: &CpuModel, body: impl Fn(&mut ProgramBuilder)) -> f64 {
+    let run = |with_body: bool| -> u64 {
+        let mut m = bench_machine(model);
+        let mut b = ProgramBuilder::new();
+        let top = b.new_label();
+        b.mov_imm(Reg::R0, ITERS);
+        b.bind(top);
+        if with_body {
+            body(&mut b);
+        }
+        b.sub_imm(Reg::R0, 1);
+        b.cmp_imm(Reg::R0, 0);
+        b.jcc(uarch::Cond::Ne, top);
+        b.push(Inst::Halt);
+        m.load_program(b.link(0x1000));
+        m.pc = 0x1000;
+        let c0 = m.cycles();
+        m.run(&mut NoEnv, 10_000_000).expect("microbenchmark loop");
+        m.cycles() - c0
+    };
+    let with = run(true);
+    let without = run(false);
+    (with.saturating_sub(without)) as f64 / ITERS as f64
+}
+
+/// Table 3: `syscall` instruction cycles.
+pub fn syscall_cycles(model: &CpuModel) -> f64 {
+    let mut m = bench_machine(model);
+    // Entry stub: immediate sysret (kernel cost excluded by measuring the
+    // transition instructions separately below).
+    let mut b = ProgramBuilder::new();
+    b.push(Inst::Sysret);
+    m.load_program(b.link(0x8000));
+    m.syscall_entry = Some(0x8000);
+    let mut b = ProgramBuilder::new();
+    b.push(Inst::Syscall);
+    b.push(Inst::Halt);
+    m.load_program(b.link(0x1000));
+    m.mode = PrivMode::User;
+    m.pc = 0x1000;
+    // Step to just after the syscall commits.
+    let c0 = m.cycles();
+    m.step(&mut NoEnv).expect("syscall step");
+    (m.cycles() - c0) as f64
+}
+
+/// Table 3: `sysret` instruction cycles.
+pub fn sysret_cycles(model: &CpuModel) -> f64 {
+    let mut m = bench_machine(model);
+    let mut b = ProgramBuilder::new();
+    b.push(Inst::Sysret);
+    m.load_program(b.link(0x8000));
+    m.set_reg(Reg::R11, 0x1000);
+    let mut b = ProgramBuilder::new();
+    b.push(Inst::Halt);
+    m.load_program(b.link(0x1000));
+    m.pc = 0x8000;
+    let c0 = m.cycles();
+    m.step(&mut NoEnv).expect("sysret step");
+    (m.cycles() - c0) as f64
+}
+
+/// Table 3: `mov %cr3` cycles (the PTI primitive). Returns `None` where
+/// the paper reports N/A (no PTI deployed on the part).
+pub fn swap_cr3_cycles(model: &CpuModel) -> Option<f64> {
+    if !model.needs_pti() {
+        return None;
+    }
+    let mut m = bench_machine(model);
+    let cr3 = m.mmu.cr3();
+    m.set_reg(Reg::R1, cr3);
+    let mut b = ProgramBuilder::new();
+    b.push(Inst::MovCr3(Reg::R1));
+    b.push(Inst::Halt);
+    m.load_program(b.link(0x1000));
+    m.pc = 0x1000;
+    let c0 = m.cycles();
+    m.step(&mut NoEnv).expect("cr3 step");
+    Some((m.cycles() - c0) as f64)
+}
+
+/// Table 4: `verw` cycles. `Some` only on parts with the MD_CLEAR
+/// microcode (the paper reports N/A elsewhere).
+pub fn verw_cycles(model: &CpuModel) -> Option<f64> {
+    if !model.spec.md_clear {
+        return None;
+    }
+    Some(measure_loop(model, |b| {
+        b.push(Inst::Verw);
+    }))
+}
+
+/// Table 8: `lfence` cycles, measured the way the paper's loop would see
+/// it — with a load in flight, since a fully quiet lfence is nearly free
+/// (the paper's own caveat, §5.4).
+pub fn lfence_cycles(model: &CpuModel) -> f64 {
+    let with_load_and_fence = measure_loop(model, |b| {
+        b.mov_imm(Reg::R2, 0x10_0000);
+        b.push(Inst::Load { dst: Reg::R3, base: Reg::R2, offset: 0, width: Width::B8 });
+        b.push(Inst::Lfence);
+    });
+    let load_only = measure_loop(model, |b| {
+        b.mov_imm(Reg::R2, 0x10_0000);
+        b.push(Inst::Load { dst: Reg::R3, base: Reg::R2, offset: 0, width: Width::B8 });
+    });
+    with_load_and_fence - load_only
+}
+
+/// Table 6: IBPB (wrmsr to `IA32_PRED_CMD`) cycles.
+pub fn ibpb_cycles(model: &CpuModel) -> f64 {
+    measure_loop(model, |b| {
+        b.mov_imm(Reg::R2, 1);
+        b.push(Inst::Wrmsr { msr: msr_index::IA32_PRED_CMD, src: Reg::R2 });
+    }) - 1.0 // the mov
+}
+
+/// Table 7: RSB stuffing cycles (the kernel's per-switch fill), measured
+/// via the context-switch primitive the kernel charges.
+pub fn rsb_fill_cycles(model: &CpuModel) -> f64 {
+    // The stuffing sequence cost is a calibrated primitive; report it
+    // through the same accounting the kernel uses.
+    model.lat.rsb_fill as f64
+}
+
+/// Table 5 measurement: cycles per indirect call under a given dispatch
+/// mechanism, steady-state (trained predictor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dispatch {
+    /// Plain indirect call, no mitigation.
+    Baseline,
+    /// Plain indirect call with IBRS enabled.
+    Ibrs,
+    /// Generic retpoline thunk.
+    RetpolineGeneric,
+    /// AMD lfence retpoline.
+    RetpolineAmd,
+}
+
+/// Measures one Table 5 cell. Returns `None` for inapplicable cells
+/// (IBRS on Zen; the AMD retpoline is only meaningful on AMD parts).
+pub fn indirect_call_cycles(model: &CpuModel, dispatch: Dispatch) -> Option<f64> {
+    match dispatch {
+        Dispatch::Ibrs if !model.spec.ibrs_supported => return None,
+        Dispatch::RetpolineAmd if model.vendor != uarch::Vendor::Amd => return None,
+        _ => {}
+    }
+    let mut m = bench_machine(model);
+    if dispatch == Dispatch::Ibrs {
+        m.msrs
+            .write(msr_index::IA32_SPEC_CTRL, spec_ctrl::IBRS)
+            .expect("IBRS accepted");
+    }
+    // The paper's Table 5 loop runs in user space.
+    m.mode = PrivMode::User;
+
+    // Callee: immediate return.
+    let mut b = ProgramBuilder::new();
+    b.push(Inst::Ret);
+    m.load_program(b.link(0x5000));
+
+    // The measured loop: dispatch to the callee each iteration.
+    let mut b = ProgramBuilder::new();
+    let top = b.new_label();
+    let thunk = b.new_label();
+    b.mov_imm(Reg::R0, ITERS);
+    b.mov_imm(Reg::R9, 0x5000);
+    b.bind(top);
+    match dispatch {
+        Dispatch::Baseline | Dispatch::Ibrs => {
+            b.push(Inst::CallInd(Reg::R9));
+        }
+        Dispatch::RetpolineAmd => {
+            b.push(Inst::Lfence);
+            b.push(Inst::CallInd(Reg::R9));
+        }
+        Dispatch::RetpolineGeneric => {
+            b.call(thunk);
+        }
+    }
+    b.sub_imm(Reg::R0, 1);
+    b.cmp_imm(Reg::R0, 0);
+    b.jcc(uarch::Cond::Ne, top);
+    b.push(Inst::Halt);
+    if dispatch == Dispatch::RetpolineGeneric {
+        // Figure 4's sequence, target in R9.
+        let capture = b.new_label();
+        let set_target = b.new_label();
+        b.bind(thunk);
+        b.call(set_target);
+        b.bind(capture);
+        b.push(Inst::Pause);
+        b.push(Inst::Lfence);
+        b.jmp(capture);
+        b.bind(set_target);
+        b.push(Inst::Store { src: Reg::R9, base: Reg::SP, offset: 0, width: Width::B8 });
+        b.push(Inst::Ret);
+    }
+    m.load_program(b.link(0x1000));
+
+    // Warm up (train predictors / caches), then measure.
+    m.pc = 0x1000;
+    m.run(&mut NoEnv, 10_000_000).expect("warmup");
+    m.pc = 0x1000;
+    let c0 = m.cycles();
+    m.run(&mut NoEnv, 10_000_000).expect("measured run");
+    let total = (m.cycles() - c0) as f64 / ITERS as f64;
+
+    // Subtract the loop scaffolding (sub/cmp/jcc ≈ 3 cycles + callee ret
+    // + its stack pop), measured with a direct call instead.
+    let mut m2 = bench_machine(model);
+    m2.mode = PrivMode::User;
+    let mut b = ProgramBuilder::new();
+    b.push(Inst::Ret);
+    m2.load_program(b.link(0x5000));
+    let mut b = ProgramBuilder::new();
+    let top = b.new_label();
+    b.mov_imm(Reg::R0, ITERS);
+    b.bind(top);
+    b.push(Inst::Call(0x5000));
+    b.sub_imm(Reg::R0, 1);
+    b.cmp_imm(Reg::R0, 0);
+    b.jcc(uarch::Cond::Ne, top);
+    b.push(Inst::Halt);
+    m2.load_program(b.link(0x1000));
+    m2.pc = 0x1000;
+    m2.run(&mut NoEnv, 10_000_000).expect("warmup");
+    m2.pc = 0x1000;
+    let c0 = m2.cycles();
+    m2.run(&mut NoEnv, 10_000_000).expect("scaffold run");
+    let scaffold = (m2.cycles() - c0) as f64 / ITERS as f64;
+
+    Some(total - scaffold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpu_models::{paper_table3, paper_table5, CpuId};
+
+    #[test]
+    fn table3_measurements_match_paper_exactly() {
+        for row in paper_table3() {
+            let m = row.cpu.model();
+            assert_eq!(syscall_cycles(&m) as u64, row.syscall, "{} syscall", row.cpu);
+            assert_eq!(sysret_cycles(&m) as u64, row.sysret, "{} sysret", row.cpu);
+            match row.swap_cr3 {
+                Some(c) => {
+                    assert_eq!(swap_cr3_cycles(&m).unwrap() as u64, c, "{} cr3", row.cpu)
+                }
+                None => assert!(swap_cr3_cycles(&m).is_none(), "{} cr3 N/A", row.cpu),
+            }
+        }
+    }
+
+    #[test]
+    fn table4_verw_matches_paper() {
+        for (id, expect) in [
+            (CpuId::Broadwell, Some(610.0)),
+            (CpuId::SkylakeClient, Some(518.0)),
+            (CpuId::CascadeLake, Some(458.0)),
+            (CpuId::IceLakeServer, None),
+            (CpuId::Zen3, None),
+        ] {
+            assert_eq!(verw_cycles(&id.model()), expect, "{id}");
+        }
+    }
+
+    #[test]
+    fn table5_baseline_and_retpoline_shapes() {
+        for row in paper_table5() {
+            let m = row.cpu.model();
+            let baseline = indirect_call_cycles(&m, Dispatch::Baseline)
+                .expect("baseline always applies");
+            // The steady-state predicted indirect call lands on the
+            // calibrated baseline within a couple of cycles of scaffold
+            // noise.
+            assert!(
+                (baseline - row.baseline as f64).abs() <= 2.0,
+                "{}: baseline {} vs paper {}",
+                row.cpu,
+                baseline,
+                row.baseline
+            );
+            let generic = indirect_call_cycles(&m, Dispatch::RetpolineGeneric)
+                .expect("generic applies everywhere");
+            let extra = generic - baseline;
+            // Emergent retpoline cost: within ±35% of the paper's column
+            // (it comes out of real call/store/ret mechanics).
+            let want = row.generic_extra as f64;
+            assert!(
+                (extra - want).abs() <= (want * 0.35).max(6.0),
+                "{}: generic extra {:.1} vs paper {}",
+                row.cpu,
+                extra,
+                want
+            );
+        }
+    }
+
+    #[test]
+    fn table5_ibrs_column() {
+        for row in paper_table5() {
+            let m = row.cpu.model();
+            match (row.ibrs_extra, indirect_call_cycles(&m, Dispatch::Ibrs)) {
+                (None, got) => assert!(got.is_none(), "{}: IBRS must be N/A", row.cpu),
+                (Some(want), Some(with_ibrs)) => {
+                    let baseline =
+                        indirect_call_cycles(&m, Dispatch::Baseline).unwrap();
+                    let extra = with_ibrs - baseline;
+                    assert!(
+                        (extra - want as f64).abs() <= (want as f64 * 0.35).max(4.0),
+                        "{}: IBRS extra {:.1} vs paper {}",
+                        row.cpu,
+                        extra,
+                        want
+                    );
+                }
+                (Some(_), None) => panic!("{}: expected an IBRS measurement", row.cpu),
+            }
+        }
+    }
+
+    #[test]
+    fn table6_ibpb_matches_paper() {
+        for (id, expect) in [
+            (CpuId::Broadwell, 5600.0),
+            (CpuId::CascadeLake, 340.0),
+            (CpuId::Zen, 7400.0),
+            (CpuId::Zen3, 800.0),
+        ] {
+            let got = ibpb_cycles(&id.model());
+            assert!((got - expect).abs() <= 2.0, "{id}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn table8_lfence_positive_and_ordered() {
+        // In-flight-load lfence cost reflects Table 8's per-part ordering.
+        let zen = lfence_cycles(&CpuId::Zen.model());
+        let zen2 = lfence_cycles(&CpuId::Zen2.model());
+        let icl = lfence_cycles(&CpuId::IceLakeClient.model());
+        let bdw = lfence_cycles(&CpuId::Broadwell.model());
+        assert!(zen > zen2, "Zen ({zen}) > Zen 2 ({zen2})");
+        assert!(bdw > icl, "Broadwell ({bdw}) > Ice Lake Client ({icl})");
+    }
+}

@@ -1,0 +1,297 @@
+//! The speculation probe: Figure 6's divider-counter technique, used to
+//! produce Tables 9 and 10.
+//!
+//! The probe trains the branch target buffer toward a "victim target"
+//! containing a divide instruction, then redirects the function pointer
+//! to a harmless target and watches the `ARITH.DIVIDER_ACTIVE`
+//! performance counter across the dispatch. If the counter moved, the
+//! victim target ran *speculatively* — architectural state never shows
+//! it. Training and victim dispatch can run in different privilege
+//! modes, with or without an intervening `syscall`, and with IBRS on or
+//! off, reproducing the paper's full matrix.
+//!
+//! Faithfulness note (Zen 3): the test dispatch deliberately enters the
+//! shared branch sequence through the "pointer overwrite" step, exactly
+//! as Figure 6's sketch does. On a part whose BTB lookup folds in exact
+//! branch history (our Zen 3 model, per the paper's §6.2 hypothesis),
+//! that entry-path difference alone defeats the poisoning — which is how
+//! the paper's own harness came up empty on Zen 3.
+
+use uarch::isa::{msr_index, spec_ctrl, Cond, Inst, Pmc, Reg, Width};
+use uarch::machine::{Machine, NoEnv};
+use uarch::mmu::{make_cr3, PageTable, Pte};
+use uarch::model::CpuModel;
+use uarch::predictor::PrivMode;
+use uarch::ProgramBuilder;
+
+/// One cell of Table 9/10: attacker mode → victim mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProbeConfig {
+    /// Mode the BTB is trained in.
+    pub train: PrivMode,
+    /// Mode the victim dispatch runs in.
+    pub victim: PrivMode,
+    /// Whether a `syscall`/`sysret` round trip separates training from
+    /// the victim.
+    pub intervening_syscall: bool,
+    /// Whether `IA32_SPEC_CTRL.IBRS` is set throughout.
+    pub ibrs: bool,
+}
+
+/// Result of one probe run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeResult {
+    /// The poisoned target executed speculatively (a ✓ in the table).
+    Speculated,
+    /// No speculative dispatch to the trained target (empty cell).
+    Blocked,
+    /// The configuration is not expressible (Zen has no IBRS).
+    NotApplicable,
+}
+
+/// Code layout for the probe scene.
+const VICTIM_TARGET: u64 = 0x5000;
+const NOP_TARGET: u64 = 0x6000;
+/// Training entry: BHB fill, then the shared dispatch tail.
+const TRAIN_ENTRY: u64 = 0x1000;
+/// Shared dispatch tail: pointer load + indirect call.
+const TAIL: u64 = 0x2000;
+/// Test entry: the pointer-overwrite step, then straight to the tail —
+/// so the victim dispatch executes with recent history that differs from
+/// every training run.
+const TEST_ENTRY: u64 = 0x0800;
+const SYSCALL_STUB: u64 = 0x7000;
+/// Data page holding the function pointer.
+const PTR_VADDR: u64 = 0x10_0000;
+const STACK_TOP: u64 = 0x20_0000;
+
+/// Runs the probe on the given CPU model and configuration.
+pub fn run(model: &CpuModel, config: ProbeConfig) -> ProbeResult {
+    if config.ibrs && !model.spec.ibrs_supported {
+        return ProbeResult::NotApplicable;
+    }
+    let mut m = Machine::new(model.clone());
+
+    // Address space: pointer page + stack, user-accessible (the paper
+    // shares the page between attacker and victim so all 64 address bits
+    // match, §6.1).
+    let mut pt = PageTable::new();
+    pt.map(PTR_VADDR, Pte::user(0x100));
+    pt.map_range(STACK_TOP - 0x4000, 0x200, 4, Pte::user(0));
+    let table = m.mmu.register_table(pt);
+    assert!(m.mmu.load_cr3(make_cr3(table, 0, false)));
+    m.set_reg(Reg::SP, STACK_TOP - 64);
+
+    // victim_target: `int c = 12345 / 6789;` then return (Figure 6).
+    let mut b = ProgramBuilder::new();
+    b.mov_imm(Reg::R6, 12345);
+    b.mov_imm(Reg::R7, 6789);
+    b.push(Inst::Div(Reg::R6, Reg::R7));
+    b.push(Inst::Ret);
+    m.load_program(b.link(VICTIM_TARGET));
+
+    // nop_target: do nothing.
+    let mut b = ProgramBuilder::new();
+    b.push(Inst::Ret);
+    m.load_program(b.link(NOP_TARGET));
+
+    // The shared dispatch tail: reload the (clflushed) pointer and make
+    // the indirect call. The rdpmc bracketing from Figure 6 is done by
+    // the Rust driver, which reads the machine's counter bank directly —
+    // identical information, less boilerplate.
+    let mut b = ProgramBuilder::new();
+    b.mov_imm(Reg::R9, PTR_VADDR);
+    b.push(Inst::Clflush(Reg::R9));
+    b.push(Inst::Load { dst: Reg::R10, base: Reg::R9, offset: 0, width: Width::B8 });
+    b.push(Inst::CallInd(Reg::R10));
+    b.push(Inst::Halt);
+    m.load_program(b.link(TAIL));
+
+    // divide_happened()'s training body: fill the branch history buffer,
+    // then dispatch through the tail.
+    let mut b = ProgramBuilder::new();
+    let fill = b.new_label();
+    b.mov_imm(Reg::R8, 128);
+    b.bind(fill);
+    b.push(Inst::SubImm(Reg::R8, 1));
+    b.cmp_imm(Reg::R8, 0);
+    b.jcc(Cond::Ne, fill);
+    b.push(Inst::Jmp(TAIL));
+    m.load_program(b.link(TRAIN_ENTRY));
+
+    // Test entry: the "potentially overwrite the entry" step — a store to
+    // the pointer, then the tail. The victim dispatch therefore executes
+    // with recent branch history that differs from the training runs;
+    // only history-conditioned BTBs (Zen 3) care.
+    let mut b = ProgramBuilder::new();
+    b.mov_imm(Reg::R9, PTR_VADDR);
+    b.mov_imm(Reg::R10, NOP_TARGET);
+    b.push(Inst::Store { src: Reg::R10, base: Reg::R9, offset: 0, width: Width::B8 });
+    // Drain the store buffer so the tail's pointer reload cannot
+    // speculatively bypass the overwrite (that would be a Speculative
+    // Store Bypass dispatch hijack — a real attack, but a different
+    // experiment; see `attacks::ssb`).
+    b.push(Inst::Mfence);
+    b.push(Inst::Jmp(TAIL));
+    m.load_program(b.link(TEST_ENTRY));
+
+    // Minimal syscall stub for the intervening round trip.
+    let mut b = ProgramBuilder::new();
+    b.push(Inst::Sysret);
+    m.load_program(b.link(SYSCALL_STUB));
+    m.syscall_entry = Some(SYSCALL_STUB);
+    // And a tiny user program that performs the syscall.
+    let mut b = ProgramBuilder::new();
+    b.push(Inst::Syscall);
+    b.push(Inst::Halt);
+    m.load_program(b.link(0x7800));
+
+    if config.ibrs {
+        m.mode = PrivMode::Kernel;
+        m.msrs
+            .write(msr_index::IA32_SPEC_CTRL, spec_ctrl::IBRS)
+            .expect("IBRS bit accepted");
+    }
+
+    // Point the shared pointer at the victim and train.
+    m.mem.write_u64(0x100 << 12, VICTIM_TARGET);
+    for _ in 0..8 {
+        m.bhb.clear();
+        m.mode = config.train;
+        m.pc = TRAIN_ENTRY;
+        m.run(&mut NoEnv, 10_000).expect("training run");
+    }
+
+    // Optional intervening syscall round trip (runs in user mode).
+    if config.intervening_syscall {
+        m.mode = PrivMode::User;
+        m.pc = 0x7800;
+        m.run(&mut NoEnv, 1_000).expect("syscall round trip");
+    }
+
+    // Victim dispatch: enter through the overwrite step, in victim mode,
+    // watching the divider counter.
+    m.bhb.clear();
+    m.mode = config.victim;
+    m.pc = TEST_ENTRY;
+    let before = m.pmc.read(Pmc::DividerActive);
+    m.run(&mut NoEnv, 10_000).expect("victim run");
+    let after = m.pmc.read(Pmc::DividerActive);
+
+    if after > before {
+        ProbeResult::Speculated
+    } else {
+        ProbeResult::Blocked
+    }
+}
+
+/// The five columns of Tables 9/10, in the paper's order.
+pub fn columns() -> [(&'static str, ProbeConfig); 5] {
+    use PrivMode::{Kernel, User};
+    let c = |train, victim, syscall| ProbeConfig {
+        train,
+        victim,
+        intervening_syscall: syscall,
+        ibrs: false,
+    };
+    [
+        ("syscall user->kernel", c(User, Kernel, true)),
+        ("syscall user->user", c(User, User, true)),
+        ("syscall kernel->kernel", c(Kernel, Kernel, true)),
+        ("nosyscall user->user", c(User, User, false)),
+        ("nosyscall kernel->kernel", c(Kernel, Kernel, false)),
+    ]
+}
+
+/// A full row (one CPU) of Table 9 (`ibrs = false`) or Table 10
+/// (`ibrs = true`).
+pub fn table_row(model: &CpuModel, ibrs: bool) -> Vec<(&'static str, ProbeResult)> {
+    columns()
+        .into_iter()
+        .map(|(name, mut cfg)| {
+            cfg.ibrs = ibrs;
+            (name, run(model, cfg))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpu_models::CpuId;
+
+    fn speculated(model: &CpuModel, train: PrivMode, victim: PrivMode, ibrs: bool) -> bool {
+        run(
+            model,
+            ProbeConfig { train, victim, intervening_syscall: train != victim, ibrs },
+        ) == ProbeResult::Speculated
+    }
+
+    #[test]
+    fn table9_matches_paper() {
+        use PrivMode::{Kernel, User};
+        // Expected ✓ cells per Table 9 (IBRS disabled):
+        // columns: u->k, u->u, k->k (same for both syscall variants).
+        for id in CpuId::ALL {
+            let m = id.model();
+            let (uk, uu, kk) = match id {
+                CpuId::Broadwell
+                | CpuId::SkylakeClient
+                | CpuId::Zen
+                | CpuId::Zen2 => (true, true, true),
+                CpuId::CascadeLake | CpuId::IceLakeClient | CpuId::IceLakeServer => {
+                    (false, true, true)
+                }
+                CpuId::Zen3 => (false, false, false),
+            };
+            assert_eq!(speculated(&m, User, Kernel, false), uk, "{id} user->kernel");
+            assert_eq!(speculated(&m, User, User, false), uu, "{id} user->user");
+            assert_eq!(speculated(&m, Kernel, Kernel, false), kk, "{id} kernel->kernel");
+        }
+    }
+
+    #[test]
+    fn table10_matches_paper() {
+        use PrivMode::{Kernel, User};
+        for id in CpuId::ALL {
+            let m = id.model();
+            if id == CpuId::Zen {
+                // Zen has no IBRS: every cell N/A.
+                for (name, cfg) in columns() {
+                    let mut cfg = cfg;
+                    cfg.ibrs = true;
+                    assert_eq!(run(&m, cfg), ProbeResult::NotApplicable, "{id} {name}");
+                }
+                continue;
+            }
+            let (uk, uu, kk) = match id {
+                // Pre-Spectre IBRS blocks everything (§6.2.1).
+                CpuId::Broadwell | CpuId::SkylakeClient => (false, false, false),
+                CpuId::CascadeLake | CpuId::IceLakeServer => (false, true, true),
+                // Ice Lake Client: kernel-mode prediction suppressed.
+                CpuId::IceLakeClient => (false, true, false),
+                // AMD IBRS blocks everything; Zen 3 is blocked regardless.
+                CpuId::Zen2 | CpuId::Zen3 => (false, false, false),
+                CpuId::Zen => unreachable!(),
+            };
+            assert_eq!(speculated(&m, User, Kernel, true), uk, "{id} user->kernel");
+            assert_eq!(speculated(&m, User, User, true), uu, "{id} user->user");
+            assert_eq!(speculated(&m, Kernel, Kernel, true), kk, "{id} kernel->kernel");
+        }
+    }
+
+    #[test]
+    fn kernel_to_user_matches_user_to_kernel() {
+        // §6.2: "the same attacks processors vulnerable to the
+        // user→kernel version were vulnerable to a kernel→user attack".
+        use PrivMode::{Kernel, User};
+        for id in CpuId::ALL {
+            let m = id.model();
+            assert_eq!(
+                speculated(&m, Kernel, User, false),
+                speculated(&m, User, Kernel, false),
+                "{id}"
+            );
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! Statistical machinery for the paper's measurement methodology (§4.1).
+//!
+//! The paper found run-to-run variability "frequently on the same scale
+//! as the overheads we were trying to measure" and responded by running
+//! each configuration repeatedly, tracking the mean and 95% confidence
+//! interval, and stopping once the error was small enough. This module
+//! implements exactly that: an online accumulator, Student-t confidence
+//! intervals, and geometric means.
+
+/// Online mean/variance accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct Accumulator {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Accumulator {
+        Accumulator::default()
+    }
+
+    /// Adds a sample.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 for fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn stderr(&self) -> f64 {
+        if self.n == 0 {
+            f64::INFINITY
+        } else {
+            self.stddev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Half-width of the 95% confidence interval around the mean.
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            return f64::INFINITY;
+        }
+        t_critical_95(self.n - 1) * self.stderr()
+    }
+}
+
+/// Two-sided 95% Student-t critical value for `dof` degrees of freedom.
+pub fn t_critical_95(dof: u64) -> f64 {
+    // Table for small dof; normal approximation beyond.
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    match dof {
+        0 => f64::INFINITY,
+        d if d <= 30 => TABLE[(d - 1) as usize],
+        d if d <= 60 => 2.00,
+        d if d <= 120 => 1.98,
+        _ => 1.96,
+    }
+}
+
+/// A finished measurement: mean with its 95% CI.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Sample mean.
+    pub mean: f64,
+    /// Half-width of the 95% confidence interval.
+    pub ci95: f64,
+    /// Samples taken.
+    pub n: u64,
+}
+
+impl Measurement {
+    /// Relative CI (half-width / mean).
+    pub fn relative_ci(&self) -> f64 {
+        if self.mean == 0.0 {
+            f64::INFINITY
+        } else {
+            self.ci95 / self.mean.abs()
+        }
+    }
+
+    /// Whether this measurement's CI overlaps another's.
+    pub fn overlaps(&self, other: &Measurement) -> bool {
+        (self.mean - other.mean).abs() <= self.ci95 + other.ci95
+    }
+}
+
+/// Stopping policy for adaptive measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct StopPolicy {
+    /// Minimum repetitions before the CI is trusted.
+    pub min_runs: u64,
+    /// Maximum repetitions (cap).
+    pub max_runs: u64,
+    /// Stop when `ci95 / mean` falls below this.
+    pub target_relative_ci: f64,
+}
+
+impl Default for StopPolicy {
+    fn default() -> StopPolicy {
+        StopPolicy { min_runs: 5, max_runs: 40, target_relative_ci: 0.01 }
+    }
+}
+
+/// Repeatedly samples `f` until the 95% CI is tight enough (paper §4.1's
+/// "stopping once the error was small enough").
+pub fn measure_until(policy: StopPolicy, mut f: impl FnMut() -> f64) -> Measurement {
+    let mut acc = Accumulator::new();
+    loop {
+        acc.add(f());
+        let n = acc.count();
+        if n >= policy.min_runs {
+            let ci = acc.ci95_half_width();
+            if ci / acc.mean().abs() <= policy.target_relative_ci || n >= policy.max_runs {
+                return Measurement { mean: acc.mean(), ci95: ci, n };
+            }
+        }
+    }
+}
+
+/// Geometric mean of positive values.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of empty slice");
+    let s: f64 = values.iter().map(|v| v.ln()).sum();
+    (s / values.len() as f64).exp()
+}
+
+/// Seeded multiplicative log-normal noise, modelling the run-to-run
+/// variability of real machines ("benchmark scores for individual runs
+/// ... would vary by a couple percent each time", §4.1).
+#[derive(Debug, Clone)]
+pub struct NoiseModel {
+    sigma: f64,
+    state: u64,
+}
+
+impl NoiseModel {
+    /// Creates a noise source with the given log-sigma and seed.
+    pub fn new(sigma: f64, seed: u64) -> NoiseModel {
+        NoiseModel { sigma, state: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1 }
+    }
+
+    /// Paper-like defaults: ~1% run-to-run sigma.
+    pub fn paper_default(seed: u64) -> NoiseModel {
+        NoiseModel::new(0.01, seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64*.
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn next_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Standard normal via Box–Muller.
+    fn next_gaussian(&mut self) -> f64 {
+        let u1 = self.next_unit().max(1e-12);
+        let u2 = self.next_unit();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// A multiplicative noise factor, log-normal around 1.0.
+    pub fn factor(&mut self) -> f64 {
+        (self.sigma * self.next_gaussian()).exp()
+    }
+
+    /// Applies noise to a value.
+    pub fn apply(&mut self, value: f64) -> f64 {
+        value * self.factor()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_mean_and_variance() {
+        let mut a = Accumulator::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            a.add(x);
+        }
+        assert_eq!(a.count(), 8);
+        assert!((a.mean() - 5.0).abs() < 1e-12);
+        // Sample variance of this classic set is 32/7.
+        assert!((a.variance() - 32.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let mut a = Accumulator::new();
+        a.add(10.0);
+        a.add(10.5);
+        let wide = a.ci95_half_width();
+        for _ in 0..100 {
+            a.add(10.0);
+            a.add(10.5);
+        }
+        assert!(a.ci95_half_width() < wide / 3.0);
+    }
+
+    #[test]
+    fn t_table_monotone_towards_normal() {
+        assert!(t_critical_95(1) > t_critical_95(5));
+        assert!(t_critical_95(5) > t_critical_95(30));
+        assert!((t_critical_95(10_000) - 1.96).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measure_until_stops_on_tight_ci() {
+        let mut i = 0u64;
+        let m = measure_until(StopPolicy::default(), || {
+            i += 1;
+            100.0 + (i % 2) as f64 * 0.1 // tiny alternation
+        });
+        assert!(m.n >= 5);
+        assert!(m.relative_ci() <= 0.01 || m.n == StopPolicy::default().max_runs);
+        assert!((m.mean - 100.05).abs() < 0.1);
+    }
+
+    #[test]
+    fn measure_until_respects_cap() {
+        let mut alt = false;
+        let m = measure_until(
+            StopPolicy { min_runs: 3, max_runs: 7, target_relative_ci: 1e-9 },
+            || {
+                alt = !alt;
+                if alt {
+                    50.0
+                } else {
+                    150.0
+                }
+            },
+        );
+        assert_eq!(m.n, 7);
+    }
+
+    #[test]
+    fn geomean_of_constants() {
+        assert!((geomean(&[4.0, 4.0, 4.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_is_seeded_and_centred() {
+        let mut n1 = NoiseModel::paper_default(7);
+        let mut n2 = NoiseModel::paper_default(7);
+        assert_eq!(n1.factor(), n2.factor(), "same seed, same stream");
+        let mut acc = Accumulator::new();
+        let mut n = NoiseModel::paper_default(42);
+        for _ in 0..2000 {
+            acc.add(n.factor());
+        }
+        assert!((acc.mean() - 1.0).abs() < 0.01, "mean {}", acc.mean());
+        assert!(acc.stddev() < 0.05);
+    }
+
+    #[test]
+    fn measurement_overlap() {
+        let a = Measurement { mean: 100.0, ci95: 2.0, n: 10 };
+        let b = Measurement { mean: 103.0, ci95: 1.5, n: 10 };
+        assert!(a.overlaps(&b));
+        let c = Measurement { mean: 110.0, ci95: 1.0, n: 10 };
+        assert!(!a.overlaps(&c));
+    }
+}

@@ -1,0 +1,407 @@
+//! The eight CPU descriptors (paper Table 2), fully parameterized.
+//!
+//! Each builder starts from [`Common`] defaults and overrides: identity
+//! (Table 2), vulnerability flags (Table 1 and vendor disclosures),
+//! paper-calibrated latencies (Tables 3–8), and speculation quirks
+//! (Tables 9/10, §6.2).
+//!
+//! `ret_mispredict` is derived so that the *measured* generic-retpoline
+//! overhead on the simulator reproduces Table 5's "Generic" column: the
+//! thunk sequence costs roughly `call + call + store + ret + pop ≈ 15`
+//! cycles of committed work on top of the `ret` misprediction, replacing
+//! an `indirect_branch`-cycle predicted branch. The calibration test in
+//! the `spectrebench` crate checks the emergent numbers.
+
+use uarch::model::{CpuModel, Vendor, VulnProfile};
+
+use crate::Common;
+
+/// Intel E5-2640v4 — Broadwell (2014). Pre-Spectre design: vulnerable to
+/// everything, all software mitigations required.
+pub fn broadwell() -> CpuModel {
+    let mut lat = Common::base_latency();
+    lat.div = 24;
+    lat.l1_miss = 210;
+    lat.syscall = 49;
+    lat.sysret = 40;
+    lat.swap_cr3 = 206;
+    lat.verw_clear = 610;
+    lat.indirect_branch = 16;
+    lat.ibrs_indirect_extra = 32;
+    lat.generic_retpoline_extra = 28;
+    lat.ibpb = 5600;
+    lat.rsb_fill = 130;
+    lat.lfence = 28;
+    lat.wrmsr_spec_ctrl = 550;
+    lat.mispredict_penalty = 20;
+    lat.indirect_mispredict = 32;
+    lat.ret_mispredict = 29;
+    lat.ssbd_forward_stall = 2;
+    lat.l1d_flush = 2600;
+    lat.vmentry = 900;
+    lat.vmexit = 1400;
+
+    let mut spec = Common::base_spec();
+    spec.md_clear = true;
+    spec.ibrs_blocks_all_prediction = true;
+    spec.rsb_entries = 16;
+
+    CpuModel {
+        name: "E5-2640v4",
+        microarch: "Broadwell",
+        vendor: Vendor::Intel,
+        year: 2014,
+        power_watts: 90,
+        clock_ghz: 2.4,
+        cores: 10,
+        vuln: VulnProfile::pre_spectre_intel(),
+        lat,
+        spec,
+    }
+}
+
+/// Intel i7-6600U — Skylake Client (2015). Pre-Spectre design.
+pub fn skylake_client() -> CpuModel {
+    let mut lat = Common::base_latency();
+    lat.div = 22;
+    lat.l1_miss = 200;
+    lat.syscall = 42;
+    lat.sysret = 42;
+    lat.swap_cr3 = 191;
+    lat.verw_clear = 518;
+    lat.indirect_branch = 11;
+    lat.ibrs_indirect_extra = 15;
+    lat.generic_retpoline_extra = 19;
+    lat.ibpb = 4500;
+    lat.rsb_fill = 130;
+    lat.lfence = 20;
+    lat.wrmsr_spec_ctrl = 480;
+    lat.mispredict_penalty = 18;
+    lat.indirect_mispredict = 15;
+    lat.ret_mispredict = 15;
+    lat.ssbd_forward_stall = 2;
+    lat.l1d_flush = 2200;
+    lat.vmentry = 850;
+    lat.vmexit = 1300;
+
+    let mut spec = Common::base_spec();
+    spec.md_clear = true;
+    spec.ibrs_blocks_all_prediction = true;
+    spec.rsb_entries = 16;
+
+    CpuModel {
+        name: "i7-6600U",
+        microarch: "Skylake Client",
+        vendor: Vendor::Intel,
+        year: 2015,
+        power_watts: 15,
+        clock_ghz: 2.6,
+        cores: 2,
+        vuln: VulnProfile::pre_spectre_intel(),
+        lat,
+        spec,
+    }
+}
+
+/// Intel Xeon Silver 4210R — Cascade Lake (2019). Meltdown/L1TF fixed in
+/// hardware; still MDS-vulnerable; first generation with eIBRS.
+pub fn cascade_lake() -> CpuModel {
+    let mut lat = Common::base_latency();
+    lat.div = 18;
+    lat.l1_miss = 190;
+    lat.syscall = 70;
+    lat.sysret = 43;
+    lat.swap_cr3 = 185;
+    lat.verw_clear = 458;
+    lat.indirect_branch = 3;
+    lat.ibrs_indirect_extra = 0;
+    lat.generic_retpoline_extra = 49;
+    lat.ibpb = 340;
+    lat.rsb_fill = 120;
+    lat.lfence = 15;
+    lat.wrmsr_spec_ctrl = 300;
+    lat.mispredict_penalty = 17;
+    lat.indirect_mispredict = 45;
+    lat.ret_mispredict = 37;
+    lat.ssbd_forward_stall = 3;
+    lat.eibrs_periodic_flush = 210;
+
+    let mut spec = Common::base_spec();
+    spec.md_clear = true;
+    spec.eibrs = true;
+    spec.btb_priv_tagged = true;
+    spec.eibrs_flush_interval = 8;
+    spec.rsb_entries = 16;
+
+    let mut vuln = VulnProfile::pre_spectre_intel();
+    vuln.meltdown = false;
+    vuln.l1tf = false;
+    vuln.lazy_fp = false;
+
+    CpuModel {
+        name: "Xeon Silver 4210R",
+        microarch: "Cascade Lake",
+        vendor: Vendor::Intel,
+        year: 2019,
+        power_watts: 100,
+        clock_ghz: 2.4,
+        cores: 10,
+        vuln,
+        lat,
+        spec,
+    }
+}
+
+/// Intel i5-10351G1 — Ice Lake Client (2019). MDS fixed; low-clock mobile
+/// part (which the paper notes tends to show fewer cycles).
+pub fn ice_lake_client() -> CpuModel {
+    let mut lat = Common::base_latency();
+    lat.div = 14;
+    lat.l1_miss = 120;
+    lat.syscall = 21;
+    lat.sysret = 29;
+    lat.swap_cr3 = 150;
+    lat.verw_legacy = 15;
+    lat.indirect_branch = 5;
+    lat.ibrs_indirect_extra = 0;
+    lat.generic_retpoline_extra = 21;
+    lat.ibpb = 2500;
+    lat.rsb_fill = 40;
+    lat.lfence = 8;
+    lat.wrmsr_spec_ctrl = 350;
+    lat.mispredict_penalty = 14;
+    lat.indirect_mispredict = 20;
+    lat.ret_mispredict = 11;
+    lat.ssbd_forward_stall = 4;
+    lat.vmentry = 600;
+    lat.vmexit = 1000;
+    lat.kernel_entry_base = 50;
+    lat.eibrs_periodic_flush = 210;
+
+    let mut spec = Common::base_spec();
+    spec.eibrs = true;
+    spec.btb_priv_tagged = true;
+    spec.ibrs_blocks_kernel_mode = true;
+    spec.eibrs_flush_interval = 12;
+    spec.rsb_entries = 32;
+
+    let mut vuln = VulnProfile::pre_spectre_intel();
+    vuln.meltdown = false;
+    vuln.l1tf = false;
+    vuln.mds = false;
+    vuln.lazy_fp = false;
+
+    CpuModel {
+        name: "i5-10351G1",
+        microarch: "Ice Lake Client",
+        vendor: Vendor::Intel,
+        year: 2019,
+        power_watts: 15,
+        clock_ghz: 1.0,
+        cores: 4,
+        vuln,
+        lat,
+        spec,
+    }
+}
+
+/// Intel Xeon Gold 6354 — Ice Lake Server (2021). A separately designed
+/// microarchitecture from Ice Lake Client despite the shared name.
+pub fn ice_lake_server() -> CpuModel {
+    let mut lat = Common::base_latency();
+    lat.div = 15;
+    lat.l1_miss = 180;
+    lat.syscall = 45;
+    lat.sysret = 32;
+    lat.swap_cr3 = 170;
+    lat.verw_legacy = 12;
+    lat.indirect_branch = 1;
+    lat.ibrs_indirect_extra = 1;
+    lat.generic_retpoline_extra = 50;
+    lat.ibpb = 840;
+    lat.rsb_fill = 69;
+    lat.lfence = 13;
+    lat.wrmsr_spec_ctrl = 280;
+    lat.mispredict_penalty = 17;
+    lat.indirect_mispredict = 48;
+    lat.ret_mispredict = 36;
+    lat.ssbd_forward_stall = 5;
+    lat.vmentry = 550;
+    lat.vmexit = 900;
+    lat.eibrs_periodic_flush = 210;
+
+    let mut spec = Common::base_spec();
+    spec.eibrs = true;
+    spec.btb_priv_tagged = true;
+    spec.eibrs_flush_interval = 16;
+    spec.rsb_entries = 32;
+
+    let mut vuln = VulnProfile::pre_spectre_intel();
+    vuln.meltdown = false;
+    vuln.l1tf = false;
+    vuln.mds = false;
+    vuln.lazy_fp = false;
+
+    CpuModel {
+        name: "Xeon Gold 6354",
+        microarch: "Ice Lake Server",
+        vendor: Vendor::Intel,
+        year: 2021,
+        power_watts: 205,
+        clock_ghz: 3.0,
+        cores: 18,
+        vuln,
+        lat,
+        spec,
+    }
+}
+
+/// AMD Ryzen 3 1200 — Zen (2017). Never vulnerable to the Meltdown class;
+/// no IBRS support (Table 10 marks it N/A); the only non-SMT part.
+pub fn zen() -> CpuModel {
+    let mut lat = Common::base_latency();
+    lat.div = 16;
+    lat.l1_miss = 190;
+    lat.syscall = 63;
+    lat.sysret = 53;
+    lat.swap_cr3 = 180;
+    lat.verw_legacy = 25;
+    lat.indirect_branch = 30;
+    lat.generic_retpoline_extra = 25;
+    lat.amd_retpoline_extra = 28;
+    lat.ibpb = 7400;
+    lat.rsb_fill = 114;
+    lat.lfence = 48;
+    lat.mispredict_penalty = 19;
+    lat.indirect_mispredict = 28;
+    lat.ret_mispredict = 40;
+    lat.ssbd_forward_stall = 1;
+    lat.vmentry = 800;
+    lat.vmexit = 1250;
+
+    let mut spec = Common::base_spec();
+    spec.ibrs_supported = false;
+    spec.pcid = false;
+    spec.smt = false;
+    spec.rsb_entries = 16;
+
+    CpuModel {
+        name: "Ryzen 3 1200",
+        microarch: "Zen",
+        vendor: Vendor::Amd,
+        year: 2017,
+        power_watts: 65,
+        clock_ghz: 3.1,
+        cores: 4,
+        vuln: VulnProfile::amd(),
+        lat,
+        spec,
+    }
+}
+
+/// AMD EPYC 7452 — Zen 2 (2019).
+pub fn zen2() -> CpuModel {
+    let mut lat = Common::base_latency();
+    lat.div = 14;
+    lat.l1_miss = 180;
+    lat.syscall = 53;
+    lat.sysret = 46;
+    lat.swap_cr3 = 175;
+    lat.verw_legacy = 10;
+    lat.indirect_branch = 3;
+    lat.ibrs_indirect_extra = 13;
+    lat.generic_retpoline_extra = 14;
+    lat.amd_retpoline_extra = 0;
+    lat.ibpb = 1100;
+    lat.rsb_fill = 68;
+    lat.lfence = 4;
+    lat.wrmsr_spec_ctrl = 320;
+    lat.mispredict_penalty = 16;
+    lat.indirect_mispredict = 13;
+    lat.ret_mispredict = 4;
+    lat.ssbd_forward_stall = 3;
+    lat.vmentry = 700;
+    lat.vmexit = 1100;
+
+    let mut spec = Common::base_spec();
+    spec.ibrs_blocks_all_prediction = true;
+    spec.pcid = false;
+    spec.rsb_entries = 32;
+
+    CpuModel {
+        name: "EPYC 7452",
+        microarch: "Zen 2",
+        vendor: Vendor::Amd,
+        year: 2019,
+        power_watts: 155,
+        clock_ghz: 2.35,
+        cores: 32,
+        vuln: VulnProfile::amd(),
+        lat,
+        spec,
+    }
+}
+
+/// AMD Ryzen 5 5600X — Zen 3 (2020). The paper's probe could not poison
+/// its BTB at all (§6.2), modelled as branch-history tagging.
+pub fn zen3() -> CpuModel {
+    let mut lat = Common::base_latency();
+    lat.div = 12;
+    lat.l1_miss = 170;
+    lat.syscall = 83;
+    lat.sysret = 55;
+    lat.swap_cr3 = 170;
+    lat.verw_legacy = 20;
+    lat.indirect_branch = 23;
+    lat.ibrs_indirect_extra = 19;
+    lat.generic_retpoline_extra = 13;
+    lat.amd_retpoline_extra = 18;
+    lat.ibpb = 800;
+    lat.rsb_fill = 94;
+    lat.lfence = 30;
+    lat.wrmsr_spec_ctrl = 280;
+    lat.mispredict_penalty = 15;
+    lat.indirect_mispredict = 19;
+    lat.ret_mispredict = 21;
+    lat.ssbd_forward_stall = 6;
+    lat.vmentry = 600;
+    lat.vmexit = 950;
+
+    let mut spec = Common::base_spec();
+    spec.ibrs_blocks_all_prediction = true;
+    // Branch-history-conditioned BTB indexing: an indirect branch only
+    // predicts when the recent history matches the training context. A
+    // steady loop predicts perfectly (its history window is identical
+    // each iteration), but any path difference into the branch defeats
+    // cross-context poisoning — the paper's §6.2 hypothesis for why its
+    // probe came up empty on this part.
+    spec.btb_history_tagged = true;
+    spec.rsb_entries = 32;
+
+    CpuModel {
+        name: "Ryzen 5 5600X",
+        microarch: "Zen 3",
+        vendor: Vendor::Amd,
+        year: 2020,
+        power_watts: 65,
+        clock_ghz: 3.7,
+        cores: 6,
+        vuln: VulnProfile::amd(),
+        lat,
+        spec,
+    }
+}
+
+/// All eight models in Table 2 order.
+pub fn all_models() -> Vec<CpuModel> {
+    vec![
+        broadwell(),
+        skylake_client(),
+        cascade_lake(),
+        ice_lake_client(),
+        ice_lake_server(),
+        zen(),
+        zen2(),
+        zen3(),
+    ]
+}

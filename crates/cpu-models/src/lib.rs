@@ -1,0 +1,421 @@
+//! # cpu-models — the eight CPUs the paper evaluates
+//!
+//! Concrete [`CpuModel`](uarch::model::CpuModel) descriptors for the
+//! processors in Table 2 of *"Performance Evolution of Mitigating
+//! Transient Execution Attacks"* (EuroSys 2022): five Intel
+//! microarchitectures (Broadwell, Skylake Client, Cascade Lake, Ice Lake
+//! Client, Ice Lake Server) and three AMD (Zen, Zen 2, Zen 3).
+//!
+//! ## Calibration
+//!
+//! Primitive latencies are taken from the paper's own microbenchmarks:
+//!
+//! | field | source |
+//! |---|---|
+//! | `syscall`, `sysret`, `swap_cr3` | Table 3 |
+//! | `verw_clear` | Table 4 |
+//! | `indirect_branch`, `indirect_mispredict`, `ret_mispredict` | Table 5 |
+//! | `ibpb` | Table 6 |
+//! | `rsb_fill` | Table 7 |
+//! | `lfence` | Table 8 |
+//!
+//! Vulnerability flags and speculation quirks come from Table 1 and the
+//! §6 speculation study (Tables 9/10). Everything *not* directly reported
+//! by the paper (cache miss latency, divider latency, SSBD stall, VM
+//! transition costs) is set to plausible generation-appropriate values;
+//! `EXPERIMENTS.md` records which results depend on them.
+
+use uarch::model::{LatencyProfile, SpecProfile, Vendor};
+
+mod catalog;
+mod tables;
+
+pub use catalog::{
+    all_models, broadwell, cascade_lake, ice_lake_client, ice_lake_server, skylake_client, zen,
+    zen2, zen3,
+};
+pub use tables::{paper_table3, paper_table5, PaperTable3Row, PaperTable5Row};
+
+/// Identifier for one of the paper's eight CPUs, in Table 2 order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CpuId {
+    /// Intel E5-2640v4 (Broadwell, 2014).
+    Broadwell,
+    /// Intel i7-6600U (Skylake Client, 2015).
+    SkylakeClient,
+    /// Intel Xeon Silver 4210R (Cascade Lake, 2019).
+    CascadeLake,
+    /// Intel i5-10351G1 (Ice Lake Client, 2019).
+    IceLakeClient,
+    /// Intel Xeon Gold 6354 (Ice Lake Server, 2021).
+    IceLakeServer,
+    /// AMD Ryzen 3 1200 (Zen, 2017).
+    Zen,
+    /// AMD EPYC 7452 (Zen 2, 2019).
+    Zen2,
+    /// AMD Ryzen 5 5600X (Zen 3, 2020).
+    Zen3,
+}
+
+impl CpuId {
+    /// All eight CPUs in Table 2 order (Intel first, then AMD).
+    pub const ALL: [CpuId; 8] = [
+        CpuId::Broadwell,
+        CpuId::SkylakeClient,
+        CpuId::CascadeLake,
+        CpuId::IceLakeClient,
+        CpuId::IceLakeServer,
+        CpuId::Zen,
+        CpuId::Zen2,
+        CpuId::Zen3,
+    ];
+
+    /// Builds the model for this CPU.
+    pub fn model(self) -> uarch::model::CpuModel {
+        match self {
+            CpuId::Broadwell => broadwell(),
+            CpuId::SkylakeClient => skylake_client(),
+            CpuId::CascadeLake => cascade_lake(),
+            CpuId::IceLakeClient => ice_lake_client(),
+            CpuId::IceLakeServer => ice_lake_server(),
+            CpuId::Zen => zen(),
+            CpuId::Zen2 => zen2(),
+            CpuId::Zen3 => zen3(),
+        }
+    }
+
+    /// The microarchitecture name as the paper prints it.
+    pub fn microarch(self) -> &'static str {
+        match self {
+            CpuId::Broadwell => "Broadwell",
+            CpuId::SkylakeClient => "Skylake Client",
+            CpuId::CascadeLake => "Cascade Lake",
+            CpuId::IceLakeClient => "Ice Lake Client",
+            CpuId::IceLakeServer => "Ice Lake Server",
+            CpuId::Zen => "Zen",
+            CpuId::Zen2 => "Zen 2",
+            CpuId::Zen3 => "Zen 3",
+        }
+    }
+
+    /// The vendor.
+    pub fn vendor(self) -> Vendor {
+        match self {
+            CpuId::Zen | CpuId::Zen2 | CpuId::Zen3 => Vendor::Amd,
+            _ => Vendor::Intel,
+        }
+    }
+}
+
+impl std::fmt::Display for CpuId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.microarch())
+    }
+}
+
+/// Shared baseline knobs the individual models specialize.
+pub(crate) struct Common;
+
+impl Common {
+    /// Latencies every model starts from; fields with paper sources are
+    /// overwritten per model in `catalog`.
+    pub(crate) fn base_latency() -> LatencyProfile {
+        LatencyProfile {
+            alu: 1,
+            div: 20,
+            l1_hit: 4,
+            l2_hit: 14,
+            l1_miss: 200,
+            tlb_miss: 40,
+            syscall: 50,
+            sysret: 40,
+            swap_cr3: 190,
+            verw_clear: 0,
+            verw_legacy: 20,
+            indirect_branch: 10,
+            ibrs_indirect_extra: 0,
+            generic_retpoline_extra: 0,
+            amd_retpoline_extra: 0,
+            ibpb: 1000,
+            rsb_fill: 100,
+            lfence: 15,
+            wrmsr_spec_ctrl: 300,
+            mispredict_penalty: 18,
+            indirect_mispredict: 25,
+            ret_mispredict: 30,
+            ssbd_forward_stall: 40,
+            xsave: 90,
+            xrstor: 90,
+            fpu_trap: 800,
+            l1d_flush: 2000,
+            vmentry: 700,
+            vmexit: 1100,
+            kernel_entry_base: 70,
+            eibrs_periodic_flush: 0,
+        }
+    }
+
+    /// Speculation defaults.
+    pub(crate) fn base_spec() -> SpecProfile {
+        SpecProfile {
+            window: 48,
+            btb_entries: 4096,
+            rsb_entries: 16,
+            bhb_len: 16,
+            eibrs: false,
+            ibrs_supported: true,
+            ibpb_supported: true,
+            ssbd_supported: true,
+            md_clear: false,
+            pcid: true,
+            xsaveopt: true,
+            btb_priv_tagged: false,
+            ibrs_blocks_all_prediction: false,
+            btb_history_tagged: false,
+            ibrs_blocks_kernel_mode: false,
+            eibrs_flush_interval: 0,
+            smt: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uarch::isa::arch_caps;
+
+    #[test]
+    fn catalog_has_eight_distinct_models() {
+        let models = all_models();
+        assert_eq!(models.len(), 8);
+        let mut names: Vec<_> = models.iter().map(|m| m.microarch).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 8, "microarchitecture names must be unique");
+    }
+
+    #[test]
+    fn table2_identity_fields() {
+        // Spot-check Table 2 rows.
+        let b = broadwell();
+        assert_eq!(b.name, "E5-2640v4");
+        assert_eq!(b.power_watts, 90);
+        assert_eq!(b.clock_ghz, 2.4);
+        assert_eq!(b.cores, 10);
+        let z = zen();
+        assert_eq!(z.name, "Ryzen 3 1200");
+        assert!(!z.spec.smt, "Ryzen 3 1200 is the only non-SMT part");
+        let icx = ice_lake_server();
+        assert_eq!(icx.power_watts, 205);
+        assert_eq!(icx.cores, 18);
+        for id in CpuId::ALL {
+            let m = id.model();
+            assert_eq!(m.vendor, id.vendor());
+            if id != CpuId::Zen {
+                assert!(m.spec.smt, "{id} supports SMT per Table 2");
+            }
+        }
+    }
+
+    #[test]
+    fn meltdown_only_on_broadwell_and_skylake() {
+        for id in CpuId::ALL {
+            let m = id.model();
+            let expect = matches!(id, CpuId::Broadwell | CpuId::SkylakeClient);
+            assert_eq!(m.vuln.meltdown, expect, "{id}");
+            assert_eq!(m.vuln.l1tf, expect, "{id} (L1TF tracks Meltdown here)");
+            assert_eq!(m.needs_pti(), expect, "{id}");
+        }
+    }
+
+    #[test]
+    fn mds_on_first_three_intel_parts_only() {
+        for id in CpuId::ALL {
+            let m = id.model();
+            let expect =
+                matches!(id, CpuId::Broadwell | CpuId::SkylakeClient | CpuId::CascadeLake);
+            assert_eq!(m.vuln.mds, expect, "{id}");
+            assert_eq!(m.spec.md_clear, expect, "{id}: MD_CLEAR microcode where vulnerable");
+        }
+    }
+
+    #[test]
+    fn everyone_is_vulnerable_to_v1_v2_ssb() {
+        // Paper §4.6: the attacks that still cost performance are the old
+        // ones, unfixed everywhere.
+        for id in CpuId::ALL {
+            let m = id.model();
+            assert!(m.vuln.spectre_v1, "{id}");
+            assert!(m.vuln.spectre_v2, "{id}");
+            assert!(m.vuln.ssb, "{id}");
+        }
+    }
+
+    #[test]
+    fn eibrs_on_cascade_lake_and_later_intel() {
+        for id in CpuId::ALL {
+            let m = id.model();
+            let expect = matches!(
+                id,
+                CpuId::CascadeLake | CpuId::IceLakeClient | CpuId::IceLakeServer
+            );
+            assert_eq!(m.spec.eibrs, expect, "{id}");
+            assert_eq!(m.spec.btb_priv_tagged, expect, "{id}: eIBRS implies tagging");
+        }
+    }
+
+    #[test]
+    fn zen1_has_no_ibrs() {
+        assert!(!zen().spec.ibrs_supported, "Table 10 marks Zen as N/A");
+        assert!(zen2().spec.ibrs_supported);
+        assert!(zen3().spec.ibrs_supported);
+    }
+
+    #[test]
+    fn zen3_btb_is_history_tagged() {
+        // §6.2: the probe could not poison the Zen 3 BTB at all.
+        for id in CpuId::ALL {
+            assert_eq!(id.model().spec.btb_history_tagged, id == CpuId::Zen3, "{id}");
+        }
+    }
+
+    #[test]
+    fn pre_spectre_ibrs_blocks_everything() {
+        // §6.2.1: Broadwell and Skylake disable all indirect prediction
+        // under IBRS; Table 10 shows the same for Zen 2 / Zen 3.
+        for id in CpuId::ALL {
+            let expect = matches!(
+                id,
+                CpuId::Broadwell | CpuId::SkylakeClient | CpuId::Zen2 | CpuId::Zen3
+            );
+            assert_eq!(id.model().spec.ibrs_blocks_all_prediction, expect, "{id}");
+        }
+    }
+
+    #[test]
+    fn ice_lake_client_ibrs_kernel_quirk() {
+        for id in CpuId::ALL {
+            assert_eq!(
+                id.model().spec.ibrs_blocks_kernel_mode,
+                id == CpuId::IceLakeClient,
+                "{id}"
+            );
+        }
+    }
+
+    #[test]
+    fn latency_tables_match_paper() {
+        // Table 3.
+        for (id, syscall, sysret, cr3) in [
+            (CpuId::Broadwell, 49, 40, Some(206)),
+            (CpuId::SkylakeClient, 42, 42, Some(191)),
+            (CpuId::CascadeLake, 70, 43, None),
+            (CpuId::IceLakeClient, 21, 29, None),
+            (CpuId::IceLakeServer, 45, 32, None),
+            (CpuId::Zen, 63, 53, None),
+            (CpuId::Zen2, 53, 46, None),
+            (CpuId::Zen3, 83, 55, None),
+        ] {
+            let m = id.model();
+            assert_eq!(m.lat.syscall, syscall, "{id} syscall");
+            assert_eq!(m.lat.sysret, sysret, "{id} sysret");
+            if let Some(c) = cr3 {
+                assert_eq!(m.lat.swap_cr3, c, "{id} swap_cr3");
+            }
+        }
+        // Table 4.
+        assert_eq!(broadwell().lat.verw_clear, 610);
+        assert_eq!(skylake_client().lat.verw_clear, 518);
+        assert_eq!(cascade_lake().lat.verw_clear, 458);
+        // Table 6.
+        for (id, ibpb) in [
+            (CpuId::Broadwell, 5600),
+            (CpuId::SkylakeClient, 4500),
+            (CpuId::CascadeLake, 340),
+            (CpuId::IceLakeClient, 2500),
+            (CpuId::IceLakeServer, 840),
+            (CpuId::Zen, 7400),
+            (CpuId::Zen2, 1100),
+            (CpuId::Zen3, 800),
+        ] {
+            assert_eq!(id.model().lat.ibpb, ibpb, "{id} IBPB");
+        }
+        // Table 7.
+        for (id, rsb) in [
+            (CpuId::Broadwell, 130),
+            (CpuId::SkylakeClient, 130),
+            (CpuId::CascadeLake, 120),
+            (CpuId::IceLakeClient, 40),
+            (CpuId::IceLakeServer, 69),
+            (CpuId::Zen, 114),
+            (CpuId::Zen2, 68),
+            (CpuId::Zen3, 94),
+        ] {
+            assert_eq!(id.model().lat.rsb_fill, rsb, "{id} RSB fill");
+        }
+        // Table 8.
+        for (id, lf) in [
+            (CpuId::Broadwell, 28),
+            (CpuId::SkylakeClient, 20),
+            (CpuId::CascadeLake, 15),
+            (CpuId::IceLakeClient, 8),
+            (CpuId::IceLakeServer, 13),
+            (CpuId::Zen, 48),
+            (CpuId::Zen2, 4),
+            (CpuId::Zen3, 30),
+        ] {
+            assert_eq!(id.model().lat.lfence, lf, "{id} lfence");
+        }
+        // Table 5 baseline.
+        for (id, base) in [
+            (CpuId::Broadwell, 16),
+            (CpuId::SkylakeClient, 11),
+            (CpuId::CascadeLake, 3),
+            (CpuId::IceLakeClient, 5),
+            (CpuId::IceLakeServer, 1),
+            (CpuId::Zen, 30),
+            (CpuId::Zen2, 3),
+            (CpuId::Zen3, 23),
+        ] {
+            assert_eq!(id.model().lat.indirect_branch, base, "{id} indirect baseline");
+        }
+    }
+
+    #[test]
+    fn arch_capabilities_consistent_with_fixes() {
+        assert_eq!(broadwell().arch_capabilities() & arch_caps::RDCL_NO, 0);
+        assert_ne!(cascade_lake().arch_capabilities() & arch_caps::RDCL_NO, 0);
+        assert_ne!(ice_lake_server().arch_capabilities() & arch_caps::MDS_NO, 0);
+        // No CPU advertises SSB_NO (paper §4.3).
+        for id in CpuId::ALL {
+            assert_eq!(id.model().arch_capabilities() & arch_caps::SSB_NO, 0, "{id}");
+        }
+    }
+
+    #[test]
+    fn amd_parts_immune_to_meltdown_class() {
+        for id in [CpuId::Zen, CpuId::Zen2, CpuId::Zen3] {
+            let m = id.model();
+            assert!(!m.vuln.meltdown && !m.vuln.l1tf && !m.vuln.mds, "{id}");
+        }
+    }
+
+    #[test]
+    fn ssbd_stall_trends_worse_over_generations() {
+        // Figure 5: the SSBD slowdown is "trending worse over time".
+        assert!(zen3().lat.ssbd_forward_stall > zen().lat.ssbd_forward_stall);
+        assert!(
+            ice_lake_server().lat.ssbd_forward_stall > broadwell().lat.ssbd_forward_stall
+        );
+    }
+
+    #[test]
+    fn eibrs_parts_have_bimodal_entry_behaviour() {
+        for id in [CpuId::CascadeLake, CpuId::IceLakeClient, CpuId::IceLakeServer] {
+            let m = id.model();
+            assert!(m.spec.eibrs_flush_interval > 0, "{id}");
+            assert_eq!(m.lat.eibrs_periodic_flush, 210, "{id} (§6.2.2: ~210 cycles)");
+        }
+        assert_eq!(broadwell().spec.eibrs_flush_interval, 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Paper reference values, kept verbatim so the benchmark harness can
+//! print "paper vs measured" comparisons (EXPERIMENTS.md).
+
+use crate::CpuId;
+
+/// A row of the paper's Table 3 (entry/exit primitive cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaperTable3Row {
+    /// Which CPU.
+    pub cpu: CpuId,
+    /// `syscall` cycles.
+    pub syscall: u64,
+    /// `sysret` cycles.
+    pub sysret: u64,
+    /// `mov %cr3` cycles, `None` where the paper reports N/A.
+    pub swap_cr3: Option<u64>,
+}
+
+/// The paper's Table 3, verbatim.
+pub fn paper_table3() -> Vec<PaperTable3Row> {
+    use CpuId::*;
+    [
+        (Broadwell, 49, 40, Some(206)),
+        (SkylakeClient, 42, 42, Some(191)),
+        (CascadeLake, 70, 43, None),
+        (IceLakeClient, 21, 29, None),
+        (IceLakeServer, 45, 32, None),
+        (Zen, 63, 53, None),
+        (Zen2, 53, 46, None),
+        (Zen3, 83, 55, None),
+    ]
+    .into_iter()
+    .map(|(cpu, syscall, sysret, swap_cr3)| PaperTable3Row { cpu, syscall, sysret, swap_cr3 })
+    .collect()
+}
+
+/// A row of the paper's Table 5 (indirect branch cycles per mitigation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaperTable5Row {
+    /// Which CPU.
+    pub cpu: CpuId,
+    /// Unmitigated, predicted indirect branch.
+    pub baseline: u64,
+    /// Extra cycles with IBRS enabled (`None` = N/A, Zen).
+    pub ibrs_extra: Option<u64>,
+    /// Extra cycles of a generic retpoline.
+    pub generic_extra: u64,
+    /// Extra cycles of an AMD (lfence) retpoline (`None` on Intel).
+    pub amd_extra: Option<u64>,
+}
+
+/// The paper's Table 5, verbatim.
+pub fn paper_table5() -> Vec<PaperTable5Row> {
+    use CpuId::*;
+    [
+        (Broadwell, 16, Some(32), 28, None),
+        (SkylakeClient, 11, Some(15), 19, None),
+        (CascadeLake, 3, Some(0), 49, None),
+        (IceLakeClient, 5, Some(0), 21, None),
+        (IceLakeServer, 1, Some(1), 50, None),
+        (Zen, 30, None, 25, Some(28)),
+        (Zen2, 3, Some(13), 14, Some(0)),
+        (Zen3, 23, Some(19), 13, Some(18)),
+    ]
+    .into_iter()
+    .map(|(cpu, baseline, ibrs_extra, generic_extra, amd_extra)| PaperTable5Row {
+        cpu,
+        baseline,
+        ibrs_extra,
+        generic_extra,
+        amd_extra,
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_covers_all_cpus_in_order() {
+        let t = paper_table3();
+        assert_eq!(t.len(), 8);
+        for (row, id) in t.iter().zip(CpuId::ALL) {
+            assert_eq!(row.cpu, id);
+        }
+        // Only the two Meltdown-vulnerable parts report a cr3 cost.
+        assert_eq!(t.iter().filter(|r| r.swap_cr3.is_some()).count(), 2);
+    }
+
+    #[test]
+    fn table5_amd_columns() {
+        let t = paper_table5();
+        for row in &t {
+            let is_amd = matches!(row.cpu, CpuId::Zen | CpuId::Zen2 | CpuId::Zen3);
+            assert_eq!(row.amd_extra.is_some(), is_amd, "{:?}", row.cpu);
+        }
+        // Zen has no IBRS.
+        assert!(t.iter().find(|r| r.cpu == CpuId::Zen).unwrap().ibrs_extra.is_none());
+    }
+
+    #[test]
+    fn models_agree_with_reference_tables() {
+        for row in paper_table3() {
+            let m = row.cpu.model();
+            assert_eq!(m.lat.syscall, row.syscall);
+            assert_eq!(m.lat.sysret, row.sysret);
+            if let Some(c) = row.swap_cr3 {
+                assert_eq!(m.lat.swap_cr3, c);
+            }
+        }
+        for row in paper_table5() {
+            let m = row.cpu.model();
+            assert_eq!(m.lat.indirect_branch, row.baseline);
+            assert_eq!(m.lat.generic_retpoline_extra, row.generic_extra);
+            if let Some(e) = row.ibrs_extra {
+                assert_eq!(m.lat.ibrs_indirect_extra, e);
+            }
+            if let Some(e) = row.amd_extra {
+                assert_eq!(m.lat.amd_retpoline_extra, e);
+            }
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Stack bytecode of the miniature JavaScript-like engine.
+//!
+//! The engine models the part of a production JS engine the paper
+//! measures: the *JIT-compiled fast path*. Functions are shape-
+//! monomorphic (every property access site knows the shape it expects and
+//! guards on it, exactly like a warmed-up inline cache), arrays carry
+//! their length inline, and the operand stack + locals live in memory as
+//! a baseline JIT would keep them.
+
+use std::collections::HashMap;
+
+/// A function id within an [`crate::engine::Engine`].
+pub type FuncId = usize;
+
+/// A shape id (object layout) within an engine.
+pub type ShapeId = u64;
+
+/// A branch label inside one function's bytecode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BcLabel(pub usize);
+
+/// One bytecode operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// Push an integer constant.
+    Const(i64),
+    /// Push a float constant (stored as raw bits on the stack).
+    FConst(f64),
+    /// Push local `n`.
+    GetLocal(u8),
+    /// Pop into local `n`.
+    SetLocal(u8),
+    /// Duplicate the top of stack.
+    Dup,
+    /// Drop the top of stack.
+    Drop,
+
+    /// Integer add: `a b -- a+b`.
+    Add,
+    /// Integer subtract.
+    Sub,
+    /// Integer multiply.
+    Mul,
+    /// Integer divide (operands must be nonzero; the JIT does not guard).
+    Div,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Shift left by a constant.
+    Shl(u8),
+    /// Logical shift right by a constant.
+    Shr(u8),
+
+    /// Float add (operands are f64 bit patterns).
+    FAdd,
+    /// Float subtract.
+    FSub,
+    /// Float multiply.
+    FMul,
+
+    /// Push 1 if `a < b` (signed), else 0.
+    Lt,
+    /// Push 1 if `a <= b`, else 0.
+    Le,
+    /// Push 1 if `a == b`, else 0.
+    EqCmp,
+    /// Push 1 if `a > b`, else 0.
+    Gt,
+
+    /// Unconditional jump.
+    Jump(BcLabel),
+    /// Pop; jump when zero.
+    JumpIfFalse(BcLabel),
+
+    /// Allocate an array of the given length; push its reference.
+    NewArray(u32),
+    /// `arr -- len`.
+    ArrayLen,
+    /// `arr idx -- value` (bounds-checked; out of bounds yields 0 like
+    /// JS's `undefined` coerced).
+    ArrayGet,
+    /// `arr idx value --` (stores nothing when out of bounds).
+    ArraySet,
+
+    /// Allocate an object of the given shape; push its reference.
+    NewObject(ShapeId),
+    /// `obj -- value`: read the slot, guarded on the expected shape.
+    GetProp(ShapeId, u8),
+    /// `obj value --`: write the slot, guarded on the expected shape.
+    SetProp(ShapeId, u8),
+
+    /// Call a function with `nargs` stack arguments; pushes the result.
+    Call(FuncId, u8),
+    /// Return the top of stack.
+    Return,
+    /// Push the current high-resolution time (`performance.now()`).
+    ///
+    /// Under the "other JS" mitigations the JIT coarsens the value
+    /// (timer-precision reduction, §2/§4.3 [37, 49]); the interpreter
+    /// returns its own step counter — timer values are inherently
+    /// non-portable between backends, so differential tests must not
+    /// compare programs whose *results* depend on them.
+    ReadTimer,
+}
+
+/// A function: bytecode plus frame metadata.
+#[derive(Debug, Clone)]
+pub struct Function {
+    /// Name (diagnostics).
+    pub name: String,
+    /// Number of locals (arguments occupy locals `0..nargs`).
+    pub n_locals: u8,
+    /// Number of arguments.
+    pub n_args: u8,
+    /// The code.
+    pub code: Vec<Op>,
+    /// Label bindings: label -> bytecode index.
+    pub labels: HashMap<BcLabel, usize>,
+}
+
+/// Builder for one function.
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    name: String,
+    n_locals: u8,
+    n_args: u8,
+    code: Vec<Op>,
+    labels: HashMap<BcLabel, usize>,
+    next_label: usize,
+}
+
+impl FunctionBuilder {
+    /// Starts a function with `n_args` arguments and `n_locals` total
+    /// locals (must be ≥ `n_args`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_locals < n_args`.
+    pub fn new(name: &str, n_args: u8, n_locals: u8) -> FunctionBuilder {
+        assert!(n_locals >= n_args, "locals include arguments");
+        FunctionBuilder {
+            name: name.to_string(),
+            n_locals,
+            n_args,
+            code: Vec::new(),
+            labels: HashMap::new(),
+            next_label: 0,
+        }
+    }
+
+    /// Allocates an unbound label.
+    pub fn new_label(&mut self) -> BcLabel {
+        let l = BcLabel(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if already bound.
+    pub fn bind(&mut self, label: BcLabel) {
+        let prev = self.labels.insert(label, self.code.len());
+        assert!(prev.is_none(), "label bound twice");
+    }
+
+    /// Appends an op.
+    pub fn op(&mut self, op: Op) -> &mut Self {
+        self.code.push(op);
+        self
+    }
+
+    /// Appends several ops.
+    pub fn ops(&mut self, ops: &[Op]) -> &mut Self {
+        self.code.extend_from_slice(ops);
+        self
+    }
+
+    /// Emits a simple counted loop: `body` runs `count` times using
+    /// `counter_local` as the induction variable counting down.
+    pub fn counted_loop(
+        &mut self,
+        counter_local: u8,
+        count: i64,
+        body: impl FnOnce(&mut FunctionBuilder),
+    ) -> &mut Self {
+        self.op(Op::Const(count));
+        self.op(Op::SetLocal(counter_local));
+        let top = self.new_label();
+        let done = self.new_label();
+        self.bind(top);
+        self.op(Op::GetLocal(counter_local));
+        self.op(Op::JumpIfFalse(done));
+        body(self);
+        self.op(Op::GetLocal(counter_local));
+        self.op(Op::Const(1));
+        self.op(Op::Sub);
+        self.op(Op::SetLocal(counter_local));
+        self.op(Op::Jump(top));
+        self.bind(done);
+        self
+    }
+
+    /// Finishes the function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label is unbound.
+    pub fn build(self) -> Function {
+        for op in &self.code {
+            if let Op::Jump(l) | Op::JumpIfFalse(l) = op {
+                assert!(self.labels.contains_key(l), "unbound label {l:?} in {}", self.name);
+            }
+        }
+        Function {
+            name: self.name,
+            n_locals: self.n_locals,
+            n_args: self.n_args,
+            code: self.code,
+            labels: self.labels,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_function() {
+        let mut f = FunctionBuilder::new("f", 1, 2);
+        f.op(Op::GetLocal(0));
+        f.op(Op::Const(2));
+        f.op(Op::Mul);
+        f.op(Op::Return);
+        let func = f.build();
+        assert_eq!(func.name, "f");
+        assert_eq!(func.code.len(), 4);
+        assert_eq!(func.n_args, 1);
+    }
+
+    #[test]
+    fn labels_bind_to_indices() {
+        let mut f = FunctionBuilder::new("g", 0, 1);
+        let l = f.new_label();
+        f.op(Op::Const(0));
+        f.op(Op::JumpIfFalse(l));
+        f.op(Op::Const(1));
+        f.bind(l);
+        f.op(Op::Return);
+        let func = f.build();
+        assert_eq!(func.labels[&l], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics() {
+        let mut f = FunctionBuilder::new("bad", 0, 1);
+        let l = f.new_label();
+        f.op(Op::Jump(l));
+        let _ = f.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "locals include arguments")]
+    fn locals_must_cover_args() {
+        let _ = FunctionBuilder::new("bad", 3, 2);
+    }
+
+    #[test]
+    fn counted_loop_emits_balanced_code() {
+        let mut f = FunctionBuilder::new("loop", 0, 2);
+        f.counted_loop(0, 10, |f| {
+            f.op(Op::GetLocal(1));
+            f.op(Op::Const(1));
+            f.op(Op::Add);
+            f.op(Op::SetLocal(1));
+        });
+        f.op(Op::GetLocal(1));
+        f.op(Op::Return);
+        let func = f.build();
+        assert!(func.code.len() > 10);
+    }
+}

@@ -1,0 +1,323 @@
+//! The engine: functions, shapes, and the run harness.
+
+use sim_kernel::abi::nr;
+use sim_kernel::{userlib, BootParams, Kernel};
+use uarch::model::CpuModel;
+
+use crate::bytecode::{FuncId, Function, ShapeId};
+use crate::interp;
+use crate::jit::{layout, Jit};
+use crate::JsMitigations;
+
+/// An object layout: a named set of slots.
+#[derive(Debug, Clone)]
+pub struct Shape {
+    /// Shape id (used as the runtime header tag).
+    pub id: ShapeId,
+    /// Property names in slot order.
+    pub slots: Vec<&'static str>,
+}
+
+/// The engine: a program (functions + shapes) ready to interpret or JIT.
+#[derive(Debug, Default)]
+pub struct Engine {
+    functions: Vec<Function>,
+    shapes: Vec<Shape>,
+    main: Option<FuncId>,
+}
+
+/// Result of executing an engine program on the simulator.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOutcome {
+    /// The value main returned.
+    pub result: u64,
+    /// Total simulated cycles (program execution only).
+    pub cycles: u64,
+}
+
+impl Engine {
+    /// Creates an empty engine.
+    pub fn new() -> Engine {
+        Engine::default()
+    }
+
+    /// Registers a shape; ids must start at 1 and be dense (0 is the
+    /// "no shape" array header space).
+    pub fn add_shape(&mut self, slots: Vec<&'static str>) -> ShapeId {
+        let id = (self.shapes.len() + 1) as ShapeId;
+        self.shapes.push(Shape { id, slots });
+        id
+    }
+
+    /// Registers a function; returns its id.
+    pub fn add_function(&mut self, f: Function) -> FuncId {
+        self.functions.push(f);
+        self.functions.len() - 1
+    }
+
+    /// Marks the entry function.
+    pub fn set_main(&mut self, fid: FuncId) {
+        self.main = Some(fid);
+    }
+
+    /// The entry function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no main was set.
+    pub fn main(&self) -> &Function {
+        &self.functions[self.main.expect("main set")]
+    }
+
+    /// The entry function id.
+    pub fn main_id(&self) -> FuncId {
+        self.main.expect("main set")
+    }
+
+    /// Number of registered functions.
+    pub fn function_count(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Looks up a function.
+    pub fn function(&self, fid: FuncId) -> &Function {
+        &self.functions[fid]
+    }
+
+    /// Slot count for a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown shape id.
+    pub fn shape_slots(&self, id: ShapeId) -> u8 {
+        self.shapes[(id - 1) as usize].slots.len() as u8
+    }
+
+    /// Runs the program in the reference interpreter.
+    pub fn interpret(&self) -> Result<u64, interp::InterpError> {
+        interp::run(self)
+    }
+
+    /// JIT-compiles and runs the program as a sandboxed process (the
+    /// engine enters seccomp like Firefox's content sandbox, which is what
+    /// opts it into SSBD under the kernel's default policy, §4.3).
+    pub fn run_jit(
+        &self,
+        model: &CpuModel,
+        params: &BootParams,
+        mits: JsMitigations,
+    ) -> RunOutcome {
+        self.run_jit_with_sandbox(model, params, mits, true)
+    }
+
+    /// As [`Engine::run_jit`], with control over whether the process
+    /// enters seccomp.
+    pub fn run_jit_with_sandbox(
+        &self,
+        model: &CpuModel,
+        params: &BootParams,
+        mits: JsMitigations,
+        sandboxed: bool,
+    ) -> RunOutcome {
+        let mut k = Kernel::boot(model.clone(), params);
+        let data_base = userlib::data_base();
+        let jit = Jit::new(self, mits, data_base);
+        let b = jit.compile(|b| {
+            userlib::emit_syscall(b, nr::EXIT);
+        });
+        // Prepend the sandbox entry: seccomp before any JS executes. The
+        // prologue is at the start of the builder, so instead emit the
+        // sandbox syscall in a stub that jumps into the JIT output.
+        // Simpler: the JIT program is spawned as-is and the sandbox
+        // syscall is issued by poking a separate bootstrap.
+        let base = k.alloc_code_base();
+        let prog = b.link(base + 0x100);
+        let mut boot = uarch::ProgramBuilder::new();
+        if sandboxed {
+            userlib::emit_syscall(&mut boot, nr::SECCOMP);
+        }
+        boot.push(uarch::Inst::Jmp(prog.base()));
+        let boot_prog = boot.link(base);
+        k.machine.load_program(prog);
+        let pid = k.spawn_program(boot_prog);
+        k.start();
+        let start_cycles = k.cycles();
+        k.run(5_000_000_000).expect("JS program must run to completion");
+        let cycles = k.cycles() - start_cycles;
+        let out = k.peek_user_data(pid, layout::RESULT_OFF, 8);
+        RunOutcome { result: u64::from_le_bytes(out.try_into().expect("8 bytes")), cycles }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::{FunctionBuilder, Op};
+    use cpu_models::zen2;
+
+    fn engine_returning_42() -> Engine {
+        let mut e = Engine::new();
+        let mut f = FunctionBuilder::new("main", 0, 1);
+        f.op(Op::Const(40));
+        f.op(Op::Const(2));
+        f.op(Op::Add);
+        f.op(Op::Return);
+        let fid = e.add_function(f.build());
+        e.set_main(fid);
+        e
+    }
+
+    #[test]
+    fn interpreter_and_jit_agree_on_arithmetic() {
+        let e = engine_returning_42();
+        assert_eq!(e.interpret().unwrap(), 42);
+        let out = e.run_jit(&zen2(), &BootParams::default(), JsMitigations::full());
+        assert_eq!(out.result, 42);
+        assert!(out.cycles > 0);
+    }
+
+    #[test]
+    fn calls_pass_arguments() {
+        let mut e = Engine::new();
+        let mut sq = FunctionBuilder::new("square", 1, 1);
+        sq.op(Op::GetLocal(0));
+        sq.op(Op::GetLocal(0));
+        sq.op(Op::Mul);
+        sq.op(Op::Return);
+        let sq_id = e.add_function(sq.build());
+
+        let mut main = FunctionBuilder::new("main", 0, 1);
+        main.op(Op::Const(7));
+        main.op(Op::Call(sq_id, 1));
+        main.op(Op::Const(1));
+        main.op(Op::Add);
+        main.op(Op::Return);
+        let main_id = e.add_function(main.build());
+        e.set_main(main_id);
+
+        assert_eq!(e.interpret().unwrap(), 50);
+        let out = e.run_jit(&zen2(), &BootParams::default(), JsMitigations::none());
+        assert_eq!(out.result, 50);
+    }
+
+    #[test]
+    fn arrays_round_trip_under_all_mitigation_sets() {
+        let mut e = Engine::new();
+        let mut f = FunctionBuilder::new("main", 0, 2);
+        f.op(Op::NewArray(8));
+        f.op(Op::SetLocal(0));
+        // a[3] = 99
+        f.op(Op::GetLocal(0));
+        f.op(Op::Const(3));
+        f.op(Op::Const(99));
+        f.op(Op::ArraySet);
+        // return a[3] + a.length + a[100] (out of bounds => 0)
+        f.op(Op::GetLocal(0));
+        f.op(Op::Const(3));
+        f.op(Op::ArrayGet);
+        f.op(Op::GetLocal(0));
+        f.op(Op::ArrayLen);
+        f.op(Op::Add);
+        f.op(Op::GetLocal(0));
+        f.op(Op::Const(100));
+        f.op(Op::ArrayGet);
+        f.op(Op::Add);
+        f.op(Op::Return);
+        let fid = e.add_function(f.build());
+        e.set_main(fid);
+
+        assert_eq!(e.interpret().unwrap(), 107);
+        for mits in [
+            JsMitigations::none(),
+            JsMitigations::full(),
+            JsMitigations { index_masking: true, object_guards: false, other_js: false },
+            JsMitigations { index_masking: false, object_guards: false, other_js: true },
+        ] {
+            let out = e.run_jit(&zen2(), &BootParams::default(), mits);
+            assert_eq!(out.result, 107, "{mits:?}");
+        }
+    }
+
+    #[test]
+    fn objects_round_trip_with_guards() {
+        let mut e = Engine::new();
+        let shape = e.add_shape(vec!["x", "y"]);
+        let mut f = FunctionBuilder::new("main", 0, 1);
+        f.op(Op::NewObject(shape));
+        f.op(Op::SetLocal(0));
+        f.op(Op::GetLocal(0));
+        f.op(Op::Const(5));
+        f.op(Op::SetProp(shape, 0));
+        f.op(Op::GetLocal(0));
+        f.op(Op::Const(11));
+        f.op(Op::SetProp(shape, 1));
+        f.op(Op::GetLocal(0));
+        f.op(Op::GetProp(shape, 0));
+        f.op(Op::GetLocal(0));
+        f.op(Op::GetProp(shape, 1));
+        f.op(Op::Mul);
+        f.op(Op::Return);
+        let fid = e.add_function(f.build());
+        e.set_main(fid);
+
+        assert_eq!(e.interpret().unwrap(), 55);
+        for mits in [JsMitigations::none(), JsMitigations::full()] {
+            let out = e.run_jit(&zen2(), &BootParams::default(), mits);
+            assert_eq!(out.result, 55, "{mits:?}");
+        }
+    }
+
+    #[test]
+    fn floats_compute_correctly() {
+        let mut e = Engine::new();
+        let mut f = FunctionBuilder::new("main", 0, 1);
+        f.op(Op::FConst(1.5));
+        f.op(Op::FConst(2.25));
+        f.op(Op::FAdd);
+        f.op(Op::FConst(2.0));
+        f.op(Op::FMul);
+        f.op(Op::Return);
+        let fid = e.add_function(f.build());
+        e.set_main(fid);
+        let expected = (7.5f64).to_bits();
+        assert_eq!(e.interpret().unwrap(), expected);
+        let out = e.run_jit(&zen2(), &BootParams::default(), JsMitigations::full());
+        assert_eq!(out.result, expected);
+    }
+
+    #[test]
+    fn loops_and_branches() {
+        // Sum of 1..=100 via a loop.
+        let mut e = Engine::new();
+        let mut f = FunctionBuilder::new("main", 0, 2);
+        f.counted_loop(0, 100, |f| {
+            f.op(Op::GetLocal(1));
+            f.op(Op::GetLocal(0));
+            f.op(Op::Add);
+            f.op(Op::SetLocal(1));
+        });
+        f.op(Op::GetLocal(1));
+        f.op(Op::Return);
+        let fid = e.add_function(f.build());
+        e.set_main(fid);
+        assert_eq!(e.interpret().unwrap(), 5050);
+        let out = e.run_jit(&zen2(), &BootParams::default(), JsMitigations::full());
+        assert_eq!(out.result, 5050);
+    }
+
+    #[test]
+    fn sandboxed_engine_gets_ssbd_by_default_policy() {
+        let e = engine_returning_42();
+        let mut k = Kernel::boot(zen2(), &BootParams::default());
+        let _ = &mut k;
+        // Run sandboxed: the kernel's SSBD policy should kick in (the
+        // engine seccomps like Firefox). Observable via cycles: SSBD on
+        // means the spec_ctrl write happened; easiest check is that the
+        // sandboxed run is not cheaper than the unsandboxed one.
+        let sand = e.run_jit_with_sandbox(&zen2(), &BootParams::default(), JsMitigations::none(), true);
+        let free = e.run_jit_with_sandbox(&zen2(), &BootParams::default(), JsMitigations::none(), false);
+        assert_eq!(sand.result, 42);
+        assert_eq!(free.result, 42);
+        assert!(sand.cycles >= free.cycles);
+    }
+}

@@ -1,0 +1,257 @@
+//! Reference interpreter for the engine bytecode.
+//!
+//! The interpreter defines the bytecode's semantics in plain Rust. The
+//! JIT (which runs on the simulator, with mitigation sequences woven in)
+//! is differentially tested against it: same program, same result,
+//! regardless of which mitigations are enabled.
+
+use crate::bytecode::{Function, Op};
+use crate::engine::Engine;
+
+/// Interpreter heap cell granularity (one u64 word, like the JIT's).
+const HEAP_WORDS: usize = 1 << 17;
+
+/// Interpreter state.
+struct Interp<'e> {
+    engine: &'e Engine,
+    /// Flat heap of words; references are word indices shifted to look
+    /// like byte addresses (×8) for parity with the JIT.
+    heap: Vec<u64>,
+    heap_top: usize,
+    steps: u64,
+    budget: u64,
+}
+
+/// Errors the interpreter can raise (a correct program raises none).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// Operand stack underflow (malformed bytecode).
+    StackUnderflow,
+    /// Step budget exhausted.
+    BudgetExhausted,
+    /// Heap exhausted.
+    OutOfMemory,
+    /// Reference did not point into the heap.
+    BadReference,
+}
+
+/// Runs `engine`'s main function; returns its result.
+pub fn run(engine: &Engine) -> Result<u64, InterpError> {
+    let mut interp = Interp {
+        engine,
+        heap: vec![0; HEAP_WORDS],
+        // Word 0 is reserved so no reference is ever 0: programs use 0 as
+        // the null sentinel (the JIT's heap base is likewise nonzero).
+        heap_top: 1,
+        steps: 0,
+        budget: 200_000_000,
+    };
+    interp.call(engine.main(), &[])
+}
+
+impl<'e> Interp<'e> {
+    fn alloc(&mut self, words: usize) -> Result<u64, InterpError> {
+        if self.heap_top + words > self.heap.len() {
+            return Err(InterpError::OutOfMemory);
+        }
+        let at = self.heap_top;
+        self.heap_top += words;
+        Ok((at as u64) * 8)
+    }
+
+    fn heap_word(&self, byte_ref: u64, word_off: u64) -> Result<u64, InterpError> {
+        let idx = (byte_ref / 8 + word_off) as usize;
+        self.heap.get(idx).copied().ok_or(InterpError::BadReference)
+    }
+
+    fn heap_word_mut(&mut self, byte_ref: u64, word_off: u64) -> Result<&mut u64, InterpError> {
+        let idx = (byte_ref / 8 + word_off) as usize;
+        self.heap.get_mut(idx).ok_or(InterpError::BadReference)
+    }
+
+    fn call(&mut self, func: &Function, args: &[u64]) -> Result<u64, InterpError> {
+        let mut locals = vec![0u64; func.n_locals as usize];
+        locals[..args.len()].copy_from_slice(args);
+        let mut stack: Vec<u64> = Vec::with_capacity(32);
+        let mut pc = 0usize;
+
+        macro_rules! pop {
+            () => {
+                stack.pop().ok_or(InterpError::StackUnderflow)?
+            };
+        }
+
+        while pc < func.code.len() {
+            self.steps += 1;
+            if self.steps > self.budget {
+                return Err(InterpError::BudgetExhausted);
+            }
+            let op = func.code[pc];
+            pc += 1;
+            match op {
+                Op::Const(v) => stack.push(v as u64),
+                Op::FConst(v) => stack.push(v.to_bits()),
+                Op::GetLocal(n) => stack.push(locals[n as usize]),
+                Op::SetLocal(n) => {
+                    let v = pop!();
+                    locals[n as usize] = v;
+                }
+                Op::Dup => {
+                    let v = *stack.last().ok_or(InterpError::StackUnderflow)?;
+                    stack.push(v);
+                }
+                Op::Drop => {
+                    pop!();
+                }
+                Op::Add => {
+                    let b = pop!();
+                    let a = pop!();
+                    stack.push(a.wrapping_add(b));
+                }
+                Op::Sub => {
+                    let b = pop!();
+                    let a = pop!();
+                    stack.push(a.wrapping_sub(b));
+                }
+                Op::Mul => {
+                    let b = pop!();
+                    let a = pop!();
+                    stack.push(a.wrapping_mul(b));
+                }
+                Op::Div => {
+                    let b = pop!();
+                    let a = pop!();
+                    stack.push(if b == 0 { 0 } else { a / b });
+                }
+                Op::And => {
+                    let b = pop!();
+                    let a = pop!();
+                    stack.push(a & b);
+                }
+                Op::Or => {
+                    let b = pop!();
+                    let a = pop!();
+                    stack.push(a | b);
+                }
+                Op::Xor => {
+                    let b = pop!();
+                    let a = pop!();
+                    stack.push(a ^ b);
+                }
+                Op::Shl(k) => {
+                    let a = pop!();
+                    stack.push(a << (k & 63));
+                }
+                Op::Shr(k) => {
+                    let a = pop!();
+                    stack.push(a >> (k & 63));
+                }
+                Op::FAdd => {
+                    let b = f64::from_bits(pop!());
+                    let a = f64::from_bits(pop!());
+                    stack.push((a + b).to_bits());
+                }
+                Op::FSub => {
+                    let b = f64::from_bits(pop!());
+                    let a = f64::from_bits(pop!());
+                    stack.push((a - b).to_bits());
+                }
+                Op::FMul => {
+                    let b = f64::from_bits(pop!());
+                    let a = f64::from_bits(pop!());
+                    stack.push((a * b).to_bits());
+                }
+                Op::Lt => {
+                    let b = pop!() as i64;
+                    let a = pop!() as i64;
+                    stack.push((a < b) as u64);
+                }
+                Op::Le => {
+                    let b = pop!() as i64;
+                    let a = pop!() as i64;
+                    stack.push((a <= b) as u64);
+                }
+                Op::EqCmp => {
+                    let b = pop!();
+                    let a = pop!();
+                    stack.push((a == b) as u64);
+                }
+                Op::Gt => {
+                    let b = pop!() as i64;
+                    let a = pop!() as i64;
+                    stack.push((a > b) as u64);
+                }
+                Op::Jump(l) => pc = func.labels[&l],
+                Op::JumpIfFalse(l) => {
+                    if pop!() == 0 {
+                        pc = func.labels[&l];
+                    }
+                }
+                Op::NewArray(len) => {
+                    let r = self.alloc(1 + len as usize)?;
+                    *self.heap_word_mut(r, 0)? = len as u64;
+                    stack.push(r);
+                }
+                Op::ArrayLen => {
+                    let arr = pop!();
+                    stack.push(self.heap_word(arr, 0)?);
+                }
+                Op::ArrayGet => {
+                    let idx = pop!();
+                    let arr = pop!();
+                    let len = self.heap_word(arr, 0)?;
+                    stack.push(if idx < len { self.heap_word(arr, 1 + idx)? } else { 0 });
+                }
+                Op::ArraySet => {
+                    let val = pop!();
+                    let idx = pop!();
+                    let arr = pop!();
+                    let len = self.heap_word(arr, 0)?;
+                    if idx < len {
+                        *self.heap_word_mut(arr, 1 + idx)? = val;
+                    }
+                }
+                Op::NewObject(shape) => {
+                    let slots = self.engine.shape_slots(shape);
+                    let r = self.alloc(1 + slots as usize)?;
+                    *self.heap_word_mut(r, 0)? = shape;
+                    stack.push(r);
+                }
+                Op::GetProp(shape, slot) => {
+                    let obj = pop!();
+                    let actual = self.heap_word(obj, 0)?;
+                    stack.push(if actual == shape {
+                        self.heap_word(obj, 1 + slot as u64)?
+                    } else {
+                        0
+                    });
+                }
+                Op::SetProp(shape, slot) => {
+                    let val = pop!();
+                    let obj = pop!();
+                    let actual = self.heap_word(obj, 0)?;
+                    if actual == shape {
+                        *self.heap_word_mut(obj, 1 + slot as u64)? = val;
+                    }
+                }
+                Op::Call(fid, nargs) => {
+                    let mut args = vec![0u64; nargs as usize];
+                    for i in (0..nargs as usize).rev() {
+                        args[i] = pop!();
+                    }
+                    let callee = self.engine.function(fid);
+                    let r = self.call(callee, &args)?;
+                    stack.push(r);
+                }
+                Op::Return => {
+                    return Ok(stack.pop().unwrap_or(0));
+                }
+                Op::ReadTimer => {
+                    // The interpreter's clock is its step counter.
+                    stack.push(self.steps);
+                }
+            }
+        }
+        Ok(0)
+    }
+}

@@ -1,0 +1,532 @@
+//! The baseline JIT: lowers bytecode to simulator instructions, weaving
+//! in the sandbox mitigations the paper measures (§4.3, §5.4).
+//!
+//! * **Index masking**: a conditional move zeroes the index when the
+//!   bounds check fails, before every array element access. On the
+//!   committed path it is a no-op (the bounds check already branched);
+//!   on the speculative path it pins the access in bounds.
+//! * **Object guards**: after the shape check, a conditional move
+//!   redirects the object pointer to a harmless "poison" page when the
+//!   check fails, so a mis-speculated type cannot expose out-of-bounds
+//!   fields.
+//! * **Other JS mitigations** (the paper's "other JavaScript" slice):
+//!   heap references are stored poisoned (XORed with a key) and
+//!   unpoisoned at each use, so leaked pointer bits are useless; this is
+//!   WebKit/SpiderMonkey-style pointer poisoning.
+//!
+//! Register conventions: `R14` = operand stack pointer (grows up),
+//! `R10` = locals frame base, `R1`–`R6` scratch, `R0` return value.
+
+use uarch::isa::{Cond, FReg, Inst, Reg, Width};
+use uarch::program::Label;
+use uarch::ProgramBuilder;
+
+use crate::bytecode::{BcLabel, Function, Op};
+use crate::engine::Engine;
+use crate::JsMitigations;
+
+/// Offsets within the process data arena.
+pub mod layout {
+    /// Where the main function's result is stored.
+    pub const RESULT_OFF: u64 = 0x10;
+    /// The heap bump-pointer cell.
+    pub const HEAP_CELL_OFF: u64 = 0x20;
+    /// Poison page for object-guard redirection (mapped, zero-filled).
+    pub const POISON_OFF: u64 = 0x1000;
+    /// Operand stack base.
+    pub const OPSTACK_OFF: u64 = 0x4000;
+    /// Locals frame area base.
+    pub const FRAMES_OFF: u64 = 0x30000;
+    /// Heap base.
+    pub const HEAP_OFF: u64 = 0x60000;
+    /// Pointer-poisoning key (flips high address bits).
+    pub const POISON_KEY: u64 = 0x5a5a_0000_0000_0000;
+}
+
+/// The JIT compiler for one engine instance.
+pub struct Jit<'e> {
+    engine: &'e Engine,
+    mits: JsMitigations,
+    /// Virtual address of the data arena.
+    data_base: u64,
+    b: ProgramBuilder,
+    func_labels: Vec<Label>,
+}
+
+impl<'e> Jit<'e> {
+    /// Creates a JIT for `engine` with the given mitigation set, placing
+    /// runtime structures relative to `data_base`.
+    pub fn new(engine: &'e Engine, mits: JsMitigations, data_base: u64) -> Jit<'e> {
+        Jit { engine, mits, data_base, b: ProgramBuilder::new(), func_labels: Vec::new() }
+    }
+
+    /// Compiles the whole engine into a program builder. The emitted code
+    /// starts with a prologue that initializes the runtime, calls main,
+    /// stores its result at `RESULT_OFF`, and then runs `epilogue`.
+    pub fn compile(mut self, epilogue: impl FnOnce(&mut ProgramBuilder)) -> ProgramBuilder {
+        for _ in 0..self.engine.function_count() {
+            let l = self.b.new_label();
+            self.func_labels.push(l);
+        }
+
+        // Prologue.
+        self.b.mov_imm(Reg::R14, self.data_base + layout::OPSTACK_OFF);
+        self.b.mov_imm(Reg::R10, self.data_base + layout::FRAMES_OFF);
+        self.b.mov_imm(Reg::R1, self.data_base + layout::HEAP_CELL_OFF);
+        self.b.mov_imm(Reg::R2, self.data_base + layout::HEAP_OFF);
+        self.b.push(Inst::Store { src: Reg::R2, base: Reg::R1, offset: 0, width: Width::B8 });
+        let main = self.func_labels[self.engine.main_id()];
+        self.b.call(main);
+        self.b.mov_imm(Reg::R1, self.data_base + layout::RESULT_OFF);
+        self.b.push(Inst::Store { src: Reg::R0, base: Reg::R1, offset: 0, width: Width::B8 });
+        epilogue(&mut self.b);
+
+        // Function bodies.
+        for fid in 0..self.engine.function_count() {
+            let label = self.func_labels[fid];
+            self.b.bind(label);
+            let func = self.engine.function(fid).clone();
+            self.compile_function(&func);
+        }
+        self.b
+    }
+
+    fn compile_function(&mut self, func: &Function) {
+        // Zero the non-argument locals (stale data from earlier frames).
+        if func.n_locals > func.n_args {
+            self.b.mov_imm(Reg::R1, 0);
+            for i in func.n_args..func.n_locals {
+                self.b.push(Inst::Store {
+                    src: Reg::R1,
+                    base: Reg::R10,
+                    offset: i as i64 * 8,
+                    width: Width::B8,
+                });
+            }
+        }
+
+        // Map bytecode labels to machine labels.
+        let mut bc_labels: std::collections::HashMap<BcLabel, Label> =
+            std::collections::HashMap::new();
+        for l in func.labels.keys() {
+            bc_labels.insert(*l, self.b.new_label());
+        }
+        // Positions where labels bind (bytecode index -> labels bound there).
+        let mut binds: std::collections::HashMap<usize, Vec<BcLabel>> =
+            std::collections::HashMap::new();
+        for (l, idx) in &func.labels {
+            binds.entry(*idx).or_default().push(*l);
+        }
+
+        let mut idx = 0;
+        while idx < func.code.len() {
+            if let Some(ls) = binds.get(&idx) {
+                for l in ls {
+                    let ml = bc_labels[l];
+                    self.b.bind(ml);
+                }
+            }
+            // Peephole: fuse a value-producing op with its consumer to
+            // avoid a push/pop round trip through the operand stack —
+            // the standard baseline-JIT "top of stack in a register"
+            // optimization. Never fuse across a jump target.
+            let next_is_target = binds.contains_key(&(idx + 1));
+            if !next_is_target && idx + 1 < func.code.len() {
+                if let Some(consumed) =
+                    self.try_fuse(func.code[idx], func.code[idx + 1])
+                {
+                    idx += consumed;
+                    continue;
+                }
+            }
+            self.compile_op(func, func.code[idx], &bc_labels);
+            idx += 1;
+        }
+        if let Some(ls) = binds.get(&func.code.len()) {
+            for l in ls {
+                let ml = bc_labels[l];
+                self.b.bind(ml);
+            }
+        }
+        // Implicit return 0 when control falls off the end.
+        self.b.mov_imm(Reg::R0, 0);
+        self.b.push(Inst::Ret);
+    }
+
+    /// Attempts to fuse `first` (a value producer) with `second` (its
+    /// consumer). Returns `Some(2)` when both ops were compiled fused.
+    fn try_fuse(&mut self, first: Op, second: Op) -> Option<usize> {
+        // Producer: materialize the value into R2 without touching the
+        // operand stack.
+        enum Src {
+            Imm(u64),
+            Local(u8),
+        }
+        let src = match first {
+            Op::Const(v) => Src::Imm(v as u64),
+            Op::FConst(v) => Src::Imm(v.to_bits()),
+            Op::GetLocal(n) => Src::Local(n),
+            _ => return None,
+        };
+        let load_src = |jit: &mut Jit<'_>, reg: Reg| match src {
+            Src::Imm(v) => {
+                jit.b.mov_imm(reg, v);
+            }
+            Src::Local(n) => {
+                jit.b.push(Inst::Load {
+                    dst: reg,
+                    base: Reg::R10,
+                    offset: n as i64 * 8,
+                    width: Width::B8,
+                });
+            }
+        };
+        match second {
+            // value; SetLocal -> a straight register/immediate store.
+            Op::SetLocal(n) => {
+                load_src(self, Reg::R1);
+                self.b.push(Inst::Store {
+                    src: Reg::R1,
+                    base: Reg::R10,
+                    offset: n as i64 * 8,
+                    width: Width::B8,
+                });
+                Some(2)
+            }
+            // a on stack; value; binop -> pop a, combine, push.
+            Op::Add | Op::Sub | Op::Mul | Op::And | Op::Or | Op::Xor => {
+                self.pop_reg(Reg::R1);
+                load_src(self, Reg::R2);
+                let inst = match second {
+                    Op::Add => Inst::Add(Reg::R1, Reg::R2),
+                    Op::Sub => Inst::Sub(Reg::R1, Reg::R2),
+                    Op::Mul => Inst::Mul(Reg::R1, Reg::R2),
+                    Op::And => Inst::And(Reg::R1, Reg::R2),
+                    Op::Or => Inst::Or(Reg::R1, Reg::R2),
+                    _ => Inst::Xor(Reg::R1, Reg::R2),
+                };
+                self.b.push(inst);
+                self.push_reg(Reg::R1);
+                Some(2)
+            }
+            // a on stack; value; compare -> pop a, compare, push 0/1.
+            Op::Lt | Op::Le | Op::EqCmp | Op::Gt => {
+                self.pop_reg(Reg::R1);
+                load_src(self, Reg::R2);
+                self.b.push(Inst::Cmp(Reg::R1, Reg::R2));
+                self.b.mov_imm(Reg::R3, 0);
+                let cond = match second {
+                    Op::Lt => Cond::Lt,
+                    Op::Le => Cond::Le,
+                    Op::EqCmp => Cond::Eq,
+                    _ => Cond::Gt,
+                };
+                self.b.push(Inst::CmovImm(cond, Reg::R3, 1));
+                self.push_reg(Reg::R3);
+                Some(2)
+            }
+            _ => None,
+        }
+    }
+
+    fn push_reg(&mut self, r: Reg) {
+        self.b.push(Inst::Store { src: r, base: Reg::R14, offset: 0, width: Width::B8 });
+        self.b.push(Inst::AddImm(Reg::R14, 8));
+    }
+
+    fn pop_reg(&mut self, r: Reg) {
+        self.b.push(Inst::SubImm(Reg::R14, 8));
+        self.b.push(Inst::Load { dst: r, base: Reg::R14, offset: 0, width: Width::B8 });
+    }
+
+    /// Unpoisons a heap reference in `r` (pointer-poisoning mitigation).
+    fn unpoison(&mut self, r: Reg) {
+        if self.mits.other_js {
+            self.b.push(Inst::XorImm(r, layout::POISON_KEY));
+        }
+    }
+
+    /// Poisons a heap reference in `r` before it goes to memory/stack.
+    fn poison(&mut self, r: Reg) {
+        if self.mits.other_js {
+            self.b.push(Inst::XorImm(r, layout::POISON_KEY));
+        }
+    }
+
+    /// Emits a bump allocation of `words` 64-bit words; leaves the raw
+    /// (unpoisoned) reference in `R3`.
+    fn emit_alloc(&mut self, words: u64) {
+        self.b.mov_imm(Reg::R1, self.data_base + layout::HEAP_CELL_OFF);
+        self.b.push(Inst::Load { dst: Reg::R2, base: Reg::R1, offset: 0, width: Width::B8 });
+        self.b.push(Inst::Mov(Reg::R3, Reg::R2));
+        self.b.push(Inst::AddImm(Reg::R2, words * 8));
+        self.b.push(Inst::Store { src: Reg::R2, base: Reg::R1, offset: 0, width: Width::B8 });
+    }
+
+    fn compile_op(
+        &mut self,
+        func: &Function,
+        op: Op,
+        bc_labels: &std::collections::HashMap<BcLabel, Label>,
+    ) {
+        match op {
+            Op::Const(v) => {
+                self.b.mov_imm(Reg::R1, v as u64);
+                self.push_reg(Reg::R1);
+            }
+            Op::FConst(v) => {
+                self.b.mov_imm(Reg::R1, v.to_bits());
+                self.push_reg(Reg::R1);
+            }
+            Op::GetLocal(n) => {
+                self.b.push(Inst::Load {
+                    dst: Reg::R1,
+                    base: Reg::R10,
+                    offset: n as i64 * 8,
+                    width: Width::B8,
+                });
+                self.push_reg(Reg::R1);
+            }
+            Op::SetLocal(n) => {
+                self.pop_reg(Reg::R1);
+                self.b.push(Inst::Store {
+                    src: Reg::R1,
+                    base: Reg::R10,
+                    offset: n as i64 * 8,
+                    width: Width::B8,
+                });
+            }
+            Op::Dup => {
+                self.b.push(Inst::Load {
+                    dst: Reg::R1,
+                    base: Reg::R14,
+                    offset: -8,
+                    width: Width::B8,
+                });
+                self.push_reg(Reg::R1);
+            }
+            Op::Drop => {
+                self.b.push(Inst::SubImm(Reg::R14, 8));
+            }
+
+            Op::Add | Op::Sub | Op::Mul | Op::Div | Op::And | Op::Or | Op::Xor => {
+                self.pop_reg(Reg::R2);
+                self.pop_reg(Reg::R1);
+                let inst = match op {
+                    Op::Add => Inst::Add(Reg::R1, Reg::R2),
+                    Op::Sub => Inst::Sub(Reg::R1, Reg::R2),
+                    Op::Mul => Inst::Mul(Reg::R1, Reg::R2),
+                    Op::Div => Inst::Div(Reg::R1, Reg::R2),
+                    Op::And => Inst::And(Reg::R1, Reg::R2),
+                    Op::Or => Inst::Or(Reg::R1, Reg::R2),
+                    _ => Inst::Xor(Reg::R1, Reg::R2),
+                };
+                self.b.push(inst);
+                self.push_reg(Reg::R1);
+            }
+            Op::Shl(k) => {
+                self.pop_reg(Reg::R1);
+                self.b.push(Inst::Shl(Reg::R1, k));
+                self.push_reg(Reg::R1);
+            }
+            Op::Shr(k) => {
+                self.pop_reg(Reg::R1);
+                self.b.push(Inst::Shr(Reg::R1, k));
+                self.push_reg(Reg::R1);
+            }
+
+            Op::FAdd | Op::FSub | Op::FMul => {
+                self.b.push(Inst::SubImm(Reg::R14, 8));
+                self.b.push(Inst::Fload { dst: FReg::F1, base: Reg::R14, offset: 0 });
+                self.b.push(Inst::SubImm(Reg::R14, 8));
+                self.b.push(Inst::Fload { dst: FReg::F0, base: Reg::R14, offset: 0 });
+                let inst = match op {
+                    Op::FAdd => Inst::Fadd(FReg::F0, FReg::F1),
+                    Op::FSub => Inst::Fsub(FReg::F0, FReg::F1),
+                    _ => Inst::Fmul(FReg::F0, FReg::F1),
+                };
+                self.b.push(inst);
+                self.b.push(Inst::Fstore { src: FReg::F0, base: Reg::R14, offset: 0 });
+                self.b.push(Inst::AddImm(Reg::R14, 8));
+            }
+
+            Op::Lt | Op::Le | Op::EqCmp | Op::Gt => {
+                self.pop_reg(Reg::R2);
+                self.pop_reg(Reg::R1);
+                self.b.push(Inst::Cmp(Reg::R1, Reg::R2));
+                self.b.mov_imm(Reg::R3, 0);
+                let cond = match op {
+                    Op::Lt => Cond::Lt,
+                    Op::Le => Cond::Le,
+                    Op::EqCmp => Cond::Eq,
+                    _ => Cond::Gt,
+                };
+                self.b.push(Inst::CmovImm(cond, Reg::R3, 1));
+                self.push_reg(Reg::R3);
+            }
+
+            Op::Jump(l) => {
+                let ml = bc_labels[&l];
+                self.b.jmp(ml);
+            }
+            Op::JumpIfFalse(l) => {
+                self.pop_reg(Reg::R1);
+                self.b.cmp_imm(Reg::R1, 0);
+                let ml = bc_labels[&l];
+                self.b.jcc(Cond::Eq, ml);
+            }
+
+            Op::NewArray(len) => {
+                self.emit_alloc(1 + len as u64);
+                self.b.mov_imm(Reg::R4, len as u64);
+                self.b.push(Inst::Store { src: Reg::R4, base: Reg::R3, offset: 0, width: Width::B8 });
+                self.poison(Reg::R3);
+                self.push_reg(Reg::R3);
+            }
+            Op::ArrayLen => {
+                self.pop_reg(Reg::R1);
+                self.unpoison(Reg::R1);
+                self.b.push(Inst::Load { dst: Reg::R2, base: Reg::R1, offset: 0, width: Width::B8 });
+                self.push_reg(Reg::R2);
+            }
+            Op::ArrayGet => {
+                let oob = self.b.new_label();
+                let done = self.b.new_label();
+                self.pop_reg(Reg::R2); // index
+                self.pop_reg(Reg::R1); // array
+                self.unpoison(Reg::R1);
+                self.b.push(Inst::Load { dst: Reg::R3, base: Reg::R1, offset: 0, width: Width::B8 });
+                self.b.push(Inst::Cmp(Reg::R2, Reg::R3));
+                self.b.jcc(Cond::AboveEq, oob);
+                if self.mits.index_masking {
+                    // Zero the index when out of bounds: blocks the
+                    // speculative out-of-bounds access (Spectre V1).
+                    self.b.push(Inst::CmovImm(Cond::AboveEq, Reg::R2, 0));
+                }
+                self.b.push(Inst::Shl(Reg::R2, 3));
+                self.b.push(Inst::Add(Reg::R2, Reg::R1));
+                self.b.push(Inst::Load { dst: Reg::R4, base: Reg::R2, offset: 8, width: Width::B8 });
+                self.push_reg(Reg::R4);
+                self.b.jmp(done);
+                self.b.bind(oob);
+                self.b.mov_imm(Reg::R4, 0);
+                self.push_reg(Reg::R4);
+                self.b.bind(done);
+            }
+            Op::ArraySet => {
+                let skip = self.b.new_label();
+                self.pop_reg(Reg::R3); // value
+                self.pop_reg(Reg::R2); // index
+                self.pop_reg(Reg::R1); // array
+                self.unpoison(Reg::R1);
+                self.b.push(Inst::Load { dst: Reg::R4, base: Reg::R1, offset: 0, width: Width::B8 });
+                self.b.push(Inst::Cmp(Reg::R2, Reg::R4));
+                self.b.jcc(Cond::AboveEq, skip);
+                if self.mits.index_masking {
+                    self.b.push(Inst::CmovImm(Cond::AboveEq, Reg::R2, 0));
+                }
+                self.b.push(Inst::Shl(Reg::R2, 3));
+                self.b.push(Inst::Add(Reg::R2, Reg::R1));
+                self.b.push(Inst::Store { src: Reg::R3, base: Reg::R2, offset: 8, width: Width::B8 });
+                self.b.bind(skip);
+            }
+
+            Op::NewObject(shape) => {
+                let slots = self.engine.shape_slots(shape);
+                self.emit_alloc(1 + slots as u64);
+                self.b.mov_imm(Reg::R4, shape);
+                self.b.push(Inst::Store { src: Reg::R4, base: Reg::R3, offset: 0, width: Width::B8 });
+                self.poison(Reg::R3);
+                self.push_reg(Reg::R3);
+            }
+            Op::GetProp(shape, slot) => {
+                let bail = self.b.new_label();
+                let done = self.b.new_label();
+                self.pop_reg(Reg::R1);
+                self.unpoison(Reg::R1);
+                self.b.push(Inst::Load { dst: Reg::R2, base: Reg::R1, offset: 0, width: Width::B8 });
+                self.b.cmp_imm(Reg::R2, shape);
+                self.b.jcc(Cond::Ne, bail);
+                if self.mits.object_guards {
+                    // Shape-check poisoning: if the guard failed, the
+                    // speculative path dereferences the harmless poison
+                    // page instead of a type-confused object.
+                    self.b.push(Inst::CmovImm(
+                        Cond::Ne,
+                        Reg::R1,
+                        self.data_base + layout::POISON_OFF,
+                    ));
+                }
+                self.b.push(Inst::Load {
+                    dst: Reg::R3,
+                    base: Reg::R1,
+                    offset: 8 + slot as i64 * 8,
+                    width: Width::B8,
+                });
+                self.push_reg(Reg::R3);
+                self.b.jmp(done);
+                self.b.bind(bail);
+                self.b.mov_imm(Reg::R3, 0);
+                self.push_reg(Reg::R3);
+                self.b.bind(done);
+            }
+            Op::SetProp(shape, slot) => {
+                let skip = self.b.new_label();
+                self.pop_reg(Reg::R2); // value
+                self.pop_reg(Reg::R1); // object
+                self.unpoison(Reg::R1);
+                self.b.push(Inst::Load { dst: Reg::R3, base: Reg::R1, offset: 0, width: Width::B8 });
+                self.b.cmp_imm(Reg::R3, shape);
+                self.b.jcc(Cond::Ne, skip);
+                if self.mits.object_guards {
+                    self.b.push(Inst::CmovImm(
+                        Cond::Ne,
+                        Reg::R1,
+                        self.data_base + layout::POISON_OFF,
+                    ));
+                }
+                self.b.push(Inst::Store {
+                    src: Reg::R2,
+                    base: Reg::R1,
+                    offset: 8 + slot as i64 * 8,
+                    width: Width::B8,
+                });
+                self.b.bind(skip);
+            }
+
+            Op::Call(fid, nargs) => {
+                // Move stack arguments into the callee's locals, which sit
+                // just past the caller's frame.
+                let frame = func.n_locals as i64 * 8;
+                for i in (0..nargs as i64).rev() {
+                    self.pop_reg(Reg::R1);
+                    self.b.push(Inst::Store {
+                        src: Reg::R1,
+                        base: Reg::R10,
+                        offset: frame + i * 8,
+                        width: Width::B8,
+                    });
+                }
+                self.b.push(Inst::AddImm(Reg::R10, frame as u64));
+                let fl = self.func_labels[fid];
+                self.b.call(fl);
+                self.b.push(Inst::SubImm(Reg::R10, frame as u64));
+                self.push_reg(Reg::R0);
+            }
+            Op::Return => {
+                self.pop_reg(Reg::R0);
+                self.b.push(Inst::Ret);
+            }
+            Op::ReadTimer => {
+                self.b.push(Inst::Rdtsc(Reg::R1));
+                if self.mits.other_js {
+                    // Timer-precision reduction: round down to a coarse
+                    // granularity so cache-hit/miss differences vanish
+                    // from the sandbox's view.
+                    self.b.push(Inst::AndImm(Reg::R1, !0x7ff));
+                }
+                self.push_reg(Reg::R1);
+            }
+        }
+    }
+}

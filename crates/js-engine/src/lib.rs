@@ -1,0 +1,53 @@
+//! # js-engine — a miniature JavaScript-like engine with Spectre sandbox
+//! mitigations
+//!
+//! Production JS engines defend their sandbox boundary with extra
+//! instructions woven into JIT output (paper §4.3, §5.4): **index
+//! masking** before array accesses, **object guards** after shape checks,
+//! and assorted pointer-poisoning / timer-coarsening measures. This crate
+//! reproduces that mechanism literally: a stack-bytecode engine with a
+//! reference interpreter and a baseline JIT that lowers to `uarch`
+//! instructions, inserting exactly those guard sequences when enabled.
+//!
+//! The Octane-2-like benchmark suite (module [`octane`]) provides the
+//! workload for the paper's Figure 3: each benchmark is validated against
+//! the interpreter *and* an independent Rust reference, so the mitigation
+//! overhead measurements run on provably correct code.
+//!
+//! The engine runs as a *sandboxed process* on the simulated kernel: it
+//! enters seccomp at startup like Firefox's content processes — which is
+//! what opted browsers into SSBD under pre-5.16 kernels (§4.3, §7).
+
+pub mod bytecode;
+pub mod engine;
+pub mod interp;
+pub mod jit;
+pub mod octane;
+
+pub use bytecode::{FuncId, Function, FunctionBuilder, Op, ShapeId};
+pub use engine::{Engine, RunOutcome, Shape};
+
+/// Which JS-level mitigations the JIT weaves into its output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JsMitigations {
+    /// Index masking before array element accesses (Spectre V1).
+    pub index_masking: bool,
+    /// Object-pointer poisoning after failed shape checks (Spectre V1
+    /// type-confusion variants).
+    pub object_guards: bool,
+    /// The paper's "other JavaScript" slice: heap-reference poisoning
+    /// (and, in real engines, timer coarsening).
+    pub other_js: bool,
+}
+
+impl JsMitigations {
+    /// Everything on (the production default).
+    pub fn full() -> JsMitigations {
+        JsMitigations { index_masking: true, object_guards: true, other_js: true }
+    }
+
+    /// Everything off.
+    pub fn none() -> JsMitigations {
+        JsMitigations { index_masking: false, object_guards: false, other_js: false }
+    }
+}

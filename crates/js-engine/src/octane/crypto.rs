@@ -1,0 +1,177 @@
+//! `crypto` — big-integer arithmetic analogue.
+//!
+//! Octane's crypto benchmark does RSA over digit arrays; this analogue
+//! keeps the mix — tight loops of multiply/add/mask over integer arrays —
+//! with a schoolbook multiply-accumulate over 16-bit digit arrays.
+
+use crate::bytecode::{FunctionBuilder, Op};
+use crate::engine::Engine;
+
+/// Benchmark name.
+pub const NAME: &str = "crypto";
+
+/// Digits per operand.
+const DIGITS: i64 = 24;
+/// Multiply rounds.
+const ROUNDS: i64 = 60;
+
+/// Builds the engine program.
+pub fn build() -> Engine {
+    let mut e = Engine::new();
+
+    // Locals: 0=a, 1=b, 2=c, 3=i, 4=round, 5=carry, 6=t.
+    let mut f = FunctionBuilder::new("main", 0, 8);
+
+    // a[i] = i*13+5 & 0xffff ; b[i] = i*29+1 & 0xffff
+    f.op(Op::NewArray(DIGITS as u32));
+    f.op(Op::SetLocal(0));
+    f.op(Op::NewArray(DIGITS as u32));
+    f.op(Op::SetLocal(1));
+    f.op(Op::NewArray(DIGITS as u32));
+    f.op(Op::SetLocal(2));
+    f.op(Op::Const(0));
+    f.op(Op::SetLocal(3));
+    {
+        let top = f.new_label();
+        let done = f.new_label();
+        f.bind(top);
+        f.op(Op::GetLocal(3));
+        f.op(Op::Const(DIGITS));
+        f.op(Op::Lt);
+        f.op(Op::JumpIfFalse(done));
+        f.op(Op::GetLocal(0));
+        f.op(Op::GetLocal(3));
+        f.op(Op::GetLocal(3));
+        f.op(Op::Const(13));
+        f.op(Op::Mul);
+        f.op(Op::Const(5));
+        f.op(Op::Add);
+        f.op(Op::Const(0xffff));
+        f.op(Op::And);
+        f.op(Op::ArraySet);
+        f.op(Op::GetLocal(1));
+        f.op(Op::GetLocal(3));
+        f.op(Op::GetLocal(3));
+        f.op(Op::Const(29));
+        f.op(Op::Mul);
+        f.op(Op::Const(1));
+        f.op(Op::Add);
+        f.op(Op::Const(0xffff));
+        f.op(Op::And);
+        f.op(Op::ArraySet);
+        f.op(Op::GetLocal(3));
+        f.op(Op::Const(1));
+        f.op(Op::Add);
+        f.op(Op::SetLocal(3));
+        f.op(Op::Jump(top));
+        f.bind(done);
+    }
+
+    // Rounds of multiply-accumulate with carry:
+    // carry = round; for i: t = a[i]*b[i] + c[i] + carry;
+    // c[i] = t & 0xffff; carry = t >> 16.
+    f.counted_loop(4, ROUNDS, |f| {
+        f.op(Op::GetLocal(4));
+        f.op(Op::SetLocal(5)); // carry = round counter
+        f.op(Op::Const(0));
+        f.op(Op::SetLocal(3));
+        let top = f.new_label();
+        let done = f.new_label();
+        f.bind(top);
+        f.op(Op::GetLocal(3));
+        f.op(Op::Const(DIGITS));
+        f.op(Op::Lt);
+        f.op(Op::JumpIfFalse(done));
+        // t = a[i]*b[i] + c[i] + carry
+        f.op(Op::GetLocal(0));
+        f.op(Op::GetLocal(3));
+        f.op(Op::ArrayGet);
+        f.op(Op::GetLocal(1));
+        f.op(Op::GetLocal(3));
+        f.op(Op::ArrayGet);
+        f.op(Op::Mul);
+        f.op(Op::GetLocal(2));
+        f.op(Op::GetLocal(3));
+        f.op(Op::ArrayGet);
+        f.op(Op::Add);
+        f.op(Op::GetLocal(5));
+        f.op(Op::Add);
+        f.op(Op::SetLocal(6));
+        // c[i] = t & 0xffff
+        f.op(Op::GetLocal(2));
+        f.op(Op::GetLocal(3));
+        f.op(Op::GetLocal(6));
+        f.op(Op::Const(0xffff));
+        f.op(Op::And);
+        f.op(Op::ArraySet);
+        // carry = t >> 16
+        f.op(Op::GetLocal(6));
+        f.op(Op::Shr(16));
+        f.op(Op::SetLocal(5));
+        f.op(Op::GetLocal(3));
+        f.op(Op::Const(1));
+        f.op(Op::Add);
+        f.op(Op::SetLocal(3));
+        f.op(Op::Jump(top));
+        f.bind(done);
+    });
+
+    // Checksum = fold of c with rotation.
+    f.op(Op::Const(0));
+    f.op(Op::SetLocal(6));
+    f.op(Op::Const(0));
+    f.op(Op::SetLocal(3));
+    {
+        let top = f.new_label();
+        let done = f.new_label();
+        f.bind(top);
+        f.op(Op::GetLocal(3));
+        f.op(Op::Const(DIGITS));
+        f.op(Op::Lt);
+        f.op(Op::JumpIfFalse(done));
+        f.op(Op::GetLocal(6));
+        f.op(Op::Const(31));
+        f.op(Op::Mul);
+        f.op(Op::GetLocal(2));
+        f.op(Op::GetLocal(3));
+        f.op(Op::ArrayGet);
+        f.op(Op::Add);
+        f.op(Op::SetLocal(6));
+        f.op(Op::GetLocal(3));
+        f.op(Op::Const(1));
+        f.op(Op::Add);
+        f.op(Op::SetLocal(3));
+        f.op(Op::Jump(top));
+        f.bind(done);
+    }
+    f.op(Op::GetLocal(6));
+    f.op(Op::Return);
+
+    let fid = e.add_function(f.build());
+    e.set_main(fid);
+    e
+}
+
+/// Independent Rust implementation.
+pub fn reference() -> u64 {
+    let a: Vec<u64> = (0..DIGITS as u64).map(|i| (i * 13 + 5) & 0xffff).collect();
+    let b: Vec<u64> = (0..DIGITS as u64).map(|i| (i * 29 + 1) & 0xffff).collect();
+    let mut c = vec![0u64; DIGITS as usize];
+    // counted_loop counts the round counter down ROUNDS..=1.
+    for round in (1..=ROUNDS as u64).rev() {
+        let mut carry = round;
+        for i in 0..DIGITS as usize {
+            let t = a[i]
+                .wrapping_mul(b[i])
+                .wrapping_add(c[i])
+                .wrapping_add(carry);
+            c[i] = t & 0xffff;
+            carry = t >> 16;
+        }
+    }
+    let mut acc = 0u64;
+    for d in &c {
+        acc = acc.wrapping_mul(31).wrapping_add(*d);
+    }
+    acc
+}

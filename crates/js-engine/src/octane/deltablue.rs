@@ -1,0 +1,142 @@
+//! `deltablue` — a constraint-propagation analogue.
+//!
+//! Octane's deltablue propagates values through a constraint graph; this
+//! analogue keeps the defining behaviour — pointer chasing through a
+//! chain of heap objects with per-node arithmetic — using a linked chain
+//! of constraint nodes propagated repeatedly.
+
+use crate::bytecode::{FunctionBuilder, Op};
+use crate::engine::Engine;
+
+/// Benchmark name.
+pub const NAME: &str = "deltablue";
+
+/// Chain length.
+const NODES: i64 = 24;
+/// Propagation passes.
+const PASSES: i64 = 120;
+
+/// Builds the engine program.
+pub fn build() -> Engine {
+    let mut e = Engine::new();
+    // value, strength, next (reference; 0 terminates).
+    let node = e.add_shape(vec!["value", "strength", "next"]);
+
+    // Locals: 0=head, 1=i, 2=pass ctr, 3=cur, 4=prev_value, 5=tmp.
+    let mut f = FunctionBuilder::new("main", 0, 6);
+
+    // Build the chain back to front: head = Node(0, i*7+1, head).
+    f.op(Op::Const(0));
+    f.op(Op::SetLocal(0));
+    f.counted_loop(1, NODES, |f| {
+        f.op(Op::NewObject(node));
+        f.op(Op::SetLocal(3));
+        // strength = ctr * 7 + 1 (ctr counts down NODES..1).
+        f.op(Op::GetLocal(3));
+        f.op(Op::GetLocal(1));
+        f.op(Op::Const(7));
+        f.op(Op::Mul);
+        f.op(Op::Const(1));
+        f.op(Op::Add);
+        f.op(Op::SetProp(node, 1));
+        // next = head; head = cur.
+        f.op(Op::GetLocal(3));
+        f.op(Op::GetLocal(0));
+        f.op(Op::SetProp(node, 2));
+        f.op(Op::GetLocal(3));
+        f.op(Op::SetLocal(0));
+    });
+
+    // Propagate: for each pass, walk the chain accumulating
+    // cur.value = prev_value + cur.strength.
+    f.counted_loop(2, PASSES, |f| {
+        f.op(Op::GetLocal(0));
+        f.op(Op::SetLocal(3)); // cur = head
+        f.op(Op::Const(1));
+        f.op(Op::SetLocal(4)); // prev = 1
+        let walk = f.new_label();
+        let done = f.new_label();
+        f.bind(walk);
+        f.op(Op::GetLocal(3));
+        f.op(Op::JumpIfFalse(done));
+        // value = prev + strength (mask to keep it bounded)
+        f.op(Op::GetLocal(3));
+        f.op(Op::GetLocal(4));
+        f.op(Op::GetLocal(3));
+        f.op(Op::GetProp(node, 1));
+        f.op(Op::Add);
+        f.op(Op::Const(0xffff));
+        f.op(Op::And);
+        f.op(Op::SetProp(node, 0));
+        // prev = cur.value; cur = cur.next
+        f.op(Op::GetLocal(3));
+        f.op(Op::GetProp(node, 0));
+        f.op(Op::SetLocal(4));
+        f.op(Op::GetLocal(3));
+        f.op(Op::GetProp(node, 2));
+        f.op(Op::SetLocal(3));
+        f.op(Op::Jump(walk));
+        f.bind(done);
+    });
+
+    // Checksum: walk once summing value * 3 + strength.
+    f.op(Op::GetLocal(0));
+    f.op(Op::SetLocal(3));
+    f.op(Op::Const(0));
+    f.op(Op::SetLocal(5));
+    {
+        let walk = f.new_label();
+        let done = f.new_label();
+        f.bind(walk);
+        f.op(Op::GetLocal(3));
+        f.op(Op::JumpIfFalse(done));
+        f.op(Op::GetLocal(5));
+        f.op(Op::GetLocal(3));
+        f.op(Op::GetProp(node, 0));
+        f.op(Op::Const(3));
+        f.op(Op::Mul);
+        f.op(Op::Add);
+        f.op(Op::GetLocal(3));
+        f.op(Op::GetProp(node, 1));
+        f.op(Op::Add);
+        f.op(Op::SetLocal(5));
+        f.op(Op::GetLocal(3));
+        f.op(Op::GetProp(node, 2));
+        f.op(Op::SetLocal(3));
+        f.op(Op::Jump(walk));
+        f.bind(done);
+    }
+    f.op(Op::GetLocal(5));
+    f.op(Op::Return);
+
+    let fid = e.add_function(f.build());
+    e.set_main(fid);
+    e
+}
+
+/// Independent Rust implementation.
+pub fn reference() -> u64 {
+    // Chain built back to front with ctr = NODES..=1: the head has
+    // strength NODES*7+1... careful: counted_loop counts down, and each
+    // new node becomes head, so the final head was built with ctr=1.
+    let mut strengths = Vec::new();
+    for ctr in (1..=NODES as u64).rev() {
+        strengths.push(ctr * 7 + 1);
+    }
+    // head..tail order: last-built first. Built ctr=NODES..1, each
+    // prepended, so walking head→tail sees ctr=1,2,..,NODES.
+    let walk_strengths: Vec<u64> = (1..=NODES as u64).map(|c| c * 7 + 1).collect();
+    let mut values = vec![0u64; NODES as usize];
+    for _ in 0..PASSES {
+        let mut prev = 1u64;
+        for (i, s) in walk_strengths.iter().enumerate() {
+            values[i] = (prev.wrapping_add(*s)) & 0xffff;
+            prev = values[i];
+        }
+    }
+    let mut acc = 0u64;
+    for (i, s) in walk_strengths.iter().enumerate() {
+        acc = acc.wrapping_add(values[i].wrapping_mul(3)).wrapping_add(*s);
+    }
+    acc
+}

@@ -1,0 +1,141 @@
+//! `earley` — a list-processing analogue of Octane's EarleyBoyer.
+//!
+//! EarleyBoyer is Scheme-derived list/symbol crunching: allocation-heavy
+//! cons-cell manipulation with deep pointer chasing. This analogue builds
+//! cons lists from objects, maps over them (allocating fresh cells), and
+//! folds the result — the highest allocation rate in the suite.
+
+use crate::bytecode::{FunctionBuilder, Op};
+use crate::engine::Engine;
+
+/// Benchmark name.
+pub const NAME: &str = "earley";
+
+/// List length.
+const LEN: i64 = 48;
+/// Map/fold rounds (each round allocates a fresh list).
+const ROUNDS: i64 = 24;
+
+/// Builds the engine program.
+pub fn build() -> Engine {
+    let mut e = Engine::new();
+    let cell = e.add_shape(vec!["car", "cdr"]);
+
+    // cons(car, cdr) -> cell. Locals: 0=car, 1=cdr, 2=cell.
+    let cons = {
+        let mut f = FunctionBuilder::new("cons", 2, 3);
+        f.op(Op::NewObject(cell));
+        f.op(Op::SetLocal(2));
+        f.op(Op::GetLocal(2));
+        f.op(Op::GetLocal(0));
+        f.op(Op::SetProp(cell, 0));
+        f.op(Op::GetLocal(2));
+        f.op(Op::GetLocal(1));
+        f.op(Op::SetProp(cell, 1));
+        f.op(Op::GetLocal(2));
+        f.op(Op::Return);
+        e.add_function(f.build())
+    };
+
+    // map_add3(list) -> new list with car+3 each (reversed — order does
+    // not matter for the fold). Locals: 0=list, 1=out, 2=cur.
+    let map_add3 = {
+        let mut f = FunctionBuilder::new("map_add3", 1, 3);
+        f.op(Op::Const(0));
+        f.op(Op::SetLocal(1));
+        f.op(Op::GetLocal(0));
+        f.op(Op::SetLocal(2));
+        let walk = f.new_label();
+        let done = f.new_label();
+        f.bind(walk);
+        f.op(Op::GetLocal(2));
+        f.op(Op::JumpIfFalse(done));
+        // out = cons(cur.car + 3, out)
+        f.op(Op::GetLocal(2));
+        f.op(Op::GetProp(cell, 0));
+        f.op(Op::Const(3));
+        f.op(Op::Add);
+        f.op(Op::GetLocal(1));
+        f.op(Op::Call(cons, 2));
+        f.op(Op::SetLocal(1));
+        // cur = cur.cdr
+        f.op(Op::GetLocal(2));
+        f.op(Op::GetProp(cell, 1));
+        f.op(Op::SetLocal(2));
+        f.op(Op::Jump(walk));
+        f.bind(done);
+        f.op(Op::GetLocal(1));
+        f.op(Op::Return);
+        e.add_function(f.build())
+    };
+
+    // fold(list) -> sum of (car * 2 + 1). Locals: 0=list, 1=acc.
+    let fold = {
+        let mut f = FunctionBuilder::new("fold", 1, 2);
+        let walk = f.new_label();
+        let done = f.new_label();
+        f.bind(walk);
+        f.op(Op::GetLocal(0));
+        f.op(Op::JumpIfFalse(done));
+        f.op(Op::GetLocal(1));
+        f.op(Op::GetLocal(0));
+        f.op(Op::GetProp(cell, 0));
+        f.op(Op::Const(2));
+        f.op(Op::Mul);
+        f.op(Op::Const(1));
+        f.op(Op::Add);
+        f.op(Op::Add);
+        f.op(Op::SetLocal(1));
+        f.op(Op::GetLocal(0));
+        f.op(Op::GetProp(cell, 1));
+        f.op(Op::SetLocal(0));
+        f.op(Op::Jump(walk));
+        f.bind(done);
+        f.op(Op::GetLocal(1));
+        f.op(Op::Return);
+        e.add_function(f.build())
+    };
+
+    // main: build [1..LEN] as a cons list, then ROUNDS x (map, fold, acc).
+    // Locals: 0=list, 1=i, 2=round, 3=acc, 4=mapped.
+    let mut f = FunctionBuilder::new("main", 0, 5);
+    f.op(Op::Const(0));
+    f.op(Op::SetLocal(0));
+    f.counted_loop(1, LEN, |f| {
+        f.op(Op::GetLocal(1)); // counter (LEN..1)
+        f.op(Op::GetLocal(0));
+        f.op(Op::Call(cons, 2));
+        f.op(Op::SetLocal(0));
+    });
+    f.op(Op::Const(0));
+    f.op(Op::SetLocal(3));
+    f.counted_loop(2, ROUNDS, |f| {
+        f.op(Op::GetLocal(0));
+        f.op(Op::Call(map_add3, 1));
+        f.op(Op::SetLocal(4));
+        f.op(Op::GetLocal(3));
+        f.op(Op::GetLocal(4));
+        f.op(Op::Call(fold, 1));
+        f.op(Op::Add);
+        f.op(Op::SetLocal(3));
+    });
+    f.op(Op::GetLocal(3));
+    f.op(Op::Return);
+    let fid = e.add_function(f.build());
+    e.set_main(fid);
+    e
+}
+
+/// Independent Rust implementation.
+pub fn reference() -> u64 {
+    // The list is built with counter LEN..1 prepending, so head->tail
+    // order is 1, 2, …, LEN.
+    let base: Vec<u64> = (1..=LEN as u64).collect();
+    let mut acc = 0u64;
+    for _ in 0..ROUNDS {
+        let mapped: Vec<u64> = base.iter().map(|v| v + 3).collect();
+        let fold: u64 = mapped.iter().map(|v| v * 2 + 1).sum();
+        acc = acc.wrapping_add(fold);
+    }
+    acc
+}

@@ -1,0 +1,204 @@
+//! Octane-2-like benchmark suite (paper §4.3, Figure 3).
+//!
+//! Eight benchmarks mirroring the operation mixes of their Octane
+//! namesakes. Every benchmark has an independent Rust reference
+//! implementation; the test suite checks reference == interpreter ==
+//! JIT-on-simulator under every mitigation combination, so the overhead
+//! numbers in Figure 3 are measured on verifiably correct code.
+
+pub mod crypto;
+pub mod deltablue;
+pub mod earley;
+pub mod navier_stokes;
+pub mod raytrace;
+pub mod regexp;
+pub mod richards;
+pub mod splay;
+
+use sim_kernel::BootParams;
+use uarch::model::CpuModel;
+
+use crate::engine::{Engine, RunOutcome};
+use crate::JsMitigations;
+
+/// One benchmark of the suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OctaneBench {
+    /// Scheduler simulation (objects + branches).
+    Richards,
+    /// Constraint propagation (pointer chasing).
+    DeltaBlue,
+    /// Big-integer arithmetic (int arrays).
+    Crypto,
+    /// Tree workload (allocation + branchy lookups).
+    Splay,
+    /// Float stencil (float arrays).
+    NavierStokes,
+    /// Vector math (allocation + float objects).
+    RayTrace,
+    /// Pattern scanning (branchy byte arrays).
+    RegExp,
+    /// List processing (cons-cell allocation + pointer chasing).
+    Earley,
+}
+
+impl OctaneBench {
+    /// The whole suite.
+    pub const ALL: [OctaneBench; 8] = [
+        OctaneBench::Richards,
+        OctaneBench::DeltaBlue,
+        OctaneBench::Crypto,
+        OctaneBench::Splay,
+        OctaneBench::NavierStokes,
+        OctaneBench::RayTrace,
+        OctaneBench::RegExp,
+        OctaneBench::Earley,
+    ];
+
+    /// Benchmark name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OctaneBench::Richards => richards::NAME,
+            OctaneBench::DeltaBlue => deltablue::NAME,
+            OctaneBench::Crypto => crypto::NAME,
+            OctaneBench::Splay => splay::NAME,
+            OctaneBench::NavierStokes => navier_stokes::NAME,
+            OctaneBench::RayTrace => raytrace::NAME,
+            OctaneBench::RegExp => regexp::NAME,
+            OctaneBench::Earley => earley::NAME,
+        }
+    }
+
+    /// Builds the engine program.
+    pub fn build(self) -> Engine {
+        match self {
+            OctaneBench::Richards => richards::build(),
+            OctaneBench::DeltaBlue => deltablue::build(),
+            OctaneBench::Crypto => crypto::build(),
+            OctaneBench::Splay => splay::build(),
+            OctaneBench::NavierStokes => navier_stokes::build(),
+            OctaneBench::RayTrace => raytrace::build(),
+            OctaneBench::RegExp => regexp::build(),
+            OctaneBench::Earley => earley::build(),
+        }
+    }
+
+    /// The independent Rust reference result.
+    pub fn reference(self) -> u64 {
+        match self {
+            OctaneBench::Richards => richards::reference(),
+            OctaneBench::DeltaBlue => deltablue::reference(),
+            OctaneBench::Crypto => crypto::reference(),
+            OctaneBench::Splay => splay::reference(),
+            OctaneBench::NavierStokes => navier_stokes::reference(),
+            OctaneBench::RayTrace => raytrace::reference(),
+            OctaneBench::RegExp => regexp::reference(),
+            OctaneBench::Earley => earley::reference(),
+        }
+    }
+}
+
+/// Runs one benchmark under the given CPU/kernel/JS configuration,
+/// asserting the result is correct.
+///
+/// # Panics
+///
+/// Panics if the JIT result disagrees with the Rust reference.
+pub fn run_bench(
+    bench: OctaneBench,
+    model: &CpuModel,
+    params: &BootParams,
+    mits: JsMitigations,
+) -> RunOutcome {
+    let engine = bench.build();
+    let out = engine.run_jit(model, params, mits);
+    assert_eq!(
+        out.result,
+        bench.reference(),
+        "{} must compute the reference result",
+        bench.name()
+    );
+    out
+}
+
+/// Geometric-mean suite score: higher is faster; the absolute scale is
+/// arbitrary, as in Octane.
+pub fn suite_score(cycles: &[u64]) -> f64 {
+    let log_sum: f64 = cycles.iter().map(|c| (1e9 / *c as f64).ln()).sum();
+    (log_sum / cycles.len() as f64).exp()
+}
+
+/// Runs the whole suite; returns (per-bench cycles, suite score).
+pub fn run_suite(
+    model: &CpuModel,
+    params: &BootParams,
+    mits: JsMitigations,
+) -> (Vec<(OctaneBench, u64)>, f64) {
+    let mut cycles = Vec::new();
+    for bench in OctaneBench::ALL {
+        let out = run_bench(bench, model, params, mits);
+        cycles.push((bench, out.cycles));
+    }
+    let score = suite_score(&cycles.iter().map(|(_, c)| *c).collect::<Vec<_>>());
+    (cycles, score)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpu_models::{ice_lake_server, skylake_client};
+
+    #[test]
+    fn every_benchmark_matches_its_reference_in_the_interpreter() {
+        for bench in OctaneBench::ALL {
+            let engine = bench.build();
+            assert_eq!(
+                engine.interpret().unwrap(),
+                bench.reference(),
+                "{} interpreter vs reference",
+                bench.name()
+            );
+        }
+    }
+
+    #[test]
+    fn every_benchmark_is_correct_under_full_and_no_mitigations() {
+        let model = ice_lake_server();
+        for bench in OctaneBench::ALL {
+            for mits in [JsMitigations::none(), JsMitigations::full()] {
+                // run_bench asserts correctness internally.
+                let out = run_bench(bench, &model, &BootParams::default(), mits);
+                assert!(out.cycles > 10_000, "{} too small to measure", bench.name());
+            }
+        }
+    }
+
+    #[test]
+    fn index_masking_costs_single_digit_percentages() {
+        // Figure 3: index masking ≈ 4% on most systems.
+        let model = skylake_client();
+        let params = BootParams::default();
+        let baseline: u64 = OctaneBench::ALL
+            .iter()
+            .map(|b| run_bench(*b, &model, &params, JsMitigations::none()).cycles)
+            .sum();
+        let masked: u64 = OctaneBench::ALL
+            .iter()
+            .map(|b| {
+                run_bench(
+                    *b,
+                    &model,
+                    &params,
+                    JsMitigations { index_masking: true, object_guards: false, other_js: false },
+                )
+                .cycles
+            })
+            .sum();
+        let overhead = masked as f64 / baseline as f64 - 1.0;
+        assert!(
+            overhead > 0.005 && overhead < 0.15,
+            "index masking should cost a few percent, got {:.2}%",
+            overhead * 100.0
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! `navier-stokes` — a float-stencil analogue.
+//!
+//! Octane's NavierStokes solves a fluid grid with floating-point stencil
+//! sweeps over typed arrays. This analogue runs a 1-D diffusion stencil
+//! over a float array: the same array-read/float-math/array-write inner
+//! loop, where index masking sits on every element access.
+
+use crate::bytecode::{FunctionBuilder, Op};
+use crate::engine::Engine;
+
+/// Benchmark name.
+pub const NAME: &str = "navier-stokes";
+
+/// Grid cells.
+const CELLS: i64 = 128;
+/// Diffusion sweeps.
+const SWEEPS: i64 = 60;
+/// Stencil weight.
+const WEIGHT: f64 = 0.3330078125; // exactly representable
+
+/// Builds the engine program.
+pub fn build() -> Engine {
+    let mut e = Engine::new();
+
+    // Locals: 0=grid, 1=i, 2=sweep, 3=sum(bits).
+    let mut f = FunctionBuilder::new("main", 0, 4);
+
+    // grid[i] = (i % 7) as float — build via integer i, float conversion
+    // is emulated by pushing precomputed f64 constants cannot depend on i,
+    // so initialize with a simple arithmetic float recurrence instead:
+    // v = 0.0; for i: grid[i] = v; v = v * 0.5 + 1.25.
+    f.op(Op::NewArray(CELLS as u32));
+    f.op(Op::SetLocal(0));
+    f.op(Op::FConst(0.0));
+    f.op(Op::SetLocal(3)); // reuse 3 as the float seed v
+    f.op(Op::Const(0));
+    f.op(Op::SetLocal(1));
+    {
+        let top = f.new_label();
+        let done = f.new_label();
+        f.bind(top);
+        f.op(Op::GetLocal(1));
+        f.op(Op::Const(CELLS));
+        f.op(Op::Lt);
+        f.op(Op::JumpIfFalse(done));
+        f.op(Op::GetLocal(0));
+        f.op(Op::GetLocal(1));
+        f.op(Op::GetLocal(3));
+        f.op(Op::ArraySet);
+        // v = v * 0.5 + 1.25
+        f.op(Op::GetLocal(3));
+        f.op(Op::FConst(0.5));
+        f.op(Op::FMul);
+        f.op(Op::FConst(1.25));
+        f.op(Op::FAdd);
+        f.op(Op::SetLocal(3));
+        f.op(Op::GetLocal(1));
+        f.op(Op::Const(1));
+        f.op(Op::Add);
+        f.op(Op::SetLocal(1));
+        f.op(Op::Jump(top));
+        f.bind(done);
+    }
+
+    // Sweeps: for i in 1..CELLS-1: g[i] = (g[i-1] + g[i] + g[i+1]) * W.
+    f.counted_loop(2, SWEEPS, |f| {
+        f.op(Op::Const(1));
+        f.op(Op::SetLocal(1));
+        let top = f.new_label();
+        let done = f.new_label();
+        f.bind(top);
+        f.op(Op::GetLocal(1));
+        f.op(Op::Const(CELLS - 1));
+        f.op(Op::Lt);
+        f.op(Op::JumpIfFalse(done));
+        // g[i] = (g[i-1] + g[i] + g[i+1]) * W
+        f.op(Op::GetLocal(0));
+        f.op(Op::GetLocal(1));
+        // compute value first: push g[i-1]
+        f.op(Op::GetLocal(0));
+        f.op(Op::GetLocal(1));
+        f.op(Op::Const(1));
+        f.op(Op::Sub);
+        f.op(Op::ArrayGet);
+        f.op(Op::GetLocal(0));
+        f.op(Op::GetLocal(1));
+        f.op(Op::ArrayGet);
+        f.op(Op::FAdd);
+        f.op(Op::GetLocal(0));
+        f.op(Op::GetLocal(1));
+        f.op(Op::Const(1));
+        f.op(Op::Add);
+        f.op(Op::ArrayGet);
+        f.op(Op::FAdd);
+        f.op(Op::FConst(WEIGHT));
+        f.op(Op::FMul);
+        f.op(Op::ArraySet);
+        f.op(Op::GetLocal(1));
+        f.op(Op::Const(1));
+        f.op(Op::Add);
+        f.op(Op::SetLocal(1));
+        f.op(Op::Jump(top));
+        f.bind(done);
+    });
+
+    // Checksum: XOR of all cell bit patterns.
+    f.op(Op::Const(0));
+    f.op(Op::SetLocal(3));
+    f.op(Op::Const(0));
+    f.op(Op::SetLocal(1));
+    {
+        let top = f.new_label();
+        let done = f.new_label();
+        f.bind(top);
+        f.op(Op::GetLocal(1));
+        f.op(Op::Const(CELLS));
+        f.op(Op::Lt);
+        f.op(Op::JumpIfFalse(done));
+        f.op(Op::GetLocal(3));
+        f.op(Op::GetLocal(0));
+        f.op(Op::GetLocal(1));
+        f.op(Op::ArrayGet);
+        f.op(Op::Xor);
+        f.op(Op::SetLocal(3));
+        f.op(Op::GetLocal(1));
+        f.op(Op::Const(1));
+        f.op(Op::Add);
+        f.op(Op::SetLocal(1));
+        f.op(Op::Jump(top));
+        f.bind(done);
+    }
+    f.op(Op::GetLocal(3));
+    f.op(Op::Return);
+
+    let fid = e.add_function(f.build());
+    e.set_main(fid);
+    e
+}
+
+/// Independent Rust implementation (bit-identical IEEE order).
+pub fn reference() -> u64 {
+    let mut grid = vec![0f64; CELLS as usize];
+    let mut v = 0f64;
+    for cell in grid.iter_mut() {
+        *cell = v;
+        v = v * 0.5 + 1.25;
+    }
+    for _ in 0..SWEEPS {
+        for i in 1..(CELLS - 1) as usize {
+            grid[i] = (grid[i - 1] + grid[i] + grid[i + 1]) * WEIGHT;
+        }
+    }
+    let mut acc = 0u64;
+    for cell in &grid {
+        acc ^= cell.to_bits();
+    }
+    acc
+}

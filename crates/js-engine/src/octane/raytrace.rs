@@ -1,0 +1,117 @@
+//! `raytrace` — a vector-math and allocation analogue.
+//!
+//! Octane's raytrace allocates vector/colour objects at a furious rate
+//! and does float math on their fields. This analogue keeps the profile:
+//! per-iteration allocation of vec3 objects, dot products across their
+//! slots, and an accumulating float result.
+
+use crate::bytecode::{FunctionBuilder, Op};
+use crate::engine::Engine;
+
+/// Benchmark name.
+pub const NAME: &str = "raytrace";
+
+/// Rays traced.
+const RAYS: i64 = 700;
+
+/// Builds the engine program.
+pub fn build() -> Engine {
+    let mut e = Engine::new();
+    let vec3 = e.add_shape(vec!["x", "y", "z"]);
+
+    // dot(a, b) -> f64 bits. Locals: 0=a, 1=b.
+    let dot = {
+        let mut f = FunctionBuilder::new("dot", 2, 2);
+        f.op(Op::GetLocal(0));
+        f.op(Op::GetProp(vec3, 0));
+        f.op(Op::GetLocal(1));
+        f.op(Op::GetProp(vec3, 0));
+        f.op(Op::FMul);
+        f.op(Op::GetLocal(0));
+        f.op(Op::GetProp(vec3, 1));
+        f.op(Op::GetLocal(1));
+        f.op(Op::GetProp(vec3, 1));
+        f.op(Op::FMul);
+        f.op(Op::FAdd);
+        f.op(Op::GetLocal(0));
+        f.op(Op::GetProp(vec3, 2));
+        f.op(Op::GetLocal(1));
+        f.op(Op::GetProp(vec3, 2));
+        f.op(Op::FMul);
+        f.op(Op::FAdd);
+        f.op(Op::Return);
+        e.add_function(f.build())
+    };
+
+    // main. Locals: 0=ray, 1=normal, 2=ctr, 3=acc bits, 4=t bits.
+    let mut f = FunctionBuilder::new("main", 0, 5);
+    f.op(Op::FConst(0.0));
+    f.op(Op::SetLocal(3));
+    f.op(Op::FConst(0.125));
+    f.op(Op::SetLocal(4)); // evolving component seed
+    f.counted_loop(2, RAYS, |f| {
+        // ray = vec3(t, t*2, 1.5); normal = vec3(0.5, t, t+0.25)
+        f.op(Op::NewObject(vec3));
+        f.op(Op::SetLocal(0));
+        f.op(Op::GetLocal(0));
+        f.op(Op::GetLocal(4));
+        f.op(Op::SetProp(vec3, 0));
+        f.op(Op::GetLocal(0));
+        f.op(Op::GetLocal(4));
+        f.op(Op::FConst(2.0));
+        f.op(Op::FMul);
+        f.op(Op::SetProp(vec3, 1));
+        f.op(Op::GetLocal(0));
+        f.op(Op::FConst(1.5));
+        f.op(Op::SetProp(vec3, 2));
+
+        f.op(Op::NewObject(vec3));
+        f.op(Op::SetLocal(1));
+        f.op(Op::GetLocal(1));
+        f.op(Op::FConst(0.5));
+        f.op(Op::SetProp(vec3, 0));
+        f.op(Op::GetLocal(1));
+        f.op(Op::GetLocal(4));
+        f.op(Op::SetProp(vec3, 1));
+        f.op(Op::GetLocal(1));
+        f.op(Op::GetLocal(4));
+        f.op(Op::FConst(0.25));
+        f.op(Op::FAdd);
+        f.op(Op::SetProp(vec3, 2));
+
+        // acc += dot(ray, normal)
+        f.op(Op::GetLocal(3));
+        f.op(Op::GetLocal(0));
+        f.op(Op::GetLocal(1));
+        f.op(Op::Call(dot, 2));
+        f.op(Op::FAdd);
+        f.op(Op::SetLocal(3));
+
+        // t = t * 0.75 + 0.0625
+        f.op(Op::GetLocal(4));
+        f.op(Op::FConst(0.75));
+        f.op(Op::FMul);
+        f.op(Op::FConst(0.0625));
+        f.op(Op::FAdd);
+        f.op(Op::SetLocal(4));
+    });
+    f.op(Op::GetLocal(3));
+    f.op(Op::Return);
+    let fid = e.add_function(f.build());
+    e.set_main(fid);
+    e
+}
+
+/// Independent Rust implementation (bit-identical IEEE order).
+pub fn reference() -> u64 {
+    let mut acc = 0f64;
+    let mut t = 0.125f64;
+    for _ in 0..RAYS {
+        let ray = (t, t * 2.0, 1.5f64);
+        let normal = (0.5f64, t, t + 0.25);
+        let dot = ray.0 * normal.0 + ray.1 * normal.1 + ray.2 * normal.2;
+        acc += dot;
+        t = t * 0.75 + 0.0625;
+    }
+    acc.to_bits()
+}

@@ -1,0 +1,136 @@
+//! `regexp` — a pattern-scanning analogue.
+//!
+//! Octane's RegExp benchmark stresses byte scanning with data-dependent
+//! branches. This analogue scans a pseudo-random byte array for a
+//! two-element pattern, counting matches — branchy, array-read-heavy,
+//! with the bounds check (and its mask) on every probe.
+
+use crate::bytecode::{FunctionBuilder, Op};
+use crate::engine::Engine;
+
+/// Benchmark name.
+pub const NAME: &str = "regexp";
+
+/// Haystack length.
+const HAY: i64 = 256;
+/// Scan passes.
+const PASSES: i64 = 30;
+/// LCG parameters.
+const LCG_A: i64 = 1103515245;
+const LCG_C: i64 = 12345;
+
+/// Builds the engine program.
+pub fn build() -> Engine {
+    let mut e = Engine::new();
+    // Locals: 0=hay, 1=i, 2=pass, 3=count, 4=seed, 5=byte.
+    let mut f = FunctionBuilder::new("main", 0, 6);
+
+    // Fill the haystack with LCG bytes.
+    f.op(Op::NewArray(HAY as u32));
+    f.op(Op::SetLocal(0));
+    f.op(Op::Const(7));
+    f.op(Op::SetLocal(4));
+    f.op(Op::Const(0));
+    f.op(Op::SetLocal(1));
+    {
+        let top = f.new_label();
+        let done = f.new_label();
+        f.bind(top);
+        f.op(Op::GetLocal(1));
+        f.op(Op::Const(HAY));
+        f.op(Op::Lt);
+        f.op(Op::JumpIfFalse(done));
+        f.op(Op::GetLocal(4));
+        f.op(Op::Const(LCG_A));
+        f.op(Op::Mul);
+        f.op(Op::Const(LCG_C));
+        f.op(Op::Add);
+        f.op(Op::SetLocal(4));
+        f.op(Op::GetLocal(0));
+        f.op(Op::GetLocal(1));
+        f.op(Op::GetLocal(4));
+        f.op(Op::Shr(16));
+        f.op(Op::Const(0xff));
+        f.op(Op::And);
+        f.op(Op::ArraySet);
+        f.op(Op::GetLocal(1));
+        f.op(Op::Const(1));
+        f.op(Op::Add);
+        f.op(Op::SetLocal(1));
+        f.op(Op::Jump(top));
+        f.bind(done);
+    }
+
+    // Scan: count positions where hay[i] == 0x41 and hay[i+1] == 0x42 is
+    // relaxed to (hay[i] & 0xf0) == 0x40 so matches actually occur.
+    f.op(Op::Const(0));
+    f.op(Op::SetLocal(3));
+    f.counted_loop(2, PASSES, |f| {
+        f.op(Op::Const(0));
+        f.op(Op::SetLocal(1));
+        let top = f.new_label();
+        let done = f.new_label();
+        let no_match = f.new_label();
+        f.bind(top);
+        f.op(Op::GetLocal(1));
+        f.op(Op::Const(HAY - 1));
+        f.op(Op::Lt);
+        f.op(Op::JumpIfFalse(done));
+        // b = hay[i]
+        f.op(Op::GetLocal(0));
+        f.op(Op::GetLocal(1));
+        f.op(Op::ArrayGet);
+        f.op(Op::Const(0xf0));
+        f.op(Op::And);
+        f.op(Op::Const(0x40));
+        f.op(Op::EqCmp);
+        f.op(Op::JumpIfFalse(no_match));
+        // second element: (hay[i+1] & 0x0f) == 0x02
+        f.op(Op::GetLocal(0));
+        f.op(Op::GetLocal(1));
+        f.op(Op::Const(1));
+        f.op(Op::Add);
+        f.op(Op::ArrayGet);
+        f.op(Op::Const(0x0f));
+        f.op(Op::And);
+        f.op(Op::Const(0x02));
+        f.op(Op::EqCmp);
+        f.op(Op::JumpIfFalse(no_match));
+        f.op(Op::GetLocal(3));
+        f.op(Op::Const(1));
+        f.op(Op::Add);
+        f.op(Op::SetLocal(3));
+        f.bind(no_match);
+        f.op(Op::GetLocal(1));
+        f.op(Op::Const(1));
+        f.op(Op::Add);
+        f.op(Op::SetLocal(1));
+        f.op(Op::Jump(top));
+        f.bind(done);
+    });
+    f.op(Op::GetLocal(3));
+    f.op(Op::Return);
+
+    let fid = e.add_function(f.build());
+    e.set_main(fid);
+    e
+}
+
+/// Independent Rust implementation.
+pub fn reference() -> u64 {
+    let mut hay = vec![0u64; HAY as usize];
+    let mut seed: u64 = 7;
+    for b in hay.iter_mut() {
+        seed = seed.wrapping_mul(LCG_A as u64).wrapping_add(LCG_C as u64);
+        *b = (seed >> 16) & 0xff;
+    }
+    let mut count = 0u64;
+    for _ in 0..PASSES {
+        for i in 0..(HAY - 1) as usize {
+            if hay[i] & 0xf0 == 0x40 && hay[i + 1] & 0x0f == 0x02 {
+                count = count.wrapping_add(1);
+            }
+        }
+    }
+    count
+}

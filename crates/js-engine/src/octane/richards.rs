@@ -1,0 +1,169 @@
+//! `richards` — an OS-scheduler simulation analogue.
+//!
+//! Octane's richards simulates task dispatching; this analogue keeps the
+//! operation mix (object property reads/writes + branches in a hot loop)
+//! with a bank of task objects whose states evolve round-robin.
+
+use crate::bytecode::{FunctionBuilder, Op};
+use crate::engine::Engine;
+
+/// Benchmark name.
+pub const NAME: &str = "richards";
+
+/// Task count.
+const TASKS: i64 = 6;
+/// Scheduler rounds.
+const ROUNDS: i64 = 400;
+
+/// Builds the engine program.
+pub fn build() -> Engine {
+    let mut e = Engine::new();
+    let task = e.add_shape(vec!["state", "work"]);
+
+    // Locals: 0=tasks array, 1=i, 2=round counter, 3=t, 4=acc, 5=s.
+    let mut f = FunctionBuilder::new("main", 0, 6);
+
+    // tasks = new Array(TASKS); for i in 0..TASKS: tasks[i] = Task(i+1, 0)
+    f.op(Op::NewArray(TASKS as u32));
+    f.op(Op::SetLocal(0));
+    f.op(Op::Const(0));
+    f.op(Op::SetLocal(1));
+    {
+        let top = f.new_label();
+        let done = f.new_label();
+        f.bind(top);
+        f.op(Op::GetLocal(1));
+        f.op(Op::Const(TASKS));
+        f.op(Op::Lt);
+        f.op(Op::JumpIfFalse(done));
+        // t = new Task; t.state = i + 1; t.work = 0 (fresh heap is zero).
+        f.op(Op::NewObject(task));
+        f.op(Op::SetLocal(3));
+        f.op(Op::GetLocal(3));
+        f.op(Op::GetLocal(1));
+        f.op(Op::Const(1));
+        f.op(Op::Add);
+        f.op(Op::SetProp(task, 0));
+        // tasks[i] = t
+        f.op(Op::GetLocal(0));
+        f.op(Op::GetLocal(1));
+        f.op(Op::GetLocal(3));
+        f.op(Op::ArraySet);
+        // i += 1
+        f.op(Op::GetLocal(1));
+        f.op(Op::Const(1));
+        f.op(Op::Add);
+        f.op(Op::SetLocal(1));
+        f.op(Op::Jump(top));
+        f.bind(done);
+    }
+
+    // Scheduler rounds.
+    f.counted_loop(2, ROUNDS, |f| {
+        f.op(Op::Const(0));
+        f.op(Op::SetLocal(1));
+        let top = f.new_label();
+        let done = f.new_label();
+        let skip = f.new_label();
+        f.bind(top);
+        f.op(Op::GetLocal(1));
+        f.op(Op::Const(TASKS));
+        f.op(Op::Lt);
+        f.op(Op::JumpIfFalse(done));
+        // t = tasks[i]; s = t.state
+        f.op(Op::GetLocal(0));
+        f.op(Op::GetLocal(1));
+        f.op(Op::ArrayGet);
+        f.op(Op::SetLocal(3));
+        f.op(Op::GetLocal(3));
+        f.op(Op::GetProp(task, 0));
+        f.op(Op::SetLocal(5));
+        // if s != 0 { t.work += s; t.state = (s*5+3) & 7 }
+        f.op(Op::GetLocal(5));
+        f.op(Op::JumpIfFalse(skip));
+        f.op(Op::GetLocal(3));
+        f.op(Op::GetLocal(3));
+        f.op(Op::GetProp(task, 1));
+        f.op(Op::GetLocal(5));
+        f.op(Op::Add);
+        f.op(Op::SetProp(task, 1));
+        f.op(Op::GetLocal(3));
+        f.op(Op::GetLocal(5));
+        f.op(Op::Const(5));
+        f.op(Op::Mul);
+        f.op(Op::Const(3));
+        f.op(Op::Add);
+        f.op(Op::Const(7));
+        f.op(Op::And);
+        f.op(Op::SetProp(task, 0));
+        f.bind(skip);
+        // i += 1
+        f.op(Op::GetLocal(1));
+        f.op(Op::Const(1));
+        f.op(Op::Add);
+        f.op(Op::SetLocal(1));
+        f.op(Op::Jump(top));
+        f.bind(done);
+    });
+
+    // acc = sum(t.work * 3 + t.state)
+    f.op(Op::Const(0));
+    f.op(Op::SetLocal(4));
+    f.op(Op::Const(0));
+    f.op(Op::SetLocal(1));
+    {
+        let top = f.new_label();
+        let done = f.new_label();
+        f.bind(top);
+        f.op(Op::GetLocal(1));
+        f.op(Op::Const(TASKS));
+        f.op(Op::Lt);
+        f.op(Op::JumpIfFalse(done));
+        f.op(Op::GetLocal(0));
+        f.op(Op::GetLocal(1));
+        f.op(Op::ArrayGet);
+        f.op(Op::SetLocal(3));
+        f.op(Op::GetLocal(4));
+        f.op(Op::GetLocal(3));
+        f.op(Op::GetProp(task, 1));
+        f.op(Op::Const(3));
+        f.op(Op::Mul);
+        f.op(Op::Add);
+        f.op(Op::GetLocal(3));
+        f.op(Op::GetProp(task, 0));
+        f.op(Op::Add);
+        f.op(Op::SetLocal(4));
+        f.op(Op::GetLocal(1));
+        f.op(Op::Const(1));
+        f.op(Op::Add);
+        f.op(Op::SetLocal(1));
+        f.op(Op::Jump(top));
+        f.bind(done);
+    }
+    f.op(Op::GetLocal(4));
+    f.op(Op::Return);
+
+    let fid = e.add_function(f.build());
+    e.set_main(fid);
+    e
+}
+
+/// Independent Rust implementation of the same computation.
+pub fn reference() -> u64 {
+    let mut state: Vec<u64> = (1..=TASKS as u64).collect();
+    let mut work = vec![0u64; TASKS as usize];
+    for _ in 0..ROUNDS {
+        for i in 0..TASKS as usize {
+            let s = state[i];
+            if s != 0 {
+                work[i] = work[i].wrapping_add(s);
+                state[i] = (s.wrapping_mul(5).wrapping_add(3)) & 7;
+            }
+        }
+    }
+    let mut acc = 0u64;
+    for i in 0..TASKS as usize {
+        acc = acc.wrapping_add(work[i].wrapping_mul(3)).wrapping_add(state[i]);
+    }
+    acc
+}

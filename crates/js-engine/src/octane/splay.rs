@@ -1,0 +1,262 @@
+//! `splay` — a tree-workload analogue.
+//!
+//! Octane's splay benchmark stresses object allocation and tree
+//! manipulation. This analogue builds a binary search tree of heap
+//! objects from pseudo-random keys (an LCG computed in bytecode) and then
+//! sums the keys found by repeated lookups. Allocation-heavy, branchy,
+//! pointer-chasing — the same profile the original stresses.
+
+use crate::bytecode::{FunctionBuilder, Op};
+use crate::engine::Engine;
+
+/// Benchmark name.
+pub const NAME: &str = "splay";
+
+/// Keys inserted.
+const INSERTS: i64 = 80;
+/// Lookups performed.
+const LOOKUPS: i64 = 240;
+/// LCG parameters (16-bit keys).
+const LCG_A: i64 = 1103515245;
+const LCG_C: i64 = 12345;
+
+/// Builds the engine program.
+pub fn build() -> Engine {
+    let mut e = Engine::new();
+    let node = e.add_shape(vec!["key", "left", "right"]);
+
+    // insert(root, key) -> root. Iterative insertion.
+    // Locals: 0=root, 1=key, 2=cur, 3=new node.
+    let insert = {
+        let mut f = FunctionBuilder::new("insert", 2, 4);
+        let have_root = f.new_label();
+        let walk = f.new_label();
+        let go_left = f.new_label();
+        let done = f.new_label();
+        let ret_root = f.new_label();
+        // node = Node(key)
+        f.op(Op::NewObject(node));
+        f.op(Op::SetLocal(3));
+        f.op(Op::GetLocal(3));
+        f.op(Op::GetLocal(1));
+        f.op(Op::SetProp(node, 0));
+        // if root == 0: return node
+        f.op(Op::GetLocal(0));
+        f.op(Op::JumpIfFalse(have_root));
+        f.op(Op::Jump(ret_root));
+        f.bind(have_root);
+        f.op(Op::GetLocal(3));
+        f.op(Op::Return);
+        f.bind(ret_root);
+        // cur = root; loop
+        f.op(Op::GetLocal(0));
+        f.op(Op::SetLocal(2));
+        f.bind(walk);
+        // if key < cur.key → left else right; equal keys go right.
+        f.op(Op::GetLocal(1));
+        f.op(Op::GetLocal(2));
+        f.op(Op::GetProp(node, 0));
+        f.op(Op::Lt);
+        f.op(Op::JumpIfFalse(go_left)); // falls through to RIGHT when false
+        // LEFT: if cur.left == 0 { cur.left = node; done } else cur = cur.left
+        {
+            let descend = f.new_label();
+            f.op(Op::GetLocal(2));
+            f.op(Op::GetProp(node, 1));
+            f.op(Op::JumpIfFalse(descend));
+            // cur = cur.left; continue
+            f.op(Op::GetLocal(2));
+            f.op(Op::GetProp(node, 1));
+            f.op(Op::SetLocal(2));
+            f.op(Op::Jump(walk));
+            f.bind(descend);
+            f.op(Op::GetLocal(2));
+            f.op(Op::GetLocal(3));
+            f.op(Op::SetProp(node, 1));
+            f.op(Op::Jump(done));
+        }
+        f.bind(go_left);
+        // RIGHT: if cur.right == 0 { cur.right = node; done } else descend
+        {
+            let descend = f.new_label();
+            f.op(Op::GetLocal(2));
+            f.op(Op::GetProp(node, 2));
+            f.op(Op::JumpIfFalse(descend));
+            f.op(Op::GetLocal(2));
+            f.op(Op::GetProp(node, 2));
+            f.op(Op::SetLocal(2));
+            f.op(Op::Jump(walk));
+            f.bind(descend);
+            f.op(Op::GetLocal(2));
+            f.op(Op::GetLocal(3));
+            f.op(Op::SetProp(node, 2));
+            f.op(Op::Jump(done));
+        }
+        f.bind(done);
+        f.op(Op::GetLocal(0));
+        f.op(Op::Return);
+        e.add_function(f.build())
+    };
+
+    // lookup(root, key) -> key if found else 0.
+    // Locals: 0=root/cur, 1=key.
+    let lookup = {
+        let mut f = FunctionBuilder::new("lookup", 2, 2);
+        let walk = f.new_label();
+        let miss = f.new_label();
+        let go_right = f.new_label();
+        f.bind(walk);
+        f.op(Op::GetLocal(0));
+        f.op(Op::JumpIfFalse(miss));
+        // if key == cur.key: return key
+        f.op(Op::GetLocal(1));
+        f.op(Op::GetLocal(0));
+        f.op(Op::GetProp(node, 0));
+        f.op(Op::EqCmp);
+        f.op(Op::JumpIfFalse(go_right));
+        f.op(Op::GetLocal(1));
+        f.op(Op::Return);
+        f.bind(go_right);
+        // cur = key < cur.key ? cur.left : cur.right
+        {
+            let left = f.new_label();
+            let next = f.new_label();
+            f.op(Op::GetLocal(1));
+            f.op(Op::GetLocal(0));
+            f.op(Op::GetProp(node, 0));
+            f.op(Op::Lt);
+            f.op(Op::JumpIfFalse(left));
+            f.op(Op::GetLocal(0));
+            f.op(Op::GetProp(node, 1));
+            f.op(Op::SetLocal(0));
+            f.op(Op::Jump(next));
+            f.bind(left);
+            f.op(Op::GetLocal(0));
+            f.op(Op::GetProp(node, 2));
+            f.op(Op::SetLocal(0));
+            f.bind(next);
+            f.op(Op::Jump(walk));
+        }
+        f.bind(miss);
+        f.op(Op::Const(0));
+        f.op(Op::Return);
+        e.add_function(f.build())
+    };
+
+    // main: build tree from LCG keys, then sum lookups.
+    // Locals: 0=root, 1=seed, 2=ctr, 3=acc, 4=key.
+    let mut f = FunctionBuilder::new("main", 0, 5);
+    f.op(Op::Const(42));
+    f.op(Op::SetLocal(1));
+    f.op(Op::Const(0));
+    f.op(Op::SetLocal(0));
+    f.counted_loop(2, INSERTS, |f| {
+        // seed = seed*A + C (wrapping); key = (seed >> 8) & 0xffff
+        f.op(Op::GetLocal(1));
+        f.op(Op::Const(LCG_A));
+        f.op(Op::Mul);
+        f.op(Op::Const(LCG_C));
+        f.op(Op::Add);
+        f.op(Op::SetLocal(1));
+        f.op(Op::GetLocal(1));
+        f.op(Op::Shr(8));
+        f.op(Op::Const(0xffff));
+        f.op(Op::And);
+        f.op(Op::SetLocal(4));
+        // root = insert(root, key)
+        f.op(Op::GetLocal(0));
+        f.op(Op::GetLocal(4));
+        f.op(Op::Call(insert, 2));
+        f.op(Op::SetLocal(0));
+    });
+    // Lookups with a fresh LCG stream (same seed → every other key hits).
+    f.op(Op::Const(42));
+    f.op(Op::SetLocal(1));
+    f.op(Op::Const(0));
+    f.op(Op::SetLocal(3));
+    f.counted_loop(2, LOOKUPS, |f| {
+        f.op(Op::GetLocal(1));
+        f.op(Op::Const(LCG_A));
+        f.op(Op::Mul);
+        f.op(Op::Const(LCG_C));
+        f.op(Op::Add);
+        f.op(Op::SetLocal(1));
+        f.op(Op::GetLocal(1));
+        f.op(Op::Shr(8));
+        f.op(Op::Const(0xffff));
+        f.op(Op::And);
+        f.op(Op::SetLocal(4));
+        f.op(Op::GetLocal(3));
+        f.op(Op::GetLocal(0));
+        f.op(Op::GetLocal(4));
+        f.op(Op::Call(lookup, 2));
+        f.op(Op::Add);
+        f.op(Op::SetLocal(3));
+    });
+    f.op(Op::GetLocal(3));
+    f.op(Op::Return);
+    let fid = e.add_function(f.build());
+    e.set_main(fid);
+    e
+}
+
+/// Independent Rust implementation.
+pub fn reference() -> u64 {
+    #[derive(Clone)]
+    struct Node {
+        key: u64,
+        left: usize,
+        right: usize,
+    }
+    let mut nodes: Vec<Node> = Vec::new(); // index 0 unused (null)
+    nodes.push(Node { key: 0, left: 0, right: 0 });
+    let mut root = 0usize;
+
+    let mut seed: u64 = 42;
+    let next_key = |seed: &mut u64| {
+        *seed = seed.wrapping_mul(LCG_A as u64).wrapping_add(LCG_C as u64);
+        (*seed >> 8) & 0xffff
+    };
+
+    for _ in 0..INSERTS {
+        let key = next_key(&mut seed);
+        nodes.push(Node { key, left: 0, right: 0 });
+        let new = nodes.len() - 1;
+        if root == 0 {
+            root = new;
+            continue;
+        }
+        let mut cur = root;
+        loop {
+            // Equal keys go right, matching the bytecode (`Lt` strictly).
+            if key < nodes[cur].key {
+                if nodes[cur].left == 0 {
+                    nodes[cur].left = new;
+                    break;
+                }
+                cur = nodes[cur].left;
+            } else {
+                if nodes[cur].right == 0 {
+                    nodes[cur].right = new;
+                    break;
+                }
+                cur = nodes[cur].right;
+            }
+        }
+    }
+
+    let mut seed: u64 = 42;
+    let mut acc = 0u64;
+    for _ in 0..LOOKUPS {
+        let key = next_key(&mut seed);
+        let mut cur = root;
+        while cur != 0 {
+            if nodes[cur].key == key {
+                acc = acc.wrapping_add(key);
+                break;
+            }
+            cur = if key < nodes[cur].key { nodes[cur].left } else { nodes[cur].right };
+        }
+    }
+    acc
+}

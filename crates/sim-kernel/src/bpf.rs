@@ -1,0 +1,408 @@
+//! An eBPF-like in-kernel VM: the security boundary the paper lists as
+//! unstudied ("we don't study the eBPF/kernel boundary", §1).
+//!
+//! Untrusted user code loads small programs that the kernel verifies and
+//! JIT-compiles into kernel text; they then run *in kernel mode* with
+//! access to kernel-resident maps. This is precisely the configuration
+//! that made Spectre V1 an in-kernel problem: a malicious program can
+//! train its own bounds check and speculatively read kernel memory past
+//! a map. Linux's verifier answers with index masking on map accesses —
+//! the same cmov strategy the JS engines use — which this module
+//! reproduces, gated on the kernel's Spectre V1 toggle so the attribution
+//! harness can price it.
+//!
+//! The model is deliberately classic eBPF: at most
+//! [`MAX_INSNS`] instructions, forward branches only (no loops), eight
+//! registers, array maps.
+
+use uarch::isa::{Cond, Inst, Reg, Width};
+use uarch::ProgramBuilder;
+
+/// Maximum instructions per program (classic eBPF's 4096, scaled down).
+pub const MAX_INSNS: usize = 512;
+
+/// Number of BPF registers (`r0`–`r7`, mapped to machine `R0`–`R7`).
+pub const N_REGS: u8 = 8;
+
+/// A BPF map id.
+pub type MapId = u32;
+
+/// A loaded-program id.
+pub type ProgId = u32;
+
+/// One instruction of the BPF-like bytecode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BpfInsn {
+    /// `dst = imm`.
+    MovImm(u8, i64),
+    /// `dst = src`.
+    Mov(u8, u8),
+    /// `dst += src`.
+    Add(u8, u8),
+    /// `dst -= src`.
+    Sub(u8, u8),
+    /// `dst *= src`.
+    Mul(u8, u8),
+    /// `dst &= imm`.
+    AndImm(u8, i64),
+    /// `dst <<= k`.
+    Shl(u8, u8),
+    /// `dst >>= k` (logical).
+    Shr(u8, u8),
+    /// `dst = map[src]` with the map's bounds check; 0 when out of
+    /// bounds. The verifier inserts index masking here when the kernel's
+    /// Spectre V1 mitigation is on.
+    MapLookup {
+        /// Destination register.
+        dst: u8,
+        /// Which map.
+        map: MapId,
+        /// Index register.
+        idx: u8,
+    },
+    /// `map[idx] = src` (bounds-checked store).
+    MapUpdate {
+        /// Which map.
+        map: MapId,
+        /// Index register.
+        idx: u8,
+        /// Value register.
+        src: u8,
+    },
+    /// Skip `off` following instructions if `reg == imm` (forward only).
+    JeqImm(u8, i64, u16),
+    /// Unconditional forward skip.
+    Ja(u16),
+    /// Return `r0`.
+    Exit,
+}
+
+/// Why the verifier rejected a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifierError {
+    /// Too many instructions.
+    TooLong {
+        /// Actual instruction count.
+        len: usize,
+    },
+    /// A register operand is out of range.
+    BadRegister {
+        /// Offending instruction index.
+        at: usize,
+    },
+    /// A branch does not land inside the program (or goes backward).
+    BadBranch {
+        /// Offending instruction index.
+        at: usize,
+    },
+    /// Unknown map id.
+    BadMap {
+        /// Offending instruction index.
+        at: usize,
+    },
+    /// Control can fall off the end (no terminating `Exit`).
+    NoExit,
+}
+
+/// The verifier: structural checks, then a report of what the JIT must
+/// harden.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifiedProg {
+    insns: Vec<BpfInsn>,
+    /// Map accesses found (the sites the JIT masks).
+    pub map_accesses: usize,
+}
+
+/// Verifies a program against the set of existing maps.
+pub fn verify(insns: &[BpfInsn], n_maps: u32) -> Result<VerifiedProg, VerifierError> {
+    if insns.len() > MAX_INSNS {
+        return Err(VerifierError::TooLong { len: insns.len() });
+    }
+    let mut map_accesses = 0;
+    let reg_ok = |r: u8| r < N_REGS;
+    for (at, insn) in insns.iter().enumerate() {
+        match *insn {
+            BpfInsn::MovImm(d, _) | BpfInsn::AndImm(d, _) | BpfInsn::Shl(d, _)
+            | BpfInsn::Shr(d, _) => {
+                if !reg_ok(d) {
+                    return Err(VerifierError::BadRegister { at });
+                }
+            }
+            BpfInsn::Mov(d, s) | BpfInsn::Add(d, s) | BpfInsn::Sub(d, s)
+            | BpfInsn::Mul(d, s) => {
+                if !reg_ok(d) || !reg_ok(s) {
+                    return Err(VerifierError::BadRegister { at });
+                }
+            }
+            BpfInsn::MapLookup { dst, map, idx } => {
+                if !reg_ok(dst) || !reg_ok(idx) {
+                    return Err(VerifierError::BadRegister { at });
+                }
+                if map >= n_maps {
+                    return Err(VerifierError::BadMap { at });
+                }
+                map_accesses += 1;
+            }
+            BpfInsn::MapUpdate { map, idx, src } => {
+                if !reg_ok(idx) || !reg_ok(src) {
+                    return Err(VerifierError::BadRegister { at });
+                }
+                if map >= n_maps {
+                    return Err(VerifierError::BadMap { at });
+                }
+                map_accesses += 1;
+            }
+            BpfInsn::JeqImm(r, _, off) => {
+                if !reg_ok(r) {
+                    return Err(VerifierError::BadRegister { at });
+                }
+                if at + 1 + off as usize > insns.len() {
+                    return Err(VerifierError::BadBranch { at });
+                }
+            }
+            BpfInsn::Ja(off) => {
+                if at + 1 + off as usize > insns.len() {
+                    return Err(VerifierError::BadBranch { at });
+                }
+            }
+            BpfInsn::Exit => {}
+        }
+    }
+    // Forward-only branches + no loops means reachability is simple:
+    // require the program to end in Exit (any earlier Exit is fine too).
+    if !matches!(insns.last(), Some(BpfInsn::Exit)) {
+        return Err(VerifierError::NoExit);
+    }
+    Ok(VerifiedProg { insns: insns.to_vec(), map_accesses })
+}
+
+/// A map's kernel-side location: virtual address of its `[len, slots…]`
+/// block in kernel data.
+#[derive(Debug, Clone, Copy)]
+pub struct MapLoc {
+    /// Kernel virtual address of the length header.
+    pub vaddr: u64,
+    /// Slot count.
+    pub len: u64,
+}
+
+/// JIT-compiles a verified program into kernel code. The emitted function
+/// is entered by the kernel's dispatch (through the configured Spectre V2
+/// thunk) and ends with `Ret`; `r0`…`r7` map to machine `R0`…`R7`.
+///
+/// `mask_indices` is the verifier's Spectre V1 hardening (Linux's
+/// `CONFIG_BPF` index masking); the attribution harness toggles it with
+/// the kernel's `nospectre_v1`.
+pub fn jit(prog: &VerifiedProg, maps: &[MapLoc], mask_indices: bool) -> ProgramBuilder {
+    let mut b = ProgramBuilder::new();
+    let r = |i: u8| Reg::from_index(i as usize);
+    // Prologue: zero the BPF register file. Programs must not observe
+    // whatever kernel state the dispatch left in the machine registers
+    // (the same reason real kernels control BPF's initial registers),
+    // and it gives the reference interpreter's all-zero starting state.
+    for i in 0..N_REGS {
+        b.mov_imm(r(i), 0);
+    }
+    // Pre-create machine labels for every bytecode position (branch
+    // targets are instruction indices).
+    let labels: Vec<_> = (0..=prog.insns.len()).map(|_| b.new_label()).collect();
+    for (at, insn) in prog.insns.iter().enumerate() {
+        b.bind(labels[at]);
+        match *insn {
+            BpfInsn::MovImm(d, v) => {
+                b.mov_imm(r(d), v as u64);
+            }
+            BpfInsn::Mov(d, s) => {
+                b.push(Inst::Mov(r(d), r(s)));
+            }
+            BpfInsn::Add(d, s) => {
+                b.push(Inst::Add(r(d), r(s)));
+            }
+            BpfInsn::Sub(d, s) => {
+                b.push(Inst::Sub(r(d), r(s)));
+            }
+            BpfInsn::Mul(d, s) => {
+                b.push(Inst::Mul(r(d), r(s)));
+            }
+            BpfInsn::AndImm(d, v) => {
+                b.push(Inst::AndImm(r(d), v as u64));
+            }
+            BpfInsn::Shl(d, k) => {
+                b.push(Inst::Shl(r(d), k));
+            }
+            BpfInsn::Shr(d, k) => {
+                b.push(Inst::Shr(r(d), k));
+            }
+            BpfInsn::MapLookup { dst, map, idx } => {
+                let loc = maps[map as usize];
+                let oob = b.new_label();
+                let done = b.new_label();
+                // The JIT uses R12/R13 as scratch (kernel-owned regs).
+                b.mov_imm(Reg::R12, loc.vaddr);
+                b.push(Inst::Load { dst: Reg::R13, base: Reg::R12, offset: 0, width: Width::B8 });
+                b.push(Inst::Cmp(r(idx), Reg::R13));
+                b.jcc(Cond::AboveEq, oob);
+                b.push(Inst::Mov(Reg::R13, r(idx)));
+                if mask_indices {
+                    // The verifier's Spectre V1 hardening.
+                    b.push(Inst::CmovImm(Cond::AboveEq, Reg::R13, 0));
+                }
+                b.push(Inst::Shl(Reg::R13, 3));
+                b.push(Inst::Add(Reg::R13, Reg::R12));
+                b.push(Inst::Load { dst: r(dst), base: Reg::R13, offset: 8, width: Width::B8 });
+                b.jmp(done);
+                b.bind(oob);
+                b.mov_imm(r(dst), 0);
+                b.bind(done);
+            }
+            BpfInsn::MapUpdate { map, idx, src } => {
+                let loc = maps[map as usize];
+                let skip = b.new_label();
+                b.mov_imm(Reg::R12, loc.vaddr);
+                b.push(Inst::Load { dst: Reg::R13, base: Reg::R12, offset: 0, width: Width::B8 });
+                b.push(Inst::Cmp(r(idx), Reg::R13));
+                b.jcc(Cond::AboveEq, skip);
+                b.push(Inst::Mov(Reg::R13, r(idx)));
+                if mask_indices {
+                    b.push(Inst::CmovImm(Cond::AboveEq, Reg::R13, 0));
+                }
+                b.push(Inst::Shl(Reg::R13, 3));
+                b.push(Inst::Add(Reg::R13, Reg::R12));
+                b.push(Inst::Store { src: r(src), base: Reg::R13, offset: 8, width: Width::B8 });
+                b.bind(skip);
+            }
+            BpfInsn::JeqImm(reg, v, off) => {
+                b.cmp_imm(r(reg), v as u64);
+                b.jcc(Cond::Eq, labels[at + 1 + off as usize]);
+            }
+            BpfInsn::Ja(off) => {
+                b.jmp(labels[at + 1 + off as usize]);
+            }
+            BpfInsn::Exit => {
+                b.push(Inst::Ret);
+            }
+        }
+    }
+    b.bind(labels[prog.insns.len()]);
+    b
+}
+
+/// Reference interpreter for verified programs: defines the bytecode's
+/// architectural semantics in plain Rust, for differential testing
+/// against the JIT (maps are plain slices here).
+///
+/// Returns `r0`. Out-of-bounds lookups read 0; out-of-bounds updates are
+/// dropped — identical to the JIT's committed behaviour.
+pub fn interpret(prog: &VerifiedProg, maps: &mut [Vec<u64>]) -> u64 {
+    let mut regs = [0u64; N_REGS as usize];
+    let mut pc = 0usize;
+    while pc < prog.insns.len() {
+        let insn = prog.insns[pc];
+        pc += 1;
+        match insn {
+            BpfInsn::MovImm(d, v) => regs[d as usize] = v as u64,
+            BpfInsn::Mov(d, s) => regs[d as usize] = regs[s as usize],
+            BpfInsn::Add(d, s) => {
+                regs[d as usize] = regs[d as usize].wrapping_add(regs[s as usize])
+            }
+            BpfInsn::Sub(d, s) => {
+                regs[d as usize] = regs[d as usize].wrapping_sub(regs[s as usize])
+            }
+            BpfInsn::Mul(d, s) => {
+                regs[d as usize] = regs[d as usize].wrapping_mul(regs[s as usize])
+            }
+            BpfInsn::AndImm(d, v) => regs[d as usize] &= v as u64,
+            BpfInsn::Shl(d, k) => regs[d as usize] <<= (k & 63) as u32,
+            BpfInsn::Shr(d, k) => regs[d as usize] >>= (k & 63) as u32,
+            BpfInsn::MapLookup { dst, map, idx } => {
+                let m = &maps[map as usize];
+                let i = regs[idx as usize];
+                regs[dst as usize] =
+                    if (i as usize) < m.len() { m[i as usize] } else { 0 };
+            }
+            BpfInsn::MapUpdate { map, idx, src } => {
+                let i = regs[idx as usize];
+                let v = regs[src as usize];
+                let m = &mut maps[map as usize];
+                if (i as usize) < m.len() {
+                    m[i as usize] = v;
+                }
+            }
+            BpfInsn::JeqImm(r, v, off) => {
+                if regs[r as usize] == v as u64 {
+                    pc += off as usize;
+                }
+            }
+            BpfInsn::Ja(off) => pc += off as usize,
+            BpfInsn::Exit => return regs[0],
+        }
+    }
+    regs[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok_prog() -> Vec<BpfInsn> {
+        vec![
+            BpfInsn::MovImm(1, 3),
+            BpfInsn::MapLookup { dst: 0, map: 0, idx: 1 },
+            BpfInsn::Exit,
+        ]
+    }
+
+    #[test]
+    fn verifier_accepts_simple_program() {
+        let v = verify(&ok_prog(), 1).unwrap();
+        assert_eq!(v.map_accesses, 1);
+    }
+
+    #[test]
+    fn verifier_rejects_bad_register() {
+        let p = vec![BpfInsn::MovImm(9, 0), BpfInsn::Exit];
+        assert_eq!(verify(&p, 1), Err(VerifierError::BadRegister { at: 0 }));
+    }
+
+    #[test]
+    fn verifier_rejects_unknown_map() {
+        let p = vec![
+            BpfInsn::MovImm(1, 0),
+            BpfInsn::MapLookup { dst: 0, map: 5, idx: 1 },
+            BpfInsn::Exit,
+        ];
+        assert_eq!(verify(&p, 1), Err(VerifierError::BadMap { at: 1 }));
+    }
+
+    #[test]
+    fn verifier_rejects_out_of_range_branch() {
+        let p = vec![BpfInsn::Ja(7), BpfInsn::Exit];
+        assert_eq!(verify(&p, 0), Err(VerifierError::BadBranch { at: 0 }));
+    }
+
+    #[test]
+    fn verifier_requires_exit() {
+        let p = vec![BpfInsn::MovImm(0, 1)];
+        assert_eq!(verify(&p, 0), Err(VerifierError::NoExit));
+    }
+
+    #[test]
+    fn verifier_rejects_oversized_program() {
+        let mut p = vec![BpfInsn::MovImm(0, 0); MAX_INSNS + 1];
+        *p.last_mut().unwrap() = BpfInsn::Exit;
+        assert!(matches!(verify(&p, 0), Err(VerifierError::TooLong { .. })));
+    }
+
+    #[test]
+    fn jit_emits_mask_only_when_hardened() {
+        let v = verify(&ok_prog(), 1).unwrap();
+        let maps = [MapLoc { vaddr: 0x7000_0000, len: 8 }];
+        let masked = jit(&v, &maps, true).link(0x9000_0000);
+        let bare = jit(&v, &maps, false).link(0x9001_0000);
+        let count = |p: &uarch::Program| {
+            p.insts().iter().filter(|i| matches!(i, Inst::CmovImm(..))).count()
+        };
+        assert_eq!(count(&masked), 1);
+        assert_eq!(count(&bare), 0);
+    }
+}

@@ -1,0 +1,278 @@
+//! Kernel entry/exit code generation.
+//!
+//! The mitigation-bearing paths — syscall entry/exit, fault entry/exit,
+//! the kernel's indirect-call sites — are *real instruction sequences*
+//! generated per [`MitigationConfig`], so their costs (and their
+//! microarchitectural side effects: `mov %cr3`, `verw`, `wrmsr`,
+//! retpoline RSB capture, `lfence`) emerge from execution rather than
+//! being charged abstractly. Syscall *semantics* run in host hooks.
+
+use uarch::isa::{msr_index, Cond, Inst, Reg, Width};
+use uarch::program::Program;
+use uarch::ProgramBuilder;
+
+use crate::abi::hook;
+use crate::layout;
+use crate::mitigation::{MitigationConfig, SpectreV2Mode};
+
+/// Addresses of the generated kernel text entry points.
+#[derive(Debug, Clone, Copy)]
+pub struct EntryAddrs {
+    /// Syscall entry point (installed as the machine's `syscall_entry`).
+    pub syscall_entry: u64,
+    /// Fault entry point (installed for page faults and friends).
+    pub fault_entry: u64,
+    /// The kernel function indirect calls dispatch to.
+    pub kernel_fn: u64,
+    /// A `Halt` pad the kernel jumps to when every process has exited.
+    pub halt_pad: u64,
+    /// Harmless `Ret` used as the RSB-stuffing target.
+    pub rsb_harmless: u64,
+}
+
+/// Generates the kernel text for `config` and returns it with its entry
+/// addresses.
+pub fn build_kernel_text(config: &MitigationConfig) -> (Program, EntryAddrs) {
+    let mut b = ProgramBuilder::new();
+
+    let syscall_entry = b.new_label();
+    let fault_entry = b.new_label();
+    let kernel_fn = b.new_label();
+    let halt_pad = b.new_label();
+    let generic_thunk = b.new_label();
+
+    // ---- Syscall path -------------------------------------------------
+    b.bind(syscall_entry);
+    b.push(Inst::Swapgs);
+    if config.spectre_v1_lfence {
+        // Spectre V1 swapgs hardening: no speculation past the gs swap.
+        b.push(Inst::Lfence);
+    }
+    if config.pti {
+        // Switch to the kernel view of the address space. The CR3 value is
+        // per-process, so a host hook materializes it into R12 first.
+        b.push(Inst::Host(hook::LOAD_KCR3));
+        b.push(Inst::MovCr3(Reg::R12));
+    }
+    if config.entry_writes_spec_ctrl() {
+        // Legacy IBRS: restrict indirect speculation for the kernel's
+        // lifetime in this entry. This MSR write is the cost that made
+        // IBRS "unacceptably high" (§5.3).
+        b.mov_imm(Reg::R12, uarch::isa::spec_ctrl::IBRS);
+        b.push(Inst::Wrmsr { msr: msr_index::IA32_SPEC_CTRL, src: Reg::R12 });
+    }
+    b.push(Inst::Host(hook::SYSCALL_DISPATCH));
+
+    // Kernel body: R10 indirect calls to the function in R9, through the
+    // configured Spectre V2 dispatch mechanism. This is where retpoline /
+    // eIBRS overheads accumulate on syscall-heavy workloads.
+    let body_top = b.here();
+    let body_done = b.new_label();
+    b.cmp_imm(Reg::R10, 0);
+    b.jcc(Cond::Eq, body_done);
+    b.sub_imm(Reg::R10, 1);
+    match config.spectre_v2 {
+        SpectreV2Mode::RetpolineGeneric => {
+            b.call(generic_thunk);
+        }
+        SpectreV2Mode::RetpolineAmd => {
+            b.push(Inst::Lfence);
+            b.push(Inst::CallInd(Reg::R9));
+        }
+        SpectreV2Mode::Off | SpectreV2Mode::Eibrs | SpectreV2Mode::LegacyIbrs => {
+            b.push(Inst::CallInd(Reg::R9));
+        }
+    }
+    b.jmp(body_top);
+    b.bind(body_done);
+
+    if config.entry_writes_spec_ctrl() {
+        b.mov_imm(Reg::R12, 0);
+        b.push(Inst::Wrmsr { msr: msr_index::IA32_SPEC_CTRL, src: Reg::R12 });
+    }
+    if config.mds_clear {
+        // MDS: clear microarchitectural buffers before returning to user.
+        b.push(Inst::Verw);
+    }
+    b.push(Inst::Host(hook::SYSCALL_EXIT));
+    if config.pti {
+        // SYSCALL_EXIT left the user CR3 in R12; switch and then restore
+        // the user's R12 so the syscall only architecturally clobbers R11.
+        b.push(Inst::MovCr3(Reg::R12));
+        b.push(Inst::Host(hook::R12_RESTORE));
+    }
+    b.push(Inst::Swapgs);
+    b.push(Inst::Sysret);
+
+    // ---- Fault path ----------------------------------------------------
+    b.bind(fault_entry);
+    b.push(Inst::Swapgs);
+    if config.spectre_v1_lfence {
+        b.push(Inst::Lfence);
+    }
+    if config.pti {
+        b.push(Inst::Host(hook::LOAD_KCR3));
+        b.push(Inst::MovCr3(Reg::R12));
+    }
+    if config.entry_writes_spec_ctrl() {
+        b.mov_imm(Reg::R12, uarch::isa::spec_ctrl::IBRS);
+        b.push(Inst::Wrmsr { msr: msr_index::IA32_SPEC_CTRL, src: Reg::R12 });
+    }
+    b.push(Inst::Host(hook::FAULT_DISPATCH));
+    if config.entry_writes_spec_ctrl() {
+        b.mov_imm(Reg::R12, 0);
+        b.push(Inst::Wrmsr { msr: msr_index::IA32_SPEC_CTRL, src: Reg::R12 });
+    }
+    if config.mds_clear {
+        b.push(Inst::Verw);
+    }
+    b.push(Inst::Host(hook::FAULT_EXIT));
+    if config.pti {
+        // Faults must be fully transparent to user code: switch back to
+        // the user CR3 and restore the user's R12.
+        b.push(Inst::MovCr3(Reg::R12));
+        b.push(Inst::Host(hook::R12_RESTORE));
+    }
+    b.push(Inst::Swapgs);
+    b.push(Inst::Iret);
+
+    // ---- Generic retpoline thunk (Figure 4), target in R9 --------------
+    b.bind(generic_thunk);
+    let capture = b.new_label();
+    let set_target = b.new_label();
+    b.call(set_target);
+    b.bind(capture);
+    b.push(Inst::Pause);
+    b.push(Inst::Lfence);
+    b.jmp(capture);
+    b.bind(set_target);
+    b.push(Inst::Store { src: Reg::R9, base: Reg::SP, offset: 0, width: Width::B8 });
+    b.push(Inst::Ret);
+
+    // ---- The kernel function indirect calls land in --------------------
+    // A couple of loads from kernel data (R8): these populate the fill
+    // buffers with kernel data, which is exactly what MDS samples if the
+    // exit path does not `verw`.
+    b.bind(kernel_fn);
+    b.push(Inst::Load { dst: Reg::R11, base: Reg::R8, offset: 0, width: Width::B8 });
+    b.push(Inst::Load { dst: Reg::R12, base: Reg::R8, offset: 64, width: Width::B8 });
+    b.push(Inst::Add(Reg::R11, Reg::R12));
+    b.push(Inst::Ret);
+
+    // ---- Halt pad -------------------------------------------------------
+    b.bind(halt_pad);
+    b.push(Inst::Halt);
+
+    // ---- RSB-stuffing target --------------------------------------------
+    // Loaded separately at a fixed address so its address is stable
+    // regardless of configuration-dependent stub sizes.
+
+    let prog = b.link(layout::KERNEL_TEXT_BASE);
+    let addrs = EntryAddrs {
+        syscall_entry: prog.addr(syscall_entry),
+        fault_entry: prog.addr(fault_entry),
+        kernel_fn: prog.addr(kernel_fn),
+        halt_pad: prog.addr(halt_pad),
+        rsb_harmless: layout::RSB_HARMLESS,
+    };
+    (prog, addrs)
+}
+
+/// Builds the tiny harmless-return pad used as the RSB stuffing target.
+pub fn build_rsb_pad() -> Program {
+    let mut b = ProgramBuilder::new();
+    b.push(Inst::Ret);
+    b.link(layout::RSB_HARMLESS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boot::BootParams;
+    use cpu_models::CpuId;
+    use uarch::isa::Inst;
+
+    fn config_for(id: CpuId, cmdline: &str) -> MitigationConfig {
+        MitigationConfig::resolve(&id.model(), &BootParams::parse(cmdline))
+    }
+
+    fn count_inst(prog: &Program, pred: impl Fn(&Inst) -> bool) -> usize {
+        prog.insts().iter().filter(|i| pred(i)).count()
+    }
+
+    #[test]
+    fn pti_emits_cr3_swaps_in_both_paths() {
+        let (prog, _) = build_kernel_text(&config_for(CpuId::Broadwell, ""));
+        // Entry+exit for syscall and fault paths: 4 swaps.
+        assert_eq!(count_inst(&prog, |i| matches!(i, Inst::MovCr3(_))), 4);
+        let (prog, _) = build_kernel_text(&config_for(CpuId::CascadeLake, ""));
+        assert_eq!(count_inst(&prog, |i| matches!(i, Inst::MovCr3(_))), 0);
+        let (prog, _) = build_kernel_text(&config_for(CpuId::Broadwell, "nopti"));
+        assert_eq!(count_inst(&prog, |i| matches!(i, Inst::MovCr3(_))), 0);
+    }
+
+    #[test]
+    fn mds_emits_verw_on_exit_paths() {
+        let (prog, _) = build_kernel_text(&config_for(CpuId::SkylakeClient, ""));
+        assert_eq!(count_inst(&prog, |i| matches!(i, Inst::Verw)), 2);
+        let (prog, _) = build_kernel_text(&config_for(CpuId::SkylakeClient, "mds=off"));
+        assert_eq!(count_inst(&prog, |i| matches!(i, Inst::Verw)), 0);
+        let (prog, _) = build_kernel_text(&config_for(CpuId::Zen3, ""));
+        assert_eq!(count_inst(&prog, |i| matches!(i, Inst::Verw)), 0);
+    }
+
+    #[test]
+    fn retpoline_kind_matches_config() {
+        // Generic retpoline: the body calls the thunk, no bare CallInd.
+        let (prog, _) = build_kernel_text(&config_for(CpuId::Broadwell, ""));
+        assert_eq!(count_inst(&prog, |i| matches!(i, Inst::CallInd(_))), 0);
+        // AMD: lfence + CallInd.
+        let (prog, _) = build_kernel_text(&config_for(CpuId::Zen, ""));
+        assert_eq!(count_inst(&prog, |i| matches!(i, Inst::CallInd(_))), 1);
+        assert!(count_inst(&prog, |i| matches!(i, Inst::Lfence)) >= 2);
+        // eIBRS: plain indirect call.
+        let (prog, _) = build_kernel_text(&config_for(CpuId::IceLakeServer, ""));
+        assert_eq!(count_inst(&prog, |i| matches!(i, Inst::CallInd(_))), 1);
+    }
+
+    #[test]
+    fn legacy_ibrs_writes_spec_ctrl_four_times() {
+        let (prog, _) = build_kernel_text(&config_for(CpuId::SkylakeClient, "spectre_v2=ibrs"));
+        // On + off for both syscall and fault paths.
+        assert_eq!(count_inst(&prog, |i| matches!(i, Inst::Wrmsr { .. })), 4);
+        let (prog, _) = build_kernel_text(&config_for(CpuId::SkylakeClient, ""));
+        assert_eq!(count_inst(&prog, |i| matches!(i, Inst::Wrmsr { .. })), 0);
+    }
+
+    #[test]
+    fn v1_lfence_guards_swapgs() {
+        let (prog, _) = build_kernel_text(&config_for(CpuId::Broadwell, ""));
+        let insts = prog.insts();
+        // Both entry points start with swapgs; the next instruction is the
+        // V1 lfence.
+        let mut found = 0;
+        for w in insts.windows(2) {
+            if matches!(w[0], Inst::Swapgs) && matches!(w[1], Inst::Lfence) {
+                found += 1;
+            }
+        }
+        assert_eq!(found, 2);
+        let (prog, _) = build_kernel_text(&config_for(CpuId::Broadwell, "nospectre_v1"));
+        let mut found = 0;
+        for w in prog.insts().windows(2) {
+            if matches!(w[0], Inst::Swapgs) && matches!(w[1], Inst::Lfence) {
+                found += 1;
+            }
+        }
+        assert_eq!(found, 0);
+    }
+
+    #[test]
+    fn entry_addrs_are_within_text() {
+        let (prog, addrs) = build_kernel_text(&config_for(CpuId::Broadwell, ""));
+        for a in [addrs.syscall_entry, addrs.fault_entry, addrs.kernel_fn, addrs.halt_pad] {
+            assert!(a >= prog.base() && a < prog.end(), "{a:#x}");
+        }
+        assert_eq!(addrs.rsb_harmless, layout::RSB_HARMLESS);
+    }
+}

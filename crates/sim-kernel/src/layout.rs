@@ -1,0 +1,52 @@
+//! Address-space layout of the simulated system.
+//!
+//! Code addresses are a single flat space (the simulator does not
+//! translate instruction fetches), so each process gets a disjoint code
+//! window. Data addresses are per-address-space; the regions below are
+//! conventions shared by the kernel and the program builders.
+
+/// Base of kernel text (entry stubs, thunks, kernel functions).
+pub const KERNEL_TEXT_BASE: u64 = 0x8000_0000;
+
+/// Virtual base of kernel data (supervisor pages in every full table).
+pub const KERNEL_DATA_VADDR: u64 = 0x7000_0000;
+/// Number of kernel data pages.
+pub const KERNEL_DATA_PAGES: u64 = 64;
+
+/// Virtual base of each process's eagerly mapped data arena.
+pub const USER_DATA_VADDR: u64 = 0x1000_0000;
+/// Pages in the eager data arena.
+pub const USER_DATA_PAGES: u64 = 256;
+
+/// Virtual base of the lazy mmap area.
+pub const MMAP_BASE: u64 = 0x2000_0000;
+/// Size of the mmap area in bytes.
+pub const MMAP_SPAN: u64 = 0x1000_0000;
+
+/// Top of each process's stack (grows down); 16 pages are mapped.
+pub const STACK_TOP: u64 = 0x3800_0000;
+/// Mapped stack pages.
+pub const STACK_PAGES: u64 = 16;
+
+/// Base of the first process's code window.
+pub const USER_CODE_BASE: u64 = 0x0100_0000;
+/// Size of each process's code window.
+pub const USER_CODE_SPAN: u64 = 0x0010_0000;
+
+/// Code address of the harmless RSB-stuffing target.
+pub const RSB_HARMLESS: u64 = KERNEL_TEXT_BASE + 0xff00;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_do_not_overlap() {
+        // Data regions are ordered and disjoint.
+        assert!(USER_DATA_VADDR + USER_DATA_PAGES * 4096 <= MMAP_BASE);
+        assert!(MMAP_BASE + MMAP_SPAN <= STACK_TOP - STACK_PAGES * 4096);
+        assert!(STACK_TOP <= KERNEL_DATA_VADDR);
+        // Code windows stay below kernel text for many processes.
+        assert!(USER_CODE_BASE + 100 * USER_CODE_SPAN < KERNEL_TEXT_BASE);
+    }
+}

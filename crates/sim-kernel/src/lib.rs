@@ -1,0 +1,52 @@
+//! # sim-kernel — a simulated operating system with Linux's mitigation logic
+//!
+//! This crate boots a small OS on the `uarch` simulator. Its purpose is
+//! to make transient-execution mitigation costs *emerge* from execution
+//! the way they do on Linux:
+//!
+//! * the syscall/fault entry and exit paths are generated **instruction
+//!   sequences** containing exactly the mitigation work the configuration
+//!   calls for — `mov %cr3` (PTI), `verw` (MDS), `lfence` after `swapgs`
+//!   (Spectre V1), `wrmsr IA32_SPEC_CTRL` (legacy IBRS);
+//! * kernel indirect calls go through the configured Spectre V2 dispatch
+//!   (generic retpoline, AMD lfence retpoline, plain call under eIBRS);
+//! * context switches perform eager FPU save/restore, IBPB, RSB stuffing,
+//!   and per-process SSBD at the CPU model's calibrated costs.
+//!
+//! Mitigations are selected from the CPU model and boot parameters by
+//! [`mitigation::MitigationConfig::resolve`], which reproduces the
+//! paper's Table 1. Boot parameters accept the same strings Linux does
+//! (`mitigations=off`, `nopti`, `mds=off`, …) so the attribution harness
+//! can successively disable mitigations exactly as the paper did (§4.1).
+//!
+//! # Example
+//!
+//! ```
+//! use sim_kernel::{Kernel, BootParams, userlib};
+//! use uarch::isa::Reg;
+//!
+//! let mut k = Kernel::boot(cpu_models::broadwell(), &BootParams::default());
+//! k.spawn(|b| {
+//!     userlib::emit_getpid(b);
+//!     userlib::emit_exit(b);
+//! });
+//! k.start();
+//! k.run(100_000).unwrap();
+//! assert_eq!(k.state.stats.syscalls, 2); // getpid + exit
+//! ```
+
+pub mod abi;
+pub mod boot;
+pub mod bpf;
+pub mod entry;
+pub mod kernel;
+pub mod layout;
+pub mod mitigation;
+pub mod process;
+pub mod resources;
+pub mod userlib;
+
+pub use boot::{BootParams, SsbdMode};
+pub use kernel::{Kernel, KernelState, KernelStats};
+pub use mitigation::{Mitigation, MitigationConfig, SpectreV2Mode};
+pub use process::{Pid, ProcState};

@@ -1,0 +1,171 @@
+//! Processes: register/FPU context, address-space handles, blocking state.
+
+use uarch::fpu::FpuState;
+use uarch::mmu::PageTableId;
+
+/// Process id.
+pub type Pid = u64;
+
+/// Why a process is not runnable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockedOn {
+    /// Blocked reading from a pipe; parameters of the pending read.
+    PipeRead {
+        /// Pipe index.
+        pipe: usize,
+        /// User buffer address.
+        buf: u64,
+        /// Maximum bytes.
+        len: u64,
+    },
+}
+
+/// Scheduling state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcState {
+    /// Eligible to run.
+    Runnable,
+    /// Waiting on a resource.
+    Blocked(BlockedOn),
+    /// Terminated.
+    Exited,
+}
+
+/// A file descriptor table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fd {
+    /// Closed slot.
+    Closed,
+    /// An in-memory file with a seek offset.
+    File {
+        /// Index into the kernel file table.
+        index: usize,
+        /// Current offset.
+        offset: u64,
+    },
+    /// Read end of a pipe.
+    PipeRead {
+        /// Index into the kernel pipe table.
+        index: usize,
+    },
+    /// Write end of a pipe.
+    PipeWrite {
+        /// Index into the kernel pipe table.
+        index: usize,
+    },
+}
+
+/// A lazily-populated mmap region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MmapRegion {
+    /// Start virtual address (page aligned).
+    pub start: u64,
+    /// Length in bytes (page aligned).
+    pub len: u64,
+}
+
+impl MmapRegion {
+    /// Whether `vaddr` falls inside this region.
+    pub fn contains(&self, vaddr: u64) -> bool {
+        vaddr >= self.start && vaddr < self.start + self.len
+    }
+}
+
+/// A process control block.
+#[derive(Debug)]
+pub struct Process {
+    /// Process id.
+    pub pid: Pid,
+    /// Scheduling state.
+    pub state: ProcState,
+    /// Saved general-purpose registers (valid while not running).
+    pub saved_regs: [u64; 16],
+    /// Saved user program counter.
+    pub user_pc: u64,
+    /// Saved FPU state (used by eager switching; under lazy switching the
+    /// live FPU may still hold this process's registers).
+    pub fpu: FpuState,
+    /// Full address space (user + kernel mappings).
+    pub full_table: PageTableId,
+    /// User-only address space (PTI). Equal to `full_table` without PTI.
+    pub user_table: PageTableId,
+    /// CR3 value selecting the full table.
+    pub full_cr3: u64,
+    /// CR3 value selecting the user table.
+    pub user_cr3: u64,
+    /// File descriptor table.
+    pub fds: Vec<Fd>,
+    /// Lazy mmap regions.
+    pub mmap_regions: Vec<MmapRegion>,
+    /// Next free address in the mmap area.
+    pub mmap_cursor: u64,
+    /// Whether the process entered seccomp mode.
+    pub seccomp: bool,
+    /// Whether the process requested SSBD via prctl.
+    pub ssbd_prctl: bool,
+    /// Demand faults served for this process (diagnostics).
+    pub demand_faults: u64,
+}
+
+impl Process {
+    /// Whether this process runs with SSBD under the given policy.
+    pub fn wants_ssbd(&self, mode: crate::boot::SsbdMode) -> bool {
+        use crate::boot::SsbdMode;
+        match mode {
+            SsbdMode::ForceOn => true,
+            SsbdMode::ForceOff => false,
+            SsbdMode::PrctlOnly => self.ssbd_prctl,
+            SsbdMode::SeccompAndPrctl => self.ssbd_prctl || self.seccomp,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boot::SsbdMode;
+
+    fn proc_with(seccomp: bool, prctl: bool) -> Process {
+        Process {
+            pid: 1,
+            state: ProcState::Runnable,
+            saved_regs: [0; 16],
+            user_pc: 0,
+            fpu: FpuState::default(),
+            full_table: PageTableId(1),
+            user_table: PageTableId(2),
+            full_cr3: 0,
+            user_cr3: 0,
+            fds: Vec::new(),
+            mmap_regions: Vec::new(),
+            mmap_cursor: crate::layout::MMAP_BASE,
+            seccomp,
+            ssbd_prctl: prctl,
+            demand_faults: 0,
+        }
+    }
+
+    #[test]
+    fn ssbd_policy_matrix() {
+        // Pre-5.16 default: seccomp processes get SSBD (the Firefox case,
+        // paper §4.3).
+        assert!(proc_with(true, false).wants_ssbd(SsbdMode::SeccompAndPrctl));
+        assert!(proc_with(false, true).wants_ssbd(SsbdMode::SeccompAndPrctl));
+        assert!(!proc_with(false, false).wants_ssbd(SsbdMode::SeccompAndPrctl));
+        // 5.16 behaviour: seccomp alone no longer opts in (§7).
+        assert!(!proc_with(true, false).wants_ssbd(SsbdMode::PrctlOnly));
+        assert!(proc_with(false, true).wants_ssbd(SsbdMode::PrctlOnly));
+        // Forced modes ignore per-process state.
+        assert!(proc_with(false, false).wants_ssbd(SsbdMode::ForceOn));
+        assert!(!proc_with(true, true).wants_ssbd(SsbdMode::ForceOff));
+    }
+
+    #[test]
+    fn mmap_region_containment() {
+        let r = MmapRegion { start: 0x2000_0000, len: 0x4000 };
+        assert!(r.contains(0x2000_0000));
+        assert!(r.contains(0x2000_3fff));
+        assert!(!r.contains(0x2000_4000));
+        assert!(!r.contains(0x1fff_ffff));
+    }
+}

@@ -1,0 +1,180 @@
+//! Integration tests for the in-kernel BPF subsystem: load/verify/run
+//! semantics through the real syscall path.
+
+use cpu_models::{cascade_lake, zen3};
+use sim_kernel::abi::nr;
+use sim_kernel::bpf::{BpfInsn, VerifierError};
+use sim_kernel::userlib::{self, begin_loop, emit_exit, emit_syscall, end_loop};
+use sim_kernel::{BootParams, Kernel};
+use uarch::isa::{Inst, Reg, Width};
+
+const BUDGET: u64 = 100_000_000;
+
+/// Runs one program via the syscall path and returns its r0.
+fn run_prog(k: &mut Kernel, prog: u32) -> u64 {
+    let data = userlib::data_base();
+    let pid = k.spawn(move |b| {
+        b.mov_imm(Reg::R1, prog as u64);
+        emit_syscall(b, nr::BPF_PROG_RUN);
+        b.mov_imm(Reg::R4, data);
+        b.push(Inst::Store { src: Reg::R0, base: Reg::R4, offset: 0, width: Width::B8 });
+        emit_exit(b);
+    });
+    k.start();
+    k.run(BUDGET).expect("program run completes");
+    let out = k.peek_user_data(pid, 0, 8);
+    u64::from_le_bytes(out.try_into().unwrap())
+}
+
+#[test]
+fn arithmetic_program_computes() {
+    let mut k = Kernel::boot(cascade_lake(), &BootParams::default());
+    let prog = k
+        .bpf_load(&[
+            BpfInsn::MovImm(0, 6),
+            BpfInsn::MovImm(1, 7),
+            BpfInsn::Mul(0, 1),
+            BpfInsn::Exit,
+        ])
+        .unwrap();
+    assert_eq!(run_prog(&mut k, prog), 42);
+}
+
+#[test]
+fn map_lookup_and_update_round_trip() {
+    let mut k = Kernel::boot(zen3(), &BootParams::default());
+    let map = k.bpf_create_map(4);
+    k.bpf_map_write(map, 2, 123);
+    // r0 = map[2]; map[3] = r0 + 1.
+    let prog = k
+        .bpf_load(&[
+            BpfInsn::MovImm(1, 2),
+            BpfInsn::MapLookup { dst: 0, map, idx: 1 },
+            BpfInsn::Mov(2, 0),
+            BpfInsn::MovImm(3, 1),
+            BpfInsn::Add(2, 3),
+            BpfInsn::MovImm(1, 3),
+            BpfInsn::MapUpdate { map, idx: 1, src: 2 },
+            BpfInsn::Exit,
+        ])
+        .unwrap();
+    assert_eq!(run_prog(&mut k, prog), 123);
+    assert_eq!(k.bpf_map_read(map, 3), 124);
+}
+
+#[test]
+fn out_of_bounds_lookup_returns_zero_architecturally() {
+    let mut k = Kernel::boot(cascade_lake(), &BootParams::default());
+    let map = k.bpf_create_map(4);
+    k.bpf_map_write(map, 0, 99);
+    let prog = k
+        .bpf_load(&[
+            BpfInsn::MovImm(1, 100),
+            BpfInsn::MapLookup { dst: 0, map, idx: 1 },
+            BpfInsn::Exit,
+        ])
+        .unwrap();
+    assert_eq!(run_prog(&mut k, prog), 0);
+}
+
+#[test]
+fn out_of_bounds_update_is_dropped() {
+    let mut k = Kernel::boot(cascade_lake(), &BootParams::default());
+    let map = k.bpf_create_map(2);
+    let prog = k
+        .bpf_load(&[
+            BpfInsn::MovImm(1, 7),
+            BpfInsn::MovImm(2, 0xbad),
+            BpfInsn::MapUpdate { map, idx: 1, src: 2 },
+            BpfInsn::MovImm(0, 1),
+            BpfInsn::Exit,
+        ])
+        .unwrap();
+    assert_eq!(run_prog(&mut k, prog), 1);
+    assert_eq!(k.bpf_map_read(map, 0), 0);
+    assert_eq!(k.bpf_map_read(map, 1), 0);
+}
+
+#[test]
+fn forward_branches_work() {
+    let mut k = Kernel::boot(cascade_lake(), &BootParams::default());
+    // if r1 == 5: r0 = 1 else r0 = 2.
+    let prog = k
+        .bpf_load(&[
+            BpfInsn::MovImm(1, 5),
+            BpfInsn::JeqImm(1, 5, 2), // skip the else arm
+            BpfInsn::MovImm(0, 2),
+            BpfInsn::Ja(1),
+            BpfInsn::MovImm(0, 1),
+            BpfInsn::Exit,
+        ])
+        .unwrap();
+    assert_eq!(run_prog(&mut k, prog), 1);
+}
+
+#[test]
+fn bad_programs_are_rejected_before_loading() {
+    let mut k = Kernel::boot(cascade_lake(), &BootParams::default());
+    assert!(matches!(
+        k.bpf_load(&[BpfInsn::MovImm(0, 1)]),
+        Err(VerifierError::NoExit)
+    ));
+    assert!(matches!(
+        k.bpf_load(&[
+            BpfInsn::MapLookup { dst: 0, map: 9, idx: 1 },
+            BpfInsn::Exit
+        ]),
+        Err(VerifierError::BadMap { .. })
+    ));
+}
+
+#[test]
+fn bad_prog_id_returns_ebadf() {
+    let mut k = Kernel::boot(cascade_lake(), &BootParams::default());
+    let data = userlib::data_base();
+    let pid = k.spawn(move |b| {
+        b.mov_imm(Reg::R1, 42); // never loaded
+        emit_syscall(b, nr::BPF_PROG_RUN);
+        b.mov_imm(Reg::R4, data);
+        b.push(Inst::Store { src: Reg::R0, base: Reg::R4, offset: 0, width: Width::B8 });
+        emit_exit(b);
+    });
+    k.start();
+    k.run(BUDGET).unwrap();
+    let out = k.peek_user_data(pid, 0, 8);
+    assert_eq!(u64::from_le_bytes(out.try_into().unwrap()), u64::MAX); // EBADF
+}
+
+#[test]
+fn bpf_runs_cost_more_on_mitigated_old_hardware() {
+    // The boundary behaves like the syscall boundary: PTI/verw dominate
+    // per-invocation cost on vulnerable parts.
+    let cost = |cmdline: &str| {
+        let mut k = Kernel::boot(cpu_models::broadwell(), &BootParams::parse(cmdline));
+        let map = k.bpf_create_map(8);
+        let prog = k
+            .bpf_load(&[
+                BpfInsn::MovImm(1, 1),
+                BpfInsn::MapLookup { dst: 0, map, idx: 1 },
+                BpfInsn::Exit,
+            ])
+            .unwrap();
+        k.spawn(move |b| {
+            let top = begin_loop(b, Reg::R7, 100);
+            b.mov_imm(Reg::R1, prog as u64);
+            emit_syscall(b, nr::BPF_PROG_RUN);
+            end_loop(b, Reg::R7, top);
+            emit_exit(b);
+        });
+        k.start();
+        let c0 = k.cycles();
+        k.run(BUDGET).unwrap();
+        k.cycles() - c0
+    };
+    let mitigated = cost("");
+    let bare = cost("mitigations=off");
+    assert!(
+        mitigated as f64 / bare as f64 > 1.3,
+        "{mitigated} vs {bare}"
+    );
+}

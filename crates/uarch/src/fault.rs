@@ -1,0 +1,136 @@
+//! Architectural faults and simulator errors.
+
+use std::fmt;
+
+/// Why a page fault occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageFaultKind {
+    /// No translation for the virtual address.
+    NotMapped,
+    /// The PTE exists but its present bit is clear (the L1TF trigger).
+    NotPresent,
+    /// User-mode access to a supervisor page (the Meltdown trigger).
+    Supervisor,
+    /// Write to a read-only mapping.
+    ReadOnly,
+    /// Instruction fetch from a no-execute page.
+    NoExecute,
+}
+
+/// An architectural fault raised by instruction execution.
+///
+/// Faults vector to the kernel (via the machine's registered handlers);
+/// whether the faulting instruction's *transient* effects leaked anything
+/// first depends on the CPU model's vulnerability profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Page fault at the given virtual address.
+    Page {
+        /// Faulting virtual address.
+        vaddr: u64,
+        /// Cause.
+        kind: PageFaultKind,
+        /// Whether the access was a write.
+        write: bool,
+    },
+    /// Privileged instruction in user mode, or bad MSR access.
+    GeneralProtection,
+    /// Integer division by zero.
+    DivideError,
+    /// FP instruction while the FPU is disabled (the LazyFP trap).
+    DeviceNotAvailable,
+    /// Undefined instruction.
+    InvalidOpcode,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::Page { vaddr, kind, write } => {
+                write!(f, "page fault at {vaddr:#x} ({kind:?}, write={write})")
+            }
+            Fault::GeneralProtection => write!(f, "general protection fault"),
+            Fault::DivideError => write!(f, "divide error"),
+            Fault::DeviceNotAvailable => write!(f, "device not available (FPU)"),
+            Fault::InvalidOpcode => write!(f, "invalid opcode"),
+        }
+    }
+}
+
+/// A simulator-level error: the *program* is broken (as opposed to an
+/// architectural [`Fault`], which well-formed programs trigger and handle).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// Instruction fetch from an address with no code loaded.
+    BadFetch {
+        /// The bad code address.
+        addr: u64,
+    },
+    /// A `Host` instruction fired with no environment hook registered.
+    MissingHostHook {
+        /// The hook id.
+        id: u16,
+    },
+    /// A fault occurred with no handler registered for it.
+    UnhandledFault {
+        /// The unhandled fault.
+        fault: Fault,
+        /// Code address of the faulting instruction.
+        at: u64,
+    },
+    /// The instruction budget was exhausted (runaway program).
+    InstructionBudgetExhausted,
+    /// `Sysret` executed while already in user mode, double `Syscall`, etc.
+    ModeViolation {
+        /// Explanation.
+        what: &'static str,
+    },
+    /// `MovCr3` loaded a value that names no registered page table.
+    BadPageTable {
+        /// The bad CR3 value.
+        cr3: u64,
+    },
+    /// A VM-transition instruction executed outside hypervisor context.
+    BadVmTransition,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BadFetch { addr } => write!(f, "instruction fetch from {addr:#x}"),
+            SimError::MissingHostHook { id } => write!(f, "no host hook registered for id {id}"),
+            SimError::UnhandledFault { fault, at } => {
+                write!(f, "unhandled fault at {at:#x}: {fault}")
+            }
+            SimError::InstructionBudgetExhausted => write!(f, "instruction budget exhausted"),
+            SimError::ModeViolation { what } => write!(f, "privilege mode violation: {what}"),
+            SimError::BadPageTable { cr3 } => write!(f, "cr3 {cr3:#x} names no page table"),
+            SimError::BadVmTransition => write!(f, "VM transition outside hypervisor context"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_display() {
+        let f = Fault::Page {
+            vaddr: 0x1000,
+            kind: PageFaultKind::Supervisor,
+            write: false,
+        };
+        let s = f.to_string();
+        assert!(s.contains("0x1000") && s.contains("Supervisor"));
+        assert_eq!(Fault::DivideError.to_string(), "divide error");
+    }
+
+    #[test]
+    fn sim_error_display() {
+        assert!(SimError::BadFetch { addr: 0xabc }.to_string().contains("0xabc"));
+        assert!(SimError::MissingHostHook { id: 7 }.to_string().contains('7'));
+    }
+}

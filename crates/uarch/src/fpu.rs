@@ -1,0 +1,93 @@
+//! FPU state and the lazy-versus-eager switching model behind LazyFP.
+//!
+//! With lazy FPU switching the OS leaves the previous process's registers
+//! in place, marks the FPU disabled, and handles the resulting
+//! device-not-available trap on first use. LazyFP (§3.1) leaks because a
+//! vulnerable CPU lets *transient* FP instructions read the stale
+//! registers even while the FPU is disabled. The mitigation — eager
+//! save/restore on every context switch — is modelled by the kernel
+//! executing `xsave`/`xrstor` in its switch path.
+
+/// Architectural FPU state: eight scalar f64 registers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FpuState {
+    /// Register file.
+    pub regs: [f64; 8],
+}
+
+impl Default for FpuState {
+    fn default() -> FpuState {
+        FpuState { regs: [0.0; 8] }
+    }
+}
+
+/// The FPU: register file plus the enable bit (`!CR0.TS`) and owner.
+#[derive(Debug, Clone)]
+pub struct Fpu {
+    /// Live register contents. With lazy switching these may belong to a
+    /// process other than the current one — the LazyFP leak source.
+    pub state: FpuState,
+    /// Whether FP instructions may execute (clear = trap on use).
+    pub enabled: bool,
+    /// Which process id the live registers belong to (`None` = nobody).
+    pub owner: Option<u64>,
+}
+
+impl Default for Fpu {
+    fn default() -> Fpu {
+        Fpu { state: FpuState::default(), enabled: true, owner: None }
+    }
+}
+
+impl Fpu {
+    /// Creates an enabled FPU with zeroed registers.
+    pub fn new() -> Fpu {
+        Fpu::default()
+    }
+
+    /// Saves the live state (the `xsave` payload).
+    pub fn save(&self) -> FpuState {
+        self.state
+    }
+
+    /// Restores saved state and marks `owner` as the owner.
+    pub fn restore(&mut self, state: FpuState, owner: u64) {
+        self.state = state;
+        self.owner = Some(owner);
+        self.enabled = true;
+    }
+
+    /// Disables the FPU without touching the registers (lazy switch).
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn save_restore_roundtrip() {
+        let mut fpu = Fpu::new();
+        fpu.state.regs[3] = 2.5;
+        let saved = fpu.save();
+        fpu.state.regs[3] = 0.0;
+        fpu.restore(saved, 7);
+        assert_eq!(fpu.state.regs[3], 2.5);
+        assert_eq!(fpu.owner, Some(7));
+        assert!(fpu.enabled);
+    }
+
+    #[test]
+    fn lazy_disable_keeps_stale_registers() {
+        let mut fpu = Fpu::new();
+        fpu.state.regs[0] = 42.0;
+        fpu.owner = Some(1);
+        fpu.disable();
+        // The stale data is still there — that's the LazyFP leak source.
+        assert!(!fpu.enabled);
+        assert_eq!(fpu.state.regs[0], 42.0);
+        assert_eq!(fpu.owner, Some(1));
+    }
+}

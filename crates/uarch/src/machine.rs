@@ -1,0 +1,1003 @@
+//! The simulated machine: committed execution, faults, privilege
+//! transitions, and cycle accounting.
+//!
+//! Transient (speculative) execution lives in [`crate::transient`]; the
+//! machine decides *when* a transient window opens (mispredicted branch,
+//! faulting load, store-bypass opportunity) and the window module decides
+//! what leaks inside it.
+//!
+//! # Timing model
+//!
+//! Every committed instruction charges cycles from the CPU model's
+//! [`crate::model::LatencyProfile`], plus dynamic costs: TLB walks, L1D
+//! misses, branch misprediction penalties, SSBD forwarding stalls. The
+//! cycle counter is the TSC that `rdtsc` reads — measurement code inside
+//! the simulation sees exactly what a real `rdtsc`-based microbenchmark
+//! sees.
+
+use crate::cache::{CacheOutcome, L1Cache};
+use crate::fault::{Fault, SimError};
+use crate::fill_buffer::FillBuffers;
+use crate::fpu::Fpu;
+use crate::isa::{spec_ctrl, Flags, Inst, Pmc, Reg, Width};
+use crate::mem::PhysMemory;
+use crate::mmu::{Access, Mmu};
+use crate::model::{CpuModel, Vendor};
+use crate::msr::{MsrEffect, MsrFile};
+use crate::pmc::PmcBank;
+use crate::predictor::{Bhb, Btb, CondPredictor, PrivMode, Rsb};
+use crate::program::{CodeMem, Program, INST_SIZE};
+use crate::store_buffer::{ForwardOutcome, StoreBuffer};
+use crate::trace::{TraceRecord, Tracer};
+use crate::transient::{self, TransientStart};
+
+/// Why `Machine::run` returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stop {
+    /// A `Halt` instruction committed.
+    Halted,
+    /// A `Vmcall` committed: the guest wants the hypervisor.
+    Vmcall,
+}
+
+/// The host environment a running machine calls back into.
+///
+/// `sim-kernel` implements this to give `Host` instructions their
+/// semantics (syscall dispatch, scheduling decisions) without modelling
+/// every kernel instruction — the *mitigation-relevant* instructions are
+/// all real, emitted into the entry/exit/switch paths.
+pub trait Env {
+    /// Handles a `Host(id)` instruction.
+    fn host_call(&mut self, m: &mut Machine, id: u16) -> Result<(), SimError>;
+}
+
+/// An environment that rejects all host calls; fine for raw programs.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoEnv;
+
+impl Env for NoEnv {
+    fn host_call(&mut self, _m: &mut Machine, id: u16) -> Result<(), SimError> {
+        Err(SimError::MissingHostHook { id })
+    }
+}
+
+/// Saved state for fault delivery / `iret`.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultFrame {
+    /// The fault that was delivered.
+    pub fault: Fault,
+    /// Address of the faulting instruction.
+    pub faulting_pc: u64,
+    /// Where `iret` resumes; defaults to `faulting_pc` (retry). Handlers
+    /// may advance it (e.g. to skip a probing load in attack code).
+    pub resume_pc: u64,
+    /// Privilege mode before the fault.
+    pub prior_mode: PrivMode,
+}
+
+/// Registered fault handler entry points.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultVectors {
+    /// Page fault handler.
+    pub page_fault: Option<u64>,
+    /// General protection fault handler.
+    pub general_protection: Option<u64>,
+    /// Divide error handler.
+    pub divide_error: Option<u64>,
+    /// Device-not-available (FPU) handler — the LazyFP trap.
+    pub device_not_available: Option<u64>,
+    /// Invalid opcode handler.
+    pub invalid_opcode: Option<u64>,
+}
+
+impl FaultVectors {
+    fn entry_for(&self, fault: Fault) -> Option<u64> {
+        match fault {
+            Fault::Page { .. } => self.page_fault,
+            Fault::GeneralProtection => self.general_protection,
+            Fault::DivideError => self.divide_error,
+            Fault::DeviceNotAvailable => self.device_not_available,
+            Fault::InvalidOpcode => self.invalid_opcode,
+        }
+    }
+}
+
+/// The simulated CPU plus its memory system.
+#[derive(Debug)]
+pub struct Machine {
+    /// The CPU model being simulated.
+    pub model: CpuModel,
+    /// General-purpose registers.
+    pub regs: [u64; 16],
+    /// Flags from the last compare.
+    pub flags: Flags,
+    /// Program counter.
+    pub pc: u64,
+    /// Current privilege mode.
+    pub mode: PrivMode,
+    /// Physical memory.
+    pub mem: PhysMemory,
+    /// Code memory.
+    pub code: CodeMem,
+    /// MMU: page tables + TLB.
+    pub mmu: Mmu,
+    /// L1 data cache.
+    pub l1d: L1Cache,
+    /// Unified L2 cache (presence only, like the L1 model). An L1D flush
+    /// does not touch it, so post-flush refills pay L2 latency, not DRAM.
+    pub l2: L1Cache,
+    /// MDS leak source.
+    pub fill_buffers: FillBuffers,
+    /// Store buffer (store-to-load forwarding, SSB).
+    pub store_buffer: StoreBuffer,
+    /// Branch target buffer.
+    pub btb: Btb,
+    /// Return stack buffer.
+    pub rsb: Rsb,
+    /// Branch history buffer.
+    pub bhb: Bhb,
+    /// Conditional branch predictor.
+    pub cond_pred: CondPredictor,
+    /// Floating point unit.
+    pub fpu: Fpu,
+    /// Model-specific registers.
+    pub msrs: MsrFile,
+    /// Performance counters.
+    pub pmc: PmcBank,
+    /// Syscall entry point (kernel installs it).
+    pub syscall_entry: Option<u64>,
+    /// Fault handler entry points.
+    pub fault_vectors: FaultVectors,
+    /// Pending fault frame for `iret`.
+    pub fault_frame: Option<FaultFrame>,
+    /// Cycle counter (the TSC).
+    cycles: u64,
+    /// Committed instruction count.
+    insts: u64,
+    /// Kernel entries seen while eIBRS is active (drives the §6.2.2
+    /// bimodal-latency behaviour).
+    entry_counter: u64,
+    /// An `lfence` just committed on an AMD part: the next indirect branch
+    /// does not speculate (the "AMD retpoline" semantics).
+    lfence_shadow: bool,
+    /// Cycle at which the most recent committed load finished; `lfence`
+    /// is only expensive while loads are in flight (paper §5.4's caveat).
+    last_load_cycle: u64,
+    /// Cycle of the last SSBD disambiguation stall: once a load has
+    /// waited out the store queue, the addresses are resolved and
+    /// immediately-following loads need not wait again.
+    last_ssbd_stall: u64,
+    /// GS-base selector (flips on `swapgs`; semantic payload is not
+    /// modelled, only the mitigation cost around it).
+    pub swapgs_user: bool,
+    /// Optional execution trace (off by default; see
+    /// [`Machine::enable_trace`]).
+    pub tracer: Option<Tracer>,
+}
+
+impl Machine {
+    /// Creates a machine for the given CPU model, with empty memory.
+    pub fn new(model: CpuModel) -> Machine {
+        let btb_entries = model.spec.btb_entries;
+        let rsb_entries = model.spec.rsb_entries;
+        let bhb_len = model.spec.bhb_len;
+        let mut btb = Btb::new(btb_entries);
+        btb.priv_tagged = model.spec.btb_priv_tagged;
+        btb.history_tagged = model.spec.btb_history_tagged;
+        let arch_caps = model.arch_capabilities();
+        let mut mmu = Mmu::new(1536);
+        mmu.pcid_enabled = model.spec.pcid;
+        Machine {
+            regs: [0; 16],
+            flags: Flags::default(),
+            pc: 0,
+            mode: PrivMode::Kernel,
+            mem: PhysMemory::new(),
+            code: CodeMem::new(),
+            mmu,
+            l1d: L1Cache::standard(),
+            l2: L1Cache::new(1024, 8),
+            fill_buffers: FillBuffers::new(),
+            store_buffer: StoreBuffer::new(),
+            btb,
+            rsb: Rsb::new(rsb_entries),
+            bhb: Bhb::new(bhb_len),
+            cond_pred: CondPredictor::new(4096),
+            fpu: Fpu::new(),
+            msrs: MsrFile::new(arch_caps),
+            pmc: PmcBank::new(),
+            syscall_entry: None,
+            fault_vectors: FaultVectors::default(),
+            fault_frame: None,
+            cycles: 0,
+            insts: 0,
+            entry_counter: 0,
+            lfence_shadow: false,
+            last_load_cycle: 0,
+            last_ssbd_stall: 0,
+            swapgs_user: true,
+            tracer: None,
+            model,
+        }
+    }
+
+    /// Enables execution tracing, keeping the last `capacity` committed
+    /// instructions (see [`crate::trace`]).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.tracer = Some(Tracer::new(capacity));
+    }
+
+    /// Current cycle count (the TSC value).
+    #[inline]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Committed instruction count.
+    #[inline]
+    pub fn inst_count(&self) -> u64 {
+        self.insts
+    }
+
+    /// Adds cycles to the clock (used by host hooks to charge for work
+    /// done in Rust on the machine's behalf, and by the hypervisor for
+    /// host-side handling time).
+    #[inline]
+    pub fn charge(&mut self, cycles: u64) {
+        self.cycles += cycles;
+        self.pmc.add(Pmc::Cycles, cycles);
+    }
+
+    /// Refunds cycles that overlapped with other work (e.g. an `lfence`
+    /// whose wait overlaps the following branch's target resolution).
+    #[inline]
+    fn refund(&mut self, cycles: u64) {
+        self.cycles = self.cycles.saturating_sub(cycles);
+    }
+
+    /// Reads a register.
+    #[inline]
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// Writes a register.
+    #[inline]
+    pub fn set_reg(&mut self, r: Reg, v: u64) {
+        self.regs[r.index()] = v;
+    }
+
+    /// Loads a program into code memory.
+    pub fn load_program(&mut self, program: Program) {
+        self.code.load(program);
+    }
+
+    /// Whether SSBD is currently in effect.
+    #[inline]
+    pub fn ssbd_active(&self) -> bool {
+        self.model.spec.ssbd_supported && self.msrs.spec_ctrl() & spec_ctrl::SSBD != 0
+    }
+
+    /// Whether the live `IA32_SPEC_CTRL.IBRS` bit is set.
+    #[inline]
+    pub fn ibrs_active(&self) -> bool {
+        self.msrs.spec_ctrl() & spec_ctrl::IBRS != 0
+    }
+
+    /// Looks up the BTB prediction for an indirect branch at `branch_pc`
+    /// in the current mode, applying all model quirks (eIBRS privilege
+    /// tagging, pre-Spectre IBRS blocking everything, the Ice Lake Client
+    /// kernel-mode suppression, Zen 3 history tagging).
+    pub fn predict_indirect(&self, branch_pc: u64) -> Option<u64> {
+        if self.ibrs_active()
+            && self.model.spec.ibrs_blocks_kernel_mode
+            && self.mode == PrivMode::Kernel
+        {
+            return None;
+        }
+        self.btb.predict(
+            branch_pc,
+            self.mode,
+            &self.bhb,
+            self.msrs.spec_ctrl(),
+            self.model.spec.ibrs_blocks_all_prediction,
+        )
+    }
+
+    /// Translates and performs a committed load, charging TLB/cache/SSBD
+    /// costs. Returns the loaded value.
+    pub fn read_virt(&mut self, vaddr: u64, width: Width) -> Result<u64, Fault> {
+        let user = self.mode == PrivMode::User;
+        let tr = self.mmu.translate(vaddr, Access::Read, user)?;
+        if !tr.tlb_hit {
+            self.charge(self.model.lat.tlb_miss);
+        }
+        let now = self.cycles;
+        // SSBD semantics: the load may not speculatively assume it does
+        // not alias an older store whose address is still unresolved; it
+        // stalls whenever a store issued within the resolution window,
+        // aliasing or not. Store addresses resolve within a few cycles,
+        // so the window is short — the cost comes from how *often* hot
+        // loops load right after storing.
+        if self.ssbd_active()
+            && now.saturating_sub(self.last_ssbd_stall) > 12
+            && self.store_buffer.has_unresolved_store(now, 6)
+        {
+            self.charge(self.model.lat.ssbd_forward_stall);
+            self.last_ssbd_stall = self.cycles;
+        }
+        let value = match self.store_buffer.check_load(vaddr, width, now) {
+            ForwardOutcome::Forwarded { value } => {
+                self.charge(self.model.lat.l1_hit);
+                // The line is (or becomes) resident either way.
+                self.l1d.access(tr.paddr);
+                value
+            }
+            ForwardOutcome::PartialOverlap => {
+                // Must wait for the store buffer to drain: costly either way.
+                self.charge(self.model.lat.l1_hit + 12);
+                self.l1d.access(tr.paddr);
+                self.mem.read(tr.paddr, width)
+            }
+            ForwardOutcome::NoConflict => {
+                let cost = match self.l1d.access(tr.paddr) {
+                    CacheOutcome::Hit => self.model.lat.l1_hit,
+                    CacheOutcome::Miss => {
+                        self.pmc.incr(Pmc::L1dMiss);
+                        match self.l2.access(tr.paddr) {
+                            CacheOutcome::Hit => self.model.lat.l2_hit,
+                            CacheOutcome::Miss => self.model.lat.l1_miss,
+                        }
+                    }
+                };
+                self.charge(cost);
+                self.mem.read(tr.paddr, width)
+            }
+        };
+        self.fill_buffers.record(value);
+        self.last_load_cycle = self.cycles;
+        Ok(value)
+    }
+
+    /// Translates and performs a committed store.
+    pub fn write_virt(&mut self, vaddr: u64, value: u64, width: Width) -> Result<(), Fault> {
+        let user = self.mode == PrivMode::User;
+        let tr = self.mmu.translate(vaddr, Access::Write, user)?;
+        if !tr.tlb_hit {
+            self.charge(self.model.lat.tlb_miss);
+        }
+        // Write-allocate; stores retire through the store buffer so the
+        // visible latency is just the issue cost.
+        self.l1d.access(tr.paddr);
+        self.l2.access(tr.paddr);
+        self.charge(self.model.lat.l1_hit);
+        let now = self.cycles;
+        // The overwritten value is what a bypassing load would see (SSB).
+        let stale = self.mem.read(tr.paddr, width);
+        self.store_buffer.push(vaddr, width, value, stale, now);
+        self.mem.write(tr.paddr, value, width);
+        self.fill_buffers.record(width.truncate(value));
+        Ok(())
+    }
+
+    /// Runs until `Halt`, `Vmcall`, an error, or the instruction budget is
+    /// exhausted.
+    pub fn run(&mut self, env: &mut dyn Env, budget: u64) -> Result<Stop, SimError> {
+        let mut remaining = budget;
+        loop {
+            if remaining == 0 {
+                return Err(SimError::InstructionBudgetExhausted);
+            }
+            remaining -= 1;
+            match self.step(env)? {
+                Some(stop) => return Ok(stop),
+                None => continue,
+            }
+        }
+    }
+
+    /// Runs at most `n` committed instructions. Returns `Ok(true)` when
+    /// the machine stopped (halt or vmcall), `Ok(false)` when the slice
+    /// was exhausted with the machine still runnable. Lets callers
+    /// observe microarchitectural state at intermediate points.
+    pub fn step_slice(&mut self, env: &mut dyn Env, n: u64) -> Result<bool, SimError> {
+        for _ in 0..n {
+            if self.step(env)?.is_some() {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Executes one committed instruction (handling any fault it raises).
+    /// Returns `Some(stop)` when the machine should stop.
+    pub fn step(&mut self, env: &mut dyn Env) -> Result<Option<Stop>, SimError> {
+        let pc = self.pc;
+        let inst = match self.code.fetch(pc) {
+            Some(i) => i.clone(),
+            None => return Err(SimError::BadFetch { addr: pc }),
+        };
+        self.insts += 1;
+        self.pmc.incr(Pmc::Instructions);
+        if let Some(t) = &mut self.tracer {
+            t.record(TraceRecord {
+                pc,
+                cycles: self.cycles,
+                mode: self.mode,
+                mnemonic: inst.mnemonic(),
+            });
+        }
+
+        // Privilege check first: privileged instructions fault in user mode.
+        if self.mode == PrivMode::User && inst.is_privileged() {
+            self.deliver_fault(Fault::GeneralProtection, pc)?;
+            return Ok(None);
+        }
+
+        let lfence_shadow = std::mem::take(&mut self.lfence_shadow);
+
+        match inst {
+            Inst::Nop | Inst::Pause => {
+                self.charge(self.model.lat.alu);
+                self.pc += INST_SIZE;
+            }
+            Inst::Halt => {
+                self.charge(self.model.lat.alu);
+                // Advance past the halt so callers can resume execution
+                // at the following instruction (checkpoint pattern).
+                self.pc += INST_SIZE;
+                return Ok(Some(Stop::Halted));
+            }
+            Inst::Vmcall => {
+                // Guest-visible exit cost; host adds its handling time.
+                self.charge(self.model.lat.vmexit);
+                self.pc += INST_SIZE;
+                return Ok(Some(Stop::Vmcall));
+            }
+            Inst::Host(id) => {
+                self.charge(self.model.lat.alu);
+                self.pc += INST_SIZE;
+                env.host_call(self, id)?;
+            }
+
+            Inst::MovImm(d, v) => self.alu1(|_| v, d),
+            Inst::Mov(d, s) => {
+                let v = self.reg(s);
+                self.alu1(|_| v, d)
+            }
+            Inst::Add(d, s) => {
+                let v = self.reg(s);
+                self.alu1(|x| x.wrapping_add(v), d)
+            }
+            Inst::AddImm(d, v) => self.alu1(|x| x.wrapping_add(v), d),
+            Inst::Sub(d, s) => {
+                let v = self.reg(s);
+                self.alu1(|x| x.wrapping_sub(v), d)
+            }
+            Inst::SubImm(d, v) => self.alu1(|x| x.wrapping_sub(v), d),
+            Inst::Mul(d, s) => {
+                let v = self.reg(s);
+                self.charge(2); // multiply is slightly slower than simple ALU
+                self.alu1_free(|x| x.wrapping_mul(v), d)
+            }
+            Inst::Div(d, s) => {
+                let divisor = self.reg(s);
+                if divisor == 0 {
+                    self.deliver_fault(Fault::DivideError, pc)?;
+                    return Ok(None);
+                }
+                let div_lat = self.model.lat.div;
+                self.charge(div_lat);
+                self.pmc.add(Pmc::DividerActive, div_lat);
+                let v = self.reg(d) / divisor;
+                self.set_reg(d, v);
+                self.pc += INST_SIZE;
+            }
+            Inst::And(d, s) => {
+                let v = self.reg(s);
+                self.alu1(|x| x & v, d)
+            }
+            Inst::AndImm(d, v) => self.alu1(|x| x & v, d),
+            Inst::Or(d, s) => {
+                let v = self.reg(s);
+                self.alu1(|x| x | v, d)
+            }
+            Inst::Xor(d, s) => {
+                let v = self.reg(s);
+                self.alu1(|x| x ^ v, d)
+            }
+            Inst::XorImm(d, v) => self.alu1(|x| x ^ v, d),
+            Inst::Shl(d, n) => self.alu1(|x| x << (n & 63), d),
+            Inst::Shr(d, n) => self.alu1(|x| x >> (n & 63), d),
+            Inst::Not(d) => self.alu1(|x| !x, d),
+
+            Inst::Load { dst, base, offset, width } => {
+                let vaddr = self.reg(base).wrapping_add(offset as u64);
+                match self.read_virt(vaddr, width) {
+                    Ok(v) => {
+                        self.set_reg(dst, v);
+                        // Speculative Store Bypass: if the load *forwarded*
+                        // from an in-flight store, a vulnerable part may
+                        // first have run ahead with the stale value.
+                        self.maybe_ssb_window(vaddr, width, dst, pc + INST_SIZE);
+                        self.pc += INST_SIZE;
+                    }
+                    Err(fault) => {
+                        // The faulting load's dependents execute transiently
+                        // with whatever the vulnerability lets through
+                        // (Meltdown / L1TF / MDS).
+                        transient::run_window(
+                            self,
+                            TransientStart::FaultingLoad { vaddr, width, dst, next_pc: pc + INST_SIZE },
+                        );
+                        self.deliver_fault(fault, pc)?;
+                    }
+                }
+            }
+            Inst::Store { src, base, offset, width } => {
+                let vaddr = self.reg(base).wrapping_add(offset as u64);
+                let value = self.reg(src);
+                match self.write_virt(vaddr, value, width) {
+                    Ok(()) => self.pc += INST_SIZE,
+                    Err(fault) => self.deliver_fault(fault, pc)?,
+                }
+            }
+
+            Inst::Cmp(a, b) => {
+                self.flags = Flags::compare(self.reg(a), self.reg(b));
+                self.charge(self.model.lat.alu);
+                self.pc += INST_SIZE;
+            }
+            Inst::CmpImm(a, imm) => {
+                self.flags = Flags::compare(self.reg(a), imm);
+                self.charge(self.model.lat.alu);
+                self.pc += INST_SIZE;
+            }
+            Inst::Test(a, b) => {
+                let v = self.reg(a) & self.reg(b);
+                self.flags = Flags { zero: v == 0, carry: false, sign: (v as i64) < 0, overflow: false };
+                self.charge(self.model.lat.alu);
+                self.pc += INST_SIZE;
+            }
+
+            Inst::Jcc(cond, target) => {
+                self.charge(self.model.lat.alu);
+                let taken = self.flags.eval(cond);
+                let predicted_taken = self.cond_pred.predict(pc, &self.bhb);
+                if predicted_taken != taken {
+                    self.charge(self.model.lat.mispredict_penalty);
+                    let wrong_path = if predicted_taken { target } else { pc + INST_SIZE };
+                    transient::run_window(self, TransientStart::WrongPath { pc: wrong_path });
+                }
+                self.cond_pred.update(pc, &self.bhb, taken);
+                if taken {
+                    self.bhb.record(pc, target);
+                    self.pc = target;
+                } else {
+                    self.pc += INST_SIZE;
+                }
+            }
+            Inst::Jmp(target) => {
+                self.charge(self.model.lat.alu);
+                self.bhb.record(pc, target);
+                self.pc = target;
+            }
+            Inst::JmpInd(r) => {
+                let target = self.reg(r);
+                self.indirect_branch(pc, target, lfence_shadow);
+                self.pc = target;
+            }
+            Inst::Call(target) => {
+                self.charge(self.model.lat.alu);
+                self.push_stack(pc + INST_SIZE)?;
+                self.rsb.push(pc + INST_SIZE);
+                self.bhb.record(pc, target);
+                self.pc = target;
+            }
+            Inst::CallInd(r) => {
+                let target = self.reg(r);
+                self.indirect_branch(pc, target, lfence_shadow);
+                self.push_stack(pc + INST_SIZE)?;
+                self.rsb.push(pc + INST_SIZE);
+                self.pc = target;
+            }
+            Inst::Ret => {
+                self.charge(self.model.lat.alu);
+                let actual = self.pop_stack()?;
+                let predicted = self.rsb.pop();
+                match predicted {
+                    Some(p) if p == actual => {}
+                    Some(p) => {
+                        // RSB mispredict: speculation goes to the stale RSB
+                        // entry. This is both the retpoline capture (by
+                        // design) and the SpectreRSB vector.
+                        self.charge(self.model.lat.ret_mispredict);
+                        transient::run_window(self, TransientStart::WrongPath { pc: p });
+                    }
+                    None => {
+                        // RSB underflow: newer parts fall back to the BTB.
+                        self.charge(self.model.lat.ret_mispredict);
+                        if let Some(p) = self.predict_indirect(pc) {
+                            if p != actual {
+                                transient::run_window(self, TransientStart::WrongPath { pc: p });
+                            }
+                        }
+                    }
+                }
+                self.bhb.record(pc, actual);
+                self.pc = actual;
+            }
+
+            Inst::Cmov(cond, d, s) => {
+                // Conditional moves are cheap to execute but sit on the
+                // dependency chain of whatever consumes the result — for
+                // index masking, the following load cannot begin until the
+                // flags and both inputs resolve. The extra cycles model
+                // that serialization (the real cost of the mitigation,
+                // §5.4).
+                let v = self.reg(s);
+                let take = self.flags.eval(cond);
+                self.charge(self.model.lat.alu + 3);
+                if take {
+                    self.set_reg(d, v);
+                }
+                self.pc += INST_SIZE;
+            }
+            Inst::CmovImm(cond, d, imm) => {
+                let take = self.flags.eval(cond);
+                self.charge(self.model.lat.alu + 3);
+                if take {
+                    self.set_reg(d, imm);
+                }
+                self.pc += INST_SIZE;
+            }
+
+            Inst::Lfence => {
+                // On Intel, `lfence` only waits for in-flight loads: with
+                // nothing outstanding (e.g. right after `swapgs` on kernel
+                // entry) it is nearly free — which is why the paper found
+                // no measurable LEBench impact from the Spectre V1 kernel
+                // mitigation (§4.6). On AMD it is dispatch-serializing (as
+                // Linux configures it), so the full cost always applies.
+                let loads_in_flight = self.cycles.saturating_sub(self.last_load_cycle) < 20;
+                let cost = if self.model.vendor == Vendor::Amd || loads_in_flight {
+                    self.model.lat.lfence
+                } else {
+                    2
+                };
+                self.charge(cost);
+                if self.model.vendor == Vendor::Amd {
+                    // The next indirect branch will not speculate.
+                    self.lfence_shadow = true;
+                }
+                self.pc += INST_SIZE;
+            }
+            Inst::Mfence | Inst::Sfence => {
+                self.charge(self.model.lat.lfence + 10);
+                self.store_buffer.flush();
+                self.pc += INST_SIZE;
+            }
+            Inst::Clflush(r) => {
+                let vaddr = self.reg(r);
+                self.charge(self.model.lat.l1_hit + 8);
+                let user = self.mode == PrivMode::User;
+                if let Ok(tr) = self.mmu.translate(vaddr, Access::Read, user) {
+                    self.l1d.flush_line(tr.paddr);
+                }
+                self.pc += INST_SIZE;
+            }
+
+            Inst::Rdtsc(d) => {
+                self.charge(15);
+                let c = self.cycles;
+                self.set_reg(d, c);
+                self.pc += INST_SIZE;
+            }
+            Inst::Rdpmc { pmc, dst } => {
+                self.charge(20);
+                let v = self.pmc.read(pmc);
+                self.set_reg(dst, v);
+                self.pc += INST_SIZE;
+            }
+            Inst::Wrmsr { msr, src } => {
+                let value = self.reg(src);
+                let cost = if msr == crate::isa::msr_index::IA32_SPEC_CTRL {
+                    self.model.lat.wrmsr_spec_ctrl
+                } else if msr == crate::isa::msr_index::IA32_PRED_CMD {
+                    self.model.lat.ibpb
+                } else if msr == crate::isa::msr_index::IA32_FLUSH_CMD {
+                    self.model.lat.l1d_flush
+                } else {
+                    100
+                };
+                match self.msrs.write(msr, value) {
+                    Ok(effect) => {
+                        self.charge(cost);
+                        match effect {
+                            MsrEffect::None => {}
+                            MsrEffect::Ibpb => self.btb.ibpb(),
+                            MsrEffect::L1dFlush => self.l1d.flush_all(),
+                        }
+                        self.pc += INST_SIZE;
+                    }
+                    Err(fault) => self.deliver_fault(fault, pc)?,
+                }
+            }
+            Inst::Rdmsr { msr, dst } => match self.msrs.read(msr) {
+                Ok(v) => {
+                    self.charge(60);
+                    self.set_reg(dst, v);
+                    self.pc += INST_SIZE;
+                }
+                Err(fault) => self.deliver_fault(fault, pc)?,
+            },
+
+            Inst::Syscall => {
+                if self.mode == PrivMode::Kernel {
+                    return Err(SimError::ModeViolation { what: "syscall from kernel mode" });
+                }
+                let entry = match self.syscall_entry {
+                    Some(e) => e,
+                    None => return Err(SimError::ModeViolation { what: "syscall with no entry" }),
+                };
+                self.charge(self.model.lat.syscall);
+                // Return address convention: syscall leaves it in R11.
+                self.set_reg(Reg::R11, pc + INST_SIZE);
+                self.mode = PrivMode::Kernel;
+                self.kernel_entry_side_effects();
+                self.pc = entry;
+            }
+            Inst::Sysret => {
+                self.charge(self.model.lat.sysret);
+                self.mode = PrivMode::User;
+                self.pc = self.reg(Reg::R11);
+            }
+            Inst::Swapgs => {
+                self.charge(self.model.lat.alu + 2);
+                self.swapgs_user = !self.swapgs_user;
+                self.pc += INST_SIZE;
+            }
+            Inst::Iret => {
+                let frame = match self.fault_frame.take() {
+                    Some(f) => f,
+                    None => return Err(SimError::ModeViolation { what: "iret with no frame" }),
+                };
+                self.charge(self.model.lat.sysret + 20);
+                self.mode = frame.prior_mode;
+                self.pc = frame.resume_pc;
+            }
+            Inst::MovCr3(r) => {
+                let value = self.reg(r);
+                self.charge(self.model.lat.swap_cr3);
+                if !self.mmu.load_cr3(value) {
+                    return Err(SimError::BadPageTable { cr3: value });
+                }
+                self.pc += INST_SIZE;
+            }
+            Inst::Verw => {
+                if self.model.spec.md_clear {
+                    self.charge(self.model.lat.verw_clear);
+                    self.fill_buffers.clear();
+                } else {
+                    self.charge(self.model.lat.verw_legacy);
+                }
+                self.pc += INST_SIZE;
+            }
+            Inst::Invlpg(r) => {
+                let vaddr = self.reg(r);
+                self.charge(120);
+                self.mmu.flush_tlb_page(vaddr);
+                self.pc += INST_SIZE;
+            }
+
+            Inst::Fadd(..)
+            | Inst::Fsub(..)
+            | Inst::Fmul(..)
+            | Inst::Fdiv(..)
+            | Inst::FmovImm(..)
+            | Inst::Fload { .. }
+            | Inst::Fstore { .. }
+            | Inst::FtoG(..) => {
+                if !self.fpu.enabled {
+                    // LazyFP trap point: architecturally this faults. On a
+                    // vulnerable part the *transient* dependents still see
+                    // the stale registers.
+                    if self.model.vuln.lazy_fp {
+                        transient::run_window(
+                            self,
+                            TransientStart::StaleFpu { inst: inst.clone(), next_pc: pc + INST_SIZE },
+                        );
+                    }
+                    self.deliver_fault(Fault::DeviceNotAvailable, pc)?;
+                    return Ok(None);
+                }
+                if let Err(fault) = self.exec_fp(&inst) {
+                    self.deliver_fault(fault, pc)?;
+                    return Ok(None);
+                }
+                self.pc += INST_SIZE;
+            }
+            Inst::Xsave => {
+                let cost = if self.model.spec.xsaveopt {
+                    self.model.lat.xsave
+                } else {
+                    self.model.lat.xsave * 2
+                };
+                self.charge(cost);
+                self.pc += INST_SIZE;
+            }
+            Inst::Xrstor => {
+                self.charge(self.model.lat.xrstor);
+                self.pc += INST_SIZE;
+            }
+        }
+        Ok(None)
+    }
+
+    /// Kernel-entry side effects shared by syscalls and faults: the
+    /// eIBRS periodic flush (§6.2.2 bimodal latency).
+    fn kernel_entry_side_effects(&mut self) {
+        if self.model.spec.eibrs
+            && self.ibrs_active()
+            && self.model.spec.eibrs_flush_interval > 0
+        {
+            self.entry_counter += 1;
+            if self.entry_counter % self.model.spec.eibrs_flush_interval == 0 {
+                self.charge(self.model.lat.eibrs_periodic_flush);
+                self.btb.flush_mode(PrivMode::Kernel);
+            }
+        }
+    }
+
+    /// Executes an enabled-FPU floating point instruction.
+    fn exec_fp(&mut self, inst: &Inst) -> Result<(), Fault> {
+        match *inst {
+            Inst::Fadd(d, s) => {
+                self.charge(3);
+                self.fpu.state.regs[d.index()] += self.fpu.state.regs[s.index()];
+            }
+            Inst::Fsub(d, s) => {
+                self.charge(3);
+                self.fpu.state.regs[d.index()] -= self.fpu.state.regs[s.index()];
+            }
+            Inst::Fmul(d, s) => {
+                self.charge(4);
+                self.fpu.state.regs[d.index()] *= self.fpu.state.regs[s.index()];
+            }
+            Inst::Fdiv(d, s) => {
+                let lat = self.model.lat.div;
+                self.charge(lat);
+                self.pmc.add(Pmc::DividerActive, lat);
+                self.fpu.state.regs[d.index()] /= self.fpu.state.regs[s.index()];
+            }
+            Inst::FmovImm(d, v) => {
+                self.charge(self.model.lat.alu);
+                self.fpu.state.regs[d.index()] = v;
+            }
+            Inst::Fload { dst, base, offset } => {
+                let vaddr = self.reg(base).wrapping_add(offset as u64);
+                let bits = self.read_virt(vaddr, Width::B8)?;
+                self.fpu.state.regs[dst.index()] = f64::from_bits(bits);
+            }
+            Inst::Fstore { src, base, offset } => {
+                let vaddr = self.reg(base).wrapping_add(offset as u64);
+                let bits = self.fpu.state.regs[src.index()].to_bits();
+                self.write_virt(vaddr, bits, Width::B8)?;
+            }
+            Inst::FtoG(d, s) => {
+                self.charge(self.model.lat.alu + 1);
+                self.regs[d.index()] = self.fpu.state.regs[s.index()].to_bits();
+            }
+            _ => unreachable!("exec_fp called on non-FP instruction"),
+        }
+        Ok(())
+    }
+
+    /// Committed indirect branch bookkeeping: prediction check, transient
+    /// window on mispredict, BTB training, BHB update.
+    fn indirect_branch(&mut self, pc: u64, actual: u64, lfence_shadow: bool) {
+        if lfence_shadow {
+            // AMD retpoline: the serializing lfence's wait overlaps the
+            // branch's own target resolution, so the *net* extra cost of
+            // the `lfence; jmp *r` pair over a bare indirect branch is
+            // Table 5's "AMD" column, not the standalone lfence cost.
+            let overlap =
+                self.model.lat.lfence.saturating_sub(self.model.lat.amd_retpoline_extra);
+            self.refund(overlap);
+        }
+        self.charge(self.model.lat.indirect_branch);
+        let predicted = self.predict_indirect(pc);
+        match predicted {
+            Some(p) if p == actual => {}
+            Some(p) => {
+                self.charge(self.model.lat.indirect_mispredict);
+                self.pmc.incr(Pmc::IndirectMispredict);
+                if !lfence_shadow {
+                    transient::run_window(self, TransientStart::WrongPath { pc: p });
+                }
+            }
+            None => {
+                // No usable prediction: static fall-through, always wrong
+                // for a taken indirect branch.
+                self.charge(self.model.lat.indirect_mispredict);
+                self.pmc.incr(Pmc::IndirectMispredict);
+            }
+        }
+        self.btb.train(pc, actual, self.mode, &self.bhb);
+        self.bhb.record(pc, actual);
+    }
+
+    /// Opens the Speculative Store Bypass transient window when a committed
+    /// load forwarded from an in-flight store on a vulnerable part: the
+    /// load's dependents first ran ahead with the *stale* pre-store value.
+    fn maybe_ssb_window(&mut self, vaddr: u64, width: Width, dst: Reg, next_pc: u64) {
+        if !self.model.vuln.ssb || self.ssbd_active() {
+            return;
+        }
+        let now = self.cycles;
+        let stale = match self.store_buffer.bypass_value(vaddr, width, now) {
+            Some(s) => s,
+            None => return,
+        };
+        if stale == self.reg(dst) {
+            // Bypass world indistinguishable from the committed world.
+            return;
+        }
+        transient::run_window(self, TransientStart::StoreBypass { stale, dst, next_pc });
+    }
+
+    /// Pushes a value on the simulated stack (SP convention register).
+    fn push_stack(&mut self, value: u64) -> Result<(), SimError> {
+        let sp = self.reg(Reg::SP).wrapping_sub(8);
+        self.set_reg(Reg::SP, sp);
+        match self.write_virt(sp, value, Width::B8) {
+            Ok(()) => Ok(()),
+            Err(_) => Err(SimError::ModeViolation { what: "stack push faulted" }),
+        }
+    }
+
+    /// Pops a value from the simulated stack.
+    fn pop_stack(&mut self) -> Result<u64, SimError> {
+        let sp = self.reg(Reg::SP);
+        let v = match self.read_virt(sp, Width::B8) {
+            Ok(v) => v,
+            Err(_) => return Err(SimError::ModeViolation { what: "stack pop faulted" }),
+        };
+        self.set_reg(Reg::SP, sp.wrapping_add(8));
+        Ok(v)
+    }
+
+    /// Delivers a fault: saves a frame and vectors to the handler.
+    fn deliver_fault(&mut self, fault: Fault, faulting_pc: u64) -> Result<(), SimError> {
+        let entry = match self.fault_vectors.entry_for(fault) {
+            Some(e) => e,
+            None => return Err(SimError::UnhandledFault { fault, at: faulting_pc }),
+        };
+        if self.fault_frame.is_some() {
+            return Err(SimError::ModeViolation { what: "nested fault" });
+        }
+        // Exception entry is comparable to a syscall entry in cost.
+        self.charge(self.model.lat.syscall + self.model.lat.kernel_entry_base);
+        self.fault_frame = Some(FaultFrame {
+            fault,
+            faulting_pc,
+            resume_pc: faulting_pc,
+            prior_mode: self.mode,
+        });
+        self.mode = PrivMode::Kernel;
+        self.kernel_entry_side_effects();
+        self.pc = entry;
+        Ok(())
+    }
+
+    fn alu1(&mut self, f: impl FnOnce(u64) -> u64, d: Reg) {
+        self.charge(self.model.lat.alu);
+        self.alu1_free(f, d);
+    }
+
+    fn alu1_free(&mut self, f: impl FnOnce(u64) -> u64, d: Reg) {
+        let v = f(self.reg(d));
+        self.set_reg(d, v);
+        self.pc += INST_SIZE;
+    }
+}

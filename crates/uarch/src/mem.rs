@@ -1,0 +1,199 @@
+//! Sparse physical memory.
+//!
+//! Physical memory is a sparse map of 4 KiB frames, allocated on first
+//! touch. All accesses are by *physical* address; virtual-to-physical
+//! translation happens in [`crate::mmu`].
+
+use std::collections::HashMap;
+
+use crate::isa::Width;
+
+/// Size of a physical frame / virtual page in bytes.
+pub const PAGE_SIZE: u64 = 4096;
+/// Log2 of [`PAGE_SIZE`].
+pub const PAGE_SHIFT: u32 = 12;
+/// Size of a cache line in bytes.
+pub const LINE_SIZE: u64 = 64;
+/// Log2 of [`LINE_SIZE`].
+pub const LINE_SHIFT: u32 = 6;
+
+/// Returns the frame (or page) number containing `addr`.
+#[inline]
+pub fn page_number(addr: u64) -> u64 {
+    addr >> PAGE_SHIFT
+}
+
+/// Returns the byte offset of `addr` within its page.
+#[inline]
+pub fn page_offset(addr: u64) -> u64 {
+    addr & (PAGE_SIZE - 1)
+}
+
+/// Returns the cache-line number containing `addr`.
+#[inline]
+pub fn line_number(addr: u64) -> u64 {
+    addr >> LINE_SHIFT
+}
+
+/// Sparse byte-addressable physical memory.
+///
+/// Reads of untouched memory return zero, mirroring zero-fill-on-demand.
+#[derive(Debug, Default)]
+pub struct PhysMemory {
+    frames: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    /// One-entry cache of the most recently touched frame, to keep the
+    /// simulator's hot loop off the hash map.
+    last_frame: Option<u64>,
+}
+
+impl PhysMemory {
+    /// Creates empty physical memory.
+    pub fn new() -> PhysMemory {
+        PhysMemory::default()
+    }
+
+    /// Number of frames that have been touched.
+    pub fn resident_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    fn frame_mut(&mut self, pfn: u64) -> &mut [u8; PAGE_SIZE as usize] {
+        self.last_frame = Some(pfn);
+        self.frames
+            .entry(pfn)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]))
+    }
+
+    /// Reads one byte at a physical address.
+    #[inline]
+    pub fn read_u8(&self, paddr: u64) -> u8 {
+        match self.frames.get(&page_number(paddr)) {
+            Some(f) => f[page_offset(paddr) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte at a physical address.
+    #[inline]
+    pub fn write_u8(&mut self, paddr: u64, v: u8) {
+        let off = page_offset(paddr) as usize;
+        self.frame_mut(page_number(paddr))[off] = v;
+    }
+
+    /// Reads `width` bytes (little-endian, zero-extended).
+    ///
+    /// Accesses may straddle a page boundary; they are performed bytewise.
+    pub fn read(&self, paddr: u64, width: Width) -> u64 {
+        let n = width.bytes();
+        let mut v = 0u64;
+        for i in 0..n {
+            v |= (self.read_u8(paddr.wrapping_add(i)) as u64) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes the low `width` bytes of `v` (little-endian).
+    pub fn write(&mut self, paddr: u64, v: u64, width: Width) {
+        let n = width.bytes();
+        for i in 0..n {
+            self.write_u8(paddr.wrapping_add(i), (v >> (8 * i)) as u8);
+        }
+    }
+
+    /// Reads a u64.
+    pub fn read_u64(&self, paddr: u64) -> u64 {
+        self.read(paddr, Width::B8)
+    }
+
+    /// Writes a u64.
+    pub fn write_u64(&mut self, paddr: u64, v: u64) {
+        self.write(paddr, v, Width::B8)
+    }
+
+    /// Reads an f64 (bitcast of the u64 at `paddr`).
+    pub fn read_f64(&self, paddr: u64) -> f64 {
+        f64::from_bits(self.read_u64(paddr))
+    }
+
+    /// Writes an f64 (bitcast).
+    pub fn write_f64(&mut self, paddr: u64, v: f64) {
+        self.write_u64(paddr, v.to_bits())
+    }
+
+    /// Copies a byte slice into physical memory.
+    pub fn write_bytes(&mut self, paddr: u64, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(paddr + i as u64, *b);
+        }
+    }
+
+    /// Reads `len` bytes starting at `paddr`.
+    pub fn read_bytes(&self, paddr: u64, len: usize) -> Vec<u8> {
+        (0..len as u64).map(|i| self.read_u8(paddr + i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_on_demand() {
+        let m = PhysMemory::new();
+        assert_eq!(m.read_u64(0x1234), 0);
+        assert_eq!(m.read(0xdead_beef, Width::B4), 0);
+    }
+
+    #[test]
+    fn read_write_roundtrip_all_widths() {
+        let mut m = PhysMemory::new();
+        for (w, val) in [
+            (Width::B1, 0xabu64),
+            (Width::B2, 0xabcd),
+            (Width::B4, 0xdead_beef),
+            (Width::B8, 0x0123_4567_89ab_cdef),
+        ] {
+            m.write(0x4000, val, w);
+            assert_eq!(m.read(0x4000, w), val);
+        }
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = PhysMemory::new();
+        let addr = PAGE_SIZE - 4; // straddles the first page boundary
+        m.write(addr, 0x1122_3344_5566_7788, Width::B8);
+        assert_eq!(m.read(addr, Width::B8), 0x1122_3344_5566_7788);
+        assert_eq!(m.resident_frames(), 2);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = PhysMemory::new();
+        m.write(0, 0x0102_0304, Width::B4);
+        assert_eq!(m.read_u8(0), 0x04);
+        assert_eq!(m.read_u8(3), 0x01);
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let mut m = PhysMemory::new();
+        m.write_f64(0x100, 3.14159);
+        assert_eq!(m.read_f64(0x100), 3.14159);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut m = PhysMemory::new();
+        m.write_bytes(0x55, b"hello world");
+        assert_eq!(m.read_bytes(0x55, 11), b"hello world");
+    }
+
+    #[test]
+    fn line_and_page_math() {
+        assert_eq!(page_number(0x1fff), 1);
+        assert_eq!(page_offset(0x1fff), 0xfff);
+        assert_eq!(line_number(0x7f), 1);
+        assert_eq!(line_number(0x3f), 0);
+    }
+}

@@ -1,0 +1,422 @@
+//! CPU model descriptors: everything that distinguishes one simulated
+//! processor from another.
+//!
+//! A [`CpuModel`] bundles three orthogonal aspects:
+//!
+//! * [`VulnProfile`] — which transient-execution attacks the part is
+//!   vulnerable to (the paper's Table 1 follows from these flags plus the
+//!   kernel's policy logic);
+//! * [`LatencyProfile`] — per-primitive cycle costs, calibrated from the
+//!   paper's microbenchmark tables (Tables 3–8);
+//! * [`SpecProfile`] — speculation machinery geometry and behavioural
+//!   quirks (BTB privilege tagging under eIBRS, Zen 3's branch-history
+//!   indexing, the pre-Spectre IBRS behaviour of disabling all indirect
+//!   prediction).
+//!
+//! The catalogue of the eight concrete CPUs evaluated by the paper lives in
+//! the `cpu-models` crate; this module only defines the parameter space.
+
+/// CPU vendor. Affects `lfence` semantics (AMD's is dispatch-serializing
+/// once the kernel sets the relevant MSR bit, enabling the "AMD retpoline")
+/// and which mitigations are applicable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Vendor {
+    /// Intel Corporation.
+    Intel,
+    /// Advanced Micro Devices.
+    Amd,
+}
+
+impl std::fmt::Display for Vendor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Vendor::Intel => write!(f, "Intel"),
+            Vendor::Amd => write!(f, "AMD"),
+        }
+    }
+}
+
+/// Which transient-execution attacks a CPU is vulnerable to.
+///
+/// `true` means vulnerable (the attack works absent software mitigation).
+/// Spectre V1/V2 and Speculative Store Bypass are `true` on every part the
+/// paper measured; Meltdown, L1TF, MDS and LazyFP were fixed in hardware on
+/// newer parts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VulnProfile {
+    /// Meltdown (rogue data cache load): user-mode transient reads of
+    /// supervisor pages return real data.
+    pub meltdown: bool,
+    /// L1 Terminal Fault: loads through non-present PTEs transiently
+    /// return L1-cached data for the stale frame number.
+    pub l1tf: bool,
+    /// LazyFP: FP instructions with the FPU disabled transiently compute
+    /// on the stale (previous process's) registers.
+    pub lazy_fp: bool,
+    /// Spectre V1 (bounds check bypass).
+    pub spectre_v1: bool,
+    /// Spectre V2 (branch target injection).
+    pub spectre_v2: bool,
+    /// Speculative Store Bypass (store-to-load forwarding bypass).
+    pub ssb: bool,
+    /// Microarchitectural Data Sampling: transient faulting loads sample
+    /// stale fill-buffer contents.
+    pub mds: bool,
+    /// The `swapgs` variant of Spectre V1.
+    pub swapgs: bool,
+}
+
+impl VulnProfile {
+    /// Profile of a pre-2018 Intel part: vulnerable to everything.
+    pub const fn pre_spectre_intel() -> VulnProfile {
+        VulnProfile {
+            meltdown: true,
+            l1tf: true,
+            lazy_fp: true,
+            spectre_v1: true,
+            spectre_v2: true,
+            ssb: true,
+            mds: true,
+            swapgs: true,
+        }
+    }
+
+    /// Profile of an AMD part: never vulnerable to Meltdown, L1TF, or MDS.
+    pub const fn amd() -> VulnProfile {
+        VulnProfile {
+            meltdown: false,
+            l1tf: false,
+            lazy_fp: true,
+            spectre_v1: true,
+            spectre_v2: true,
+            ssb: true,
+            mds: false,
+            swapgs: true,
+        }
+    }
+}
+
+/// Per-primitive cycle costs for a CPU model.
+///
+/// Calibration: the values for concrete CPUs are taken from the paper's own
+/// microbenchmarks (Tables 3–8), so the simulator is anchored at the
+/// instruction level and end-to-end results *emerge* from executing real
+/// instruction sequences. All values are core cycles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyProfile {
+    /// Base cost of a simple ALU instruction (throughput-normalized).
+    pub alu: u64,
+    /// Cost of an integer/FP divide; also the duration the divider unit is
+    /// busy, which feeds the `ARITH.DIVIDER_ACTIVE` performance counter.
+    pub div: u64,
+    /// L1D hit latency.
+    pub l1_hit: u64,
+    /// L2 hit latency (an L1 miss that the L2 satisfies — e.g. refills
+    /// right after an L1D flush).
+    pub l2_hit: u64,
+    /// Full cache-miss latency (both levels miss; to DRAM).
+    pub l1_miss: u64,
+    /// Page-walk cost on TLB miss.
+    pub tlb_miss: u64,
+    /// `syscall` instruction (Table 3).
+    pub syscall: u64,
+    /// `sysret` instruction (Table 3).
+    pub sysret: u64,
+    /// Root page-table swap, `mov %cr3` (Table 3; `None` if the part does
+    /// not need PTI and the paper reports N/A).
+    pub swap_cr3: u64,
+    /// `verw` with the MD_CLEAR microcode update (Table 4); the cost of the
+    /// legacy segmentation-only `verw` is [`LatencyProfile::verw_legacy`].
+    pub verw_clear: u64,
+    /// `verw` without MD_CLEAR (tens of cycles, paper §5.2).
+    pub verw_legacy: u64,
+    /// Baseline (unmitigated, correctly predicted) indirect branch
+    /// (Table 5, "Baseline" column).
+    pub indirect_branch: u64,
+    /// Extra cycles an indirect branch costs with IBRS enabled (Table 5).
+    pub ibrs_indirect_extra: u64,
+    /// Extra cycles of a generic retpoline over a plain indirect branch
+    /// (Table 5, "Generic").
+    pub generic_retpoline_extra: u64,
+    /// Extra cycles of an AMD (lfence) retpoline (Table 5, "AMD";
+    /// meaningless on Intel parts where the sequence is not a mitigation).
+    pub amd_retpoline_extra: u64,
+    /// Indirect branch prediction barrier via `wrmsr IA32_PRED_CMD`
+    /// (Table 6).
+    pub ibpb: u64,
+    /// Filling/stuffing the whole return stack buffer (Table 7).
+    pub rsb_fill: u64,
+    /// A single `lfence` in a quiet loop (Table 8). Real cost additionally
+    /// depends on in-flight loads, which the machine models dynamically.
+    pub lfence: u64,
+    /// `wrmsr` to `IA32_SPEC_CTRL` (the per-entry cost of legacy IBRS).
+    pub wrmsr_spec_ctrl: u64,
+    /// Conditional-branch misprediction squash/refill penalty.
+    pub mispredict_penalty: u64,
+    /// Indirect-branch misprediction penalty: charged when the BTB has no
+    /// (usable) prediction or predicted wrongly. On pre-eIBRS parts this is
+    /// exactly the Table 5 "IBRS" column, since IBRS blocks prediction.
+    pub indirect_mispredict: u64,
+    /// `ret` misprediction penalty (RSB/actual mismatch): the dominant cost
+    /// of a generic retpoline, calibrated from Table 5's "Generic" column.
+    pub ret_mispredict: u64,
+    /// Extra stall charged to a load that would have used store-to-load
+    /// forwarding, when SSBD is enabled (drives Figure 5).
+    pub ssbd_forward_stall: u64,
+    /// `xsave`/`xsaveopt` of FPU state.
+    pub xsave: u64,
+    /// `xrstor` of FPU state.
+    pub xrstor: u64,
+    /// Trap-based lazy-FPU restore (device-not-available exception round
+    /// trip); the paper notes this often exceeds the eager save cost.
+    pub fpu_trap: u64,
+    /// Full L1D flush via `IA32_FLUSH_CMD` (L1TF VM-entry mitigation).
+    pub l1d_flush: u64,
+    /// VM entry (host→guest).
+    pub vmentry: u64,
+    /// VM exit (guest→host).
+    pub vmexit: u64,
+    /// Base kernel-entry overhead beyond the `syscall` instruction itself
+    /// (stack switch, register save).
+    pub kernel_entry_base: u64,
+    /// Extra cycles of the periodic slow kernel entry observed with eIBRS
+    /// (paper §6.2.2 reports ~210 cycles on affected parts; 0 otherwise).
+    pub eibrs_periodic_flush: u64,
+}
+
+impl LatencyProfile {
+    /// A neutral, round-number profile for unit tests.
+    pub fn test_default() -> LatencyProfile {
+        LatencyProfile {
+            alu: 1,
+            div: 20,
+            l1_hit: 4,
+            l2_hit: 14,
+            l1_miss: 200,
+            tlb_miss: 40,
+            syscall: 50,
+            sysret: 40,
+            swap_cr3: 200,
+            verw_clear: 500,
+            verw_legacy: 20,
+            indirect_branch: 10,
+            ibrs_indirect_extra: 20,
+            generic_retpoline_extra: 30,
+            amd_retpoline_extra: 25,
+            ibpb: 1000,
+            rsb_fill: 100,
+            lfence: 15,
+            wrmsr_spec_ctrl: 250,
+            mispredict_penalty: 20,
+            indirect_mispredict: 25,
+            ret_mispredict: 30,
+            ssbd_forward_stall: 40,
+            xsave: 100,
+            xrstor: 100,
+            fpu_trap: 500,
+            l1d_flush: 2000,
+            vmentry: 800,
+            vmexit: 1200,
+            kernel_entry_base: 70,
+            eibrs_periodic_flush: 0,
+        }
+    }
+}
+
+/// Speculation machinery geometry and behavioural quirks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecProfile {
+    /// Maximum number of instructions executed in a transient window.
+    pub window: usize,
+    /// Number of BTB entries (power of two).
+    pub btb_entries: usize,
+    /// Return stack buffer depth (16 on older parts, 32 on newer).
+    pub rsb_entries: usize,
+    /// Branch history register length in recorded branches.
+    pub bhb_len: usize,
+    /// Enhanced IBRS: `IA32_SPEC_CTRL.IBRS` can be set once and the BTB is
+    /// privilege-tagged (Cascade Lake and later Intel parts).
+    pub eibrs: bool,
+    /// Legacy IBRS supported at all (Zen 1 lacks it; Table 10 marks it N/A).
+    pub ibrs_supported: bool,
+    /// IBPB command supported.
+    pub ibpb_supported: bool,
+    /// SSBD supported.
+    pub ssbd_supported: bool,
+    /// The MD_CLEAR microcode update is present, giving `verw` its
+    /// buffer-flushing behaviour.
+    pub md_clear: bool,
+    /// PCID support: `mov %cr3` with the no-flush bit preserves TLB entries
+    /// tagged with other PCIDs (makes PTI's TLB impact marginal, §5.1).
+    pub pcid: bool,
+    /// `xsaveopt` available (fast eager FPU switching, §3.1 LazyFP).
+    pub xsaveopt: bool,
+    /// When eIBRS is enabled, BTB entries are tagged with the privilege
+    /// mode they were created in and only predict in the same mode
+    /// (paper §6.2.2 / Table 10).
+    pub btb_priv_tagged: bool,
+    /// Legacy-IBRS behaviour on pre-Spectre parts: while
+    /// `IA32_SPEC_CTRL.IBRS` is set, *all* indirect branch prediction is
+    /// disabled, in every privilege mode (paper §6.2.1 / Table 10 shows
+    /// Broadwell and Skylake blocking even user→user prediction).
+    pub ibrs_blocks_all_prediction: bool,
+    /// Zen 3 behaviour: the BTB index/tag depends on branch-history state
+    /// in a way the paper's probe could not reproduce across contexts, so
+    /// cross-context poisoning fails (Table 9, Zen 3 row is empty).
+    pub btb_history_tagged: bool,
+    /// Ice Lake Client quirk (Table 10): with IBRS enabled, indirect branch
+    /// prediction in *kernel* mode is suppressed entirely (kernel→kernel
+    /// shows no speculation) while user→user prediction still works.
+    pub ibrs_blocks_kernel_mode: bool,
+    /// With eIBRS enabled, one in roughly `eibrs_flush_interval` kernel
+    /// entries incurs an extra `eibrs_periodic_flush`-cycle stall and
+    /// flushes kernel-mode BTB entries (paper §6.2.2's bimodal latency).
+    /// `0` disables the behaviour.
+    pub eibrs_flush_interval: u64,
+    /// Simultaneous multithreading present (Table 2; everything except the
+    /// Ryzen 3 1200).
+    pub smt: bool,
+}
+
+impl SpecProfile {
+    /// A neutral profile for unit tests: generous window, modern features.
+    pub fn test_default() -> SpecProfile {
+        SpecProfile {
+            window: 64,
+            btb_entries: 1024,
+            rsb_entries: 16,
+            bhb_len: 16,
+            eibrs: false,
+            ibrs_supported: true,
+            ibpb_supported: true,
+            ssbd_supported: true,
+            md_clear: true,
+            pcid: true,
+            xsaveopt: true,
+            btb_priv_tagged: false,
+            ibrs_blocks_all_prediction: false,
+            btb_history_tagged: false,
+            ibrs_blocks_kernel_mode: false,
+            eibrs_flush_interval: 0,
+            smt: true,
+        }
+    }
+}
+
+/// A complete CPU model: identity, vulnerabilities, latencies, speculation
+/// behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuModel {
+    /// Marketing model name (e.g. "Xeon Silver 4210R").
+    pub name: &'static str,
+    /// Microarchitecture name as the paper uses it (e.g. "Cascade Lake").
+    pub microarch: &'static str,
+    /// Vendor.
+    pub vendor: Vendor,
+    /// Microarchitecture release year (Table 2).
+    pub year: u32,
+    /// TDP in watts (Table 2).
+    pub power_watts: u32,
+    /// Base clock in GHz (Table 2).
+    pub clock_ghz: f64,
+    /// Physical core count (Table 2).
+    pub cores: u32,
+    /// Vulnerability flags.
+    pub vuln: VulnProfile,
+    /// Primitive latencies.
+    pub lat: LatencyProfile,
+    /// Speculation machinery description.
+    pub spec: SpecProfile,
+}
+
+impl CpuModel {
+    /// A synthetic model for unit tests: vulnerable to everything, with
+    /// round-number latencies.
+    pub fn test_model() -> CpuModel {
+        CpuModel {
+            name: "TestCore 9000",
+            microarch: "Test",
+            vendor: Vendor::Intel,
+            year: 2018,
+            power_watts: 95,
+            clock_ghz: 3.0,
+            cores: 4,
+            vuln: VulnProfile::pre_spectre_intel(),
+            lat: LatencyProfile::test_default(),
+            spec: SpecProfile::test_default(),
+        }
+    }
+
+    /// Computes the value of the read-only `IA32_ARCH_CAPABILITIES` MSR
+    /// this model reports, from its vulnerability profile.
+    ///
+    /// Note the deliberate omission: no shipping CPU sets `SSB_NO`, even
+    /// models that postdate the attack by years (paper §4.3), so the bit is
+    /// never derived from `vuln.ssb` here — it is always clear.
+    pub fn arch_capabilities(&self) -> u64 {
+        use crate::isa::arch_caps;
+        let mut caps = 0;
+        if !self.vuln.meltdown {
+            caps |= arch_caps::RDCL_NO;
+        }
+        if self.spec.eibrs {
+            caps |= arch_caps::IBRS_ALL;
+        }
+        if !self.vuln.l1tf {
+            caps |= arch_caps::SKIP_L1DFL_VMENTRY;
+        }
+        if !self.vuln.mds {
+            caps |= arch_caps::MDS_NO;
+        }
+        caps
+    }
+
+    /// Returns `true` if this model needs kernel page-table isolation.
+    pub fn needs_pti(&self) -> bool {
+        self.vuln.meltdown
+    }
+
+    /// Returns `true` if this model needs `verw` buffer clearing for MDS.
+    pub fn needs_mds_clear(&self) -> bool {
+        self.vuln.mds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::arch_caps;
+
+    #[test]
+    fn test_model_is_fully_vulnerable() {
+        let m = CpuModel::test_model();
+        assert!(m.vuln.meltdown && m.vuln.mds && m.vuln.l1tf && m.vuln.ssb);
+        assert!(m.needs_pti());
+        assert!(m.needs_mds_clear());
+    }
+
+    #[test]
+    fn arch_caps_reflect_fixes() {
+        let mut m = CpuModel::test_model();
+        assert_eq!(m.arch_capabilities() & arch_caps::RDCL_NO, 0);
+        m.vuln.meltdown = false;
+        assert_ne!(m.arch_capabilities() & arch_caps::RDCL_NO, 0);
+        m.vuln.mds = false;
+        assert_ne!(m.arch_capabilities() & arch_caps::MDS_NO, 0);
+    }
+
+    #[test]
+    fn ssb_no_is_never_advertised() {
+        // Paper §4.3: no CPU sets SSB_NO, even ones immune on paper.
+        let mut m = CpuModel::test_model();
+        m.vuln.ssb = false;
+        assert_eq!(m.arch_capabilities() & arch_caps::SSB_NO, 0);
+    }
+
+    #[test]
+    fn amd_profile_immune_to_meltdown_class() {
+        let v = VulnProfile::amd();
+        assert!(!v.meltdown && !v.l1tf && !v.mds);
+        assert!(v.spectre_v1 && v.spectre_v2 && v.ssb);
+    }
+}

@@ -1,0 +1,126 @@
+//! Model-specific register file.
+//!
+//! Only the MSRs the mitigations touch are modelled. `IA32_PRED_CMD` and
+//! `IA32_FLUSH_CMD` are write-only command registers whose side effects
+//! (IBPB, L1D flush) the machine performs; their stored value is always
+//! zero, as on hardware.
+
+use crate::fault::Fault;
+use crate::isa::msr_index;
+
+/// Side effect requested by an MSR write, to be performed by the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsrEffect {
+    /// No side effect beyond storing the value.
+    None,
+    /// Flush the indirect branch predictors (IBPB).
+    Ibpb,
+    /// Flush the L1D cache.
+    L1dFlush,
+}
+
+/// The MSR file.
+#[derive(Debug, Clone)]
+pub struct MsrFile {
+    spec_ctrl: u64,
+    arch_capabilities: u64,
+}
+
+impl MsrFile {
+    /// Creates an MSR file advertising the given `IA32_ARCH_CAPABILITIES`.
+    pub fn new(arch_capabilities: u64) -> MsrFile {
+        MsrFile { spec_ctrl: 0, arch_capabilities }
+    }
+
+    /// Current `IA32_SPEC_CTRL` value (IBRS/STIBP/SSBD bits).
+    #[inline]
+    pub fn spec_ctrl(&self) -> u64 {
+        self.spec_ctrl
+    }
+
+    /// Reads an MSR. Unknown MSRs fault (#GP), as on hardware.
+    pub fn read(&self, msr: u32) -> Result<u64, Fault> {
+        match msr {
+            msr_index::IA32_SPEC_CTRL => Ok(self.spec_ctrl),
+            msr_index::IA32_ARCH_CAPABILITIES => Ok(self.arch_capabilities),
+            msr_index::IA32_PRED_CMD | msr_index::IA32_FLUSH_CMD => {
+                // Write-only command registers.
+                Err(Fault::GeneralProtection)
+            }
+            _ => Err(Fault::GeneralProtection),
+        }
+    }
+
+    /// Writes an MSR, returning the side effect the machine must perform.
+    pub fn write(&mut self, msr: u32, value: u64) -> Result<MsrEffect, Fault> {
+        match msr {
+            msr_index::IA32_SPEC_CTRL => {
+                self.spec_ctrl = value & 0b111;
+                Ok(MsrEffect::None)
+            }
+            msr_index::IA32_PRED_CMD => {
+                if value & 1 != 0 {
+                    Ok(MsrEffect::Ibpb)
+                } else {
+                    Ok(MsrEffect::None)
+                }
+            }
+            msr_index::IA32_FLUSH_CMD => {
+                if value & 1 != 0 {
+                    Ok(MsrEffect::L1dFlush)
+                } else {
+                    Ok(MsrEffect::None)
+                }
+            }
+            msr_index::IA32_ARCH_CAPABILITIES => Err(Fault::GeneralProtection),
+            _ => Err(Fault::GeneralProtection),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::spec_ctrl;
+
+    #[test]
+    fn spec_ctrl_roundtrip() {
+        let mut m = MsrFile::new(0);
+        m.write(msr_index::IA32_SPEC_CTRL, spec_ctrl::IBRS | spec_ctrl::SSBD).unwrap();
+        assert_eq!(
+            m.read(msr_index::IA32_SPEC_CTRL).unwrap(),
+            spec_ctrl::IBRS | spec_ctrl::SSBD
+        );
+        // Reserved bits are masked off.
+        m.write(msr_index::IA32_SPEC_CTRL, 0xff).unwrap();
+        assert_eq!(m.read(msr_index::IA32_SPEC_CTRL).unwrap(), 0b111);
+    }
+
+    #[test]
+    fn pred_cmd_triggers_ibpb() {
+        let mut m = MsrFile::new(0);
+        assert_eq!(m.write(msr_index::IA32_PRED_CMD, 1).unwrap(), MsrEffect::Ibpb);
+        assert_eq!(m.write(msr_index::IA32_PRED_CMD, 0).unwrap(), MsrEffect::None);
+        assert!(m.read(msr_index::IA32_PRED_CMD).is_err());
+    }
+
+    #[test]
+    fn flush_cmd_triggers_l1d_flush() {
+        let mut m = MsrFile::new(0);
+        assert_eq!(m.write(msr_index::IA32_FLUSH_CMD, 1).unwrap(), MsrEffect::L1dFlush);
+    }
+
+    #[test]
+    fn arch_capabilities_is_read_only() {
+        let mut m = MsrFile::new(0x2a);
+        assert_eq!(m.read(msr_index::IA32_ARCH_CAPABILITIES).unwrap(), 0x2a);
+        assert!(m.write(msr_index::IA32_ARCH_CAPABILITIES, 0).is_err());
+    }
+
+    #[test]
+    fn unknown_msr_faults() {
+        let mut m = MsrFile::new(0);
+        assert!(m.read(0x1234).is_err());
+        assert!(m.write(0x1234, 0).is_err());
+    }
+}

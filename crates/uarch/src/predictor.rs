@@ -1,0 +1,509 @@
+//! Branch prediction structures: BTB, RSB, BHB, and a conditional
+//! predictor.
+//!
+//! These are the structures Spectre attacks poison:
+//!
+//! * the **Branch Target Buffer** predicts indirect branch targets and is
+//!   the Spectre V2 injection point;
+//! * the **Return Stack Buffer** predicts `ret` targets; generic
+//!   retpolines deliberately capture it, and SpectreRSB exploits it;
+//! * the **Branch History Buffer** folds recent control flow into the BTB
+//!   lookup; Zen 3's tighter use of it is (per the paper's hypothesis,
+//!   §6.2) why their probe could not poison that part at all;
+//! * the **conditional predictor** is what Spectre V1 trains to run a
+//!   bounds check the wrong way.
+
+use crate::isa::spec_ctrl;
+
+/// CPU privilege mode. BTB entries are tagged with the mode they were
+/// created in; whether the tag is *enforced* depends on eIBRS (paper §6.2.2
+/// speculates the BTB is "partitioned or tagged using a bit indicating the
+/// current privilege mode").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrivMode {
+    /// User mode (CPL 3).
+    User,
+    /// Kernel / supervisor mode (CPL 0).
+    Kernel,
+}
+
+impl PrivMode {
+    /// Whether this mode is more privileged than `other`.
+    pub fn more_privileged_than(self, other: PrivMode) -> bool {
+        self == PrivMode::Kernel && other == PrivMode::User
+    }
+}
+
+/// Branch history buffer: a folded signature of recent branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bhb {
+    bits: u64,
+    len: usize,
+}
+
+impl Bhb {
+    /// Creates an empty history of the given length (in recorded branches).
+    pub fn new(len: usize) -> Bhb {
+        Bhb { bits: 0, len }
+    }
+
+    /// Records a taken branch from `from` to `to`.
+    pub fn record(&mut self, from: u64, to: u64) {
+        let fold = (from >> 2) ^ (to >> 2) ^ (to >> 19);
+        self.bits = self.bits.rotate_left(3) ^ (fold & 0xffff);
+        // Constrain the effective history length by masking high bits: a
+        // shorter history forgets older branches faster.
+        if self.len < 64 {
+            self.bits &= (1u64 << self.len.max(1)) - 1;
+        }
+    }
+
+    /// The current history signature.
+    pub fn signature(&self) -> u64 {
+        self.bits
+    }
+
+    /// Clears the history.
+    pub fn clear(&mut self) {
+        self.bits = 0;
+    }
+}
+
+/// A BTB entry.
+#[derive(Debug, Clone, Copy)]
+struct BtbEntry {
+    /// Full virtual address of the branch instruction (tag).
+    branch: u64,
+    /// Predicted target.
+    target: u64,
+    /// Privilege mode at training time.
+    mode: PrivMode,
+    /// BHB signature at training time.
+    bhb_sig: u64,
+}
+
+/// The branch target buffer.
+#[derive(Debug)]
+pub struct Btb {
+    entries: Vec<Option<BtbEntry>>,
+    mask: u64,
+    /// Enforce privilege-mode tags (eIBRS behaviour).
+    pub priv_tagged: bool,
+    /// Require the BHB signature at prediction time to match training time
+    /// (the Zen 3 behaviour that defeated the paper's probe).
+    pub history_tagged: bool,
+    /// Number of IBPB flushes performed (diagnostics).
+    pub flushes: u64,
+}
+
+impl Btb {
+    /// Creates a BTB with `entries` slots (power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a nonzero power of two.
+    pub fn new(entries: usize) -> Btb {
+        assert!(entries.is_power_of_two() && entries > 0);
+        Btb {
+            entries: vec![None; entries],
+            mask: (entries - 1) as u64,
+            priv_tagged: false,
+            history_tagged: false,
+            flushes: 0,
+        }
+    }
+
+    #[inline]
+    fn index(&self, branch: u64, bhb: &Bhb) -> usize {
+        let mut h = (branch >> 2) ^ (branch >> 13);
+        if self.history_tagged {
+            // History-indexed BTB (the Zen 3 model): each (branch,
+            // history) context gets its own entry, so steady loops still
+            // predict perfectly while cross-context training lands in a
+            // different slot.
+            let sig = bhb.signature();
+            h ^= sig ^ (sig >> 7) ^ (sig >> 29);
+        }
+        (h & self.mask) as usize
+    }
+
+    /// Trains the BTB: the branch at `branch` went to `target`.
+    pub fn train(&mut self, branch: u64, target: u64, mode: PrivMode, bhb: &Bhb) {
+        let idx = self.index(branch, bhb);
+        self.entries[idx] =
+            Some(BtbEntry { branch, target, mode, bhb_sig: bhb.signature() });
+    }
+
+    /// Looks up a prediction for the branch at `branch` executed in `mode`
+    /// with the given history.
+    ///
+    /// `spec_ctrl` is the live `IA32_SPEC_CTRL` value and
+    /// `ibrs_blocks_all` the pre-Spectre quirk: when IBRS is set on such a
+    /// part, *no* indirect prediction happens at all (§6.2.1). With eIBRS
+    /// semantics (`priv_tagged`), entries only predict in the mode that
+    /// trained them.
+    pub fn predict(
+        &self,
+        branch: u64,
+        mode: PrivMode,
+        bhb: &Bhb,
+        spec_ctrl_value: u64,
+        ibrs_blocks_all: bool,
+    ) -> Option<u64> {
+        let ibrs_on = spec_ctrl_value & spec_ctrl::IBRS != 0;
+        if ibrs_on && ibrs_blocks_all {
+            // Pre-Spectre IBRS: indirect prediction disabled everywhere.
+            return None;
+        }
+        let e = self.entries[self.index(branch, bhb)]?;
+        if e.branch != branch {
+            return None;
+        }
+        if self.priv_tagged && e.mode != mode {
+            // eIBRS: privilege-tagged BTB never crosses modes.
+            return None;
+        }
+        if !self.priv_tagged && ibrs_on && mode.more_privileged_than(e.mode) {
+            // Legacy IBRS semantics: lower-privilege training cannot steer
+            // more-privileged execution while IBRS is set.
+            return None;
+        }
+        if self.history_tagged && e.bhb_sig != bhb.signature() {
+            return None;
+        }
+        Some(e.target)
+    }
+
+    /// Indirect Branch Prediction Barrier: flush every entry.
+    ///
+    /// The paper observes (§5.3) that post-IBPB indirect branches still
+    /// count as *mispredicted*, suggesting entries are redirected to a
+    /// harmless gadget rather than erased; for prediction purposes the
+    /// effect is identical, so the model erases them.
+    pub fn ibpb(&mut self) {
+        for e in &mut self.entries {
+            *e = None;
+        }
+        self.flushes += 1;
+    }
+
+    /// Flushes only entries trained in the given mode (the periodic
+    /// kernel-entry flush observed with eIBRS, §6.2.2).
+    pub fn flush_mode(&mut self, mode: PrivMode) {
+        for e in &mut self.entries {
+            if matches!(e, Some(entry) if entry.mode == mode) {
+                *e = None;
+            }
+        }
+    }
+
+    /// Number of live entries (diagnostics).
+    pub fn live_entries(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+}
+
+/// The return stack buffer.
+#[derive(Debug)]
+pub struct Rsb {
+    stack: Vec<u64>,
+    capacity: usize,
+    /// Number of underflows observed (diagnostics; SpectreRSB pressure).
+    pub underflows: u64,
+}
+
+impl Rsb {
+    /// Creates an RSB with the given depth (16 or 32 on real parts).
+    pub fn new(capacity: usize) -> Rsb {
+        Rsb { stack: Vec::with_capacity(capacity), capacity, underflows: 0 }
+    }
+
+    /// Pushes a return address (on `call`). Overflow discards the oldest.
+    pub fn push(&mut self, ret_addr: u64) {
+        if self.stack.len() >= self.capacity {
+            self.stack.remove(0);
+        }
+        self.stack.push(ret_addr);
+    }
+
+    /// Pops the predicted return address (on `ret`).
+    pub fn pop(&mut self) -> Option<u64> {
+        let v = self.stack.pop();
+        if v.is_none() {
+            self.underflows += 1;
+        }
+        v
+    }
+
+    /// Overwrites the top entry (SpectreRSB's direct manipulation vector).
+    pub fn poison_top(&mut self, target: u64) {
+        if let Some(top) = self.stack.last_mut() {
+            *top = target;
+        } else {
+            self.stack.push(target);
+        }
+    }
+
+    /// Fills the buffer to capacity with a harmless target (RSB stuffing,
+    /// Table 7). Returns the number of entries written.
+    pub fn stuff(&mut self, harmless: u64) -> usize {
+        self.stack.clear();
+        for _ in 0..self.capacity {
+            self.stack.push(harmless);
+        }
+        self.capacity
+    }
+
+    /// Current depth.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Clears the buffer (context-switch without stuffing).
+    pub fn clear(&mut self) {
+        self.stack.clear();
+    }
+}
+
+/// Saturating 2-bit counter states for the conditional predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Counter {
+    StrongNotTaken,
+    WeakNotTaken,
+    WeakTaken,
+    StrongTaken,
+}
+
+impl Counter {
+    fn predict_taken(self) -> bool {
+        matches!(self, Counter::WeakTaken | Counter::StrongTaken)
+    }
+
+    fn update(self, taken: bool) -> Counter {
+        use Counter::*;
+        match (self, taken) {
+            (StrongNotTaken, true) => WeakNotTaken,
+            (WeakNotTaken, true) => WeakTaken,
+            (WeakTaken, true) => StrongTaken,
+            (StrongTaken, true) => StrongTaken,
+            (StrongNotTaken, false) => StrongNotTaken,
+            (WeakNotTaken, false) => StrongNotTaken,
+            (WeakTaken, false) => WeakNotTaken,
+            (StrongTaken, false) => WeakTaken,
+        }
+    }
+}
+
+/// A gshare-style conditional branch predictor with 2-bit counters.
+#[derive(Debug)]
+pub struct CondPredictor {
+    counters: Vec<Counter>,
+    mask: u64,
+}
+
+impl CondPredictor {
+    /// Creates a predictor with `entries` counters (power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a nonzero power of two.
+    pub fn new(entries: usize) -> CondPredictor {
+        assert!(entries.is_power_of_two() && entries > 0);
+        CondPredictor {
+            counters: vec![Counter::WeakNotTaken; entries],
+            mask: (entries - 1) as u64,
+        }
+    }
+
+    #[inline]
+    fn index(&self, pc: u64, bhb: &Bhb) -> usize {
+        (((pc >> 2) ^ bhb.signature()) & self.mask) as usize
+    }
+
+    /// Predicts whether the branch at `pc` is taken.
+    pub fn predict(&self, pc: u64, bhb: &Bhb) -> bool {
+        self.counters[self.index(pc, bhb)].predict_taken()
+    }
+
+    /// Updates the predictor with the actual outcome.
+    pub fn update(&mut self, pc: u64, bhb: &Bhb, taken: bool) {
+        let idx = self.index(pc, bhb);
+        self.counters[idx] = self.counters[idx].update(taken);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bhb() -> Bhb {
+        Bhb::new(16)
+    }
+
+    #[test]
+    fn btb_trains_and_predicts() {
+        let mut btb = Btb::new(64);
+        let h = bhb();
+        btb.train(0x1000, 0x2000, PrivMode::User, &h);
+        assert_eq!(btb.predict(0x1000, PrivMode::User, &h, 0, false), Some(0x2000));
+        // Different branch address: no prediction.
+        assert_eq!(btb.predict(0x1004, PrivMode::User, &h, 0, false), None);
+    }
+
+    #[test]
+    fn btb_cross_mode_prediction_without_tagging() {
+        // The classic user→kernel Spectre V2 scenario: user-mode training
+        // steers kernel-mode prediction on untagged BTBs (Table 9).
+        let mut btb = Btb::new(64);
+        let h = bhb();
+        btb.train(0x1000, 0x6666, PrivMode::User, &h);
+        assert_eq!(btb.predict(0x1000, PrivMode::Kernel, &h, 0, false), Some(0x6666));
+    }
+
+    #[test]
+    fn eibrs_priv_tagging_blocks_cross_mode() {
+        let mut btb = Btb::new(64);
+        btb.priv_tagged = true;
+        let h = bhb();
+        btb.train(0x1000, 0x6666, PrivMode::User, &h);
+        assert_eq!(btb.predict(0x1000, PrivMode::Kernel, &h, spec_ctrl::IBRS, false), None);
+        // Same-mode prediction still works (Table 10: user→user ✓ on eIBRS parts).
+        assert_eq!(
+            btb.predict(0x1000, PrivMode::User, &h, spec_ctrl::IBRS, false),
+            Some(0x6666)
+        );
+    }
+
+    #[test]
+    fn legacy_ibrs_blocks_user_to_kernel_only() {
+        let mut btb = Btb::new(64);
+        let h = bhb();
+        btb.train(0x1000, 0x6666, PrivMode::User, &h);
+        // IBRS set: user-trained entry cannot steer kernel execution.
+        assert_eq!(btb.predict(0x1000, PrivMode::Kernel, &h, spec_ctrl::IBRS, false), None);
+        // user→user unaffected (on parts without the blocks-all quirk).
+        assert_eq!(
+            btb.predict(0x1000, PrivMode::User, &h, spec_ctrl::IBRS, false),
+            Some(0x6666)
+        );
+        // IBRS clear: steering works again.
+        assert_eq!(btb.predict(0x1000, PrivMode::Kernel, &h, 0, false), Some(0x6666));
+    }
+
+    #[test]
+    fn pre_spectre_ibrs_blocks_everything() {
+        // §6.2.1: on Broadwell/Skylake, IBRS disables all indirect
+        // prediction, including user→user.
+        let mut btb = Btb::new(64);
+        let h = bhb();
+        btb.train(0x1000, 0x6666, PrivMode::User, &h);
+        assert_eq!(btb.predict(0x1000, PrivMode::User, &h, spec_ctrl::IBRS, true), None);
+        assert_eq!(btb.predict(0x1000, PrivMode::User, &h, 0, true), Some(0x6666));
+    }
+
+    #[test]
+    fn history_tagged_btb_requires_matching_bhb() {
+        let mut btb = Btb::new(64);
+        btb.history_tagged = true;
+        let mut h = bhb();
+        h.record(0x10, 0x20);
+        btb.train(0x1000, 0x6666, PrivMode::User, &h);
+        assert_eq!(btb.predict(0x1000, PrivMode::User, &h, 0, false), Some(0x6666));
+        h.record(0x30, 0x40);
+        assert_eq!(btb.predict(0x1000, PrivMode::User, &h, 0, false), None);
+    }
+
+    #[test]
+    fn ibpb_flushes_all() {
+        let mut btb = Btb::new(64);
+        let h = bhb();
+        btb.train(0x1000, 0x2000, PrivMode::User, &h);
+        btb.train(0x3000, 0x4000, PrivMode::Kernel, &h);
+        btb.ibpb();
+        assert_eq!(btb.live_entries(), 0);
+        assert_eq!(btb.flushes, 1);
+    }
+
+    #[test]
+    fn flush_mode_is_selective() {
+        let mut btb = Btb::new(64);
+        let h = bhb();
+        btb.train(0x1000, 0x2000, PrivMode::User, &h);
+        btb.train(0x3000, 0x4000, PrivMode::Kernel, &h);
+        btb.flush_mode(PrivMode::Kernel);
+        assert_eq!(btb.predict(0x3000, PrivMode::Kernel, &h, 0, false), None);
+        assert_eq!(btb.predict(0x1000, PrivMode::User, &h, 0, false), Some(0x2000));
+    }
+
+    #[test]
+    fn rsb_lifo_order() {
+        let mut rsb = Rsb::new(16);
+        rsb.push(0x10);
+        rsb.push(0x20);
+        assert_eq!(rsb.pop(), Some(0x20));
+        assert_eq!(rsb.pop(), Some(0x10));
+        assert_eq!(rsb.pop(), None);
+        assert_eq!(rsb.underflows, 1);
+    }
+
+    #[test]
+    fn rsb_overflow_drops_oldest() {
+        let mut rsb = Rsb::new(2);
+        rsb.push(1);
+        rsb.push(2);
+        rsb.push(3);
+        assert_eq!(rsb.pop(), Some(3));
+        assert_eq!(rsb.pop(), Some(2));
+        assert_eq!(rsb.pop(), None);
+    }
+
+    #[test]
+    fn rsb_stuffing_fills_to_capacity() {
+        let mut rsb = Rsb::new(16);
+        rsb.push(0xdead);
+        assert_eq!(rsb.stuff(0x5afe), 16);
+        assert_eq!(rsb.depth(), 16);
+        for _ in 0..16 {
+            assert_eq!(rsb.pop(), Some(0x5afe));
+        }
+    }
+
+    #[test]
+    fn rsb_poison_top() {
+        let mut rsb = Rsb::new(4);
+        rsb.push(0x10);
+        rsb.poison_top(0x6666);
+        assert_eq!(rsb.pop(), Some(0x6666));
+    }
+
+    #[test]
+    fn cond_predictor_trains_toward_taken() {
+        let mut p = CondPredictor::new(256);
+        let h = bhb();
+        // Default state is weak-not-taken.
+        assert!(!p.predict(0x100, &h));
+        p.update(0x100, &h, true);
+        assert!(p.predict(0x100, &h));
+        p.update(0x100, &h, true);
+        // Now strongly taken: one not-taken outcome keeps the prediction.
+        p.update(0x100, &h, false);
+        assert!(p.predict(0x100, &h));
+        p.update(0x100, &h, false);
+        assert!(!p.predict(0x100, &h));
+    }
+
+    #[test]
+    fn bhb_changes_with_history_and_clears() {
+        let mut h = Bhb::new(16);
+        let s0 = h.signature();
+        h.record(0x1000, 0x2000);
+        assert_ne!(h.signature(), s0);
+        h.clear();
+        assert_eq!(h.signature(), 0);
+    }
+}

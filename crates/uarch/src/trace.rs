@@ -1,0 +1,96 @@
+//! Optional execution tracing: a bounded ring of recently committed
+//! instructions, for debugging programs that run on the simulator.
+//!
+//! Tracing is off by default and costs nothing when disabled; enable it
+//! with [`crate::machine::Machine::enable_trace`].
+
+use std::collections::VecDeque;
+
+use crate::predictor::PrivMode;
+
+/// One committed instruction record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Code address.
+    pub pc: u64,
+    /// Cycle count *before* the instruction committed.
+    pub cycles: u64,
+    /// Privilege mode it executed in.
+    pub mode: PrivMode,
+    /// Instruction mnemonic.
+    pub mnemonic: &'static str,
+}
+
+/// A bounded trace ring.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    ring: VecDeque<TraceRecord>,
+    capacity: usize,
+}
+
+impl Tracer {
+    /// Creates a tracer keeping the last `capacity` records.
+    pub fn new(capacity: usize) -> Tracer {
+        Tracer { ring: VecDeque::with_capacity(capacity), capacity }
+    }
+
+    /// Records a committed instruction.
+    pub fn record(&mut self, rec: TraceRecord) {
+        if self.ring.len() >= self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(rec);
+    }
+
+    /// The records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.ring.iter()
+    }
+
+    /// Number of buffered records.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Renders the trace, oldest first.
+    pub fn dump(&self) -> String {
+        let mut s = String::new();
+        for r in &self.ring {
+            let mode = match r.mode {
+                PrivMode::User => "u",
+                PrivMode::Kernel => "k",
+            };
+            s.push_str(&format!("{:>12}  {mode} {:#010x}  {}\n", r.cycles, r.pc, r.mnemonic));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded_and_ordered() {
+        let mut t = Tracer::new(3);
+        for i in 0..5u64 {
+            t.record(TraceRecord {
+                pc: 0x1000 + i * 4,
+                cycles: i * 10,
+                mode: PrivMode::User,
+                mnemonic: "nop",
+            });
+        }
+        assert_eq!(t.len(), 3);
+        let pcs: Vec<u64> = t.records().map(|r| r.pc).collect();
+        assert_eq!(pcs, vec![0x1008, 0x100c, 0x1010]);
+        let dump = t.dump();
+        assert_eq!(dump.lines().count(), 3);
+        assert!(dump.contains("0x00001010"));
+    }
+}

@@ -1,0 +1,360 @@
+//! The transient-execution window.
+//!
+//! When the committed path mispredicts a branch, takes a fault on a load,
+//! or lets a load bypass an in-flight store, the machine opens a window
+//! here: up to `spec.window` instructions execute on *shadow* register
+//! state. Nothing architectural survives — no register writes, no memory
+//! stores — but the microarchitectural side effects do:
+//!
+//! * loads fill L1D cache lines ([`crate::cache`]), the timing channel;
+//! * data movement populates the fill buffers ([`crate::fill_buffer`]);
+//! * divide instructions occupy the divider, bumping
+//!   [`crate::isa::Pmc::DividerActive`] — the observable the paper's
+//!   speculation probe is built on (§6.1).
+//!
+//! What a transient load *observes* is governed by the CPU model's
+//! vulnerability profile: Meltdown parts see supervisor data, L1TF parts
+//! see L1-resident data behind non-present PTEs, MDS parts sample stale
+//! fill-buffer contents, and fixed parts see zeroes or stop the window.
+
+use crate::fpu::FpuState;
+use crate::isa::{Flags, Inst, Pmc, Width};
+use crate::machine::Machine;
+use crate::mem::PAGE_SHIFT;
+use crate::predictor::PrivMode;
+use crate::program::INST_SIZE;
+
+/// How a transient window begins.
+#[derive(Debug, Clone)]
+pub enum TransientStart {
+    /// A mispredicted branch: execution runs from the wrongly predicted
+    /// target with otherwise-correct register state.
+    WrongPath {
+        /// First transient instruction.
+        pc: u64,
+    },
+    /// A committed load faulted; its dependents run with whatever value
+    /// the vulnerability profile lets through.
+    FaultingLoad {
+        /// Faulting virtual address.
+        vaddr: u64,
+        /// Load width.
+        width: Width,
+        /// Destination register (in shadow state).
+        dst: crate::isa::Reg,
+        /// Where the window continues.
+        next_pc: u64,
+    },
+    /// A load bypassed an in-flight store (Speculative Store Bypass): its
+    /// dependents transiently see the stale pre-store value.
+    StoreBypass {
+        /// The stale value observed.
+        stale: u64,
+        /// Destination register (in shadow state).
+        dst: crate::isa::Reg,
+        /// Where the window continues.
+        next_pc: u64,
+    },
+    /// An FP instruction trapped on a disabled FPU but the part is LazyFP
+    /// vulnerable: it and its dependents run on the stale FP registers.
+    StaleFpu {
+        /// The trapping FP instruction.
+        inst: Inst,
+        /// Where the window continues.
+        next_pc: u64,
+    },
+}
+
+/// Shadow architectural state for a window.
+struct Shadow {
+    regs: [u64; 16],
+    flags: Flags,
+    fregs: FpuState,
+    pc: u64,
+    /// Shadow return-address stack for calls made inside the window.
+    ret_stack: Vec<u64>,
+    /// Speculative stores: never reach memory, but *do* forward to
+    /// younger loads inside the same window, exactly as an out-of-order
+    /// core's store queue does. Without this, multi-instruction gadgets
+    /// that pass the stolen value through memory (every stack-machine JIT
+    /// gadget!) would not leak.
+    stores: Vec<(u64, Width, u64)>,
+}
+
+/// Runs a transient window on `m`. Architectural state is untouched;
+/// microarchitectural state (cache, fill buffers, PMCs) is not.
+pub fn run_window(m: &mut Machine, start: TransientStart) {
+    let mut sh = Shadow {
+        regs: m.regs,
+        flags: m.flags,
+        fregs: m.fpu.state,
+        pc: 0,
+        ret_stack: Vec::new(),
+        stores: Vec::new(),
+    };
+
+    match start {
+        TransientStart::WrongPath { pc } => sh.pc = pc,
+        TransientStart::FaultingLoad { vaddr, width, dst, next_pc } => {
+            match transient_load(m, &sh, vaddr, width, true) {
+                Some(v) => sh.regs[dst.index()] = v,
+                None => return,
+            }
+            sh.pc = next_pc;
+        }
+        TransientStart::StoreBypass { stale, dst, next_pc } => {
+            sh.regs[dst.index()] = stale;
+            sh.pc = next_pc;
+        }
+        TransientStart::StaleFpu { inst, next_pc } => {
+            // Execute the trapping instruction itself on the stale state.
+            if exec_transient(m, &mut sh, &inst).is_none() {
+                return;
+            }
+            sh.pc = next_pc;
+        }
+    }
+
+    for _ in 0..m.model.spec.window {
+        let inst = match m.code.fetch(sh.pc) {
+            Some(i) => i.clone(),
+            None => return,
+        };
+        m.pmc.incr(Pmc::TransientInstructions);
+        match exec_transient(m, &mut sh, &inst) {
+            Some(()) => {}
+            None => return,
+        }
+    }
+}
+
+/// Performs a transient load, applying vulnerability semantics.
+///
+/// `faulting` marks loads that architecturally fault (the committed
+/// instruction raised a fault): these are the Meltdown/L1TF/MDS carriers.
+/// Returns `None` when the window must end (the access stalls
+/// unresolvable), `Some(value)` otherwise.
+fn transient_load(
+    m: &mut Machine,
+    sh: &Shadow,
+    vaddr: u64,
+    width: Width,
+    faulting: bool,
+) -> Option<u64> {
+    let _ = faulting;
+    // Forwarding from the window's own (squashed) stores: youngest full
+    // cover wins; partial overlap stalls the window.
+    for (sv, sw, value) in sh.stores.iter().rev() {
+        if *sv <= vaddr && vaddr + width.bytes() <= sv + sw.bytes() {
+            let shift = (vaddr - sv) * 8;
+            return Some(width.truncate(value >> shift));
+        }
+        let overlap = *sv < vaddr + width.bytes() && vaddr < sv + sw.bytes();
+        if overlap {
+            return None;
+        }
+    }
+    let user = m.mode == PrivMode::User;
+    let walk = m.mmu.walk(vaddr);
+    let pte = match walk.pte {
+        None => {
+            // No translation at all: an MDS part's load port hands over
+            // stale fill-buffer data; fixed parts stall the window.
+            if m.model.vuln.mds {
+                // The sampled entry is wider than the load; the load only
+                // observes the bytes it asked for.
+                return Some(width.truncate(m.fill_buffers.sample_rotating().unwrap_or(0)));
+            }
+            return None;
+        }
+        Some(p) => p,
+    };
+    let paddr = (pte.pfn << PAGE_SHIFT) | (vaddr & ((1 << PAGE_SHIFT) - 1));
+    if !pte.present {
+        // L1 Terminal Fault: the stale frame number is forwarded to the
+        // L1 lookup; only L1-resident data is observable.
+        if m.model.vuln.l1tf {
+            if m.l1d.probe(paddr) {
+                let v = m.mem.read(paddr, width);
+                m.l1d.access(paddr);
+                m.fill_buffers.record(v);
+                return Some(v);
+            }
+            return Some(0);
+        }
+        if m.model.vuln.mds {
+            return Some(width.truncate(m.fill_buffers.sample_rotating().unwrap_or(0)));
+        }
+        return None;
+    }
+    if user && !pte.user {
+        // Meltdown: vulnerable parts forward the real supervisor data to
+        // dependents before the fault aborts them; fixed parts (RDCL_NO)
+        // forward zero.
+        if m.model.vuln.meltdown {
+            let v = m.mem.read(paddr, width);
+            m.l1d.access(paddr);
+            m.fill_buffers.record(v);
+            return Some(v);
+        }
+        return Some(0);
+    }
+    // An ordinary, permitted transient load: this is the probe side of
+    // every attack (e.g. `array2[x * 256]`), whose cache fill is the
+    // side channel.
+    let v = m.mem.read(paddr, width);
+    m.l1d.access(paddr);
+    m.fill_buffers.record(v);
+    Some(v)
+}
+
+/// Executes one instruction transiently. `Some(())` continues the window,
+/// `None` ends it.
+fn exec_transient(m: &mut Machine, sh: &mut Shadow, inst: &Inst) -> Option<()> {
+    use Inst::*;
+    let pc = sh.pc;
+    sh.pc = pc + INST_SIZE;
+    match *inst {
+        Nop | Pause => {}
+        // Serializing / privileged / mode-changing: the window cannot
+        // proceed past these.
+        Halt | Vmcall | Host(_) | Syscall | Sysret | Iret | Swapgs | Wrmsr { .. }
+        | Rdmsr { .. } | MovCr3(_) | Verw | Invlpg(_) | Xsave | Xrstor => return None,
+        // `lfence` waits for all loads: transient execution stops here.
+        // This is exactly why `lfence` after a bounds check mitigates
+        // Spectre V1.
+        Lfence => return None,
+        Mfence | Sfence => {}
+        Clflush(_) => {}
+        Rdtsc(d) => sh.regs[d.index()] = m.cycles(),
+        Rdpmc { pmc, dst } => sh.regs[dst.index()] = m.pmc.read(pmc),
+
+        MovImm(d, v) => sh.regs[d.index()] = v,
+        Mov(d, s) => sh.regs[d.index()] = sh.regs[s.index()],
+        Add(d, s) => sh.regs[d.index()] = sh.regs[d.index()].wrapping_add(sh.regs[s.index()]),
+        AddImm(d, v) => sh.regs[d.index()] = sh.regs[d.index()].wrapping_add(v),
+        Sub(d, s) => sh.regs[d.index()] = sh.regs[d.index()].wrapping_sub(sh.regs[s.index()]),
+        SubImm(d, v) => sh.regs[d.index()] = sh.regs[d.index()].wrapping_sub(v),
+        Mul(d, s) => sh.regs[d.index()] = sh.regs[d.index()].wrapping_mul(sh.regs[s.index()]),
+        Div(d, s) => {
+            let divisor = sh.regs[s.index()];
+            if divisor == 0 {
+                return None;
+            }
+            // The divider is occupied even though the result is squashed:
+            // the probe's observable.
+            let lat = m.model.lat.div;
+            m.pmc.add(Pmc::DividerActive, lat);
+            sh.regs[d.index()] /= divisor;
+        }
+        And(d, s) => sh.regs[d.index()] &= sh.regs[s.index()],
+        AndImm(d, v) => sh.regs[d.index()] &= v,
+        Or(d, s) => sh.regs[d.index()] |= sh.regs[s.index()],
+        Xor(d, s) => sh.regs[d.index()] ^= sh.regs[s.index()],
+        XorImm(d, v) => sh.regs[d.index()] ^= v,
+        Shl(d, n) => sh.regs[d.index()] <<= (n & 63) as u32,
+        Shr(d, n) => sh.regs[d.index()] >>= (n & 63) as u32,
+        Not(d) => sh.regs[d.index()] = !sh.regs[d.index()],
+
+        Load { dst, base, offset, width } => {
+            let vaddr = sh.regs[base.index()].wrapping_add(offset as u64);
+            // Within the window, an in-flight store may also be bypassed
+            // (nested SSB), but the simple model reads the current memory
+            // image, which already reflects committed stores.
+            let v = transient_load(m, sh, vaddr, width, false)?;
+            sh.regs[dst.index()] = v;
+        }
+        Store { src, base, offset, width } => {
+            // Transient stores never reach cache or memory — but they do
+            // forward to younger loads in the same window (see
+            // `Shadow::stores`).
+            let vaddr = sh.regs[base.index()].wrapping_add(offset as u64);
+            let value = width.truncate(sh.regs[src.index()]);
+            sh.stores.push((vaddr, width, value));
+        }
+
+        Cmp(a, b) => sh.flags = Flags::compare(sh.regs[a.index()], sh.regs[b.index()]),
+        CmpImm(a, v) => sh.flags = Flags::compare(sh.regs[a.index()], v),
+        Test(a, b) => {
+            let v = sh.regs[a.index()] & sh.regs[b.index()];
+            sh.flags = Flags { zero: v == 0, carry: false, sign: (v as i64) < 0, overflow: false };
+        }
+        Cmov(c, d, s) => {
+            // Data-dependent: resolves with the (shadow) flags, which is
+            // why index masking works — the mask is applied even on the
+            // wrong path.
+            if sh.flags.eval(c) {
+                sh.regs[d.index()] = sh.regs[s.index()];
+            }
+        }
+        CmovImm(c, d, v) => {
+            if sh.flags.eval(c) {
+                sh.regs[d.index()] = v;
+            }
+        }
+
+        Jcc(c, target) => {
+            if sh.flags.eval(c) {
+                sh.pc = target;
+            }
+        }
+        Jmp(target) => sh.pc = target,
+        JmpInd(r) => sh.pc = sh.regs[r.index()],
+        Call(target) => {
+            sh.ret_stack.push(pc + INST_SIZE);
+            sh.pc = target;
+        }
+        CallInd(r) => {
+            sh.ret_stack.push(pc + INST_SIZE);
+            sh.pc = sh.regs[r.index()];
+        }
+        Ret => match sh.ret_stack.pop() {
+            Some(ra) => sh.pc = ra,
+            // Returning past the window's start: prediction state for it
+            // is unknowable here, so the window ends.
+            None => return None,
+        },
+
+        Fadd(d, s) | Fsub(d, s) | Fmul(d, s) | Fdiv(d, s) => {
+            if !m.fpu.enabled && !m.model.vuln.lazy_fp {
+                return None;
+            }
+            // On LazyFP-vulnerable parts the stale registers are used.
+            let sv = sh.fregs.regs[s.index()];
+            let dv = &mut sh.fregs.regs[d.index()];
+            match inst {
+                Fadd(..) => *dv += sv,
+                Fsub(..) => *dv -= sv,
+                Fmul(..) => *dv *= sv,
+                Fdiv(..) => {
+                    let lat = m.model.lat.div;
+                    m.pmc.add(Pmc::DividerActive, lat);
+                    *dv /= sv;
+                }
+                _ => unreachable!(),
+            }
+        }
+        FmovImm(d, v) => {
+            if !m.fpu.enabled && !m.model.vuln.lazy_fp {
+                return None;
+            }
+            sh.fregs.regs[d.index()] = v;
+        }
+        Fload { dst, base, offset } => {
+            if !m.fpu.enabled && !m.model.vuln.lazy_fp {
+                return None;
+            }
+            let vaddr = sh.regs[base.index()].wrapping_add(offset as u64);
+            let bits = transient_load(m, sh, vaddr, Width::B8, false)?;
+            sh.fregs.regs[dst.index()] = f64::from_bits(bits);
+        }
+        Fstore { .. } => {}
+        FtoG(d, s) => {
+            if !m.fpu.enabled && !m.model.vuln.lazy_fp {
+                return None;
+            }
+            sh.regs[d.index()] = sh.fregs.regs[s.index()].to_bits();
+        }
+    }
+    Some(())
+}

@@ -1,0 +1,146 @@
+//! LFS smallfile/largefile microbenchmarks (paper §4.4).
+//!
+//! Rosenblum & Ousterhout's classic file benchmarks, used by the paper to
+//! drive VM exits through an emulated disk: *smallfile* creates, writes,
+//! and fsyncs many small files; *largefile* writes then reads one large
+//! file sequentially. Run on a bare kernel they measure the syscall path;
+//! run inside the `hypervisor` crate's VM, each fsync becomes a VM exit.
+
+use sim_kernel::abi::nr;
+use sim_kernel::userlib::{begin_loop, data_base, emit_exit, emit_syscall, end_loop};
+use sim_kernel::{BootParams, Kernel};
+use uarch::isa::{Inst, Reg};
+use uarch::model::CpuModel;
+
+/// Instruction budget for one run.
+const BUDGET: u64 = 800_000_000;
+
+/// Which LFS benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LfsBench {
+    /// Many small files: create, 1 KiB write, fsync.
+    Smallfile,
+    /// One large file: sequential 16 KiB writes then reads.
+    Largefile,
+}
+
+impl LfsBench {
+    /// Benchmark name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LfsBench::Smallfile => "smallfile",
+            LfsBench::Largefile => "largefile",
+        }
+    }
+}
+
+/// Result of one run.
+#[derive(Debug, Clone, Copy)]
+pub struct LfsResult {
+    /// Which benchmark.
+    pub bench: LfsBench,
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// fsync calls issued (each is a disk flush — a VM exit when run in a
+    /// guest).
+    pub fsyncs: u64,
+}
+
+/// Builds the benchmark program into an existing kernel (used directly by
+/// the hypervisor crate to run it inside a guest).
+pub fn build(k: &mut Kernel, bench: LfsBench) -> u64 {
+    let data = data_base();
+    match bench {
+        LfsBench::Smallfile => {
+            let files = 40u64;
+            k.spawn(move |b| {
+                let top = begin_loop(b, Reg::R7, files);
+                emit_syscall(b, nr::CREAT);
+                b.push(Inst::Mov(Reg::R6, Reg::R0));
+                // 4 KiB per file, written in 1 KiB chunks like the
+                // original benchmark's buffered writes.
+                for chunk in 0..4 {
+                    b.push(Inst::Mov(Reg::R1, Reg::R6));
+                    b.mov_imm(Reg::R2, data + chunk * 1024);
+                    b.mov_imm(Reg::R3, 1024);
+                    emit_syscall(b, nr::WRITE);
+                }
+                b.push(Inst::Mov(Reg::R1, Reg::R6));
+                emit_syscall(b, nr::FSYNC);
+                b.push(Inst::Mov(Reg::R1, Reg::R6));
+                emit_syscall(b, nr::CLOSE);
+                end_loop(b, Reg::R7, top);
+                emit_exit(b);
+            });
+            files
+        }
+        LfsBench::Largefile => {
+            let chunks = 48u64;
+            k.spawn(move |b| {
+                emit_syscall(b, nr::CREAT);
+                b.push(Inst::Mov(Reg::R6, Reg::R0));
+                // Write phase.
+                let wtop = begin_loop(b, Reg::R7, chunks);
+                b.push(Inst::Mov(Reg::R1, Reg::R6));
+                b.mov_imm(Reg::R2, data);
+                b.mov_imm(Reg::R3, 16384);
+                emit_syscall(b, nr::WRITE);
+                end_loop(b, Reg::R7, wtop);
+                b.push(Inst::Mov(Reg::R1, Reg::R6));
+                emit_syscall(b, nr::FSYNC);
+                // Read phase.
+                b.push(Inst::Mov(Reg::R1, Reg::R6));
+                b.mov_imm(Reg::R2, 0);
+                emit_syscall(b, nr::LSEEK);
+                let rtop = begin_loop(b, Reg::R7, chunks);
+                b.push(Inst::Mov(Reg::R1, Reg::R6));
+                b.mov_imm(Reg::R2, data);
+                b.mov_imm(Reg::R3, 16384);
+                emit_syscall(b, nr::READ);
+                end_loop(b, Reg::R7, rtop);
+                emit_exit(b);
+            });
+            1
+        }
+    }
+}
+
+/// Runs the benchmark on a bare (non-virtualized) kernel.
+pub fn run_bench(model: &CpuModel, params: &BootParams, bench: LfsBench) -> LfsResult {
+    let mut k = Kernel::boot(model.clone(), params);
+    let fsyncs = build(&mut k, bench);
+    k.start();
+    let start = k.cycles();
+    k.run(BUDGET).expect("benchmark must complete");
+    LfsResult { bench, cycles: k.cycles() - start, fsyncs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpu_models::cascade_lake;
+
+    #[test]
+    fn both_benches_complete() {
+        for bench in [LfsBench::Smallfile, LfsBench::Largefile] {
+            let r = run_bench(&cascade_lake(), &BootParams::default(), bench);
+            assert!(r.cycles > 100_000, "{}", bench.name());
+        }
+    }
+
+    #[test]
+    fn largefile_moves_more_bytes_than_smallfile() {
+        let mut ks = Kernel::boot(cascade_lake(), &BootParams::default());
+        build(&mut ks, LfsBench::Smallfile);
+        ks.start();
+        ks.run(BUDGET).unwrap();
+        let small = ks.state.bytes_copied;
+
+        let mut kl = Kernel::boot(cascade_lake(), &BootParams::default());
+        build(&mut kl, LfsBench::Largefile);
+        kl.start();
+        kl.run(BUDGET).unwrap();
+        let large = kl.state.bytes_copied;
+        assert!(large > small, "{large} vs {small}");
+    }
+}

@@ -1,0 +1,24 @@
+//! # workloads — the paper's end-to-end benchmark suites
+//!
+//! Three workload families, each stressing a different security boundary
+//! (paper §4):
+//!
+//! * [`lebench`] — OS-intensive microbenchmarks (user↔kernel boundary;
+//!   Figure 2). The suite metric is the geometric mean of cycles/op.
+//! * [`parsec`] — single-process compute kernels with no boundary
+//!   crossings (§4.5, Figure 5): they show that default mitigations are
+//!   free for pure compute, and what force-enabled SSBD costs.
+//! * [`lfs`] — the LFS smallfile/largefile file benchmarks (§4.4), used
+//!   bare or inside the `hypervisor` crate's VM, where each fsync turns
+//!   into a VM exit against the emulated disk.
+//!
+//! The JavaScript (Octane-like) workloads live in the `js-engine` crate,
+//! next to the JIT whose mitigations they measure.
+
+pub mod lebench;
+pub mod lfs;
+pub mod parsec;
+
+pub use lebench::{geomean, run_op, run_suite, LeBenchOp, OpResult};
+pub use lfs::{LfsBench, LfsResult};
+pub use parsec::{run_bench, ParsecBench, ParsecResult};

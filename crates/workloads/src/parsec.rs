@@ -1,0 +1,213 @@
+//! PARSEC-like compute kernels (paper §4.5, Figure 5).
+//!
+//! Three single-process, compute-intensive kernels chosen — like the
+//! paper's swaptions/facesim/bodytrack — to span working-set sizes and
+//! store intensities. They make (almost) no syscalls, so the default
+//! mitigations cost nothing; only force-enabled SSBD shows up, because
+//! each kernel's inner loop contains store-to-load forwarding that SSBD
+//! stalls.
+
+use sim_kernel::userlib::{begin_loop, data_base, emit_exit, end_loop};
+use sim_kernel::{BootParams, Kernel};
+use uarch::isa::{FReg, Inst, Reg, Width};
+use uarch::model::CpuModel;
+
+/// Instruction budget for one kernel run.
+const BUDGET: u64 = 600_000_000;
+
+/// One PARSEC-like benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParsecBench {
+    /// Monte-Carlo swaption pricing: FP-heavy, small working set, spills
+    /// its accumulator every path (moderate forwarding).
+    Swaptions,
+    /// Face simulation: iterative solver over a large array, streaming
+    /// loads/stores with reuse (high forwarding on the in-place update).
+    Facesim,
+    /// Body tracking: particle-filter weight update, mixed integer/FP,
+    /// frequent write-then-read of per-particle state (highest
+    /// forwarding density).
+    Bodytrack,
+}
+
+impl ParsecBench {
+    /// All three benchmarks.
+    pub const ALL: [ParsecBench; 3] =
+        [ParsecBench::Swaptions, ParsecBench::Facesim, ParsecBench::Bodytrack];
+
+    /// Benchmark name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ParsecBench::Swaptions => "swaptions",
+            ParsecBench::Facesim => "facesim",
+            ParsecBench::Bodytrack => "bodytrack",
+        }
+    }
+
+    /// Outer iteration count.
+    fn iterations(self) -> u64 {
+        match self {
+            ParsecBench::Swaptions => 3000,
+            ParsecBench::Facesim => 250,
+            ParsecBench::Bodytrack => 500,
+        }
+    }
+}
+
+/// Result of one run.
+#[derive(Debug, Clone, Copy)]
+pub struct ParsecResult {
+    /// Which benchmark.
+    pub bench: ParsecBench,
+    /// Total simulated cycles.
+    pub cycles: u64,
+}
+
+/// Runs one benchmark under the given kernel configuration.
+pub fn run_bench(model: &CpuModel, params: &BootParams, bench: ParsecBench) -> ParsecResult {
+    let mut k = Kernel::boot(model.clone(), params);
+    build(&mut k, bench);
+    k.start();
+    let start = k.cycles();
+    k.run(BUDGET).expect("benchmark must complete");
+    ParsecResult { bench, cycles: k.cycles() - start }
+}
+
+fn build(k: &mut Kernel, bench: ParsecBench) {
+    let data = data_base();
+    let iters = bench.iterations();
+    match bench {
+        ParsecBench::Swaptions => {
+            k.spawn(move |b| {
+                b.mov_imm(Reg::R1, data);
+                b.push(Inst::FmovImm(FReg::F0, 1.0)); // rate accumulator
+                b.push(Inst::FmovImm(FReg::F1, 1.0001)); // drift
+                b.push(Inst::FmovImm(FReg::F2, 0.98)); // discount
+                let top = begin_loop(b, Reg::R7, iters);
+                // One simulated path: several FP steps...
+                for _ in 0..6 {
+                    b.push(Inst::Fmul(FReg::F0, FReg::F1));
+                    b.push(Inst::Fadd(FReg::F0, FReg::F2));
+                }
+                // ...then spill the path value and immediately re-read it
+                // for the running sum (store-to-load forwarding).
+                b.push(Inst::Fstore { src: FReg::F0, base: Reg::R1, offset: 0 });
+                b.push(Inst::Fload { dst: FReg::F3, base: Reg::R1, offset: 0 });
+                b.push(Inst::Fadd(FReg::F4, FReg::F3));
+                end_loop(b, Reg::R7, top);
+                emit_exit(b);
+            });
+        }
+        ParsecBench::Facesim => {
+            k.spawn(move |b| {
+                // Jacobi-style in-place sweep over a 4 KiB row: read
+                // neighbours, write the cell, read it back next step.
+                b.mov_imm(Reg::R1, data);
+                let top = begin_loop(b, Reg::R7, iters);
+                b.mov_imm(Reg::R2, data);
+                let row = begin_loop(b, Reg::R6, 32);
+                b.push(Inst::Fload { dst: FReg::F0, base: Reg::R2, offset: 0 });
+                b.push(Inst::Fload { dst: FReg::F1, base: Reg::R2, offset: 8 });
+                b.push(Inst::Fadd(FReg::F0, FReg::F1));
+                b.push(Inst::FmovImm(FReg::F2, 0.5));
+                b.push(Inst::Fmul(FReg::F0, FReg::F2));
+                b.push(Inst::Fstore { src: FReg::F0, base: Reg::R2, offset: 0 });
+                // In-place solver reads the freshly written cell.
+                b.push(Inst::Fload { dst: FReg::F3, base: Reg::R2, offset: 0 });
+                b.push(Inst::Fadd(FReg::F4, FReg::F3));
+                b.push(Inst::AddImm(Reg::R2, 128));
+                end_loop(b, Reg::R6, row);
+                end_loop(b, Reg::R7, top);
+                emit_exit(b);
+            });
+        }
+        ParsecBench::Bodytrack => {
+            k.spawn(move |b| {
+                // Particle filter: update 16 particle weights; each update
+                // writes the weight and the normalization pass reads it
+                // straight back (two forwarding events per particle).
+                b.mov_imm(Reg::R1, data);
+                let top = begin_loop(b, Reg::R7, iters);
+                b.mov_imm(Reg::R2, data);
+                let particles = begin_loop(b, Reg::R6, 16);
+                b.push(Inst::Load { dst: Reg::R3, base: Reg::R2, offset: 0, width: Width::B8 });
+                b.push(Inst::AddImm(Reg::R3, 3));
+                b.push(Inst::Mul(Reg::R3, Reg::R3));
+                b.push(Inst::Store { src: Reg::R3, base: Reg::R2, offset: 0, width: Width::B8 });
+                b.push(Inst::Load { dst: Reg::R4, base: Reg::R2, offset: 0, width: Width::B8 });
+                b.push(Inst::Add(Reg::R5, Reg::R4));
+                b.push(Inst::Store { src: Reg::R5, base: Reg::R2, offset: 8, width: Width::B8 });
+                b.push(Inst::Load { dst: Reg::R5, base: Reg::R2, offset: 8, width: Width::B8 });
+                b.push(Inst::AddImm(Reg::R2, 64));
+                end_loop(b, Reg::R6, particles);
+                end_loop(b, Reg::R7, top);
+                emit_exit(b);
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpu_models::{ice_lake_server, zen3};
+
+    #[test]
+    fn all_benches_complete() {
+        for bench in ParsecBench::ALL {
+            let r = run_bench(&ice_lake_server(), &BootParams::default(), bench);
+            assert!(r.cycles > 100_000, "{}", bench.name());
+        }
+    }
+
+    #[test]
+    fn default_mitigations_cost_nothing_measurable() {
+        // Paper §4.5: "total runtime was usually within ±0.5%".
+        for bench in ParsecBench::ALL {
+            let on = run_bench(&zen3(), &BootParams::default(), bench).cycles as f64;
+            let off =
+                run_bench(&zen3(), &BootParams::parse("mitigations=off"), bench).cycles as f64;
+            let rel = (on - off).abs() / off;
+            assert!(rel < 0.02, "{}: default mitigations cost {:.2}%", bench.name(), rel * 100.0);
+        }
+    }
+
+    #[test]
+    fn forced_ssbd_slows_everything_down() {
+        // Figure 5: force-enabling SSBD costs real performance.
+        for bench in ParsecBench::ALL {
+            let off = run_bench(&zen3(), &BootParams::default(), bench).cycles as f64;
+            let on = run_bench(
+                &zen3(),
+                &BootParams::parse("spec_store_bypass_disable=on"),
+                bench,
+            )
+            .cycles as f64;
+            let slow = on / off - 1.0;
+            assert!(
+                slow > 0.05,
+                "{}: SSBD should visibly slow this kernel, got {:.2}%",
+                bench.name(),
+                slow * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn ssbd_cost_trends_worse_on_newer_parts() {
+        // Figure 5's headline: the slowdown is trending worse over time.
+        let bench = ParsecBench::Bodytrack;
+        let cost = |model: &uarch::CpuModel| {
+            let off = run_bench(model, &BootParams::default(), bench).cycles as f64;
+            let on = run_bench(
+                model,
+                &BootParams::parse("spec_store_bypass_disable=on"),
+                bench,
+            )
+            .cycles as f64;
+            on / off - 1.0
+        };
+        assert!(cost(&zen3()) > cost(&cpu_models::zen()));
+        assert!(cost(&ice_lake_server()) > cost(&cpu_models::broadwell()));
+    }
+}

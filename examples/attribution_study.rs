@@ -1,0 +1,31 @@
+//! Figure 2 end-to-end: attribute LEBench mitigation overhead to
+//! individual mitigations on every CPU, using the paper's
+//! successive-disable methodology.
+//!
+//! ```text
+//! cargo run --release --example attribution_study              # all CPUs
+//! cargo run --release --example attribution_study -- quick     # getpid only
+//! ```
+
+use cpu_models::CpuId;
+use spectrebench::experiments::figure2;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "quick");
+    if quick {
+        println!("(quick mode: attribution over getpid only)\n");
+    }
+    let fig = figure2::run(&CpuId::ALL, quick);
+    println!("{}", figure2::render(&fig));
+
+    // The paper's headline, restated from the data.
+    let total = |id: CpuId| {
+        fig.bars.iter().find(|(c, _)| *c == id).map(|(_, a)| a.total).unwrap()
+    };
+    println!(
+        "OS-boundary overhead: Broadwell {:.1}% -> Ice Lake Server {:.1}% ({}x decline)",
+        total(CpuId::Broadwell) * 100.0,
+        total(CpuId::IceLakeServer) * 100.0,
+        (total(CpuId::Broadwell) / total(CpuId::IceLakeServer).max(0.001)).round()
+    );
+}

@@ -1,0 +1,10 @@
+//! Root crate of the spectrebench reproduction workspace.
+//!
+//! The substance lives in the member crates (see the README's
+//! architecture section); this crate exists to host the cross-crate
+//! integration tests under `tests/` and the runnable walkthroughs under
+//! `examples/`. For library use, depend on the member crates directly;
+//! the re-export below is a convenience for the examples.
+
+/// The measurement harness (the `spectrebench` crate in `crates/core`).
+pub use spectrebench as harness;

@@ -1,0 +1,192 @@
+//! Workspace-level integration tests: the paper's headline conclusions,
+//! reproduced end to end across crates.
+
+use cpu_models::CpuId;
+use js_engine::octane::{run_suite as octane_suite, OctaneBench};
+use js_engine::JsMitigations;
+use sim_kernel::{BootParams, Kernel, Mitigation};
+use spectrebench::experiments::{eibrs_bimodal, figure2, tables9and10};
+use spectrebench::probe::ProbeResult;
+use workloads::lebench::{geomean, run_suite as lebench_suite};
+
+/// §4.6 / §9: "overheads on LEBench have gone from over 30% on older
+/// Intel CPUs to under 3% on the latest models" — we reproduce the shape:
+/// a large overhead on Broadwell, a near-zero one on Ice Lake Server, and
+/// an order-of-magnitude decline.
+#[test]
+fn headline_os_boundary_overhead_evolution() {
+    let overhead = |id: CpuId| {
+        let model = id.model();
+        let on = geomean(&lebench_suite(&model, &BootParams::default()));
+        let off = geomean(&lebench_suite(&model, &BootParams::parse("mitigations=off")));
+        on / off - 1.0
+    };
+    let bdw = overhead(CpuId::Broadwell);
+    let icx = overhead(CpuId::IceLakeServer);
+    assert!(bdw > 0.30, "Broadwell pays heavily: {:.1}%", bdw * 100.0);
+    assert!(icx < 0.03, "Ice Lake Server is nearly free: {:.1}%", icx * 100.0);
+    assert!(bdw / icx.max(0.003) > 10.0, "an order-of-magnitude decline");
+}
+
+/// §4.6: "none of the attacks impacting JavaScript performance have been
+/// addressed in hardware" — the browser boundary stays expensive on the
+/// newest parts.
+#[test]
+fn headline_browser_boundary_overhead_persists() {
+    for id in [CpuId::Broadwell, CpuId::IceLakeServer] {
+        let model = id.model();
+        let (_, bare) = octane_suite(
+            &model,
+            &BootParams::parse("mitigations=off"),
+            JsMitigations::none(),
+        );
+        let (_, full) = octane_suite(&model, &BootParams::default(), JsMitigations::full());
+        let decrease = 1.0 - full / bare;
+        assert!(
+            decrease > 0.08,
+            "{id}: browser overhead must persist, got {:.1}%",
+            decrease * 100.0
+        );
+    }
+}
+
+/// Table 1 consistency: the kernel deploys a mitigation exactly when the
+/// matching attack succeeds unmitigated on that hardware.
+#[test]
+fn mitigations_track_vulnerabilities() {
+    for id in CpuId::ALL {
+        let model = id.model();
+        let k = Kernel::boot(model.clone(), &BootParams::default());
+        // PTI deployed <=> raw Meltdown works.
+        let meltdown = attacks::meltdown::run_raw(model.clone()).leaked();
+        assert_eq!(k.state.config.pti, meltdown, "{id}: PTI iff Meltdown");
+        // verw clearing deployed <=> the CPU samples fill buffers.
+        assert_eq!(k.state.config.mds_clear, model.vuln.mds, "{id}: verw iff MDS");
+        // L1D flush on VM entry <=> L1TF leaks.
+        let l1tf = attacks::l1tf::run(model.clone(), attacks::l1tf::L1tfSetup::StalePteHotL1)
+            .leaked();
+        assert_eq!(k.state.config.l1d_flush_vmentry, l1tf, "{id}: flush iff L1TF");
+    }
+}
+
+/// §4.6: Spectre V1, V2 and SSB — the oldest attacks — still work on
+/// every CPU, which is why their mitigations still cost something.
+#[test]
+fn old_attacks_remain_unfixed_everywhere() {
+    use attacks::{spectre_v1, spectre_v2, ssb};
+    for id in CpuId::ALL {
+        assert!(
+            spectre_v1::run(id.model(), spectre_v1::V1Mitigation::None).leaked(),
+            "{id}: Spectre V1"
+        );
+        assert!(
+            spectre_v2::run(
+                id.model(),
+                spectre_v2::V2Dispatch::Indirect,
+                spectre_v2::V2Barrier::None
+            )
+            .leaked(),
+            "{id}: Spectre V2"
+        );
+        assert!(ssb::run_raw(id.model(), false).leaked(), "{id}: SSB");
+    }
+}
+
+/// Figure 2's per-mitigation story: PTI and MDS slices vanish exactly on
+/// the parts whose hardware fixed the underlying attacks.
+#[test]
+fn attribution_slices_vanish_with_hardware_fixes() {
+    let fig = figure2::run(&[CpuId::Broadwell, CpuId::IceLakeServer], true);
+    let slice = |cpu: CpuId, name: &str| {
+        fig.bars
+            .iter()
+            .find(|(c, _)| *c == cpu)
+            .unwrap()
+            .1
+            .slices
+            .iter()
+            .find(|s| s.name.contains(name))
+            .unwrap()
+            .overhead
+    };
+    assert!(slice(CpuId::Broadwell, "Page Table") > 0.10);
+    assert!(slice(CpuId::Broadwell, "MDS") > 0.10);
+    assert!(slice(CpuId::IceLakeServer, "Page Table").abs() < 0.02);
+    assert!(slice(CpuId::IceLakeServer, "MDS").abs() < 0.02);
+}
+
+/// Tables 9/10 summarized: eIBRS-class parts never let user-mode training
+/// steer kernel speculation, while pre-Spectre parts always do (without
+/// IBRS).
+#[test]
+fn speculation_matrix_summary() {
+    let t9 = tables9and10::run(false);
+    for (cpu, row) in &t9.rows {
+        let uk = row.iter().find(|(n, _)| n.contains("user->kernel")).unwrap().1;
+        let expected = match cpu {
+            CpuId::Broadwell | CpuId::SkylakeClient | CpuId::Zen | CpuId::Zen2 => {
+                ProbeResult::Speculated
+            }
+            _ => ProbeResult::Blocked,
+        };
+        assert_eq!(uk, expected, "{cpu}");
+    }
+}
+
+/// §6.2.2: eIBRS parts show the bimodal kernel-entry latency; the slow
+/// mode correlates with a kernel-BTB flush interval of 8–20 entries.
+#[test]
+fn eibrs_bimodal_behaviour() {
+    let b = eibrs_bimodal::run(&CpuId::CascadeLake.model(), 200);
+    assert!(b.modes.len() >= 2);
+    assert_eq!(b.slow_extra, 210);
+    assert!((8..=20).contains(&b.slow_interval));
+}
+
+/// Table 1 renders with the exact paper semantics for every cell.
+#[test]
+fn table1_cells_from_policy_logic() {
+    for id in CpuId::ALL {
+        let model = id.model();
+        for mit in Mitigation::TABLE1_ORDER {
+            // Every cell is computable without panicking, and ✓ cells for
+            // hardware-dependent rows imply the vulnerability.
+            if mit.table1_cell(&model) == Some(true) {
+                match mit.name() {
+                    "Page Table Isolation" => assert!(model.vuln.meltdown, "{id}"),
+                    "Flush CPU Buffers" => assert!(model.vuln.mds, "{id}"),
+                    "PTE Inversion" | "Flush L1 Cache" => assert!(model.vuln.l1tf, "{id}"),
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// The Octane-like suite is *correct* under every mitigation combination
+/// on a representative CPU — the overhead numbers mean something.
+#[test]
+fn octane_correct_under_all_mitigation_combinations() {
+    let model = CpuId::Zen2.model();
+    let params = BootParams::default();
+    for bench in [OctaneBench::Richards, OctaneBench::Splay, OctaneBench::NavierStokes] {
+        for im in [false, true] {
+            for og in [false, true] {
+                for other in [false, true] {
+                    let mits = JsMitigations {
+                        index_masking: im,
+                        object_guards: og,
+                        other_js: other,
+                    };
+                    let out = bench.build().run_jit(&model, &params, mits);
+                    assert_eq!(
+                        out.result,
+                        bench.reference(),
+                        "{} under {mits:?}",
+                        bench.name()
+                    );
+                }
+            }
+        }
+    }
+}

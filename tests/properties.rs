@@ -1,0 +1,388 @@
+//! Property-based tests (proptest) over the core invariants:
+//!
+//! * architectural determinism: mitigations may change *timing* and
+//!   microarchitectural state, but never computed results;
+//! * the JIT agrees with the reference interpreter on randomly generated
+//!   bytecode programs, under random mitigation sets;
+//! * transient windows never commit architectural state;
+//! * statistics invariants (CI shrinks, geomean bounds).
+
+use js_engine::{Engine, FunctionBuilder, JsMitigations, Op};
+use proptest::prelude::*;
+use sim_kernel::BootParams;
+use spectrebench::stats::{geomean, Accumulator, NoiseModel};
+use uarch::isa::{Cond, Inst, Reg, Width};
+use uarch::machine::{Machine, NoEnv};
+use uarch::mmu::{make_cr3, PageTable, Pte};
+use uarch::model::CpuModel;
+use uarch::predictor::PrivMode;
+use uarch::ProgramBuilder;
+
+// ---------------------------------------------------------------------
+// Machine-level properties.
+// ---------------------------------------------------------------------
+
+/// A tiny random straight-line program over R0–R5 plus memory in a fixed
+/// arena, ending in Halt.
+#[derive(Debug, Clone)]
+enum RandOp {
+    MovImm(u8, u32),
+    Add(u8, u8),
+    Sub(u8, u8),
+    Mul(u8, u8),
+    Xor(u8, u8),
+    Shl(u8, u8),
+    Store(u8, u16),
+    Load(u8, u16),
+    CmpJump(u8, u32),
+}
+
+fn rand_op() -> impl Strategy<Value = RandOp> {
+    prop_oneof![
+        (0u8..6, any::<u32>()).prop_map(|(r, v)| RandOp::MovImm(r, v)),
+        (0u8..6, 0u8..6).prop_map(|(a, b)| RandOp::Add(a, b)),
+        (0u8..6, 0u8..6).prop_map(|(a, b)| RandOp::Sub(a, b)),
+        (0u8..6, 0u8..6).prop_map(|(a, b)| RandOp::Mul(a, b)),
+        (0u8..6, 0u8..6).prop_map(|(a, b)| RandOp::Xor(a, b)),
+        (0u8..6, 0u8..16).prop_map(|(a, k)| RandOp::Shl(a, k)),
+        (0u8..6, 0u16..512).prop_map(|(r, o)| RandOp::Store(r, o * 8)),
+        (0u8..6, 0u16..512).prop_map(|(r, o)| RandOp::Load(r, o * 8)),
+        (0u8..6, any::<u32>()).prop_map(|(r, v)| RandOp::CmpJump(r, v)),
+    ]
+}
+
+fn build_machine(model: CpuModel, ops: &[RandOp]) -> Machine {
+    let mut m = Machine::new(model);
+    let mut pt = PageTable::new();
+    pt.map_range(0x10_0000, 0x100, 16, Pte::user(0));
+    pt.map_range(0x20_0000 - 0x4000, 0x300, 4, Pte::user(0));
+    let t = m.mmu.register_table(pt);
+    assert!(m.mmu.load_cr3(make_cr3(t, 0, false)));
+    m.set_reg(Reg::SP, 0x20_0000 - 64);
+    m.mode = PrivMode::User;
+
+    let mut b = ProgramBuilder::new();
+    b.mov_imm(Reg::R7, 0x10_0000); // arena base
+    for op in ops {
+        let r = |i: &u8| Reg::from_index(*i as usize);
+        match op {
+            RandOp::MovImm(d, v) => {
+                b.mov_imm(r(d), *v as u64);
+            }
+            RandOp::Add(d, s) => {
+                b.push(Inst::Add(r(d), r(s)));
+            }
+            RandOp::Sub(d, s) => {
+                b.push(Inst::Sub(r(d), r(s)));
+            }
+            RandOp::Mul(d, s) => {
+                b.push(Inst::Mul(r(d), r(s)));
+            }
+            RandOp::Xor(d, s) => {
+                b.push(Inst::Xor(r(d), r(s)));
+            }
+            RandOp::Shl(d, k) => {
+                b.push(Inst::Shl(r(d), *k));
+            }
+            RandOp::Store(s, off) => {
+                b.push(Inst::Store {
+                    src: r(s),
+                    base: Reg::R7,
+                    offset: *off as i64,
+                    width: Width::B8,
+                });
+            }
+            RandOp::Load(d, off) => {
+                b.push(Inst::Load {
+                    dst: r(d),
+                    base: Reg::R7,
+                    offset: *off as i64,
+                    width: Width::B8,
+                });
+            }
+            RandOp::CmpJump(a, v) => {
+                // A short forward conditional skip over one nop: exercises
+                // the predictor + transient path without changing results.
+                let skip = b.new_label();
+                b.cmp_imm(r(a), *v as u64);
+                b.jcc(Cond::Below, skip);
+                b.push(Inst::Nop);
+                b.bind(skip);
+            }
+        }
+    }
+    b.push(Inst::Halt);
+    m.load_program(b.link(0x1000));
+    m.pc = 0x1000;
+    m
+}
+
+fn final_regs(model: CpuModel, ops: &[RandOp]) -> [u64; 16] {
+    let mut m = build_machine(model, ops);
+    m.run(&mut NoEnv, 1_000_000).expect("random program halts");
+    m.regs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The architectural result of a program is identical on every CPU
+    /// model: speculation, SSBD, history-tagged BTBs etc. only change
+    /// timing and microarchitectural state.
+    #[test]
+    fn architectural_results_are_model_independent(ops in prop::collection::vec(rand_op(), 1..40)) {
+        let reference = final_regs(cpu_models::broadwell(), &ops);
+        for model in [cpu_models::ice_lake_server(), cpu_models::zen3(), cpu_models::zen()] {
+            prop_assert_eq!(final_regs(model, &ops), reference);
+        }
+    }
+
+    /// Forcing SSBD changes cycles, never results.
+    #[test]
+    fn ssbd_changes_timing_not_results(ops in prop::collection::vec(rand_op(), 1..40)) {
+        use uarch::isa::{msr_index, spec_ctrl};
+        let plain = final_regs(cpu_models::zen3(), &ops);
+        let mut m = build_machine(cpu_models::zen3(), &ops);
+        m.msrs.write(msr_index::IA32_SPEC_CTRL, spec_ctrl::SSBD).unwrap();
+        m.run(&mut NoEnv, 1_000_000).expect("halts");
+        prop_assert_eq!(m.regs, plain);
+    }
+
+    /// The simulator is deterministic: two fresh machines running the
+    /// same program produce identical registers *and* identical cycle
+    /// counts (there is no hidden global state).
+    #[test]
+    fn fresh_runs_are_fully_deterministic(ops in prop::collection::vec(rand_op(), 1..30)) {
+        let mut a = build_machine(cpu_models::skylake_client(), &ops);
+        a.run(&mut NoEnv, 1_000_000).expect("halts");
+        let mut b = build_machine(cpu_models::skylake_client(), &ops);
+        b.run(&mut NoEnv, 1_000_000).expect("halts");
+        prop_assert_eq!(a.regs, b.regs);
+        prop_assert_eq!(a.cycles(), b.cycles());
+    }
+}
+
+// ---------------------------------------------------------------------
+// JS engine differential properties.
+// ---------------------------------------------------------------------
+
+/// Random arithmetic-only bytecode over 3 locals (always stack-balanced:
+/// generated as expression evaluation).
+#[derive(Debug, Clone)]
+enum JsExpr {
+    Const(i32),
+    Local(u8),
+    Add(Box<JsExpr>, Box<JsExpr>),
+    Sub(Box<JsExpr>, Box<JsExpr>),
+    Mul(Box<JsExpr>, Box<JsExpr>),
+    And(Box<JsExpr>, Box<JsExpr>),
+}
+
+fn js_expr() -> impl Strategy<Value = JsExpr> {
+    let leaf = prop_oneof![
+        any::<i32>().prop_map(JsExpr::Const),
+        (0u8..3).prop_map(JsExpr::Local),
+    ];
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| JsExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| JsExpr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| JsExpr::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| JsExpr::And(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn emit_expr(f: &mut FunctionBuilder, e: &JsExpr) {
+    match e {
+        JsExpr::Const(v) => {
+            f.op(Op::Const(*v as i64));
+        }
+        JsExpr::Local(n) => {
+            f.op(Op::GetLocal(*n));
+        }
+        JsExpr::Add(a, b) => {
+            emit_expr(f, a);
+            emit_expr(f, b);
+            f.op(Op::Add);
+        }
+        JsExpr::Sub(a, b) => {
+            emit_expr(f, a);
+            emit_expr(f, b);
+            f.op(Op::Sub);
+        }
+        JsExpr::Mul(a, b) => {
+            emit_expr(f, a);
+            emit_expr(f, b);
+            f.op(Op::Mul);
+        }
+        JsExpr::And(a, b) => {
+            emit_expr(f, a);
+            emit_expr(f, b);
+            f.op(Op::And);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The JIT (on the simulator, with arbitrary mitigation sets) agrees
+    /// with the reference interpreter on random expression programs.
+    #[test]
+    fn jit_matches_interpreter(
+        e in js_expr(),
+        l0 in any::<i32>(),
+        l1 in any::<i32>(),
+        im in any::<bool>(),
+        og in any::<bool>(),
+        oj in any::<bool>(),
+    ) {
+        let mut engine = Engine::new();
+        let mut f = FunctionBuilder::new("main", 0, 3);
+        f.op(Op::Const(l0 as i64));
+        f.op(Op::SetLocal(0));
+        f.op(Op::Const(l1 as i64));
+        f.op(Op::SetLocal(1));
+        emit_expr(&mut f, &e);
+        f.op(Op::Return);
+        let fid = engine.add_function(f.build());
+        engine.set_main(fid);
+
+        let expect = engine.interpret().expect("interpreter runs");
+        let mits = JsMitigations { index_masking: im, object_guards: og, other_js: oj };
+        let out = engine.run_jit(&cpu_models::zen2(), &BootParams::default(), mits);
+        prop_assert_eq!(out.result, expect);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Statistics properties.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Geomean lies between min and max.
+    #[test]
+    fn geomean_bounded(v in prop::collection::vec(0.001f64..1e9, 1..30)) {
+        let g = geomean(&v);
+        let min = v.iter().cloned().fold(f64::MAX, f64::min);
+        let max = v.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(g >= min * 0.999 && g <= max * 1.001);
+    }
+
+    /// The accumulator's mean equals the arithmetic mean.
+    #[test]
+    fn accumulator_mean_matches(v in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+        let mut a = Accumulator::new();
+        for x in &v {
+            a.add(*x);
+        }
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        prop_assert!((a.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+    }
+
+    /// Noise streams are reproducible from the seed.
+    #[test]
+    fn noise_reproducible(seed in any::<u64>()) {
+        let mut a = NoiseModel::paper_default(seed);
+        let mut b = NoiseModel::paper_default(seed);
+        for _ in 0..10 {
+            prop_assert_eq!(a.factor(), b.factor());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// BPF differential properties.
+// ---------------------------------------------------------------------
+
+mod bpf_props {
+    use super::*;
+    use sim_kernel::abi::nr;
+    use sim_kernel::bpf::{self, BpfInsn};
+    use sim_kernel::{userlib, Kernel};
+    use uarch::isa::Inst;
+
+    /// Random verifier-valid straight-line program over two maps.
+    fn bpf_insn() -> impl Strategy<Value = BpfInsn> {
+        prop_oneof![
+            (0u8..8, -64i64..64).prop_map(|(d, v)| BpfInsn::MovImm(d, v)),
+            (0u8..8, 0u8..8).prop_map(|(d, s)| BpfInsn::Mov(d, s)),
+            (0u8..8, 0u8..8).prop_map(|(d, s)| BpfInsn::Add(d, s)),
+            (0u8..8, 0u8..8).prop_map(|(d, s)| BpfInsn::Sub(d, s)),
+            (0u8..8, 0u8..8).prop_map(|(d, s)| BpfInsn::Mul(d, s)),
+            (0u8..8, 0i64..256).prop_map(|(d, v)| BpfInsn::AndImm(d, v)),
+            (0u8..8, 0u8..8).prop_map(|(d, k)| BpfInsn::Shl(d, k)),
+            (0u8..8, 0u8..8).prop_map(|(d, k)| BpfInsn::Shr(d, k)),
+            (0u8..8, 0u32..2u32, 0u8..8)
+                .prop_map(|(d, m, i)| BpfInsn::MapLookup { dst: d, map: m, idx: i }),
+            (0u32..2u32, 0u8..8, 0u8..8)
+                .prop_map(|(m, i, s)| BpfInsn::MapUpdate { map: m, idx: i, src: s }),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The in-kernel JIT (running through the full syscall path, with
+        /// or without verifier masking) computes exactly what the BPF
+        /// reference interpreter computes — and leaves the maps in the
+        /// same state.
+        #[test]
+        fn bpf_jit_matches_reference_interpreter(
+            body in prop::collection::vec(bpf_insn(), 0..24),
+            seed0 in prop::collection::vec(0u64..1000, 8),
+            seed1 in prop::collection::vec(0u64..1000, 8),
+            masked in any::<bool>(),
+        ) {
+            let mut insns = body;
+            insns.push(BpfInsn::Exit);
+            let verified = bpf::verify(&insns, 2).expect("generated programs verify");
+
+            // Reference run.
+            let mut ref_maps = vec![seed0.clone(), seed1.clone()];
+            let expect = bpf::interpret(&verified, &mut ref_maps);
+
+            // Kernel run.
+            let cmdline = if masked { "" } else { "nospectre_v1" };
+            let mut k = Kernel::boot(
+                cpu_models::cascade_lake(),
+                &BootParams::parse(cmdline),
+            );
+            let m0 = k.bpf_create_map(8);
+            let m1 = k.bpf_create_map(8);
+            for (i, v) in seed0.iter().enumerate() {
+                k.bpf_map_write(m0, i as u64, *v);
+            }
+            for (i, v) in seed1.iter().enumerate() {
+                k.bpf_map_write(m1, i as u64, *v);
+            }
+            let prog = k.bpf_load(&insns).expect("loads");
+            let pid = k.spawn(move |b| {
+                b.mov_imm(Reg::R1, prog as u64);
+                userlib::emit_syscall(b, nr::BPF_PROG_RUN);
+                b.mov_imm(Reg::R4, userlib::data_base());
+                b.push(Inst::Store {
+                    src: Reg::R0,
+                    base: Reg::R4,
+                    offset: 0,
+                    width: Width::B8,
+                });
+                userlib::emit_exit(b);
+            });
+            k.start();
+            k.run(100_000_000).expect("runs");
+            let out = k.peek_user_data(pid, 0, 8);
+            prop_assert_eq!(u64::from_le_bytes(out.try_into().unwrap()), expect);
+            for i in 0..8u64 {
+                prop_assert_eq!(k.bpf_map_read(m0, i), ref_maps[0][i as usize]);
+                prop_assert_eq!(k.bpf_map_read(m1, i), ref_maps[1][i as usize]);
+            }
+        }
+    }
+}
