@@ -1,37 +1,47 @@
-//! Criterion benchmarks for the paper's *figures* (end-to-end workload
+//! Timing benchmarks for the paper's *figures* (end-to-end workload
 //! sweeps). Figures are expensive; the timed variants use the quick
 //! drivers while the printed output covers a representative CPU subset.
+//! Plain `main` harness.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
 use cpu_models::CpuId;
 use spectrebench::experiments::{figure2, figure3, figure5};
+use spectrebench::Harness;
 
-fn bench_figures(c: &mut Criterion) {
-    // Representative regeneration printout (old Intel, new Intel, new AMD).
-    let cpus = [CpuId::Broadwell, CpuId::IceLakeServer, CpuId::Zen3];
-    eprintln!(
-        "== Figure 2 (subset) ==\n{}",
-        figure2::render(&figure2::run(&cpus, false))
-    );
-    eprintln!(
-        "== Figure 3 (subset) ==\n{}",
-        figure3::render(&figure3::run(&cpus, false))
-    );
-    eprintln!("== Figure 5 (subset) ==\n{}", figure5::render(&figure5::run(&cpus)));
-
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10);
-    g.bench_function("figure2_lebench_attribution_quick", |b| {
-        b.iter(|| figure2::run(&[CpuId::Broadwell], true))
-    });
-    g.bench_function("figure3_octane_attribution_quick", |b| {
-        b.iter(|| figure3::run(&[CpuId::SkylakeClient], true))
-    });
-    g.bench_function("figure5_ssbd_parsec", |b| {
-        b.iter(|| figure5::run(&[CpuId::Zen3]))
-    });
-    g.finish();
+fn time(name: &str, iters: u32, mut f: impl FnMut()) {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per = t0.elapsed() / iters;
+    println!("figures/{name:36} {per:>12.2?}/iter ({iters} iters)");
 }
 
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);
+fn main() {
+    let h = Harness::new();
+    // Representative regeneration printout (old Intel, new Intel, new AMD).
+    let cpus = [CpuId::Broadwell, CpuId::IceLakeServer, CpuId::Zen3];
+    match figure2::run(&h, &cpus, false) {
+        Ok(f) => eprintln!("== Figure 2 (subset) ==\n{}", figure2::render(&f)),
+        Err(e) => eprintln!("== Figure 2 == FAILED: {e}"),
+    }
+    match figure3::run(&h, &cpus, false) {
+        Ok(f) => eprintln!("== Figure 3 (subset) ==\n{}", figure3::render(&f)),
+        Err(e) => eprintln!("== Figure 3 == FAILED: {e}"),
+    }
+    match figure5::run(&h, &cpus) {
+        Ok(f) => eprintln!("== Figure 5 (subset) ==\n{}", figure5::render(&f)),
+        Err(e) => eprintln!("== Figure 5 == FAILED: {e}"),
+    }
+
+    time("figure2_lebench_attribution_quick", 10, || {
+        let _ = figure2::run(&h, &[CpuId::Broadwell], true);
+    });
+    time("figure3_octane_attribution_quick", 10, || {
+        let _ = figure3::run(&h, &[CpuId::SkylakeClient], true);
+    });
+    time("figure5_ssbd_parsec", 10, || {
+        let _ = figure5::run(&h, &[CpuId::Zen3]);
+    });
+}

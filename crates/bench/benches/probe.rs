@@ -1,29 +1,39 @@
-//! Criterion benchmarks for the speculation probe (Tables 9/10) and the
-//! eIBRS bimodal experiment (§6.2.2).
+//! Timing benchmarks for the speculation probe (Tables 9/10) and the
+//! eIBRS bimodal experiment (§6.2.2). Plain `main` harness.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
 use cpu_models::{cascade_lake, CpuId};
 use spectrebench::experiments::{eibrs_bimodal, tables9and10};
 use spectrebench::probe::{self, ProbeConfig};
+use spectrebench::Harness;
 use uarch::PrivMode;
 
-fn bench_probe(c: &mut Criterion) {
-    eprintln!(
-        "== Table 9 ==\n{}",
-        tables9and10::render(&tables9and10::run(false))
-    );
-    eprintln!(
-        "== Table 10 ==\n{}",
-        tables9and10::render(&tables9and10::run(true))
-    );
-    eprintln!(
-        "== eIBRS bimodal (Cascade Lake) ==\n{}",
-        eibrs_bimodal::render(&eibrs_bimodal::run(&cascade_lake(), 128))
-    );
+fn time(name: &str, iters: u32, mut f: impl FnMut()) {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per = t0.elapsed() / iters;
+    println!("probe/{name:32} {per:>12.2?}/iter ({iters} iters)");
+}
 
-    let mut g = c.benchmark_group("probe");
-    g.sample_size(10);
-    g.bench_function("single_cell_user_to_kernel", |b| {
+fn main() {
+    let h = Harness::new();
+    match tables9and10::run(&h, false) {
+        Ok(m) => eprintln!("== Table 9 ==\n{}", tables9and10::render(&m)),
+        Err(e) => eprintln!("== Table 9 == FAILED: {e}"),
+    }
+    match tables9and10::run(&h, true) {
+        Ok(m) => eprintln!("== Table 10 ==\n{}", tables9and10::render(&m)),
+        Err(e) => eprintln!("== Table 10 == FAILED: {e}"),
+    }
+    match eibrs_bimodal::run(&h, &cascade_lake(), 128) {
+        Ok(b) => eprintln!("== eIBRS bimodal (Cascade Lake) ==\n{}", eibrs_bimodal::render(&b)),
+        Err(e) => eprintln!("== eIBRS bimodal == FAILED: {e}"),
+    }
+
+    time("single_cell_user_to_kernel", 10, || {
         let model = CpuId::Broadwell.model();
         let cfg = ProbeConfig {
             train: PrivMode::User,
@@ -31,15 +41,12 @@ fn bench_probe(c: &mut Criterion) {
             intervening_syscall: true,
             ibrs: false,
         };
-        b.iter(|| probe::run(&model, cfg))
+        let _ = probe::run(&model, cfg);
     });
-    g.bench_function("full_table9_matrix", |b| b.iter(|| tables9and10::run(false)));
-    g.bench_function("eibrs_bimodal_histogram", |b| {
-        let m = cascade_lake();
-        b.iter(|| eibrs_bimodal::run(&m, 128))
+    time("full_table9_matrix", 10, || {
+        let _ = tables9and10::run(&h, false);
     });
-    g.finish();
+    time("eibrs_bimodal_histogram", 10, || {
+        let _ = eibrs_bimodal::run(&h, &cascade_lake(), 128);
+    });
 }
-
-criterion_group!(benches, bench_probe);
-criterion_main!(benches);

@@ -1,13 +1,27 @@
-//! Criterion benchmarks: one group per paper *table*, timing the harness
+//! Timing benchmarks: one group per paper *table*, timing the harness
 //! that regenerates it (and printing the regenerated rows once).
+//!
+//! Plain `main` harness: each closure is timed over a fixed number of
+//! iterations with `std::time::Instant` (no external bench framework).
+
+use std::time::Instant;
 
 use bench::Artifact;
-use criterion::{criterion_group, criterion_main, Criterion};
 use cpu_models::{broadwell, ice_lake_server, zen3};
-use spectrebench::micro;
+use spectrebench::{micro, Harness};
 
-fn bench_tables(c: &mut Criterion) {
-    // Print each table once so `cargo bench` output doubles as the
+fn time(name: &str, iters: u32, mut f: impl FnMut()) {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per = t0.elapsed() / iters;
+    println!("tables/{name:32} {per:>12.2?}/iter ({iters} iters)");
+}
+
+fn main() {
+    let h = Harness::new();
+    // Print each table once so the bench output doubles as the
     // regeneration record.
     for a in [
         Artifact::Table1,
@@ -19,42 +33,33 @@ fn bench_tables(c: &mut Criterion) {
         Artifact::Table7,
         Artifact::Table8,
     ] {
-        eprintln!("== {} ==\n{}", a.caption(), a.regenerate(true));
+        match a.regenerate(true, &h) {
+            Ok(out) => eprintln!("== {} ==\n{}", a.caption(), out.text),
+            Err(e) => eprintln!("== {} == FAILED: {e}", a.caption()),
+        }
     }
 
-    let mut g = c.benchmark_group("tables");
-    g.sample_size(10);
-    g.bench_function("table1_matrix", |b| {
-        b.iter(|| Artifact::Table1.regenerate(true))
+    time("table1_matrix", 10, || {
+        let _ = Artifact::Table1.regenerate(true, &h);
     });
-    g.bench_function("table3_entry_primitives", |b| {
+    time("table3_entry_primitives", 10, || {
         let m = broadwell();
-        b.iter(|| {
-            (
-                micro::syscall_cycles(&m),
-                micro::sysret_cycles(&m),
-                micro::swap_cr3_cycles(&m),
-            )
-        })
+        let _ = (
+            micro::syscall_cycles(&m),
+            micro::sysret_cycles(&m),
+            micro::swap_cr3_cycles(&m),
+        );
     });
-    g.bench_function("table4_verw", |b| {
-        let m = broadwell();
-        b.iter(|| micro::verw_cycles(&m))
+    time("table4_verw", 10, || {
+        let _ = micro::verw_cycles(&broadwell());
     });
-    g.bench_function("table5_indirect_branches", |b| {
-        let m = ice_lake_server();
-        b.iter(|| micro::indirect_call_cycles(&m, micro::Dispatch::RetpolineGeneric))
+    time("table5_indirect_branches", 10, || {
+        let _ = micro::indirect_call_cycles(&ice_lake_server(), micro::Dispatch::RetpolineGeneric);
     });
-    g.bench_function("table6_ibpb", |b| {
-        let m = zen3();
-        b.iter(|| micro::ibpb_cycles(&m))
+    time("table6_ibpb", 10, || {
+        let _ = micro::ibpb_cycles(&zen3());
     });
-    g.bench_function("table8_lfence", |b| {
-        let m = zen3();
-        b.iter(|| micro::lfence_cycles(&m))
+    time("table8_lfence", 10, || {
+        let _ = micro::lfence_cycles(&zen3());
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_tables);
-criterion_main!(benches);

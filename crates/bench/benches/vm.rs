@@ -1,22 +1,24 @@
-//! Criterion benchmarks for the §4.4 virtual-machine workloads.
+//! Timing benchmarks for the §4.4 virtual-machine workloads. Plain
+//! `main` harness.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
 use cpu_models::CpuId;
 use spectrebench::experiments::vm;
+use spectrebench::Harness;
 
-fn bench_vm(c: &mut Criterion) {
-    eprintln!(
-        "== VM workloads (subset) ==\n{}",
-        vm::render(&vm::run(&[CpuId::SkylakeClient, CpuId::CascadeLake]))
-    );
+fn main() {
+    let h = Harness::new();
+    match vm::run(&h, &[CpuId::SkylakeClient, CpuId::CascadeLake]) {
+        Ok(rows) => eprintln!("== VM workloads (subset) ==\n{}", vm::render(&rows)),
+        Err(e) => eprintln!("== VM workloads == FAILED: {e}"),
+    }
 
-    let mut g = c.benchmark_group("vm");
-    g.sample_size(10);
-    g.bench_function("lfs_smallfile_in_guest", |b| {
-        b.iter(|| vm::run(&[CpuId::CascadeLake]))
-    });
-    g.finish();
+    let iters = 10;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let _ = vm::run(&h, &[CpuId::CascadeLake]);
+    }
+    let per = t0.elapsed() / iters;
+    println!("vm/lfs_smallfile_in_guest {per:>12.2?}/iter ({iters} iters)");
 }
-
-criterion_group!(benches, bench_vm);
-criterion_main!(benches);

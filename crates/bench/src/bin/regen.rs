@@ -1,35 +1,134 @@
 //! Regenerates the paper's tables and figures from the simulation.
 //!
 //! ```text
-//! cargo run --release -p bench --bin regen            # everything
-//! cargo run --release -p bench --bin regen -- figure2 # one artifact
-//! cargo run --release -p bench --bin regen -- --quick # fast variants
+//! cargo run --release -p bench --bin regen                  # everything
+//! cargo run --release -p bench --bin regen -- figure2       # one artifact
+//! cargo run --release -p bench --bin regen -- --quick       # fast variants
+//! cargo run --release -p bench --bin regen -- --keep-going  # don't stop on failure
+//! cargo run --release -p bench --bin regen -- --resume run.jsonl
+//! cargo run --release -p bench --bin regen -- --inject 'cell=Broadwell:kind=sim:times=2'
 //! ```
+//!
+//! Exit codes: 0 clean; 1 at least one artifact failed or was degraded;
+//! 2 bad usage (unknown artifact or malformed flag).
 
-use bench::Artifact;
+use std::path::PathBuf;
+use std::process::ExitCode;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let names: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
-    if args.iter().any(|a| a == "--help") {
-        eprintln!("usage: regen [--quick] [artifact ...]");
-        eprintln!("artifacts:");
-        for a in Artifact::ALL {
-            eprintln!("  {:14} {}", a.name(), a.caption());
-        }
-        return;
+use bench::{Artifact, RegenOptions, run_regen};
+use spectrebench::FaultPlan;
+
+fn usage(to_stdout: bool) {
+    let mut text = String::from(
+        "usage: regen [options] [artifact ...]\n\
+         \n\
+         options:\n\
+         \x20 --quick           fast workload variants\n\
+         \x20 --keep-going      continue past failed artifacts\n\
+         \x20 --retries <n>     attempts per measurement cell (default 3)\n\
+         \x20 --resume <log>    reuse cells journaled in <log>; append new ones\n\
+         \x20 --inject <spec>   deterministic fault plan, e.g.\n\
+         \x20                   'cell=<substr>:kind=<sim|timeout|corrupt>:times=<n|forever>'\n\
+         \x20                   or 'seed=<n>:prob=<p>'\n\
+         \n\
+         artifacts:\n",
+    );
+    for a in Artifact::ALL {
+        text.push_str(&format!("  {:14} {}\n", a.name(), a.caption()));
     }
-    let selected: Vec<Artifact> = if names.is_empty() {
-        Artifact::ALL.to_vec()
+    if to_stdout {
+        print!("{text}");
     } else {
-        names
-            .iter()
-            .map(|n| Artifact::parse(n).unwrap_or_else(|| panic!("unknown artifact: {n}")))
-            .collect()
+        eprint!("{text}");
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<RegenOptions, String> {
+    let mut opts = RegenOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let mut value = |flag: &str| -> Result<String, String> {
+            i += 1;
+            args.get(i).cloned().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--keep-going" => opts.keep_going = true,
+            "--retries" => {
+                let v = value("--retries")?;
+                opts.retries =
+                    Some(v.parse().map_err(|_| format!("bad --retries value: {v}"))?);
+            }
+            "--resume" => opts.resume = Some(PathBuf::from(value("--resume")?)),
+            "--inject" => {
+                let spec = value("--inject")?;
+                opts.inject =
+                    Some(FaultPlan::parse_spec(&spec).map_err(|e| format!("bad --inject: {e}"))?);
+            }
+            name if !name.starts_with("--") => match Artifact::parse(name) {
+                Some(a) => opts.artifacts.push(a),
+                None => return Err(format!("unknown artifact: {name}")),
+            },
+            other => return Err(format!("unknown flag: {other}")),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage(true);
+        return ExitCode::SUCCESS;
+    }
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("regen: {msg}");
+            eprintln!();
+            usage(false);
+            return ExitCode::from(2);
+        }
     };
-    for a in selected {
-        println!("== {} ==", a.caption());
-        println!("{}", a.regenerate(quick));
+
+    let report = match run_regen(&opts) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("regen: cannot open resume journal: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for r in &report.results {
+        match &r.outcome {
+            Ok(out) => {
+                println!("== {} ==", r.artifact.caption());
+                println!("{}", out.text);
+            }
+            Err(_) => {
+                println!("== {} == FAILED", r.artifact.caption());
+                println!();
+            }
+        }
+    }
+
+    let s = &report.stats;
+    eprintln!(
+        "regen: {} cells run, {} from journal, {} retries, {} faults injected, {} cells failed",
+        s.cells_run, s.cells_from_journal, s.retries, s.faults_injected, s.cells_failed
+    );
+    let failures = report.failures();
+    for (a, e) in &failures {
+        eprintln!("regen: {} FAILED: {e}", a.name());
+    }
+    for a in report.degraded() {
+        eprintln!("regen: {} is DEGRADED (bridged over failed cells)", a.name());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }

@@ -1,12 +1,19 @@
-//! # bench — regeneration harness and Criterion benchmarks
+//! # bench — regeneration harness and timing benchmarks
 //!
 //! The `regen` binary reprints every table and figure of the paper from
 //! the simulation (see `cargo run -p bench --bin regen -- --help`); the
-//! Criterion benches under `benches/` time the harness itself, one group
-//! per paper artifact.
+//! plain-`main` benches under `benches/` time the harness itself, one
+//! group per paper artifact.
+//!
+//! The regeneration sweep itself is a library ([`run_regen`]) so the
+//! integration tests can drive `--keep-going`, fault injection, and
+//! `--resume` without spawning processes.
+
+use std::path::PathBuf;
 
 use cpu_models::CpuId;
 use spectrebench::experiments as exp;
+use spectrebench::{ExperimentError, FaultPlan, Harness, HarnessStats, Journal, RetryPolicy};
 
 /// Every regenerable artifact.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +52,22 @@ pub enum Artifact {
     EbpfBoundary,
     /// §7 what-ifs + design ablations (beyond the paper's artifacts).
     Discussion,
+}
+
+/// One regenerated artifact: its text plus whether any slice had to be
+/// bridged over a permanently failed lattice cell.
+#[derive(Debug, Clone)]
+pub struct ArtifactOutput {
+    /// The plain-text rendering.
+    pub text: String,
+    /// Whether the artifact is partial (degraded attribution slices).
+    pub degraded: bool,
+}
+
+impl ArtifactOutput {
+    fn clean(text: String) -> ArtifactOutput {
+        ArtifactOutput { text, degraded: false }
+    }
 }
 
 impl Artifact {
@@ -124,43 +147,65 @@ impl Artifact {
         }
     }
 
-    /// Regenerates the artifact and returns its text rendering.
+    /// Regenerates the artifact through `harness` (retry, watchdog,
+    /// fault injection, journaling) and returns its text rendering.
     ///
     /// `quick` trades workload size for speed where the driver supports
     /// it (used by tests; the full run is what EXPERIMENTS.md records).
-    pub fn regenerate(self, quick: bool) -> String {
-        match self {
-            Artifact::Table1 => exp::table1::render(&exp::table1::run()),
-            Artifact::Table2 => exp::table2::render(),
-            Artifact::Figure2 => exp::figure2::render(&exp::figure2::run(&CpuId::ALL, quick)),
-            Artifact::Figure3 => exp::figure3::render(&exp::figure3::run(&CpuId::ALL, quick)),
-            Artifact::Table3 => exp::tables3to8::render_table3(),
-            Artifact::Table4 => exp::tables3to8::render_table4(),
-            Artifact::Table5 => exp::tables3to8::render_table5(),
-            Artifact::Table6 => exp::tables3to8::render_table6(),
-            Artifact::Table7 => exp::tables3to8::render_table7(),
-            Artifact::Table8 => exp::tables3to8::render_table8(),
-            Artifact::Figure5 => exp::figure5::render(&exp::figure5::run(&CpuId::ALL)),
-            Artifact::Table9 => exp::tables9and10::render(&exp::tables9and10::run(false)),
-            Artifact::Table10 => exp::tables9and10::render(&exp::tables9and10::run(true)),
+    pub fn regenerate(
+        self,
+        quick: bool,
+        harness: &Harness,
+    ) -> Result<ArtifactOutput, ExperimentError> {
+        let out = match self {
+            Artifact::Table1 => {
+                ArtifactOutput::clean(exp::table1::render(&exp::table1::run(harness)?))
+            }
+            Artifact::Table2 => ArtifactOutput::clean(exp::table2::render()),
+            Artifact::Figure2 => {
+                let fig = exp::figure2::run(harness, &CpuId::ALL, quick)?;
+                ArtifactOutput {
+                    text: exp::figure2::render(&fig),
+                    degraded: !fig.failures().is_empty(),
+                }
+            }
+            Artifact::Figure3 => ArtifactOutput::clean(exp::figure3::render(
+                &exp::figure3::run(harness, &CpuId::ALL, quick)?,
+            )),
+            Artifact::Table3 => ArtifactOutput::clean(exp::tables3to8::render_table3(harness)?),
+            Artifact::Table4 => ArtifactOutput::clean(exp::tables3to8::render_table4(harness)?),
+            Artifact::Table5 => ArtifactOutput::clean(exp::tables3to8::render_table5(harness)?),
+            Artifact::Table6 => ArtifactOutput::clean(exp::tables3to8::render_table6(harness)?),
+            Artifact::Table7 => ArtifactOutput::clean(exp::tables3to8::render_table7()),
+            Artifact::Table8 => ArtifactOutput::clean(exp::tables3to8::render_table8(harness)?),
+            Artifact::Figure5 => ArtifactOutput::clean(exp::figure5::render(
+                &exp::figure5::run(harness, &CpuId::ALL)?,
+            )),
+            Artifact::Table9 => ArtifactOutput::clean(exp::tables9and10::render(
+                &exp::tables9and10::run(harness, false)?,
+            )),
+            Artifact::Table10 => ArtifactOutput::clean(exp::tables9and10::render(
+                &exp::tables9and10::run(harness, true)?,
+            )),
             Artifact::VmWorkloads => {
                 let cpus: &[CpuId] = if quick {
                     &[CpuId::SkylakeClient, CpuId::CascadeLake]
                 } else {
                     &CpuId::ALL
                 };
-                exp::vm::render(&exp::vm::run(cpus))
+                ArtifactOutput::clean(exp::vm::render(&exp::vm::run(harness, cpus)?))
             }
             Artifact::EibrsBimodal => {
                 let mut s = String::new();
                 for id in [CpuId::CascadeLake, CpuId::IceLakeClient, CpuId::IceLakeServer] {
                     s.push_str(&format!("{}:\n", id.microarch()));
                     s.push_str(&exp::eibrs_bimodal::render(&exp::eibrs_bimodal::run(
+                        harness,
                         &id.model(),
                         128,
-                    )));
+                    )?));
                 }
-                s
+                ArtifactOutput::clean(s)
             }
             Artifact::EbpfBoundary => {
                 let cpus: &[CpuId] = if quick {
@@ -168,7 +213,7 @@ impl Artifact {
                 } else {
                     &CpuId::ALL
                 };
-                exp::ebpf::render(&exp::ebpf::run(cpus))
+                ArtifactOutput::clean(exp::ebpf::render(&exp::ebpf::run(harness, cpus)?))
             }
             Artifact::Discussion => {
                 let cpus: &[CpuId] = if quick {
@@ -178,25 +223,119 @@ impl Artifact {
                 };
                 let mut s = String::new();
                 s.push_str("Spectre V2 strategy (LEBench overhead, V2 isolated):\n");
-                s.push_str(&exp::ablations::render_v2_strategies(cpus));
+                s.push_str(&exp::ablations::render_v2_strategies(harness, cpus)?);
                 s.push_str("\nSection 7 what-ifs (suite-score gains):\n");
-                s.push_str(&exp::ablations::render_discussion(cpus));
-                let a = exp::ablations::pcid_ablation(&CpuId::Broadwell.model());
+                s.push_str(&exp::ablations::render_discussion(harness, cpus)?);
+                let a = exp::ablations::pcid_ablation(harness, &CpuId::Broadwell.model())?;
                 s.push_str(&format!(
                     "\nPCID ablation on Broadwell: PTI overhead {:.1}% with PCID, {:.1}% without\n",
                     a.with_pcid * 100.0,
                     a.without_pcid * 100.0
                 ));
                 s.push_str("\nMDS: verw vs disabling SMT (Table 1's '!'):\n");
-                s.push_str(&exp::smt::render(&exp::smt::run(&[
-                    CpuId::Broadwell,
-                    CpuId::SkylakeClient,
-                    CpuId::CascadeLake,
-                ])));
-                s
+                s.push_str(&exp::smt::render(&exp::smt::run(
+                    harness,
+                    &[CpuId::Broadwell, CpuId::SkylakeClient, CpuId::CascadeLake],
+                )?));
+                ArtifactOutput::clean(s)
             }
+        };
+        Ok(out)
+    }
+}
+
+/// Options for one regeneration sweep.
+#[derive(Debug, Clone, Default)]
+pub struct RegenOptions {
+    /// Artifacts to regenerate, in order. Empty means all of them.
+    pub artifacts: Vec<Artifact>,
+    /// Use the quick workload variants.
+    pub quick: bool,
+    /// Keep regenerating later artifacts after one fails.
+    pub keep_going: bool,
+    /// Override the retry limit (attempts per cell).
+    pub retries: Option<u32>,
+    /// Deterministic fault injection plan.
+    pub inject: Option<FaultPlan>,
+    /// Journal path: completed cells are recorded here, and cells
+    /// already present are reused instead of re-measured.
+    pub resume: Option<PathBuf>,
+}
+
+/// The outcome of one artifact within a sweep.
+#[derive(Debug)]
+pub struct ArtifactResult {
+    /// Which artifact.
+    pub artifact: Artifact,
+    /// The rendering, or why it could not be produced.
+    pub outcome: Result<ArtifactOutput, ExperimentError>,
+}
+
+/// The outcome of a regeneration sweep.
+#[derive(Debug)]
+pub struct RegenReport {
+    /// Per-artifact outcomes, in the order attempted. With
+    /// `keep_going` off this stops after the first failure.
+    pub results: Vec<ArtifactResult>,
+    /// Cell-level counters from the harness (runs, journal hits,
+    /// retries, injected faults, failed cells).
+    pub stats: HarnessStats,
+}
+
+impl RegenReport {
+    /// The artifacts that could not be regenerated at all.
+    pub fn failures(&self) -> Vec<(Artifact, &ExperimentError)> {
+        self.results
+            .iter()
+            .filter_map(|r| r.outcome.as_ref().err().map(|e| (r.artifact, e)))
+            .collect()
+    }
+
+    /// The artifacts that rendered but contain degraded slices.
+    pub fn degraded(&self) -> Vec<Artifact> {
+        self.results
+            .iter()
+            .filter_map(|r| match &r.outcome {
+                Ok(out) if out.degraded => Some(r.artifact),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Whether the sweep was fully clean (no failures, no degradation).
+    pub fn is_clean(&self) -> bool {
+        self.failures().is_empty() && self.degraded().is_empty()
+    }
+}
+
+/// Runs a regeneration sweep. The only I/O error possible is opening
+/// the resume journal; everything else is reported per-artifact.
+pub fn run_regen(opts: &RegenOptions) -> std::io::Result<RegenReport> {
+    let mut harness = Harness::new();
+    if let Some(plan) = &opts.inject {
+        harness = harness.with_plan(plan.clone());
+    }
+    if let Some(n) = opts.retries {
+        let mut retry = RetryPolicy::standard();
+        retry.max_attempts = n.max(1);
+        harness = harness.with_retry(retry);
+    }
+    if let Some(path) = &opts.resume {
+        harness = harness.with_journal(Journal::open(path)?);
+    }
+
+    let selected: &[Artifact] =
+        if opts.artifacts.is_empty() { &Artifact::ALL } else { &opts.artifacts };
+    let mut results = Vec::new();
+    for a in selected {
+        let outcome = a.regenerate(opts.quick, &harness);
+        let failed = outcome.is_err();
+        results.push(ArtifactResult { artifact: *a, outcome });
+        if failed && !opts.keep_going {
+            break;
         }
     }
+    Ok(RegenReport { results, stats: harness.stats() })
 }
 
 #[cfg(test)]
@@ -213,9 +352,35 @@ mod tests {
 
     #[test]
     fn cheap_artifacts_regenerate() {
+        let h = Harness::new();
         for a in [Artifact::Table1, Artifact::Table2, Artifact::Table9, Artifact::Table10] {
-            let s = a.regenerate(true);
-            assert!(s.lines().count() >= 8, "{}:\n{s}", a.name());
+            let s = a.regenerate(true, &h).unwrap();
+            assert!(!s.degraded);
+            assert!(s.text.lines().count() >= 8, "{}:\n{}", a.name(), s.text);
         }
+    }
+
+    #[test]
+    fn sweep_without_keep_going_stops_at_first_failure() {
+        use spectrebench::FaultKind;
+        // Kill a table1 column permanently: table1 fails, table2 is
+        // never attempted without --keep-going...
+        let plan =
+            FaultPlan::new().fail_cell("table1/Broadwell", FaultKind::SimFault, None);
+        let opts = RegenOptions {
+            artifacts: vec![Artifact::Table1, Artifact::Table2],
+            quick: true,
+            inject: Some(plan.clone()),
+            ..RegenOptions::default()
+        };
+        let report = run_regen(&opts).unwrap();
+        assert_eq!(report.results.len(), 1);
+        assert_eq!(report.failures().len(), 1);
+        // ...and with it, the sweep carries on.
+        let report = run_regen(&RegenOptions { keep_going: true, ..opts }).unwrap();
+        assert_eq!(report.results.len(), 2);
+        assert_eq!(report.failures().len(), 1);
+        assert!(report.results[1].outcome.is_ok());
+        assert!(report.stats.cells_failed >= 1);
     }
 }

@@ -1,0 +1,62 @@
+//! Exit-code contract of the `regen` binary: usage errors are exit 2
+//! (distinct from exit 1, which means a sweep ran but was not clean).
+
+use std::process::Command;
+
+fn regen() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_regen"))
+}
+
+#[test]
+fn unknown_artifact_lists_valid_names_and_exits_2() {
+    let out = regen().arg("table42").output().expect("spawn regen");
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown artifact: table42"), "{stderr}");
+    // The error must enumerate what *is* valid.
+    for name in ["figure2", "table1", "table9"] {
+        assert!(stderr.contains(name), "artifact list names {name}: {stderr}");
+    }
+}
+
+#[test]
+fn unknown_flag_exits_2() {
+    let out = regen().arg("--frobnicate").output().expect("spawn regen");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn help_exits_0() {
+    let out = regen().arg("--help").output().expect("spawn regen");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for flag in ["--quick", "--keep-going", "--retries", "--resume", "--inject"] {
+        assert!(stdout.contains(flag), "help documents {flag}");
+    }
+}
+
+#[test]
+fn cheap_artifact_regenerates_cleanly() {
+    let out = regen().args(["--quick", "table2"]).output().expect("spawn regen");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("Table 2"));
+}
+
+#[test]
+fn injected_permanent_fault_exits_nonzero_with_keep_going() {
+    let out = regen()
+        .args([
+            "--quick",
+            "--keep-going",
+            "--retries",
+            "2",
+            "--inject",
+            "cell=Broadwell/getpid/[nopti]:kind=sim:times=forever",
+            "figure2",
+        ])
+        .output()
+        .expect("spawn regen");
+    assert_eq!(out.status.code(), Some(1), "degraded sweep exits 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("DEGRADED"), "{stderr}");
+}

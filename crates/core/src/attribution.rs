@@ -7,9 +7,17 @@
 //! the marginal cost of one mitigation: the difference between adjacent
 //! configurations in the disabling order, normalized to the
 //! everything-off baseline.
+//!
+//! Attribution is fault-tolerant: each configuration is one harness cell.
+//! If a *middle* cell of the lattice fails permanently, the slices that
+//! depended on it are bridged between the nearest measured neighbours and
+//! marked [`Slice::degraded`], so a figure still renders with an honest
+//! caveat instead of aborting. Only the two anchor cells (default config
+//! and `mitigations=off` baseline) are load-bearing enough to abort on.
 
 use sim_kernel::BootParams;
 
+use crate::harness::{ExperimentError, Harness, RunContext};
 use crate::stats::{measure_until, Measurement, NoiseModel, StopPolicy};
 
 /// One attribution dimension: a mitigation and the boot parameter that
@@ -42,6 +50,10 @@ pub struct Slice {
     pub overhead: f64,
     /// 95% CI half-width of the overhead estimate.
     pub ci95: f64,
+    /// True if a lattice cell this slice depends on failed permanently
+    /// and the overhead shown is bridged from the nearest measured
+    /// neighbours rather than measured directly.
+    pub degraded: bool,
 }
 
 /// A full attribution for one CPU and workload.
@@ -53,25 +65,23 @@ pub struct Attribution {
     /// slice for everything not individually toggled.
     pub slices: Vec<Slice>,
     /// Raw per-configuration measurements (first = default config,
-    /// last = mitigations=off).
-    pub configs: Vec<Measurement>,
+    /// last = mitigations=off); `None` where the cell failed permanently.
+    pub configs: Vec<Option<Measurement>>,
+    /// Errors from cells that failed permanently (empty on a clean run).
+    pub failures: Vec<ExperimentError>,
 }
 
-/// Runs the successive-disable attribution.
-///
-/// `workload` maps a boot command line to a deterministic score in
-/// simulated cycles (lower is faster); the simulator is run once per
-/// configuration and the paper's adaptive-CI methodology is then applied
-/// over the (synthetic, seeded) run-to-run noise — see DESIGN.md's noise
-/// note.
-pub fn attribute(
-    toggles: &[Toggle],
-    noise_seed: u64,
-    policy: StopPolicy,
-    mut workload: impl FnMut(&BootParams) -> f64,
-) -> Attribution {
-    // Build cumulative command lines: default, then disabling one more
-    // mitigation each step, then the master switch.
+impl Attribution {
+    /// True if any slice had to be bridged over a failed cell.
+    pub fn is_degraded(&self) -> bool {
+        self.slices.iter().any(|s| s.degraded)
+    }
+}
+
+/// The cumulative successive-disable command lines for `toggles`:
+/// default, then disabling one more mitigation each step, then the
+/// master switch.
+pub fn successive_disable_cmdlines(toggles: &[Toggle]) -> Vec<String> {
     let mut cmdlines: Vec<String> = vec![String::new()];
     let mut acc = String::new();
     for t in toggles {
@@ -82,70 +92,186 @@ pub fn attribute(
         cmdlines.push(acc.clone());
     }
     cmdlines.push(format!("{acc} mitigations=off"));
+    cmdlines
+}
 
-    let mut measurements = Vec::with_capacity(cmdlines.len());
-    for (i, cmd) in cmdlines.iter().enumerate() {
-        let base = workload(&BootParams::parse(cmd));
-        let mut noise = NoiseModel::paper_default(noise_seed.wrapping_add(i as u64 * 7919));
-        let m = measure_until(policy, || noise.apply(base));
-        measurements.push(m);
-    }
-
-    let off = measurements.last().expect("at least two configs").mean;
-    let total = measurements[0].mean / off - 1.0;
-    let mut slices = Vec::new();
-    for (i, t) in toggles.iter().enumerate() {
-        let hi = &measurements[i];
-        let lo = &measurements[i + 1];
-        slices.push(Slice {
-            name: t.name,
-            overhead: (hi.mean - lo.mean) / off,
-            ci95: (hi.ci95 + lo.ci95) / off,
+/// Runs the successive-disable attribution under `harness`.
+///
+/// `ctx` names the experiment/CPU/workload; each configuration becomes
+/// one harness cell keyed by its command line (`"default"` for the empty
+/// one). `workload` maps a boot command line to a deterministic score in
+/// simulated cycles (lower is faster); the simulator is run once per
+/// configuration and the paper's adaptive-CI methodology is then applied
+/// over the (synthetic, seeded) run-to-run noise — see DESIGN.md's noise
+/// note. Retried attempts fold the attempt index into the noise seed, so
+/// a retry draws a fresh noise stream.
+///
+/// # Errors
+///
+/// [`ExperimentError::InsufficientConfigs`] for an empty toggle list;
+/// the failure of an anchor cell (default config or `mitigations=off`)
+/// is propagated because nothing can be normalized without them. A
+/// failed middle cell does *not* error — it degrades the affected
+/// slices (see [`Slice::degraded`]) and is recorded in
+/// [`Attribution::failures`].
+pub fn attribute(
+    harness: &Harness,
+    ctx: &RunContext,
+    toggles: &[Toggle],
+    noise_seed: u64,
+    policy: StopPolicy,
+    mut workload: impl FnMut(&BootParams) -> f64,
+) -> Result<Attribution, ExperimentError> {
+    if toggles.is_empty() {
+        return Err(ExperimentError::InsufficientConfigs {
+            ctx: ctx.clone(),
+            needed: 2,
+            got: 1,
         });
     }
-    // Everything not individually toggled.
-    let n = toggles.len();
-    slices.push(Slice {
-        name: "other",
-        overhead: (measurements[n].mean - off) / off,
-        ci95: (measurements[n].ci95 + measurements[n + 1].ci95) / off,
-    });
+    let cmdlines = successive_disable_cmdlines(toggles);
 
-    Attribution { total, slices, configs: measurements }
+    let mut measurements: Vec<Option<Measurement>> = Vec::with_capacity(cmdlines.len());
+    let mut failures = Vec::new();
+    for (i, cmd) in cmdlines.iter().enumerate() {
+        let cell_ctx = RunContext {
+            config: if cmd.is_empty() { "default".to_string() } else { cmd.clone() },
+            ..ctx.clone()
+        };
+        let result = harness.run_cell(&cell_ctx, |attempt| {
+            let base = workload(&BootParams::parse(cmd));
+            let mut noise = NoiseModel::paper_default(
+                noise_seed
+                    .wrapping_add(i as u64 * 7919)
+                    .wrapping_add(attempt as u64 * 104_729),
+            );
+            measure_until(policy, || noise.apply(base)).map_err(|e| {
+                ExperimentError::DegenerateStatistics { ctx: cell_ctx.clone(), detail: e.to_string() }
+            })
+        });
+        match result {
+            Ok(m) => measurements.push(Some(m)),
+            Err(e) => {
+                // Anchors are not bridgeable: without the default config
+                // there is no total, without the baseline no denominator.
+                if i == 0 || i == cmdlines.len() - 1 {
+                    return Err(e);
+                }
+                failures.push(e);
+                measurements.push(None);
+            }
+        }
+    }
+
+    let last = measurements.len() - 1;
+    // Both anchors were just checked present above.
+    let (off_m, default_m) = match (measurements[last], measurements[0]) {
+        (Some(off), Some(d)) => (off, d),
+        _ => {
+            return Err(ExperimentError::InsufficientConfigs {
+                ctx: ctx.clone(),
+                needed: 2,
+                got: measurements.iter().flatten().count(),
+            })
+        }
+    };
+    let off = off_m.mean;
+    let total = default_m.mean / off - 1.0;
+
+    // Slice i sits between measurements i and i+1. When either side is
+    // missing, bridge between the nearest measured neighbours and split
+    // the span's overhead evenly across the slices it covers.
+    let nearest_prev = |i: usize| (0..=i).rev().find(|&j| measurements[j].is_some());
+    let nearest_next = |i: usize| (i..measurements.len()).find(|&j| measurements[j].is_some());
+    let mut slices = Vec::new();
+    for i in 0..=toggles.len() {
+        let name = if i < toggles.len() { toggles[i].name } else { "other" };
+        let (lo_idx, hi_idx) = if i < toggles.len() {
+            (i, i + 1)
+        } else {
+            (toggles.len(), last)
+        };
+        match (measurements[lo_idx], measurements[hi_idx]) {
+            (Some(hi), Some(lo)) => slices.push(Slice {
+                name,
+                overhead: (hi.mean - lo.mean) / off,
+                ci95: (hi.ci95 + lo.ci95) / off,
+                degraded: false,
+            }),
+            _ => {
+                let (prev, next) = match (nearest_prev(lo_idx), nearest_next(hi_idx)) {
+                    (Some(p), Some(n)) => (p, n),
+                    // Unreachable while the anchors are present, but keep
+                    // the arithmetic total rather than indexing blindly.
+                    _ => (0, last),
+                };
+                let (pm, nm) = match (measurements[prev], measurements[next]) {
+                    (Some(p), Some(n)) => (p, n),
+                    _ => (default_m, off_m),
+                };
+                let span = (next - prev).max(1) as f64;
+                slices.push(Slice {
+                    name,
+                    overhead: (pm.mean - nm.mean) / off / span,
+                    ci95: (pm.ci95 + nm.ci95) / off,
+                    degraded: true,
+                });
+            }
+        }
+    }
+
+    Ok(Attribution { total, slices, configs: measurements, failures })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faultplan::{FaultKind, FaultPlan};
+    use crate::harness::RetryPolicy;
     use cpu_models::broadwell;
     use workloads::lebench::{run_op, LeBenchOp};
+
+    fn test_harness() -> Harness {
+        Harness::new().with_retry(RetryPolicy::immediate(3))
+    }
+
+    fn test_ctx() -> RunContext {
+        RunContext::new("attribution-test", "Broadwell", "synthetic", "")
+    }
+
+    fn synthetic_workload(p: &BootParams) -> f64 {
+        let mut cost = 1000.0;
+        if !p.nopti {
+            cost += 100.0;
+        }
+        if !p.mds_off {
+            cost += 50.0;
+        }
+        if !p.nospectre_v2 {
+            cost += 20.0;
+        }
+        if p.mitigations_off {
+            cost = 1000.0;
+        }
+        cost
+    }
 
     #[test]
     fn cumulative_cmdlines_cover_all_toggles() {
         // Smoke-test the attribution plumbing with a cheap synthetic
         // workload whose cost depends on the parsed params.
         let att = attribute(
+            &test_harness(),
+            &test_ctx(),
             &OS_TOGGLES,
             1,
             StopPolicy { min_runs: 3, max_runs: 6, target_relative_ci: 0.05 },
-            |p| {
-                let mut cost = 1000.0;
-                if !p.nopti {
-                    cost += 100.0;
-                }
-                if !p.mds_off {
-                    cost += 50.0;
-                }
-                if !p.nospectre_v2 {
-                    cost += 20.0;
-                }
-                if p.mitigations_off {
-                    cost = 1000.0;
-                }
-                cost
-            },
-        );
+            synthetic_workload,
+        )
+        .unwrap();
         assert_eq!(att.slices.len(), OS_TOGGLES.len() + 1);
+        assert!(!att.is_degraded());
+        assert!(att.failures.is_empty());
         assert!((att.total - 0.17).abs() < 0.02, "total {}", att.total);
         let pti = &att.slices[0];
         assert!((pti.overhead - 0.10).abs() < 0.02);
@@ -154,15 +280,118 @@ mod tests {
     }
 
     #[test]
+    fn empty_toggles_is_insufficient() {
+        let err = attribute(
+            &test_harness(),
+            &test_ctx(),
+            &[],
+            1,
+            StopPolicy::default(),
+            synthetic_workload,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExperimentError::InsufficientConfigs { .. }));
+    }
+
+    #[test]
+    fn failed_middle_cell_degrades_adjacent_slices() {
+        // Permanently kill the [nopti] cell: the PTI and MDS slices must
+        // come back bridged (degraded), everything else clean, and the
+        // total must be unaffected (it only needs the anchors).
+        let plan = FaultPlan::new().fail_cell("[nopti]", FaultKind::SimFault, None);
+        let harness = test_harness().with_plan(plan);
+        let att = attribute(
+            &harness,
+            &test_ctx(),
+            &OS_TOGGLES,
+            1,
+            StopPolicy { min_runs: 3, max_runs: 6, target_relative_ci: 0.05 },
+            synthetic_workload,
+        )
+        .unwrap();
+        assert!(att.is_degraded());
+        assert_eq!(att.failures.len(), 1);
+        let degraded: Vec<&str> =
+            att.slices.iter().filter(|s| s.degraded).map(|s| s.name).collect();
+        assert_eq!(degraded, ["Page Table Isolation", "MDS buffer clearing"]);
+        // The bridged span covers PTI (100) + MDS (50): each bridged
+        // slice reports half the span.
+        let pti = &att.slices[0];
+        assert!((pti.overhead - 0.075).abs() < 0.02, "bridged PTI {}", pti.overhead);
+        assert!((att.total - 0.17).abs() < 0.02);
+        // Sum of slices still telescopes to the total.
+        let sum: f64 = att.slices.iter().map(|s| s.overhead).sum();
+        assert!((sum - att.total).abs() < 0.03, "sum {sum} vs total {}", att.total);
+    }
+
+    #[test]
+    fn failed_baseline_cell_aborts() {
+        let plan = FaultPlan::new().fail_cell("mitigations=off", FaultKind::Timeout, None);
+        let harness = test_harness().with_plan(plan);
+        let err = attribute(
+            &harness,
+            &test_ctx(),
+            &OS_TOGGLES,
+            1,
+            StopPolicy { min_runs: 3, max_runs: 6, target_relative_ci: 0.05 },
+            synthetic_workload,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExperimentError::CellFailed { .. }));
+    }
+
+    #[test]
+    fn transient_faults_recover_with_identical_values() {
+        // A fault plan that kills fewer runs than the retry budget must
+        // reproduce the fault-free numbers exactly apart from the noise
+        // reseed — and slice *ordering* must be identical.
+        let clean = attribute(
+            &test_harness(),
+            &test_ctx(),
+            &OS_TOGGLES,
+            1,
+            StopPolicy { min_runs: 3, max_runs: 6, target_relative_ci: 0.05 },
+            synthetic_workload,
+        )
+        .unwrap();
+        let plan = FaultPlan::new().fail_cell("[nopti]", FaultKind::Timeout, Some(2));
+        let harness = test_harness().with_plan(plan);
+        let faulted = attribute(
+            &harness,
+            &test_ctx(),
+            &OS_TOGGLES,
+            1,
+            StopPolicy { min_runs: 3, max_runs: 6, target_relative_ci: 0.05 },
+            synthetic_workload,
+        )
+        .unwrap();
+        assert!(!faulted.is_degraded());
+        assert_eq!(faulted.configs[1].unwrap().retries, 2);
+        let order = |a: &Attribution| {
+            let mut names: Vec<&str> = a.slices.iter().map(|s| s.name).collect();
+            names.sort_by(|x, y| {
+                let ox = a.slices.iter().find(|s| s.name == *x).map(|s| s.overhead);
+                let oy = a.slices.iter().find(|s| s.name == *y).map(|s| s.overhead);
+                oy.partial_cmp(&ox).unwrap()
+            });
+            names
+        };
+        assert_eq!(order(&clean), order(&faulted));
+    }
+
+    #[test]
     fn attribution_of_real_getpid_on_broadwell() {
         // PTI and MDS must dominate getpid overhead on Broadwell (§5.1,
         // §5.2); the sum of slices must equal the total.
         let att = attribute(
+            &test_harness(),
+            &test_ctx(),
             &OS_TOGGLES,
             2,
             StopPolicy { min_runs: 3, max_runs: 6, target_relative_ci: 0.05 },
             |p| run_op(&broadwell(), p, LeBenchOp::GetPid).cycles_per_op,
-        );
+        )
+        .unwrap();
         assert!(att.total > 0.5, "getpid overhead on Broadwell is large: {}", att.total);
         let sum: f64 = att.slices.iter().map(|s| s.overhead).sum();
         assert!(

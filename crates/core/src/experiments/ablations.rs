@@ -22,7 +22,33 @@ use sim_kernel::BootParams;
 use uarch::model::CpuModel;
 use workloads::lebench;
 
+use crate::harness::{ExperimentError, Harness, RunContext};
 use crate::report::{pct, TextTable};
+
+/// One LEBench geomean score as a retryable harness cell.
+fn lebench_cell(
+    harness: &Harness,
+    model: &CpuModel,
+    config: &str,
+    cmdline: &str,
+) -> Result<f64, ExperimentError> {
+    let ctx = RunContext::new("ablations", model.microarch, "lebench", config);
+    harness.run_attempts(&ctx, |_| {
+        Ok(lebench::geomean(&lebench::run_suite(model, &BootParams::parse(cmdline))))
+    })
+}
+
+/// One Octane suite score as a retryable harness cell.
+fn octane_cell(
+    harness: &Harness,
+    model: &CpuModel,
+    config: &str,
+    params: &BootParams,
+    mits: JsMitigations,
+) -> Result<f64, ExperimentError> {
+    let ctx = RunContext::new("ablations", model.microarch, "octane", config);
+    harness.run_attempts(&ctx, |_| Ok(octane::run_suite(model, params, mits).1))
+}
 
 /// One Spectre V2 strategy measurement.
 #[derive(Debug, Clone)]
@@ -38,37 +64,43 @@ pub struct V2Strategy {
 /// The "auto" entry is whatever Linux would pick for the part (Table 1);
 /// "ibrs" forces the legacy MSR-write-per-entry mitigation where the
 /// hardware supports it.
-pub fn spectre_v2_strategies(cpu: CpuId) -> Vec<V2Strategy> {
+pub fn spectre_v2_strategies(
+    harness: &Harness,
+    cpu: CpuId,
+) -> Result<Vec<V2Strategy>, ExperimentError> {
     let model = cpu.model();
-    let score = |cmdline: &str| {
-        lebench::geomean(&lebench::run_suite(&model, &BootParams::parse(cmdline)))
-    };
     // Isolate V2: disable the other big-ticket mitigations throughout.
     let base = "nopti mds=off nospectre_v1 l1tf=off";
-    let off = score(&format!("{base} nospectre_v2"));
+    let off = lebench_cell(harness, &model, "v2=off", &format!("{base} nospectre_v2"))?;
+    let auto = lebench_cell(harness, &model, "v2=auto", base)?;
     let mut out = vec![V2Strategy {
         name: "auto (Table 1 choice)",
-        overhead: score(base) / off - 1.0,
+        overhead: auto / off - 1.0,
     }];
     if model.spec.ibrs_supported {
+        let ibrs =
+            lebench_cell(harness, &model, "v2=ibrs", &format!("{base} spectre_v2=ibrs"))?;
         out.push(V2Strategy {
             name: "legacy IBRS (forced)",
-            overhead: score(&format!("{base} spectre_v2=ibrs")) / off - 1.0,
+            overhead: ibrs / off - 1.0,
         });
     }
-    out
+    Ok(out)
 }
 
 /// Renders the V2 strategy comparison for a CPU set.
-pub fn render_v2_strategies(cpus: &[CpuId]) -> String {
+pub fn render_v2_strategies(
+    harness: &Harness,
+    cpus: &[CpuId],
+) -> Result<String, ExperimentError> {
     let mut t = TextTable::new(&["CPU", "auto", "legacy IBRS"]);
     for cpu in cpus {
-        let rows = spectre_v2_strategies(*cpu);
+        let rows = spectre_v2_strategies(harness, *cpu)?;
         let auto = rows[0].overhead;
         let ibrs = rows.get(1).map(|r| pct(r.overhead)).unwrap_or_else(|| "N/A".into());
         t.row(&[cpu.microarch().to_string(), pct(auto), ibrs]);
     }
-    t.render()
+    Ok(t.render())
 }
 
 /// PTI cost with and without PCID on a Meltdown-vulnerable part (§5.1).
@@ -81,18 +113,21 @@ pub struct PcidAblation {
 }
 
 /// Runs the PCID ablation on the given (Meltdown-vulnerable) model.
-pub fn pcid_ablation(model: &CpuModel) -> PcidAblation {
+pub fn pcid_ablation(
+    harness: &Harness,
+    model: &CpuModel,
+) -> Result<PcidAblation, ExperimentError> {
     assert!(model.needs_pti(), "the ablation needs a PTI part");
-    let overhead = |m: &CpuModel| {
-        let on = lebench::geomean(&lebench::run_suite(m, &BootParams::default()));
-        let off = lebench::geomean(&lebench::run_suite(m, &BootParams::parse("nopti")));
-        on / off - 1.0
+    let overhead = |m: &CpuModel, tag: &str| -> Result<f64, ExperimentError> {
+        let on = lebench_cell(harness, m, &format!("pti {tag}"), "")?;
+        let off = lebench_cell(harness, m, &format!("nopti {tag}"), "nopti")?;
+        Ok(on / off - 1.0)
     };
-    let with_pcid = overhead(model);
+    let with_pcid = overhead(model, "pcid=on")?;
     let mut nopcid = model.clone();
     nopcid.spec.pcid = false;
-    let without_pcid = overhead(&nopcid);
-    PcidAblation { with_pcid, without_pcid }
+    let without_pcid = overhead(&nopcid, "pcid=off")?;
+    Ok(PcidAblation { with_pcid, without_pcid })
 }
 
 /// The Linux 5.16 change (§7): browser score recovered when seccomp no
@@ -113,15 +148,23 @@ impl Linux516 {
 }
 
 /// Measures the 5.16 policy change on one CPU.
-pub fn linux_516_ssbd(cpu: CpuId) -> Linux516 {
+pub fn linux_516_ssbd(harness: &Harness, cpu: CpuId) -> Result<Linux516, ExperimentError> {
     let model = cpu.model();
-    let (_, pre) = octane::run_suite(&model, &BootParams::default(), JsMitigations::full());
-    let (_, post) = octane::run_suite(
+    let pre = octane_cell(
+        harness,
         &model,
+        "ssbd=seccomp",
+        &BootParams::default(),
+        JsMitigations::full(),
+    )?;
+    let post = octane_cell(
+        harness,
+        &model,
+        "ssbd=prctl",
         &BootParams::parse("spec_store_bypass_disable=prctl"),
         JsMitigations::full(),
-    );
-    Linux516 { pre_516_score: pre, post_516_score: post }
+    )?;
+    Ok(Linux516 { pre_516_score: pre, post_516_score: post })
 }
 
 /// §7's hardware proposal, projected: if hardware recognized the JIT's
@@ -148,31 +191,34 @@ impl V1HwAssist {
 }
 
 /// Projects the hardware-assist ceiling on one CPU.
-pub fn v1_hardware_assist(cpu: CpuId) -> V1HwAssist {
+pub fn v1_hardware_assist(harness: &Harness, cpu: CpuId) -> Result<V1HwAssist, ExperimentError> {
     let model = cpu.model();
     let params = BootParams::default();
-    let (_, software) = octane::run_suite(&model, &params, JsMitigations::full());
-    let (_, ceiling) = octane::run_suite(
+    let software =
+        octane_cell(harness, &model, "js=full", &params, JsMitigations::full())?;
+    let ceiling = octane_cell(
+        harness,
         &model,
+        "js=no-masking",
         &params,
         JsMitigations { index_masking: false, object_guards: false, other_js: true },
-    );
-    V1HwAssist { software, hardware_ceiling: ceiling }
+    )?;
+    Ok(V1HwAssist { software, hardware_ceiling: ceiling })
 }
 
 /// Renders the §7 what-ifs for a CPU set.
-pub fn render_discussion(cpus: &[CpuId]) -> String {
+pub fn render_discussion(harness: &Harness, cpus: &[CpuId]) -> Result<String, ExperimentError> {
     let mut t = TextTable::new(&["CPU", "5.16 SSBD change", "V1 hw-assist ceiling"]);
     for cpu in cpus {
-        let l = linux_516_ssbd(*cpu);
-        let v = v1_hardware_assist(*cpu);
+        let l = linux_516_ssbd(harness, *cpu)?;
+        let v = v1_hardware_assist(harness, *cpu)?;
         t.row(&[
             cpu.microarch().to_string(),
             format!("+{}", pct(l.improvement())),
             format!("+{}", pct(v.potential_gain())),
         ]);
     }
-    t.render()
+    Ok(t.render())
 }
 
 #[cfg(test)]
@@ -184,7 +230,7 @@ mod tests {
         // §5.3: the per-entry MSR write made IBRS "unacceptably high";
         // retpolines won. On eIBRS parts the auto choice is already the
         // hardware one.
-        let rows = spectre_v2_strategies(CpuId::SkylakeClient);
+        let rows = spectre_v2_strategies(&Harness::new(), CpuId::SkylakeClient).unwrap();
         assert_eq!(rows.len(), 2);
         assert!(
             rows[1].overhead > rows[0].overhead + 0.01,
@@ -198,7 +244,7 @@ mod tests {
     fn pcid_keeps_pti_cheap() {
         // §5.1: without PCID, every PTI CR3 load flushes the TLB and the
         // cost grows; with PCID the TLB impact is marginal.
-        let a = pcid_ablation(&CpuId::Broadwell.model());
+        let a = pcid_ablation(&Harness::new(), &CpuId::Broadwell.model()).unwrap();
         assert!(
             a.without_pcid > a.with_pcid * 1.1,
             "no-PCID PTI ({:.1}%) must exceed PCID PTI ({:.1}%)",
@@ -209,7 +255,7 @@ mod tests {
 
     #[test]
     fn linux_516_recovers_browser_performance() {
-        let l = linux_516_ssbd(CpuId::IceLakeServer);
+        let l = linux_516_ssbd(&Harness::new(), CpuId::IceLakeServer).unwrap();
         assert!(
             l.improvement() > 0.05,
             "dropping seccomp-SSBD must help: {:.1}%",
@@ -219,7 +265,7 @@ mod tests {
 
     #[test]
     fn v1_hardware_assist_has_measurable_headroom() {
-        let v = v1_hardware_assist(CpuId::SkylakeClient);
+        let v = v1_hardware_assist(&Harness::new(), CpuId::SkylakeClient).unwrap();
         assert!(
             v.potential_gain() > 0.01,
             "the cmov+load pattern must have headroom: {:.2}%",

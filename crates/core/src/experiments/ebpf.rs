@@ -14,6 +14,7 @@ use sim_kernel::bpf::BpfInsn;
 use sim_kernel::{userlib, BootParams, Kernel};
 use uarch::isa::Reg;
 
+use crate::harness::{ExperimentError, Harness, RunContext};
 use crate::report::{pct, TextTable};
 
 /// Lookups per program run.
@@ -34,7 +35,9 @@ pub struct EbpfRow {
     pub total_overhead: f64,
 }
 
-fn run_workload(cpu: CpuId, cmdline: &str) -> f64 {
+fn run_workload(cpu: CpuId, cmdline: &str, budget: u64) -> Result<f64, ExperimentError> {
+    let config = if cmdline.is_empty() { "default" } else { cmdline };
+    let ctx = RunContext::new("ebpf", cpu.model().microarch, "map-reduce", config);
     let mut k = Kernel::boot(cpu.model(), &BootParams::parse(cmdline));
     let map = k.bpf_create_map(64);
     for i in 0..64 {
@@ -51,7 +54,10 @@ fn run_workload(cpu: CpuId, cmdline: &str) -> f64 {
         }
     }
     insns.push(BpfInsn::Exit);
-    let prog = k.bpf_load(&insns).expect("benign program verifies");
+    let prog = k.bpf_load(&insns).map_err(|e| ExperimentError::VerifierRejected {
+        ctx: ctx.clone(),
+        reason: e.to_string(),
+    })?;
 
     k.spawn(move |b| {
         let top = userlib::begin_loop(b, Reg::R7, RUNS);
@@ -62,23 +68,28 @@ fn run_workload(cpu: CpuId, cmdline: &str) -> f64 {
     });
     k.start();
     let c0 = k.cycles();
-    k.run(400_000_000).expect("workload completes");
-    (k.cycles() - c0) as f64 / RUNS as f64
+    k.run(budget).map_err(|e| ExperimentError::sim(&ctx, e))?;
+    Ok((k.cycles() - c0) as f64 / RUNS as f64)
 }
 
 /// Measures the boundary for the given CPUs.
-pub fn run(cpus: &[CpuId]) -> Vec<EbpfRow> {
+pub fn run(harness: &Harness, cpus: &[CpuId]) -> Result<Vec<EbpfRow>, ExperimentError> {
+    let budget = harness.watchdog.instruction_budget(400_000_000);
     cpus.iter()
         .map(|cpu| {
-            let mitigated = run_workload(*cpu, "");
-            let no_mask = run_workload(*cpu, "nospectre_v1");
-            let bare = run_workload(*cpu, "mitigations=off");
-            EbpfRow {
+            let cell = |config: &str, cmdline: &str| {
+                let ctx = RunContext::new("ebpf", cpu.model().microarch, "map-reduce", config);
+                harness.run_attempts(&ctx, |_| run_workload(*cpu, cmdline, budget))
+            };
+            let mitigated = cell("default", "")?;
+            let no_mask = cell("nospectre_v1", "nospectre_v1")?;
+            let bare = cell("mitigations=off", "mitigations=off")?;
+            Ok(EbpfRow {
                 cpu: *cpu,
                 cycles_mitigated: mitigated,
                 masking_overhead: mitigated / no_mask - 1.0,
                 total_overhead: mitigated / bare - 1.0,
-            }
+            })
         })
         .collect()
 }
@@ -108,7 +119,7 @@ mod tests {
 
     #[test]
     fn masking_costs_a_few_percent_and_entries_dominate_old_parts() {
-        let rows = run(&[CpuId::Broadwell, CpuId::IceLakeServer]);
+        let rows = run(&Harness::new(), &[CpuId::Broadwell, CpuId::IceLakeServer]).unwrap();
         for r in &rows {
             assert!(
                 r.masking_overhead > 0.005 && r.masking_overhead < 0.25,

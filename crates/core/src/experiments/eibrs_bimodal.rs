@@ -14,8 +14,10 @@ use uarch::model::CpuModel;
 use uarch::predictor::PrivMode;
 use uarch::ProgramBuilder;
 
+use crate::harness::{ExperimentError, Harness, RunContext};
+
 /// Latency histogram of kernel entries.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Bimodal {
     /// Sorted distinct (latency, count) pairs.
     pub modes: Vec<(u64, u64)>,
@@ -25,9 +27,7 @@ pub struct Bimodal {
     pub slow_extra: u64,
 }
 
-/// Measures `n` back-to-back syscall round trips on an eIBRS-style
-/// machine and returns the latency histogram.
-pub fn run(model: &CpuModel, n: usize) -> Bimodal {
+fn measure(model: &CpuModel, n: usize, ctx: &RunContext) -> Result<Bimodal, ExperimentError> {
     let mut m = Machine::new(model.clone());
     let mut pt = PageTable::new();
     pt.map_range(0x20_0000 - 0x4000, 0x200, 4, Pte::user(0));
@@ -39,7 +39,7 @@ pub fn run(model: &CpuModel, n: usize) -> Bimodal {
     if model.spec.eibrs {
         m.msrs
             .write(uarch::isa::msr_index::IA32_SPEC_CTRL, uarch::isa::spec_ctrl::IBRS)
-            .expect("IBRS accepted");
+            .map_err(|f| ExperimentError::fault(ctx, f, m.pc))?;
     }
 
     // Kernel stub: immediate sysret. User program: one syscall, halt.
@@ -57,7 +57,7 @@ pub fn run(model: &CpuModel, n: usize) -> Bimodal {
         m.mode = PrivMode::User;
         m.pc = 0x1000;
         let c0 = m.cycles();
-        m.run(&mut NoEnv, 100).expect("round trip");
+        m.run(&mut NoEnv, 100).map_err(|e| ExperimentError::sim(ctx, e))?;
         lat.push(m.cycles() - c0);
     }
 
@@ -72,7 +72,10 @@ pub fn run(model: &CpuModel, n: usize) -> Bimodal {
 
     let (slow_interval, slow_extra) = if modes.len() >= 2 {
         let fast = modes[0].0;
-        let slow = modes.last().unwrap().0;
+        let slow = match modes.last() {
+            Some((v, _)) => *v,
+            None => fast,
+        };
         let positions: Vec<usize> = lat
             .iter()
             .enumerate()
@@ -88,7 +91,15 @@ pub fn run(model: &CpuModel, n: usize) -> Bimodal {
     } else {
         (0, 0)
     };
-    Bimodal { modes, slow_interval, slow_extra }
+    Ok(Bimodal { modes, slow_interval, slow_extra })
+}
+
+/// Measures `n` back-to-back syscall round trips on an eIBRS-style
+/// machine and returns the latency histogram. One retryable harness
+/// cell per CPU.
+pub fn run(harness: &Harness, model: &CpuModel, n: usize) -> Result<Bimodal, ExperimentError> {
+    let ctx = RunContext::new("eibrs-bimodal", model.microarch, "syscall", "");
+    harness.run_attempts(&ctx, |_| measure(model, n, &ctx))
 }
 
 /// Renders the histogram.
@@ -116,7 +127,7 @@ mod tests {
     #[test]
     fn eibrs_parts_show_two_modes() {
         for model in [cascade_lake(), ice_lake_server()] {
-            let b = run(&model, 128);
+            let b = run(&Harness::new(), &model, 128).unwrap();
             assert!(b.modes.len() >= 2, "{}: expected bimodal", model.microarch);
             // ~210 extra cycles, every 8-20 entries (§6.2.2).
             assert_eq!(b.slow_extra, 210, "{}", model.microarch);
@@ -131,7 +142,7 @@ mod tests {
 
     #[test]
     fn non_eibrs_parts_are_unimodal() {
-        let b = run(&broadwell(), 128);
+        let b = run(&Harness::new(), &broadwell(), 128).unwrap();
         assert_eq!(b.modes.len(), 1, "pre-eIBRS parts take constant time");
         assert_eq!(b.slow_extra, 0);
     }

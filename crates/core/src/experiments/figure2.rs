@@ -6,6 +6,7 @@ use sim_kernel::BootParams;
 use workloads::lebench;
 
 use crate::attribution::{attribute, Attribution, OS_TOGGLES};
+use crate::harness::{ExperimentError, Harness, RunContext};
 use crate::report::{pct, TextTable};
 use crate::stats::StopPolicy;
 
@@ -16,27 +17,48 @@ pub struct Figure2 {
     pub bars: Vec<(CpuId, Attribution)>,
 }
 
+impl Figure2 {
+    /// Cell failures that degraded any bar (empty on a clean run).
+    pub fn failures(&self) -> Vec<&ExperimentError> {
+        self.bars.iter().flat_map(|(_, a)| a.failures.iter()).collect()
+    }
+}
+
 /// Runs the experiment for the given CPUs (pass [`CpuId::ALL`] for the
 /// full figure). `quick` restricts LEBench to a fast subset, for tests.
-pub fn run(cpus: &[CpuId], quick: bool) -> Figure2 {
+///
+/// A failed middle lattice cell degrades the affected slices of that
+/// CPU's bar (see [`crate::attribution::attribute`]); only anchor-cell
+/// failures abort the whole figure.
+pub fn run(harness: &Harness, cpus: &[CpuId], quick: bool) -> Result<Figure2, ExperimentError> {
     let policy = StopPolicy { min_runs: 5, max_runs: 12, target_relative_ci: 0.01 };
+    let workload_name = if quick { "getpid" } else { "lebench" };
     let mut bars = Vec::new();
     for (i, id) in cpus.iter().enumerate() {
         let model = id.model();
-        let att = attribute(&OS_TOGGLES, 0xF16_2 + i as u64, policy, |params: &BootParams| {
-            if quick {
-                lebench::run_op(&model, params, lebench::LeBenchOp::GetPid).cycles_per_op
-            } else {
-                lebench::geomean(&lebench::run_suite(&model, params))
-            }
-        });
+        let ctx = RunContext::new("figure2", id.microarch(), workload_name, "");
+        let att = attribute(
+            harness,
+            &ctx,
+            &OS_TOGGLES,
+            0xF162 + i as u64,
+            policy,
+            |params: &BootParams| {
+                if quick {
+                    lebench::run_op(&model, params, lebench::LeBenchOp::GetPid).cycles_per_op
+                } else {
+                    lebench::geomean(&lebench::run_suite(&model, params))
+                }
+            },
+        )?;
         bars.push((*id, att));
     }
-    Figure2 { bars }
+    Ok(Figure2 { bars })
 }
 
 /// Renders the figure as a table: total overhead plus per-mitigation
-/// slices, with 95% CIs (the paper's error bars).
+/// slices, with 95% CIs (the paper's error bars). Slices bridged over a
+/// failed cell are marked `†` with a footnote.
 pub fn render(f: &Figure2) -> String {
     let mut header = vec!["CPU".to_string(), "total".to_string()];
     if let Some((_, first)) = f.bars.first() {
@@ -46,27 +68,46 @@ pub fn render(f: &Figure2) -> String {
     }
     let hdr: Vec<&str> = header.iter().map(String::as_str).collect();
     let mut t = TextTable::new(&hdr);
+    let mut any_degraded = false;
     for (id, att) in &f.bars {
         let mut row = vec![id.microarch().to_string(), pct(att.total)];
         for s in &att.slices {
-            row.push(format!("{} ±{}", pct(s.overhead), pct(s.ci95)));
+            let marker = if s.degraded {
+                any_degraded = true;
+                "†"
+            } else {
+                ""
+            };
+            row.push(format!("{} ±{}{}", pct(s.overhead), pct(s.ci95), marker));
         }
         t.row(&row);
     }
-    t.render()
+    let mut out = t.render();
+    if any_degraded {
+        out.push_str("† degraded: bridged over a permanently failed lattice cell\n");
+    }
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faultplan::{FaultKind, FaultPlan};
+    use crate::harness::RetryPolicy;
+
+    fn test_harness() -> Harness {
+        Harness::new().with_retry(RetryPolicy::immediate(3))
+    }
 
     #[test]
     fn overhead_declines_across_intel_generations() {
         // The paper's headline: >30% on old Intel down to ~3% on new.
         let f = run(
+            &test_harness(),
             &[CpuId::Broadwell, CpuId::CascadeLake, CpuId::IceLakeServer],
             /* quick = */ true,
-        );
+        )
+        .unwrap();
         let totals: Vec<f64> = f.bars.iter().map(|(_, a)| a.total).collect();
         assert!(totals[0] > totals[1], "Broadwell > Cascade Lake");
         assert!(totals[1] > totals[2], "Cascade Lake > Ice Lake Server");
@@ -75,11 +116,44 @@ mod tests {
 
     #[test]
     fn pti_and_mds_dominate_on_broadwell() {
-        let f = run(&[CpuId::Broadwell], true);
+        let f = run(&test_harness(), &[CpuId::Broadwell], true).unwrap();
         let att = &f.bars[0].1;
         let find = |n: &str| att.slices.iter().find(|s| s.name.contains(n)).unwrap().overhead;
         assert!(find("Page Table") + find("MDS") > att.total * 0.6);
         let s = render(&f);
         assert!(s.contains("Broadwell"));
+        assert!(!s.contains('†'), "clean run renders without degradation markers");
+    }
+
+    #[test]
+    fn attribution_ordering_survives_transient_faults() {
+        // Satellite: a FaultPlan killing fewer runs than the retry limit
+        // must reproduce the same attribution ordering as a clean run.
+        let clean = run(&test_harness(), &[CpuId::Broadwell], true).unwrap();
+        let plan = FaultPlan::new().fail_cell("Broadwell/getpid/[nopti]", FaultKind::SimFault, Some(2));
+        let harness = test_harness().with_plan(plan);
+        let faulted = run(&harness, &[CpuId::Broadwell], true).unwrap();
+        assert!(harness.stats().faults_injected >= 2);
+        assert!(!faulted.bars[0].1.is_degraded());
+        let order = |f: &Figure2| {
+            let mut slices: Vec<(&str, f64)> =
+                f.bars[0].1.slices.iter().map(|s| (s.name, s.overhead)).collect();
+            slices.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            slices.into_iter().map(|(n, _)| n).collect::<Vec<_>>()
+        };
+        assert_eq!(order(&clean), order(&faulted));
+    }
+
+    #[test]
+    fn permanent_fault_degrades_only_the_affected_bar() {
+        let plan =
+            FaultPlan::new().fail_cell("Broadwell/getpid/[nopti]", FaultKind::Timeout, None);
+        let harness = test_harness().with_plan(plan);
+        let f = run(&harness, &[CpuId::Broadwell, CpuId::CascadeLake], true).unwrap();
+        assert!(f.bars[0].1.is_degraded(), "Broadwell bar degraded");
+        assert!(!f.bars[1].1.is_degraded(), "Cascade Lake bar untouched");
+        assert_eq!(f.failures().len(), 1);
+        let rendered = render(&f);
+        assert!(rendered.contains('†'));
     }
 }

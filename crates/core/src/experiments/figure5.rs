@@ -5,6 +5,7 @@ use cpu_models::CpuId;
 use sim_kernel::BootParams;
 use workloads::parsec::{run_bench, ParsecBench};
 
+use crate::harness::{ExperimentError, Harness, RunContext};
 use crate::report::{pct, TextTable};
 use crate::stats::{measure_until, NoiseModel, StopPolicy};
 
@@ -16,28 +17,37 @@ pub struct Figure5 {
 }
 
 /// Runs the experiment.
-pub fn run(cpus: &[CpuId]) -> Figure5 {
+pub fn run(harness: &Harness, cpus: &[CpuId]) -> Result<Figure5, ExperimentError> {
     let policy = StopPolicy { min_runs: 5, max_runs: 10, target_relative_ci: 0.01 };
     let mut rows = Vec::new();
     for (i, id) in cpus.iter().enumerate() {
         let model = id.model();
         let mut cols = [0.0; 3];
         for (j, bench) in ParsecBench::ALL.iter().enumerate() {
-            let off = run_bench(&model, &BootParams::default(), *bench).cycles as f64;
-            let on = run_bench(
-                &model,
-                &BootParams::parse("spec_store_bypass_disable=on"),
-                *bench,
-            )
-            .cycles as f64;
-            let mut noise = NoiseModel::paper_default(0xF16_5 + (i * 3 + j) as u64);
-            let m_on = measure_until(policy, || noise.apply(on));
-            let m_off = measure_until(policy, || noise.apply(off));
+            let seed = 0xF165 + (i * 3 + j) as u64;
+            let cell = |config: &str, params: &str, salt: u64| {
+                let ctx = RunContext::new("figure5", id.microarch(), bench.name(), config);
+                harness.run_cell(&ctx, |attempt| {
+                    let base =
+                        run_bench(&model, &BootParams::parse(params), *bench).cycles as f64;
+                    let mut noise = NoiseModel::paper_default(
+                        seed.wrapping_add(salt).wrapping_add(attempt as u64 * 104_729),
+                    );
+                    measure_until(policy, || noise.apply(base)).map_err(|e| {
+                        ExperimentError::DegenerateStatistics {
+                            ctx: ctx.clone(),
+                            detail: e.to_string(),
+                        }
+                    })
+                })
+            };
+            let m_on = cell("ssbd=on", "spec_store_bypass_disable=on", 0x10_000)?;
+            let m_off = cell("default", "", 0)?;
             cols[j] = m_on.mean / m_off.mean - 1.0;
         }
         rows.push((*id, cols));
     }
-    Figure5 { rows }
+    Ok(Figure5 { rows })
 }
 
 /// Renders the figure.
@@ -60,7 +70,11 @@ mod tests {
 
     #[test]
     fn ssbd_slowdown_trends_worse_over_time() {
-        let f = run(&[CpuId::Broadwell, CpuId::IceLakeServer, CpuId::Zen, CpuId::Zen3]);
+        let f = run(
+            &Harness::new(),
+            &[CpuId::Broadwell, CpuId::IceLakeServer, CpuId::Zen, CpuId::Zen3],
+        )
+        .unwrap();
         let get = |id: CpuId| f.rows.iter().find(|(c, _)| *c == id).unwrap().1;
         // Newer parts pay more (Figure 5's headline).
         assert!(get(CpuId::IceLakeServer)[2] > get(CpuId::Broadwell)[2]);

@@ -19,6 +19,7 @@ use cpu_models::CpuId;
 use sim_kernel::BootParams;
 use workloads::lebench;
 
+use crate::harness::{ExperimentError, Harness, RunContext};
 use crate::report::{pct, TextTable};
 
 /// Throughput gain from SMT on multiprogrammed workloads (documented
@@ -40,18 +41,25 @@ pub struct SmtRow {
     pub default_is_cheaper: bool,
 }
 
-/// Runs the trade-off for the given CPUs.
-pub fn run(cpus: &[CpuId]) -> Vec<SmtRow> {
+/// Runs the trade-off for the given CPUs. Each CPU's verw measurement is
+/// one retryable harness cell.
+pub fn run(harness: &Harness, cpus: &[CpuId]) -> Result<Vec<SmtRow>, ExperimentError> {
     cpus.iter()
         .map(|cpu| {
             let model = cpu.model();
             let verw_cost = if model.vuln.mds {
-                let on = lebench::geomean(&lebench::run_suite(&model, &BootParams::default()));
-                let off = lebench::geomean(&lebench::run_suite(
-                    &model,
-                    &BootParams::parse("mds=off"),
-                ));
-                on / off - 1.0
+                let ctx = RunContext::new("smt", cpu.microarch(), "lebench", "mds");
+                harness.run_attempts(&ctx, |_| {
+                    let on = lebench::geomean(&lebench::run_suite(
+                        &model,
+                        &BootParams::default(),
+                    ));
+                    let off = lebench::geomean(&lebench::run_suite(
+                        &model,
+                        &BootParams::parse("mds=off"),
+                    ));
+                    Ok(on / off - 1.0)
+                })?
             } else {
                 0.0
             };
@@ -60,12 +68,12 @@ pub fn run(cpus: &[CpuId]) -> Vec<SmtRow> {
             } else {
                 0.0
             };
-            SmtRow {
+            Ok(SmtRow {
                 cpu: *cpu,
                 verw_cost,
                 smt_off_cost,
                 default_is_cheaper: verw_cost <= smt_off_cost || !model.vuln.mds,
-            }
+            })
         })
         .collect()
 }
@@ -92,7 +100,11 @@ mod tests {
         // §3.3's judgement call, reproduced: for the OS workload, buffer
         // clearing costs less than the multiprogrammed throughput SMT
         // recovers.
-        let rows = run(&[CpuId::Broadwell, CpuId::SkylakeClient, CpuId::CascadeLake]);
+        let rows = run(
+            &Harness::new(),
+            &[CpuId::Broadwell, CpuId::SkylakeClient, CpuId::CascadeLake],
+        )
+        .unwrap();
         for r in &rows {
             assert!(r.verw_cost > 0.05, "{}: verw is a real cost", r.cpu.microarch());
             assert!(
@@ -105,7 +117,7 @@ mod tests {
         }
         // On compute workloads (PARSEC) verw costs ~0 while SMT-off still
         // costs 20%: the default wins even more clearly there.
-        let fixed = run(&[CpuId::IceLakeServer]);
+        let fixed = run(&Harness::new(), &[CpuId::IceLakeServer]).unwrap();
         assert_eq!(fixed[0].verw_cost, 0.0);
         assert_eq!(fixed[0].smt_off_cost, 0.0);
         assert!(fixed[0].default_is_cheaper);

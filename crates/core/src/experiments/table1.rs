@@ -3,31 +3,47 @@
 use cpu_models::CpuId;
 use sim_kernel::Mitigation;
 
+use crate::harness::{ExperimentError, Harness, RunContext};
 use crate::report::TextTable;
 
 /// One cell: ✓ (used), ! (needed but not default), or empty.
 pub type Cell = Option<bool>;
 
 /// The full matrix in paper order: `rows[mitigation][cpu]`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Table1 {
     /// Rows in [`Mitigation::TABLE1_ORDER`] order.
     pub rows: Vec<(Mitigation, [Cell; 8])>,
 }
 
 /// Computes the matrix from the kernel's mitigation-selection logic.
-pub fn run() -> Table1 {
+/// Each CPU's column is one retryable harness cell, so fault injection
+/// can prove the matrix is reproduced identically under retry.
+pub fn run(harness: &Harness) -> Result<Table1, ExperimentError> {
+    let mut columns = Vec::with_capacity(CpuId::ALL.len());
+    for id in &CpuId::ALL {
+        let ctx = RunContext::new("table1", id.microarch(), "mitigations", "");
+        let column = harness.run_attempts(&ctx, |_| {
+            let model = id.model();
+            Ok(Mitigation::TABLE1_ORDER
+                .iter()
+                .map(|mit| mit.table1_cell(&model))
+                .collect::<Vec<Cell>>())
+        })?;
+        columns.push(column);
+    }
     let rows = Mitigation::TABLE1_ORDER
         .iter()
-        .map(|mit| {
+        .enumerate()
+        .map(|(r, mit)| {
             let mut cells = [None; 8];
-            for (i, id) in CpuId::ALL.iter().enumerate() {
-                cells[i] = mit.table1_cell(&id.model());
+            for (i, column) in columns.iter().enumerate() {
+                cells[i] = column[r];
             }
             (*mit, cells)
         })
         .collect();
-    Table1 { rows }
+    Ok(Table1 { rows })
 }
 
 /// Renders the matrix as text (✓ / ! / blank, like the paper).
@@ -57,10 +73,11 @@ pub fn render(t: &Table1) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faultplan::{FaultKind, FaultPlan};
 
     #[test]
     fn fifteen_rows_and_render() {
-        let t = run();
+        let t = run(&Harness::new()).unwrap();
         assert_eq!(t.rows.len(), 15);
         let s = render(&t);
         assert!(s.contains("Page Table Isolation"));
@@ -68,5 +85,17 @@ mod tests {
         // SSBD row is all '!'.
         let ssbd = t.rows.iter().find(|(m, _)| m.name() == "SSBD").unwrap();
         assert!(ssbd.1.iter().all(|c| *c == Some(false)));
+    }
+
+    #[test]
+    fn matrix_is_identical_under_injected_faults() {
+        let clean = run(&Harness::new()).unwrap();
+        let plan = FaultPlan::new()
+            .fail_cell("table1/Broadwell", FaultKind::SimFault, Some(2))
+            .fail_cell("table1/Zen 2", FaultKind::Timeout, Some(2));
+        let h = Harness::new().with_plan(plan);
+        let faulty = run(&h).unwrap();
+        assert_eq!(clean, faulty);
+        assert_eq!(h.stats().faults_injected, 4);
     }
 }

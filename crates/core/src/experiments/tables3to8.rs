@@ -1,33 +1,48 @@
 //! Tables 3–8: per-mitigation microbenchmarks, with paper-vs-measured
-//! comparisons.
+//! comparisons. Each CPU row is one retryable harness cell.
 
 use cpu_models::{paper_table3, paper_table5, CpuId};
 
+use crate::harness::{ExperimentError, Harness, RunContext};
 use crate::micro;
 use crate::report::{vs_paper, TextTable};
 
+/// Runs one table row as a harness cell (retry + fault injection).
+fn row_cell<T>(
+    harness: &Harness,
+    table: &str,
+    cpu: CpuId,
+    f: impl FnMut(u32) -> Result<T, ExperimentError>,
+) -> Result<T, ExperimentError> {
+    let ctx = RunContext::new(table, cpu.microarch(), "micro", "");
+    harness.run_attempts(&ctx, f)
+}
+
 /// Renders Table 3 (syscall / sysret / swap cr3 cycles).
-pub fn render_table3() -> String {
+pub fn render_table3(harness: &Harness) -> Result<String, ExperimentError> {
     let mut t = TextTable::new(&["CPU", "syscall", "sysret", "swap cr3"]);
     for row in paper_table3() {
         let m = row.cpu.model();
-        let cr3 = match (micro::swap_cr3_cycles(&m), row.swap_cr3) {
+        let (syscall, sysret, cr3) = row_cell(harness, "table3", row.cpu, |_| {
+            Ok((micro::syscall_cycles(&m)?, micro::sysret_cycles(&m)?, micro::swap_cr3_cycles(&m)?))
+        })?;
+        let cr3 = match (cr3, row.swap_cr3) {
             (Some(got), Some(paper)) => vs_paper(got, paper as f64),
             (None, None) => "N/A".to_string(),
             (got, paper) => format!("mismatch: {got:?} vs {paper:?}"),
         };
         t.row(&[
             row.cpu.microarch().to_string(),
-            vs_paper(micro::syscall_cycles(&m), row.syscall as f64),
-            vs_paper(micro::sysret_cycles(&m), row.sysret as f64),
+            vs_paper(syscall, row.syscall as f64),
+            vs_paper(sysret, row.sysret as f64),
             cr3,
         ]);
     }
-    t.render()
+    Ok(t.render())
 }
 
 /// Renders Table 4 (verw buffer-clear cycles).
-pub fn render_table4() -> String {
+pub fn render_table4(harness: &Harness) -> Result<String, ExperimentError> {
     let paper: &[(CpuId, Option<f64>)] = &[
         (CpuId::Broadwell, Some(610.0)),
         (CpuId::SkylakeClient, Some(518.0)),
@@ -40,7 +55,7 @@ pub fn render_table4() -> String {
     ];
     let mut t = TextTable::new(&["CPU", "verw clear cycles"]);
     for (id, want) in paper {
-        let got = micro::verw_cycles(&id.model());
+        let got = row_cell(harness, "table4", *id, |_| micro::verw_cycles(&id.model()))?;
         let cell = match (got, want) {
             (Some(g), Some(w)) => vs_paper(g, *w),
             (None, None) => "N/A".to_string(),
@@ -48,28 +63,36 @@ pub fn render_table4() -> String {
         };
         t.row(&[id.microarch().to_string(), cell]);
     }
-    t.render()
+    Ok(t.render())
 }
 
 /// Renders Table 5 (indirect branch cycles per dispatch mechanism).
-pub fn render_table5() -> String {
+pub fn render_table5(harness: &Harness) -> Result<String, ExperimentError> {
     let mut t = TextTable::new(&["CPU", "Baseline", "IBRS extra", "Generic extra", "AMD extra"]);
     for row in paper_table5() {
         let m = row.cpu.model();
-        let baseline = micro::indirect_call_cycles(&m, micro::Dispatch::Baseline).unwrap();
-        let ibrs = match (micro::indirect_call_cycles(&m, micro::Dispatch::Ibrs), row.ibrs_extra)
-        {
+        let (baseline, ibrs_m, generic_m, amd_m) = row_cell(harness, "table5", row.cpu, |_| {
+            let baseline = micro::indirect_call_cycles(&m, micro::Dispatch::Baseline)?
+                .ok_or_else(|| ExperimentError::DegenerateStatistics {
+                    ctx: RunContext::new("table5", row.cpu.microarch(), "micro", ""),
+                    detail: "baseline dispatch inapplicable".to_string(),
+                })?;
+            Ok((
+                baseline,
+                micro::indirect_call_cycles(&m, micro::Dispatch::Ibrs)?,
+                micro::indirect_call_cycles(&m, micro::Dispatch::RetpolineGeneric)?,
+                micro::indirect_call_cycles(&m, micro::Dispatch::RetpolineAmd)?,
+            ))
+        })?;
+        let ibrs = match (ibrs_m, row.ibrs_extra) {
             (Some(got), Some(paper)) => vs_paper(got - baseline, paper as f64),
             (None, None) => "N/A".to_string(),
             other => format!("mismatch: {other:?}"),
         };
-        let generic = micro::indirect_call_cycles(&m, micro::Dispatch::RetpolineGeneric)
+        let generic = generic_m
             .map(|g| vs_paper(g - baseline, row.generic_extra as f64))
             .unwrap_or_default();
-        let amd = match (
-            micro::indirect_call_cycles(&m, micro::Dispatch::RetpolineAmd),
-            row.amd_extra,
-        ) {
+        let amd = match (amd_m, row.amd_extra) {
             (Some(got), Some(paper)) => vs_paper(got - baseline, paper as f64),
             (None, None) => "N/A".to_string(),
             other => format!("mismatch: {other:?}"),
@@ -82,11 +105,11 @@ pub fn render_table5() -> String {
             amd,
         ]);
     }
-    t.render()
+    Ok(t.render())
 }
 
 /// Renders Table 6 (IBPB cycles).
-pub fn render_table6() -> String {
+pub fn render_table6(harness: &Harness) -> Result<String, ExperimentError> {
     let paper: &[(CpuId, f64)] = &[
         (CpuId::Broadwell, 5600.0),
         (CpuId::SkylakeClient, 4500.0),
@@ -99,9 +122,10 @@ pub fn render_table6() -> String {
     ];
     let mut t = TextTable::new(&["CPU", "IBPB cycles"]);
     for (id, want) in paper {
-        t.row(&[id.microarch().to_string(), vs_paper(micro::ibpb_cycles(&id.model()), *want)]);
+        let got = row_cell(harness, "table6", *id, |_| micro::ibpb_cycles(&id.model()))?;
+        t.row(&[id.microarch().to_string(), vs_paper(got, *want)]);
     }
-    t.render()
+    Ok(t.render())
 }
 
 /// Renders Table 7 (RSB fill cycles).
@@ -127,7 +151,7 @@ pub fn render_table7() -> String {
 }
 
 /// Renders Table 8 (lfence cycles with a load in flight).
-pub fn render_table8() -> String {
+pub fn render_table8(harness: &Harness) -> Result<String, ExperimentError> {
     let paper: &[(CpuId, f64)] = &[
         (CpuId::Broadwell, 28.0),
         (CpuId::SkylakeClient, 20.0),
@@ -140,25 +164,26 @@ pub fn render_table8() -> String {
     ];
     let mut t = TextTable::new(&["CPU", "lfence cycles"]);
     for (id, want) in paper {
-        t.row(&[
-            id.microarch().to_string(),
-            vs_paper(micro::lfence_cycles(&id.model()), *want),
-        ]);
+        let got = row_cell(harness, "table8", *id, |_| micro::lfence_cycles(&id.model()))?;
+        t.row(&[id.microarch().to_string(), vs_paper(got, *want)]);
     }
-    t.render()
+    Ok(t.render())
 }
 
 #[cfg(test)]
 mod tests {
+    use crate::harness::Harness;
+
     #[test]
     fn all_tables_render_without_mismatch_markers() {
+        let h = Harness::new();
         for (name, s) in [
-            ("t3", super::render_table3()),
-            ("t4", super::render_table4()),
-            ("t5", super::render_table5()),
-            ("t6", super::render_table6()),
+            ("t3", super::render_table3(&h).unwrap()),
+            ("t4", super::render_table4(&h).unwrap()),
+            ("t5", super::render_table5(&h).unwrap()),
+            ("t6", super::render_table6(&h).unwrap()),
             ("t7", super::render_table7()),
-            ("t8", super::render_table8()),
+            ("t8", super::render_table8(&h).unwrap()),
         ] {
             assert!(!s.contains("mismatch"), "{name}:\n{s}");
             assert!(s.lines().count() >= 10, "{name} has all CPU rows");

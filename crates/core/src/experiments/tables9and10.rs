@@ -4,11 +4,12 @@
 
 use cpu_models::CpuId;
 
+use crate::harness::{ExperimentError, Harness, RunContext};
 use crate::probe::{columns, table_row, ProbeResult};
 use crate::report::TextTable;
 
 /// One speculation matrix (either table).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpecMatrix {
     /// Whether this is the IBRS-enabled variant (Table 10).
     pub ibrs: bool,
@@ -16,13 +17,21 @@ pub struct SpecMatrix {
     pub rows: Vec<(CpuId, Vec<(&'static str, ProbeResult)>)>,
 }
 
-/// Runs the probe matrix for all CPUs.
-pub fn run(ibrs: bool) -> SpecMatrix {
+/// Runs the probe matrix for all CPUs. Each CPU row is one retryable
+/// harness cell; the probes are noise-free, so a retried row reproduces
+/// the exact same cells as a fault-free run.
+pub fn run(harness: &Harness, ibrs: bool) -> Result<SpecMatrix, ExperimentError> {
+    let experiment = if ibrs { "table10" } else { "table9" };
     let rows = CpuId::ALL
         .iter()
-        .map(|id| (*id, table_row(&id.model(), ibrs)))
-        .collect();
-    SpecMatrix { ibrs, rows }
+        .map(|id| {
+            let ctx = RunContext::new(experiment, id.microarch(), "probe", "");
+            harness
+                .run_attempts(&ctx, |_| table_row(&id.model(), ibrs))
+                .map(|row| (*id, row))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(SpecMatrix { ibrs, rows })
 }
 
 /// Renders the matrix with the paper's cell conventions (✓ / blank / N/A).
@@ -53,10 +62,11 @@ pub fn render(m: &SpecMatrix) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faultplan::{FaultKind, FaultPlan};
 
     #[test]
     fn table9_full_matrix_shape() {
-        let m = run(false);
+        let m = run(&Harness::new(), false).unwrap();
         assert_eq!(m.rows.len(), 8);
         let s = render(&m);
         // Zen 3's row is empty in Table 9.
@@ -69,10 +79,30 @@ mod tests {
 
     #[test]
     fn table10_zen_row_is_na() {
-        let m = run(true);
+        let m = run(&Harness::new(), true).unwrap();
         let zen = &m.rows.iter().find(|(c, _)| *c == CpuId::Zen).unwrap().1;
         assert!(zen.iter().all(|(_, r)| *r == ProbeResult::NotApplicable));
         let s = render(&m);
         assert!(s.contains("N/A"));
+    }
+
+    #[test]
+    fn probe_cells_are_identical_under_injected_faults() {
+        // The determinism guarantee: a FaultPlan that kills k < retry-limit
+        // attempts of several rows still reproduces the exact Tables 9/10
+        // a fault-free run produces.
+        let clean9 = run(&Harness::new(), false).unwrap();
+        let clean10 = run(&Harness::new(), true).unwrap();
+        let plan = FaultPlan::new()
+            .fail_cell("table9/Broadwell", FaultKind::SimFault, Some(2))
+            .fail_cell("table9/Zen 3", FaultKind::Timeout, Some(1))
+            .fail_cell("table10/Cascade Lake", FaultKind::SimFault, Some(2));
+        let h = Harness::new().with_plan(plan);
+        let faulty9 = run(&h, false).unwrap();
+        let faulty10 = run(&h, true).unwrap();
+        assert_eq!(clean9, faulty9);
+        assert_eq!(clean10, faulty10);
+        assert!(h.stats().faults_injected >= 5, "{:?}", h.stats());
+        assert!(h.stats().retries >= 5);
     }
 }

@@ -12,10 +12,12 @@ use sim_kernel::BootParams;
 use uarch::isa::Reg;
 use workloads::lfs::{self, LfsBench};
 
+use crate::harness::{ExperimentError, Harness, RunContext};
 use crate::report::{pct, TextTable};
 use crate::stats::{measure_until, NoiseModel, StopPolicy};
 
-/// Instruction budget per guest run.
+/// Instruction budget per guest run (capped further by the harness
+/// watchdog).
 const BUDGET: u64 = 4_000_000_000;
 
 /// One VM-workload measurement.
@@ -35,7 +37,7 @@ pub struct VmRow {
     pub smallfile_syscalls: u64,
 }
 
-fn guest_lebench_cycles(cpu: CpuId, host: &str) -> u64 {
+fn guest_lebench_cycles(cpu: CpuId, host: &str, budget: u64) -> Result<u64, uarch::SimError> {
     let mut hv = Hypervisor::new(cpu.model(), &BootParams::parse(host), &BootParams::default());
     hv.guest.spawn(|b| {
         use sim_kernel::userlib::{begin_loop, emit_exit, emit_getpid, end_loop};
@@ -45,48 +47,95 @@ fn guest_lebench_cycles(cpu: CpuId, host: &str) -> u64 {
         emit_exit(b);
     });
     hv.guest.start();
-    hv.run(BUDGET).expect("guest completes");
-    hv.guest.cycles()
+    hv.run(budget)?;
+    Ok(hv.guest.cycles())
 }
 
-fn guest_lfs(cpu: CpuId, host: &str, bench: LfsBench) -> (u64, u64, u64) {
+fn guest_lfs(
+    cpu: CpuId,
+    host: &str,
+    bench: LfsBench,
+    budget: u64,
+) -> Result<(u64, u64, u64), uarch::SimError> {
     let mut hv = Hypervisor::new(cpu.model(), &BootParams::parse(host), &BootParams::default());
     lfs::build(&mut hv.guest, bench);
     hv.guest.start();
-    hv.run(BUDGET).expect("guest completes");
-    (hv.guest.cycles(), hv.stats.exits, hv.guest.state.stats.syscalls)
+    hv.run(budget)?;
+    Ok((hv.guest.cycles(), hv.stats.exits, hv.guest.state.stats.syscalls))
 }
 
 /// Runs the §4.4 experiments for the given CPUs.
-pub fn run(cpus: &[CpuId]) -> Vec<VmRow> {
+pub fn run(harness: &Harness, cpus: &[CpuId]) -> Result<Vec<VmRow>, ExperimentError> {
     let policy = StopPolicy { min_runs: 5, max_runs: 10, target_relative_ci: 0.015 };
+    let budget = harness.watchdog.instruction_budget(BUDGET);
     let mut rows = Vec::new();
     for (i, cpu) in cpus.iter().enumerate() {
-        let seed = 0x44_4 + i as u64 * 977;
-        let measure = |base: f64, s: u64| {
-            let mut noise = NoiseModel::paper_default(s);
-            measure_until(policy, || noise.apply(base)).mean
+        let seed = 0x0444 + i as u64 * 977;
+        // The raw guest runs are deterministic but can die or hang, so
+        // each is a retryable (non-journaled) harness cell of its own;
+        // the noise-wrapped statistics below are the journaled cells.
+        let guest_run = |workload: &str, config: &str, raw: &dyn Fn() -> Result<u64, uarch::SimError>| {
+            let ctx = RunContext::new("vm", cpu.microarch(), workload, config);
+            harness.run_attempts(&ctx, |_| raw().map_err(|e| ExperimentError::sim(&ctx, e)))
         };
-        let le_on = measure(guest_lebench_cycles(*cpu, "") as f64, seed);
-        let le_off = measure(guest_lebench_cycles(*cpu, "mitigations=off") as f64, seed + 1);
-        let (sf_on, exits, syscalls) = guest_lfs(*cpu, "", LfsBench::Smallfile);
-        let (sf_off, _, _) = guest_lfs(*cpu, "mitigations=off", LfsBench::Smallfile);
-        let (lf_on, _, _) = guest_lfs(*cpu, "", LfsBench::Largefile);
-        let (lf_off, _, _) = guest_lfs(*cpu, "mitigations=off", LfsBench::Largefile);
+        let measure = |workload: &str, config: &str, base: u64, s: u64| {
+            let ctx = RunContext::new("vm", cpu.microarch(), workload, config);
+            harness
+                .run_cell(&ctx, |attempt| {
+                    let mut noise = NoiseModel::paper_default(
+                        s.wrapping_add(attempt as u64 * 104_729),
+                    );
+                    measure_until(policy, || noise.apply(base as f64)).map_err(|e| {
+                        ExperimentError::DegenerateStatistics {
+                            ctx: ctx.clone(),
+                            detail: e.to_string(),
+                        }
+                    })
+                })
+                .map(|m| m.mean)
+        };
+
+        let le_on_raw = guest_run("lebench-guest", "default", &|| {
+            guest_lebench_cycles(*cpu, "", budget)
+        })?;
+        let le_off_raw = guest_run("lebench-guest", "mitigations=off", &|| {
+            guest_lebench_cycles(*cpu, "mitigations=off", budget)
+        })?;
+        let le_on = measure("lebench", "default", le_on_raw, seed)?;
+        let le_off = measure("lebench", "mitigations=off", le_off_raw, seed + 1)?;
+
+        let ctx_sf = RunContext::new("vm", cpu.microarch(), "smallfile-guest", "default");
+        let (sf_on, exits, syscalls) = harness.run_attempts(&ctx_sf, |_| {
+            guest_lfs(*cpu, "", LfsBench::Smallfile, budget)
+                .map_err(|e| ExperimentError::sim(&ctx_sf, e))
+        })?;
+        let ctx_sf_off =
+            RunContext::new("vm", cpu.microarch(), "smallfile-guest", "mitigations=off");
+        let (sf_off, _, _) = harness.run_attempts(&ctx_sf_off, |_| {
+            guest_lfs(*cpu, "mitigations=off", LfsBench::Smallfile, budget)
+                .map_err(|e| ExperimentError::sim(&ctx_sf_off, e))
+        })?;
+        let lf_on = guest_run("largefile-guest", "default", &|| {
+            guest_lfs(*cpu, "", LfsBench::Largefile, budget).map(|(c, _, _)| c)
+        })?;
+        let lf_off = guest_run("largefile-guest", "mitigations=off", &|| {
+            guest_lfs(*cpu, "mitigations=off", LfsBench::Largefile, budget).map(|(c, _, _)| c)
+        })?;
+
         rows.push(VmRow {
             cpu: *cpu,
             lebench_overhead: le_on / le_off - 1.0,
-            smallfile_overhead: measure(sf_on as f64, seed + 2)
-                / measure(sf_off as f64, seed + 3)
+            smallfile_overhead: measure("smallfile", "default", sf_on, seed + 2)?
+                / measure("smallfile", "mitigations=off", sf_off, seed + 3)?
                 - 1.0,
-            largefile_overhead: measure(lf_on as f64, seed + 4)
-                / measure(lf_off as f64, seed + 5)
+            largefile_overhead: measure("largefile", "default", lf_on, seed + 4)?
+                / measure("largefile", "mitigations=off", lf_off, seed + 5)?
                 - 1.0,
             smallfile_exits: exits,
             smallfile_syscalls: syscalls,
         });
     }
-    rows
+    Ok(rows)
 }
 
 /// Renders the rows.
@@ -119,7 +168,7 @@ mod tests {
     #[test]
     fn host_mitigations_invisible_from_the_guest() {
         // Paper §4.4: LEBench-in-VM within ±3%; LFS median under 2%.
-        let rows = run(&[CpuId::SkylakeClient, CpuId::CascadeLake]);
+        let rows = run(&Harness::new(), &[CpuId::SkylakeClient, CpuId::CascadeLake]).unwrap();
         for r in &rows {
             assert!(
                 r.lebench_overhead.abs() < 0.04,

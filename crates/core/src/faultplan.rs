@@ -1,0 +1,297 @@
+//! Deterministic fault injection for the measurement harness.
+//!
+//! Real benchmark rigs fail in boring, recurring ways: a run wedges and
+//! has to be killed, a machine reboots mid-sweep, a sample file comes
+//! back corrupt. The paper's methodology (§4.1) survives those because a
+//! human re-ran the affected configuration; this module lets *tests*
+//! prove the harness does the same thing mechanically. A [`FaultPlan`]
+//! decides — deterministically, from a seed and a rule list — whether a
+//! given lattice cell's nth attempt fails, and how. The measurement loop
+//! in [`crate::harness`] consults the plan before and during every cell.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+
+/// What kind of failure to inject into a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The simulated machine dies (models a crashed run).
+    SimFault,
+    /// The run exceeds its wall-clock deadline (models a hang the
+    /// watchdog had to kill).
+    Timeout,
+    /// The run completes but its samples are garbage (models a corrupt
+    /// result file); the statistics layer must detect and reject them.
+    CorruptSample,
+}
+
+impl FaultKind {
+    /// CLI name (`--inject kind=...`).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::SimFault => "sim",
+            FaultKind::Timeout => "timeout",
+            FaultKind::CorruptSample => "corrupt",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<FaultKind> {
+        match s {
+            "sim" => Some(FaultKind::SimFault),
+            "timeout" => Some(FaultKind::Timeout),
+            "corrupt" => Some(FaultKind::CorruptSample),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One targeted injection rule: cells whose key contains `cell_substr`
+/// fail with `kind` on their first `times` attempts (`None` = every
+/// attempt, i.e. a permanent failure).
+#[derive(Debug, Clone)]
+pub struct FaultRule {
+    /// Substring matched against the cell key
+    /// (`experiment/cpu/workload/[config]`).
+    pub cell_substr: String,
+    /// Failure to inject.
+    pub kind: FaultKind,
+    /// How many attempts to kill per cell; `None` kills them all.
+    pub times: Option<u32>,
+}
+
+/// A deterministic fault-injection plan.
+///
+/// Two mechanisms compose:
+///
+/// * **Targeted rules** ([`FaultPlan::fail_cell`]): kill specific cells
+///   a fixed number of times (or forever). This is what the resume /
+///   keep-going integration tests use.
+/// * **Seeded background noise** ([`FaultPlan::seeded`]): every
+///   (cell, attempt) pair fails with probability `p`, decided by a hash
+///   of the seed — a deterministic model of a generally flaky rig.
+///
+/// The plan is consulted once per attempt; delivered injections are
+/// counted per (rule, cell) so `times = Some(k)` lets attempt `k`
+/// through, which is how tests prove retry recovers.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    rules: Vec<FaultRule>,
+    seed: u64,
+    probability: f64,
+    delivered: RefCell<HashMap<(usize, String), u32>>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A background-flakiness plan: each (cell, attempt) fails with
+    /// probability `probability`, decided deterministically from `seed`.
+    pub fn seeded(seed: u64, probability: f64) -> FaultPlan {
+        FaultPlan { seed, probability: probability.clamp(0.0, 1.0), ..FaultPlan::default() }
+    }
+
+    /// Adds a targeted rule (builder style).
+    pub fn fail_cell(
+        mut self,
+        cell_substr: impl Into<String>,
+        kind: FaultKind,
+        times: Option<u32>,
+    ) -> FaultPlan {
+        self.rules.push(FaultRule { cell_substr: cell_substr.into(), kind, times });
+        self
+    }
+
+    /// Whether the plan can ever inject anything.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty() && self.probability == 0.0
+    }
+
+    /// Parses the `regen --inject` specification:
+    ///
+    /// ```text
+    /// cell=<substr>:kind=<sim|timeout|corrupt>:times=<n|forever>[,<rule>...]
+    /// seed=<n>:prob=<float>
+    /// ```
+    ///
+    /// Rules are comma-separated; a `seed=`/`prob=` pair may appear as
+    /// one of them to add background flakiness.
+    pub fn parse_spec(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::new();
+        for rule in spec.split(',').filter(|r| !r.is_empty()) {
+            let mut cell = None;
+            let mut kind = FaultKind::SimFault;
+            let mut times = None;
+            let mut seed = None;
+            let mut prob = None;
+            for part in rule.split(':') {
+                let (key, value) = part
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad --inject part (want key=value): {part:?}"))?;
+                match key {
+                    "cell" => cell = Some(value.to_string()),
+                    "kind" => {
+                        kind = FaultKind::parse(value)
+                            .ok_or_else(|| format!("unknown fault kind: {value:?}"))?
+                    }
+                    "times" => {
+                        times = if value == "forever" {
+                            None
+                        } else {
+                            Some(value.parse::<u32>().map_err(|e| {
+                                format!("bad times value {value:?}: {e}")
+                            })?)
+                        }
+                    }
+                    "seed" => {
+                        seed = Some(
+                            value
+                                .parse::<u64>()
+                                .map_err(|e| format!("bad seed value {value:?}: {e}"))?,
+                        )
+                    }
+                    "prob" => {
+                        prob = Some(
+                            value
+                                .parse::<f64>()
+                                .map_err(|e| format!("bad prob value {value:?}: {e}"))?,
+                        )
+                    }
+                    other => return Err(format!("unknown --inject key: {other:?}")),
+                }
+            }
+            match (cell, seed, prob) {
+                (Some(c), None, None) => {
+                    plan.rules.push(FaultRule { cell_substr: c, kind, times });
+                }
+                (None, Some(s), Some(p)) => {
+                    plan.seed = s;
+                    plan.probability = p.clamp(0.0, 1.0);
+                }
+                _ => {
+                    return Err(format!(
+                        "--inject rule needs either cell=... or seed=...:prob=...: {rule:?}"
+                    ))
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Decides whether attempt `attempt` of the cell named `cell_key`
+    /// fails, and how. Deterministic given the plan's history: calling
+    /// in the same order always yields the same injections.
+    pub fn inject(&self, cell_key: &str, attempt: u32) -> Option<FaultKind> {
+        for (i, rule) in self.rules.iter().enumerate() {
+            if !cell_key.contains(rule.cell_substr.as_str()) {
+                continue;
+            }
+            match rule.times {
+                None => return Some(rule.kind),
+                Some(limit) => {
+                    let mut delivered = self.delivered.borrow_mut();
+                    let count = delivered.entry((i, cell_key.to_string())).or_insert(0);
+                    if *count < limit {
+                        *count += 1;
+                        return Some(rule.kind);
+                    }
+                }
+            }
+        }
+        if self.probability > 0.0 && unit_hash(self.seed, cell_key, attempt) < self.probability {
+            // Background faults rotate through the kinds deterministically.
+            let kinds = [FaultKind::SimFault, FaultKind::Timeout, FaultKind::CorruptSample];
+            let pick = (mix(self.seed ^ 0xC0FF_EE00, cell_key, attempt) % 3) as usize;
+            return Some(kinds[pick]);
+        }
+        None
+    }
+}
+
+/// Deterministic hash of (seed, key, attempt) into a u64.
+fn mix(seed: u64, key: &str, attempt: u32) -> u64 {
+    // FNV-1a over the key, then an xorshift* finalizer with the seed and
+    // attempt folded in.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut x = h ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ ((attempt as u64) << 32);
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+/// Deterministic hash of (seed, key, attempt) into [0, 1).
+fn unit_hash(seed: u64, key: &str, attempt: u32) -> f64 {
+    (mix(seed, key, attempt) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let p = FaultPlan::new();
+        assert!(p.is_empty());
+        assert_eq!(p.inject("figure2/Broadwell/lebench/[nopti]", 0), None);
+    }
+
+    #[test]
+    fn targeted_rule_counts_down() {
+        let p = FaultPlan::new().fail_cell("[nopti]", FaultKind::Timeout, Some(2));
+        let key = "figure2/Broadwell/lebench/[nopti]";
+        assert_eq!(p.inject(key, 0), Some(FaultKind::Timeout));
+        assert_eq!(p.inject(key, 1), Some(FaultKind::Timeout));
+        assert_eq!(p.inject(key, 2), None, "attempt 3 gets through");
+        // Other cells are untouched.
+        assert_eq!(p.inject("figure2/Broadwell/lebench/[nopti mds=off]", 0), None);
+    }
+
+    #[test]
+    fn permanent_rule_never_relents() {
+        let p = FaultPlan::new().fail_cell("Zen 3", FaultKind::SimFault, None);
+        for attempt in 0..10 {
+            assert_eq!(p.inject("vm/Zen 3/lfs/[default]", attempt), Some(FaultKind::SimFault));
+        }
+    }
+
+    #[test]
+    fn seeded_plan_is_deterministic() {
+        let a = FaultPlan::seeded(42, 0.3);
+        let b = FaultPlan::seeded(42, 0.3);
+        for attempt in 0..20 {
+            assert_eq!(a.inject("x/y/z/[w]", attempt), b.inject("x/y/z/[w]", attempt));
+        }
+        // Roughly the right rate over many cells.
+        let p = FaultPlan::seeded(7, 0.25);
+        let hits = (0..1000)
+            .filter(|i| p.inject(&format!("cell-{i}"), 0).is_some())
+            .count();
+        assert!((150..350).contains(&hits), "rate {hits}/1000");
+    }
+
+    #[test]
+    fn spec_round_trips() {
+        let p = FaultPlan::parse_spec("cell=[nopti]:kind=timeout:times=2").unwrap();
+        assert_eq!(p.inject("f2/bdw/le/[nopti]", 0), Some(FaultKind::Timeout));
+        let p = FaultPlan::parse_spec("cell=x:kind=sim:times=forever,seed=3:prob=0.5").unwrap();
+        assert_eq!(p.inject("a/x/b", 5), Some(FaultKind::SimFault));
+        assert!(FaultPlan::parse_spec("cell=x:kind=nope").is_err());
+        assert!(FaultPlan::parse_spec("kind=sim").is_err());
+        assert!(FaultPlan::parse_spec("cell=x:times=abc").is_err());
+    }
+}

@@ -1,0 +1,736 @@
+//! Fault-tolerant execution of measurement cells.
+//!
+//! Every number in the paper's tables and figures comes from a *cell*:
+//! one (experiment, CPU model, workload, mitigation config) point in a
+//! lattice. This module wraps the act of producing a cell's value with
+//! the machinery a real benchmark rig needs to survive a long sweep:
+//!
+//! * **Typed errors** ([`ExperimentError`]) that carry the cell context,
+//!   so a failure three layers down still names the CPU model and
+//!   mitigation config it came from.
+//! * **A watchdog** ([`Watchdog`]): an instruction budget handed to the
+//!   simulator plus a wall-clock deadline enforced around each attempt.
+//! * **Retry with bounded exponential backoff** ([`RetryPolicy`]); each
+//!   attempt reseeds the noise stream (the attempt index is passed to
+//!   the cell closure) so a retried cell draws fresh samples.
+//! * **Deterministic fault injection** (a [`FaultPlan`] consulted before
+//!   and after every attempt) so tests can prove recovery works.
+//! * **A JSON-lines journal** ([`Journal`]) of completed cells, so an
+//!   interrupted sweep resumes without re-measuring finished work.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write as _};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use uarch::SimError;
+
+use crate::faultplan::{FaultKind, FaultPlan};
+use crate::stats::Measurement;
+
+/// Identifies the lattice cell a run belongs to. Threaded into every
+/// [`ExperimentError`] so failures are attributable without a debugger.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RunContext {
+    /// Experiment driver, e.g. `"figure2"` or `"tables9and10"`.
+    pub experiment: String,
+    /// CPU model name, e.g. `"Broadwell (Xeon E5-2699 v4)"`.
+    pub cpu: String,
+    /// Workload name, e.g. `"lebench"` or `"syscall"`.
+    pub workload: String,
+    /// Mitigation config (kernel cmdline fragment); empty for the
+    /// experiment default.
+    pub config: String,
+}
+
+impl RunContext {
+    /// Builds a context; any field may be left empty.
+    pub fn new(experiment: &str, cpu: &str, workload: &str, config: &str) -> RunContext {
+        RunContext {
+            experiment: experiment.to_string(),
+            cpu: cpu.to_string(),
+            workload: workload.to_string(),
+            config: config.to_string(),
+        }
+    }
+
+    /// Canonical journal / fault-plan key:
+    /// `experiment/cpu/workload/[config]`. The config is bracketed so a
+    /// fault rule for `[nopti]` does not also match `[nopti mds=off]`.
+    pub fn cell_key(&self) -> String {
+        if self.config.is_empty() {
+            format!("{}/{}/{}", self.experiment, self.cpu, self.workload)
+        } else {
+            format!("{}/{}/{}/[{}]", self.experiment, self.cpu, self.workload, self.config)
+        }
+    }
+}
+
+impl fmt::Display for RunContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.cell_key())
+    }
+}
+
+/// Why a measurement cell (or a whole experiment) failed.
+///
+/// Every variant carries the [`RunContext`] it arose in.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExperimentError {
+    /// The simulated machine failed (includes instruction-budget
+    /// exhaustion, see [`ExperimentError::is_budget_exhausted`]).
+    Sim { ctx: RunContext, source: SimError },
+    /// The watchdog's wall-clock deadline expired (or a timeout was
+    /// injected by the fault plan).
+    Timeout { ctx: RunContext, deadline: Duration },
+    /// A sandbox verifier (eBPF, JS) rejected the workload.
+    VerifierRejected { ctx: RunContext, reason: String },
+    /// The statistics layer rejected the samples (NaN / non-finite /
+    /// corrupt data).
+    DegenerateStatistics { ctx: RunContext, detail: String },
+    /// An attribution lattice needs at least `needed` configs.
+    InsufficientConfigs { ctx: RunContext, needed: usize, got: usize },
+    /// A cell kept failing after exhausting the retry budget; `last` is
+    /// the error from the final attempt.
+    CellFailed { ctx: RunContext, attempts: u32, last: Box<ExperimentError> },
+}
+
+impl ExperimentError {
+    /// Wraps a simulator error with its cell context.
+    pub fn sim(ctx: &RunContext, source: SimError) -> ExperimentError {
+        ExperimentError::Sim { ctx: ctx.clone(), source }
+    }
+
+    /// Wraps an architectural fault (e.g. a rejected MSR write) with its
+    /// cell context.
+    pub fn fault(ctx: &RunContext, fault: uarch::Fault, at: u64) -> ExperimentError {
+        ExperimentError::Sim {
+            ctx: ctx.clone(),
+            source: SimError::UnhandledFault { fault, at },
+        }
+    }
+
+    /// The context the failure arose in.
+    pub fn context(&self) -> &RunContext {
+        match self {
+            ExperimentError::Sim { ctx, .. }
+            | ExperimentError::Timeout { ctx, .. }
+            | ExperimentError::VerifierRejected { ctx, .. }
+            | ExperimentError::DegenerateStatistics { ctx, .. }
+            | ExperimentError::InsufficientConfigs { ctx, .. }
+            | ExperimentError::CellFailed { ctx, .. } => ctx,
+        }
+    }
+
+    /// True if the root cause is the simulator's instruction budget.
+    pub fn is_budget_exhausted(&self) -> bool {
+        match self {
+            ExperimentError::Sim { source, .. } => {
+                matches!(source, SimError::InstructionBudgetExhausted)
+            }
+            ExperimentError::CellFailed { last, .. } => last.is_budget_exhausted(),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::Sim { ctx, source } => write!(f, "[{ctx}] simulator: {source}"),
+            ExperimentError::Timeout { ctx, deadline } => {
+                write!(f, "[{ctx}] watchdog: run exceeded {deadline:?}")
+            }
+            ExperimentError::VerifierRejected { ctx, reason } => {
+                write!(f, "[{ctx}] verifier rejected workload: {reason}")
+            }
+            ExperimentError::DegenerateStatistics { ctx, detail } => {
+                write!(f, "[{ctx}] degenerate statistics: {detail}")
+            }
+            ExperimentError::InsufficientConfigs { ctx, needed, got } => {
+                write!(f, "[{ctx}] need at least {needed} configs, got {got}")
+            }
+            ExperimentError::CellFailed { ctx, attempts, last } => {
+                write!(f, "[{ctx}] cell failed after {attempts} attempts; last error: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+/// Bounded exponential backoff between retry attempts.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts per cell (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles each retry.
+    pub base_delay: Duration,
+    /// Backoff never exceeds this.
+    pub max_delay: Duration,
+}
+
+impl RetryPolicy {
+    /// Default for `regen`: 3 attempts, 10ms/80ms backoff.
+    pub fn standard() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(80),
+        }
+    }
+
+    /// Retry without sleeping — what tests use.
+    pub fn immediate(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy { max_attempts, base_delay: Duration::ZERO, max_delay: Duration::ZERO }
+    }
+
+    /// Delay before attempt `attempt` (0-based; attempt 0 has none).
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        if attempt == 0 || self.base_delay.is_zero() {
+            return Duration::ZERO;
+        }
+        let factor = 1u32 << (attempt - 1).min(16);
+        (self.base_delay * factor).min(self.max_delay)
+    }
+}
+
+/// Per-run resource limits, enforced by the harness (wall clock) and by
+/// the simulator via [`Watchdog::instruction_budget`] (instructions).
+#[derive(Debug, Clone, Copy)]
+pub struct Watchdog {
+    /// Instruction budget experiment drivers must pass to `Machine::run`
+    /// / `Hypervisor::run` for a single measured run.
+    pub instruction_budget: u64,
+    /// Wall-clock deadline for one attempt at a cell.
+    pub wall_deadline: Duration,
+}
+
+impl Watchdog {
+    /// Defaults sized for the heaviest cell (the VM sweep's 4G-instruction
+    /// guest boot) with slack.
+    pub fn standard() -> Watchdog {
+        Watchdog {
+            instruction_budget: 8_000_000_000,
+            wall_deadline: Duration::from_secs(120),
+        }
+    }
+
+    /// The budget capped to `cap` — drivers with a known-cheaper cell use
+    /// this so a wedged simulation dies early.
+    pub fn instruction_budget(&self, cap: u64) -> u64 {
+        self.instruction_budget.min(cap)
+    }
+}
+
+/// Counters the harness keeps while running a sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HarnessStats {
+    /// Cells measured fresh (not satisfied from the journal).
+    pub cells_run: u64,
+    /// Cells satisfied from a resume journal without re-measuring.
+    pub cells_from_journal: u64,
+    /// Total retry attempts across all cells (first attempts excluded).
+    pub retries: u64,
+    /// Faults delivered by the fault plan.
+    pub faults_injected: u64,
+    /// Cells that failed permanently (retry budget exhausted).
+    pub cells_failed: u64,
+}
+
+/// The fault-tolerant cell runner threaded through every experiment
+/// driver. Cheap to construct; share by reference.
+#[derive(Debug, Default)]
+pub struct Harness {
+    /// Retry/backoff schedule.
+    pub retry: RetryPolicy,
+    /// Per-run resource limits.
+    pub watchdog: Watchdog,
+    /// Deterministic fault injection (empty by default).
+    pub plan: FaultPlan,
+    journal: Option<Journal>,
+    stats: RefCell<HarnessStats>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy::standard()
+    }
+}
+
+impl Default for Watchdog {
+    fn default() -> Watchdog {
+        Watchdog::standard()
+    }
+}
+
+impl Harness {
+    /// A harness with standard retry/watchdog settings, no fault plan,
+    /// and no journal.
+    pub fn new() -> Harness {
+        Harness::default()
+    }
+
+    /// Builder: install a fault plan.
+    pub fn with_plan(mut self, plan: FaultPlan) -> Harness {
+        self.plan = plan;
+        self
+    }
+
+    /// Builder: install a retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Harness {
+        self.retry = retry;
+        self
+    }
+
+    /// Builder: install a watchdog.
+    pub fn with_watchdog(mut self, watchdog: Watchdog) -> Harness {
+        self.watchdog = watchdog;
+        self
+    }
+
+    /// Builder: journal completed cells to (and resume from) `journal`.
+    pub fn with_journal(mut self, journal: Journal) -> Harness {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> HarnessStats {
+        *self.stats.borrow()
+    }
+
+    /// Runs one measurement cell with journaling, fault injection,
+    /// watchdog, and retry.
+    ///
+    /// The closure receives the attempt index (0-based); drivers fold it
+    /// into their noise seed so retries draw a fresh noise stream. On
+    /// success the measurement's `retries` field records how many extra
+    /// attempts were needed.
+    pub fn run_cell(
+        &self,
+        ctx: &RunContext,
+        mut f: impl FnMut(u32) -> Result<Measurement, ExperimentError>,
+    ) -> Result<Measurement, ExperimentError> {
+        let key = ctx.cell_key();
+        if let Some(journal) = &self.journal {
+            if let Some(m) = journal.lookup(&key) {
+                self.stats.borrow_mut().cells_from_journal += 1;
+                return Ok(m);
+            }
+        }
+        let result = self.attempt_loop(ctx, |attempt| {
+            let mut m = f(attempt)?;
+            m.retries = attempt;
+            if !m.mean.is_finite() || !m.ci95.is_finite() {
+                return Err(ExperimentError::DegenerateStatistics {
+                    ctx: ctx.clone(),
+                    detail: format!("non-finite measurement (mean {}, ci95 {})", m.mean, m.ci95),
+                });
+            }
+            Ok(m)
+        });
+        match result {
+            Ok(m) => {
+                self.stats.borrow_mut().cells_run += 1;
+                if let Some(journal) = &self.journal {
+                    journal.record(&key, &m);
+                }
+                Ok(m)
+            }
+            Err(e) => {
+                self.stats.borrow_mut().cells_failed += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Runs a non-measurement cell (e.g. a speculation probe or a table
+    /// row) with the same fault injection, watchdog, and retry — but no
+    /// journaling, since the result is not a `Measurement`.
+    pub fn run_attempts<T>(
+        &self,
+        ctx: &RunContext,
+        f: impl FnMut(u32) -> Result<T, ExperimentError>,
+    ) -> Result<T, ExperimentError> {
+        let result = self.attempt_loop(ctx, f);
+        if result.is_err() {
+            self.stats.borrow_mut().cells_failed += 1;
+        }
+        result
+    }
+
+    fn attempt_loop<T>(
+        &self,
+        ctx: &RunContext,
+        mut f: impl FnMut(u32) -> Result<T, ExperimentError>,
+    ) -> Result<T, ExperimentError> {
+        let key = ctx.cell_key();
+        let mut last: Option<ExperimentError> = None;
+        for attempt in 0..self.retry.max_attempts.max(1) {
+            if attempt > 0 {
+                self.stats.borrow_mut().retries += 1;
+                let delay = self.retry.backoff(attempt);
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+            }
+            let injected = self.plan.inject(&key, attempt);
+            if injected.is_some() {
+                self.stats.borrow_mut().faults_injected += 1;
+            }
+            let outcome = match injected {
+                Some(FaultKind::SimFault) => Err(ExperimentError::Sim {
+                    ctx: ctx.clone(),
+                    source: SimError::UnhandledFault {
+                        fault: uarch::Fault::GeneralProtection,
+                        at: 0,
+                    },
+                }),
+                Some(FaultKind::Timeout) => Err(ExperimentError::Timeout {
+                    ctx: ctx.clone(),
+                    deadline: self.watchdog.wall_deadline,
+                }),
+                Some(FaultKind::CorruptSample) => {
+                    // Let the run complete, then garble its result: the
+                    // harness's own non-finite guard (or the caller's)
+                    // must catch it, proving corrupt data cannot leak
+                    // into a table.
+                    f(attempt).and_then(|_| {
+                        Err(ExperimentError::DegenerateStatistics {
+                            ctx: ctx.clone(),
+                            detail: "injected corrupt sample".to_string(),
+                        })
+                    })
+                }
+                None => {
+                    let started = Instant::now();
+                    let r = f(attempt);
+                    if r.is_ok() && started.elapsed() > self.watchdog.wall_deadline {
+                        Err(ExperimentError::Timeout {
+                            ctx: ctx.clone(),
+                            deadline: self.watchdog.wall_deadline,
+                        })
+                    } else {
+                        r
+                    }
+                }
+            };
+            match outcome {
+                Ok(v) => return Ok(v),
+                Err(e) => last = Some(e),
+            }
+        }
+        let attempts = self.retry.max_attempts.max(1);
+        let last = last.unwrap_or(ExperimentError::Timeout {
+            ctx: ctx.clone(),
+            deadline: self.watchdog.wall_deadline,
+        });
+        Err(ExperimentError::CellFailed { ctx: ctx.clone(), attempts, last: Box::new(last) })
+    }
+}
+
+/// JSON-lines journal of completed measurement cells.
+///
+/// One line per cell:
+///
+/// ```text
+/// {"cell":"figure2/Broadwell (...)/lebench/[nopti]","mean":1.083,"ci95":0.004,"n":12,"retries":1}
+/// ```
+///
+/// Hand-rolled (the workspace carries no serde); the writer escapes and
+/// the reader accepts exactly this shape, tolerating unknown trailing
+/// fields and skipping malformed lines.
+#[derive(Debug, Default)]
+pub struct Journal {
+    path: Option<PathBuf>,
+    entries: RefCell<HashMap<String, Measurement>>,
+    file: RefCell<Option<File>>,
+}
+
+impl Journal {
+    /// An in-memory journal (tests, or sweeps that only want dedup).
+    pub fn in_memory() -> Journal {
+        Journal::default()
+    }
+
+    /// Opens (or creates) a journal file, loading any completed cells
+    /// already recorded in it.
+    pub fn open(path: &Path) -> std::io::Result<Journal> {
+        let mut entries = HashMap::new();
+        match File::open(path) {
+            Ok(f) => {
+                for line in BufReader::new(f).lines() {
+                    let line = line?;
+                    if let Some((key, m)) = parse_journal_line(&line) {
+                        entries.insert(key, m);
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Journal {
+            path: Some(path.to_path_buf()),
+            entries: RefCell::new(entries),
+            file: RefCell::new(Some(file)),
+        })
+    }
+
+    /// Where this journal persists, if anywhere.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Number of completed cells on record.
+    pub fn len(&self) -> usize {
+        self.entries.borrow().len()
+    }
+
+    /// True if no cells are on record.
+    pub fn is_empty(&self) -> bool {
+        self.entries.borrow().is_empty()
+    }
+
+    /// The recorded measurement for `key`, if the cell completed.
+    pub fn lookup(&self, key: &str) -> Option<Measurement> {
+        self.entries.borrow().get(key).copied()
+    }
+
+    /// Records a completed cell (and appends it to the backing file, if
+    /// any; write errors are reported to stderr rather than aborting the
+    /// sweep — losing a journal line only costs a re-measurement).
+    pub fn record(&self, key: &str, m: &Measurement) {
+        self.entries.borrow_mut().insert(key.to_string(), *m);
+        if let Some(file) = self.file.borrow_mut().as_mut() {
+            let line = format!(
+                "{{\"cell\":\"{}\",\"mean\":{},\"ci95\":{},\"n\":{},\"retries\":{}}}\n",
+                escape_json(key),
+                m.mean,
+                m.ci95,
+                m.n,
+                m.retries
+            );
+            if let Err(e) = file.write_all(line.as_bytes()) {
+                eprintln!("warning: journal write failed ({e}); cell {key} will re-run on resume");
+            }
+        }
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if let Some(c) = u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
+                    out.push(c);
+                }
+            }
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+/// Parses one journal line; `None` for malformed input (a truncated
+/// final line from a killed run is expected, not an error).
+fn parse_journal_line(line: &str) -> Option<(String, Measurement)> {
+    let line = line.trim();
+    if line.is_empty() {
+        return None;
+    }
+    let cell_raw = extract_string_field(line, "cell")?;
+    let mean = extract_number_field(line, "mean")?;
+    let ci95 = extract_number_field(line, "ci95")?;
+    let n = extract_number_field(line, "n")? as u64;
+    let retries = extract_number_field(line, "retries").unwrap_or(0.0) as u32;
+    if !mean.is_finite() || !ci95.is_finite() {
+        return None;
+    }
+    Some((unescape_json(&cell_raw), Measurement { mean, ci95, n, retries }))
+}
+
+/// Extracts the raw (still-escaped) value of `"name":"..."`.
+fn extract_string_field(line: &str, name: &str) -> Option<String> {
+    let tag = format!("\"{name}\":\"");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let mut end = 0;
+    let bytes = rest.as_bytes();
+    while end < bytes.len() {
+        match bytes[end] {
+            b'\\' => end += 2,
+            b'"' => return Some(rest[..end].to_string()),
+            _ => end += 1,
+        }
+    }
+    None
+}
+
+fn extract_number_field(line: &str, name: &str) -> Option<f64> {
+    let tag = format!("\"{name}\":");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faultplan::FaultKind;
+
+    fn ctx() -> RunContext {
+        RunContext::new("figure2", "Broadwell", "lebench", "nopti")
+    }
+
+    fn ok_measurement(_attempt: u32) -> Result<Measurement, ExperimentError> {
+        Ok(Measurement { mean: 1.5, ci95: 0.01, n: 10, retries: 0 })
+    }
+
+    #[test]
+    fn cell_key_brackets_config() {
+        assert_eq!(ctx().cell_key(), "figure2/Broadwell/lebench/[nopti]");
+        let no_config = RunContext::new("vm", "Zen 3", "boot", "");
+        assert_eq!(no_config.cell_key(), "vm/Zen 3/boot");
+    }
+
+    #[test]
+    fn clean_run_is_untouched() {
+        let h = Harness::new().with_retry(RetryPolicy::immediate(3));
+        let m = h.run_cell(&ctx(), ok_measurement).unwrap();
+        assert_eq!(m.retries, 0);
+        let s = h.stats();
+        assert_eq!((s.cells_run, s.retries, s.faults_injected), (1, 0, 0));
+    }
+
+    #[test]
+    fn transient_fault_is_retried_and_counted() {
+        let plan = FaultPlan::new().fail_cell("[nopti]", FaultKind::SimFault, Some(2));
+        let h = Harness::new().with_retry(RetryPolicy::immediate(4)).with_plan(plan);
+        let m = h.run_cell(&ctx(), ok_measurement).unwrap();
+        assert_eq!(m.retries, 2, "succeeded on the third attempt");
+        let s = h.stats();
+        assert_eq!((s.retries, s.faults_injected, s.cells_failed), (2, 2, 0));
+    }
+
+    #[test]
+    fn permanent_fault_exhausts_retries() {
+        let plan = FaultPlan::new().fail_cell("[nopti]", FaultKind::Timeout, None);
+        let h = Harness::new().with_retry(RetryPolicy::immediate(3)).with_plan(plan);
+        let err = h.run_cell(&ctx(), ok_measurement).unwrap_err();
+        match &err {
+            ExperimentError::CellFailed { attempts, last, .. } => {
+                assert_eq!(*attempts, 3);
+                assert!(matches!(**last, ExperimentError::Timeout { .. }));
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+        assert_eq!(err.context().config, "nopti");
+        assert_eq!(h.stats().cells_failed, 1);
+    }
+
+    #[test]
+    fn corrupt_sample_is_rejected_then_recovered() {
+        let plan = FaultPlan::new().fail_cell("[nopti]", FaultKind::CorruptSample, Some(1));
+        let h = Harness::new().with_retry(RetryPolicy::immediate(3)).with_plan(plan);
+        let m = h.run_cell(&ctx(), ok_measurement).unwrap();
+        assert_eq!(m.retries, 1);
+    }
+
+    #[test]
+    fn nonfinite_measurement_is_degenerate() {
+        let h = Harness::new().with_retry(RetryPolicy::immediate(2));
+        let err = h
+            .run_cell(&ctx(), |_| Ok(Measurement { mean: f64::NAN, ci95: 0.0, n: 5, retries: 0 }))
+            .unwrap_err();
+        match err {
+            ExperimentError::CellFailed { last, .. } => {
+                assert!(matches!(*last, ExperimentError::DegenerateStatistics { .. }))
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn journal_roundtrip_and_resume() {
+        let dir = std::env::temp_dir().join(format!("spectrebench-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        {
+            let journal = Journal::open(&path).unwrap();
+            let h = Harness::new().with_retry(RetryPolicy::immediate(1)).with_journal(journal);
+            h.run_cell(&ctx(), ok_measurement).unwrap();
+            assert_eq!(h.stats().cells_run, 1);
+        }
+        // Reopen: the cell comes from the journal, not a fresh run.
+        {
+            let journal = Journal::open(&path).unwrap();
+            assert_eq!(journal.len(), 1);
+            let h = Harness::new().with_retry(RetryPolicy::immediate(1)).with_journal(journal);
+            let mut ran = false;
+            let m = h
+                .run_cell(&ctx(), |_| {
+                    ran = true;
+                    ok_measurement(0)
+                })
+                .unwrap();
+            assert!(!ran, "journaled cell must not re-run");
+            assert_eq!(m.mean, 1.5);
+            let s = h.stats();
+            assert_eq!((s.cells_run, s.cells_from_journal), (0, 1));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn journal_skips_truncated_lines() {
+        assert!(parse_journal_line("{\"cell\":\"a/b/c\",\"mean\":1.0,\"ci").is_none());
+        assert!(parse_journal_line("").is_none());
+        let (key, m) =
+            parse_journal_line("{\"cell\":\"a/b \\\"q\\\"\",\"mean\":2.5,\"ci95\":0.1,\"n\":7,\"retries\":3}")
+                .unwrap();
+        assert_eq!(key, "a/b \"q\"");
+        assert_eq!((m.mean, m.ci95, m.n, m.retries), (2.5, 0.1, 7, 3));
+    }
+
+    #[test]
+    fn backoff_is_bounded() {
+        let p = RetryPolicy::standard();
+        assert_eq!(p.backoff(0), Duration::ZERO);
+        assert_eq!(p.backoff(1), Duration::from_millis(10));
+        assert_eq!(p.backoff(2), Duration::from_millis(20));
+        assert_eq!(p.backoff(10), Duration::from_millis(80), "capped");
+    }
+}

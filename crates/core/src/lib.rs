@@ -7,6 +7,9 @@
 //!
 //! * [`stats`] — the §4.1 methodology: adaptive repetition until the 95%
 //!   confidence interval is tight, geometric means, seeded noise.
+//! * [`harness`] — fault-tolerant cell execution: typed errors, watchdog,
+//!   retry with backoff, and the resumable run journal.
+//! * [`faultplan`] — deterministic fault injection for testing recovery.
 //! * [`attribution`] — successive-disable attribution (the stacked bars
 //!   of Figures 2 and 3).
 //! * [`micro`] — per-mitigation instruction microbenchmarks (Tables 3–8).
@@ -17,13 +20,23 @@
 //! * [`report`] — plain-text table rendering and paper-vs-measured
 //!   comparisons.
 
+// A failed cell must surface as a typed ExperimentError, never a panic:
+// regeneration sweeps have to survive any single cell dying.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod attribution;
 pub mod experiments;
+pub mod faultplan;
+pub mod harness;
 pub mod micro;
 pub mod probe;
 pub mod report;
 pub mod stats;
 
 pub use attribution::{attribute, Attribution, Slice, Toggle, OS_TOGGLES};
+pub use faultplan::{FaultKind, FaultPlan, FaultRule};
+pub use harness::{
+    ExperimentError, Harness, HarnessStats, Journal, RetryPolicy, RunContext, Watchdog,
+};
 pub use probe::{ProbeConfig, ProbeResult};
-pub use stats::{geomean, measure_until, Measurement, NoiseModel, StopPolicy};
+pub use stats::{geomean, measure_until, Measurement, NoiseModel, StatsError, StopPolicy};

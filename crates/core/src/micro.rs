@@ -16,8 +16,15 @@ use uarch::model::CpuModel;
 use uarch::predictor::PrivMode;
 use uarch::ProgramBuilder;
 
+use crate::harness::{ExperimentError, RunContext};
+
 const STACK_TOP: u64 = 0x20_0000;
 const ITERS: u64 = 200;
+
+/// The cell context a microbenchmark failure is reported under.
+fn micro_ctx(model: &CpuModel, bench: &str) -> RunContext {
+    RunContext::new("micro", model.microarch, bench, "")
+}
 
 /// A machine with a stack, in kernel mode, ready for microbenchmarks.
 fn bench_machine(model: &CpuModel) -> Machine {
@@ -37,8 +44,13 @@ fn bench_machine(model: &CpuModel) -> Machine {
 /// Measures average cycles per iteration of `body`, subtracting the
 /// cost of an empty loop (the paper's methodology of averaging over many
 /// runs to eliminate noise).
-fn measure_loop(model: &CpuModel, body: impl Fn(&mut ProgramBuilder)) -> f64 {
-    let run = |with_body: bool| -> u64 {
+fn measure_loop(
+    model: &CpuModel,
+    bench: &str,
+    body: impl Fn(&mut ProgramBuilder),
+) -> Result<f64, ExperimentError> {
+    let ctx = micro_ctx(model, bench);
+    let run = |with_body: bool| -> Result<u64, ExperimentError> {
         let mut m = bench_machine(model);
         let mut b = ProgramBuilder::new();
         let top = b.new_label();
@@ -54,16 +66,17 @@ fn measure_loop(model: &CpuModel, body: impl Fn(&mut ProgramBuilder)) -> f64 {
         m.load_program(b.link(0x1000));
         m.pc = 0x1000;
         let c0 = m.cycles();
-        m.run(&mut NoEnv, 10_000_000).expect("microbenchmark loop");
-        m.cycles() - c0
+        m.run(&mut NoEnv, 10_000_000).map_err(|e| ExperimentError::sim(&ctx, e))?;
+        Ok(m.cycles() - c0)
     };
-    let with = run(true);
-    let without = run(false);
-    (with.saturating_sub(without)) as f64 / ITERS as f64
+    let with = run(true)?;
+    let without = run(false)?;
+    Ok((with.saturating_sub(without)) as f64 / ITERS as f64)
 }
 
 /// Table 3: `syscall` instruction cycles.
-pub fn syscall_cycles(model: &CpuModel) -> f64 {
+pub fn syscall_cycles(model: &CpuModel) -> Result<f64, ExperimentError> {
+    let ctx = micro_ctx(model, "syscall");
     let mut m = bench_machine(model);
     // Entry stub: immediate sysret (kernel cost excluded by measuring the
     // transition instructions separately below).
@@ -79,12 +92,13 @@ pub fn syscall_cycles(model: &CpuModel) -> f64 {
     m.pc = 0x1000;
     // Step to just after the syscall commits.
     let c0 = m.cycles();
-    m.step(&mut NoEnv).expect("syscall step");
-    (m.cycles() - c0) as f64
+    m.step(&mut NoEnv).map_err(|e| ExperimentError::sim(&ctx, e))?;
+    Ok((m.cycles() - c0) as f64)
 }
 
 /// Table 3: `sysret` instruction cycles.
-pub fn sysret_cycles(model: &CpuModel) -> f64 {
+pub fn sysret_cycles(model: &CpuModel) -> Result<f64, ExperimentError> {
+    let ctx = micro_ctx(model, "sysret");
     let mut m = bench_machine(model);
     let mut b = ProgramBuilder::new();
     b.push(Inst::Sysret);
@@ -95,16 +109,17 @@ pub fn sysret_cycles(model: &CpuModel) -> f64 {
     m.load_program(b.link(0x1000));
     m.pc = 0x8000;
     let c0 = m.cycles();
-    m.step(&mut NoEnv).expect("sysret step");
-    (m.cycles() - c0) as f64
+    m.step(&mut NoEnv).map_err(|e| ExperimentError::sim(&ctx, e))?;
+    Ok((m.cycles() - c0) as f64)
 }
 
 /// Table 3: `mov %cr3` cycles (the PTI primitive). Returns `None` where
 /// the paper reports N/A (no PTI deployed on the part).
-pub fn swap_cr3_cycles(model: &CpuModel) -> Option<f64> {
+pub fn swap_cr3_cycles(model: &CpuModel) -> Result<Option<f64>, ExperimentError> {
     if !model.needs_pti() {
-        return None;
+        return Ok(None);
     }
+    let ctx = micro_ctx(model, "swap_cr3");
     let mut m = bench_machine(model);
     let cr3 = m.mmu.cr3();
     m.set_reg(Reg::R1, cr3);
@@ -114,43 +129,44 @@ pub fn swap_cr3_cycles(model: &CpuModel) -> Option<f64> {
     m.load_program(b.link(0x1000));
     m.pc = 0x1000;
     let c0 = m.cycles();
-    m.step(&mut NoEnv).expect("cr3 step");
-    Some((m.cycles() - c0) as f64)
+    m.step(&mut NoEnv).map_err(|e| ExperimentError::sim(&ctx, e))?;
+    Ok(Some((m.cycles() - c0) as f64))
 }
 
 /// Table 4: `verw` cycles. `Some` only on parts with the MD_CLEAR
 /// microcode (the paper reports N/A elsewhere).
-pub fn verw_cycles(model: &CpuModel) -> Option<f64> {
+pub fn verw_cycles(model: &CpuModel) -> Result<Option<f64>, ExperimentError> {
     if !model.spec.md_clear {
-        return None;
+        return Ok(None);
     }
-    Some(measure_loop(model, |b| {
+    measure_loop(model, "verw", |b| {
         b.push(Inst::Verw);
-    }))
+    })
+    .map(Some)
 }
 
 /// Table 8: `lfence` cycles, measured the way the paper's loop would see
 /// it — with a load in flight, since a fully quiet lfence is nearly free
 /// (the paper's own caveat, §5.4).
-pub fn lfence_cycles(model: &CpuModel) -> f64 {
-    let with_load_and_fence = measure_loop(model, |b| {
+pub fn lfence_cycles(model: &CpuModel) -> Result<f64, ExperimentError> {
+    let with_load_and_fence = measure_loop(model, "lfence", |b| {
         b.mov_imm(Reg::R2, 0x10_0000);
         b.push(Inst::Load { dst: Reg::R3, base: Reg::R2, offset: 0, width: Width::B8 });
         b.push(Inst::Lfence);
-    });
-    let load_only = measure_loop(model, |b| {
+    })?;
+    let load_only = measure_loop(model, "lfence", |b| {
         b.mov_imm(Reg::R2, 0x10_0000);
         b.push(Inst::Load { dst: Reg::R3, base: Reg::R2, offset: 0, width: Width::B8 });
-    });
-    with_load_and_fence - load_only
+    })?;
+    Ok(with_load_and_fence - load_only)
 }
 
 /// Table 6: IBPB (wrmsr to `IA32_PRED_CMD`) cycles.
-pub fn ibpb_cycles(model: &CpuModel) -> f64 {
-    measure_loop(model, |b| {
+pub fn ibpb_cycles(model: &CpuModel) -> Result<f64, ExperimentError> {
+    Ok(measure_loop(model, "ibpb", |b| {
         b.mov_imm(Reg::R2, 1);
         b.push(Inst::Wrmsr { msr: msr_index::IA32_PRED_CMD, src: Reg::R2 });
-    }) - 1.0 // the mov
+    })? - 1.0) // the mov
 }
 
 /// Table 7: RSB stuffing cycles (the kernel's per-switch fill), measured
@@ -177,17 +193,21 @@ pub enum Dispatch {
 
 /// Measures one Table 5 cell. Returns `None` for inapplicable cells
 /// (IBRS on Zen; the AMD retpoline is only meaningful on AMD parts).
-pub fn indirect_call_cycles(model: &CpuModel, dispatch: Dispatch) -> Option<f64> {
+pub fn indirect_call_cycles(
+    model: &CpuModel,
+    dispatch: Dispatch,
+) -> Result<Option<f64>, ExperimentError> {
     match dispatch {
-        Dispatch::Ibrs if !model.spec.ibrs_supported => return None,
-        Dispatch::RetpolineAmd if model.vendor != uarch::Vendor::Amd => return None,
+        Dispatch::Ibrs if !model.spec.ibrs_supported => return Ok(None),
+        Dispatch::RetpolineAmd if model.vendor != uarch::Vendor::Amd => return Ok(None),
         _ => {}
     }
+    let ctx = micro_ctx(model, "indirect_call");
     let mut m = bench_machine(model);
     if dispatch == Dispatch::Ibrs {
         m.msrs
             .write(msr_index::IA32_SPEC_CTRL, spec_ctrl::IBRS)
-            .expect("IBRS accepted");
+            .map_err(|f| ExperimentError::fault(&ctx, f, m.pc))?;
     }
     // The paper's Table 5 loop runs in user space.
     m.mode = PrivMode::User;
@@ -238,10 +258,10 @@ pub fn indirect_call_cycles(model: &CpuModel, dispatch: Dispatch) -> Option<f64>
 
     // Warm up (train predictors / caches), then measure.
     m.pc = 0x1000;
-    m.run(&mut NoEnv, 10_000_000).expect("warmup");
+    m.run(&mut NoEnv, 10_000_000).map_err(|e| ExperimentError::sim(&ctx, e))?;
     m.pc = 0x1000;
     let c0 = m.cycles();
-    m.run(&mut NoEnv, 10_000_000).expect("measured run");
+    m.run(&mut NoEnv, 10_000_000).map_err(|e| ExperimentError::sim(&ctx, e))?;
     let total = (m.cycles() - c0) as f64 / ITERS as f64;
 
     // Subtract the loop scaffolding (sub/cmp/jcc ≈ 3 cycles + callee ret
@@ -262,13 +282,13 @@ pub fn indirect_call_cycles(model: &CpuModel, dispatch: Dispatch) -> Option<f64>
     b.push(Inst::Halt);
     m2.load_program(b.link(0x1000));
     m2.pc = 0x1000;
-    m2.run(&mut NoEnv, 10_000_000).expect("warmup");
+    m2.run(&mut NoEnv, 10_000_000).map_err(|e| ExperimentError::sim(&ctx, e))?;
     m2.pc = 0x1000;
     let c0 = m2.cycles();
-    m2.run(&mut NoEnv, 10_000_000).expect("scaffold run");
+    m2.run(&mut NoEnv, 10_000_000).map_err(|e| ExperimentError::sim(&ctx, e))?;
     let scaffold = (m2.cycles() - c0) as f64 / ITERS as f64;
 
-    Some(total - scaffold)
+    Ok(Some(total - scaffold))
 }
 
 #[cfg(test)]
@@ -280,13 +300,18 @@ mod tests {
     fn table3_measurements_match_paper_exactly() {
         for row in paper_table3() {
             let m = row.cpu.model();
-            assert_eq!(syscall_cycles(&m) as u64, row.syscall, "{} syscall", row.cpu);
-            assert_eq!(sysret_cycles(&m) as u64, row.sysret, "{} sysret", row.cpu);
+            assert_eq!(syscall_cycles(&m).unwrap() as u64, row.syscall, "{} syscall", row.cpu);
+            assert_eq!(sysret_cycles(&m).unwrap() as u64, row.sysret, "{} sysret", row.cpu);
             match row.swap_cr3 {
                 Some(c) => {
-                    assert_eq!(swap_cr3_cycles(&m).unwrap() as u64, c, "{} cr3", row.cpu)
+                    assert_eq!(
+                        swap_cr3_cycles(&m).unwrap().unwrap() as u64,
+                        c,
+                        "{} cr3",
+                        row.cpu
+                    )
                 }
-                None => assert!(swap_cr3_cycles(&m).is_none(), "{} cr3 N/A", row.cpu),
+                None => assert!(swap_cr3_cycles(&m).unwrap().is_none(), "{} cr3 N/A", row.cpu),
             }
         }
     }
@@ -300,7 +325,7 @@ mod tests {
             (CpuId::IceLakeServer, None),
             (CpuId::Zen3, None),
         ] {
-            assert_eq!(verw_cycles(&id.model()), expect, "{id}");
+            assert_eq!(verw_cycles(&id.model()).unwrap(), expect, "{id}");
         }
     }
 
@@ -309,6 +334,7 @@ mod tests {
         for row in paper_table5() {
             let m = row.cpu.model();
             let baseline = indirect_call_cycles(&m, Dispatch::Baseline)
+                .unwrap()
                 .expect("baseline always applies");
             // The steady-state predicted indirect call lands on the
             // calibrated baseline within a couple of cycles of scaffold
@@ -321,6 +347,7 @@ mod tests {
                 row.baseline
             );
             let generic = indirect_call_cycles(&m, Dispatch::RetpolineGeneric)
+                .unwrap()
                 .expect("generic applies everywhere");
             let extra = generic - baseline;
             // Emergent retpoline cost: within ±35% of the paper's column
@@ -340,11 +367,11 @@ mod tests {
     fn table5_ibrs_column() {
         for row in paper_table5() {
             let m = row.cpu.model();
-            match (row.ibrs_extra, indirect_call_cycles(&m, Dispatch::Ibrs)) {
+            match (row.ibrs_extra, indirect_call_cycles(&m, Dispatch::Ibrs).unwrap()) {
                 (None, got) => assert!(got.is_none(), "{}: IBRS must be N/A", row.cpu),
                 (Some(want), Some(with_ibrs)) => {
                     let baseline =
-                        indirect_call_cycles(&m, Dispatch::Baseline).unwrap();
+                        indirect_call_cycles(&m, Dispatch::Baseline).unwrap().unwrap();
                     let extra = with_ibrs - baseline;
                     assert!(
                         (extra - want as f64).abs() <= (want as f64 * 0.35).max(4.0),
@@ -367,7 +394,7 @@ mod tests {
             (CpuId::Zen, 7400.0),
             (CpuId::Zen3, 800.0),
         ] {
-            let got = ibpb_cycles(&id.model());
+            let got = ibpb_cycles(&id.model()).unwrap();
             assert!((got - expect).abs() <= 2.0, "{id}: {got} vs {expect}");
         }
     }
@@ -375,10 +402,10 @@ mod tests {
     #[test]
     fn table8_lfence_positive_and_ordered() {
         // In-flight-load lfence cost reflects Table 8's per-part ordering.
-        let zen = lfence_cycles(&CpuId::Zen.model());
-        let zen2 = lfence_cycles(&CpuId::Zen2.model());
-        let icl = lfence_cycles(&CpuId::IceLakeClient.model());
-        let bdw = lfence_cycles(&CpuId::Broadwell.model());
+        let zen = lfence_cycles(&CpuId::Zen.model()).unwrap();
+        let zen2 = lfence_cycles(&CpuId::Zen2.model()).unwrap();
+        let icl = lfence_cycles(&CpuId::IceLakeClient.model()).unwrap();
+        let bdw = lfence_cycles(&CpuId::Broadwell.model()).unwrap();
         assert!(zen > zen2, "Zen ({zen}) > Zen 2 ({zen2})");
         assert!(bdw > icl, "Broadwell ({bdw}) > Ice Lake Client ({icl})");
     }

@@ -24,6 +24,8 @@ use uarch::model::CpuModel;
 use uarch::predictor::PrivMode;
 use uarch::ProgramBuilder;
 
+use crate::harness::{ExperimentError, RunContext};
+
 /// One cell of Table 9/10: attacker mode → victim mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ProbeConfig {
@@ -36,6 +38,19 @@ pub struct ProbeConfig {
     pub intervening_syscall: bool,
     /// Whether `IA32_SPEC_CTRL.IBRS` is set throughout.
     pub ibrs: bool,
+}
+
+impl ProbeConfig {
+    /// A stable label for journal keys and error context.
+    pub fn label(&self) -> String {
+        format!(
+            "{:?}->{:?} {}syscall{}",
+            self.train,
+            self.victim,
+            if self.intervening_syscall { "" } else { "no" },
+            if self.ibrs { " ibrs" } else { "" }
+        )
+    }
 }
 
 /// Result of one probe run.
@@ -66,10 +81,11 @@ const PTR_VADDR: u64 = 0x10_0000;
 const STACK_TOP: u64 = 0x20_0000;
 
 /// Runs the probe on the given CPU model and configuration.
-pub fn run(model: &CpuModel, config: ProbeConfig) -> ProbeResult {
+pub fn run(model: &CpuModel, config: ProbeConfig) -> Result<ProbeResult, ExperimentError> {
     if config.ibrs && !model.spec.ibrs_supported {
-        return ProbeResult::NotApplicable;
+        return Ok(ProbeResult::NotApplicable);
     }
+    let ctx = RunContext::new("probe", model.microarch, &config.label(), "");
     let mut m = Machine::new(model.clone());
 
     // Address space: pointer page + stack, user-accessible (the paper
@@ -150,7 +166,7 @@ pub fn run(model: &CpuModel, config: ProbeConfig) -> ProbeResult {
         m.mode = PrivMode::Kernel;
         m.msrs
             .write(msr_index::IA32_SPEC_CTRL, spec_ctrl::IBRS)
-            .expect("IBRS bit accepted");
+            .map_err(|f| ExperimentError::fault(&ctx, f, m.pc))?;
     }
 
     // Point the shared pointer at the victim and train.
@@ -159,14 +175,14 @@ pub fn run(model: &CpuModel, config: ProbeConfig) -> ProbeResult {
         m.bhb.clear();
         m.mode = config.train;
         m.pc = TRAIN_ENTRY;
-        m.run(&mut NoEnv, 10_000).expect("training run");
+        m.run(&mut NoEnv, 10_000).map_err(|e| ExperimentError::sim(&ctx, e))?;
     }
 
     // Optional intervening syscall round trip (runs in user mode).
     if config.intervening_syscall {
         m.mode = PrivMode::User;
         m.pc = 0x7800;
-        m.run(&mut NoEnv, 1_000).expect("syscall round trip");
+        m.run(&mut NoEnv, 1_000).map_err(|e| ExperimentError::sim(&ctx, e))?;
     }
 
     // Victim dispatch: enter through the overwrite step, in victim mode,
@@ -175,14 +191,14 @@ pub fn run(model: &CpuModel, config: ProbeConfig) -> ProbeResult {
     m.mode = config.victim;
     m.pc = TEST_ENTRY;
     let before = m.pmc.read(Pmc::DividerActive);
-    m.run(&mut NoEnv, 10_000).expect("victim run");
+    m.run(&mut NoEnv, 10_000).map_err(|e| ExperimentError::sim(&ctx, e))?;
     let after = m.pmc.read(Pmc::DividerActive);
 
-    if after > before {
+    Ok(if after > before {
         ProbeResult::Speculated
     } else {
         ProbeResult::Blocked
-    }
+    })
 }
 
 /// The five columns of Tables 9/10, in the paper's order.
@@ -205,12 +221,15 @@ pub fn columns() -> [(&'static str, ProbeConfig); 5] {
 
 /// A full row (one CPU) of Table 9 (`ibrs = false`) or Table 10
 /// (`ibrs = true`).
-pub fn table_row(model: &CpuModel, ibrs: bool) -> Vec<(&'static str, ProbeResult)> {
+pub fn table_row(
+    model: &CpuModel,
+    ibrs: bool,
+) -> Result<Vec<(&'static str, ProbeResult)>, ExperimentError> {
     columns()
         .into_iter()
         .map(|(name, mut cfg)| {
             cfg.ibrs = ibrs;
-            (name, run(model, cfg))
+            run(model, cfg).map(|r| (name, r))
         })
         .collect()
 }
@@ -224,7 +243,9 @@ mod tests {
         run(
             model,
             ProbeConfig { train, victim, intervening_syscall: train != victim, ibrs },
-        ) == ProbeResult::Speculated
+        )
+        .unwrap()
+            == ProbeResult::Speculated
     }
 
     #[test]
@@ -260,7 +281,7 @@ mod tests {
                 for (name, cfg) in columns() {
                     let mut cfg = cfg;
                     cfg.ibrs = true;
-                    assert_eq!(run(&m, cfg), ProbeResult::NotApplicable, "{id} {name}");
+                    assert_eq!(run(&m, cfg).unwrap(), ProbeResult::NotApplicable, "{id} {name}");
                 }
                 continue;
             }

@@ -7,12 +7,20 @@
 //! implements exactly that: an online accumulator, Student-t confidence
 //! intervals, and geometric means.
 
+use std::fmt;
+
 /// Online mean/variance accumulator (Welford's algorithm).
+///
+/// Never emits NaN: a non-finite sample poisons the accumulator (see
+/// [`Accumulator::is_degenerate`]), after which every statistic reports
+/// `INFINITY` — infinitely wide error bars, which no stopping rule will
+/// ever accept — instead of silently propagating NaN into a table.
 #[derive(Debug, Clone, Default)]
 pub struct Accumulator {
     n: u64,
     mean: f64,
     m2: f64,
+    degenerate: bool,
 }
 
 impl Accumulator {
@@ -21,12 +29,22 @@ impl Accumulator {
         Accumulator::default()
     }
 
-    /// Adds a sample.
+    /// Adds a sample. A NaN or infinite sample marks the accumulator
+    /// degenerate rather than corrupting the running moments.
     pub fn add(&mut self, x: f64) {
         self.n += 1;
+        if !x.is_finite() {
+            self.degenerate = true;
+            return;
+        }
         let delta = x - self.mean;
         self.mean += delta / self.n as f64;
         self.m2 += delta * (x - self.mean);
+    }
+
+    /// True once any non-finite sample has been seen.
+    pub fn is_degenerate(&self) -> bool {
+        self.degenerate
     }
 
     /// Number of samples.
@@ -34,17 +52,26 @@ impl Accumulator {
         self.n
     }
 
-    /// Sample mean.
+    /// Sample mean (`INFINITY` when degenerate).
     pub fn mean(&self) -> f64 {
-        self.mean
+        if self.degenerate {
+            f64::INFINITY
+        } else {
+            self.mean
+        }
     }
 
-    /// Unbiased sample variance (0 for fewer than two samples).
+    /// Unbiased sample variance (0 for fewer than two samples,
+    /// `INFINITY` when degenerate).
     pub fn variance(&self) -> f64 {
-        if self.n < 2 {
+        if self.degenerate {
+            f64::INFINITY
+        } else if self.n < 2 {
             0.0
         } else {
-            self.m2 / (self.n - 1) as f64
+            // Floating-point cancellation can push m2 fractionally below
+            // zero for near-constant samples; clamp so stddev is never NaN.
+            (self.m2 / (self.n - 1) as f64).max(0.0)
         }
     }
 
@@ -89,7 +116,7 @@ pub fn t_critical_95(dof: u64) -> f64 {
 }
 
 /// A finished measurement: mean with its 95% CI.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Measurement {
     /// Sample mean.
     pub mean: f64,
@@ -97,6 +124,9 @@ pub struct Measurement {
     pub ci95: f64,
     /// Samples taken.
     pub n: u64,
+    /// Extra attempts the harness needed before this cell succeeded
+    /// (0 = clean first run).
+    pub retries: u32,
 }
 
 impl Measurement {
@@ -132,29 +162,75 @@ impl Default for StopPolicy {
     }
 }
 
-/// Repeatedly samples `f` until the 95% CI is tight enough (paper §4.1's
-/// "stopping once the error was small enough").
-pub fn measure_until(policy: StopPolicy, mut f: impl FnMut() -> f64) -> Measurement {
-    let mut acc = Accumulator::new();
-    loop {
-        acc.add(f());
-        let n = acc.count();
-        if n >= policy.min_runs {
-            let ci = acc.ci95_half_width();
-            if ci / acc.mean().abs() <= policy.target_relative_ci || n >= policy.max_runs {
-                return Measurement { mean: acc.mean(), ci95: ci, n };
+/// Why adaptive measurement rejected its samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StatsError {
+    /// A sample came back NaN or infinite (corrupt run).
+    NonFiniteSample {
+        /// 1-based index of the offending sample.
+        index: u64,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::NonFiniteSample { index, value } => {
+                write!(f, "sample #{index} is not finite ({value})")
             }
         }
     }
 }
 
-/// Geometric mean of positive values.
+impl std::error::Error for StatsError {}
+
+/// Repeatedly samples `f` until the 95% CI is tight enough (paper §4.1's
+/// "stopping once the error was small enough").
 ///
-/// # Panics
-///
-/// Panics on an empty slice.
+/// A non-finite sample aborts immediately with
+/// [`StatsError::NonFiniteSample`] — corrupt data must never be averaged
+/// into a result. The cap is honoured even for a degenerate policy
+/// (`max_runs` below `min_runs`, or zero), so this cannot loop forever.
+pub fn measure_until(
+    policy: StopPolicy,
+    mut f: impl FnMut() -> f64,
+) -> Result<Measurement, StatsError> {
+    let min_runs = policy.min_runs.max(1);
+    let max_runs = policy.max_runs.max(min_runs);
+    let mut acc = Accumulator::new();
+    loop {
+        let sample = f();
+        if !sample.is_finite() {
+            return Err(StatsError::NonFiniteSample { index: acc.count() + 1, value: sample });
+        }
+        acc.add(sample);
+        let n = acc.count();
+        if n >= min_runs {
+            let ci = acc.ci95_half_width();
+            if ci / acc.mean().abs() <= policy.target_relative_ci || n >= max_runs {
+                return Ok(Measurement { mean: acc.mean(), ci95: ci, n, retries: 0 });
+            }
+        }
+    }
+}
+
+/// Geometric mean, total over all inputs (never panics, never NaN):
+/// an empty slice yields 1.0 (the empty product's mean); any NaN, zero,
+/// or negative value yields 0.0 (the value has no well-defined positive
+/// geometric contribution, and 0.0 is conspicuous in a ratio table);
+/// otherwise an infinite value yields `INFINITY`.
 pub fn geomean(values: &[f64]) -> f64 {
-    assert!(!values.is_empty(), "geomean of empty slice");
+    if values.is_empty() {
+        return 1.0;
+    }
+    if values.iter().any(|v| v.is_nan() || *v <= 0.0) {
+        return 0.0;
+    }
+    if values.iter().any(|v| v.is_infinite()) {
+        return f64::INFINITY;
+    }
     let s: f64 = values.iter().map(|v| v.ln()).sum();
     (s / values.len() as f64).exp()
 }
@@ -253,10 +329,12 @@ mod tests {
         let m = measure_until(StopPolicy::default(), || {
             i += 1;
             100.0 + (i % 2) as f64 * 0.1 // tiny alternation
-        });
+        })
+        .unwrap();
         assert!(m.n >= 5);
         assert!(m.relative_ci() <= 0.01 || m.n == StopPolicy::default().max_runs);
         assert!((m.mean - 100.05).abs() < 0.1);
+        assert_eq!(m.retries, 0);
     }
 
     #[test]
@@ -272,14 +350,62 @@ mod tests {
                     150.0
                 }
             },
-        );
+        )
+        .unwrap();
         assert_eq!(m.n, 7);
+    }
+
+    #[test]
+    fn measure_until_rejects_nonfinite_samples() {
+        let mut i = 0u64;
+        let err = measure_until(StopPolicy::default(), || {
+            i += 1;
+            if i == 3 {
+                f64::NAN
+            } else {
+                100.0
+            }
+        })
+        .unwrap_err();
+        assert!(matches!(err, StatsError::NonFiniteSample { index: 3, .. }));
+    }
+
+    #[test]
+    fn measure_until_tolerates_degenerate_policy() {
+        // max_runs below min_runs (and even zero) must still terminate.
+        let m = measure_until(
+            StopPolicy { min_runs: 4, max_runs: 0, target_relative_ci: 1e-12 },
+            || 10.0,
+        )
+        .unwrap();
+        assert_eq!(m.n, 4);
     }
 
     #[test]
     fn geomean_of_constants() {
         assert!((geomean(&[4.0, 4.0, 4.0]) - 4.0).abs() < 1e-12);
         assert!((geomean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geomean_is_total() {
+        assert_eq!(geomean(&[]), 1.0);
+        assert_eq!(geomean(&[1.0, 0.0]), 0.0);
+        assert_eq!(geomean(&[1.0, -3.0]), 0.0);
+        assert_eq!(geomean(&[1.0, f64::NAN]), 0.0);
+        assert_eq!(geomean(&[1.0, f64::INFINITY]), f64::INFINITY);
+    }
+
+    #[test]
+    fn accumulator_poisons_on_nonfinite() {
+        let mut a = Accumulator::new();
+        a.add(1.0);
+        a.add(f64::NAN);
+        a.add(2.0);
+        assert!(a.is_degenerate());
+        assert_eq!(a.mean(), f64::INFINITY);
+        assert_eq!(a.variance(), f64::INFINITY);
+        assert!(!a.mean().is_nan() && !a.ci95_half_width().is_nan());
     }
 
     #[test]
@@ -298,10 +424,10 @@ mod tests {
 
     #[test]
     fn measurement_overlap() {
-        let a = Measurement { mean: 100.0, ci95: 2.0, n: 10 };
-        let b = Measurement { mean: 103.0, ci95: 1.5, n: 10 };
+        let a = Measurement { mean: 100.0, ci95: 2.0, n: 10, retries: 0 };
+        let b = Measurement { mean: 103.0, ci95: 1.5, n: 10, retries: 0 };
         assert!(a.overlaps(&b));
-        let c = Measurement { mean: 110.0, ci95: 1.0, n: 10 };
+        let c = Measurement { mean: 110.0, ci95: 1.0, n: 10, retries: 0 };
         assert!(!a.overlaps(&c));
     }
 }

@@ -121,7 +121,7 @@ impl<'e> Interp<'e> {
                 Op::Div => {
                     let b = pop!();
                     let a = pop!();
-                    stack.push(if b == 0 { 0 } else { a / b });
+                    stack.push(a.checked_div(b).unwrap_or(0));
                 }
                 Op::And => {
                     let b = pop!();

@@ -104,6 +104,26 @@ pub enum VerifierError {
     NoExit,
 }
 
+impl std::fmt::Display for VerifierError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifierError::TooLong { len } => {
+                write!(f, "program too long: {len} instructions (max {MAX_INSNS})")
+            }
+            VerifierError::BadRegister { at } => {
+                write!(f, "bad register operand at instruction {at}")
+            }
+            VerifierError::BadBranch { at } => {
+                write!(f, "branch out of range at instruction {at}")
+            }
+            VerifierError::BadMap { at } => write!(f, "unknown map at instruction {at}"),
+            VerifierError::NoExit => write!(f, "control falls off the end (no exit)"),
+        }
+    }
+}
+
+impl std::error::Error for VerifierError {}
+
 /// The verifier: structural checks, then a report of what the JIT must
 /// harden.
 #[derive(Debug, Clone, PartialEq)]

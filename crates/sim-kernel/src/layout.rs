@@ -43,10 +43,10 @@ mod tests {
     #[test]
     fn regions_do_not_overlap() {
         // Data regions are ordered and disjoint.
-        assert!(USER_DATA_VADDR + USER_DATA_PAGES * 4096 <= MMAP_BASE);
-        assert!(MMAP_BASE + MMAP_SPAN <= STACK_TOP - STACK_PAGES * 4096);
-        assert!(STACK_TOP <= KERNEL_DATA_VADDR);
+        const { assert!(USER_DATA_VADDR + USER_DATA_PAGES * 4096 <= MMAP_BASE) };
+        const { assert!(MMAP_BASE + MMAP_SPAN <= STACK_TOP - STACK_PAGES * 4096) };
+        const { assert!(STACK_TOP <= KERNEL_DATA_VADDR) };
         // Code windows stay below kernel text for many processes.
-        assert!(USER_CODE_BASE + 100 * USER_CODE_SPAN < KERNEL_TEXT_BASE);
+        const { assert!(USER_CODE_BASE + 100 * USER_CODE_SPAN < KERNEL_TEXT_BASE) };
     }
 }

@@ -842,7 +842,7 @@ impl Machine {
             && self.model.spec.eibrs_flush_interval > 0
         {
             self.entry_counter += 1;
-            if self.entry_counter % self.model.spec.eibrs_flush_interval == 0 {
+            if self.entry_counter.is_multiple_of(self.model.spec.eibrs_flush_interval) {
                 self.charge(self.model.lat.eibrs_periodic_flush);
                 self.btb.flush_mode(PrivMode::Kernel);
             }
@@ -888,7 +888,10 @@ impl Machine {
                 self.charge(self.model.lat.alu + 1);
                 self.regs[d.index()] = self.fpu.state.regs[s.index()].to_bits();
             }
-            _ => unreachable!("exec_fp called on non-FP instruction"),
+            // A non-FP instruction routed here is a decoder bug in the
+            // caller; surface it as an architectural #UD instead of
+            // aborting the whole process.
+            _ => return Err(Fault::InvalidOpcode),
         }
         Ok(())
     }

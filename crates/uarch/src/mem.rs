@@ -178,8 +178,8 @@ mod tests {
     #[test]
     fn f64_roundtrip() {
         let mut m = PhysMemory::new();
-        m.write_f64(0x100, 3.14159);
-        assert_eq!(m.read_f64(0x100), 3.14159);
+        m.write_f64(0x100, std::f64::consts::PI);
+        assert_eq!(m.read_f64(0x100), std::f64::consts::PI);
     }
 
     #[test]

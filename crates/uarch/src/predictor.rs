@@ -271,6 +271,8 @@ impl Rsb {
 }
 
 /// Saturating 2-bit counter states for the conditional predictor.
+/// The shared `Taken` postfix is the textbook naming for these states.
+#[allow(clippy::enum_variant_names)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Counter {
     StrongNotTaken,

@@ -262,7 +262,7 @@ impl CodeMem {
             return None;
         }
         let seg = &self.segments[pos - 1];
-        if addr >= seg.end() || (addr - seg.base()) % INST_SIZE != 0 {
+        if addr >= seg.end() || !(addr - seg.base()).is_multiple_of(INST_SIZE) {
             return None;
         }
         seg.insts.get(((addr - seg.base()) / INST_SIZE) as usize)

@@ -5,18 +5,39 @@
 //! ```text
 //! cargo run --release --example attribution_study              # all CPUs
 //! cargo run --release --example attribution_study -- quick     # getpid only
+//! cargo run --release --example attribution_study -- faulty    # + injected faults
 //! ```
+//!
+//! The `faulty` mode drives the same sweep through a `FaultPlan` that
+//! permanently kills one lattice cell: the harness retries, gives up,
+//! and `attribute()` bridges the adjacent slices instead of aborting.
 
 use cpu_models::CpuId;
 use spectrebench::experiments::figure2;
+use spectrebench::{FaultKind, FaultPlan, Harness};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "quick");
+    let faulty = std::env::args().any(|a| a == "faulty");
     if quick {
         println!("(quick mode: attribution over getpid only)\n");
     }
-    let fig = figure2::run(&CpuId::ALL, quick);
+    let harness = if faulty {
+        println!("(faulty mode: Broadwell's [nopti] cell fails permanently)\n");
+        Harness::new()
+            .with_plan(FaultPlan::new().fail_cell("Broadwell/getpid/[nopti]", FaultKind::SimFault, None))
+    } else {
+        Harness::new()
+    };
+    let fig = figure2::run(&harness, &CpuId::ALL, quick || faulty).expect("figure 2 sweep");
     println!("{}", figure2::render(&fig));
+    let stats = harness.stats();
+    if stats.retries > 0 || stats.faults_injected > 0 {
+        println!(
+            "(harness: {} retries, {} faults injected, {} cells failed)\n",
+            stats.retries, stats.faults_injected, stats.cells_failed
+        );
+    }
 
     // The paper's headline, restated from the data.
     let total = |id: CpuId| {

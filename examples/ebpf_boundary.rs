@@ -67,7 +67,11 @@ fn main() {
     assert!(bare.leaked() && !masked.leaked());
 
     // 3. Performance: what the boundary's mitigations cost.
-    let rows = ebpf::run(&[CpuId::Broadwell, CpuId::CascadeLake, CpuId::IceLakeServer]);
+    let rows = ebpf::run(
+        &spectrebench::Harness::new(),
+        &[CpuId::Broadwell, CpuId::CascadeLake, CpuId::IceLakeServer],
+    )
+    .expect("clean eBPF sweep");
     println!("\n{}", ebpf::render(&rows));
     println!(
         "Same trajectory as the paper's OS boundary: entry/exit mitigations\n\

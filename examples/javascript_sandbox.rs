@@ -37,9 +37,11 @@ fn main() {
 
     // The Figure 3 attribution across a CPU subset.
     let fig = figure3::run(
+        &spectrebench::Harness::new(),
         &[CpuId::Broadwell, CpuId::IceLakeServer, CpuId::Zen3],
         false,
-    );
+    )
+    .expect("clean figure 3 run");
     println!("{}", figure3::render(&fig));
 
     // What the 4% buys: index masking stops the in-sandbox Spectre V1.

@@ -9,6 +9,7 @@
 use cpu_models::CpuId;
 use spectrebench::experiments::tables9and10;
 use spectrebench::probe::{run, ProbeConfig, ProbeResult};
+use spectrebench::Harness;
 use uarch::PrivMode;
 
 fn main() {
@@ -21,7 +22,7 @@ fn main() {
             intervening_syscall: true,
             ibrs: false,
         };
-        let r = run(&id.model(), cfg);
+        let r = run(&id.model(), cfg).expect("probe runs clean");
         println!(
             "{}: train in user mode, victim indirect branch in kernel mode -> {}",
             id.microarch(),
@@ -34,8 +35,11 @@ fn main() {
     }
     println!();
 
-    println!("{}", tables9and10::render(&tables9and10::run(false)));
-    println!("{}", tables9and10::render(&tables9and10::run(true)));
+    let harness = Harness::new();
+    let t9 = tables9and10::run(&harness, false).expect("table 9 runs clean");
+    let t10 = tables9and10::run(&harness, true).expect("table 10 runs clean");
+    println!("{}", tables9and10::render(&t9));
+    println!("{}", tables9and10::render(&t10));
     println!(
         "Note the pre-Spectre parts under IBRS: all prediction blocked, even\n\
          user->user (section 6.2.1), and Zen 3's empty rows (section 6.2)."

@@ -16,7 +16,11 @@ use uarch::mmu::Pte;
 fn main() {
     // Guest-visible overhead of host mitigations for LEBench-in-VM and
     // the two LFS benchmarks.
-    let rows = vm::run(&[CpuId::SkylakeClient, CpuId::CascadeLake, CpuId::Zen3]);
+    let rows = vm::run(
+        &spectrebench::Harness::new(),
+        &[CpuId::SkylakeClient, CpuId::CascadeLake, CpuId::Zen3],
+    )
+    .expect("clean VM sweep");
     println!("{}", vm::render(&rows));
     println!(
         "Exits stay in the tens of thousands per second while syscalls reach\n\

@@ -1,22 +1,61 @@
-//! Property-based tests (proptest) over the core invariants:
+//! Property-based tests over the core invariants, driven by a
+//! hand-rolled seeded generator (no external framework):
 //!
 //! * architectural determinism: mitigations may change *timing* and
 //!   microarchitectural state, but never computed results;
 //! * the JIT agrees with the reference interpreter on randomly generated
 //!   bytecode programs, under random mitigation sets;
-//! * transient windows never commit architectural state;
-//! * statistics invariants (CI shrinks, geomean bounds).
+//! * the in-kernel BPF JIT agrees with the BPF reference interpreter;
+//! * statistics invariants: geomean bounds, accumulator mean, noise
+//!   reproducibility, no panic/NaN on empty/single/zero/infinite input,
+//!   and a 95% CI that shrinks monotonically with sample count.
 
 use js_engine::{Engine, FunctionBuilder, JsMitigations, Op};
-use proptest::prelude::*;
 use sim_kernel::BootParams;
-use spectrebench::stats::{geomean, Accumulator, NoiseModel};
+use spectrebench::stats::{
+    geomean, measure_until, Accumulator, NoiseModel, StatsError, StopPolicy,
+};
 use uarch::isa::{Cond, Inst, Reg, Width};
 use uarch::machine::{Machine, NoEnv};
 use uarch::mmu::{make_cr3, PageTable, Pte};
 use uarch::model::CpuModel;
 use uarch::predictor::PrivMode;
 use uarch::ProgramBuilder;
+
+// ---------------------------------------------------------------------
+// A tiny deterministic generator (xorshift64*), replacing proptest.
+// ---------------------------------------------------------------------
+
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[0, n)`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
 
 // ---------------------------------------------------------------------
 // Machine-level properties.
@@ -37,18 +76,24 @@ enum RandOp {
     CmpJump(u8, u32),
 }
 
-fn rand_op() -> impl Strategy<Value = RandOp> {
-    prop_oneof![
-        (0u8..6, any::<u32>()).prop_map(|(r, v)| RandOp::MovImm(r, v)),
-        (0u8..6, 0u8..6).prop_map(|(a, b)| RandOp::Add(a, b)),
-        (0u8..6, 0u8..6).prop_map(|(a, b)| RandOp::Sub(a, b)),
-        (0u8..6, 0u8..6).prop_map(|(a, b)| RandOp::Mul(a, b)),
-        (0u8..6, 0u8..6).prop_map(|(a, b)| RandOp::Xor(a, b)),
-        (0u8..6, 0u8..16).prop_map(|(a, k)| RandOp::Shl(a, k)),
-        (0u8..6, 0u16..512).prop_map(|(r, o)| RandOp::Store(r, o * 8)),
-        (0u8..6, 0u16..512).prop_map(|(r, o)| RandOp::Load(r, o * 8)),
-        (0u8..6, any::<u32>()).prop_map(|(r, v)| RandOp::CmpJump(r, v)),
-    ]
+fn rand_op(rng: &mut Rng) -> RandOp {
+    let r = |rng: &mut Rng| rng.below(6) as u8;
+    match rng.below(9) {
+        0 => RandOp::MovImm(r(rng), rng.next() as u32),
+        1 => RandOp::Add(r(rng), r(rng)),
+        2 => RandOp::Sub(r(rng), r(rng)),
+        3 => RandOp::Mul(r(rng), r(rng)),
+        4 => RandOp::Xor(r(rng), r(rng)),
+        5 => RandOp::Shl(r(rng), rng.below(16) as u8),
+        6 => RandOp::Store(r(rng), (rng.below(512) * 8) as u16),
+        7 => RandOp::Load(r(rng), (rng.below(512) * 8) as u16),
+        _ => RandOp::CmpJump(r(rng), rng.next() as u32),
+    }
+}
+
+fn rand_program(rng: &mut Rng, max_len: u64) -> Vec<RandOp> {
+    let len = 1 + rng.below(max_len);
+    (0..len).map(|_| rand_op(rng)).collect()
 }
 
 fn build_machine(model: CpuModel, ops: &[RandOp]) -> Machine {
@@ -123,42 +168,47 @@ fn final_regs(model: CpuModel, ops: &[RandOp]) -> [u64; 16] {
     m.regs
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The architectural result of a program is identical on every CPU
-    /// model: speculation, SSBD, history-tagged BTBs etc. only change
-    /// timing and microarchitectural state.
-    #[test]
-    fn architectural_results_are_model_independent(ops in prop::collection::vec(rand_op(), 1..40)) {
+/// The architectural result of a program is identical on every CPU
+/// model: speculation, SSBD, history-tagged BTBs etc. only change
+/// timing and microarchitectural state.
+#[test]
+fn architectural_results_are_model_independent() {
+    for seed in 0..64 {
+        let ops = rand_program(&mut Rng::new(seed), 40);
         let reference = final_regs(cpu_models::broadwell(), &ops);
         for model in [cpu_models::ice_lake_server(), cpu_models::zen3(), cpu_models::zen()] {
-            prop_assert_eq!(final_regs(model, &ops), reference);
+            assert_eq!(final_regs(model, &ops), reference, "seed {seed}");
         }
     }
+}
 
-    /// Forcing SSBD changes cycles, never results.
-    #[test]
-    fn ssbd_changes_timing_not_results(ops in prop::collection::vec(rand_op(), 1..40)) {
-        use uarch::isa::{msr_index, spec_ctrl};
+/// Forcing SSBD changes cycles, never results.
+#[test]
+fn ssbd_changes_timing_not_results() {
+    use uarch::isa::{msr_index, spec_ctrl};
+    for seed in 0..64 {
+        let ops = rand_program(&mut Rng::new(0x55B_D000 + seed), 40);
         let plain = final_regs(cpu_models::zen3(), &ops);
         let mut m = build_machine(cpu_models::zen3(), &ops);
         m.msrs.write(msr_index::IA32_SPEC_CTRL, spec_ctrl::SSBD).unwrap();
         m.run(&mut NoEnv, 1_000_000).expect("halts");
-        prop_assert_eq!(m.regs, plain);
+        assert_eq!(m.regs, plain, "seed {seed}");
     }
+}
 
-    /// The simulator is deterministic: two fresh machines running the
-    /// same program produce identical registers *and* identical cycle
-    /// counts (there is no hidden global state).
-    #[test]
-    fn fresh_runs_are_fully_deterministic(ops in prop::collection::vec(rand_op(), 1..30)) {
+/// The simulator is deterministic: two fresh machines running the
+/// same program produce identical registers *and* identical cycle
+/// counts (there is no hidden global state).
+#[test]
+fn fresh_runs_are_fully_deterministic() {
+    for seed in 0..64 {
+        let ops = rand_program(&mut Rng::new(0xDE7_0000 + seed), 30);
         let mut a = build_machine(cpu_models::skylake_client(), &ops);
         a.run(&mut NoEnv, 1_000_000).expect("halts");
         let mut b = build_machine(cpu_models::skylake_client(), &ops);
         b.run(&mut NoEnv, 1_000_000).expect("halts");
-        prop_assert_eq!(a.regs, b.regs);
-        prop_assert_eq!(a.cycles(), b.cycles());
+        assert_eq!(a.regs, b.regs, "seed {seed}");
+        assert_eq!(a.cycles(), b.cycles(), "seed {seed}");
     }
 }
 
@@ -178,22 +228,22 @@ enum JsExpr {
     And(Box<JsExpr>, Box<JsExpr>),
 }
 
-fn js_expr() -> impl Strategy<Value = JsExpr> {
-    let leaf = prop_oneof![
-        any::<i32>().prop_map(JsExpr::Const),
-        (0u8..3).prop_map(JsExpr::Local),
-    ];
-    leaf.prop_recursive(4, 24, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| JsExpr::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| JsExpr::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| JsExpr::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), inner).prop_map(|(a, b)| JsExpr::And(Box::new(a), Box::new(b))),
-        ]
-    })
+fn js_expr(rng: &mut Rng, depth: u32) -> JsExpr {
+    if depth == 0 || rng.below(3) == 0 {
+        return if rng.bool() {
+            JsExpr::Const(rng.next() as i32)
+        } else {
+            JsExpr::Local(rng.below(3) as u8)
+        };
+    }
+    let a = Box::new(js_expr(rng, depth - 1));
+    let b = Box::new(js_expr(rng, depth - 1));
+    match rng.below(4) {
+        0 => JsExpr::Add(a, b),
+        1 => JsExpr::Sub(a, b),
+        2 => JsExpr::Mul(a, b),
+        _ => JsExpr::And(a, b),
+    }
 }
 
 fn emit_expr(f: &mut FunctionBuilder, e: &JsExpr) {
@@ -227,20 +277,21 @@ fn emit_expr(f: &mut FunctionBuilder, e: &JsExpr) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// The JIT (on the simulator, with arbitrary mitigation sets) agrees
+/// with the reference interpreter on random expression programs.
+#[test]
+fn jit_matches_interpreter() {
+    for seed in 0..24 {
+        let mut rng = Rng::new(0x15_E7 + seed);
+        let e = js_expr(&mut rng, 4);
+        let l0 = rng.next() as i32;
+        let l1 = rng.next() as i32;
+        let mits = JsMitigations {
+            index_masking: rng.bool(),
+            object_guards: rng.bool(),
+            other_js: rng.bool(),
+        };
 
-    /// The JIT (on the simulator, with arbitrary mitigation sets) agrees
-    /// with the reference interpreter on random expression programs.
-    #[test]
-    fn jit_matches_interpreter(
-        e in js_expr(),
-        l0 in any::<i32>(),
-        l1 in any::<i32>(),
-        im in any::<bool>(),
-        og in any::<bool>(),
-        oj in any::<bool>(),
-    ) {
         let mut engine = Engine::new();
         let mut f = FunctionBuilder::new("main", 0, 3);
         f.op(Op::Const(l0 as i64));
@@ -253,9 +304,8 @@ proptest! {
         engine.set_main(fid);
 
         let expect = engine.interpret().expect("interpreter runs");
-        let mits = JsMitigations { index_masking: im, object_guards: og, other_js: oj };
         let out = engine.run_jit(&cpu_models::zen2(), &BootParams::default(), mits);
-        prop_assert_eq!(out.result, expect);
+        assert_eq!(out.result, expect, "seed {seed} under {mits:?}");
     }
 }
 
@@ -263,36 +313,110 @@ proptest! {
 // Statistics properties.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Geomean lies between min and max.
-    #[test]
-    fn geomean_bounded(v in prop::collection::vec(0.001f64..1e9, 1..30)) {
+/// Geomean lies between min and max.
+#[test]
+fn geomean_bounded() {
+    for seed in 0..64 {
+        let mut rng = Rng::new(0x6E0 + seed);
+        let n = 1 + rng.below(30);
+        let v: Vec<f64> = (0..n).map(|_| 0.001 + rng.unit() * 1e9).collect();
         let g = geomean(&v);
         let min = v.iter().cloned().fold(f64::MAX, f64::min);
         let max = v.iter().cloned().fold(0.0, f64::max);
-        prop_assert!(g >= min * 0.999 && g <= max * 1.001);
+        assert!(g >= min * 0.999 && g <= max * 1.001, "seed {seed}: {g} vs [{min}, {max}]");
     }
+}
 
-    /// The accumulator's mean equals the arithmetic mean.
-    #[test]
-    fn accumulator_mean_matches(v in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+/// The accumulator's mean equals the arithmetic mean.
+#[test]
+fn accumulator_mean_matches() {
+    for seed in 0..64 {
+        let mut rng = Rng::new(0xACC + seed);
+        let n = 1 + rng.below(100);
+        let v: Vec<f64> = (0..n).map(|_| (rng.unit() - 0.5) * 2e6).collect();
         let mut a = Accumulator::new();
         for x in &v {
             a.add(*x);
         }
         let mean = v.iter().sum::<f64>() / v.len() as f64;
-        prop_assert!((a.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        assert!(
+            (a.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()),
+            "seed {seed}: {} vs {mean}",
+            a.mean()
+        );
     }
+}
 
-    /// Noise streams are reproducible from the seed.
-    #[test]
-    fn noise_reproducible(seed in any::<u64>()) {
-        let mut a = NoiseModel::paper_default(seed);
-        let mut b = NoiseModel::paper_default(seed);
+/// Noise streams are reproducible from the seed.
+#[test]
+fn noise_reproducible() {
+    for seed in 0..64 {
+        let s = Rng::new(0x4015E + seed).next();
+        let mut a = NoiseModel::paper_default(s);
+        let mut b = NoiseModel::paper_default(s);
         for _ in 0..10 {
-            prop_assert_eq!(a.factor(), b.factor());
+            assert_eq!(a.factor(), b.factor());
+        }
+    }
+}
+
+/// Degenerate inputs never panic and never smuggle NaN into results:
+/// empty and constant-zero geomeans are defined, a fresh accumulator
+/// reports infinite (not NaN) statistics, single samples have zero
+/// variance, and infinities poison rather than crash.
+#[test]
+fn degenerate_statistics_inputs_are_total() {
+    // geomean: empty, single, zero, infinite.
+    assert_eq!(geomean(&[]), 1.0);
+    assert_eq!(geomean(&[7.25]), 7.25);
+    assert_eq!(geomean(&[0.0, 1.0]), 0.0);
+    assert_eq!(geomean(&[f64::INFINITY, 1.0]), f64::INFINITY);
+    assert_eq!(geomean(&[f64::NAN]), 0.0);
+
+    // Accumulator: empty / single / non-finite.
+    let empty = Accumulator::new();
+    assert!(!empty.mean().is_nan());
+    assert!(!empty.variance().is_nan());
+    let mut single = Accumulator::new();
+    single.add(3.0);
+    assert_eq!(single.mean(), 3.0);
+    assert_eq!(single.variance(), 0.0);
+    let mut inf = Accumulator::new();
+    inf.add(f64::INFINITY);
+    assert!(inf.is_degenerate());
+    let mut nan = Accumulator::new();
+    nan.add(f64::NAN);
+    assert!(nan.is_degenerate());
+
+    // measure_until: a NaN sample is a typed error, not a poisoned mean.
+    let policy = StopPolicy { min_runs: 3, max_runs: 5, target_relative_ci: 0.01 };
+    let err = measure_until(policy, || f64::NAN);
+    assert!(matches!(err, Err(StatsError::NonFiniteSample { .. })));
+    // Zero samples are legitimate (relative CI guards divide-by-zero).
+    let m = measure_until(policy, || 0.0).expect("zeros are finite");
+    assert_eq!(m.mean, 0.0);
+    assert!(!m.ci95.is_nan());
+}
+
+/// The 95% confidence interval shrinks monotonically in sample count
+/// (fixed noise stream, checked at doubling intervals).
+#[test]
+fn ci95_shrinks_monotonically_with_samples() {
+    for seed in 0..16 {
+        let mut noise = NoiseModel::paper_default(0xC195 + seed);
+        let mut acc = Accumulator::new();
+        let mut previous = f64::INFINITY;
+        for _ in 0..6 {
+            for _ in 0..32 {
+                acc.add(noise.apply(1000.0));
+            }
+            let ci = acc.ci95_half_width();
+            assert!(
+                ci < previous,
+                "seed {seed}: ci95 must shrink, {ci} after {} samples (was {previous})",
+                acc.count(),
+            );
+            previous = ci;
         }
     }
 }
@@ -308,40 +432,37 @@ mod bpf_props {
     use sim_kernel::{userlib, Kernel};
     use uarch::isa::Inst;
 
-    /// Random verifier-valid straight-line program over two maps.
-    fn bpf_insn() -> impl Strategy<Value = BpfInsn> {
-        prop_oneof![
-            (0u8..8, -64i64..64).prop_map(|(d, v)| BpfInsn::MovImm(d, v)),
-            (0u8..8, 0u8..8).prop_map(|(d, s)| BpfInsn::Mov(d, s)),
-            (0u8..8, 0u8..8).prop_map(|(d, s)| BpfInsn::Add(d, s)),
-            (0u8..8, 0u8..8).prop_map(|(d, s)| BpfInsn::Sub(d, s)),
-            (0u8..8, 0u8..8).prop_map(|(d, s)| BpfInsn::Mul(d, s)),
-            (0u8..8, 0i64..256).prop_map(|(d, v)| BpfInsn::AndImm(d, v)),
-            (0u8..8, 0u8..8).prop_map(|(d, k)| BpfInsn::Shl(d, k)),
-            (0u8..8, 0u8..8).prop_map(|(d, k)| BpfInsn::Shr(d, k)),
-            (0u8..8, 0u32..2u32, 0u8..8)
-                .prop_map(|(d, m, i)| BpfInsn::MapLookup { dst: d, map: m, idx: i }),
-            (0u32..2u32, 0u8..8, 0u8..8)
-                .prop_map(|(m, i, s)| BpfInsn::MapUpdate { map: m, idx: i, src: s }),
-        ]
+    /// Random verifier-valid straight-line instruction over two maps.
+    fn bpf_insn(rng: &mut Rng) -> BpfInsn {
+        let r = |rng: &mut Rng| rng.below(8) as u8;
+        match rng.below(10) {
+            0 => BpfInsn::MovImm(r(rng), rng.below(128) as i64 - 64),
+            1 => BpfInsn::Mov(r(rng), r(rng)),
+            2 => BpfInsn::Add(r(rng), r(rng)),
+            3 => BpfInsn::Sub(r(rng), r(rng)),
+            4 => BpfInsn::Mul(r(rng), r(rng)),
+            5 => BpfInsn::AndImm(r(rng), rng.below(256) as i64),
+            6 => BpfInsn::Shl(r(rng), r(rng)),
+            7 => BpfInsn::Shr(r(rng), r(rng)),
+            8 => BpfInsn::MapLookup { dst: r(rng), map: rng.below(2) as u32, idx: r(rng) },
+            _ => BpfInsn::MapUpdate { map: rng.below(2) as u32, idx: r(rng), src: r(rng) },
+        }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
-
-        /// The in-kernel JIT (running through the full syscall path, with
-        /// or without verifier masking) computes exactly what the BPF
-        /// reference interpreter computes — and leaves the maps in the
-        /// same state.
-        #[test]
-        fn bpf_jit_matches_reference_interpreter(
-            body in prop::collection::vec(bpf_insn(), 0..24),
-            seed0 in prop::collection::vec(0u64..1000, 8),
-            seed1 in prop::collection::vec(0u64..1000, 8),
-            masked in any::<bool>(),
-        ) {
-            let mut insns = body;
+    /// The in-kernel JIT (running through the full syscall path, with
+    /// or without verifier masking) computes exactly what the BPF
+    /// reference interpreter computes — and leaves the maps in the
+    /// same state.
+    #[test]
+    fn bpf_jit_matches_reference_interpreter() {
+        for seed in 0..24 {
+            let mut rng = Rng::new(0xB9F + seed);
+            let len = rng.below(24);
+            let mut insns: Vec<BpfInsn> = (0..len).map(|_| bpf_insn(&mut rng)).collect();
             insns.push(BpfInsn::Exit);
+            let seed0: Vec<u64> = (0..8).map(|_| rng.below(1000)).collect();
+            let seed1: Vec<u64> = (0..8).map(|_| rng.below(1000)).collect();
+            let masked = rng.bool();
             let verified = bpf::verify(&insns, 2).expect("generated programs verify");
 
             // Reference run.
@@ -350,10 +471,7 @@ mod bpf_props {
 
             // Kernel run.
             let cmdline = if masked { "" } else { "nospectre_v1" };
-            let mut k = Kernel::boot(
-                cpu_models::cascade_lake(),
-                &BootParams::parse(cmdline),
-            );
+            let mut k = Kernel::boot(cpu_models::cascade_lake(), &BootParams::parse(cmdline));
             let m0 = k.bpf_create_map(8);
             let m1 = k.bpf_create_map(8);
             for (i, v) in seed0.iter().enumerate() {
@@ -378,10 +496,14 @@ mod bpf_props {
             k.start();
             k.run(100_000_000).expect("runs");
             let out = k.peek_user_data(pid, 0, 8);
-            prop_assert_eq!(u64::from_le_bytes(out.try_into().unwrap()), expect);
+            assert_eq!(
+                u64::from_le_bytes(out.try_into().unwrap()),
+                expect,
+                "seed {seed}"
+            );
             for i in 0..8u64 {
-                prop_assert_eq!(k.bpf_map_read(m0, i), ref_maps[0][i as usize]);
-                prop_assert_eq!(k.bpf_map_read(m1, i), ref_maps[1][i as usize]);
+                assert_eq!(k.bpf_map_read(m0, i), ref_maps[0][i as usize], "seed {seed}");
+                assert_eq!(k.bpf_map_read(m1, i), ref_maps[1][i as usize], "seed {seed}");
             }
         }
     }
