@@ -7,7 +7,7 @@ use std::time::Instant;
 
 use cpu_models::CpuId;
 use spectrebench::experiments::{figure2, figure3, figure5};
-use spectrebench::Harness;
+use spectrebench::Executor;
 
 fn time(name: &str, iters: u32, mut f: impl FnMut()) {
     let t0 = Instant::now();
@@ -19,29 +19,31 @@ fn time(name: &str, iters: u32, mut f: impl FnMut()) {
 }
 
 fn main() {
-    let h = Harness::new();
+    let exec = Executor::default();
     // Representative regeneration printout (old Intel, new Intel, new AMD).
     let cpus = [CpuId::Broadwell, CpuId::IceLakeServer, CpuId::Zen3];
-    match figure2::run(&h, &cpus, false) {
+    match figure2::run(&exec, &cpus, false) {
         Ok(f) => eprintln!("== Figure 2 (subset) ==\n{}", figure2::render(&f)),
         Err(e) => eprintln!("== Figure 2 == FAILED: {e}"),
     }
-    match figure3::run(&h, &cpus, false) {
+    match figure3::run(&exec, &cpus, false) {
         Ok(f) => eprintln!("== Figure 3 (subset) ==\n{}", figure3::render(&f)),
         Err(e) => eprintln!("== Figure 3 == FAILED: {e}"),
     }
-    match figure5::run(&h, &cpus) {
+    match figure5::run(&exec, &cpus) {
         Ok(f) => eprintln!("== Figure 5 (subset) ==\n{}", figure5::render(&f)),
         Err(e) => eprintln!("== Figure 5 == FAILED: {e}"),
     }
 
+    // Fresh executor per iteration: the cell cache would otherwise turn
+    // every iteration after the first into a hashmap lookup.
     time("figure2_lebench_attribution_quick", 10, || {
-        let _ = figure2::run(&h, &[CpuId::Broadwell], true);
+        let _ = figure2::run(&Executor::default(), &[CpuId::Broadwell], true);
     });
     time("figure3_octane_attribution_quick", 10, || {
-        let _ = figure3::run(&h, &[CpuId::SkylakeClient], true);
+        let _ = figure3::run(&Executor::default(), &[CpuId::SkylakeClient], true);
     });
     time("figure5_ssbd_parsec", 10, || {
-        let _ = figure5::run(&h, &[CpuId::Zen3]);
+        let _ = figure5::run(&Executor::default(), &[CpuId::Zen3]);
     });
 }

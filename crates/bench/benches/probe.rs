@@ -6,7 +6,7 @@ use std::time::Instant;
 use cpu_models::{cascade_lake, CpuId};
 use spectrebench::experiments::{eibrs_bimodal, tables9and10};
 use spectrebench::probe::{self, ProbeConfig};
-use spectrebench::Harness;
+use spectrebench::Executor;
 use uarch::PrivMode;
 
 fn time(name: &str, iters: u32, mut f: impl FnMut()) {
@@ -19,16 +19,16 @@ fn time(name: &str, iters: u32, mut f: impl FnMut()) {
 }
 
 fn main() {
-    let h = Harness::new();
-    match tables9and10::run(&h, false) {
+    let exec = Executor::default();
+    match tables9and10::run(&exec, false) {
         Ok(m) => eprintln!("== Table 9 ==\n{}", tables9and10::render(&m)),
         Err(e) => eprintln!("== Table 9 == FAILED: {e}"),
     }
-    match tables9and10::run(&h, true) {
+    match tables9and10::run(&exec, true) {
         Ok(m) => eprintln!("== Table 10 ==\n{}", tables9and10::render(&m)),
         Err(e) => eprintln!("== Table 10 == FAILED: {e}"),
     }
-    match eibrs_bimodal::run(&h, &cascade_lake(), 128) {
+    match eibrs_bimodal::run(&exec, &cascade_lake(), 128) {
         Ok(b) => eprintln!("== eIBRS bimodal (Cascade Lake) ==\n{}", eibrs_bimodal::render(&b)),
         Err(e) => eprintln!("== eIBRS bimodal == FAILED: {e}"),
     }
@@ -44,9 +44,9 @@ fn main() {
         let _ = probe::run(&model, cfg);
     });
     time("full_table9_matrix", 10, || {
-        let _ = tables9and10::run(&h, false);
+        let _ = tables9and10::run(&Executor::default(), false);
     });
     time("eibrs_bimodal_histogram", 10, || {
-        let _ = eibrs_bimodal::run(&h, &cascade_lake(), 128);
+        let _ = eibrs_bimodal::run(&Executor::default(), &cascade_lake(), 128);
     });
 }

@@ -8,7 +8,7 @@ use std::time::Instant;
 
 use bench::Artifact;
 use cpu_models::{broadwell, ice_lake_server, zen3};
-use spectrebench::{micro, Harness};
+use spectrebench::{micro, Executor};
 
 fn time(name: &str, iters: u32, mut f: impl FnMut()) {
     let t0 = Instant::now();
@@ -20,7 +20,7 @@ fn time(name: &str, iters: u32, mut f: impl FnMut()) {
 }
 
 fn main() {
-    let h = Harness::new();
+    let exec = Executor::default();
     // Print each table once so the bench output doubles as the
     // regeneration record.
     for a in [
@@ -33,14 +33,14 @@ fn main() {
         Artifact::Table7,
         Artifact::Table8,
     ] {
-        match a.regenerate(true, &h) {
+        match a.regenerate(true, &exec) {
             Ok(out) => eprintln!("== {} ==\n{}", a.caption(), out.text),
             Err(e) => eprintln!("== {} == FAILED: {e}", a.caption()),
         }
     }
 
     time("table1_matrix", 10, || {
-        let _ = Artifact::Table1.regenerate(true, &h);
+        let _ = Artifact::Table1.regenerate(true, &Executor::default());
     });
     time("table3_entry_primitives", 10, || {
         let m = broadwell();

@@ -5,11 +5,11 @@ use std::time::Instant;
 
 use cpu_models::CpuId;
 use spectrebench::experiments::vm;
-use spectrebench::Harness;
+use spectrebench::Executor;
 
 fn main() {
-    let h = Harness::new();
-    match vm::run(&h, &[CpuId::SkylakeClient, CpuId::CascadeLake]) {
+    let exec = Executor::default();
+    match vm::run(&exec, &[CpuId::SkylakeClient, CpuId::CascadeLake]) {
         Ok(rows) => eprintln!("== VM workloads (subset) ==\n{}", vm::render(&rows)),
         Err(e) => eprintln!("== VM workloads == FAILED: {e}"),
     }
@@ -17,7 +17,7 @@ fn main() {
     let iters = 10;
     let t0 = Instant::now();
     for _ in 0..iters {
-        let _ = vm::run(&h, &[CpuId::CascadeLake]);
+        let _ = vm::run(&Executor::default(), &[CpuId::CascadeLake]);
     }
     let per = t0.elapsed() / iters;
     println!("vm/lfs_smallfile_in_guest {per:>12.2?}/iter ({iters} iters)");

@@ -6,6 +6,7 @@
 //! cargo run --release -p bench --bin regen -- --quick       # fast variants
 //! cargo run --release -p bench --bin regen -- --keep-going  # don't stop on failure
 //! cargo run --release -p bench --bin regen -- --resume run.jsonl
+//! cargo run --release -p bench --bin regen -- --jobs 8      # worker threads
 //! cargo run --release -p bench --bin regen -- --inject 'cell=Broadwell:kind=sim:times=2'
 //! ```
 //!
@@ -26,6 +27,10 @@ fn usage(to_stdout: bool) {
          \x20 --quick           fast workload variants\n\
          \x20 --keep-going      continue past failed artifacts\n\
          \x20 --retries <n>     attempts per measurement cell (default 3)\n\
+         \x20 --jobs <n>        worker threads for measurement cells (default:\n\
+         \x20                   the REGEN_JOBS environment variable, else the\n\
+         \x20                   machine's available parallelism); the rendered\n\
+         \x20                   output is byte-identical for any value\n\
          \x20 --resume <log>    reuse cells journaled in <log>; append new ones\n\
          \x20 --inject <spec>   deterministic fault plan, e.g.\n\
          \x20                   'cell=<substr>:kind=<sim|timeout|corrupt>:times=<n|forever>'\n\
@@ -59,6 +64,14 @@ fn parse_args(args: &[String]) -> Result<RegenOptions, String> {
                 let v = value("--retries")?;
                 opts.retries =
                     Some(v.parse().map_err(|_| format!("bad --retries value: {v}"))?);
+            }
+            "--jobs" => {
+                let v = value("--jobs")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --jobs value: {v}"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+                opts.jobs = Some(n);
             }
             "--resume" => opts.resume = Some(PathBuf::from(value("--resume")?)),
             "--inject" => {
@@ -112,12 +125,25 @@ fn main() -> ExitCode {
                 println!();
             }
         }
+        let c = &r.cells;
+        eprintln!(
+            "regen: {}: {} cells simulated, {} from cache, {} from journal",
+            r.artifact.name(),
+            c.cells_run,
+            c.cells_from_cache,
+            c.cells_from_journal
+        );
     }
 
     let s = &report.stats;
     eprintln!(
-        "regen: {} cells run, {} from journal, {} retries, {} faults injected, {} cells failed",
-        s.cells_run, s.cells_from_journal, s.retries, s.faults_injected, s.cells_failed
+        "regen: {} cells run, {} from cache, {} from journal, {} retries, {} faults injected, {} cells failed",
+        s.cells_run,
+        s.cells_from_cache,
+        s.cells_from_journal,
+        s.retries,
+        s.faults_injected,
+        s.cells_failed
     );
     let failures = report.failures();
     for (a, e) in &failures {

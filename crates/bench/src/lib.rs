@@ -13,7 +13,10 @@ use std::path::PathBuf;
 
 use cpu_models::CpuId;
 use spectrebench::experiments as exp;
-use spectrebench::{ExperimentError, FaultPlan, Harness, HarnessStats, Journal, RetryPolicy};
+use spectrebench::{
+    default_jobs, Executor, ExperimentError, FaultPlan, Harness, HarnessStats, Journal,
+    RetryPolicy,
+};
 
 /// Every regenerable artifact.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -147,45 +150,46 @@ impl Artifact {
         }
     }
 
-    /// Regenerates the artifact through `harness` (retry, watchdog,
-    /// fault injection, journaling) and returns its text rendering.
+    /// Regenerates the artifact through `exec` (worker pool, retry,
+    /// watchdog, fault injection, cell cache, journaling) and returns
+    /// its text rendering.
     ///
     /// `quick` trades workload size for speed where the driver supports
     /// it (used by tests; the full run is what EXPERIMENTS.md records).
     pub fn regenerate(
         self,
         quick: bool,
-        harness: &Harness,
+        exec: &Executor,
     ) -> Result<ArtifactOutput, ExperimentError> {
         let out = match self {
             Artifact::Table1 => {
-                ArtifactOutput::clean(exp::table1::render(&exp::table1::run(harness)?))
+                ArtifactOutput::clean(exp::table1::render(&exp::table1::run(exec)?))
             }
             Artifact::Table2 => ArtifactOutput::clean(exp::table2::render()),
             Artifact::Figure2 => {
-                let fig = exp::figure2::run(harness, &CpuId::ALL, quick)?;
+                let fig = exp::figure2::run(exec, &CpuId::ALL, quick)?;
                 ArtifactOutput {
                     text: exp::figure2::render(&fig),
                     degraded: !fig.failures().is_empty(),
                 }
             }
             Artifact::Figure3 => ArtifactOutput::clean(exp::figure3::render(
-                &exp::figure3::run(harness, &CpuId::ALL, quick)?,
+                &exp::figure3::run(exec, &CpuId::ALL, quick)?,
             )),
-            Artifact::Table3 => ArtifactOutput::clean(exp::tables3to8::render_table3(harness)?),
-            Artifact::Table4 => ArtifactOutput::clean(exp::tables3to8::render_table4(harness)?),
-            Artifact::Table5 => ArtifactOutput::clean(exp::tables3to8::render_table5(harness)?),
-            Artifact::Table6 => ArtifactOutput::clean(exp::tables3to8::render_table6(harness)?),
-            Artifact::Table7 => ArtifactOutput::clean(exp::tables3to8::render_table7()),
-            Artifact::Table8 => ArtifactOutput::clean(exp::tables3to8::render_table8(harness)?),
+            Artifact::Table3 => ArtifactOutput::clean(exp::tables3to8::render_table3(exec)?),
+            Artifact::Table4 => ArtifactOutput::clean(exp::tables3to8::render_table4(exec)?),
+            Artifact::Table5 => ArtifactOutput::clean(exp::tables3to8::render_table5(exec)?),
+            Artifact::Table6 => ArtifactOutput::clean(exp::tables3to8::render_table6(exec)?),
+            Artifact::Table7 => ArtifactOutput::clean(exp::tables3to8::render_table7(exec)?),
+            Artifact::Table8 => ArtifactOutput::clean(exp::tables3to8::render_table8(exec)?),
             Artifact::Figure5 => ArtifactOutput::clean(exp::figure5::render(
-                &exp::figure5::run(harness, &CpuId::ALL)?,
+                &exp::figure5::run(exec, &CpuId::ALL)?,
             )),
             Artifact::Table9 => ArtifactOutput::clean(exp::tables9and10::render(
-                &exp::tables9and10::run(harness, false)?,
+                &exp::tables9and10::run(exec, false)?,
             )),
             Artifact::Table10 => ArtifactOutput::clean(exp::tables9and10::render(
-                &exp::tables9and10::run(harness, true)?,
+                &exp::tables9and10::run(exec, true)?,
             )),
             Artifact::VmWorkloads => {
                 let cpus: &[CpuId] = if quick {
@@ -193,14 +197,14 @@ impl Artifact {
                 } else {
                     &CpuId::ALL
                 };
-                ArtifactOutput::clean(exp::vm::render(&exp::vm::run(harness, cpus)?))
+                ArtifactOutput::clean(exp::vm::render(&exp::vm::run(exec, cpus)?))
             }
             Artifact::EibrsBimodal => {
                 let mut s = String::new();
                 for id in [CpuId::CascadeLake, CpuId::IceLakeClient, CpuId::IceLakeServer] {
                     s.push_str(&format!("{}:\n", id.microarch()));
                     s.push_str(&exp::eibrs_bimodal::render(&exp::eibrs_bimodal::run(
-                        harness,
+                        exec,
                         &id.model(),
                         128,
                     )?));
@@ -213,7 +217,7 @@ impl Artifact {
                 } else {
                     &CpuId::ALL
                 };
-                ArtifactOutput::clean(exp::ebpf::render(&exp::ebpf::run(harness, cpus)?))
+                ArtifactOutput::clean(exp::ebpf::render(&exp::ebpf::run(exec, cpus)?))
             }
             Artifact::Discussion => {
                 let cpus: &[CpuId] = if quick {
@@ -223,10 +227,10 @@ impl Artifact {
                 };
                 let mut s = String::new();
                 s.push_str("Spectre V2 strategy (LEBench overhead, V2 isolated):\n");
-                s.push_str(&exp::ablations::render_v2_strategies(harness, cpus)?);
+                s.push_str(&exp::ablations::render_v2_strategies(exec, cpus)?);
                 s.push_str("\nSection 7 what-ifs (suite-score gains):\n");
-                s.push_str(&exp::ablations::render_discussion(harness, cpus)?);
-                let a = exp::ablations::pcid_ablation(harness, &CpuId::Broadwell.model())?;
+                s.push_str(&exp::ablations::render_discussion(exec, cpus)?);
+                let a = exp::ablations::pcid_ablation(exec, CpuId::Broadwell)?;
                 s.push_str(&format!(
                     "\nPCID ablation on Broadwell: PTI overhead {:.1}% with PCID, {:.1}% without\n",
                     a.with_pcid * 100.0,
@@ -234,7 +238,7 @@ impl Artifact {
                 ));
                 s.push_str("\nMDS: verw vs disabling SMT (Table 1's '!'):\n");
                 s.push_str(&exp::smt::render(&exp::smt::run(
-                    harness,
+                    exec,
                     &[CpuId::Broadwell, CpuId::SkylakeClient, CpuId::CascadeLake],
                 )?));
                 ArtifactOutput::clean(s)
@@ -258,8 +262,13 @@ pub struct RegenOptions {
     /// Deterministic fault injection plan.
     pub inject: Option<FaultPlan>,
     /// Journal path: completed cells are recorded here, and cells
-    /// already present are reused instead of re-measured.
+    /// already present (with a matching seed) are reused instead of
+    /// re-measured.
     pub resume: Option<PathBuf>,
+    /// Worker threads for the executor. `None` uses
+    /// [`spectrebench::default_jobs`] (the `REGEN_JOBS` environment
+    /// variable, falling back to the machine's available parallelism).
+    pub jobs: Option<usize>,
 }
 
 /// The outcome of one artifact within a sweep.
@@ -269,6 +278,9 @@ pub struct ArtifactResult {
     pub artifact: Artifact,
     /// The rendering, or why it could not be produced.
     pub outcome: Result<ArtifactOutput, ExperimentError>,
+    /// Cell-level counters for this artifact alone (cells simulated,
+    /// served from the cache, served from the journal, ...).
+    pub cells: HarnessStats,
 }
 
 /// The outcome of a regeneration sweep.
@@ -277,8 +289,8 @@ pub struct RegenReport {
     /// Per-artifact outcomes, in the order attempted. With
     /// `keep_going` off this stops after the first failure.
     pub results: Vec<ArtifactResult>,
-    /// Cell-level counters from the harness (runs, journal hits,
-    /// retries, injected faults, failed cells).
+    /// Cell-level counters for the whole sweep (runs, cache hits,
+    /// journal hits, retries, injected faults, failed cells).
     pub stats: HarnessStats,
 }
 
@@ -320,22 +332,28 @@ pub fn run_regen(opts: &RegenOptions) -> std::io::Result<RegenReport> {
         retry.max_attempts = n.max(1);
         harness = harness.with_retry(retry);
     }
+    let mut exec = Executor::new(harness).with_jobs(opts.jobs.unwrap_or_else(default_jobs));
     if let Some(path) = &opts.resume {
-        harness = harness.with_journal(Journal::open(path)?);
+        exec = exec.with_journal(Journal::open(path)?);
     }
 
     let selected: &[Artifact] =
         if opts.artifacts.is_empty() { &Artifact::ALL } else { &opts.artifacts };
     let mut results = Vec::new();
     for a in selected {
-        let outcome = a.regenerate(opts.quick, &harness);
+        let before = exec.stats();
+        let outcome = a.regenerate(opts.quick, &exec);
         let failed = outcome.is_err();
-        results.push(ArtifactResult { artifact: *a, outcome });
+        results.push(ArtifactResult {
+            artifact: *a,
+            outcome,
+            cells: exec.stats().since(&before),
+        });
         if failed && !opts.keep_going {
             break;
         }
     }
-    Ok(RegenReport { results, stats: harness.stats() })
+    Ok(RegenReport { results, stats: exec.stats() })
 }
 
 #[cfg(test)]
@@ -352,9 +370,9 @@ mod tests {
 
     #[test]
     fn cheap_artifacts_regenerate() {
-        let h = Harness::new();
+        let exec = Executor::default();
         for a in [Artifact::Table1, Artifact::Table2, Artifact::Table9, Artifact::Table10] {
-            let s = a.regenerate(true, &h).unwrap();
+            let s = a.regenerate(true, &exec).unwrap();
             assert!(!s.degraded);
             assert!(s.text.lines().count() >= 8, "{}:\n{}", a.name(), s.text);
         }

@@ -8,16 +8,29 @@
 //! configurations in the disabling order, normalized to the
 //! everything-off baseline.
 //!
-//! Attribution is fault-tolerant: each configuration is one harness cell.
-//! If a *middle* cell of the lattice fails permanently, the slices that
-//! depended on it are bridged between the nearest measured neighbours and
-//! marked [`Slice::degraded`], so a figure still renders with an honest
-//! caveat instead of aborting. Only the two anchor cells (default config
-//! and `mitigations=off` baseline) are load-bearing enough to abort on.
+//! Attribution is plan-shaped: [`attribute`] enumerates the lattice as
+//! [`CellSpec`]s (one per configuration, computing the raw deterministic
+//! workload score), hands them to the [`Executor`], and then runs the
+//! pure reduce step — applying the paper's adaptive-CI methodology over
+//! seeded synthetic noise and differencing adjacent configurations — over
+//! the outcomes in plan order. Because the noise is applied in the
+//! reduce, not in the cell, a retried or resumed cell reproduces exactly
+//! the same numbers as a never-faulted run.
+//!
+//! Attribution is fault-tolerant: if a *middle* cell of the lattice fails
+//! permanently, the slices that depended on it are bridged between the
+//! nearest measured neighbours and marked [`Slice::degraded`], so a
+//! figure still renders with an honest caveat instead of aborting. Only
+//! the two anchor cells (default config and `mitigations=off` baseline)
+//! are load-bearing enough to abort on.
+
+use std::sync::Arc;
 
 use sim_kernel::BootParams;
 
-use crate::harness::{ExperimentError, Harness, RunContext};
+use crate::executor::Executor;
+use crate::harness::{ExperimentError, RunContext};
+use crate::plan::{CellOutcome, CellSpec, CellValue, ExperimentPlan};
 use crate::stats::{measure_until, Measurement, NoiseModel, StopPolicy};
 
 /// One attribution dimension: a mitigation and the boot parameter that
@@ -95,66 +108,79 @@ pub fn successive_disable_cmdlines(toggles: &[Toggle]) -> Vec<String> {
     cmdlines
 }
 
-/// Runs the successive-disable attribution under `harness`.
+/// Enumerates the successive-disable lattice for `ctx` as plan cells:
+/// one per configuration, in disabling order, computing the raw
+/// (noise-free) workload score. The config label is the command line
+/// (`"default"` for the empty one), matching the canonical convention in
+/// [`crate::cells`] so other experiments' cells can share the cache.
+pub fn lattice_cells(
+    ctx: &RunContext,
+    toggles: &[Toggle],
+    workload: impl Fn(&BootParams) -> f64 + Send + Sync + 'static,
+) -> Vec<CellSpec> {
+    let w = Arc::new(workload);
+    successive_disable_cmdlines(toggles)
+        .into_iter()
+        .map(|cmd| {
+            let cell_ctx = RunContext {
+                config: if cmd.is_empty() { "default".to_string() } else { cmd.clone() },
+                ..ctx.clone()
+            };
+            let w = Arc::clone(&w);
+            CellSpec::new(cell_ctx, 0, move |_| {
+                Ok(CellValue::Num(w(&BootParams::parse(&cmd))))
+            })
+        })
+        .collect()
+}
+
+/// The pure reduce step: folds the executor's per-configuration outcomes
+/// (in lattice order) into an [`Attribution`].
 ///
-/// `ctx` names the experiment/CPU/workload; each configuration becomes
-/// one harness cell keyed by its command line (`"default"` for the empty
-/// one). `workload` maps a boot command line to a deterministic score in
-/// simulated cycles (lower is faster); the simulator is run once per
-/// configuration and the paper's adaptive-CI methodology is then applied
-/// over the (synthetic, seeded) run-to-run noise — see DESIGN.md's noise
-/// note. Retried attempts fold the attempt index into the noise seed, so
-/// a retry draws a fresh noise stream.
-///
-/// # Errors
-///
-/// [`ExperimentError::InsufficientConfigs`] for an empty toggle list;
-/// the failure of an anchor cell (default config or `mitigations=off`)
-/// is propagated because nothing can be normalized without them. A
-/// failed middle cell does *not* error — it degrades the affected
-/// slices (see [`Slice::degraded`]) and is recorded in
-/// [`Attribution::failures`].
-pub fn attribute(
-    harness: &Harness,
+/// Each successful outcome's raw score is wrapped in the paper's
+/// adaptive-CI methodology over synthetic noise seeded from `noise_seed`
+/// and the configuration index — never the attempt or the schedule, so
+/// the result is identical for any worker count and for retried or
+/// resumed cells. A failed middle cell degrades the adjacent slices; a
+/// failed anchor aborts.
+pub fn reduce(
     ctx: &RunContext,
     toggles: &[Toggle],
     noise_seed: u64,
     policy: StopPolicy,
-    mut workload: impl FnMut(&BootParams) -> f64,
+    outcomes: &[CellOutcome],
 ) -> Result<Attribution, ExperimentError> {
-    if toggles.is_empty() {
+    let expected = toggles.len() + 2;
+    if outcomes.len() != expected {
         return Err(ExperimentError::InsufficientConfigs {
             ctx: ctx.clone(),
-            needed: 2,
-            got: 1,
+            needed: expected,
+            got: outcomes.len(),
         });
     }
-    let cmdlines = successive_disable_cmdlines(toggles);
-
-    let mut measurements: Vec<Option<Measurement>> = Vec::with_capacity(cmdlines.len());
+    let last = outcomes.len() - 1;
+    let mut measurements: Vec<Option<Measurement>> = Vec::with_capacity(outcomes.len());
     let mut failures = Vec::new();
-    for (i, cmd) in cmdlines.iter().enumerate() {
-        let cell_ctx = RunContext {
-            config: if cmd.is_empty() { "default".to_string() } else { cmd.clone() },
-            ..ctx.clone()
-        };
-        let result = harness.run_cell(&cell_ctx, |attempt| {
-            let base = workload(&BootParams::parse(cmd));
-            let mut noise = NoiseModel::paper_default(
-                noise_seed
-                    .wrapping_add(i as u64 * 7919)
-                    .wrapping_add(attempt as u64 * 104_729),
-            );
-            measure_until(policy, || noise.apply(base)).map_err(|e| {
-                ExperimentError::DegenerateStatistics { ctx: cell_ctx.clone(), detail: e.to_string() }
-            })
+    for (i, out) in outcomes.iter().enumerate() {
+        let measured = out.num().and_then(|base| {
+            let mut noise =
+                NoiseModel::paper_default(noise_seed.wrapping_add(i as u64 * 7919));
+            measure_until(policy, || noise.apply(base))
+                .map_err(|e| ExperimentError::DegenerateStatistics {
+                    ctx: out.ctx.clone(),
+                    detail: e.to_string(),
+                })
+                .map(|mut m| {
+                    m.retries = out.retries;
+                    m
+                })
         });
-        match result {
+        match measured {
             Ok(m) => measurements.push(Some(m)),
             Err(e) => {
                 // Anchors are not bridgeable: without the default config
                 // there is no total, without the baseline no denominator.
-                if i == 0 || i == cmdlines.len() - 1 {
+                if i == 0 || i == last {
                     return Err(e);
                 }
                 failures.push(e);
@@ -163,7 +189,6 @@ pub fn attribute(
         }
     }
 
-    let last = measurements.len() - 1;
     // Both anchors were just checked present above.
     let (off_m, default_m) = match (measurements[last], measurements[0]) {
         (Some(off), Some(d)) => (off, d),
@@ -223,16 +248,59 @@ pub fn attribute(
     Ok(Attribution { total, slices, configs: measurements, failures })
 }
 
+/// Runs the successive-disable attribution through `exec`.
+///
+/// `ctx` names the experiment/CPU/workload; each configuration becomes
+/// one plan cell keyed by its command line (`"default"` for the empty
+/// one). `workload` maps a boot command line to a deterministic score in
+/// simulated cycles (lower is faster); the simulator is run once per
+/// configuration — or not at all, when another experiment already put
+/// the same (CPU, workload, config) cell in the executor's cache — and
+/// the paper's adaptive-CI methodology is applied over (synthetic,
+/// seeded) run-to-run noise in the reduce step; see DESIGN.md's noise
+/// note.
+///
+/// # Errors
+///
+/// [`ExperimentError::InsufficientConfigs`] for an empty toggle list;
+/// the failure of an anchor cell (default config or `mitigations=off`)
+/// is propagated because nothing can be normalized without them. A
+/// failed middle cell does *not* error — it degrades the affected
+/// slices (see [`Slice::degraded`]) and is recorded in
+/// [`Attribution::failures`].
+pub fn attribute(
+    exec: &Executor,
+    ctx: &RunContext,
+    toggles: &[Toggle],
+    noise_seed: u64,
+    policy: StopPolicy,
+    workload: impl Fn(&BootParams) -> f64 + Send + Sync + 'static,
+) -> Result<Attribution, ExperimentError> {
+    if toggles.is_empty() {
+        return Err(ExperimentError::InsufficientConfigs {
+            ctx: ctx.clone(),
+            needed: 2,
+            got: 1,
+        });
+    }
+    let mut plan = ExperimentPlan::new(&ctx.experiment);
+    for cell in lattice_cells(ctx, toggles, workload) {
+        plan.push(cell);
+    }
+    let outcomes = exec.execute(&plan);
+    reduce(ctx, toggles, noise_seed, policy, &outcomes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::faultplan::{FaultKind, FaultPlan};
-    use crate::harness::RetryPolicy;
+    use crate::harness::{Harness, RetryPolicy};
     use cpu_models::broadwell;
     use workloads::lebench::{run_op, LeBenchOp};
 
-    fn test_harness() -> Harness {
-        Harness::new().with_retry(RetryPolicy::immediate(3))
+    fn test_exec() -> Executor {
+        Executor::new(Harness::new().with_retry(RetryPolicy::immediate(3)))
     }
 
     fn test_ctx() -> RunContext {
@@ -261,7 +329,7 @@ mod tests {
         // Smoke-test the attribution plumbing with a cheap synthetic
         // workload whose cost depends on the parsed params.
         let att = attribute(
-            &test_harness(),
+            &test_exec(),
             &test_ctx(),
             &OS_TOGGLES,
             1,
@@ -282,7 +350,7 @@ mod tests {
     #[test]
     fn empty_toggles_is_insufficient() {
         let err = attribute(
-            &test_harness(),
+            &test_exec(),
             &test_ctx(),
             &[],
             1,
@@ -299,9 +367,10 @@ mod tests {
         // come back bridged (degraded), everything else clean, and the
         // total must be unaffected (it only needs the anchors).
         let plan = FaultPlan::new().fail_cell("[nopti]", FaultKind::SimFault, None);
-        let harness = test_harness().with_plan(plan);
+        let exec =
+            Executor::new(Harness::new().with_retry(RetryPolicy::immediate(3)).with_plan(plan));
         let att = attribute(
-            &harness,
+            &exec,
             &test_ctx(),
             &OS_TOGGLES,
             1,
@@ -327,9 +396,10 @@ mod tests {
     #[test]
     fn failed_baseline_cell_aborts() {
         let plan = FaultPlan::new().fail_cell("mitigations=off", FaultKind::Timeout, None);
-        let harness = test_harness().with_plan(plan);
+        let exec =
+            Executor::new(Harness::new().with_retry(RetryPolicy::immediate(3)).with_plan(plan));
         let err = attribute(
-            &harness,
+            &exec,
             &test_ctx(),
             &OS_TOGGLES,
             1,
@@ -343,10 +413,11 @@ mod tests {
     #[test]
     fn transient_faults_recover_with_identical_values() {
         // A fault plan that kills fewer runs than the retry budget must
-        // reproduce the fault-free numbers exactly apart from the noise
-        // reseed — and slice *ordering* must be identical.
+        // reproduce the fault-free numbers *exactly*: noise is seeded in
+        // the reduce step from the configuration index, never the
+        // attempt, so recovery is invisible apart from the retry count.
         let clean = attribute(
-            &test_harness(),
+            &test_exec(),
             &test_ctx(),
             &OS_TOGGLES,
             1,
@@ -355,9 +426,10 @@ mod tests {
         )
         .unwrap();
         let plan = FaultPlan::new().fail_cell("[nopti]", FaultKind::Timeout, Some(2));
-        let harness = test_harness().with_plan(plan);
+        let exec =
+            Executor::new(Harness::new().with_retry(RetryPolicy::immediate(3)).with_plan(plan));
         let faulted = attribute(
-            &harness,
+            &exec,
             &test_ctx(),
             &OS_TOGGLES,
             1,
@@ -367,16 +439,11 @@ mod tests {
         .unwrap();
         assert!(!faulted.is_degraded());
         assert_eq!(faulted.configs[1].unwrap().retries, 2);
-        let order = |a: &Attribution| {
-            let mut names: Vec<&str> = a.slices.iter().map(|s| s.name).collect();
-            names.sort_by(|x, y| {
-                let ox = a.slices.iter().find(|s| s.name == *x).map(|s| s.overhead);
-                let oy = a.slices.iter().find(|s| s.name == *y).map(|s| s.overhead);
-                oy.partial_cmp(&ox).unwrap()
-            });
-            names
-        };
-        assert_eq!(order(&clean), order(&faulted));
+        for (c, f) in clean.slices.iter().zip(&faulted.slices) {
+            assert_eq!(c.overhead, f.overhead, "{}", c.name);
+            assert_eq!(c.ci95, f.ci95, "{}", c.name);
+        }
+        assert_eq!(clean.total, faulted.total);
     }
 
     #[test]
@@ -384,7 +451,7 @@ mod tests {
         // PTI and MDS must dominate getpid overhead on Broadwell (§5.1,
         // §5.2); the sum of slices must equal the total.
         let att = attribute(
-            &test_harness(),
+            &test_exec(),
             &test_ctx(),
             &OS_TOGGLES,
             2,

@@ -1,0 +1,163 @@
+//! Canonical cell constructors for workloads shared across experiments.
+//!
+//! The cross-experiment cache keys cells by *content*
+//! ([`crate::harness::RunContext::content_key`] + seed), so two drivers
+//! only share a simulation when they build the cell the same way: same
+//! CPU string, same workload name, same config label, same seed. This
+//! module is the single place those conventions live. Figure 2, the SMT
+//! trade-off, and the ablations all fetch their LEBench points through
+//! [`lebench_cell`]; Figure 3 and the §7 what-ifs fetch their Octane
+//! points through [`octane_suite_cell`] — which is exactly what makes
+//! the mitigations-off anchor a cache hit the second time any experiment
+//! asks for it.
+//!
+//! All canonical cells use seed 0: the simulations are deterministic, so
+//! the seed only matters for cells whose compute closure folds one in.
+
+use cpu_models::CpuId;
+use js_engine::{octane, JsMitigations};
+use sim_kernel::BootParams;
+use workloads::lebench;
+
+use crate::harness::RunContext;
+use crate::plan::{CellSpec, CellValue};
+
+/// Canonical config label for a kernel cmdline: the cmdline itself, or
+/// `"default"` when it is empty (an empty config would mean "no config
+/// segment" in the cell key).
+pub fn config_label(cmdline: &str) -> String {
+    if cmdline.is_empty() {
+        "default".to_string()
+    } else {
+        cmdline.to_string()
+    }
+}
+
+/// Canonical tag for a JS mitigation set, folded into Octane cell
+/// configs so different mitigation sets never alias in the cache.
+pub fn js_tag(mits: JsMitigations) -> &'static str {
+    match (mits.index_masking, mits.object_guards, mits.other_js) {
+        (false, false, false) => "none",
+        (true, false, false) => "im",
+        (true, true, false) => "im+og",
+        (true, true, true) => "full",
+        _ => "other",
+    }
+}
+
+/// The full-LEBench geomean under `cmdline` (workload `"lebench"`).
+pub fn lebench_suite_cell(experiment: &str, cpu: CpuId, cmdline: &str) -> CellSpec {
+    let model = cpu.model();
+    let cmd = cmdline.to_string();
+    CellSpec::new(
+        RunContext::new(experiment, cpu.microarch(), "lebench", &config_label(cmdline)),
+        0,
+        move |_| {
+            Ok(CellValue::Num(lebench::geomean(&lebench::run_suite(
+                &model,
+                &BootParams::parse(&cmd),
+            ))))
+        },
+    )
+}
+
+/// The quick-mode LEBench point: getpid cycles/op under `cmdline`
+/// (workload `"getpid"`).
+pub fn lebench_getpid_cell(experiment: &str, cpu: CpuId, cmdline: &str) -> CellSpec {
+    let model = cpu.model();
+    let cmd = cmdline.to_string();
+    CellSpec::new(
+        RunContext::new(experiment, cpu.microarch(), "getpid", &config_label(cmdline)),
+        0,
+        move |_| {
+            Ok(CellValue::Num(
+                lebench::run_op(&model, &BootParams::parse(&cmd), lebench::LeBenchOp::GetPid)
+                    .cycles_per_op,
+            ))
+        },
+    )
+}
+
+/// Dispatches between [`lebench_suite_cell`] and [`lebench_getpid_cell`]
+/// on `quick`.
+pub fn lebench_cell(experiment: &str, cpu: CpuId, cmdline: &str, quick: bool) -> CellSpec {
+    if quick {
+        lebench_getpid_cell(experiment, cpu, cmdline)
+    } else {
+        lebench_suite_cell(experiment, cpu, cmdline)
+    }
+}
+
+/// The Octane-like suite score under `cmdline` and `mits` (workload
+/// `"octane"`; the JS mitigation set is part of the config).
+pub fn octane_suite_cell(
+    experiment: &str,
+    cpu: CpuId,
+    cmdline: &str,
+    mits: JsMitigations,
+) -> CellSpec {
+    let model = cpu.model();
+    let cmd = cmdline.to_string();
+    let config = format!("{} js={}", config_label(cmdline), js_tag(mits));
+    CellSpec::new(
+        RunContext::new(experiment, cpu.microarch(), "octane", &config),
+        0,
+        move |_| {
+            Ok(CellValue::Num(octane::run_suite(&model, &BootParams::parse(&cmd), mits).1))
+        },
+    )
+}
+
+/// The quick-mode Octane point: the Crypto benchmark's score (1e9 /
+/// cycles) under `cmdline` and `mits` (workload `"crypto"`).
+pub fn octane_crypto_cell(
+    experiment: &str,
+    cpu: CpuId,
+    cmdline: &str,
+    mits: JsMitigations,
+) -> CellSpec {
+    let model = cpu.model();
+    let cmd = cmdline.to_string();
+    let config = format!("{} js={}", config_label(cmdline), js_tag(mits));
+    CellSpec::new(
+        RunContext::new(experiment, cpu.microarch(), "crypto", &config),
+        0,
+        move |_| {
+            let out = octane::run_bench(
+                octane::OctaneBench::Crypto,
+                &model,
+                &BootParams::parse(&cmd),
+                mits,
+            );
+            Ok(CellValue::Num(1e9 / out.cycles as f64))
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_cells_from_different_experiments_share_cache_keys() {
+        let a = lebench_cell("figure2", CpuId::Broadwell, "mitigations=off", false);
+        let b = lebench_cell("ablations", CpuId::Broadwell, "mitigations=off", false);
+        assert_eq!(a.cache_key(), b.cache_key());
+        // Different cmdline, different key.
+        let c = lebench_cell("figure2", CpuId::Broadwell, "", false);
+        assert_ne!(a.cache_key(), c.cache_key());
+        assert!(c.ctx.config == "default", "empty cmdline gets an explicit label");
+    }
+
+    #[test]
+    fn js_mitigation_sets_never_alias() {
+        let full = octane_suite_cell("figure3", CpuId::Broadwell, "", JsMitigations::full());
+        let none = octane_suite_cell("figure3", CpuId::Broadwell, "", JsMitigations::none());
+        assert_ne!(full.cache_key(), none.cache_key());
+        assert_eq!(js_tag(JsMitigations::full()), "full");
+        assert_eq!(
+            js_tag(JsMitigations { index_masking: true, object_guards: false, other_js: false }),
+            "im"
+        );
+    }
+}

@@ -1,0 +1,313 @@
+//! The plan executor: scheduling, memoization, and journaling.
+//!
+//! An [`Executor`] consumes [`ExperimentPlan`]s. For every cell it
+//! first consults a content-addressed in-memory cache (key = content
+//! key + seed, shared across all plans run through the same executor),
+//! then the resume [`Journal`] if one is attached, and only then
+//! schedules a fresh simulation. Fresh cells run under the full
+//! [`Harness`] machinery — fault injection, watchdog, retry with
+//! backoff — across a `std::thread::scope` worker pool of
+//! [`Executor::with_jobs`] threads.
+//!
+//! **Determinism under parallelism.** Outcomes are returned in plan
+//! order no matter which worker finished first; every cell's value is a
+//! pure function of its (content key, seed); and the fault plan keys
+//! its injection counters by cell, not by global call order. So the
+//! same seed yields byte-identical renderings for any `--jobs` value —
+//! a property the `parallel_determinism` integration test pins down.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+
+use crate::harness::{lock, Harness, HarnessStats, Journal, RunContext};
+use crate::plan::{CellOutcome, CellSource, CellValue, ExperimentPlan};
+
+/// Resolves the default worker count: the `REGEN_JOBS` environment
+/// variable if set to a positive integer, else the machine's available
+/// parallelism, else 1.
+pub fn default_jobs() -> usize {
+    if let Ok(v) = std::env::var("REGEN_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Executes experiment plans over a shared harness, cache, and journal.
+/// One executor per sweep; share by reference between drivers so the
+/// cross-experiment cache can do its job.
+#[derive(Debug)]
+pub struct Executor {
+    harness: Harness,
+    jobs: usize,
+    journal: Option<Journal>,
+    cache: Mutex<HashMap<(String, u64), CellValue>>,
+}
+
+impl Default for Executor {
+    fn default() -> Executor {
+        Executor::new(Harness::new())
+    }
+}
+
+impl Executor {
+    /// An executor over `harness` with [`default_jobs`] workers and no
+    /// journal.
+    pub fn new(harness: Harness) -> Executor {
+        Executor { harness, jobs: default_jobs(), journal: None, cache: Mutex::new(HashMap::new()) }
+    }
+
+    /// Builder: set the worker-pool size (clamped to at least 1).
+    pub fn with_jobs(mut self, jobs: usize) -> Executor {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Builder: journal completed cells to (and replay them from)
+    /// `journal`.
+    pub fn with_journal(mut self, journal: Journal) -> Executor {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// The underlying harness (watchdog budgets, fault plan, retry).
+    pub fn harness(&self) -> &Harness {
+        &self.harness
+    }
+
+    /// Worker-pool size.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Cell-level counters so far (cumulative across plans).
+    pub fn stats(&self) -> HarnessStats {
+        self.harness.stats()
+    }
+
+    /// Executes a plan and returns one outcome per cell, in plan order.
+    ///
+    /// Cell failures are reported per-outcome, never panicked or
+    /// short-circuited: a dead middle cell must not take down the cells
+    /// scheduled after it (the driver's reduce step decides whether to
+    /// bridge, degrade, or abort).
+    pub fn execute(&self, plan: &ExperimentPlan) -> Vec<CellOutcome> {
+        let n = plan.cells.len();
+        let slots: Vec<Mutex<Option<CellOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let mut pending: Vec<usize> = Vec::new();
+        let mut dup_of: Vec<Option<usize>> = vec![None; n];
+
+        // Serial pre-pass: resolve cache and journal hits, and collapse
+        // duplicate keys within the plan onto their first occurrence.
+        {
+            let mut cache = lock(&self.cache);
+            let mut first: HashMap<(String, u64), usize> = HashMap::new();
+            for (i, cell) in plan.cells.iter().enumerate() {
+                let key = cell.cache_key();
+                if let Some(v) = cache.get(&key) {
+                    self.harness.note_cache_hit();
+                    *lock(&slots[i]) = Some(CellOutcome {
+                        ctx: cell.ctx.clone(),
+                        value: Ok(v.clone()),
+                        retries: 0,
+                        source: CellSource::Cache,
+                    });
+                } else if let Some(v) = self.journal.as_ref().and_then(|j| j.lookup(&key.0, key.1))
+                {
+                    self.harness.note_journal_hit();
+                    cache.insert(key, v.clone());
+                    *lock(&slots[i]) = Some(CellOutcome {
+                        ctx: cell.ctx.clone(),
+                        value: Ok(v),
+                        retries: 0,
+                        source: CellSource::Journal,
+                    });
+                } else if let Some(&p) = first.get(&key) {
+                    dup_of[i] = Some(p);
+                } else {
+                    first.insert(key, i);
+                    pending.push(i);
+                }
+            }
+        }
+
+        // Schedule the fresh cells. Each pending index is a unique key;
+        // its value depends only on the cell itself, so any assignment
+        // of cells to workers produces the same outcomes.
+        let workers = self.jobs.min(pending.len());
+        let queue: Mutex<VecDeque<usize>> = Mutex::new(pending.into_iter().collect());
+        let work = || loop {
+            let i = match lock(&queue).pop_front() {
+                Some(i) => i,
+                None => break,
+            };
+            let cell = &plan.cells[i];
+            let (value, retries) = self.harness.run_value(&cell.ctx, |a| cell.compute(a));
+            if let Ok(v) = &value {
+                let key = cell.cache_key();
+                if let Some(j) = &self.journal {
+                    j.record(&key.0, key.1, v);
+                }
+                lock(&self.cache).insert(key, v.clone());
+            }
+            *lock(&slots[i]) = Some(CellOutcome {
+                ctx: cell.ctx.clone(),
+                value,
+                retries,
+                source: CellSource::Fresh,
+            });
+        };
+        if workers <= 1 {
+            work();
+        } else {
+            std::thread::scope(|s| {
+                let work = &work;
+                for _ in 0..workers {
+                    s.spawn(work);
+                }
+            });
+        }
+
+        // Fill duplicates from their primaries (successes count as
+        // cache hits; failures are shared, not re-attempted).
+        for i in 0..n {
+            if let Some(p) = dup_of[i] {
+                let primary = lock(&slots[p]).clone();
+                if let Some(o) = primary {
+                    if o.value.is_ok() {
+                        self.harness.note_cache_hit();
+                    }
+                    *lock(&slots[i]) = Some(CellOutcome {
+                        ctx: plan.cells[i].ctx.clone(),
+                        value: o.value,
+                        retries: 0,
+                        source: CellSource::Cache,
+                    });
+                }
+            }
+        }
+
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| {
+                s.into_inner()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .unwrap_or_else(|| missing_outcome(&plan.cells[i].ctx))
+            })
+            .collect()
+    }
+}
+
+/// Unreachable in practice (every index lands in exactly one of the
+/// pre-pass buckets), but the executor must not panic on its own
+/// bookkeeping either.
+fn missing_outcome(ctx: &RunContext) -> CellOutcome {
+    CellOutcome {
+        ctx: ctx.clone(),
+        value: Err(crate::harness::ExperimentError::DegenerateStatistics {
+            ctx: ctx.clone(),
+            detail: "executor produced no outcome for this cell".to_string(),
+        }),
+        retries: 0,
+        source: CellSource::Fresh,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faultplan::{FaultKind, FaultPlan};
+    use crate::harness::RetryPolicy;
+    use crate::plan::CellSpec;
+
+    fn num_cell(experiment: &str, config: &str, value: f64) -> CellSpec {
+        CellSpec::new(
+            RunContext::new(experiment, "TestCpu", "synthetic", config),
+            0,
+            move |_| Ok(CellValue::Num(value)),
+        )
+    }
+
+    #[test]
+    fn outcomes_come_back_in_plan_order_for_any_job_count() {
+        for jobs in [1, 2, 8] {
+            let exec = Executor::new(Harness::new()).with_jobs(jobs);
+            let mut plan = ExperimentPlan::new("order");
+            for k in 0..17 {
+                plan.push(num_cell("order", &format!("cfg{k}"), k as f64));
+            }
+            let out = exec.execute(&plan);
+            let values: Vec<f64> = out.iter().map(|o| o.num().unwrap_or(f64::NAN)).collect();
+            assert_eq!(values, (0..17).map(|k| k as f64).collect::<Vec<_>>(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn duplicate_cells_within_a_plan_are_simulated_once() {
+        let exec = Executor::new(Harness::new()).with_jobs(4);
+        let mut plan = ExperimentPlan::new("dup");
+        plan.push(num_cell("dup", "same", 3.0));
+        plan.push(num_cell("dup", "same", 3.0));
+        plan.push(num_cell("dup", "other", 4.0));
+        let out = exec.execute(&plan);
+        assert_eq!(out[0].source, CellSource::Fresh);
+        assert_eq!(out[1].source, CellSource::Cache);
+        assert_eq!(out[1].num().map_err(|_| ()), Ok(3.0));
+        let s = exec.stats();
+        assert_eq!((s.cells_run, s.cells_from_cache), (2, 1));
+    }
+
+    #[test]
+    fn cache_is_shared_across_experiments() {
+        let exec = Executor::new(Harness::new());
+        let mut p1 = ExperimentPlan::new("exp-a");
+        p1.push(num_cell("exp-a", "anchor", 9.0));
+        let mut p2 = ExperimentPlan::new("exp-b");
+        p2.push(num_cell("exp-b", "anchor", 9.0));
+        exec.execute(&p1);
+        let out = exec.execute(&p2);
+        assert_eq!(out[0].source, CellSource::Cache, "second experiment reuses the cell");
+        assert_eq!(exec.stats().cells_from_cache, 1);
+        assert_eq!(exec.stats().cells_run, 1);
+    }
+
+    #[test]
+    fn failed_cells_do_not_poison_the_cache() {
+        let plan_fault =
+            FaultPlan::new().fail_cell("[dies]", FaultKind::SimFault, None);
+        let exec = Executor::new(
+            Harness::new().with_retry(RetryPolicy::immediate(2)).with_plan(plan_fault),
+        );
+        let mut p = ExperimentPlan::new("f");
+        p.push(num_cell("f", "dies", 1.0));
+        p.push(num_cell("f", "lives", 2.0));
+        let out = exec.execute(&p);
+        assert!(out[0].value.is_err());
+        assert_eq!(out[1].num().map_err(|_| ()), Ok(2.0));
+        // A second request for the dead cell re-attempts it (nothing
+        // cached), still under the permanent fault.
+        let out2 = exec.execute(&p);
+        assert!(out2[0].value.is_err());
+        assert_eq!(out2[1].source, CellSource::Cache);
+    }
+
+    #[test]
+    fn retries_are_surfaced_per_outcome() {
+        let plan_fault = FaultPlan::new().fail_cell("[flaky]", FaultKind::Timeout, Some(2));
+        let exec = Executor::new(
+            Harness::new().with_retry(RetryPolicy::immediate(4)).with_plan(plan_fault),
+        )
+        .with_jobs(3);
+        let mut p = ExperimentPlan::new("r");
+        p.push(num_cell("r", "flaky", 5.0));
+        p.push(num_cell("r", "calm", 6.0));
+        let out = exec.execute(&p);
+        assert_eq!(out[0].retries, 2, "succeeded on the third attempt");
+        assert_eq!(out[1].retries, 0);
+        assert_eq!(exec.stats().faults_injected, 2);
+    }
+}

@@ -14,41 +14,23 @@
 //! * [`v1_hardware_assist`] — the paper's concluding proposal: hardware
 //!   that recognizes the JIT's cmov+load masking pattern and makes it
 //!   free (§7, §9), projected on the Octane-like suite.
+//!
+//! Wherever an ablation point coincides with a cell another experiment
+//! already measured (Figure 2's `default`/`nopti` LEBench anchors,
+//! Figure 3's fully-mitigated Octane configurations), it is built
+//! through the canonical [`crate::cells`] constructors so the executor's
+//! cross-experiment cache serves it without re-simulating.
 
 use cpu_models::CpuId;
-use js_engine::octane;
 use js_engine::JsMitigations;
 use sim_kernel::BootParams;
-use uarch::model::CpuModel;
 use workloads::lebench;
 
-use crate::harness::{ExperimentError, Harness, RunContext};
+use crate::cells::{lebench_suite_cell, octane_suite_cell};
+use crate::executor::Executor;
+use crate::harness::{ExperimentError, RunContext};
+use crate::plan::{CellSpec, CellValue, ExperimentPlan};
 use crate::report::{pct, TextTable};
-
-/// One LEBench geomean score as a retryable harness cell.
-fn lebench_cell(
-    harness: &Harness,
-    model: &CpuModel,
-    config: &str,
-    cmdline: &str,
-) -> Result<f64, ExperimentError> {
-    let ctx = RunContext::new("ablations", model.microarch, "lebench", config);
-    harness.run_attempts(&ctx, |_| {
-        Ok(lebench::geomean(&lebench::run_suite(model, &BootParams::parse(cmdline))))
-    })
-}
-
-/// One Octane suite score as a retryable harness cell.
-fn octane_cell(
-    harness: &Harness,
-    model: &CpuModel,
-    config: &str,
-    params: &BootParams,
-    mits: JsMitigations,
-) -> Result<f64, ExperimentError> {
-    let ctx = RunContext::new("ablations", model.microarch, "octane", config);
-    harness.run_attempts(&ctx, |_| Ok(octane::run_suite(model, params, mits).1))
-}
 
 /// One Spectre V2 strategy measurement.
 #[derive(Debug, Clone)]
@@ -65,37 +47,39 @@ pub struct V2Strategy {
 /// "ibrs" forces the legacy MSR-write-per-entry mitigation where the
 /// hardware supports it.
 pub fn spectre_v2_strategies(
-    harness: &Harness,
+    exec: &Executor,
     cpu: CpuId,
 ) -> Result<Vec<V2Strategy>, ExperimentError> {
     let model = cpu.model();
     // Isolate V2: disable the other big-ticket mitigations throughout.
     let base = "nopti mds=off nospectre_v1 l1tf=off";
-    let off = lebench_cell(harness, &model, "v2=off", &format!("{base} nospectre_v2"))?;
-    let auto = lebench_cell(harness, &model, "v2=auto", base)?;
+    let mut plan = ExperimentPlan::new("ablations");
+    plan.push(lebench_suite_cell("ablations", cpu, &format!("{base} nospectre_v2")));
+    plan.push(lebench_suite_cell("ablations", cpu, base));
+    if model.spec.ibrs_supported {
+        plan.push(lebench_suite_cell("ablations", cpu, &format!("{base} spectre_v2=ibrs")));
+    }
+    let outcomes = exec.execute(&plan);
+    let off = outcomes[0].num()?;
+    let auto = outcomes[1].num()?;
     let mut out = vec![V2Strategy {
         name: "auto (Table 1 choice)",
         overhead: auto / off - 1.0,
     }];
-    if model.spec.ibrs_supported {
-        let ibrs =
-            lebench_cell(harness, &model, "v2=ibrs", &format!("{base} spectre_v2=ibrs"))?;
+    if let Some(ibrs) = outcomes.get(2) {
         out.push(V2Strategy {
             name: "legacy IBRS (forced)",
-            overhead: ibrs / off - 1.0,
+            overhead: ibrs.num()? / off - 1.0,
         });
     }
     Ok(out)
 }
 
 /// Renders the V2 strategy comparison for a CPU set.
-pub fn render_v2_strategies(
-    harness: &Harness,
-    cpus: &[CpuId],
-) -> Result<String, ExperimentError> {
+pub fn render_v2_strategies(exec: &Executor, cpus: &[CpuId]) -> Result<String, ExperimentError> {
     let mut t = TextTable::new(&["CPU", "auto", "legacy IBRS"]);
     for cpu in cpus {
-        let rows = spectre_v2_strategies(harness, *cpu)?;
+        let rows = spectre_v2_strategies(exec, *cpu)?;
         let auto = rows[0].overhead;
         let ibrs = rows.get(1).map(|r| pct(r.overhead)).unwrap_or_else(|| "N/A".into());
         t.row(&[cpu.microarch().to_string(), pct(auto), ibrs]);
@@ -112,22 +96,40 @@ pub struct PcidAblation {
     pub without_pcid: f64,
 }
 
-/// Runs the PCID ablation on the given (Meltdown-vulnerable) model.
-pub fn pcid_ablation(
-    harness: &Harness,
-    model: &CpuModel,
-) -> Result<PcidAblation, ExperimentError> {
+/// Runs the PCID ablation on the given (Meltdown-vulnerable) CPU.
+///
+/// The with-PCID pair is the canonical `default`/`nopti` LEBench pair —
+/// content-identical to Figure 2's lattice anchors, so in a full
+/// regeneration both points come from the cross-experiment cache. The
+/// no-PCID pair runs a locally modified model and gets its own
+/// `pcid=off` cell keys.
+pub fn pcid_ablation(exec: &Executor, cpu: CpuId) -> Result<PcidAblation, ExperimentError> {
+    let model = cpu.model();
     assert!(model.needs_pti(), "the ablation needs a PTI part");
-    let overhead = |m: &CpuModel, tag: &str| -> Result<f64, ExperimentError> {
-        let on = lebench_cell(harness, m, &format!("pti {tag}"), "")?;
-        let off = lebench_cell(harness, m, &format!("nopti {tag}"), "nopti")?;
-        Ok(on / off - 1.0)
-    };
-    let with_pcid = overhead(model, "pcid=on")?;
     let mut nopcid = model.clone();
     nopcid.spec.pcid = false;
-    let without_pcid = overhead(&nopcid, "pcid=off")?;
-    Ok(PcidAblation { with_pcid, without_pcid })
+
+    let mut plan = ExperimentPlan::new("ablations");
+    plan.push(lebench_suite_cell("ablations", cpu, ""));
+    plan.push(lebench_suite_cell("ablations", cpu, "nopti"));
+    for (config, cmdline) in [("pti pcid=off", ""), ("nopti pcid=off", "nopti")] {
+        let m = nopcid.clone();
+        plan.push(CellSpec::new(
+            RunContext::new("ablations", model.microarch, "lebench", config),
+            0,
+            move |_| {
+                Ok(CellValue::Num(lebench::geomean(&lebench::run_suite(
+                    &m,
+                    &BootParams::parse(cmdline),
+                ))))
+            },
+        ));
+    }
+    let outcomes = exec.execute(&plan);
+    Ok(PcidAblation {
+        with_pcid: outcomes[0].num()? / outcomes[1].num()? - 1.0,
+        without_pcid: outcomes[2].num()? / outcomes[3].num()? - 1.0,
+    })
 }
 
 /// The Linux 5.16 change (§7): browser score recovered when seccomp no
@@ -147,24 +149,19 @@ impl Linux516 {
     }
 }
 
-/// Measures the 5.16 policy change on one CPU.
-pub fn linux_516_ssbd(harness: &Harness, cpu: CpuId) -> Result<Linux516, ExperimentError> {
-    let model = cpu.model();
-    let pre = octane_cell(
-        harness,
-        &model,
-        "ssbd=seccomp",
-        &BootParams::default(),
+/// Measures the 5.16 policy change on one CPU. Both points are canonical
+/// Octane cells shared with Figure 3's fully-mitigated configurations.
+pub fn linux_516_ssbd(exec: &Executor, cpu: CpuId) -> Result<Linux516, ExperimentError> {
+    let mut plan = ExperimentPlan::new("ablations");
+    plan.push(octane_suite_cell("ablations", cpu, "", JsMitigations::full()));
+    plan.push(octane_suite_cell(
+        "ablations",
+        cpu,
+        "spec_store_bypass_disable=prctl",
         JsMitigations::full(),
-    )?;
-    let post = octane_cell(
-        harness,
-        &model,
-        "ssbd=prctl",
-        &BootParams::parse("spec_store_bypass_disable=prctl"),
-        JsMitigations::full(),
-    )?;
-    Ok(Linux516 { pre_516_score: pre, post_516_score: post })
+    ));
+    let outcomes = exec.execute(&plan);
+    Ok(Linux516 { pre_516_score: outcomes[0].num()?, post_516_score: outcomes[1].num()? })
 }
 
 /// §7's hardware proposal, projected: if hardware recognized the JIT's
@@ -191,27 +188,25 @@ impl V1HwAssist {
 }
 
 /// Projects the hardware-assist ceiling on one CPU.
-pub fn v1_hardware_assist(harness: &Harness, cpu: CpuId) -> Result<V1HwAssist, ExperimentError> {
-    let model = cpu.model();
-    let params = BootParams::default();
-    let software =
-        octane_cell(harness, &model, "js=full", &params, JsMitigations::full())?;
-    let ceiling = octane_cell(
-        harness,
-        &model,
-        "js=no-masking",
-        &params,
+pub fn v1_hardware_assist(exec: &Executor, cpu: CpuId) -> Result<V1HwAssist, ExperimentError> {
+    let mut plan = ExperimentPlan::new("ablations");
+    plan.push(octane_suite_cell("ablations", cpu, "", JsMitigations::full()));
+    plan.push(octane_suite_cell(
+        "ablations",
+        cpu,
+        "",
         JsMitigations { index_masking: false, object_guards: false, other_js: true },
-    )?;
-    Ok(V1HwAssist { software, hardware_ceiling: ceiling })
+    ));
+    let outcomes = exec.execute(&plan);
+    Ok(V1HwAssist { software: outcomes[0].num()?, hardware_ceiling: outcomes[1].num()? })
 }
 
 /// Renders the §7 what-ifs for a CPU set.
-pub fn render_discussion(harness: &Harness, cpus: &[CpuId]) -> Result<String, ExperimentError> {
+pub fn render_discussion(exec: &Executor, cpus: &[CpuId]) -> Result<String, ExperimentError> {
     let mut t = TextTable::new(&["CPU", "5.16 SSBD change", "V1 hw-assist ceiling"]);
     for cpu in cpus {
-        let l = linux_516_ssbd(harness, *cpu)?;
-        let v = v1_hardware_assist(harness, *cpu)?;
+        let l = linux_516_ssbd(exec, *cpu)?;
+        let v = v1_hardware_assist(exec, *cpu)?;
         t.row(&[
             cpu.microarch().to_string(),
             format!("+{}", pct(l.improvement())),
@@ -230,7 +225,7 @@ mod tests {
         // §5.3: the per-entry MSR write made IBRS "unacceptably high";
         // retpolines won. On eIBRS parts the auto choice is already the
         // hardware one.
-        let rows = spectre_v2_strategies(&Harness::new(), CpuId::SkylakeClient).unwrap();
+        let rows = spectre_v2_strategies(&Executor::default(), CpuId::SkylakeClient).unwrap();
         assert_eq!(rows.len(), 2);
         assert!(
             rows[1].overhead > rows[0].overhead + 0.01,
@@ -244,7 +239,7 @@ mod tests {
     fn pcid_keeps_pti_cheap() {
         // §5.1: without PCID, every PTI CR3 load flushes the TLB and the
         // cost grows; with PCID the TLB impact is marginal.
-        let a = pcid_ablation(&Harness::new(), &CpuId::Broadwell.model()).unwrap();
+        let a = pcid_ablation(&Executor::default(), CpuId::Broadwell).unwrap();
         assert!(
             a.without_pcid > a.with_pcid * 1.1,
             "no-PCID PTI ({:.1}%) must exceed PCID PTI ({:.1}%)",
@@ -255,7 +250,7 @@ mod tests {
 
     #[test]
     fn linux_516_recovers_browser_performance() {
-        let l = linux_516_ssbd(&Harness::new(), CpuId::IceLakeServer).unwrap();
+        let l = linux_516_ssbd(&Executor::default(), CpuId::IceLakeServer).unwrap();
         assert!(
             l.improvement() > 0.05,
             "dropping seccomp-SSBD must help: {:.1}%",
@@ -265,11 +260,26 @@ mod tests {
 
     #[test]
     fn v1_hardware_assist_has_measurable_headroom() {
-        let v = v1_hardware_assist(&Harness::new(), CpuId::SkylakeClient).unwrap();
+        let v = v1_hardware_assist(&Executor::default(), CpuId::SkylakeClient).unwrap();
         assert!(
             v.potential_gain() > 0.01,
             "the cmov+load pattern must have headroom: {:.2}%",
             v.potential_gain() * 100.0
         );
+    }
+
+    #[test]
+    fn shared_anchors_are_served_from_the_cache() {
+        // The cross-experiment cache guarantee (satellite of the plan
+        // refactor): after Figure 2 has run in full mode, the PCID
+        // ablation's unmodified-model pair is content-identical to the
+        // lattice's `default`/`nopti` anchors and must not re-simulate.
+        let exec = Executor::default();
+        crate::experiments::figure2::run(&exec, &[CpuId::Broadwell], false).unwrap();
+        let before = exec.stats();
+        pcid_ablation(&exec, CpuId::Broadwell).unwrap();
+        let delta = exec.stats().since(&before);
+        assert_eq!(delta.cells_run, 2, "only the no-PCID pair simulates: {delta:?}");
+        assert!(delta.cells_from_cache >= 2, "default+nopti served from cache: {delta:?}");
     }
 }

@@ -14,7 +14,9 @@ use sim_kernel::bpf::BpfInsn;
 use sim_kernel::{userlib, BootParams, Kernel};
 use uarch::isa::Reg;
 
-use crate::harness::{ExperimentError, Harness, RunContext};
+use crate::executor::Executor;
+use crate::harness::{ExperimentError, RunContext};
+use crate::plan::{CellSpec, CellValue, ExperimentPlan};
 use crate::report::{pct, TextTable};
 
 /// Lookups per program run.
@@ -72,18 +74,35 @@ fn run_workload(cpu: CpuId, cmdline: &str, budget: u64) -> Result<f64, Experimen
     Ok((k.cycles() - c0) as f64 / RUNS as f64)
 }
 
-/// Measures the boundary for the given CPUs.
-pub fn run(harness: &Harness, cpus: &[CpuId]) -> Result<Vec<EbpfRow>, ExperimentError> {
-    let budget = harness.watchdog.instruction_budget(400_000_000);
+/// Configs in plan order per CPU: (config label, cmdline).
+const CONFIGS: [(&str, &str); 3] = [
+    ("default", ""),
+    ("nospectre_v1", "nospectre_v1"),
+    ("mitigations=off", "mitigations=off"),
+];
+
+/// Measures the boundary for the given CPUs: one plan of three cells per
+/// CPU (mitigated, no index masking, bare), ratios formed in the reduce.
+pub fn run(exec: &Executor, cpus: &[CpuId]) -> Result<Vec<EbpfRow>, ExperimentError> {
+    let budget = exec.harness().watchdog.instruction_budget(400_000_000);
+    let mut plan = ExperimentPlan::new("ebpf");
+    for cpu in cpus {
+        for (config, cmdline) in CONFIGS {
+            let cpu = *cpu;
+            plan.push(CellSpec::new(
+                RunContext::new("ebpf", cpu.model().microarch, "map-reduce", config),
+                0,
+                move |_| run_workload(cpu, cmdline, budget).map(CellValue::Num),
+            ));
+        }
+    }
+    let outcomes = exec.execute(&plan);
     cpus.iter()
-        .map(|cpu| {
-            let cell = |config: &str, cmdline: &str| {
-                let ctx = RunContext::new("ebpf", cpu.model().microarch, "map-reduce", config);
-                harness.run_attempts(&ctx, |_| run_workload(*cpu, cmdline, budget))
-            };
-            let mitigated = cell("default", "")?;
-            let no_mask = cell("nospectre_v1", "nospectre_v1")?;
-            let bare = cell("mitigations=off", "mitigations=off")?;
+        .enumerate()
+        .map(|(i, cpu)| {
+            let mitigated = outcomes[i * 3].num()?;
+            let no_mask = outcomes[i * 3 + 1].num()?;
+            let bare = outcomes[i * 3 + 2].num()?;
             Ok(EbpfRow {
                 cpu: *cpu,
                 cycles_mitigated: mitigated,
@@ -119,7 +138,7 @@ mod tests {
 
     #[test]
     fn masking_costs_a_few_percent_and_entries_dominate_old_parts() {
-        let rows = run(&Harness::new(), &[CpuId::Broadwell, CpuId::IceLakeServer]).unwrap();
+        let rows = run(&Executor::default(), &[CpuId::Broadwell, CpuId::IceLakeServer]).unwrap();
         for r in &rows {
             assert!(
                 r.masking_overhead > 0.005 && r.masking_overhead < 0.25,

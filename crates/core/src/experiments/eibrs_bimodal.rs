@@ -14,7 +14,9 @@ use uarch::model::CpuModel;
 use uarch::predictor::PrivMode;
 use uarch::ProgramBuilder;
 
-use crate::harness::{ExperimentError, Harness, RunContext};
+use crate::executor::Executor;
+use crate::harness::{ExperimentError, RunContext};
+use crate::plan::{CellSpec, CellValue, ExperimentPlan};
 
 /// Latency histogram of kernel entries.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -95,11 +97,38 @@ fn measure(model: &CpuModel, n: usize, ctx: &RunContext) -> Result<Bimodal, Expe
 }
 
 /// Measures `n` back-to-back syscall round trips on an eIBRS-style
-/// machine and returns the latency histogram. One retryable harness
-/// cell per CPU.
-pub fn run(harness: &Harness, model: &CpuModel, n: usize) -> Result<Bimodal, ExperimentError> {
-    let ctx = RunContext::new("eibrs-bimodal", model.microarch, "syscall", "");
-    harness.run_attempts(&ctx, |_| measure(model, n, &ctx))
+/// machine and returns the latency histogram. One retryable cell per
+/// CPU, encoded as integers (`[slow_interval, slow_extra, lat, count,
+/// …]`) so the journal can replay it; `n` is part of the config because
+/// it determines the histogram.
+pub fn run(exec: &Executor, model: &CpuModel, n: usize) -> Result<Bimodal, ExperimentError> {
+    let ctx = RunContext::new("eibrs-bimodal", model.microarch, "syscall", &format!("n={n}"));
+    let mut plan = ExperimentPlan::new("eibrs-bimodal");
+    let cell_ctx = ctx.clone();
+    let model = model.clone();
+    plan.push(CellSpec::new(ctx, 0, move |_| {
+        let b = measure(&model, n, &cell_ctx)?;
+        let mut v = vec![b.slow_interval, b.slow_extra];
+        for (lat, count) in &b.modes {
+            v.push(*lat);
+            v.push(*count);
+        }
+        Ok(CellValue::Ints(v))
+    }));
+    let outcomes = exec.execute(&plan);
+    let out = &outcomes[0];
+    let v = out.ints()?;
+    if v.len() < 2 || v.len() % 2 != 0 {
+        return Err(ExperimentError::DegenerateStatistics {
+            ctx: out.ctx.clone(),
+            detail: format!("malformed bimodal encoding of length {}", v.len()),
+        });
+    }
+    Ok(Bimodal {
+        slow_interval: v[0],
+        slow_extra: v[1],
+        modes: v[2..].chunks(2).map(|c| (c[0], c[1])).collect(),
+    })
 }
 
 /// Renders the histogram.
@@ -127,7 +156,7 @@ mod tests {
     #[test]
     fn eibrs_parts_show_two_modes() {
         for model in [cascade_lake(), ice_lake_server()] {
-            let b = run(&Harness::new(), &model, 128).unwrap();
+            let b = run(&Executor::default(), &model, 128).unwrap();
             assert!(b.modes.len() >= 2, "{}: expected bimodal", model.microarch);
             // ~210 extra cycles, every 8-20 entries (§6.2.2).
             assert_eq!(b.slow_extra, 210, "{}", model.microarch);
@@ -142,7 +171,7 @@ mod tests {
 
     #[test]
     fn non_eibrs_parts_are_unimodal() {
-        let b = run(&Harness::new(), &broadwell(), 128).unwrap();
+        let b = run(&Executor::default(), &broadwell(), 128).unwrap();
         assert_eq!(b.modes.len(), 1, "pre-eIBRS parts take constant time");
         assert_eq!(b.slow_extra, 0);
     }

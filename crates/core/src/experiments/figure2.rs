@@ -6,7 +6,8 @@ use sim_kernel::BootParams;
 use workloads::lebench;
 
 use crate::attribution::{attribute, Attribution, OS_TOGGLES};
-use crate::harness::{ExperimentError, Harness, RunContext};
+use crate::executor::Executor;
+use crate::harness::{ExperimentError, RunContext};
 use crate::report::{pct, TextTable};
 use crate::stats::StopPolicy;
 
@@ -27,10 +28,13 @@ impl Figure2 {
 /// Runs the experiment for the given CPUs (pass [`CpuId::ALL`] for the
 /// full figure). `quick` restricts LEBench to a fast subset, for tests.
 ///
-/// A failed middle lattice cell degrades the affected slices of that
-/// CPU's bar (see [`crate::attribution::attribute`]); only anchor-cell
-/// failures abort the whole figure.
-pub fn run(harness: &Harness, cpus: &[CpuId], quick: bool) -> Result<Figure2, ExperimentError> {
+/// Each CPU's successive-disable lattice becomes one plan executed by
+/// `exec`, so the cells run across the executor's worker pool and the
+/// lattice anchors land in the cross-experiment cache (the ablations
+/// reuse them). A failed middle lattice cell degrades the affected
+/// slices of that CPU's bar (see [`crate::attribution::attribute`]);
+/// only anchor-cell failures abort the whole figure.
+pub fn run(exec: &Executor, cpus: &[CpuId], quick: bool) -> Result<Figure2, ExperimentError> {
     let policy = StopPolicy { min_runs: 5, max_runs: 12, target_relative_ci: 0.01 };
     let workload_name = if quick { "getpid" } else { "lebench" };
     let mut bars = Vec::new();
@@ -38,12 +42,12 @@ pub fn run(harness: &Harness, cpus: &[CpuId], quick: bool) -> Result<Figure2, Ex
         let model = id.model();
         let ctx = RunContext::new("figure2", id.microarch(), workload_name, "");
         let att = attribute(
-            harness,
+            exec,
             &ctx,
             &OS_TOGGLES,
             0xF162 + i as u64,
             policy,
-            |params: &BootParams| {
+            move |params: &BootParams| {
                 if quick {
                     lebench::run_op(&model, params, lebench::LeBenchOp::GetPid).cycles_per_op
                 } else {
@@ -93,17 +97,17 @@ pub fn render(f: &Figure2) -> String {
 mod tests {
     use super::*;
     use crate::faultplan::{FaultKind, FaultPlan};
-    use crate::harness::RetryPolicy;
+    use crate::harness::{Harness, RetryPolicy};
 
-    fn test_harness() -> Harness {
-        Harness::new().with_retry(RetryPolicy::immediate(3))
+    fn test_exec() -> Executor {
+        Executor::new(Harness::new().with_retry(RetryPolicy::immediate(3)))
     }
 
     #[test]
     fn overhead_declines_across_intel_generations() {
         // The paper's headline: >30% on old Intel down to ~3% on new.
         let f = run(
-            &test_harness(),
+            &test_exec(),
             &[CpuId::Broadwell, CpuId::CascadeLake, CpuId::IceLakeServer],
             /* quick = */ true,
         )
@@ -116,7 +120,7 @@ mod tests {
 
     #[test]
     fn pti_and_mds_dominate_on_broadwell() {
-        let f = run(&test_harness(), &[CpuId::Broadwell], true).unwrap();
+        let f = run(&test_exec(), &[CpuId::Broadwell], true).unwrap();
         let att = &f.bars[0].1;
         let find = |n: &str| att.slices.iter().find(|s| s.name.contains(n)).unwrap().overhead;
         assert!(find("Page Table") + find("MDS") > att.total * 0.6);
@@ -126,30 +130,27 @@ mod tests {
     }
 
     #[test]
-    fn attribution_ordering_survives_transient_faults() {
-        // Satellite: a FaultPlan killing fewer runs than the retry limit
-        // must reproduce the same attribution ordering as a clean run.
-        let clean = run(&test_harness(), &[CpuId::Broadwell], true).unwrap();
+    fn attribution_values_survive_transient_faults_exactly() {
+        // A FaultPlan killing fewer runs than the retry limit must
+        // reproduce the same rendering as a clean run: noise is applied
+        // in the reduce step, so a retried cell's value is identical.
+        let clean = run(&test_exec(), &[CpuId::Broadwell], true).unwrap();
         let plan = FaultPlan::new().fail_cell("Broadwell/getpid/[nopti]", FaultKind::SimFault, Some(2));
-        let harness = test_harness().with_plan(plan);
-        let faulted = run(&harness, &[CpuId::Broadwell], true).unwrap();
-        assert!(harness.stats().faults_injected >= 2);
+        let exec =
+            Executor::new(Harness::new().with_retry(RetryPolicy::immediate(3)).with_plan(plan));
+        let faulted = run(&exec, &[CpuId::Broadwell], true).unwrap();
+        assert!(exec.stats().faults_injected >= 2);
         assert!(!faulted.bars[0].1.is_degraded());
-        let order = |f: &Figure2| {
-            let mut slices: Vec<(&str, f64)> =
-                f.bars[0].1.slices.iter().map(|s| (s.name, s.overhead)).collect();
-            slices.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-            slices.into_iter().map(|(n, _)| n).collect::<Vec<_>>()
-        };
-        assert_eq!(order(&clean), order(&faulted));
+        assert_eq!(render(&clean), render(&faulted));
     }
 
     #[test]
     fn permanent_fault_degrades_only_the_affected_bar() {
         let plan =
             FaultPlan::new().fail_cell("Broadwell/getpid/[nopti]", FaultKind::Timeout, None);
-        let harness = test_harness().with_plan(plan);
-        let f = run(&harness, &[CpuId::Broadwell, CpuId::CascadeLake], true).unwrap();
+        let exec =
+            Executor::new(Harness::new().with_retry(RetryPolicy::immediate(3)).with_plan(plan));
+        let f = run(&exec, &[CpuId::Broadwell, CpuId::CascadeLake], true).unwrap();
         assert!(f.bars[0].1.is_degraded(), "Broadwell bar degraded");
         assert!(!f.bars[1].1.is_degraded(), "Cascade Lake bar untouched");
         assert_eq!(f.failures().len(), 1);

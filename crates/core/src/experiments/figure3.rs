@@ -7,11 +7,12 @@
 //! seccomp (§4.3).
 
 use cpu_models::CpuId;
-use js_engine::octane;
 use js_engine::JsMitigations;
-use sim_kernel::BootParams;
 
-use crate::harness::{ExperimentError, Harness, RunContext};
+use crate::cells::{octane_crypto_cell, octane_suite_cell};
+use crate::executor::Executor;
+use crate::harness::ExperimentError;
+use crate::plan::ExperimentPlan;
 use crate::report::{pct, TextTable};
 use crate::stats::{measure_until, NoiseModel, StopPolicy};
 
@@ -35,85 +36,67 @@ pub struct Figure3 {
     pub bars: Vec<Bar>,
 }
 
-/// Suite score under a configuration: one harness cell, wrapped in the
-/// adaptive-CI methodology over seeded noise (reseeded per retry).
-fn score(
-    harness: &Harness,
-    cpu: CpuId,
-    config_label: &str,
-    params: &BootParams,
-    mits: JsMitigations,
-    quick: bool,
-    seed: u64,
-) -> Result<f64, ExperimentError> {
-    let model = cpu.model();
-    let workload = if quick { "crypto" } else { "octane" };
-    let ctx = RunContext::new("figure3", cpu.microarch(), workload, config_label);
-    let m = harness.run_cell(&ctx, |attempt| {
-        let base = if quick {
-            let out = octane::run_bench(octane::OctaneBench::Crypto, &model, params, mits);
-            1e9 / out.cycles as f64
-        } else {
-            octane::run_suite(&model, params, mits).1
-        };
-        let mut noise =
-            NoiseModel::paper_default(seed.wrapping_add(attempt as u64 * 104_729));
-        let policy = StopPolicy { min_runs: 5, max_runs: 12, target_relative_ci: 0.01 };
-        measure_until(policy, || noise.apply(base))
-            .map_err(|e| ExperimentError::DegenerateStatistics {
-                ctx: ctx.clone(),
-                detail: e.to_string(),
-            })
-    })?;
-    Ok(m.mean)
+/// The six measured configurations per CPU, in successive-enabling
+/// order: (cmdline, JS mitigation set).
+const CONFIGS: usize = 6;
+
+fn configs() -> [(&'static str, JsMitigations); CONFIGS] {
+    [
+        ("mitigations=off", JsMitigations::none()),
+        (
+            "mitigations=off",
+            JsMitigations { index_masking: true, object_guards: false, other_js: false },
+        ),
+        (
+            "mitigations=off",
+            JsMitigations { index_masking: true, object_guards: true, other_js: false },
+        ),
+        ("mitigations=off", JsMitigations::full()),
+        ("spec_store_bypass_disable=prctl", JsMitigations::full()),
+        ("", JsMitigations::full()),
+    ]
 }
 
 /// Runs the experiment. `quick` restricts the suite to one benchmark.
-pub fn run(harness: &Harness, cpus: &[CpuId], quick: bool) -> Result<Figure3, ExperimentError> {
+///
+/// All (CPU × configuration) cells go into one plan, so the executor
+/// can spread them across its worker pool; the fully-mitigated cells
+/// use the canonical [`crate::cells`] constructors' keys and are shared
+/// with the §7 what-if experiments through the cache. The reduce step
+/// applies the paper's adaptive-CI methodology over noise seeded from
+/// the (CPU, configuration) index — never the schedule — and then
+/// differences adjacent configurations into the stacked groups.
+pub fn run(exec: &Executor, cpus: &[CpuId], quick: bool) -> Result<Figure3, ExperimentError> {
+    let mut plan = ExperimentPlan::new("figure3");
+    for cpu in cpus {
+        for (cmdline, mits) in configs() {
+            plan.push(if quick {
+                octane_crypto_cell("figure3", *cpu, cmdline, mits)
+            } else {
+                octane_suite_cell("figure3", *cpu, cmdline, mits)
+            });
+        }
+    }
+    let outcomes = exec.execute(&plan);
+
+    let policy = StopPolicy { min_runs: 5, max_runs: 12, target_relative_ci: 0.01 };
     let mut bars = Vec::new();
     for (i, cpu) in cpus.iter().enumerate() {
         let seed = 0xF163 + i as u64 * 131;
-        // Successive enabling, mirroring the paper's stacking. The
-        // "no SSBD" OS baseline is the 5.16 policy (seccomp no longer
-        // opts in); "other OS" is everything below that.
-        let os_none = BootParams::parse("mitigations=off");
-        let os_no_ssbd = BootParams::parse("spec_store_bypass_disable=prctl");
-        let os_full = BootParams::default();
-
-        let s_bare =
-            score(harness, *cpu, "bare", &os_none, JsMitigations::none(), quick, seed)?;
-        let s_im = score(
-            harness,
-            *cpu,
-            "index-masking",
-            &os_none,
-            JsMitigations { index_masking: true, object_guards: false, other_js: false },
-            quick,
-            seed + 1,
-        )?;
-        let s_obj = score(
-            harness,
-            *cpu,
-            "object-guards",
-            &os_none,
-            JsMitigations { index_masking: true, object_guards: true, other_js: false },
-            quick,
-            seed + 2,
-        )?;
-        let s_js =
-            score(harness, *cpu, "full-js", &os_none, JsMitigations::full(), quick, seed + 3)?;
-        let s_other_os = score(
-            harness,
-            *cpu,
-            "full-js ssbd=prctl",
-            &os_no_ssbd,
-            JsMitigations::full(),
-            quick,
-            seed + 4,
-        )?;
-        let s_full =
-            score(harness, *cpu, "full", &os_full, JsMitigations::full(), quick, seed + 5)?;
-
+        let mut scores = [0.0; CONFIGS];
+        for (k, score) in scores.iter_mut().enumerate() {
+            let out = &outcomes[i * CONFIGS + k];
+            let base = out.num()?;
+            let mut noise = NoiseModel::paper_default(seed.wrapping_add(k as u64));
+            let m = measure_until(policy, || noise.apply(base)).map_err(|e| {
+                ExperimentError::DegenerateStatistics {
+                    ctx: out.ctx.clone(),
+                    detail: e.to_string(),
+                }
+            })?;
+            *score = m.mean;
+        }
+        let [s_bare, s_im, s_obj, s_js, s_other_os, s_full] = scores;
         let dec = |hi: f64, lo: f64| (1.0 - lo / hi).max(-1.0);
         let groups = vec![
             ("index masking", dec(s_bare, s_im)),
@@ -157,7 +140,8 @@ mod tests {
         // because neither Spectre V1 nor SSB got hardware fixes. (Suite
         // composition shifts the exact numbers; the invariant is that the
         // newest CPU still pays double digits.)
-        let f = run(&Harness::new(), &[CpuId::Broadwell, CpuId::IceLakeServer], false).unwrap();
+        let f = run(&Executor::default(), &[CpuId::Broadwell, CpuId::IceLakeServer], false)
+            .unwrap();
         for bar in &f.bars {
             assert!(
                 bar.total > 0.08 && bar.total < 0.40,
@@ -170,7 +154,7 @@ mod tests {
 
     #[test]
     fn js_mitigations_and_ssbd_both_contribute() {
-        let f = run(&Harness::new(), &[CpuId::SkylakeClient], false).unwrap();
+        let f = run(&Executor::default(), &[CpuId::SkylakeClient], false).unwrap();
         let bar = &f.bars[0];
         let get = |n: &str| {
             bar.groups.iter().find(|(g, _)| g.contains(n)).map(|(_, v)| *v).unwrap()

@@ -5,7 +5,9 @@ use cpu_models::CpuId;
 use sim_kernel::BootParams;
 use workloads::parsec::{run_bench, ParsecBench};
 
-use crate::harness::{ExperimentError, Harness, RunContext};
+use crate::executor::Executor;
+use crate::harness::{ExperimentError, RunContext};
+use crate::plan::{CellSpec, CellValue, ExperimentPlan};
 use crate::report::{pct, TextTable};
 use crate::stats::{measure_until, NoiseModel, StopPolicy};
 
@@ -16,34 +18,52 @@ pub struct Figure5 {
     pub rows: Vec<(CpuId, [f64; 3])>,
 }
 
-/// Runs the experiment.
-pub fn run(harness: &Harness, cpus: &[CpuId]) -> Result<Figure5, ExperimentError> {
+/// One raw PARSEC cell: cycles for `bench` on `id` under `params`.
+fn parsec_cell(id: CpuId, bench: ParsecBench, config: &str, params: &'static str) -> CellSpec {
+    let model = id.model();
+    CellSpec::new(
+        RunContext::new("figure5", id.microarch(), bench.name(), config),
+        0,
+        move |_| {
+            Ok(CellValue::Num(run_bench(&model, &BootParams::parse(params), bench).cycles as f64))
+        },
+    )
+}
+
+/// Runs the experiment: all (CPU × benchmark × {ssbd on, off}) cells in
+/// one plan, noise applied in the reduce from the (CPU, bench) index.
+pub fn run(exec: &Executor, cpus: &[CpuId]) -> Result<Figure5, ExperimentError> {
+    let mut plan = ExperimentPlan::new("figure5");
+    for id in cpus {
+        for bench in ParsecBench::ALL {
+            plan.push(parsec_cell(*id, bench, "ssbd=on", "spec_store_bypass_disable=on"));
+            plan.push(parsec_cell(*id, bench, "default", ""));
+        }
+    }
+    let outcomes = exec.execute(&plan);
+
     let policy = StopPolicy { min_runs: 5, max_runs: 10, target_relative_ci: 0.01 };
     let mut rows = Vec::new();
     for (i, id) in cpus.iter().enumerate() {
-        let model = id.model();
         let mut cols = [0.0; 3];
-        for (j, bench) in ParsecBench::ALL.iter().enumerate() {
+        for (j, col) in cols.iter_mut().enumerate() {
             let seed = 0xF165 + (i * 3 + j) as u64;
-            let cell = |config: &str, params: &str, salt: u64| {
-                let ctx = RunContext::new("figure5", id.microarch(), bench.name(), config);
-                harness.run_cell(&ctx, |attempt| {
-                    let base =
-                        run_bench(&model, &BootParams::parse(params), *bench).cycles as f64;
-                    let mut noise = NoiseModel::paper_default(
-                        seed.wrapping_add(salt).wrapping_add(attempt as u64 * 104_729),
-                    );
-                    measure_until(policy, || noise.apply(base)).map_err(|e| {
-                        ExperimentError::DegenerateStatistics {
-                            ctx: ctx.clone(),
-                            detail: e.to_string(),
-                        }
-                    })
-                })
-            };
-            let m_on = cell("ssbd=on", "spec_store_bypass_disable=on", 0x10_000)?;
-            let m_off = cell("default", "", 0)?;
-            cols[j] = m_on.mean / m_off.mean - 1.0;
+            // Plan order per (cpu, bench): ssbd=on (salt 0x10_000), then
+            // default (salt 0).
+            let mut means = [0.0; 2];
+            for (k, salt) in [0x10_000u64, 0].into_iter().enumerate() {
+                let out = &outcomes[(i * 3 + j) * 2 + k];
+                let base = out.num()?;
+                let mut noise = NoiseModel::paper_default(seed.wrapping_add(salt));
+                let m = measure_until(policy, || noise.apply(base)).map_err(|e| {
+                    ExperimentError::DegenerateStatistics {
+                        ctx: out.ctx.clone(),
+                        detail: e.to_string(),
+                    }
+                })?;
+                means[k] = m.mean;
+            }
+            *col = means[0] / means[1] - 1.0;
         }
         rows.push((*id, cols));
     }
@@ -71,7 +91,7 @@ mod tests {
     #[test]
     fn ssbd_slowdown_trends_worse_over_time() {
         let f = run(
-            &Harness::new(),
+            &Executor::default(),
             &[CpuId::Broadwell, CpuId::IceLakeServer, CpuId::Zen, CpuId::Zen3],
         )
         .unwrap();

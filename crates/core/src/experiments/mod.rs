@@ -4,6 +4,13 @@
 //! so the `bench` crate's regeneration binaries, the examples, and
 //! EXPERIMENTS.md all print from the same code.
 //!
+//! Drivers are *declarative*: each one enumerates its cells as an
+//! [`crate::plan::ExperimentPlan`], hands the plan to an
+//! [`crate::executor::Executor`] (worker pool + cross-experiment cache +
+//! journal), and reduces the returned outcomes — applying noise seeded
+//! from plan indices, never from the schedule — so results are
+//! byte-identical for any `--jobs` value.
+//!
 //! | module | artifact |
 //! |---|---|
 //! | [`table1`] | Table 1 — default mitigations per CPU |

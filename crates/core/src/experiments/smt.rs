@@ -16,10 +16,11 @@
 //! the comparison is measured.
 
 use cpu_models::CpuId;
-use sim_kernel::BootParams;
-use workloads::lebench;
 
-use crate::harness::{ExperimentError, Harness, RunContext};
+use crate::cells::lebench_suite_cell;
+use crate::executor::Executor;
+use crate::harness::ExperimentError;
+use crate::plan::ExperimentPlan;
 use crate::report::{pct, TextTable};
 
 /// Throughput gain from SMT on multiprogrammed workloads (documented
@@ -41,27 +42,31 @@ pub struct SmtRow {
     pub default_is_cheaper: bool,
 }
 
-/// Runs the trade-off for the given CPUs. Each CPU's verw measurement is
-/// one retryable harness cell.
-pub fn run(harness: &Harness, cpus: &[CpuId]) -> Result<Vec<SmtRow>, ExperimentError> {
+/// Runs the trade-off for the given CPUs. Each MDS-vulnerable CPU
+/// contributes two canonical LEBench suite cells (default and
+/// `mds=off`); the default one is content-identical to Figure 2's
+/// full-mode anchor, so a full regeneration serves it from the
+/// cross-experiment cache.
+pub fn run(exec: &Executor, cpus: &[CpuId]) -> Result<Vec<SmtRow>, ExperimentError> {
+    let measured: Vec<CpuId> =
+        cpus.iter().copied().filter(|cpu| cpu.model().vuln.mds).collect();
+    let mut plan = ExperimentPlan::new("smt");
+    for cpu in &measured {
+        plan.push(lebench_suite_cell("smt", *cpu, ""));
+        plan.push(lebench_suite_cell("smt", *cpu, "mds=off"));
+    }
+    let outcomes = exec.execute(&plan);
+
     cpus.iter()
         .map(|cpu| {
             let model = cpu.model();
-            let verw_cost = if model.vuln.mds {
-                let ctx = RunContext::new("smt", cpu.microarch(), "lebench", "mds");
-                harness.run_attempts(&ctx, |_| {
-                    let on = lebench::geomean(&lebench::run_suite(
-                        &model,
-                        &BootParams::default(),
-                    ));
-                    let off = lebench::geomean(&lebench::run_suite(
-                        &model,
-                        &BootParams::parse("mds=off"),
-                    ));
-                    Ok(on / off - 1.0)
-                })?
-            } else {
-                0.0
+            let verw_cost = match measured.iter().position(|m| m == cpu) {
+                Some(i) => {
+                    let on = outcomes[i * 2].num()?;
+                    let off = outcomes[i * 2 + 1].num()?;
+                    on / off - 1.0
+                }
+                None => 0.0,
             };
             let smt_off_cost = if model.vuln.mds && model.spec.smt {
                 1.0 - 1.0 / SMT_SPEEDUP
@@ -101,7 +106,7 @@ mod tests {
         // clearing costs less than the multiprogrammed throughput SMT
         // recovers.
         let rows = run(
-            &Harness::new(),
+            &Executor::default(),
             &[CpuId::Broadwell, CpuId::SkylakeClient, CpuId::CascadeLake],
         )
         .unwrap();
@@ -117,7 +122,7 @@ mod tests {
         }
         // On compute workloads (PARSEC) verw costs ~0 while SMT-off still
         // costs 20%: the default wins even more clearly there.
-        let fixed = run(&Harness::new(), &[CpuId::IceLakeServer]).unwrap();
+        let fixed = run(&Executor::default(), &[CpuId::IceLakeServer]).unwrap();
         assert_eq!(fixed[0].verw_cost, 0.0);
         assert_eq!(fixed[0].smt_off_cost, 0.0);
         assert!(fixed[0].default_is_cheaper);

@@ -3,7 +3,9 @@
 use cpu_models::CpuId;
 use sim_kernel::Mitigation;
 
-use crate::harness::{ExperimentError, Harness, RunContext};
+use crate::executor::Executor;
+use crate::harness::{ExperimentError, RunContext};
+use crate::plan::{CellSpec, CellValue, ExperimentPlan};
 use crate::report::TextTable;
 
 /// One cell: ✓ (used), ! (needed but not default), or empty.
@@ -17,21 +19,29 @@ pub struct Table1 {
 }
 
 /// Computes the matrix from the kernel's mitigation-selection logic.
-/// Each CPU's column is one retryable harness cell, so fault injection
-/// can prove the matrix is reproduced identically under retry.
-pub fn run(harness: &Harness) -> Result<Table1, ExperimentError> {
-    let mut columns = Vec::with_capacity(CpuId::ALL.len());
-    for id in &CpuId::ALL {
-        let ctx = RunContext::new("table1", id.microarch(), "mitigations", "");
-        let column = harness.run_attempts(&ctx, |_| {
-            let model = id.model();
-            Ok(Mitigation::TABLE1_ORDER
-                .iter()
-                .map(|mit| mit.table1_cell(&model))
-                .collect::<Vec<Cell>>())
-        })?;
-        columns.push(column);
+/// Each CPU's column is one retryable cell (a [`CellValue::Flags`]
+/// vector in row order), so fault injection can prove the matrix is
+/// reproduced identically under retry; the reduce step transposes the
+/// columns into the paper's row-major layout.
+pub fn run(exec: &Executor) -> Result<Table1, ExperimentError> {
+    let mut plan = ExperimentPlan::new("table1");
+    for id in CpuId::ALL {
+        plan.push(CellSpec::new(
+            RunContext::new("table1", id.microarch(), "mitigations", ""),
+            0,
+            move |_| {
+                let model = id.model();
+                Ok(CellValue::Flags(
+                    Mitigation::TABLE1_ORDER.iter().map(|mit| mit.table1_cell(&model)).collect(),
+                ))
+            },
+        ));
     }
+    let outcomes = exec.execute(&plan);
+    let columns = outcomes
+        .iter()
+        .map(|out| out.flags().map(|f| f.to_vec()))
+        .collect::<Result<Vec<Vec<Cell>>, ExperimentError>>()?;
     let rows = Mitigation::TABLE1_ORDER
         .iter()
         .enumerate()
@@ -74,10 +84,11 @@ pub fn render(t: &Table1) -> String {
 mod tests {
     use super::*;
     use crate::faultplan::{FaultKind, FaultPlan};
+    use crate::harness::Harness;
 
     #[test]
     fn fifteen_rows_and_render() {
-        let t = run(&Harness::new()).unwrap();
+        let t = run(&Executor::default()).unwrap();
         assert_eq!(t.rows.len(), 15);
         let s = render(&t);
         assert!(s.contains("Page Table Isolation"));
@@ -89,13 +100,13 @@ mod tests {
 
     #[test]
     fn matrix_is_identical_under_injected_faults() {
-        let clean = run(&Harness::new()).unwrap();
+        let clean = run(&Executor::default()).unwrap();
         let plan = FaultPlan::new()
             .fail_cell("table1/Broadwell", FaultKind::SimFault, Some(2))
             .fail_cell("table1/Zen 2", FaultKind::Timeout, Some(2));
-        let h = Harness::new().with_plan(plan);
-        let faulty = run(&h).unwrap();
+        let exec = Executor::new(Harness::new().with_plan(plan));
+        let faulty = run(&exec).unwrap();
         assert_eq!(clean, faulty);
-        assert_eq!(h.stats().faults_injected, 4);
+        assert_eq!(exec.stats().faults_injected, 4);
     }
 }

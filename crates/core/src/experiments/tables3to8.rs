@@ -1,31 +1,58 @@
 //! Tables 3–8: per-mitigation microbenchmarks, with paper-vs-measured
-//! comparisons. Each CPU row is one retryable harness cell.
+//! comparisons. Each CPU row is one retryable cell; each table is one
+//! plan handed to the executor.
+//!
+//! The tables use distinct *workload* names (`entry-exit`, `verw`,
+//! `indirect-call`, `ibpb`, `rsb-fill`, `lfence`) because the
+//! cross-experiment cache keys cells by content — CPU/workload/config —
+//! and drops the table name, so rows of different tables must not alias.
 
 use cpu_models::{paper_table3, paper_table5, CpuId};
 
-use crate::harness::{ExperimentError, Harness, RunContext};
+use crate::executor::Executor;
+use crate::harness::{ExperimentError, RunContext};
 use crate::micro;
+use crate::plan::{CellOutcome, CellSpec, CellValue, ExperimentPlan};
 use crate::report::{vs_paper, TextTable};
 
-/// Runs one table row as a harness cell (retry + fault injection).
-fn row_cell<T>(
-    harness: &Harness,
+/// Builds and runs one table's plan: a cell per CPU in `cpus`, computing
+/// `f(cpu)`.
+fn run_rows(
+    exec: &Executor,
     table: &str,
-    cpu: CpuId,
-    f: impl FnMut(u32) -> Result<T, ExperimentError>,
-) -> Result<T, ExperimentError> {
-    let ctx = RunContext::new(table, cpu.microarch(), "micro", "");
-    harness.run_attempts(&ctx, f)
+    workload: &str,
+    cpus: &[CpuId],
+    f: impl Fn(CpuId) -> Result<CellValue, ExperimentError> + Clone + Send + Sync + 'static,
+) -> Vec<CellOutcome> {
+    let mut plan = ExperimentPlan::new(table);
+    for cpu in cpus {
+        let cpu = *cpu;
+        let f = f.clone();
+        plan.push(CellSpec::new(
+            RunContext::new(table, cpu.microarch(), workload, ""),
+            0,
+            move |_| f(cpu),
+        ));
+    }
+    exec.execute(&plan)
 }
 
 /// Renders Table 3 (syscall / sysret / swap cr3 cycles).
-pub fn render_table3(harness: &Harness) -> Result<String, ExperimentError> {
+pub fn render_table3(exec: &Executor) -> Result<String, ExperimentError> {
+    let rows = paper_table3();
+    let cpus: Vec<CpuId> = rows.iter().map(|r| r.cpu).collect();
+    let outcomes = run_rows(exec, "table3", "entry-exit", &cpus, |cpu| {
+        let m = cpu.model();
+        Ok(CellValue::OptNums(vec![
+            Some(micro::syscall_cycles(&m)?),
+            Some(micro::sysret_cycles(&m)?),
+            micro::swap_cr3_cycles(&m)?,
+        ]))
+    });
     let mut t = TextTable::new(&["CPU", "syscall", "sysret", "swap cr3"]);
-    for row in paper_table3() {
-        let m = row.cpu.model();
-        let (syscall, sysret, cr3) = row_cell(harness, "table3", row.cpu, |_| {
-            Ok((micro::syscall_cycles(&m)?, micro::sysret_cycles(&m)?, micro::swap_cr3_cycles(&m)?))
-        })?;
+    for (row, out) in rows.iter().zip(&outcomes) {
+        let v = out.opt_nums()?;
+        let (syscall, sysret, cr3) = (v[0].unwrap_or(f64::NAN), v[1].unwrap_or(f64::NAN), v[2]);
         let cr3 = match (cr3, row.swap_cr3) {
             (Some(got), Some(paper)) => vs_paper(got, paper as f64),
             (None, None) => "N/A".to_string(),
@@ -42,7 +69,7 @@ pub fn render_table3(harness: &Harness) -> Result<String, ExperimentError> {
 }
 
 /// Renders Table 4 (verw buffer-clear cycles).
-pub fn render_table4(harness: &Harness) -> Result<String, ExperimentError> {
+pub fn render_table4(exec: &Executor) -> Result<String, ExperimentError> {
     let paper: &[(CpuId, Option<f64>)] = &[
         (CpuId::Broadwell, Some(610.0)),
         (CpuId::SkylakeClient, Some(518.0)),
@@ -53,9 +80,13 @@ pub fn render_table4(harness: &Harness) -> Result<String, ExperimentError> {
         (CpuId::Zen2, None),
         (CpuId::Zen3, None),
     ];
+    let cpus: Vec<CpuId> = paper.iter().map(|(id, _)| *id).collect();
+    let outcomes = run_rows(exec, "table4", "verw", &cpus, |cpu| {
+        Ok(CellValue::OptNums(vec![micro::verw_cycles(&cpu.model())?]))
+    });
     let mut t = TextTable::new(&["CPU", "verw clear cycles"]);
-    for (id, want) in paper {
-        let got = row_cell(harness, "table4", *id, |_| micro::verw_cycles(&id.model()))?;
+    for ((id, want), out) in paper.iter().zip(&outcomes) {
+        let got = out.opt_nums()?[0];
         let cell = match (got, want) {
             (Some(g), Some(w)) => vs_paper(g, *w),
             (None, None) => "N/A".to_string(),
@@ -67,23 +98,29 @@ pub fn render_table4(harness: &Harness) -> Result<String, ExperimentError> {
 }
 
 /// Renders Table 5 (indirect branch cycles per dispatch mechanism).
-pub fn render_table5(harness: &Harness) -> Result<String, ExperimentError> {
+pub fn render_table5(exec: &Executor) -> Result<String, ExperimentError> {
+    let rows = paper_table5();
+    let cpus: Vec<CpuId> = rows.iter().map(|r| r.cpu).collect();
+    let outcomes = run_rows(exec, "table5", "indirect-call", &cpus, |cpu| {
+        let m = cpu.model();
+        let baseline = micro::indirect_call_cycles(&m, micro::Dispatch::Baseline)?.ok_or_else(
+            || ExperimentError::DegenerateStatistics {
+                ctx: RunContext::new("table5", cpu.microarch(), "indirect-call", ""),
+                detail: "baseline dispatch inapplicable".to_string(),
+            },
+        )?;
+        Ok(CellValue::OptNums(vec![
+            Some(baseline),
+            micro::indirect_call_cycles(&m, micro::Dispatch::Ibrs)?,
+            micro::indirect_call_cycles(&m, micro::Dispatch::RetpolineGeneric)?,
+            micro::indirect_call_cycles(&m, micro::Dispatch::RetpolineAmd)?,
+        ]))
+    });
     let mut t = TextTable::new(&["CPU", "Baseline", "IBRS extra", "Generic extra", "AMD extra"]);
-    for row in paper_table5() {
-        let m = row.cpu.model();
-        let (baseline, ibrs_m, generic_m, amd_m) = row_cell(harness, "table5", row.cpu, |_| {
-            let baseline = micro::indirect_call_cycles(&m, micro::Dispatch::Baseline)?
-                .ok_or_else(|| ExperimentError::DegenerateStatistics {
-                    ctx: RunContext::new("table5", row.cpu.microarch(), "micro", ""),
-                    detail: "baseline dispatch inapplicable".to_string(),
-                })?;
-            Ok((
-                baseline,
-                micro::indirect_call_cycles(&m, micro::Dispatch::Ibrs)?,
-                micro::indirect_call_cycles(&m, micro::Dispatch::RetpolineGeneric)?,
-                micro::indirect_call_cycles(&m, micro::Dispatch::RetpolineAmd)?,
-            ))
-        })?;
+    for (row, out) in rows.iter().zip(&outcomes) {
+        let v = out.opt_nums()?;
+        let (baseline, ibrs_m, generic_m, amd_m) =
+            (v[0].unwrap_or(f64::NAN), v[1], v[2], v[3]);
         let ibrs = match (ibrs_m, row.ibrs_extra) {
             (Some(got), Some(paper)) => vs_paper(got - baseline, paper as f64),
             (None, None) => "N/A".to_string(),
@@ -109,7 +146,7 @@ pub fn render_table5(harness: &Harness) -> Result<String, ExperimentError> {
 }
 
 /// Renders Table 6 (IBPB cycles).
-pub fn render_table6(harness: &Harness) -> Result<String, ExperimentError> {
+pub fn render_table6(exec: &Executor) -> Result<String, ExperimentError> {
     let paper: &[(CpuId, f64)] = &[
         (CpuId::Broadwell, 5600.0),
         (CpuId::SkylakeClient, 4500.0),
@@ -120,16 +157,19 @@ pub fn render_table6(harness: &Harness) -> Result<String, ExperimentError> {
         (CpuId::Zen2, 1100.0),
         (CpuId::Zen3, 800.0),
     ];
+    let cpus: Vec<CpuId> = paper.iter().map(|(id, _)| *id).collect();
+    let outcomes = run_rows(exec, "table6", "ibpb", &cpus, |cpu| {
+        Ok(CellValue::Num(micro::ibpb_cycles(&cpu.model())?))
+    });
     let mut t = TextTable::new(&["CPU", "IBPB cycles"]);
-    for (id, want) in paper {
-        let got = row_cell(harness, "table6", *id, |_| micro::ibpb_cycles(&id.model()))?;
-        t.row(&[id.microarch().to_string(), vs_paper(got, *want)]);
+    for ((id, want), out) in paper.iter().zip(&outcomes) {
+        t.row(&[id.microarch().to_string(), vs_paper(out.num()?, *want)]);
     }
     Ok(t.render())
 }
 
 /// Renders Table 7 (RSB fill cycles).
-pub fn render_table7() -> String {
+pub fn render_table7(exec: &Executor) -> Result<String, ExperimentError> {
     let paper: &[(CpuId, f64)] = &[
         (CpuId::Broadwell, 130.0),
         (CpuId::SkylakeClient, 130.0),
@@ -140,18 +180,19 @@ pub fn render_table7() -> String {
         (CpuId::Zen2, 68.0),
         (CpuId::Zen3, 94.0),
     ];
+    let cpus: Vec<CpuId> = paper.iter().map(|(id, _)| *id).collect();
+    let outcomes = run_rows(exec, "table7", "rsb-fill", &cpus, |cpu| {
+        Ok(CellValue::Num(micro::rsb_fill_cycles(&cpu.model())))
+    });
     let mut t = TextTable::new(&["CPU", "RSB fill cycles"]);
-    for (id, want) in paper {
-        t.row(&[
-            id.microarch().to_string(),
-            vs_paper(micro::rsb_fill_cycles(&id.model()), *want),
-        ]);
+    for ((id, want), out) in paper.iter().zip(&outcomes) {
+        t.row(&[id.microarch().to_string(), vs_paper(out.num()?, *want)]);
     }
-    t.render()
+    Ok(t.render())
 }
 
 /// Renders Table 8 (lfence cycles with a load in flight).
-pub fn render_table8(harness: &Harness) -> Result<String, ExperimentError> {
+pub fn render_table8(exec: &Executor) -> Result<String, ExperimentError> {
     let paper: &[(CpuId, f64)] = &[
         (CpuId::Broadwell, 28.0),
         (CpuId::SkylakeClient, 20.0),
@@ -162,28 +203,31 @@ pub fn render_table8(harness: &Harness) -> Result<String, ExperimentError> {
         (CpuId::Zen2, 4.0),
         (CpuId::Zen3, 30.0),
     ];
+    let cpus: Vec<CpuId> = paper.iter().map(|(id, _)| *id).collect();
+    let outcomes = run_rows(exec, "table8", "lfence", &cpus, |cpu| {
+        Ok(CellValue::Num(micro::lfence_cycles(&cpu.model())?))
+    });
     let mut t = TextTable::new(&["CPU", "lfence cycles"]);
-    for (id, want) in paper {
-        let got = row_cell(harness, "table8", *id, |_| micro::lfence_cycles(&id.model()))?;
-        t.row(&[id.microarch().to_string(), vs_paper(got, *want)]);
+    for ((id, want), out) in paper.iter().zip(&outcomes) {
+        t.row(&[id.microarch().to_string(), vs_paper(out.num()?, *want)]);
     }
     Ok(t.render())
 }
 
 #[cfg(test)]
 mod tests {
-    use crate::harness::Harness;
+    use crate::executor::Executor;
 
     #[test]
     fn all_tables_render_without_mismatch_markers() {
-        let h = Harness::new();
+        let exec = Executor::default();
         for (name, s) in [
-            ("t3", super::render_table3(&h).unwrap()),
-            ("t4", super::render_table4(&h).unwrap()),
-            ("t5", super::render_table5(&h).unwrap()),
-            ("t6", super::render_table6(&h).unwrap()),
-            ("t7", super::render_table7()),
-            ("t8", super::render_table8(&h).unwrap()),
+            ("t3", super::render_table3(&exec).unwrap()),
+            ("t4", super::render_table4(&exec).unwrap()),
+            ("t5", super::render_table5(&exec).unwrap()),
+            ("t6", super::render_table6(&exec).unwrap()),
+            ("t7", super::render_table7(&exec).unwrap()),
+            ("t8", super::render_table8(&exec).unwrap()),
         ] {
             assert!(!s.contains("mismatch"), "{name}:\n{s}");
             assert!(s.lines().count() >= 10, "{name} has all CPU rows");

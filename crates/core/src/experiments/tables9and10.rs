@@ -4,7 +4,9 @@
 
 use cpu_models::CpuId;
 
-use crate::harness::{ExperimentError, Harness, RunContext};
+use crate::executor::Executor;
+use crate::harness::{ExperimentError, RunContext};
+use crate::plan::{CellSpec, CellValue, ExperimentPlan};
 use crate::probe::{columns, table_row, ProbeResult};
 use crate::report::TextTable;
 
@@ -17,18 +19,65 @@ pub struct SpecMatrix {
     pub rows: Vec<(CpuId, Vec<(&'static str, ProbeResult)>)>,
 }
 
+fn encode(r: ProbeResult) -> u64 {
+    match r {
+        ProbeResult::Blocked => 0,
+        ProbeResult::Speculated => 1,
+        ProbeResult::NotApplicable => 2,
+    }
+}
+
+fn decode(ctx: &RunContext, v: u64) -> Result<ProbeResult, ExperimentError> {
+    match v {
+        0 => Ok(ProbeResult::Blocked),
+        1 => Ok(ProbeResult::Speculated),
+        2 => Ok(ProbeResult::NotApplicable),
+        other => Err(ExperimentError::DegenerateStatistics {
+            ctx: ctx.clone(),
+            detail: format!("unknown probe encoding {other}"),
+        }),
+    }
+}
+
 /// Runs the probe matrix for all CPUs. Each CPU row is one retryable
-/// harness cell; the probes are noise-free, so a retried row reproduces
-/// the exact same cells as a fault-free run.
-pub fn run(harness: &Harness, ibrs: bool) -> Result<SpecMatrix, ExperimentError> {
+/// cell in the table's plan; the probes are noise-free, so a retried (or
+/// cached, or journaled) row reproduces the exact same cells as a
+/// fault-free run. The two tables use distinct `ibrs=` configs because
+/// the cache keys cells by content and drops the experiment name.
+pub fn run(exec: &Executor, ibrs: bool) -> Result<SpecMatrix, ExperimentError> {
     let experiment = if ibrs { "table10" } else { "table9" };
+    let config = if ibrs { "ibrs=on" } else { "ibrs=off" };
+    let mut plan = ExperimentPlan::new(experiment);
+    for id in CpuId::ALL {
+        plan.push(CellSpec::new(
+            RunContext::new(experiment, id.microarch(), "probe", config),
+            0,
+            move |_| {
+                let row = table_row(&id.model(), ibrs)?;
+                Ok(CellValue::Ints(row.iter().map(|(_, r)| encode(*r)).collect()))
+            },
+        ));
+    }
+    let outcomes = exec.execute(&plan);
+
+    let cols = columns();
     let rows = CpuId::ALL
         .iter()
-        .map(|id| {
-            let ctx = RunContext::new(experiment, id.microarch(), "probe", "");
-            harness
-                .run_attempts(&ctx, |_| table_row(&id.model(), ibrs))
-                .map(|row| (*id, row))
+        .zip(&outcomes)
+        .map(|(id, out)| {
+            let ints = out.ints()?;
+            if ints.len() != cols.len() {
+                return Err(ExperimentError::DegenerateStatistics {
+                    ctx: out.ctx.clone(),
+                    detail: format!("expected {} probe columns, got {}", cols.len(), ints.len()),
+                });
+            }
+            let row = cols
+                .iter()
+                .zip(ints)
+                .map(|((name, _), v)| Ok((*name, decode(&out.ctx, *v)?)))
+                .collect::<Result<Vec<_>, ExperimentError>>()?;
+            Ok((*id, row))
         })
         .collect::<Result<Vec<_>, _>>()?;
     Ok(SpecMatrix { ibrs, rows })
@@ -63,10 +112,11 @@ pub fn render(m: &SpecMatrix) -> String {
 mod tests {
     use super::*;
     use crate::faultplan::{FaultKind, FaultPlan};
+    use crate::harness::Harness;
 
     #[test]
     fn table9_full_matrix_shape() {
-        let m = run(&Harness::new(), false).unwrap();
+        let m = run(&Executor::default(), false).unwrap();
         assert_eq!(m.rows.len(), 8);
         let s = render(&m);
         // Zen 3's row is empty in Table 9.
@@ -79,7 +129,7 @@ mod tests {
 
     #[test]
     fn table10_zen_row_is_na() {
-        let m = run(&Harness::new(), true).unwrap();
+        let m = run(&Executor::default(), true).unwrap();
         let zen = &m.rows.iter().find(|(c, _)| *c == CpuId::Zen).unwrap().1;
         assert!(zen.iter().all(|(_, r)| *r == ProbeResult::NotApplicable));
         let s = render(&m);
@@ -91,18 +141,18 @@ mod tests {
         // The determinism guarantee: a FaultPlan that kills k < retry-limit
         // attempts of several rows still reproduces the exact Tables 9/10
         // a fault-free run produces.
-        let clean9 = run(&Harness::new(), false).unwrap();
-        let clean10 = run(&Harness::new(), true).unwrap();
+        let clean9 = run(&Executor::default(), false).unwrap();
+        let clean10 = run(&Executor::default(), true).unwrap();
         let plan = FaultPlan::new()
             .fail_cell("table9/Broadwell", FaultKind::SimFault, Some(2))
             .fail_cell("table9/Zen 3", FaultKind::Timeout, Some(1))
             .fail_cell("table10/Cascade Lake", FaultKind::SimFault, Some(2));
-        let h = Harness::new().with_plan(plan);
-        let faulty9 = run(&h, false).unwrap();
-        let faulty10 = run(&h, true).unwrap();
+        let exec = Executor::new(Harness::new().with_plan(plan));
+        let faulty9 = run(&exec, false).unwrap();
+        let faulty10 = run(&exec, true).unwrap();
         assert_eq!(clean9, faulty9);
         assert_eq!(clean10, faulty10);
-        assert!(h.stats().faults_injected >= 5, "{:?}", h.stats());
-        assert!(h.stats().retries >= 5);
+        assert!(exec.stats().faults_injected >= 5, "{:?}", exec.stats());
+        assert!(exec.stats().retries >= 5);
     }
 }

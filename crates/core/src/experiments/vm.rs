@@ -12,7 +12,9 @@ use sim_kernel::BootParams;
 use uarch::isa::Reg;
 use workloads::lfs::{self, LfsBench};
 
-use crate::harness::{ExperimentError, Harness, RunContext};
+use crate::executor::Executor;
+use crate::harness::{ExperimentError, RunContext};
+use crate::plan::{CellSpec, CellValue, ExperimentPlan};
 use crate::report::{pct, TextTable};
 use crate::stats::{measure_until, NoiseModel, StopPolicy};
 
@@ -64,73 +66,88 @@ fn guest_lfs(
     Ok((hv.guest.cycles(), hv.stats.exits, hv.guest.state.stats.syscalls))
 }
 
-/// Runs the §4.4 experiments for the given CPUs.
-pub fn run(harness: &Harness, cpus: &[CpuId]) -> Result<Vec<VmRow>, ExperimentError> {
+/// The six raw guest cells per CPU, in plan order. Each is a retryable
+/// cell the executor can cache/journal: the guest runs are deterministic
+/// but can die or hang. Noise is applied in the reduce step, not here.
+const CELLS_PER_CPU: usize = 6;
+
+fn guest_cells(cpu: CpuId, budget: u64) -> [CellSpec; CELLS_PER_CPU] {
+    let cell = |workload: &str,
+                config: &str,
+                raw: Box<dyn Fn() -> Result<Vec<u64>, uarch::SimError> + Send + Sync>| {
+        let ctx = RunContext::new("vm", cpu.microarch(), workload, config);
+        let err_ctx = ctx.clone();
+        CellSpec::new(ctx, 0, move |_| {
+            raw().map(CellValue::Ints).map_err(|e| ExperimentError::sim(&err_ctx, e))
+        })
+    };
+    [
+        cell("lebench-guest", "default", Box::new(move || {
+            guest_lebench_cycles(cpu, "", budget).map(|c| vec![c])
+        })),
+        cell("lebench-guest", "mitigations=off", Box::new(move || {
+            guest_lebench_cycles(cpu, "mitigations=off", budget).map(|c| vec![c])
+        })),
+        cell("smallfile-guest", "default", Box::new(move || {
+            guest_lfs(cpu, "", LfsBench::Smallfile, budget)
+                .map(|(c, exits, syscalls)| vec![c, exits, syscalls])
+        })),
+        cell("smallfile-guest", "mitigations=off", Box::new(move || {
+            guest_lfs(cpu, "mitigations=off", LfsBench::Smallfile, budget)
+                .map(|(c, _, _)| vec![c])
+        })),
+        cell("largefile-guest", "default", Box::new(move || {
+            guest_lfs(cpu, "", LfsBench::Largefile, budget).map(|(c, _, _)| vec![c])
+        })),
+        cell("largefile-guest", "mitigations=off", Box::new(move || {
+            guest_lfs(cpu, "mitigations=off", LfsBench::Largefile, budget)
+                .map(|(c, _, _)| vec![c])
+        })),
+    ]
+}
+
+/// Runs the §4.4 experiments for the given CPUs: one plan of six raw
+/// guest cells per CPU; the reduce step applies the paper's
+/// adaptive-CI noise model per cell (seeded by the CPU/cell index, never
+/// the schedule) and forms the overhead ratios.
+pub fn run(exec: &Executor, cpus: &[CpuId]) -> Result<Vec<VmRow>, ExperimentError> {
     let policy = StopPolicy { min_runs: 5, max_runs: 10, target_relative_ci: 0.015 };
-    let budget = harness.watchdog.instruction_budget(BUDGET);
+    let budget = exec.harness().watchdog.instruction_budget(BUDGET);
+    let mut plan = ExperimentPlan::new("vm");
+    for cpu in cpus {
+        for c in guest_cells(*cpu, budget) {
+            plan.push(c);
+        }
+    }
+    let outcomes = exec.execute(&plan);
+
     let mut rows = Vec::new();
     for (i, cpu) in cpus.iter().enumerate() {
         let seed = 0x0444 + i as u64 * 977;
-        // The raw guest runs are deterministic but can die or hang, so
-        // each is a retryable (non-journaled) harness cell of its own;
-        // the noise-wrapped statistics below are the journaled cells.
-        let guest_run = |workload: &str, config: &str, raw: &dyn Fn() -> Result<u64, uarch::SimError>| {
-            let ctx = RunContext::new("vm", cpu.microarch(), workload, config);
-            harness.run_attempts(&ctx, |_| raw().map_err(|e| ExperimentError::sim(&ctx, e)))
-        };
-        let measure = |workload: &str, config: &str, base: u64, s: u64| {
-            let ctx = RunContext::new("vm", cpu.microarch(), workload, config);
-            harness
-                .run_cell(&ctx, |attempt| {
-                    let mut noise = NoiseModel::paper_default(
-                        s.wrapping_add(attempt as u64 * 104_729),
-                    );
-                    measure_until(policy, || noise.apply(base as f64)).map_err(|e| {
-                        ExperimentError::DegenerateStatistics {
-                            ctx: ctx.clone(),
-                            detail: e.to_string(),
-                        }
-                    })
-                })
+        let base = i * CELLS_PER_CPU;
+        // Noise seeds in historical order: lebench on/off, smallfile
+        // on/off, largefile on/off.
+        let measure = |cell: usize, s: u64| -> Result<f64, ExperimentError> {
+            let out = &outcomes[base + cell];
+            let raw = out.ints()?[0] as f64;
+            let mut noise = NoiseModel::paper_default(s);
+            measure_until(policy, || noise.apply(raw))
                 .map(|m| m.mean)
+                .map_err(|e| ExperimentError::DegenerateStatistics {
+                    ctx: out.ctx.clone(),
+                    detail: e.to_string(),
+                })
         };
-
-        let le_on_raw = guest_run("lebench-guest", "default", &|| {
-            guest_lebench_cycles(*cpu, "", budget)
-        })?;
-        let le_off_raw = guest_run("lebench-guest", "mitigations=off", &|| {
-            guest_lebench_cycles(*cpu, "mitigations=off", budget)
-        })?;
-        let le_on = measure("lebench", "default", le_on_raw, seed)?;
-        let le_off = measure("lebench", "mitigations=off", le_off_raw, seed + 1)?;
-
-        let ctx_sf = RunContext::new("vm", cpu.microarch(), "smallfile-guest", "default");
-        let (sf_on, exits, syscalls) = harness.run_attempts(&ctx_sf, |_| {
-            guest_lfs(*cpu, "", LfsBench::Smallfile, budget)
-                .map_err(|e| ExperimentError::sim(&ctx_sf, e))
-        })?;
-        let ctx_sf_off =
-            RunContext::new("vm", cpu.microarch(), "smallfile-guest", "mitigations=off");
-        let (sf_off, _, _) = harness.run_attempts(&ctx_sf_off, |_| {
-            guest_lfs(*cpu, "mitigations=off", LfsBench::Smallfile, budget)
-                .map_err(|e| ExperimentError::sim(&ctx_sf_off, e))
-        })?;
-        let lf_on = guest_run("largefile-guest", "default", &|| {
-            guest_lfs(*cpu, "", LfsBench::Largefile, budget).map(|(c, _, _)| c)
-        })?;
-        let lf_off = guest_run("largefile-guest", "mitigations=off", &|| {
-            guest_lfs(*cpu, "mitigations=off", LfsBench::Largefile, budget).map(|(c, _, _)| c)
-        })?;
+        let le_on = measure(0, seed)?;
+        let le_off = measure(1, seed + 1)?;
+        let sf_stats = outcomes[base + 2].ints()?;
+        let (exits, syscalls) = (sf_stats[1], sf_stats[2]);
 
         rows.push(VmRow {
             cpu: *cpu,
             lebench_overhead: le_on / le_off - 1.0,
-            smallfile_overhead: measure("smallfile", "default", sf_on, seed + 2)?
-                / measure("smallfile", "mitigations=off", sf_off, seed + 3)?
-                - 1.0,
-            largefile_overhead: measure("largefile", "default", lf_on, seed + 4)?
-                / measure("largefile", "mitigations=off", lf_off, seed + 5)?
-                - 1.0,
+            smallfile_overhead: measure(2, seed + 2)? / measure(3, seed + 3)? - 1.0,
+            largefile_overhead: measure(4, seed + 4)? / measure(5, seed + 5)? - 1.0,
             smallfile_exits: exits,
             smallfile_syscalls: syscalls,
         });
@@ -168,7 +185,8 @@ mod tests {
     #[test]
     fn host_mitigations_invisible_from_the_guest() {
         // Paper §4.4: LEBench-in-VM within ±3%; LFS median under 2%.
-        let rows = run(&Harness::new(), &[CpuId::SkylakeClient, CpuId::CascadeLake]).unwrap();
+        let rows =
+            run(&Executor::default(), &[CpuId::SkylakeClient, CpuId::CascadeLake]).unwrap();
         for r in &rows {
             assert!(
                 r.lebench_overhead.abs() < 0.04,

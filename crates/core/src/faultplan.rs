@@ -9,9 +9,9 @@
 //! given lattice cell's nth attempt fails, and how. The measurement loop
 //! in [`crate::harness`] consults the plan before and during every cell.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Mutex;
 
 /// What kind of failure to inject into a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -80,13 +80,28 @@ pub struct FaultRule {
 ///
 /// The plan is consulted once per attempt; delivered injections are
 /// counted per (rule, cell) so `times = Some(k)` lets attempt `k`
-/// through, which is how tests prove retry recovers.
-#[derive(Debug, Clone, Default)]
+/// through, which is how tests prove retry recovers. The counters are
+/// keyed by cell, not by global call order, so injection is independent
+/// of how the executor interleaves cells across workers.
+#[derive(Debug, Default)]
 pub struct FaultPlan {
     rules: Vec<FaultRule>,
     seed: u64,
     probability: f64,
-    delivered: RefCell<HashMap<(usize, String), u32>>,
+    delivered: Mutex<HashMap<(usize, String), u32>>,
+}
+
+impl Clone for FaultPlan {
+    fn clone(&self) -> FaultPlan {
+        FaultPlan {
+            rules: self.rules.clone(),
+            seed: self.seed,
+            probability: self.probability,
+            delivered: Mutex::new(
+                self.delivered.lock().unwrap_or_else(|e| e.into_inner()).clone(),
+            ),
+        }
+    }
 }
 
 impl FaultPlan {
@@ -199,7 +214,8 @@ impl FaultPlan {
             match rule.times {
                 None => return Some(rule.kind),
                 Some(limit) => {
-                    let mut delivered = self.delivered.borrow_mut();
+                    let mut delivered =
+                        self.delivered.lock().unwrap_or_else(|e| e.into_inner());
                     let count = delivered.entry((i, cell_key.to_string())).or_insert(0);
                     if *count < limit {
                         *count += 1;

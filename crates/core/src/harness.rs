@@ -10,26 +10,40 @@
 //!   mitigation config it came from.
 //! * **A watchdog** ([`Watchdog`]): an instruction budget handed to the
 //!   simulator plus a wall-clock deadline enforced around each attempt.
-//! * **Retry with bounded exponential backoff** ([`RetryPolicy`]); each
-//!   attempt reseeds the noise stream (the attempt index is passed to
-//!   the cell closure) so a retried cell draws fresh samples.
+//! * **Retry with bounded exponential backoff** ([`RetryPolicy`]); the
+//!   attempt index is passed to the cell closure so a cell that wants
+//!   attempt-dependent behaviour can have it.
 //! * **Deterministic fault injection** (a [`FaultPlan`] consulted before
 //!   and after every attempt) so tests can prove recovery works.
-//! * **A JSON-lines journal** ([`Journal`]) of completed cells, so an
-//!   interrupted sweep resumes without re-measuring finished work.
+//! * **A JSON-lines journal** ([`Journal`]) of completed cells, keyed by
+//!   content key *and seed*, so an interrupted sweep resumes without
+//!   re-measuring finished work — and a stale entry recorded under a
+//!   different seed is never replayed.
+//!
+//! The harness is `Sync`: the [`crate::executor`] runs cells from a
+//! `std::thread::scope` worker pool, so every mutable bit (stats, the
+//! fault plan's delivery counters, the journal) sits behind a mutex.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, Write as _};
 use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use uarch::SimError;
 
 use crate::faultplan::{FaultKind, FaultPlan};
+use crate::plan::CellValue;
 use crate::stats::Measurement;
+
+/// Locks a mutex, recovering from poisoning (a panicking worker must
+/// not wedge the rest of the sweep; the counters it held are still
+/// internally consistent).
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Identifies the lattice cell a run belongs to. Threaded into every
 /// [`ExperimentError`] so failures are attributable without a debugger.
@@ -65,6 +79,18 @@ impl RunContext {
             format!("{}/{}/{}", self.experiment, self.cpu, self.workload)
         } else {
             format!("{}/{}/{}/[{}]", self.experiment, self.cpu, self.workload, self.config)
+        }
+    }
+
+    /// The content-addressed part of the key: `cpu/workload/[config]`,
+    /// *without* the experiment segment. A cell's simulated value
+    /// depends only on these, so two experiments requesting the same
+    /// content key (and seed) share one simulation.
+    pub fn content_key(&self) -> String {
+        if self.config.is_empty() {
+            format!("{}/{}", self.cpu, self.workload)
+        } else {
+            format!("{}/{}/[{}]", self.cpu, self.workload, self.config)
         }
     }
 }
@@ -229,8 +255,10 @@ impl Watchdog {
 /// Counters the harness keeps while running a sweep.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HarnessStats {
-    /// Cells measured fresh (not satisfied from the journal).
+    /// Cells simulated fresh (not satisfied from cache or journal).
     pub cells_run: u64,
+    /// Cells served from the in-memory cross-experiment cache.
+    pub cells_from_cache: u64,
     /// Cells satisfied from a resume journal without re-measuring.
     pub cells_from_journal: u64,
     /// Total retry attempts across all cells (first attempts excluded).
@@ -241,8 +269,24 @@ pub struct HarnessStats {
     pub cells_failed: u64,
 }
 
-/// The fault-tolerant cell runner threaded through every experiment
-/// driver. Cheap to construct; share by reference.
+impl HarnessStats {
+    /// The counter deltas since an `earlier` snapshot — what `regen`
+    /// uses for its per-artifact accounting.
+    pub fn since(&self, earlier: &HarnessStats) -> HarnessStats {
+        HarnessStats {
+            cells_run: self.cells_run.wrapping_sub(earlier.cells_run),
+            cells_from_cache: self.cells_from_cache.wrapping_sub(earlier.cells_from_cache),
+            cells_from_journal: self.cells_from_journal.wrapping_sub(earlier.cells_from_journal),
+            retries: self.retries.wrapping_sub(earlier.retries),
+            faults_injected: self.faults_injected.wrapping_sub(earlier.faults_injected),
+            cells_failed: self.cells_failed.wrapping_sub(earlier.cells_failed),
+        }
+    }
+}
+
+/// The fault-tolerant cell runner beneath the [`crate::executor`].
+/// Cheap to construct; share by reference. `Sync`, so executor workers
+/// can drive it concurrently.
 #[derive(Debug, Default)]
 pub struct Harness {
     /// Retry/backoff schedule.
@@ -251,8 +295,7 @@ pub struct Harness {
     pub watchdog: Watchdog,
     /// Deterministic fault injection (empty by default).
     pub plan: FaultPlan,
-    journal: Option<Journal>,
-    stats: RefCell<HarnessStats>,
+    stats: Mutex<HarnessStats>,
 }
 
 impl Default for RetryPolicy {
@@ -268,8 +311,8 @@ impl Default for Watchdog {
 }
 
 impl Harness {
-    /// A harness with standard retry/watchdog settings, no fault plan,
-    /// and no journal.
+    /// A harness with standard retry/watchdog settings and no fault
+    /// plan.
     pub fn new() -> Harness {
         Harness::default()
     }
@@ -292,36 +335,64 @@ impl Harness {
         self
     }
 
-    /// Builder: journal completed cells to (and resume from) `journal`.
-    pub fn with_journal(mut self, journal: Journal) -> Harness {
-        self.journal = Some(journal);
-        self
-    }
-
     /// Counters so far.
     pub fn stats(&self) -> HarnessStats {
-        *self.stats.borrow()
+        *lock(&self.stats)
     }
 
-    /// Runs one measurement cell with journaling, fault injection,
-    /// watchdog, and retry.
+    pub(crate) fn note_cache_hit(&self) {
+        lock(&self.stats).cells_from_cache += 1;
+    }
+
+    pub(crate) fn note_journal_hit(&self) {
+        lock(&self.stats).cells_from_journal += 1;
+    }
+
+    /// Runs one plan cell's compute closure with fault injection,
+    /// watchdog, and retry; returns the value (or permanent failure)
+    /// plus the number of extra attempts used. Degenerate values
+    /// (non-finite floats) are rejected and retried like any other
+    /// failure, so corrupt data cannot reach a table.
+    pub(crate) fn run_value(
+        &self,
+        ctx: &RunContext,
+        f: impl Fn(u32) -> Result<CellValue, ExperimentError>,
+    ) -> (Result<CellValue, ExperimentError>, u32) {
+        let result = self.attempt_loop(ctx, |attempt| {
+            let v = f(attempt)?;
+            if v.is_degenerate() {
+                return Err(ExperimentError::DegenerateStatistics {
+                    ctx: ctx.clone(),
+                    detail: format!("non-finite value in {} cell", v.kind()),
+                });
+            }
+            Ok(v)
+        });
+        match result {
+            Ok((v, attempt)) => {
+                lock(&self.stats).cells_run += 1;
+                (Ok(v), attempt)
+            }
+            Err(e) => {
+                lock(&self.stats).cells_failed += 1;
+                (Err(e), self.retry.max_attempts.max(1) - 1)
+            }
+        }
+    }
+
+    /// Runs one measurement cell with fault injection, watchdog, and
+    /// retry.
     ///
-    /// The closure receives the attempt index (0-based); drivers fold it
-    /// into their noise seed so retries draw a fresh noise stream. On
-    /// success the measurement's `retries` field records how many extra
-    /// attempts were needed.
+    /// The closure receives the attempt index (0-based). On success the
+    /// measurement's `retries` field records how many extra attempts
+    /// were needed. Experiment drivers no longer call this directly —
+    /// they produce [`crate::plan::ExperimentPlan`]s — but it remains
+    /// the primitive for one-off measurements and tests.
     pub fn run_cell(
         &self,
         ctx: &RunContext,
         mut f: impl FnMut(u32) -> Result<Measurement, ExperimentError>,
     ) -> Result<Measurement, ExperimentError> {
-        let key = ctx.cell_key();
-        if let Some(journal) = &self.journal {
-            if let Some(m) = journal.lookup(&key) {
-                self.stats.borrow_mut().cells_from_journal += 1;
-                return Ok(m);
-            }
-        }
         let result = self.attempt_loop(ctx, |attempt| {
             let mut m = f(attempt)?;
             m.retries = attempt;
@@ -334,45 +405,45 @@ impl Harness {
             Ok(m)
         });
         match result {
-            Ok(m) => {
-                self.stats.borrow_mut().cells_run += 1;
-                if let Some(journal) = &self.journal {
-                    journal.record(&key, &m);
-                }
+            Ok((m, _)) => {
+                lock(&self.stats).cells_run += 1;
                 Ok(m)
             }
             Err(e) => {
-                self.stats.borrow_mut().cells_failed += 1;
+                lock(&self.stats).cells_failed += 1;
                 Err(e)
             }
         }
     }
 
-    /// Runs a non-measurement cell (e.g. a speculation probe or a table
-    /// row) with the same fault injection, watchdog, and retry — but no
-    /// journaling, since the result is not a `Measurement`.
+    /// Runs a non-measurement computation (e.g. a speculation probe or a
+    /// table row) with the same fault injection, watchdog, and retry.
     pub fn run_attempts<T>(
         &self,
         ctx: &RunContext,
         f: impl FnMut(u32) -> Result<T, ExperimentError>,
     ) -> Result<T, ExperimentError> {
-        let result = self.attempt_loop(ctx, f);
-        if result.is_err() {
-            self.stats.borrow_mut().cells_failed += 1;
+        match self.attempt_loop(ctx, f) {
+            Ok((v, _)) => Ok(v),
+            Err(e) => {
+                lock(&self.stats).cells_failed += 1;
+                Err(e)
+            }
         }
-        result
     }
 
+    /// The retry loop. On success returns the value together with the
+    /// 0-based attempt index that produced it.
     fn attempt_loop<T>(
         &self,
         ctx: &RunContext,
         mut f: impl FnMut(u32) -> Result<T, ExperimentError>,
-    ) -> Result<T, ExperimentError> {
+    ) -> Result<(T, u32), ExperimentError> {
         let key = ctx.cell_key();
         let mut last: Option<ExperimentError> = None;
         for attempt in 0..self.retry.max_attempts.max(1) {
             if attempt > 0 {
-                self.stats.borrow_mut().retries += 1;
+                lock(&self.stats).retries += 1;
                 let delay = self.retry.backoff(attempt);
                 if !delay.is_zero() {
                     std::thread::sleep(delay);
@@ -380,7 +451,7 @@ impl Harness {
             }
             let injected = self.plan.inject(&key, attempt);
             if injected.is_some() {
-                self.stats.borrow_mut().faults_injected += 1;
+                lock(&self.stats).faults_injected += 1;
             }
             let outcome = match injected {
                 Some(FaultKind::SimFault) => Err(ExperimentError::Sim {
@@ -420,7 +491,7 @@ impl Harness {
                 }
             };
             match outcome {
-                Ok(v) => return Ok(v),
+                Ok(v) => return Ok((v, attempt)),
                 Err(e) => last = Some(e),
             }
         }
@@ -433,22 +504,33 @@ impl Harness {
     }
 }
 
-/// JSON-lines journal of completed measurement cells.
+/// JSON-lines journal of completed cells, keyed by **content key and
+/// seed**.
 ///
-/// One line per cell:
+/// One line per cell. A measurement cell:
 ///
 /// ```text
-/// {"cell":"figure2/Broadwell (...)/lebench/[nopti]","mean":1.083,"ci95":0.004,"n":12,"retries":1}
+/// {"cell":"Broadwell (...)/lebench/[nopti]","seed":0,"kind":"meas","mean":1.083,"ci95":0.004,"n":12,"retries":1}
+/// ```
+///
+/// and a raw-value cell (`kind` is one of `num`, `nums`, `optnums`,
+/// `ints`, `flags`; `null` marks a not-applicable entry):
+///
+/// ```text
+/// {"cell":"Broadwell (...)/verw","seed":0,"kind":"optnums","v":[512]}
 /// ```
 ///
 /// Hand-rolled (the workspace carries no serde); the writer escapes and
 /// the reader accepts exactly this shape, tolerating unknown trailing
-/// fields and skipping malformed lines.
+/// fields and skipping malformed lines. Lines without a `seed` and
+/// `kind` (the pre-plan journal format) are skipped as stale rather
+/// than replayed — a resumed sweep must never reuse a value recorded
+/// under different seeding.
 #[derive(Debug, Default)]
 pub struct Journal {
     path: Option<PathBuf>,
-    entries: RefCell<HashMap<String, Measurement>>,
-    file: RefCell<Option<File>>,
+    entries: Mutex<HashMap<(String, u64), CellValue>>,
+    file: Mutex<Option<File>>,
 }
 
 impl Journal {
@@ -465,8 +547,8 @@ impl Journal {
             Ok(f) => {
                 for line in BufReader::new(f).lines() {
                     let line = line?;
-                    if let Some((key, m)) = parse_journal_line(&line) {
-                        entries.insert(key, m);
+                    if let Some((key, seed, v)) = parse_journal_line(&line) {
+                        entries.insert((key, seed), v);
                     }
                 }
             }
@@ -476,8 +558,8 @@ impl Journal {
         let file = OpenOptions::new().create(true).append(true).open(path)?;
         Ok(Journal {
             path: Some(path.to_path_buf()),
-            entries: RefCell::new(entries),
-            file: RefCell::new(Some(file)),
+            entries: Mutex::new(entries),
+            file: Mutex::new(Some(file)),
         })
     }
 
@@ -488,37 +570,66 @@ impl Journal {
 
     /// Number of completed cells on record.
     pub fn len(&self) -> usize {
-        self.entries.borrow().len()
+        lock(&self.entries).len()
     }
 
     /// True if no cells are on record.
     pub fn is_empty(&self) -> bool {
-        self.entries.borrow().is_empty()
+        lock(&self.entries).is_empty()
     }
 
-    /// The recorded measurement for `key`, if the cell completed.
-    pub fn lookup(&self, key: &str) -> Option<Measurement> {
-        self.entries.borrow().get(key).copied()
+    /// The recorded value for `key`, if the cell completed **under the
+    /// same seed**. An entry journaled with a different seed is stale
+    /// and never returned.
+    pub fn lookup(&self, key: &str, seed: u64) -> Option<CellValue> {
+        lock(&self.entries).get(&(key.to_string(), seed)).cloned()
     }
 
     /// Records a completed cell (and appends it to the backing file, if
     /// any; write errors are reported to stderr rather than aborting the
     /// sweep — losing a journal line only costs a re-measurement).
-    pub fn record(&self, key: &str, m: &Measurement) {
-        self.entries.borrow_mut().insert(key.to_string(), *m);
-        if let Some(file) = self.file.borrow_mut().as_mut() {
+    pub fn record(&self, key: &str, seed: u64, v: &CellValue) {
+        lock(&self.entries).insert((key.to_string(), seed), v.clone());
+        if let Some(file) = lock(&self.file).as_mut() {
             let line = format!(
-                "{{\"cell\":\"{}\",\"mean\":{},\"ci95\":{},\"n\":{},\"retries\":{}}}\n",
+                "{{\"cell\":\"{}\",\"seed\":{},\"kind\":\"{}\",{}}}\n",
                 escape_json(key),
-                m.mean,
-                m.ci95,
-                m.n,
-                m.retries
+                seed,
+                v.kind(),
+                journal_value_fields(v)
             );
             if let Err(e) = file.write_all(line.as_bytes()) {
                 eprintln!("warning: journal write failed ({e}); cell {key} will re-run on resume");
             }
         }
+    }
+}
+
+/// Serializes a cell value's payload fields (everything after `kind`).
+fn journal_value_fields(v: &CellValue) -> String {
+    fn join<T, F: Fn(&T) -> String>(xs: &[T], f: F) -> String {
+        xs.iter().map(f).collect::<Vec<_>>().join(",")
+    }
+    match v {
+        CellValue::Measurement(m) => format!(
+            "\"mean\":{},\"ci95\":{},\"n\":{},\"retries\":{}",
+            m.mean, m.ci95, m.n, m.retries
+        ),
+        CellValue::Num(x) => format!("\"v\":[{x}]"),
+        CellValue::Nums(xs) => format!("\"v\":[{}]", join(xs, |x| x.to_string())),
+        CellValue::OptNums(xs) => format!(
+            "\"v\":[{}]",
+            join(xs, |x| x.map(|x| x.to_string()).unwrap_or_else(|| "null".to_string()))
+        ),
+        CellValue::Ints(xs) => format!("\"v\":[{}]", join(xs, |x| x.to_string())),
+        CellValue::Flags(xs) => format!(
+            "\"v\":[{}]",
+            join(xs, |x| match x {
+                Some(true) => "1".to_string(),
+                Some(false) => "0".to_string(),
+                None => "null".to_string(),
+            })
+        ),
     }
 }
 
@@ -560,21 +671,72 @@ fn unescape_json(s: &str) -> String {
 }
 
 /// Parses one journal line; `None` for malformed input (a truncated
-/// final line from a killed run is expected, not an error).
-fn parse_journal_line(line: &str) -> Option<(String, Measurement)> {
+/// final line from a killed run, or a stale pre-seed-format line, is
+/// expected, not an error).
+fn parse_journal_line(line: &str) -> Option<(String, u64, CellValue)> {
     let line = line.trim();
     if line.is_empty() {
         return None;
     }
     let cell_raw = extract_string_field(line, "cell")?;
-    let mean = extract_number_field(line, "mean")?;
-    let ci95 = extract_number_field(line, "ci95")?;
-    let n = extract_number_field(line, "n")? as u64;
-    let retries = extract_number_field(line, "retries").unwrap_or(0.0) as u32;
-    if !mean.is_finite() || !ci95.is_finite() {
+    let seed = extract_number_field(line, "seed")? as u64;
+    let kind = extract_string_field(line, "kind")?;
+    let value = match kind.as_str() {
+        "meas" => {
+            let mean = extract_number_field(line, "mean")?;
+            let ci95 = extract_number_field(line, "ci95")?;
+            let n = extract_number_field(line, "n")? as u64;
+            let retries = extract_number_field(line, "retries").unwrap_or(0.0) as u32;
+            CellValue::Measurement(Measurement { mean, ci95, n, retries })
+        }
+        "num" => {
+            let xs = extract_array_tokens(line, "v")?;
+            if xs.len() != 1 {
+                return None;
+            }
+            CellValue::Num(xs[0].parse().ok()?)
+        }
+        "nums" => CellValue::Nums(
+            extract_array_tokens(line, "v")?
+                .iter()
+                .map(|t| t.parse::<f64>().ok())
+                .collect::<Option<Vec<_>>>()?,
+        ),
+        "optnums" => CellValue::OptNums(
+            extract_array_tokens(line, "v")?
+                .iter()
+                .map(|t| {
+                    if t == "null" {
+                        Some(None)
+                    } else {
+                        t.parse::<f64>().ok().map(Some)
+                    }
+                })
+                .collect::<Option<Vec<_>>>()?,
+        ),
+        "ints" => CellValue::Ints(
+            extract_array_tokens(line, "v")?
+                .iter()
+                .map(|t| t.parse::<u64>().ok())
+                .collect::<Option<Vec<_>>>()?,
+        ),
+        "flags" => CellValue::Flags(
+            extract_array_tokens(line, "v")?
+                .iter()
+                .map(|t| match t.as_str() {
+                    "1" => Some(Some(true)),
+                    "0" => Some(Some(false)),
+                    "null" => Some(None),
+                    _ => None,
+                })
+                .collect::<Option<Vec<_>>>()?,
+        ),
+        _ => return None,
+    };
+    if value.is_degenerate() {
         return None;
     }
-    Some((unescape_json(&cell_raw), Measurement { mean, ci95, n, retries }))
+    Some((unescape_json(&cell_raw), seed, value))
 }
 
 /// Extracts the raw (still-escaped) value of `"name":"..."`.
@@ -604,6 +766,19 @@ fn extract_number_field(line: &str, name: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Extracts the comma-separated raw tokens of `"name":[...]`.
+fn extract_array_tokens(line: &str, name: &str) -> Option<Vec<String>> {
+    let tag = format!("\"{name}\":[");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest.find(']')?;
+    let body = rest[..end].trim();
+    if body.is_empty() {
+        return Some(Vec::new());
+    }
+    Some(body.split(',').map(|t| t.trim().to_string()).collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -622,6 +797,13 @@ mod tests {
         assert_eq!(ctx().cell_key(), "figure2/Broadwell/lebench/[nopti]");
         let no_config = RunContext::new("vm", "Zen 3", "boot", "");
         assert_eq!(no_config.cell_key(), "vm/Zen 3/boot");
+    }
+
+    #[test]
+    fn content_key_drops_only_the_experiment() {
+        assert_eq!(ctx().content_key(), "Broadwell/lebench/[nopti]");
+        let no_config = RunContext::new("vm", "Zen 3", "boot", "");
+        assert_eq!(no_config.content_key(), "Zen 3/boot");
     }
 
     #[test]
@@ -682,47 +864,77 @@ mod tests {
     }
 
     #[test]
-    fn journal_roundtrip_and_resume() {
+    fn run_value_rejects_degenerate_values_and_reports_retries() {
+        let plan = FaultPlan::new().fail_cell("[nopti]", FaultKind::SimFault, Some(1));
+        let h = Harness::new().with_retry(RetryPolicy::immediate(3)).with_plan(plan);
+        let (v, retries) = h.run_value(&ctx(), |_| Ok(CellValue::Num(2.0)));
+        assert_eq!(v.unwrap(), CellValue::Num(2.0));
+        assert_eq!(retries, 1);
+
+        let h = Harness::new().with_retry(RetryPolicy::immediate(2));
+        let (v, _) = h.run_value(&ctx(), |_| Ok(CellValue::Num(f64::NAN)));
+        assert!(matches!(v, Err(ExperimentError::CellFailed { .. })));
+        assert_eq!(h.stats().cells_failed, 1);
+    }
+
+    #[test]
+    fn journal_roundtrips_every_value_kind() {
         let dir = std::env::temp_dir().join(format!("spectrebench-journal-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("run.jsonl");
         let _ = std::fs::remove_file(&path);
 
+        let values: Vec<(&str, u64, CellValue)> = vec![
+            ("a/le/[nopti]", 0, CellValue::Measurement(Measurement { mean: 1.5, ci95: 0.01, n: 10, retries: 1 })),
+            ("a/le \"q\"", 3, CellValue::Num(2.5)),
+            ("a/nums", 1, CellValue::Nums(vec![1.0, -2.5])),
+            ("a/opt", 1, CellValue::OptNums(vec![Some(4.0), None])),
+            ("a/ints", 9, CellValue::Ints(vec![7, 0, 123_456_789_000])),
+            ("a/flags", 2, CellValue::Flags(vec![Some(true), Some(false), None])),
+        ];
         {
-            let journal = Journal::open(&path).unwrap();
-            let h = Harness::new().with_retry(RetryPolicy::immediate(1)).with_journal(journal);
-            h.run_cell(&ctx(), ok_measurement).unwrap();
-            assert_eq!(h.stats().cells_run, 1);
+            let j = Journal::open(&path).unwrap();
+            for (k, s, v) in &values {
+                j.record(k, *s, v);
+            }
         }
-        // Reopen: the cell comes from the journal, not a fresh run.
-        {
-            let journal = Journal::open(&path).unwrap();
-            assert_eq!(journal.len(), 1);
-            let h = Harness::new().with_retry(RetryPolicy::immediate(1)).with_journal(journal);
-            let mut ran = false;
-            let m = h
-                .run_cell(&ctx(), |_| {
-                    ran = true;
-                    ok_measurement(0)
-                })
-                .unwrap();
-            assert!(!ran, "journaled cell must not re-run");
-            assert_eq!(m.mean, 1.5);
-            let s = h.stats();
-            assert_eq!((s.cells_run, s.cells_from_journal), (0, 1));
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.len(), values.len());
+        for (k, s, v) in &values {
+            assert_eq!(j.lookup(k, *s).as_ref(), Some(v), "{k}");
         }
         let _ = std::fs::remove_file(&path);
     }
 
     #[test]
-    fn journal_skips_truncated_lines() {
-        assert!(parse_journal_line("{\"cell\":\"a/b/c\",\"mean\":1.0,\"ci").is_none());
+    fn journal_lookup_requires_a_matching_seed() {
+        // Regression test: resume used to match cells by key alone, so a
+        // sweep re-run under different seeding replayed stale values.
+        let j = Journal::in_memory();
+        j.record("Broadwell/lebench", 1, &CellValue::Num(10.0));
+        assert_eq!(j.lookup("Broadwell/lebench", 2), None, "stale seed is skipped");
+        assert_eq!(j.lookup("Broadwell/lebench", 1), Some(CellValue::Num(10.0)));
+    }
+
+    #[test]
+    fn journal_skips_truncated_and_legacy_lines() {
+        assert!(parse_journal_line("{\"cell\":\"a/b\",\"seed\":0,\"kind\":\"num\",\"v\":[1").is_none());
         assert!(parse_journal_line("").is_none());
-        let (key, m) =
-            parse_journal_line("{\"cell\":\"a/b \\\"q\\\"\",\"mean\":2.5,\"ci95\":0.1,\"n\":7,\"retries\":3}")
-                .unwrap();
+        // The pre-plan format carried no seed or kind: stale, skipped.
+        assert!(
+            parse_journal_line("{\"cell\":\"a/b/c\",\"mean\":1.0,\"ci95\":0.1,\"n\":7,\"retries\":0}")
+                .is_none()
+        );
+        let (key, seed, v) = parse_journal_line(
+            "{\"cell\":\"a/b \\\"q\\\"\",\"seed\":4,\"kind\":\"meas\",\"mean\":2.5,\"ci95\":0.1,\"n\":7,\"retries\":3}",
+        )
+        .unwrap();
         assert_eq!(key, "a/b \"q\"");
-        assert_eq!((m.mean, m.ci95, m.n, m.retries), (2.5, 0.1, 7, 3));
+        assert_eq!(seed, 4);
+        assert_eq!(
+            v,
+            CellValue::Measurement(Measurement { mean: 2.5, ci95: 0.1, n: 7, retries: 3 })
+        );
     }
 
     #[test]

@@ -9,6 +9,13 @@
 //!   confidence interval is tight, geometric means, seeded noise.
 //! * [`harness`] — fault-tolerant cell execution: typed errors, watchdog,
 //!   retry with backoff, and the resumable run journal.
+//! * [`plan`] — declarative experiment plans: each driver enumerates its
+//!   lattice as [`plan::CellSpec`] data plus a pure reduce step.
+//! * [`executor`] — consumes plans: schedules cells across a scoped
+//!   worker pool, memoizes them in a content-addressed cross-experiment
+//!   cache, and journals completions deterministically.
+//! * [`cells`] — canonical cell constructors for the workloads several
+//!   experiments share (so their cache keys agree).
 //! * [`faultplan`] — deterministic fault injection for testing recovery.
 //! * [`attribution`] — successive-disable attribution (the stacked bars
 //!   of Figures 2 and 3).
@@ -25,18 +32,23 @@
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod attribution;
+pub mod cells;
+pub mod executor;
 pub mod experiments;
 pub mod faultplan;
 pub mod harness;
 pub mod micro;
+pub mod plan;
 pub mod probe;
 pub mod report;
 pub mod stats;
 
 pub use attribution::{attribute, Attribution, Slice, Toggle, OS_TOGGLES};
+pub use executor::{default_jobs, Executor};
 pub use faultplan::{FaultKind, FaultPlan, FaultRule};
 pub use harness::{
     ExperimentError, Harness, HarnessStats, Journal, RetryPolicy, RunContext, Watchdog,
 };
+pub use plan::{CellOutcome, CellSource, CellSpec, CellValue, ExperimentPlan};
 pub use probe::{ProbeConfig, ProbeResult};
 pub use stats::{geomean, measure_until, Measurement, NoiseModel, StatsError, StopPolicy};

@@ -14,7 +14,7 @@
 
 use cpu_models::CpuId;
 use spectrebench::experiments::figure2;
-use spectrebench::{FaultKind, FaultPlan, Harness};
+use spectrebench::{Executor, FaultKind, FaultPlan, Harness};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "quick");
@@ -29,9 +29,10 @@ fn main() {
     } else {
         Harness::new()
     };
-    let fig = figure2::run(&harness, &CpuId::ALL, quick || faulty).expect("figure 2 sweep");
+    let exec = Executor::new(harness);
+    let fig = figure2::run(&exec, &CpuId::ALL, quick || faulty).expect("figure 2 sweep");
     println!("{}", figure2::render(&fig));
-    let stats = harness.stats();
+    let stats = exec.stats();
     if stats.retries > 0 || stats.faults_injected > 0 {
         println!(
             "(harness: {} retries, {} faults injected, {} cells failed)\n",

@@ -68,7 +68,7 @@ fn main() {
 
     // 3. Performance: what the boundary's mitigations cost.
     let rows = ebpf::run(
-        &spectrebench::Harness::new(),
+        &spectrebench::Executor::default(),
         &[CpuId::Broadwell, CpuId::CascadeLake, CpuId::IceLakeServer],
     )
     .expect("clean eBPF sweep");

@@ -37,7 +37,7 @@ fn main() {
 
     // The Figure 3 attribution across a CPU subset.
     let fig = figure3::run(
-        &spectrebench::Harness::new(),
+        &spectrebench::Executor::default(),
         &[CpuId::Broadwell, CpuId::IceLakeServer, CpuId::Zen3],
         false,
     )

@@ -9,7 +9,7 @@
 use cpu_models::CpuId;
 use spectrebench::experiments::tables9and10;
 use spectrebench::probe::{run, ProbeConfig, ProbeResult};
-use spectrebench::Harness;
+use spectrebench::Executor;
 use uarch::PrivMode;
 
 fn main() {
@@ -35,9 +35,9 @@ fn main() {
     }
     println!();
 
-    let harness = Harness::new();
-    let t9 = tables9and10::run(&harness, false).expect("table 9 runs clean");
-    let t10 = tables9and10::run(&harness, true).expect("table 10 runs clean");
+    let exec = Executor::default();
+    let t9 = tables9and10::run(&exec, false).expect("table 9 runs clean");
+    let t10 = tables9and10::run(&exec, true).expect("table 10 runs clean");
     println!("{}", tables9and10::render(&t9));
     println!("{}", tables9and10::render(&t10));
     println!(

@@ -17,7 +17,7 @@ fn main() {
     // Guest-visible overhead of host mitigations for LEBench-in-VM and
     // the two LFS benchmarks.
     let rows = vm::run(
-        &spectrebench::Harness::new(),
+        &spectrebench::Executor::default(),
         &[CpuId::SkylakeClient, CpuId::CascadeLake, CpuId::Zen3],
     )
     .expect("clean VM sweep");

@@ -7,7 +7,7 @@ use js_engine::JsMitigations;
 use sim_kernel::{BootParams, Kernel, Mitigation};
 use spectrebench::experiments::{eibrs_bimodal, figure2, tables9and10};
 use spectrebench::probe::ProbeResult;
-use spectrebench::Harness;
+use spectrebench::Executor;
 use workloads::lebench::{geomean, run_suite as lebench_suite};
 
 /// §4.6 / §9: "overheads on LEBench have gone from over 30% on older
@@ -97,7 +97,7 @@ fn old_attacks_remain_unfixed_everywhere() {
 /// the parts whose hardware fixed the underlying attacks.
 #[test]
 fn attribution_slices_vanish_with_hardware_fixes() {
-    let fig = figure2::run(&Harness::new(), &[CpuId::Broadwell, CpuId::IceLakeServer], true)
+    let fig = figure2::run(&Executor::default(), &[CpuId::Broadwell, CpuId::IceLakeServer], true)
         .expect("clean figure 2 run");
     let slice = |cpu: CpuId, name: &str| {
         fig.bars
@@ -122,7 +122,7 @@ fn attribution_slices_vanish_with_hardware_fixes() {
 /// IBRS).
 #[test]
 fn speculation_matrix_summary() {
-    let t9 = tables9and10::run(&Harness::new(), false).expect("clean probe matrix");
+    let t9 = tables9and10::run(&Executor::default(), false).expect("clean probe matrix");
     for (cpu, row) in &t9.rows {
         let uk = row.iter().find(|(n, _)| n.contains("user->kernel")).unwrap().1;
         let expected = match cpu {
@@ -139,7 +139,7 @@ fn speculation_matrix_summary() {
 /// mode correlates with a kernel-BTB flush interval of 8–20 entries.
 #[test]
 fn eibrs_bimodal_behaviour() {
-    let b = eibrs_bimodal::run(&Harness::new(), &CpuId::CascadeLake.model(), 200)
+    let b = eibrs_bimodal::run(&Executor::default(), &CpuId::CascadeLake.model(), 200)
         .expect("clean bimodal run");
     assert!(b.modes.len() >= 2);
     assert_eq!(b.slow_extra, 210);

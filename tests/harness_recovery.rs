@@ -10,7 +10,7 @@
 //!   journaled measurement, and converges to the fault-free rendering.
 
 use bench::{run_regen, Artifact, RegenOptions};
-use spectrebench::{FaultKind, FaultPlan, Harness, Journal};
+use spectrebench::{Executor, FaultKind, FaultPlan, Harness, Journal};
 
 /// The one lattice cell this test assassinates: Figure 2's quick-mode
 /// Broadwell measurement with PTI disabled. It is a *middle* cell of the
@@ -36,6 +36,7 @@ fn keep_going_sweep_degrades_one_slice_and_resume_reruns_only_the_failed_cell() 
         retries: Some(2), // fail fast; the fault is permanent anyway
         inject: Some(FaultPlan::new().fail_cell(VICTIM_CELL, FaultKind::SimFault, None)),
         resume: Some(log.clone()),
+        jobs: None,
     };
     let report = run_regen(&opts).expect("journal opens");
 
@@ -80,6 +81,7 @@ fn keep_going_sweep_degrades_one_slice_and_resume_reruns_only_the_failed_cell() 
         retries: None,
         inject: None,
         resume: Some(log.clone()),
+        jobs: None,
     };
     let resumed = run_regen(&opts).expect("journal reopens");
     assert!(resumed.failures().is_empty());
@@ -101,7 +103,7 @@ fn keep_going_sweep_degrades_one_slice_and_resume_reruns_only_the_failed_cell() 
     // seeds are deterministic, and successful first attempts use the
     // same seed as a never-faulted run).
     let clean = Artifact::Figure2
-        .regenerate(true, &Harness::new())
+        .regenerate(true, &Executor::default())
         .expect("clean reference run");
     let resumed_text = &resumed
         .results
@@ -123,10 +125,11 @@ fn journal_survives_truncation_mid_line() {
     let log = journal_path("torn");
     {
         let j = Journal::open(&log).expect("create");
-        let h = Harness::new().with_journal(j);
+        let exec = Executor::new(Harness::new()).with_journal(j);
         // Populate with real journaled lattice cells.
-        let _ = spectrebench::experiments::figure2::run(&h, &[cpu_models::CpuId::Broadwell], true)
-            .unwrap();
+        let _ =
+            spectrebench::experiments::figure2::run(&exec, &[cpu_models::CpuId::Broadwell], true)
+                .unwrap();
     }
     // Tear the file: chop the last 10 bytes.
     let bytes = std::fs::read(&log).expect("journal exists");
