@@ -8,6 +8,7 @@
 //! cargo run --release -p bench --bin regen -- --resume run.jsonl
 //! cargo run --release -p bench --bin regen -- --jobs 8      # worker threads
 //! cargo run --release -p bench --bin regen -- --inject 'cell=Broadwell:kind=sim:times=2'
+//! cargo run --release -p bench --bin regen -- --trace-out trace.json --metrics-out metrics.prom
 //! ```
 //!
 //! Exit codes: 0 clean; 1 at least one artifact failed or was degraded;
@@ -35,6 +36,12 @@ fn usage(to_stdout: bool) {
          \x20 --inject <spec>   deterministic fault plan, e.g.\n\
          \x20                   'cell=<substr>:kind=<sim|timeout|corrupt>:times=<n|forever>'\n\
          \x20                   or 'seed=<n>:prob=<p>'\n\
+         \x20 --trace-out <f>   write a Chrome trace-event JSON timeline of the\n\
+         \x20                   sweep (one lane per worker; open in Perfetto or\n\
+         \x20                   chrome://tracing)\n\
+         \x20 --metrics-out <f> write a Prometheus-style text metrics dump\n\
+         \x20                   (cell counters, retry/fault totals, latency\n\
+         \x20                   histograms)\n\
          \n\
          artifacts:\n",
     );
@@ -74,6 +81,8 @@ fn parse_args(args: &[String]) -> Result<RegenOptions, String> {
                 opts.jobs = Some(n);
             }
             "--resume" => opts.resume = Some(PathBuf::from(value("--resume")?)),
+            "--trace-out" => opts.trace_out = Some(PathBuf::from(value("--trace-out")?)),
+            "--metrics-out" => opts.metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
             "--inject" => {
                 let spec = value("--inject")?;
                 opts.inject =
@@ -115,23 +124,16 @@ fn main() -> ExitCode {
     };
 
     for r in &report.results {
-        match &r.outcome {
-            Ok(out) => {
-                println!("== {} ==", r.artifact.caption());
-                println!("{}", out.text);
-            }
-            Err(_) => {
-                println!("== {} == FAILED", r.artifact.caption());
-                println!();
-            }
-        }
+        print!("{}", bench::render_artifact_block(r));
         let c = &r.cells;
         eprintln!(
-            "regen: {}: {} cells simulated, {} from cache, {} from journal",
+            "regen: {}: {} cells simulated, {} from cache, {} from journal ({:.2}s simulating, {:.2}s in plans)",
             r.artifact.name(),
             c.cells_run,
             c.cells_from_cache,
-            c.cells_from_journal
+            c.cells_from_journal,
+            c.sim_time.as_secs_f64(),
+            c.plan_time.as_secs_f64()
         );
     }
 
@@ -145,6 +147,17 @@ fn main() -> ExitCode {
         s.faults_injected,
         s.cells_failed
     );
+    eprintln!(
+        "regen: timing: {:.2}s simulating cells, {:.2}s inside plan execution",
+        s.sim_time.as_secs_f64(),
+        s.plan_time.as_secs_f64()
+    );
+    if let Some(path) = &opts.trace_out {
+        eprintln!("regen: trace written to {}", path.display());
+    }
+    if let Some(path) = &opts.metrics_out {
+        eprintln!("regen: metrics written to {}", path.display());
+    }
     let failures = report.failures();
     for (a, e) in &failures {
         eprintln!("regen: {} FAILED: {e}", a.name());

@@ -10,11 +10,13 @@
 //! `--resume` without spawning processes.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use cpu_models::CpuId;
 use spectrebench::experiments as exp;
+use spectrebench::obs::{metrics, trace};
 use spectrebench::{
-    default_jobs, Executor, ExperimentError, FaultPlan, Harness, HarnessStats, Journal,
+    default_jobs, EventBus, Executor, ExperimentError, FaultPlan, Harness, HarnessStats, Journal,
     RetryPolicy,
 };
 
@@ -269,6 +271,16 @@ pub struct RegenOptions {
     /// [`spectrebench::default_jobs`] (the `REGEN_JOBS` environment
     /// variable, falling back to the machine's available parallelism).
     pub jobs: Option<usize>,
+    /// Write a Chrome trace-event JSON file (one lane per worker;
+    /// loadable in Perfetto or `chrome://tracing`) here after the sweep.
+    pub trace_out: Option<PathBuf>,
+    /// Write a Prometheus-style text metrics exposition here after the
+    /// sweep.
+    pub metrics_out: Option<PathBuf>,
+    /// Record events on this bus instead of a fresh one. Tests pass a
+    /// bus over a virtual clock; when `None`, a bus is created only if
+    /// `trace_out` or `metrics_out` asks for one.
+    pub obs: Option<Arc<EventBus>>,
 }
 
 /// The outcome of one artifact within a sweep.
@@ -290,8 +302,13 @@ pub struct RegenReport {
     /// `keep_going` off this stops after the first failure.
     pub results: Vec<ArtifactResult>,
     /// Cell-level counters for the whole sweep (runs, cache hits,
-    /// journal hits, retries, injected faults, failed cells).
+    /// journal hits, retries, injected faults, failed cells, and the
+    /// per-phase timing totals).
     pub stats: HarnessStats,
+    /// The event bus the sweep recorded on, when observability was
+    /// requested (via [`RegenOptions::obs`], `trace_out`, or
+    /// `metrics_out`).
+    pub obs: Option<Arc<EventBus>>,
 }
 
 impl RegenReport {
@@ -320,6 +337,21 @@ impl RegenReport {
     }
 }
 
+/// Renders one artifact result exactly as the `regen` binary prints it
+/// to stdout — the unit the golden-output test diffs.
+pub fn render_artifact_block(r: &ArtifactResult) -> String {
+    match &r.outcome {
+        Ok(out) => format!("== {} ==\n{}\n", r.artifact.caption(), out.text),
+        Err(_) => format!("== {} == FAILED\n\n", r.artifact.caption()),
+    }
+}
+
+/// Renders a whole report as the `regen` binary's stdout: the
+/// concatenation of every artifact block, in attempt order.
+pub fn render_report(report: &RegenReport) -> String {
+    report.results.iter().map(render_artifact_block).collect()
+}
+
 /// Runs a regeneration sweep. The only I/O error possible is opening
 /// the resume journal; everything else is reported per-artifact.
 pub fn run_regen(opts: &RegenOptions) -> std::io::Result<RegenReport> {
@@ -332,7 +364,15 @@ pub fn run_regen(opts: &RegenOptions) -> std::io::Result<RegenReport> {
         retry.max_attempts = n.max(1);
         harness = harness.with_retry(retry);
     }
+    let obs = if opts.obs.is_some() || opts.trace_out.is_some() || opts.metrics_out.is_some() {
+        Some(opts.obs.clone().unwrap_or_else(|| Arc::new(EventBus::new())))
+    } else {
+        None
+    };
     let mut exec = Executor::new(harness).with_jobs(opts.jobs.unwrap_or_else(default_jobs));
+    if let Some(bus) = &obs {
+        exec = exec.with_obs(Arc::clone(bus));
+    }
     if let Some(path) = &opts.resume {
         exec = exec.with_journal(Journal::open(path)?);
     }
@@ -353,7 +393,17 @@ pub fn run_regen(opts: &RegenOptions) -> std::io::Result<RegenReport> {
             break;
         }
     }
-    Ok(RegenReport { results, stats: exec.stats() })
+    let stats = exec.stats();
+    if let Some(bus) = &obs {
+        let events = bus.snapshot();
+        if let Some(path) = &opts.trace_out {
+            std::fs::write(path, trace::chrome_trace_json(&events))?;
+        }
+        if let Some(path) = &opts.metrics_out {
+            std::fs::write(path, metrics::prometheus_text(&events, &stats))?;
+        }
+    }
+    Ok(RegenReport { results, stats, obs })
 }
 
 #[cfg(test)]

@@ -17,9 +17,11 @@
 //! a property the `parallel_determinism` integration test pins down.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use crate::harness::{lock, Harness, HarnessStats, Journal, RunContext};
+use crate::obs::{set_current_worker, EventBus, EventKind};
 use crate::plan::{CellOutcome, CellSource, CellValue, ExperimentPlan};
 
 /// Resolves the default worker count: the `REGEN_JOBS` environment
@@ -45,6 +47,7 @@ pub struct Executor {
     jobs: usize,
     journal: Option<Journal>,
     cache: Mutex<HashMap<(String, u64), CellValue>>,
+    obs: Option<Arc<EventBus>>,
 }
 
 impl Default for Executor {
@@ -57,7 +60,14 @@ impl Executor {
     /// An executor over `harness` with [`default_jobs`] workers and no
     /// journal.
     pub fn new(harness: Harness) -> Executor {
-        Executor { harness, jobs: default_jobs(), journal: None, cache: Mutex::new(HashMap::new()) }
+        let obs = harness.obs().cloned();
+        Executor {
+            harness,
+            jobs: default_jobs(),
+            journal: None,
+            cache: Mutex::new(HashMap::new()),
+            obs,
+        }
     }
 
     /// Builder: set the worker-pool size (clamped to at least 1).
@@ -71,6 +81,35 @@ impl Executor {
     pub fn with_journal(mut self, journal: Journal) -> Executor {
         self.journal = Some(journal);
         self
+    }
+
+    /// Builder: attach an observability event bus, shared with the
+    /// harness so scheduler-level events (queued / started / finished /
+    /// cache hits) and attempt-level events (retries, faults) land in
+    /// one ordered stream.
+    pub fn with_obs(mut self, bus: Arc<EventBus>) -> Executor {
+        self.harness.set_obs(Arc::clone(&bus));
+        self.obs = Some(bus);
+        self
+    }
+
+    /// The attached event bus, if any.
+    pub fn obs(&self) -> Option<&Arc<EventBus>> {
+        self.obs.as_ref()
+    }
+
+    /// Emits a cell-scoped event (no-op without a bus).
+    fn emit_cell(&self, ctx: &RunContext, kind: EventKind) {
+        if let Some(bus) = &self.obs {
+            bus.emit(&ctx.experiment, &ctx.cell_key(), &ctx.content_key(), 0, kind);
+        }
+    }
+
+    /// Emits a plan-scoped event (no cell context; no-op without a bus).
+    fn emit_plan(&self, experiment: &str, kind: EventKind) {
+        if let Some(bus) = &self.obs {
+            bus.emit(experiment, "", "", 0, kind);
+        }
     }
 
     /// The underlying harness (watchdog budgets, fault plan, retry).
@@ -95,7 +134,9 @@ impl Executor {
     /// scheduled after it (the driver's reduce step decides whether to
     /// bridge, degrade, or abort).
     pub fn execute(&self, plan: &ExperimentPlan) -> Vec<CellOutcome> {
+        let plan_started = Instant::now();
         let n = plan.cells.len();
+        self.emit_plan(&plan.experiment, EventKind::PlanStarted { cells: n });
         let slots: Vec<Mutex<Option<CellOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let mut pending: Vec<usize> = Vec::new();
         let mut dup_of: Vec<Option<usize>> = vec![None; n];
@@ -109,6 +150,7 @@ impl Executor {
                 let key = cell.cache_key();
                 if let Some(v) = cache.get(&key) {
                     self.harness.note_cache_hit();
+                    self.emit_cell(&cell.ctx, EventKind::CacheHit);
                     *lock(&slots[i]) = Some(CellOutcome {
                         ctx: cell.ctx.clone(),
                         value: Ok(v.clone()),
@@ -118,6 +160,7 @@ impl Executor {
                 } else if let Some(v) = self.journal.as_ref().and_then(|j| j.lookup(&key.0, key.1))
                 {
                     self.harness.note_journal_hit();
+                    self.emit_cell(&cell.ctx, EventKind::JournalReplay);
                     cache.insert(key, v.clone());
                     *lock(&slots[i]) = Some(CellOutcome {
                         ctx: cell.ctx.clone(),
@@ -133,40 +176,56 @@ impl Executor {
                 }
             }
         }
+        // Queue admission, announced in plan order (outside the cache
+        // lock).
+        for &i in &pending {
+            self.emit_cell(&plan.cells[i].ctx, EventKind::CellQueued);
+        }
 
         // Schedule the fresh cells. Each pending index is a unique key;
         // its value depends only on the cell itself, so any assignment
         // of cells to workers produces the same outcomes.
         let workers = self.jobs.min(pending.len());
         let queue: Mutex<VecDeque<usize>> = Mutex::new(pending.into_iter().collect());
-        let work = || loop {
-            let i = match lock(&queue).pop_front() {
-                Some(i) => i,
-                None => break,
-            };
-            let cell = &plan.cells[i];
-            let (value, retries) = self.harness.run_value(&cell.ctx, |a| cell.compute(a));
-            if let Ok(v) = &value {
-                let key = cell.cache_key();
-                if let Some(j) = &self.journal {
-                    j.record(&key.0, key.1, v);
+        let work = |wid: usize| {
+            set_current_worker(wid);
+            loop {
+                let i = match lock(&queue).pop_front() {
+                    Some(i) => i,
+                    None => break,
+                };
+                let cell = &plan.cells[i];
+                self.emit_cell(&cell.ctx, EventKind::CellStarted);
+                let (value, retries) = self.harness.run_value(&cell.ctx, |a| cell.compute(a));
+                if let Ok(v) = &value {
+                    let key = cell.cache_key();
+                    if let Some(j) = &self.journal {
+                        j.record(&key.0, key.1, v);
+                    }
+                    lock(&self.cache).insert(key, v.clone());
                 }
-                lock(&self.cache).insert(key, v.clone());
+                self.emit_cell(
+                    &cell.ctx,
+                    EventKind::CellFinished { ok: value.is_ok(), retries },
+                );
+                *lock(&slots[i]) = Some(CellOutcome {
+                    ctx: cell.ctx.clone(),
+                    value,
+                    retries,
+                    source: CellSource::Fresh,
+                });
             }
-            *lock(&slots[i]) = Some(CellOutcome {
-                ctx: cell.ctx.clone(),
-                value,
-                retries,
-                source: CellSource::Fresh,
-            });
         };
         if workers <= 1 {
-            work();
+            // Serial: the calling thread is worker lane 1 for the
+            // duration of the drain, then reverts to the scheduler lane.
+            work(1);
+            set_current_worker(0);
         } else {
             std::thread::scope(|s| {
                 let work = &work;
-                for _ in 0..workers {
-                    s.spawn(work);
+                for wid in 1..=workers {
+                    s.spawn(move || work(wid));
                 }
             });
         }
@@ -179,6 +238,7 @@ impl Executor {
                 if let Some(o) = primary {
                     if o.value.is_ok() {
                         self.harness.note_cache_hit();
+                        self.emit_cell(&plan.cells[i].ctx, EventKind::CacheHit);
                     }
                     *lock(&slots[i]) = Some(CellOutcome {
                         ctx: plan.cells[i].ctx.clone(),
@@ -190,7 +250,7 @@ impl Executor {
             }
         }
 
-        slots
+        let outcomes: Vec<CellOutcome> = slots
             .into_iter()
             .enumerate()
             .map(|(i, s)| {
@@ -198,7 +258,10 @@ impl Executor {
                     .unwrap_or_else(|e| e.into_inner())
                     .unwrap_or_else(|| missing_outcome(&plan.cells[i].ctx))
             })
-            .collect()
+            .collect();
+        self.harness.note_plan_time(plan_started.elapsed());
+        self.emit_plan(&plan.experiment, EventKind::PlanFinished);
+        outcomes
     }
 }
 

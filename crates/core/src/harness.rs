@@ -29,12 +29,13 @@ use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, Write as _};
 use std::path::{Path, PathBuf};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use uarch::SimError;
 
 use crate::faultplan::{FaultKind, FaultPlan};
+use crate::obs::{EventBus, EventKind};
 use crate::plan::CellValue;
 use crate::stats::Measurement;
 
@@ -252,7 +253,8 @@ impl Watchdog {
     }
 }
 
-/// Counters the harness keeps while running a sweep.
+/// Counters the harness keeps while running a sweep, including the
+/// per-phase wall-clock totals the end-of-run summary reports.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HarnessStats {
     /// Cells simulated fresh (not satisfied from cache or journal).
@@ -267,6 +269,13 @@ pub struct HarnessStats {
     pub faults_injected: u64,
     /// Cells that failed permanently (retry budget exhausted).
     pub cells_failed: u64,
+    /// Cumulative wall time spent inside fresh-cell attempt loops,
+    /// summed across workers (so it can exceed the sweep's elapsed
+    /// time when `--jobs > 1`).
+    pub sim_time: Duration,
+    /// Cumulative wall time inside `Executor::execute` (scheduling,
+    /// cache pre-pass, and the worker pool), one span per plan.
+    pub plan_time: Duration,
 }
 
 impl HarnessStats {
@@ -280,6 +289,8 @@ impl HarnessStats {
             retries: self.retries.wrapping_sub(earlier.retries),
             faults_injected: self.faults_injected.wrapping_sub(earlier.faults_injected),
             cells_failed: self.cells_failed.wrapping_sub(earlier.cells_failed),
+            sim_time: self.sim_time.saturating_sub(earlier.sim_time),
+            plan_time: self.plan_time.saturating_sub(earlier.plan_time),
         }
     }
 }
@@ -296,6 +307,7 @@ pub struct Harness {
     /// Deterministic fault injection (empty by default).
     pub plan: FaultPlan,
     stats: Mutex<HarnessStats>,
+    obs: Option<Arc<EventBus>>,
 }
 
 impl Default for RetryPolicy {
@@ -335,9 +347,35 @@ impl Harness {
         self
     }
 
+    /// Builder: attach an observability event bus. The harness then
+    /// reports retries, injected faults, and watchdog kills as
+    /// [`EventKind`]s in addition to its counters.
+    pub fn with_obs(mut self, bus: Arc<EventBus>) -> Harness {
+        self.obs = Some(bus);
+        self
+    }
+
+    /// Installs (or replaces) the event bus after construction — the
+    /// executor uses this to share one bus with its harness.
+    pub(crate) fn set_obs(&mut self, bus: Arc<EventBus>) {
+        self.obs = Some(bus);
+    }
+
+    /// The attached event bus, if any.
+    pub fn obs(&self) -> Option<&Arc<EventBus>> {
+        self.obs.as_ref()
+    }
+
     /// Counters so far.
     pub fn stats(&self) -> HarnessStats {
         *lock(&self.stats)
+    }
+
+    /// Emits an event on the attached bus (no-op when none is attached).
+    fn emit(&self, ctx: &RunContext, attempt: u32, kind: EventKind) {
+        if let Some(bus) = &self.obs {
+            bus.emit(&ctx.experiment, &ctx.cell_key(), &ctx.content_key(), attempt, kind);
+        }
     }
 
     pub(crate) fn note_cache_hit(&self) {
@@ -346,6 +384,11 @@ impl Harness {
 
     pub(crate) fn note_journal_hit(&self) {
         lock(&self.stats).cells_from_journal += 1;
+    }
+
+    /// Adds one `Executor::execute` span to the plan-time total.
+    pub(crate) fn note_plan_time(&self, d: Duration) {
+        lock(&self.stats).plan_time += d;
     }
 
     /// Runs one plan cell's compute closure with fault injection,
@@ -358,6 +401,7 @@ impl Harness {
         ctx: &RunContext,
         f: impl Fn(u32) -> Result<CellValue, ExperimentError>,
     ) -> (Result<CellValue, ExperimentError>, u32) {
+        let started = Instant::now();
         let result = self.attempt_loop(ctx, |attempt| {
             let v = f(attempt)?;
             if v.is_degenerate() {
@@ -368,13 +412,20 @@ impl Harness {
             }
             Ok(v)
         });
+        let elapsed = started.elapsed();
         match result {
             Ok((v, attempt)) => {
-                lock(&self.stats).cells_run += 1;
+                let mut stats = lock(&self.stats);
+                stats.cells_run += 1;
+                stats.sim_time += elapsed;
+                drop(stats);
                 (Ok(v), attempt)
             }
             Err(e) => {
-                lock(&self.stats).cells_failed += 1;
+                let mut stats = lock(&self.stats);
+                stats.cells_failed += 1;
+                stats.sim_time += elapsed;
+                drop(stats);
                 (Err(e), self.retry.max_attempts.max(1) - 1)
             }
         }
@@ -393,6 +444,7 @@ impl Harness {
         ctx: &RunContext,
         mut f: impl FnMut(u32) -> Result<Measurement, ExperimentError>,
     ) -> Result<Measurement, ExperimentError> {
+        let started = Instant::now();
         let result = self.attempt_loop(ctx, |attempt| {
             let mut m = f(attempt)?;
             m.retries = attempt;
@@ -404,13 +456,20 @@ impl Harness {
             }
             Ok(m)
         });
+        let elapsed = started.elapsed();
         match result {
             Ok((m, _)) => {
-                lock(&self.stats).cells_run += 1;
+                let mut stats = lock(&self.stats);
+                stats.cells_run += 1;
+                stats.sim_time += elapsed;
+                drop(stats);
                 Ok(m)
             }
             Err(e) => {
-                lock(&self.stats).cells_failed += 1;
+                let mut stats = lock(&self.stats);
+                stats.cells_failed += 1;
+                stats.sim_time += elapsed;
+                drop(stats);
                 Err(e)
             }
         }
@@ -444,14 +503,16 @@ impl Harness {
         for attempt in 0..self.retry.max_attempts.max(1) {
             if attempt > 0 {
                 lock(&self.stats).retries += 1;
+                self.emit(ctx, attempt, EventKind::Retry);
                 let delay = self.retry.backoff(attempt);
                 if !delay.is_zero() {
                     std::thread::sleep(delay);
                 }
             }
             let injected = self.plan.inject(&key, attempt);
-            if injected.is_some() {
+            if let Some(fault) = injected {
                 lock(&self.stats).faults_injected += 1;
+                self.emit(ctx, attempt, EventKind::FaultInjected { fault });
             }
             let outcome = match injected {
                 Some(FaultKind::SimFault) => Err(ExperimentError::Sim {
@@ -481,6 +542,7 @@ impl Harness {
                     let started = Instant::now();
                     let r = f(attempt);
                     if r.is_ok() && started.elapsed() > self.watchdog.wall_deadline {
+                        self.emit(ctx, attempt, EventKind::WatchdogFired);
                         Err(ExperimentError::Timeout {
                             ctx: ctx.clone(),
                             deadline: self.watchdog.wall_deadline,
@@ -633,7 +695,7 @@ fn journal_value_fields(v: &CellValue) -> String {
     }
 }
 
-fn escape_json(s: &str) -> String {
+pub(crate) fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

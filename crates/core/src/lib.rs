@@ -26,6 +26,9 @@
 //!   a structured result and a text rendering.
 //! * [`report`] — plain-text table rendering and paper-vs-measured
 //!   comparisons.
+//! * [`obs`] — executor observability: a structured event bus with a
+//!   swappable clock, a Chrome trace-event exporter, and a
+//!   Prometheus-style metrics exposition.
 
 // A failed cell must surface as a typed ExperimentError, never a panic:
 // regeneration sweeps have to survive any single cell dying.
@@ -38,6 +41,7 @@ pub mod experiments;
 pub mod faultplan;
 pub mod harness;
 pub mod micro;
+pub mod obs;
 pub mod plan;
 pub mod probe;
 pub mod report;
@@ -49,6 +53,7 @@ pub use faultplan::{FaultKind, FaultPlan, FaultRule};
 pub use harness::{
     ExperimentError, Harness, HarnessStats, Journal, RetryPolicy, RunContext, Watchdog,
 };
+pub use obs::{Clock, Event, EventBus, EventKind, SystemClock, VirtualClock};
 pub use plan::{CellOutcome, CellSource, CellSpec, CellValue, ExperimentPlan};
 pub use probe::{ProbeConfig, ProbeResult};
 pub use stats::{geomean, measure_until, Measurement, NoiseModel, StatsError, StopPolicy};

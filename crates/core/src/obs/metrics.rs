@@ -1,0 +1,236 @@
+//! Prometheus-style text exposition of a sweep's observability stream.
+//!
+//! [`prometheus_text`] derives every counter from the raw [`Event`]
+//! stream — *not* from [`HarnessStats`] — so comparing the exposition
+//! against the harness's own counters (as `tests/trace_invariants.rs`
+//! does) genuinely cross-checks the instrumentation instead of testing
+//! a tautology. Histograms cover per-experiment wall clock and per-cell
+//! queue latency.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use crate::harness::{escape_json, HarnessStats};
+
+use super::{Event, EventKind};
+
+/// Bucket boundaries (seconds) for the queue-latency histogram.
+const QUEUE_BUCKETS: [f64; 6] = [1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0];
+/// Bucket boundaries (seconds) for the per-experiment wall-clock
+/// histogram.
+const WALL_BUCKETS: [f64; 8] = [0.01, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0];
+
+/// A fixed-bucket cumulative histogram.
+#[derive(Debug, Clone)]
+struct Histogram {
+    bounds: &'static [f64],
+    counts: Vec<u64>,
+    sum: f64,
+    total: u64,
+}
+
+impl Histogram {
+    fn new(bounds: &'static [f64]) -> Histogram {
+        Histogram { bounds, counts: vec![0; bounds.len()], sum: 0.0, total: 0 }
+    }
+
+    fn observe(&mut self, v: f64) {
+        for (i, b) in self.bounds.iter().enumerate() {
+            if v <= *b {
+                self.counts[i] += 1;
+            }
+        }
+        self.sum += v;
+        self.total += 1;
+    }
+
+    /// Writes `_bucket`/`_sum`/`_count` lines; `labels` is either empty
+    /// or a `key="value",` fragment placed before `le`.
+    fn expose(&self, out: &mut String, name: &str, labels: &str) {
+        let bare = if labels.is_empty() {
+            String::new()
+        } else {
+            format!("{{{}}}", labels.trim_end_matches(','))
+        };
+        for (i, b) in self.bounds.iter().enumerate() {
+            let _ = writeln!(out, "{name}_bucket{{{labels}le=\"{b}\"}} {}", self.counts[i]);
+        }
+        let _ = writeln!(out, "{name}_bucket{{{labels}le=\"+Inf\"}} {}", self.total);
+        let _ = writeln!(out, "{name}_sum{bare} {}", self.sum);
+        let _ = writeln!(out, "{name}_count{bare} {}", self.total);
+    }
+}
+
+fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+fn header(out: &mut String, name: &str, kind: &str, help: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+fn counter(out: &mut String, name: &str, help: &str, value: u64) {
+    header(out, name, "counter", help);
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// Renders the event stream (plus the harness's timing totals) as a
+/// Prometheus text exposition.
+pub fn prometheus_text(events: &[Event], stats: &HarnessStats) -> String {
+    let mut simulated = 0u64;
+    let mut failed = 0u64;
+    let mut cached = 0u64;
+    let mut replayed = 0u64;
+    let mut retries = 0u64;
+    let mut faults = 0u64;
+    let mut watchdogs = 0u64;
+    let mut plans = 0u64;
+
+    // Queue latency: pair each CellQueued with the next CellStarted for
+    // the same cell key (FIFO per key; a re-executed plan can queue the
+    // same key again later).
+    let mut queued: HashMap<&str, VecDeque<Duration>> = HashMap::new();
+    let mut queue_hist = Histogram::new(&QUEUE_BUCKETS);
+    // Per-experiment wall clock: PlanStarted .. PlanFinished.
+    let mut open_plans: HashMap<&str, Vec<Duration>> = HashMap::new();
+    let mut wall: HashMap<&str, Histogram> = HashMap::new();
+
+    for e in events {
+        match &e.kind {
+            EventKind::CellFinished { ok: true, .. } => simulated += 1,
+            EventKind::CellFinished { ok: false, .. } => failed += 1,
+            EventKind::CacheHit => cached += 1,
+            EventKind::JournalReplay => replayed += 1,
+            EventKind::Retry => retries += 1,
+            EventKind::FaultInjected { .. } => faults += 1,
+            EventKind::WatchdogFired => watchdogs += 1,
+            EventKind::CellQueued => {
+                queued.entry(e.cell.as_str()).or_default().push_back(e.ts);
+            }
+            EventKind::CellStarted => {
+                if let Some(ts) = queued.get_mut(e.cell.as_str()).and_then(VecDeque::pop_front)
+                {
+                    queue_hist.observe(secs(e.ts.saturating_sub(ts)));
+                }
+            }
+            EventKind::PlanStarted { .. } => {
+                open_plans.entry(e.experiment.as_str()).or_default().push(e.ts);
+            }
+            EventKind::PlanFinished => {
+                plans += 1;
+                if let Some(start) =
+                    open_plans.get_mut(e.experiment.as_str()).and_then(Vec::pop)
+                {
+                    wall.entry(e.experiment.as_str())
+                        .or_insert_with(|| Histogram::new(&WALL_BUCKETS))
+                        .observe(secs(e.ts.saturating_sub(start)));
+                }
+            }
+        }
+    }
+
+    let mut out = String::new();
+    counter(
+        &mut out,
+        "regen_cells_simulated_total",
+        "Cells simulated fresh (not cache or journal).",
+        simulated,
+    );
+    counter(
+        &mut out,
+        "regen_cells_cached_total",
+        "Cells served from the cross-experiment cache.",
+        cached,
+    );
+    counter(
+        &mut out,
+        "regen_cells_replayed_total",
+        "Cells replayed from a resume journal.",
+        replayed,
+    );
+    counter(&mut out, "regen_retries_total", "Retry attempts (first attempts excluded).", retries);
+    counter(&mut out, "regen_faults_injected_total", "Faults delivered by the fault plan.", faults);
+    counter(
+        &mut out,
+        "regen_cells_failed_total",
+        "Cells that failed permanently (retry budget exhausted).",
+        failed,
+    );
+    counter(&mut out, "regen_watchdog_fired_total", "Wall-clock watchdog kills.", watchdogs);
+    counter(&mut out, "regen_plans_total", "Experiment plans executed.", plans);
+
+    header(&mut out, "regen_sim_busy_seconds", "gauge", "Cumulative wall time simulating fresh cells.");
+    let _ = writeln!(out, "regen_sim_busy_seconds {}", secs(stats.sim_time));
+    header(&mut out, "regen_plan_wall_seconds", "gauge", "Cumulative wall time inside Executor::execute.");
+    let _ = writeln!(out, "regen_plan_wall_seconds {}", secs(stats.plan_time));
+
+    header(
+        &mut out,
+        "regen_queue_latency_seconds",
+        "histogram",
+        "Delay between a cell entering the worker queue and a worker starting it.",
+    );
+    queue_hist.expose(&mut out, "regen_queue_latency_seconds", "");
+
+    header(
+        &mut out,
+        "regen_experiment_wall_seconds",
+        "histogram",
+        "Wall-clock time executing one experiment plan.",
+    );
+    let mut experiments: Vec<&&str> = wall.keys().collect();
+    experiments.sort();
+    for exp in experiments {
+        let labels = format!("experiment=\"{}\",", escape_json(exp));
+        wall[*exp].expose(&mut out, "regen_experiment_wall_seconds", &labels);
+    }
+    out
+}
+
+/// Extracts the value of an unlabelled sample line (`<name> <value>`)
+/// from an exposition — what the invariant tests use to compare the
+/// metrics dump against [`HarnessStats`].
+pub fn metric_value(exposition: &str, name: &str) -> Option<f64> {
+    let prefix = format!("{name} ");
+    exposition
+        .lines()
+        .find(|l| l.starts_with(&prefix))
+        .and_then(|l| l[prefix.len()..].trim().parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{EventBus, EventKind, VirtualClock};
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counters_come_from_events_and_histograms_pair_up() {
+        let bus = EventBus::with_clock(Arc::new(VirtualClock::new()));
+        bus.emit("exp", "", "", 0, EventKind::PlanStarted { cells: 2 });
+        bus.emit("exp", "exp/a", "a", 0, EventKind::CellQueued);
+        bus.emit("exp", "exp/a", "a", 0, EventKind::CellStarted);
+        bus.emit("exp", "exp/a", "a", 1, EventKind::Retry);
+        bus.emit("exp", "exp/a", "a", 0, EventKind::CellFinished { ok: true, retries: 1 });
+        bus.emit("exp", "exp/b", "b", 0, EventKind::CacheHit);
+        bus.emit("exp", "", "", 0, EventKind::PlanFinished);
+        let text = prometheus_text(&bus.snapshot(), &HarnessStats::default());
+        assert_eq!(metric_value(&text, "regen_cells_simulated_total"), Some(1.0));
+        assert_eq!(metric_value(&text, "regen_cells_cached_total"), Some(1.0));
+        assert_eq!(metric_value(&text, "regen_retries_total"), Some(1.0));
+        assert_eq!(metric_value(&text, "regen_plans_total"), Some(1.0));
+        assert_eq!(metric_value(&text, "regen_queue_latency_seconds_count"), Some(1.0));
+        assert!(text.contains("regen_experiment_wall_seconds_bucket{experiment=\"exp\",le=\"+Inf\"} 1"));
+        assert!(text.contains("# TYPE regen_cells_simulated_total counter"));
+    }
+
+    #[test]
+    fn metric_value_ignores_labelled_lines() {
+        let text = "a_bucket{le=\"1\"} 3\na 7\n";
+        assert_eq!(metric_value(text, "a"), Some(7.0));
+        assert_eq!(metric_value(text, "missing"), None);
+    }
+}

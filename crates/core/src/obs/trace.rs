@@ -1,0 +1,346 @@
+//! Chrome trace-event export: one lane per executor worker.
+//!
+//! [`chrome_trace_json`] renders an [`Event`] stream as the Trace Event
+//! Format consumed by Perfetto and `chrome://tracing`: each
+//! `CellStarted`/`CellFinished` pair becomes a complete (`"X"`) span on
+//! its worker's lane, plan executions become spans on a dedicated
+//! `plans` lane, and queue/cache/retry/fault/watchdog events become
+//! instant (`"i"`) marks. Timestamps are microseconds from the bus
+//! clock's epoch.
+//!
+//! The module also carries a dependency-free JSON well-formedness
+//! checker ([`validate_json`]) so the trace-invariant tests can prove
+//! the emitted file parses without pulling in a JSON library.
+
+use crate::harness::escape_json;
+
+use super::{Event, EventKind};
+
+/// The synthetic lane (`tid`) plan-level spans are drawn on, far above
+/// any plausible worker count.
+pub const PLAN_LANE: usize = 1_000_000;
+
+fn micros(e: &Event) -> u128 {
+    e.ts.as_nanos() / 1_000
+}
+
+fn push_meta(out: &mut String, tid: usize, name: &str) {
+    out.push_str(&format!(
+        "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+         \"args\":{{\"name\":\"{}\"}}}}",
+        escape_json(name)
+    ));
+}
+
+/// Renders the event stream as Chrome trace-event JSON.
+///
+/// The output is a single object `{"displayTimeUnit":"ms",
+/// "traceEvents":[...]}`. Unpaired opens (a sweep snapshotted
+/// mid-flight) are dropped rather than emitted as dangling begin
+/// events, so the file always loads.
+pub fn chrome_trace_json(events: &[Event]) -> String {
+    let mut records: Vec<String> = Vec::new();
+
+    // Lane metadata: one named lane per worker seen, plus the plan lane.
+    let mut workers: Vec<usize> = events
+        .iter()
+        .filter(|e| {
+            matches!(e.kind, EventKind::CellStarted | EventKind::CellFinished { .. })
+        })
+        .map(|e| e.worker)
+        .collect();
+    workers.sort_unstable();
+    workers.dedup();
+    for w in &workers {
+        let mut s = String::new();
+        push_meta(&mut s, *w, &format!("worker {w}"));
+        records.push(s);
+    }
+    if events.iter().any(|e| matches!(e.kind, EventKind::PlanStarted { .. })) {
+        let mut s = String::new();
+        push_meta(&mut s, PLAN_LANE, "plans");
+        records.push(s);
+    }
+
+    // Pair spans. Workers run one cell at a time and plans are executed
+    // sequentially per executor, so a per-lane "open event" slot
+    // suffices; the invariant tests assert exactly this discipline.
+    let mut open_cell: std::collections::HashMap<usize, &Event> = std::collections::HashMap::new();
+    let mut open_plan: Vec<&Event> = Vec::new();
+    for e in events {
+        match &e.kind {
+            EventKind::CellStarted => {
+                open_cell.insert(e.worker, e);
+            }
+            EventKind::CellFinished { ok, retries } => {
+                if let Some(start) = open_cell.remove(&e.worker) {
+                    let dur = micros(e).saturating_sub(micros(start)).max(1);
+                    records.push(format!(
+                        "{{\"name\":\"{}\",\"cat\":\"cell\",\"ph\":\"X\",\"ts\":{},\
+                         \"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{\
+                         \"experiment\":\"{}\",\"cell\":\"{}\",\"ok\":{},\"retries\":{}}}}}",
+                        escape_json(&start.content_key),
+                        micros(start),
+                        dur,
+                        e.worker,
+                        escape_json(&e.experiment),
+                        escape_json(&e.cell),
+                        ok,
+                        retries
+                    ));
+                }
+            }
+            EventKind::PlanStarted { cells } => {
+                let _ = cells;
+                open_plan.push(e);
+            }
+            EventKind::PlanFinished => {
+                if let Some(start) = open_plan.pop() {
+                    let dur = micros(e).saturating_sub(micros(start)).max(1);
+                    let cells = match start.kind {
+                        EventKind::PlanStarted { cells } => cells,
+                        _ => 0,
+                    };
+                    records.push(format!(
+                        "{{\"name\":\"{}\",\"cat\":\"plan\",\"ph\":\"X\",\"ts\":{},\
+                         \"dur\":{},\"pid\":1,\"tid\":{PLAN_LANE},\
+                         \"args\":{{\"cells\":{cells}}}}}",
+                        escape_json(&start.experiment),
+                        micros(start),
+                        dur
+                    ));
+                }
+            }
+            EventKind::CellQueued
+            | EventKind::CacheHit
+            | EventKind::JournalReplay
+            | EventKind::Retry
+            | EventKind::FaultInjected { .. }
+            | EventKind::WatchdogFired => {
+                records.push(format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"ts\":{},\"s\":\"t\",\
+                     \"pid\":1,\"tid\":{},\"args\":{{\"cell\":\"{}\",\"attempt\":{}}}}}",
+                    e.kind.name(),
+                    e.kind.name(),
+                    micros(e),
+                    e.worker,
+                    escape_json(&e.cell),
+                    e.attempt
+                ));
+            }
+        }
+    }
+
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}]}}\n",
+        records.join(",\n")
+    )
+}
+
+/// Checks that `s` is exactly one well-formed JSON value (plus trailing
+/// whitespace). Hand-rolled — the workspace carries no JSON library —
+/// and strict enough to catch the failure modes a hand-built exporter
+/// can produce: unbalanced brackets, bad escapes, trailing commas,
+/// unquoted keys.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, b"true"),
+        Some(b'f') => literal(b, pos, b"false"),
+        Some(b'n') => literal(b, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
+        Some(c) => Err(format!("unexpected byte {c:?} at {pos:?}")),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn literal(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
+    if b.len() >= *pos + lit.len() && &b[*pos..*pos + lit.len()] == lit {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits = |b: &[u8], pos: &mut usize| {
+        let s = *pos;
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        *pos > s
+    };
+    if !digits(b, pos) {
+        return Err(format!("bad number at byte {start}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !digits(b, pos) {
+            return Err(format!("bad fraction at byte {start}"));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e') | Some(b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+') | Some(b'-')) {
+            *pos += 1;
+        }
+        if !digits(b, pos) {
+            return Err(format!("bad exponent at byte {start}"));
+        }
+    }
+    Ok(())
+}
+
+fn string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    debug_assert_eq!(b.get(*pos), Some(&b'"'));
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            if !b.get(*pos).is_some_and(u8::is_ascii_hexdigit) {
+                                return Err(format!("bad \\u escape at byte {}", *pos));
+                            }
+                            *pos += 1;
+                        }
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+            }
+            0x00..=0x1f => return Err(format!("raw control byte in string at {}", *pos)),
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {}", *pos));
+        }
+        string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {}", *pos));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+fn array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{EventBus, EventKind, VirtualClock};
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        assert!(validate_json("{\"a\":[1,2.5,-3e4,\"x\\n\",true,null]}").is_ok());
+        assert!(validate_json("").is_err());
+        assert!(validate_json("{").is_err());
+        assert!(validate_json("{\"a\":1,}").is_err());
+        assert!(validate_json("[1 2]").is_err());
+        assert!(validate_json("{\"a\":1} extra").is_err());
+        assert!(validate_json("{\"bad\":\"\\x\"}").is_err());
+    }
+
+    #[test]
+    fn spans_pair_and_json_is_valid() {
+        let bus = EventBus::with_clock(Arc::new(VirtualClock::new()));
+        bus.emit("exp", "", "", 0, EventKind::PlanStarted { cells: 1 });
+        bus.emit("exp", "exp/c/w", "c/w", 0, EventKind::CellQueued);
+        bus.emit("exp", "exp/c/w", "c/w", 0, EventKind::CellStarted);
+        bus.emit("exp", "exp/c/w", "c/w", 1, EventKind::Retry);
+        bus.emit("exp", "exp/c/w", "c/w", 0, EventKind::CellFinished { ok: true, retries: 1 });
+        bus.emit("exp", "", "", 0, EventKind::PlanFinished);
+        let json = chrome_trace_json(&bus.snapshot());
+        validate_json(&json).expect("trace must be well-formed JSON");
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2, "one cell span, one plan span");
+        assert_eq!(json.matches("\"ph\":\"i\"").count(), 2, "queued + retry instants");
+        assert!(json.contains("\"tid\":1000000"), "plan lane present");
+    }
+
+    #[test]
+    fn unpaired_open_is_dropped() {
+        let bus = EventBus::with_clock(Arc::new(VirtualClock::new()));
+        bus.emit("exp", "exp/c/w", "c/w", 0, EventKind::CellStarted);
+        let json = chrome_trace_json(&bus.snapshot());
+        validate_json(&json).expect("still valid");
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 0);
+    }
+}

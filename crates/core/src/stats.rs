@@ -99,19 +99,45 @@ impl Accumulator {
 }
 
 /// Two-sided 95% Student-t critical value for `dof` degrees of freedom.
+///
+/// Exact table values through dof 30; beyond that, linear interpolation
+/// *in 1/dof* between standard table anchors, reaching the normal value
+/// 1.96 at dof 1200 and staying there. (The critical value is close to
+/// affine in 1/dof, so this tracks the true quantile to ~1e-3.) The old
+/// implementation returned step constants — 2.00 for all of dof 31–60,
+/// 1.98 for 61–120 — which made `ci95_half_width` jump discontinuously
+/// as a measurement crossed n = 31, 61, or 121 samples.
 pub fn t_critical_95(dof: u64) -> f64 {
-    // Table for small dof; normal approximation beyond.
+    // Table for small dof; interpolated anchors beyond.
     const TABLE: [f64; 30] = [
         12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
         2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
         2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
     ];
+    // (dof, critical value) anchors from the standard t table.
+    const ANCHORS: [(u64, f64); 8] = [
+        (30, 2.042),
+        (40, 2.021),
+        (50, 2.009),
+        (60, 2.000),
+        (80, 1.990),
+        (100, 1.984),
+        (120, 1.980),
+        (1200, 1.960),
+    ];
     match dof {
         0 => f64::INFINITY,
         d if d <= 30 => TABLE[(d - 1) as usize],
-        d if d <= 60 => 2.00,
-        d if d <= 120 => 1.98,
-        _ => 1.96,
+        d if d >= 1200 => 1.96,
+        d => {
+            let i = ANCHORS.iter().rposition(|&(a, _)| a <= d).unwrap_or(0);
+            let (d0, t0) = ANCHORS[i];
+            let (d1, t1) = ANCHORS[i + 1];
+            // Interpolate in 1/dof: t is nearly affine in 1/dof, and the
+            // reciprocal spacing keeps the wide 120..1200 span accurate.
+            let (x0, x1, x) = (1.0 / d0 as f64, 1.0 / d1 as f64, 1.0 / d as f64);
+            t0 + (t1 - t0) * (x - x0) / (x1 - x0)
+        }
     }
 }
 
@@ -321,6 +347,34 @@ mod tests {
         assert!(t_critical_95(1) > t_critical_95(5));
         assert!(t_critical_95(5) > t_critical_95(30));
         assert!((t_critical_95(10_000) - 1.96).abs() < 1e-9);
+    }
+
+    #[test]
+    fn t_table_has_no_step_discontinuities() {
+        // The old implementation jumped at the 30/31, 60/61, and 120/121
+        // boundaries (2.042→2.00, 2.00→1.98, 1.98→1.96). Interpolation
+        // must make each crossing a small, strictly decreasing step.
+        for boundary in [30u64, 60, 120] {
+            let before = t_critical_95(boundary);
+            let after = t_critical_95(boundary + 1);
+            assert!(after < before, "t must still decrease across {boundary}");
+            assert!(
+                before - after < 0.005,
+                "crossing dof {boundary}: {before} -> {after} is a step, not a glide"
+            );
+        }
+        // Strict monotone decrease everywhere up to the normal limit.
+        for dof in 1..1200 {
+            assert!(
+                t_critical_95(dof + 1) < t_critical_95(dof),
+                "not strictly decreasing at dof {dof}"
+            );
+        }
+        assert_eq!(t_critical_95(1200), 1.96, "continuous at the normal limit");
+        // The anchors themselves are hit exactly.
+        assert_eq!(t_critical_95(40), 2.021);
+        assert_eq!(t_critical_95(60), 2.000);
+        assert_eq!(t_critical_95(120), 1.980);
     }
 
     #[test]

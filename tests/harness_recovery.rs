@@ -36,7 +36,7 @@ fn keep_going_sweep_degrades_one_slice_and_resume_reruns_only_the_failed_cell() 
         retries: Some(2), // fail fast; the fault is permanent anyway
         inject: Some(FaultPlan::new().fail_cell(VICTIM_CELL, FaultKind::SimFault, None)),
         resume: Some(log.clone()),
-        jobs: None,
+        ..RegenOptions::default()
     };
     let report = run_regen(&opts).expect("journal opens");
 
@@ -77,11 +77,8 @@ fn keep_going_sweep_degrades_one_slice_and_resume_reruns_only_the_failed_cell() 
     let opts = RegenOptions {
         artifacts: vec![Artifact::Figure2],
         quick: true,
-        keep_going: false,
-        retries: None,
-        inject: None,
         resume: Some(log.clone()),
-        jobs: None,
+        ..RegenOptions::default()
     };
     let resumed = run_regen(&opts).expect("journal reopens");
     assert!(resumed.failures().is_empty());

@@ -4,9 +4,11 @@
 //! seeded from plan indices — never from scheduling order or retry
 //! counts — so the worker pool can interleave cells arbitrarily.
 
+use std::sync::Arc;
+
 use cpu_models::CpuId;
 use spectrebench::experiments::{figure2, tables9and10};
-use spectrebench::{Executor, FaultKind, FaultPlan, Harness, RetryPolicy};
+use spectrebench::{EventBus, Executor, FaultKind, FaultPlan, Harness, RetryPolicy, VirtualClock};
 
 fn exec_with_jobs(jobs: usize) -> Executor {
     Executor::new(Harness::new().with_retry(RetryPolicy::immediate(4))).with_jobs(jobs)
@@ -30,6 +32,23 @@ fn rendered_output_is_identical_for_any_job_count() {
     for jobs in [2, 8] {
         let parallel = render_all(&exec_with_jobs(jobs));
         assert_eq!(serial, parallel, "jobs={jobs} must render byte-identically");
+    }
+}
+
+#[test]
+fn rendered_output_is_identical_with_tracing_attached() {
+    // The event bus is observational only: attaching it (system or
+    // virtual clock) must not perturb a single rendered byte, at any
+    // worker count.
+    let silent = render_all(&exec_with_jobs(1));
+    for jobs in [1, 8] {
+        let bus = Arc::new(EventBus::with_clock(Arc::new(VirtualClock::new())));
+        let exec = Executor::new(Harness::new().with_retry(RetryPolicy::immediate(4)))
+            .with_jobs(jobs)
+            .with_obs(Arc::clone(&bus));
+        let traced = render_all(&exec);
+        assert_eq!(silent, traced, "jobs={jobs} with tracing attached");
+        assert!(!bus.is_empty(), "jobs={jobs}: the sweep must have been recorded");
     }
 }
 

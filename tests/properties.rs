@@ -398,6 +398,59 @@ fn degenerate_statistics_inputs_are_total() {
     assert!(!m.ci95.is_nan());
 }
 
+/// Welford's single-pass moments agree with the naive two-pass mean and
+/// unbiased variance on random samples spanning many magnitudes.
+#[test]
+fn accumulator_matches_two_pass_variance() {
+    for seed in 0..64 {
+        let mut rng = Rng::new(0x2FA55 + seed);
+        let n = 2 + rng.below(200);
+        let scale = 10f64.powi(rng.below(9) as i32 - 3);
+        let v: Vec<f64> = (0..n).map(|_| (rng.unit() - 0.5) * scale).collect();
+
+        let mut a = Accumulator::new();
+        for x in &v {
+            a.add(*x);
+        }
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (v.len() - 1) as f64;
+        assert!(
+            (a.mean() - mean).abs() <= 1e-9 * (1.0 + mean.abs()),
+            "seed {seed}: mean {} vs two-pass {mean}",
+            a.mean()
+        );
+        assert!(
+            (a.variance() - var).abs() <= 1e-9 * (1.0 + var),
+            "seed {seed}: variance {} vs two-pass {var}",
+            a.variance()
+        );
+    }
+}
+
+/// Geomean is permutation-invariant: reordering the slice changes only
+/// floating-point rounding, never the value beyond ~1 ulp-scale noise.
+#[test]
+fn geomean_is_permutation_invariant() {
+    for seed in 0..64 {
+        let mut rng = Rng::new(0x6E02 + seed);
+        let n = 2 + rng.below(40);
+        let v: Vec<f64> = (0..n).map(|_| 0.001 + rng.unit() * 1e6).collect();
+        let reference = geomean(&v);
+
+        let mut shuffled = v.clone();
+        // Fisher–Yates with the same deterministic generator.
+        for i in (1..shuffled.len()).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            shuffled.swap(i, j);
+        }
+        let permuted = geomean(&shuffled);
+        assert!(
+            (permuted - reference).abs() <= 1e-12 * reference,
+            "seed {seed}: {permuted} vs {reference}"
+        );
+    }
+}
+
 /// The 95% confidence interval shrinks monotonically in sample count
 /// (fixed noise stream, checked at doubling intervals).
 #[test]
