@@ -9,20 +9,33 @@
 //! cargo run --release -p bench --bin regen -- --jobs 8      # worker threads
 //! cargo run --release -p bench --bin regen -- --inject 'cell=Broadwell:kind=sim:times=2'
 //! cargo run --release -p bench --bin regen -- --trace-out trace.json --metrics-out metrics.prom
+//! cargo run --release -p bench --bin regen -- --out results.txt
+//! cargo run --release -p bench --bin regen -- fsck run.jsonl   # verify/repair a journal
 //! ```
 //!
-//! Exit codes: 0 clean; 1 at least one artifact failed or was degraded;
-//! 2 bad usage (unknown artifact or malformed flag).
+//! Exit codes: 0 clean; 1 at least one artifact failed or was degraded
+//! (or a journal append was lost); 2 bad usage (unknown artifact or
+//! malformed flag). `regen fsck` exits 0 when every line was valid, 1
+//! when only recoverable crash artifacts (stale / torn tail) were
+//! found, 2 on checksum or structural corruption.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use bench::{Artifact, RegenOptions, run_regen};
-use spectrebench::FaultPlan;
+use spectrebench::{fsck_journal, FaultPlan};
 
 fn usage(to_stdout: bool) {
     let mut text = String::from(
         "usage: regen [options] [artifact ...]\n\
+         \x20      regen fsck <journal>\n\
+         \n\
+         subcommands:\n\
+         \x20 fsck <journal>    verify the journal's per-line checksums,\n\
+         \x20                   quarantine damaged lines to <journal>.quarantine,\n\
+         \x20                   and atomically rewrite a compacted valid journal.\n\
+         \x20                   Exits 0 (clean), 1 (recoverable crash artifacts),\n\
+         \x20                   or 2 (corruption found / unreadable)\n\
          \n\
          options:\n\
          \x20 --quick           fast workload variants\n\
@@ -34,14 +47,20 @@ fn usage(to_stdout: bool) {
          \x20                   output is byte-identical for any value\n\
          \x20 --resume <log>    reuse cells journaled in <log>; append new ones\n\
          \x20 --inject <spec>   deterministic fault plan, e.g.\n\
-         \x20                   'cell=<substr>:kind=<sim|timeout|corrupt>:times=<n|forever>'\n\
-         \x20                   or 'seed=<n>:prob=<p>'\n\
+         \x20                   'cell=<substr>:kind=<kind>:times=<n|forever>'\n\
+         \x20                   or 'seed=<n>:prob=<p>'. Compute kinds\n\
+         \x20                   sim|timeout|corrupt|panic fail attempts; I/O kinds\n\
+         \x20                   torn-write|journal-corrupt damage the cell's\n\
+         \x20                   journal line instead (the value still renders)\n\
          \x20 --trace-out <f>   write a Chrome trace-event JSON timeline of the\n\
          \x20                   sweep (one lane per worker; open in Perfetto or\n\
          \x20                   chrome://tracing)\n\
          \x20 --metrics-out <f> write a Prometheus-style text metrics dump\n\
          \x20                   (cell counters, retry/fault totals, latency\n\
          \x20                   histograms)\n\
+         \x20 --out <f>         also write the artifact renderings to <f>,\n\
+         \x20                   atomically (tmp + fsync + rename): a killed run\n\
+         \x20                   leaves the old file or the complete new one\n\
          \n\
          artifacts:\n",
     );
@@ -83,6 +102,7 @@ fn parse_args(args: &[String]) -> Result<RegenOptions, String> {
             "--resume" => opts.resume = Some(PathBuf::from(value("--resume")?)),
             "--trace-out" => opts.trace_out = Some(PathBuf::from(value("--trace-out")?)),
             "--metrics-out" => opts.metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
+            "--out" => opts.out = Some(PathBuf::from(value("--out")?)),
             "--inject" => {
                 let spec = value("--inject")?;
                 opts.inject =
@@ -99,11 +119,50 @@ fn parse_args(args: &[String]) -> Result<RegenOptions, String> {
     Ok(opts)
 }
 
+/// `regen fsck <journal>`: verify, quarantine, compact. Severity maps
+/// directly to the exit code; an unreadable journal is severity 2.
+fn run_fsck(path: &Path) -> ExitCode {
+    match fsck_journal(path) {
+        Ok(report) => {
+            let s = &report.scan;
+            eprintln!(
+                "regen fsck: {}: {} valid line(s) -> {} entr{} compacted; {} stale, {} truncated, {} corrupt skipped",
+                path.display(),
+                s.valid,
+                report.entries,
+                if report.entries == 1 { "y" } else { "ies" },
+                s.stale,
+                s.truncated,
+                s.corrupt
+            );
+            if let Some(q) = &report.quarantine {
+                eprintln!("regen fsck: damaged lines quarantined to {}", q.display());
+            }
+            ExitCode::from(report.severity())
+        }
+        Err(e) => {
+            eprintln!("regen fsck: cannot read {}: {e}", path.display());
+            ExitCode::from(2)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         usage(true);
         return ExitCode::SUCCESS;
+    }
+    if args.first().map(String::as_str) == Some("fsck") {
+        return match args.get(1) {
+            Some(path) if args.len() == 2 => run_fsck(Path::new(path)),
+            _ => {
+                eprintln!("regen: fsck takes exactly one argument: the journal path");
+                eprintln!();
+                usage(false);
+                ExitCode::from(2)
+            }
+        };
     }
     let opts = match parse_args(&args) {
         Ok(opts) => opts,
@@ -152,11 +211,32 @@ fn main() -> ExitCode {
         s.sim_time.as_secs_f64(),
         s.plan_time.as_secs_f64()
     );
+    if s.panics_caught > 0 || s.breaker_skipped > 0 {
+        eprintln!(
+            "regen: {} compute panic(s) caught; {} cell(s) degraded by the panic circuit breaker",
+            s.panics_caught, s.breaker_skipped
+        );
+    }
+    if s.journal_stale > 0 || s.journal_corrupt > 0 || s.journal_truncated > 0 {
+        eprintln!(
+            "regen: resume journal damage skipped: {} stale, {} corrupt, {} truncated line(s) (run `regen fsck` to quarantine and compact)",
+            s.journal_stale, s.journal_corrupt, s.journal_truncated
+        );
+    }
+    if s.journal_write_errors > 0 {
+        eprintln!(
+            "regen: {} journal write error(s): affected cells will re-run on resume",
+            s.journal_write_errors
+        );
+    }
     if let Some(path) = &opts.trace_out {
         eprintln!("regen: trace written to {}", path.display());
     }
     if let Some(path) = &opts.metrics_out {
         eprintln!("regen: metrics written to {}", path.display());
+    }
+    if let Some(path) = &opts.out {
+        eprintln!("regen: artifacts written to {}", path.display());
     }
     let failures = report.failures();
     for (a, e) in &failures {

@@ -16,8 +16,8 @@ use cpu_models::CpuId;
 use spectrebench::experiments as exp;
 use spectrebench::obs::{metrics, trace};
 use spectrebench::{
-    default_jobs, EventBus, Executor, ExperimentError, FaultPlan, Harness, HarnessStats, Journal,
-    RetryPolicy,
+    atomic_write, default_jobs, EventBus, Executor, ExperimentError, FaultPlan, Harness,
+    HarnessStats, Journal, RetryPolicy,
 };
 
 /// Every regenerable artifact.
@@ -277,6 +277,12 @@ pub struct RegenOptions {
     /// Write a Prometheus-style text metrics exposition here after the
     /// sweep.
     pub metrics_out: Option<PathBuf>,
+    /// Write the concatenated artifact renderings here (atomically:
+    /// tmp + fsync + rename) in addition to stdout. This is what the
+    /// crash/resume proof byte-compares against the committed golden
+    /// file — a killed run must leave either the old artifact or the
+    /// complete new one, never a torn hybrid.
+    pub out: Option<PathBuf>,
     /// Record events on this bus instead of a fresh one. Tests pass a
     /// bus over a virtual clock; when `None`, a bus is created only if
     /// `trace_out` or `metrics_out` asks for one.
@@ -331,9 +337,13 @@ impl RegenReport {
             .collect()
     }
 
-    /// Whether the sweep was fully clean (no failures, no degradation).
+    /// Whether the sweep was fully clean: no failures, no degradation,
+    /// and every journal append reached the OS (a sweep whose resume
+    /// state silently rotted is not clean even if every table printed).
     pub fn is_clean(&self) -> bool {
-        self.failures().is_empty() && self.degraded().is_empty()
+        self.failures().is_empty()
+            && self.degraded().is_empty()
+            && self.stats.journal_write_errors == 0
     }
 }
 
@@ -397,13 +407,17 @@ pub fn run_regen(opts: &RegenOptions) -> std::io::Result<RegenReport> {
     if let Some(bus) = &obs {
         let events = bus.snapshot();
         if let Some(path) = &opts.trace_out {
-            std::fs::write(path, trace::chrome_trace_json(&events))?;
+            atomic_write(path, trace::chrome_trace_json(&events).as_bytes())?;
         }
         if let Some(path) = &opts.metrics_out {
-            std::fs::write(path, metrics::prometheus_text(&events, &stats))?;
+            atomic_write(path, metrics::prometheus_text(&events, &stats).as_bytes())?;
         }
     }
-    Ok(RegenReport { results, stats, obs })
+    let report = RegenReport { results, stats, obs };
+    if let Some(path) = &opts.out {
+        atomic_write(path, render_report(&report).as_bytes())?;
+    }
+    Ok(report)
 }
 
 #[cfg(test)]

@@ -119,17 +119,28 @@ pub fn lattice_cells(
     workload: impl Fn(&BootParams) -> f64 + Send + Sync + 'static,
 ) -> Vec<CellSpec> {
     let w = Arc::new(workload);
-    successive_disable_cmdlines(toggles)
+    let cmdlines = successive_disable_cmdlines(toggles);
+    let last = cmdlines.len() - 1;
+    cmdlines
         .into_iter()
-        .map(|cmd| {
+        .enumerate()
+        .map(|(i, cmd)| {
             let cell_ctx = RunContext {
                 config: if cmd.is_empty() { "default".to_string() } else { cmd.clone() },
                 ..ctx.clone()
             };
             let w = Arc::clone(&w);
-            CellSpec::new(cell_ctx, 0, move |_| {
+            let cell = CellSpec::new(cell_ctx, 0, move |_| {
                 Ok(CellValue::Num(w(&BootParams::parse(&cmd))))
-            })
+            });
+            // The default and mitigations=off cells are the anchors of
+            // every derived slice; [`reduce`] aborts the whole figure if
+            // either fails, so the circuit breaker must not skip them.
+            if i == 0 || i == last {
+                cell.critical()
+            } else {
+                cell
+            }
         })
         .collect()
 }

@@ -20,9 +20,17 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use crate::harness::{lock, Harness, HarnessStats, Journal, RunContext};
+use crate::harness::{lock, ExperimentError, Harness, HarnessStats, Journal, RunContext};
 use crate::obs::{set_current_worker, EventBus, EventKind};
+use crate::persist::WriteDamage;
 use crate::plan::{CellOutcome, CellSource, CellValue, ExperimentPlan};
+
+/// Default consecutive-panic threshold for the per-experiment circuit
+/// breaker: after this many cells in one experiment fail by panicking,
+/// the experiment's remaining fresh cells are degraded immediately
+/// (bridged with `†` by the drivers) instead of burning retry budgets
+/// on a closure that is evidently broken.
+pub const DEFAULT_PANIC_BREAKER: u32 = 3;
 
 /// Resolves the default worker count: the `REGEN_JOBS` environment
 /// variable if set to a positive integer, else the machine's available
@@ -48,6 +56,10 @@ pub struct Executor {
     journal: Option<Journal>,
     cache: Mutex<HashMap<(String, u64), CellValue>>,
     obs: Option<Arc<EventBus>>,
+    /// Consecutive panic-failed cells per experiment; the breaker is
+    /// open once a streak reaches `panic_breaker`.
+    panic_streaks: Mutex<HashMap<String, u32>>,
+    panic_breaker: u32,
 }
 
 impl Default for Executor {
@@ -67,6 +79,8 @@ impl Executor {
             journal: None,
             cache: Mutex::new(HashMap::new()),
             obs,
+            panic_streaks: Mutex::new(HashMap::new()),
+            panic_breaker: DEFAULT_PANIC_BREAKER,
         }
     }
 
@@ -76,9 +90,19 @@ impl Executor {
         self
     }
 
+    /// Builder: set the per-experiment consecutive-panic threshold
+    /// (clamped to at least 1) after which remaining cells degrade
+    /// without being attempted.
+    pub fn with_panic_breaker(mut self, threshold: u32) -> Executor {
+        self.panic_breaker = threshold.max(1);
+        self
+    }
+
     /// Builder: journal completed cells to (and replay them from)
-    /// `journal`.
+    /// `journal`. The journal's open-time line classification is folded
+    /// into the sweep counters so skipped damage is never silent.
     pub fn with_journal(mut self, journal: Journal) -> Executor {
+        self.harness.note_journal_scan(journal.scan());
         self.journal = Some(journal);
         self
     }
@@ -115,6 +139,34 @@ impl Executor {
     /// The underlying harness (watchdog budgets, fault plan, retry).
     pub fn harness(&self) -> &Harness {
         &self.harness
+    }
+
+    /// True once `experiment` has accumulated `panic_breaker`
+    /// consecutive panic-failed cells.
+    fn breaker_is_open(&self, experiment: &str) -> bool {
+        lock(&self.panic_streaks).get(experiment).is_some_and(|&s| s >= self.panic_breaker)
+    }
+
+    /// Updates the per-experiment consecutive-panic streak after a
+    /// fresh cell ran: panics extend the streak (emitting
+    /// [`EventKind::BreakerTripped`] the moment it crosses the
+    /// threshold), anything else resets it.
+    fn update_breaker(&self, ctx: &RunContext, value: &Result<CellValue, ExperimentError>) {
+        let panicked = matches!(value, Err(e) if e.is_panic());
+        let tripped = {
+            let mut streaks = lock(&self.panic_streaks);
+            let streak = streaks.entry(ctx.experiment.clone()).or_insert(0);
+            if panicked {
+                *streak += 1;
+                *streak == self.panic_breaker
+            } else {
+                *streak = 0;
+                false
+            }
+        };
+        if tripped {
+            self.emit_cell(ctx, EventKind::BreakerTripped);
+        }
     }
 
     /// Worker-pool size.
@@ -196,11 +248,57 @@ impl Executor {
                 };
                 let cell = &plan.cells[i];
                 self.emit_cell(&cell.ctx, EventKind::CellStarted);
-                let (value, retries) = self.harness.run_value(&cell.ctx, |a| cell.compute(a));
+                let (value, retries) = if !cell.critical
+                    && self.breaker_is_open(&cell.ctx.experiment)
+                {
+                    // Panic circuit breaker: this experiment's closures
+                    // are evidently broken; degrade the cell (drivers
+                    // bridge it with `†`) instead of burning retries on
+                    // another panic. Critical cells (lattice anchors) are
+                    // exempt: skipping one aborts the artifact outright,
+                    // which the breaker exists to avoid.
+                    self.harness.note_breaker_skipped();
+                    self.emit_cell(&cell.ctx, EventKind::BreakerSkipped);
+                    (
+                        Err(ExperimentError::Panicked {
+                            ctx: cell.ctx.clone(),
+                            message: format!(
+                                "circuit breaker open after {} consecutive panics in {}",
+                                self.panic_breaker, cell.ctx.experiment
+                            ),
+                        }),
+                        0,
+                    )
+                } else {
+                    let (value, retries) =
+                        self.harness.run_value(&cell.ctx, |a| cell.compute(a));
+                    self.update_breaker(&cell.ctx, &value);
+                    (value, retries)
+                };
                 if let Ok(v) = &value {
                     let key = cell.cache_key();
                     if let Some(j) = &self.journal {
-                        j.record(&key.0, key.1, v);
+                        let damage = match self.harness.plan.inject_io(&cell.ctx.cell_key()) {
+                            Some(fault) => {
+                                self.harness.note_fault_injected();
+                                self.emit_cell(&cell.ctx, EventKind::FaultInjected { fault });
+                                match fault {
+                                    crate::faultplan::FaultKind::TornWrite => {
+                                        Some(WriteDamage::Torn)
+                                    }
+                                    _ => Some(WriteDamage::BitFlip),
+                                }
+                            }
+                            None => None,
+                        };
+                        if let Err(e) = j.record_damaged(&key.0, key.1, v, damage) {
+                            self.harness.note_journal_write_error();
+                            self.emit_cell(&cell.ctx, EventKind::JournalWriteError);
+                            eprintln!(
+                                "warning: journal write failed ({e}); cell {} will re-run on resume",
+                                cell.ctx.cell_key()
+                            );
+                        }
                     }
                     lock(&self.cache).insert(key, v.clone());
                 }
@@ -247,6 +345,18 @@ impl Executor {
                         source: CellSource::Cache,
                     });
                 }
+            }
+        }
+
+        // Plan-boundary durability point: everything this plan appended
+        // to the journal reaches the disk before the outcomes are handed
+        // to the reduce step, so a crash between plans never loses a
+        // completed experiment.
+        if let Some(j) = &self.journal {
+            if let Err(e) = j.sync() {
+                self.harness.note_journal_write_error();
+                self.emit_plan(&plan.experiment, EventKind::JournalWriteError);
+                eprintln!("warning: journal fsync failed at plan boundary ({e})");
             }
         }
 
@@ -356,6 +466,112 @@ mod tests {
         let out2 = exec.execute(&p);
         assert!(out2[0].value.is_err());
         assert_eq!(out2[1].source, CellSource::Cache);
+    }
+
+    #[test]
+    fn breaker_degrades_after_consecutive_panics() {
+        // Every cell in the experiment panics permanently; with a
+        // breaker of 2 and serial execution, cells 0 and 1 burn their
+        // retry budgets panicking, and cells 2..5 are degraded unrun.
+        let plan_fault = FaultPlan::new().fail_cell("exp-p/", FaultKind::PanicFault, None);
+        let exec = Executor::new(
+            Harness::new().with_retry(RetryPolicy::immediate(2)).with_plan(plan_fault),
+        )
+        .with_jobs(1)
+        .with_panic_breaker(2);
+        let mut p = ExperimentPlan::new("exp-p");
+        for k in 0..5 {
+            p.push(num_cell("exp-p", &format!("c{k}"), k as f64));
+        }
+        let out = exec.execute(&p);
+        assert!(out.iter().all(|o| o.value.is_err()), "every cell fails, none aborts");
+        assert!(
+            out.iter().all(|o| matches!(&o.value, Err(e) if e.is_panic())),
+            "all failures are typed panics"
+        );
+        let s = exec.stats();
+        assert_eq!(s.breaker_skipped, 3, "cells after the trip are degraded unrun");
+        assert_eq!(s.panics_caught, 4, "2 cells x 2 attempts each");
+        assert_eq!(s.cells_failed, 5, "skipped cells still count as failed");
+    }
+
+    #[test]
+    fn breaker_streak_resets_on_success() {
+        // One panicking cell between successes never trips a breaker of
+        // 2: the streak resets.
+        let plan_fault = FaultPlan::new().fail_cell("[c1]", FaultKind::PanicFault, None);
+        let exec = Executor::new(
+            Harness::new().with_retry(RetryPolicy::immediate(1)).with_plan(plan_fault),
+        )
+        .with_jobs(1)
+        .with_panic_breaker(2);
+        let mut p = ExperimentPlan::new("exp-r");
+        for k in 0..4 {
+            p.push(num_cell("exp-r", &format!("c{k}"), k as f64));
+        }
+        let out = exec.execute(&p);
+        assert!(out[1].value.is_err());
+        assert!(out[0].value.is_ok() && out[2].value.is_ok() && out[3].value.is_ok());
+        assert_eq!(exec.stats().breaker_skipped, 0, "breaker never opened");
+    }
+
+    #[test]
+    fn critical_cells_run_even_when_the_breaker_is_open() {
+        // Two permanently panicking cells trip a breaker of 2. The
+        // clean bulk cell scheduled after the trip is degraded unrun,
+        // but the critical cell (a lattice anchor) must still be
+        // attempted — and succeeds.
+        let plan_fault = FaultPlan::new().fail_cell("/[p", FaultKind::PanicFault, None);
+        let exec = Executor::new(
+            Harness::new().with_retry(RetryPolicy::immediate(1)).with_plan(plan_fault),
+        )
+        .with_jobs(1)
+        .with_panic_breaker(2);
+        let mut p = ExperimentPlan::new("exp-k");
+        p.push(num_cell("exp-k", "p0", 0.0));
+        p.push(num_cell("exp-k", "p1", 1.0));
+        p.push(num_cell("exp-k", "bulk", 2.0));
+        p.push(num_cell("exp-k", "anchor", 3.0).critical());
+        let out = exec.execute(&p);
+        assert!(out[0].value.is_err() && out[1].value.is_err(), "injected panics fail");
+        assert!(
+            matches!(&out[2].value, Err(e) if e.is_panic()),
+            "bulk cell degraded unrun by the open breaker"
+        );
+        assert_eq!(
+            out[3].value.as_ref().ok(),
+            Some(&CellValue::Num(3.0)),
+            "critical cell ran to completion despite the open breaker"
+        );
+        assert_eq!(exec.stats().breaker_skipped, 1, "only the bulk cell was skipped");
+    }
+
+    #[test]
+    fn io_faults_damage_the_journal_not_the_sweep() {
+        let dir = std::env::temp_dir().join(format!("sb-exec-io-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("io.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let plan_fault =
+                FaultPlan::new().fail_cell("[flip]", FaultKind::JournalCorrupt, Some(1));
+            let exec = Executor::new(Harness::new().with_plan(plan_fault))
+                .with_jobs(1)
+                .with_journal(Journal::open(&path).unwrap());
+            let mut p = ExperimentPlan::new("io");
+            p.push(num_cell("io", "flip", 1.0));
+            p.push(num_cell("io", "fine", 2.0));
+            let out = exec.execute(&p);
+            assert!(out.iter().all(|o| o.value.is_ok()), "io faults never fail the cell");
+            assert_eq!(exec.stats().faults_injected, 1);
+        }
+        // Resume: the damaged line is counted corrupt and skipped; the
+        // clean line replays.
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.scan().corrupt, 1, "bit-flipped line detected by checksum");
+        assert!(j.lookup("TestCpu/synthetic/[flip]", 0).is_none());
+        assert!(j.lookup("TestCpu/synthetic/[fine]", 0).is_some());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

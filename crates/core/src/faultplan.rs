@@ -24,6 +24,16 @@ pub enum FaultKind {
     /// The run completes but its samples are garbage (models a corrupt
     /// result file); the statistics layer must detect and reject them.
     CorruptSample,
+    /// The cell's compute closure panics (models a bug in a driver);
+    /// the harness must catch the unwind and degrade, never abort.
+    PanicFault,
+    /// The journal append for this cell is torn mid-write (models a
+    /// crash or full disk during an append); resume must re-run the
+    /// cell and fsck must classify the tail.
+    TornWrite,
+    /// The journal line for this cell reaches disk with a flipped byte
+    /// (models silent media corruption); the v2 checksum must catch it.
+    JournalCorrupt,
 }
 
 impl FaultKind {
@@ -33,6 +43,9 @@ impl FaultKind {
             FaultKind::SimFault => "sim",
             FaultKind::Timeout => "timeout",
             FaultKind::CorruptSample => "corrupt",
+            FaultKind::PanicFault => "panic",
+            FaultKind::TornWrite => "torn-write",
+            FaultKind::JournalCorrupt => "journal-corrupt",
         }
     }
 
@@ -42,8 +55,18 @@ impl FaultKind {
             "sim" => Some(FaultKind::SimFault),
             "timeout" => Some(FaultKind::Timeout),
             "corrupt" => Some(FaultKind::CorruptSample),
+            "panic" => Some(FaultKind::PanicFault),
+            "torn-write" => Some(FaultKind::TornWrite),
+            "journal-corrupt" => Some(FaultKind::JournalCorrupt),
             _ => None,
         }
+    }
+
+    /// True for I/O-layer kinds, which fire when a completed cell is
+    /// journaled ([`FaultPlan::inject_io`]) rather than during compute
+    /// attempts ([`FaultPlan::inject`]).
+    pub fn is_io(self) -> bool {
+        matches!(self, FaultKind::TornWrite | FaultKind::JournalCorrupt)
     }
 }
 
@@ -205,10 +228,37 @@ impl FaultPlan {
 
     /// Decides whether attempt `attempt` of the cell named `cell_key`
     /// fails, and how. Deterministic given the plan's history: calling
-    /// in the same order always yields the same injections.
+    /// in the same order always yields the same injections. I/O-layer
+    /// rules ([`FaultKind::is_io`]) are never delivered here — they
+    /// fire from [`FaultPlan::inject_io`] when the cell is journaled.
     pub fn inject(&self, cell_key: &str, attempt: u32) -> Option<FaultKind> {
+        if let Some(kind) = self.match_rules(cell_key, |k| !k.is_io()) {
+            return Some(kind);
+        }
+        if self.probability > 0.0 && unit_hash(self.seed, cell_key, attempt) < self.probability {
+            // Background faults rotate through the compute kinds
+            // deterministically.
+            let kinds = [FaultKind::SimFault, FaultKind::Timeout, FaultKind::CorruptSample];
+            let pick = (mix(self.seed ^ 0xC0FF_EE00, cell_key, attempt) % 3) as usize;
+            return Some(kinds[pick]);
+        }
+        None
+    }
+
+    /// Decides whether journaling the completed cell named `cell_key`
+    /// suffers an injected I/O fault. Same delivery accounting as
+    /// [`FaultPlan::inject`] (a `times = Some(k)` rule damages the
+    /// first `k` appends for each matching cell), but consulted on the
+    /// write path, so compute rules never fire here and vice versa.
+    pub fn inject_io(&self, cell_key: &str) -> Option<FaultKind> {
+        self.match_rules(cell_key, |k| k.is_io())
+    }
+
+    /// Shared targeted-rule matcher; `eligible` selects which rule
+    /// kinds this call site may deliver.
+    fn match_rules(&self, cell_key: &str, eligible: impl Fn(FaultKind) -> bool) -> Option<FaultKind> {
         for (i, rule) in self.rules.iter().enumerate() {
-            if !cell_key.contains(rule.cell_substr.as_str()) {
+            if !eligible(rule.kind) || !cell_key.contains(rule.cell_substr.as_str()) {
                 continue;
             }
             match rule.times {
@@ -223,12 +273,6 @@ impl FaultPlan {
                     }
                 }
             }
-        }
-        if self.probability > 0.0 && unit_hash(self.seed, cell_key, attempt) < self.probability {
-            // Background faults rotate through the kinds deterministically.
-            let kinds = [FaultKind::SimFault, FaultKind::Timeout, FaultKind::CorruptSample];
-            let pick = (mix(self.seed ^ 0xC0FF_EE00, cell_key, attempt) % 3) as usize;
-            return Some(kinds[pick]);
         }
         None
     }
@@ -298,6 +342,33 @@ mod tests {
             .filter(|i| p.inject(&format!("cell-{i}"), 0).is_some())
             .count();
         assert!((150..350).contains(&hits), "rate {hits}/1000");
+    }
+
+    #[test]
+    fn io_kinds_fire_on_the_write_path_only() {
+        let p = FaultPlan::new()
+            .fail_cell("[torn]", FaultKind::TornWrite, Some(1))
+            .fail_cell("[torn]", FaultKind::PanicFault, Some(1));
+        let key = "f/cpu/w/[torn]";
+        // Compute-path injection skips the io rule and delivers the
+        // panic; write-path injection skips the panic and delivers the
+        // torn write. Each keeps its own delivery count.
+        assert_eq!(p.inject(key, 0), Some(FaultKind::PanicFault));
+        assert_eq!(p.inject(key, 1), None);
+        assert_eq!(p.inject_io(key), Some(FaultKind::TornWrite));
+        assert_eq!(p.inject_io(key), None, "times=1 exhausted");
+        // Cells not matching the substring are untouched.
+        assert_eq!(p.inject_io("f/cpu/w/[clean]"), None);
+    }
+
+    #[test]
+    fn io_kind_names_parse() {
+        assert_eq!(FaultKind::parse("panic"), Some(FaultKind::PanicFault));
+        assert_eq!(FaultKind::parse("torn-write"), Some(FaultKind::TornWrite));
+        assert_eq!(FaultKind::parse("journal-corrupt"), Some(FaultKind::JournalCorrupt));
+        assert!(FaultKind::PanicFault.name() == "panic");
+        assert!(!FaultKind::PanicFault.is_io());
+        assert!(FaultKind::TornWrite.is_io() && FaultKind::JournalCorrupt.is_io());
     }
 
     #[test]

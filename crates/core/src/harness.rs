@@ -27,7 +27,8 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, Write as _};
+use std::io::{BufWriter, Write as _};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -36,6 +37,7 @@ use uarch::SimError;
 
 use crate::faultplan::{FaultKind, FaultPlan};
 use crate::obs::{EventBus, EventKind};
+use crate::persist::{atomic_write, crc32, WriteDamage};
 use crate::plan::CellValue;
 use crate::stats::Measurement;
 
@@ -120,6 +122,11 @@ pub enum ExperimentError {
     DegenerateStatistics { ctx: RunContext, detail: String },
     /// An attribution lattice needs at least `needed` configs.
     InsufficientConfigs { ctx: RunContext, needed: usize, got: usize },
+    /// The cell's compute closure panicked; the unwind was caught at the
+    /// harness boundary so one buggy cell can never abort the sweep.
+    /// Also produced (with a `circuit breaker` message) for cells
+    /// short-circuited by an open per-experiment panic breaker.
+    Panicked { ctx: RunContext, message: String },
     /// A cell kept failing after exhausting the retry budget; `last` is
     /// the error from the final attempt.
     CellFailed { ctx: RunContext, attempts: u32, last: Box<ExperimentError> },
@@ -148,6 +155,7 @@ impl ExperimentError {
             | ExperimentError::VerifierRejected { ctx, .. }
             | ExperimentError::DegenerateStatistics { ctx, .. }
             | ExperimentError::InsufficientConfigs { ctx, .. }
+            | ExperimentError::Panicked { ctx, .. }
             | ExperimentError::CellFailed { ctx, .. } => ctx,
         }
     }
@@ -159,6 +167,17 @@ impl ExperimentError {
                 matches!(source, SimError::InstructionBudgetExhausted)
             }
             ExperimentError::CellFailed { last, .. } => last.is_budget_exhausted(),
+            _ => false,
+        }
+    }
+
+    /// True if the root cause is a caught panic (directly, or as the
+    /// final error of an exhausted retry loop) — what the executor's
+    /// per-experiment circuit breaker counts.
+    pub fn is_panic(&self) -> bool {
+        match self {
+            ExperimentError::Panicked { .. } => true,
+            ExperimentError::CellFailed { last, .. } => last.is_panic(),
             _ => false,
         }
     }
@@ -179,6 +198,9 @@ impl fmt::Display for ExperimentError {
             }
             ExperimentError::InsufficientConfigs { ctx, needed, got } => {
                 write!(f, "[{ctx}] need at least {needed} configs, got {got}")
+            }
+            ExperimentError::Panicked { ctx, message } => {
+                write!(f, "[{ctx}] compute closure panicked: {message}")
             }
             ExperimentError::CellFailed { ctx, attempts, last } => {
                 write!(f, "[{ctx}] cell failed after {attempts} attempts; last error: {last}")
@@ -269,6 +291,24 @@ pub struct HarnessStats {
     pub faults_injected: u64,
     /// Cells that failed permanently (retry budget exhausted).
     pub cells_failed: u64,
+    /// Panics caught at the harness boundary (one per panicking
+    /// attempt, not per cell).
+    pub panics_caught: u64,
+    /// Cells short-circuited by an open per-experiment panic breaker
+    /// (degraded without burning retry attempts).
+    pub breaker_skipped: u64,
+    /// Journal appends (or flushes/fsyncs) that failed; nonzero makes
+    /// the sweep not clean, because resumability was silently lost.
+    pub journal_write_errors: u64,
+    /// Journal lines skipped on open because they predate the
+    /// seed-aware format (stale: replaying them would be wrong).
+    pub journal_stale: u64,
+    /// Journal lines rejected on open because their checksum or
+    /// structure was wrong mid-file (corruption, never replayed).
+    pub journal_corrupt: u64,
+    /// Incomplete final journal lines skipped on open (the torn tail of
+    /// a crashed writer; expected after a kill, not an error).
+    pub journal_truncated: u64,
     /// Cumulative wall time spent inside fresh-cell attempt loops,
     /// summed across workers (so it can exceed the sweep's elapsed
     /// time when `--jobs > 1`).
@@ -289,6 +329,14 @@ impl HarnessStats {
             retries: self.retries.wrapping_sub(earlier.retries),
             faults_injected: self.faults_injected.wrapping_sub(earlier.faults_injected),
             cells_failed: self.cells_failed.wrapping_sub(earlier.cells_failed),
+            panics_caught: self.panics_caught.wrapping_sub(earlier.panics_caught),
+            breaker_skipped: self.breaker_skipped.wrapping_sub(earlier.breaker_skipped),
+            journal_write_errors: self
+                .journal_write_errors
+                .wrapping_sub(earlier.journal_write_errors),
+            journal_stale: self.journal_stale.wrapping_sub(earlier.journal_stale),
+            journal_corrupt: self.journal_corrupt.wrapping_sub(earlier.journal_corrupt),
+            journal_truncated: self.journal_truncated.wrapping_sub(earlier.journal_truncated),
             sim_time: self.sim_time.saturating_sub(earlier.sim_time),
             plan_time: self.plan_time.saturating_sub(earlier.plan_time),
         }
@@ -389,6 +437,35 @@ impl Harness {
     /// Adds one `Executor::execute` span to the plan-time total.
     pub(crate) fn note_plan_time(&self, d: Duration) {
         lock(&self.stats).plan_time += d;
+    }
+
+    /// Counts a failed journal append/flush/fsync (the executor also
+    /// emits the matching event with its cell context).
+    pub(crate) fn note_journal_write_error(&self) {
+        lock(&self.stats).journal_write_errors += 1;
+    }
+
+    /// Counts a fault delivered outside the attempt loop (the I/O-layer
+    /// kinds, injected by the executor on the journal write path).
+    pub(crate) fn note_fault_injected(&self) {
+        lock(&self.stats).faults_injected += 1;
+    }
+
+    /// Counts a cell degraded by an open panic circuit breaker.
+    pub(crate) fn note_breaker_skipped(&self) {
+        let mut stats = lock(&self.stats);
+        stats.breaker_skipped += 1;
+        stats.cells_failed += 1;
+    }
+
+    /// Folds a journal's open-time line classification into the sweep
+    /// counters, so fsck-able damage shows up in the end-of-run summary
+    /// and the metrics exposition.
+    pub(crate) fn note_journal_scan(&self, scan: &JournalScan) {
+        let mut stats = lock(&self.stats);
+        stats.journal_stale += scan.stale;
+        stats.journal_corrupt += scan.corrupt;
+        stats.journal_truncated += scan.truncated;
     }
 
     /// Runs one plan cell's compute closure with fault injection,
@@ -493,6 +570,11 @@ impl Harness {
 
     /// The retry loop. On success returns the value together with the
     /// 0-based attempt index that produced it.
+    ///
+    /// Every call into the compute closure runs under `catch_unwind`:
+    /// a panicking cell is mapped to [`ExperimentError::Panicked`] and
+    /// flows through the same retry/degrade path as any other failure,
+    /// so one buggy closure can never abort the whole sweep.
     fn attempt_loop<T>(
         &self,
         ctx: &RunContext,
@@ -500,6 +582,25 @@ impl Harness {
     ) -> Result<(T, u32), ExperimentError> {
         let key = ctx.cell_key();
         let mut last: Option<ExperimentError> = None;
+        let mut guarded = |attempt: u32, force_panic: bool| -> Result<T, ExperimentError> {
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                if force_panic {
+                    panic!("injected panic (fault plan)");
+                }
+                f(attempt)
+            }));
+            match caught {
+                Ok(r) => r,
+                Err(payload) => {
+                    lock(&self.stats).panics_caught += 1;
+                    self.emit(ctx, attempt, EventKind::PanicCaught);
+                    Err(ExperimentError::Panicked {
+                        ctx: ctx.clone(),
+                        message: panic_message(payload.as_ref()),
+                    })
+                }
+            }
+        };
         for attempt in 0..self.retry.max_attempts.max(1) {
             if attempt > 0 {
                 lock(&self.stats).retries += 1;
@@ -531,16 +632,23 @@ impl Harness {
                     // harness's own non-finite guard (or the caller's)
                     // must catch it, proving corrupt data cannot leak
                     // into a table.
-                    f(attempt).and_then(|_| {
+                    guarded(attempt, false).and_then(|_| {
                         Err(ExperimentError::DegenerateStatistics {
                             ctx: ctx.clone(),
                             detail: "injected corrupt sample".to_string(),
                         })
                     })
                 }
+                Some(FaultKind::PanicFault) => guarded(attempt, true),
+                // I/O-layer kinds never reach the compute path (the
+                // fault plan routes them to `inject_io`), but a match
+                // arm keeps the compiler honest if one slips through.
+                Some(FaultKind::TornWrite) | Some(FaultKind::JournalCorrupt) => {
+                    guarded(attempt, false)
+                }
                 None => {
                     let started = Instant::now();
-                    let r = f(attempt);
+                    let r = guarded(attempt, false);
                     if r.is_ok() && started.elapsed() > self.watchdog.wall_deadline {
                         self.emit(ctx, attempt, EventKind::WatchdogFired);
                         Err(ExperimentError::Timeout {
@@ -566,33 +674,178 @@ impl Harness {
     }
 }
 
+/// Converts a caught panic payload into a displayable message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The header line a freshly created v2 journal starts with.
+pub const JOURNAL_HEADER_V2: &str = "#regen-journal v2";
+
+/// How `Journal::open` / `fsck` classified one journal line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LineClass {
+    /// A parseable cell entry (v2 with a matching checksum, or a legacy
+    /// v1 line carrying seed and kind).
+    Valid(String, u64, CellValue),
+    /// The format header (`#regen-journal v2`).
+    Header,
+    /// A blank line (ignored, not counted).
+    Blank,
+    /// A pre-seed-format line: structurally sound but recorded before
+    /// cells were keyed by seed, so replaying it would be wrong.
+    Stale,
+    /// The incomplete final line of a killed writer (no closing brace /
+    /// short header); expected after a crash, recovered by re-running.
+    TruncatedTail,
+    /// A line whose checksum or structure is wrong anywhere else —
+    /// corruption that fsck quarantines.
+    Corrupt,
+}
+
+/// Per-class line counts from loading a journal file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JournalScan {
+    /// Valid cell entries loaded (later duplicates overwrite earlier
+    /// ones, so this can exceed the entry count).
+    pub valid: u64,
+    /// Stale pre-seed-format lines skipped.
+    pub stale: u64,
+    /// Torn final lines skipped.
+    pub truncated: u64,
+    /// Checksum/structure failures skipped.
+    pub corrupt: u64,
+}
+
+impl JournalScan {
+    /// True if every line was valid (or header/blank).
+    pub fn is_clean(&self) -> bool {
+        self.stale == 0 && self.truncated == 0 && self.corrupt == 0
+    }
+}
+
+/// Encodes one cell entry as a v2 journal line (with trailing newline):
+/// `v2 <crc32-of-payload, 8 hex digits> <payload JSON>`.
+fn encode_v2_line(key: &str, seed: u64, v: &CellValue) -> String {
+    let payload = format!(
+        "{{\"cell\":\"{}\",\"seed\":{},\"kind\":\"{}\",{}}}",
+        escape_json(key),
+        seed,
+        v.kind(),
+        journal_value_fields(v)
+    );
+    format!("v2 {:08x} {}\n", crc32(payload.as_bytes()), payload)
+}
+
+/// Classifies one journal line. `is_last` enables the torn-tail
+/// heuristic: only the final line of a file can be an expected
+/// crash artifact; the same damage mid-file is corruption.
+pub fn classify_line(line: &str, is_last: bool) -> LineClass {
+    let trimmed = line.trim_end_matches('\r');
+    if trimmed.trim().is_empty() {
+        return LineClass::Blank;
+    }
+    if let Some(rest) = trimmed.strip_prefix("#regen-journal ") {
+        if rest.trim() == "v2" {
+            return LineClass::Header;
+        }
+        return LineClass::Corrupt;
+    }
+    if let Some(rest) = trimmed.strip_prefix("v2 ") {
+        // `<crc8hex> <payload>`; anything structurally short on the
+        // final line is a torn write.
+        let (crc_hex, payload) = match rest.split_once(' ') {
+            Some(pair) => pair,
+            None => {
+                return if is_last { LineClass::TruncatedTail } else { LineClass::Corrupt }
+            }
+        };
+        // The writer emits exactly 8 lowercase hex digits; accepting
+        // case-insensitive hex would let a one-bit flip ('a' -> 'A')
+        // produce a different byte that still parses to the same
+        // checksum, breaking the every-single-byte-corruption-detected
+        // property.
+        if crc_hex.len() != 8
+            || !crc_hex.bytes().all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+        {
+            return if is_last { LineClass::TruncatedTail } else { LineClass::Corrupt };
+        }
+        let declared = match u32::from_str_radix(crc_hex, 16) {
+            Ok(c) => c,
+            Err(_) => {
+                return if is_last { LineClass::TruncatedTail } else { LineClass::Corrupt }
+            }
+        };
+        if crc32(payload.as_bytes()) != declared {
+            // A torn tail is a *prefix* of a valid line, so it cannot
+            // end in the closing brace; a bit-flip keeps the brace.
+            return if is_last && !payload.ends_with('}') {
+                LineClass::TruncatedTail
+            } else {
+                LineClass::Corrupt
+            };
+        }
+        return match parse_journal_line(payload) {
+            Some((key, seed, v)) => LineClass::Valid(key, seed, v),
+            None => LineClass::Corrupt,
+        };
+    }
+    if trimmed.starts_with("{\"cell\":\"") {
+        // Legacy v1 line (no checksum). Replay it if it carries seed
+        // and kind; the pre-plan format without them is stale.
+        if let Some((key, seed, v)) = parse_journal_line(trimmed) {
+            return LineClass::Valid(key, seed, v);
+        }
+        if trimmed.ends_with('}') && extract_string_field(trimmed, "cell").is_some() {
+            return LineClass::Stale;
+        }
+        return if is_last { LineClass::TruncatedTail } else { LineClass::Corrupt };
+    }
+    if is_last {
+        LineClass::TruncatedTail
+    } else {
+        LineClass::Corrupt
+    }
+}
+
 /// JSON-lines journal of completed cells, keyed by **content key and
 /// seed**.
 ///
-/// One line per cell. A measurement cell:
+/// Format v2 prefixes every entry with a CRC-32 over its payload and
+/// starts fresh files with a [`JOURNAL_HEADER_V2`] line:
 ///
 /// ```text
-/// {"cell":"Broadwell (...)/lebench/[nopti]","seed":0,"kind":"meas","mean":1.083,"ci95":0.004,"n":12,"retries":1}
+/// #regen-journal v2
+/// v2 91a3c7f0 {"cell":"Broadwell (...)/lebench/[nopti]","seed":0,"kind":"meas","mean":1.083,"ci95":0.004,"n":12,"retries":1}
 /// ```
 ///
-/// and a raw-value cell (`kind` is one of `num`, `nums`, `optnums`,
-/// `ints`, `flags`; `null` marks a not-applicable entry):
+/// Raw-value payloads use `kind` `num`, `nums`, `optnums`, `ints`, or
+/// `flags` with a `"v":[...]` array (`null` marks a not-applicable
+/// entry). Hand-rolled (the workspace carries no serde); the writer
+/// escapes and the reader accepts exactly this shape, tolerating
+/// unknown trailing fields. Legacy v1 lines (bare JSON, no checksum)
+/// still replay; pre-seed-format lines are counted stale and skipped —
+/// a resumed sweep must never reuse a value recorded under different
+/// seeding. Every line is classified on open ([`classify_line`]) and
+/// the per-class counts are kept in [`JournalScan`].
 ///
-/// ```text
-/// {"cell":"Broadwell (...)/verw","seed":0,"kind":"optnums","v":[512]}
-/// ```
-///
-/// Hand-rolled (the workspace carries no serde); the writer escapes and
-/// the reader accepts exactly this shape, tolerating unknown trailing
-/// fields and skipping malformed lines. Lines without a `seed` and
-/// `kind` (the pre-plan journal format) are skipped as stale rather
-/// than replayed — a resumed sweep must never reuse a value recorded
-/// under different seeding.
+/// Durability: appends go through a buffered writer that is flushed
+/// after every cell ([`Journal::record`]) and fsynced at plan
+/// boundaries ([`Journal::sync`]), bounding loss after SIGKILL to the
+/// cells of the current plan and after power loss to the current plan's
+/// flush window.
 #[derive(Debug, Default)]
 pub struct Journal {
     path: Option<PathBuf>,
     entries: Mutex<HashMap<(String, u64), CellValue>>,
-    file: Mutex<Option<File>>,
+    file: Mutex<Option<BufWriter<File>>>,
+    scan: JournalScan,
 }
 
 impl Journal {
@@ -602,32 +855,70 @@ impl Journal {
     }
 
     /// Opens (or creates) a journal file, loading any completed cells
-    /// already recorded in it.
+    /// already recorded in it and classifying every line as valid /
+    /// stale / truncated-tail / corrupt. When anything other than valid
+    /// lines is found, a one-line warning naming the path and counts is
+    /// printed — a resumed sweep must never silently drop work.
     pub fn open(path: &Path) -> std::io::Result<Journal> {
         let mut entries = HashMap::new();
-        match File::open(path) {
-            Ok(f) => {
-                for line in BufReader::new(f).lines() {
-                    let line = line?;
-                    if let Some((key, seed, v)) = parse_journal_line(&line) {
-                        entries.insert((key, seed), v);
+        let mut scan = JournalScan::default();
+        let mut had_content = false;
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                had_content = !text.is_empty();
+                // A file ending exactly at a newline has no torn tail.
+                let complete_tail = text.ends_with('\n');
+                let lines: Vec<&str> = text.lines().collect();
+                let n = lines.len();
+                for (i, line) in lines.iter().enumerate() {
+                    let is_last = i + 1 == n && !complete_tail;
+                    match classify_line(line, is_last) {
+                        LineClass::Valid(key, seed, v) => {
+                            scan.valid += 1;
+                            entries.insert((key, seed), v);
+                        }
+                        LineClass::Stale => scan.stale += 1,
+                        LineClass::TruncatedTail => scan.truncated += 1,
+                        LineClass::Corrupt => scan.corrupt += 1,
+                        LineClass::Header | LineClass::Blank => {}
                     }
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
             Err(e) => return Err(e),
         }
-        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        if !scan.is_clean() {
+            eprintln!(
+                "warning: journal {}: skipped {} stale, {} corrupt, {} truncated line(s); \
+                 affected cells will re-run (run `regen fsck` to quarantine and compact)",
+                path.display(),
+                scan.stale,
+                scan.corrupt,
+                scan.truncated
+            );
+        }
+        let mut file = BufWriter::new(OpenOptions::new().create(true).append(true).open(path)?);
+        if !had_content {
+            file.write_all(JOURNAL_HEADER_V2.as_bytes())?;
+            file.write_all(b"\n")?;
+            file.flush()?;
+        }
         Ok(Journal {
             path: Some(path.to_path_buf()),
             entries: Mutex::new(entries),
             file: Mutex::new(Some(file)),
+            scan,
         })
     }
 
     /// Where this journal persists, if anywhere.
     pub fn path(&self) -> Option<&Path> {
         self.path.as_deref()
+    }
+
+    /// The per-class line counts from open time.
+    pub fn scan(&self) -> &JournalScan {
+        &self.scan
     }
 
     /// Number of completed cells on record.
@@ -647,24 +938,143 @@ impl Journal {
         lock(&self.entries).get(&(key.to_string(), seed)).cloned()
     }
 
-    /// Records a completed cell (and appends it to the backing file, if
-    /// any; write errors are reported to stderr rather than aborting the
-    /// sweep — losing a journal line only costs a re-measurement).
-    pub fn record(&self, key: &str, seed: u64, v: &CellValue) {
+    /// Records a completed cell: inserts it in memory, appends a v2
+    /// line to the backing file (if any), and flushes so a subsequent
+    /// SIGKILL cannot lose it from the OS's point of view. The caller
+    /// (the executor) counts and reports failures; losing a journal
+    /// line only costs a re-measurement, never the sweep.
+    pub fn record(&self, key: &str, seed: u64, v: &CellValue) -> std::io::Result<()> {
+        self.record_damaged(key, seed, v, None)
+    }
+
+    /// [`Journal::record`] with an optional injected I/O fault applied
+    /// to the bytes that reach disk. The in-memory entry is stored
+    /// intact either way — only durability is damaged, exactly like a
+    /// real torn write.
+    pub fn record_damaged(
+        &self,
+        key: &str,
+        seed: u64,
+        v: &CellValue,
+        damage: Option<WriteDamage>,
+    ) -> std::io::Result<()> {
         lock(&self.entries).insert((key.to_string(), seed), v.clone());
         if let Some(file) = lock(&self.file).as_mut() {
-            let line = format!(
-                "{{\"cell\":\"{}\",\"seed\":{},\"kind\":\"{}\",{}}}\n",
-                escape_json(key),
-                seed,
-                v.kind(),
-                journal_value_fields(v)
-            );
-            if let Err(e) = file.write_all(line.as_bytes()) {
-                eprintln!("warning: journal write failed ({e}); cell {key} will re-run on resume");
+            let line = encode_v2_line(key, seed, v);
+            match damage {
+                None => file.write_all(line.as_bytes())?,
+                Some(d) => file.write_all(&d.apply(&line))?,
             }
+            file.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Fsyncs the backing file — called by the executor at plan
+    /// boundaries so a power loss cannot roll back past the last
+    /// completed plan.
+    pub fn sync(&self) -> std::io::Result<()> {
+        if let Some(file) = lock(&self.file).as_mut() {
+            file.flush()?;
+            file.get_ref().sync_data()?;
+        }
+        Ok(())
+    }
+}
+
+/// The verdict of [`fsck_journal`] on one journal file.
+#[derive(Debug, Clone, Default)]
+pub struct FsckReport {
+    /// Per-class line counts over the whole file.
+    pub scan: JournalScan,
+    /// Distinct (cell, seed) entries surviving compaction.
+    pub entries: u64,
+    /// Where quarantined (corrupt + truncated) raw lines were written,
+    /// when there were any.
+    pub quarantine: Option<PathBuf>,
+}
+
+impl FsckReport {
+    /// Exit-code severity: 0 = every line valid; 1 = recoverable crash
+    /// artifacts only (stale / torn tail); 2 = checksum or structural
+    /// corruption found.
+    pub fn severity(&self) -> u8 {
+        if self.scan.corrupt > 0 {
+            2
+        } else if self.scan.stale > 0 || self.scan.truncated > 0 {
+            1
+        } else {
+            0
         }
     }
+}
+
+/// Verifies and repairs a journal file:
+///
+/// 1. classifies every line ([`classify_line`]);
+/// 2. writes corrupt and truncated raw lines to `<journal>.quarantine`
+///    (appending, so repeated fsck runs keep earlier evidence);
+/// 3. atomically rewrites the journal compacted — header plus one v2
+///    line per surviving (cell, seed) entry, legacy v1 lines upgraded.
+///
+/// The rewrite goes through [`atomic_write`], so a crash mid-fsck
+/// leaves the original journal untouched.
+pub fn fsck_journal(path: &Path) -> std::io::Result<FsckReport> {
+    let text = std::fs::read_to_string(path)?;
+    let complete_tail = text.ends_with('\n');
+    let lines: Vec<&str> = text.lines().collect();
+    let n = lines.len();
+    let mut scan = JournalScan::default();
+    let mut entries: Vec<((String, u64), CellValue)> = Vec::new();
+    let mut seen: HashMap<(String, u64), usize> = HashMap::new();
+    let mut bad_lines = String::new();
+    for (i, line) in lines.iter().enumerate() {
+        let is_last = i + 1 == n && !complete_tail;
+        match classify_line(line, is_last) {
+            LineClass::Valid(key, seed, v) => {
+                scan.valid += 1;
+                let k = (key, seed);
+                match seen.get(&k) {
+                    // A later duplicate wins, matching Journal::open.
+                    Some(&at) => entries[at].1 = v,
+                    None => {
+                        seen.insert(k.clone(), entries.len());
+                        entries.push((k, v));
+                    }
+                }
+            }
+            LineClass::Stale => scan.stale += 1,
+            LineClass::TruncatedTail => {
+                scan.truncated += 1;
+                bad_lines.push_str(line);
+                bad_lines.push('\n');
+            }
+            LineClass::Corrupt => {
+                scan.corrupt += 1;
+                bad_lines.push_str(line);
+                bad_lines.push('\n');
+            }
+            LineClass::Header | LineClass::Blank => {}
+        }
+    }
+
+    let mut quarantine = None;
+    if !bad_lines.is_empty() {
+        let qpath = PathBuf::from(format!("{}.quarantine", path.display()));
+        let mut q = OpenOptions::new().create(true).append(true).open(&qpath)?;
+        q.write_all(bad_lines.as_bytes())?;
+        q.sync_all()?;
+        quarantine = Some(qpath);
+    }
+
+    let mut compacted = String::from(JOURNAL_HEADER_V2);
+    compacted.push('\n');
+    for ((key, seed), v) in &entries {
+        compacted.push_str(&encode_v2_line(key, *seed, v));
+    }
+    atomic_write(path, compacted.as_bytes())?;
+
+    Ok(FsckReport { scan, entries: entries.len() as u64, quarantine })
 }
 
 /// Serializes a cell value's payload fields (everything after `kind`).
@@ -844,7 +1254,7 @@ fn extract_array_tokens(line: &str, name: &str) -> Option<Vec<String>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::faultplan::FaultKind;
+    use crate::faultplan::{FaultKind, FaultPlan};
 
     fn ctx() -> RunContext {
         RunContext::new("figure2", "Broadwell", "lebench", "nopti")
@@ -957,7 +1367,7 @@ mod tests {
         {
             let j = Journal::open(&path).unwrap();
             for (k, s, v) in &values {
-                j.record(k, *s, v);
+                j.record(k, *s, v).unwrap();
             }
         }
         let j = Journal::open(&path).unwrap();
@@ -973,7 +1383,7 @@ mod tests {
         // Regression test: resume used to match cells by key alone, so a
         // sweep re-run under different seeding replayed stale values.
         let j = Journal::in_memory();
-        j.record("Broadwell/lebench", 1, &CellValue::Num(10.0));
+        j.record("Broadwell/lebench", 1, &CellValue::Num(10.0)).unwrap();
         assert_eq!(j.lookup("Broadwell/lebench", 2), None, "stale seed is skipped");
         assert_eq!(j.lookup("Broadwell/lebench", 1), Some(CellValue::Num(10.0)));
     }
@@ -997,6 +1407,147 @@ mod tests {
             v,
             CellValue::Measurement(Measurement { mean: 2.5, ci95: 0.1, n: 7, retries: 3 })
         );
+    }
+
+    #[test]
+    fn classify_line_covers_every_class() {
+        let valid = encode_v2_line("a/b", 3, &CellValue::Num(1.5));
+        let valid = valid.trim_end();
+        assert!(matches!(classify_line(valid, false), LineClass::Valid(..)));
+        assert_eq!(classify_line(JOURNAL_HEADER_V2, false), LineClass::Header);
+        assert_eq!(classify_line("", false), LineClass::Blank);
+        assert_eq!(classify_line("   ", false), LineClass::Blank);
+        // Legacy v1 with seed+kind replays; pre-seed v1 is stale.
+        assert!(matches!(
+            classify_line("{\"cell\":\"a/b\",\"seed\":0,\"kind\":\"num\",\"v\":[2]}", false),
+            LineClass::Valid(..)
+        ));
+        assert_eq!(
+            classify_line("{\"cell\":\"a/b\",\"mean\":1.0,\"ci95\":0.1,\"n\":7,\"retries\":0}", false),
+            LineClass::Stale
+        );
+        // A torn prefix of a valid v2 line: tail => truncated, mid-file
+        // => corrupt.
+        let torn = &valid[..valid.len() * 2 / 3];
+        assert_eq!(classify_line(torn, true), LineClass::TruncatedTail);
+        assert_eq!(classify_line(torn, false), LineClass::Corrupt);
+        // A bit-flip keeps the closing brace, so even on the tail it is
+        // corruption, not a crash artifact.
+        let mut flipped = valid.as_bytes().to_vec();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x01;
+        let flipped = String::from_utf8(flipped).unwrap();
+        assert_eq!(classify_line(&flipped, true), LineClass::Corrupt);
+        assert_eq!(classify_line(&flipped, false), LineClass::Corrupt);
+        // A bad header version is corruption.
+        assert_eq!(classify_line("#regen-journal v9", false), LineClass::Corrupt);
+    }
+
+    #[test]
+    fn journal_open_counts_damage_and_skips_it() {
+        let dir = std::env::temp_dir().join(format!("sb-scan-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scan.jsonl");
+        let good = encode_v2_line("a/good", 1, &CellValue::Num(4.0));
+        let other = encode_v2_line("a/other", 1, &CellValue::Num(5.0));
+        let mut text = String::from(JOURNAL_HEADER_V2);
+        text.push('\n');
+        text.push_str(&good);
+        // Mid-file bit-flip: corrupt.
+        let mut flipped = other.trim_end().as_bytes().to_vec();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x01;
+        text.push_str(&String::from_utf8(flipped).unwrap());
+        text.push('\n');
+        // Stale pre-seed v1 line.
+        text.push_str("{\"cell\":\"a/stale\",\"mean\":1.0,\"ci95\":0.1,\"n\":7,\"retries\":0}\n");
+        // Torn tail: prefix of a valid line, no trailing newline.
+        let torn_src = encode_v2_line("a/torn", 1, &CellValue::Num(6.0));
+        text.push_str(&torn_src[..torn_src.len() * 2 / 3]);
+        std::fs::write(&path, &text).unwrap();
+
+        let j = Journal::open(&path).unwrap();
+        let scan = *j.scan();
+        assert_eq!(
+            (scan.valid, scan.stale, scan.corrupt, scan.truncated),
+            (1, 1, 1, 1),
+            "{scan:?}"
+        );
+        assert_eq!(j.lookup("a/good", 1), Some(CellValue::Num(4.0)));
+        assert_eq!(j.lookup("a/other", 1), None, "corrupt line must not replay");
+        assert_eq!(j.lookup("a/torn", 1), None, "torn line must not replay");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fsck_quarantines_damage_and_compacts() {
+        let dir = std::env::temp_dir().join(format!("sb-fsck-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fsck.jsonl");
+
+        // Clean journal => severity 0, no quarantine file.
+        let mut text = String::from(JOURNAL_HEADER_V2);
+        text.push('\n');
+        text.push_str(&encode_v2_line("a/x", 1, &CellValue::Num(1.0)));
+        std::fs::write(&path, &text).unwrap();
+        let report = fsck_journal(&path).unwrap();
+        assert_eq!(report.severity(), 0);
+        assert_eq!(report.entries, 1);
+        assert!(report.quarantine.is_none());
+
+        // Duplicate entries compact to one, later value winning; a
+        // legacy v1 line upgrades to v2.
+        text.push_str(&encode_v2_line("a/x", 1, &CellValue::Num(2.0)));
+        text.push_str("{\"cell\":\"a/v1\",\"seed\":0,\"kind\":\"num\",\"v\":[7]}\n");
+        // Corrupt line => severity 2 + quarantine.
+        let mut flipped = encode_v2_line("a/bad", 1, &CellValue::Num(9.0)).trim_end().as_bytes().to_vec();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x01;
+        text.push_str(&String::from_utf8(flipped).unwrap());
+        text.push('\n');
+        std::fs::write(&path, &text).unwrap();
+        let report = fsck_journal(&path).unwrap();
+        assert_eq!(report.severity(), 2);
+        assert_eq!(report.entries, 2, "a/x compacted + a/v1 upgraded");
+        assert_eq!((report.scan.valid, report.scan.corrupt), (3, 1));
+        let qpath = report.quarantine.unwrap();
+        assert!(std::fs::read_to_string(&qpath).unwrap().contains("a/bad") || !std::fs::read_to_string(&qpath).unwrap().is_empty());
+
+        // The compacted journal is fully valid and replays both cells.
+        let report = fsck_journal(&path).unwrap();
+        assert_eq!(report.severity(), 0);
+        let j = Journal::open(&path).unwrap();
+        assert!(j.scan().is_clean());
+        assert_eq!(j.lookup("a/x", 1), Some(CellValue::Num(2.0)), "later duplicate won");
+        assert_eq!(j.lookup("a/v1", 0), Some(CellValue::Num(7.0)));
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&qpath);
+    }
+
+    #[test]
+    fn panics_are_caught_as_typed_errors() {
+        let h = Harness::new().with_retry(RetryPolicy::immediate(1));
+        let (v, _) = h.run_value(&ctx(), |_| -> Result<CellValue, ExperimentError> {
+            panic!("boom {}", 42)
+        });
+        let err = v.unwrap_err();
+        assert!(err.is_panic(), "{err}");
+        assert!(err.to_string().contains("boom 42"), "{err}");
+        let s = h.stats();
+        assert_eq!(s.panics_caught, 1, "one attempt, one panic");
+        assert_eq!(s.cells_failed, 1);
+    }
+
+    #[test]
+    fn injected_panic_fault_is_caught_and_retried() {
+        let plan = FaultPlan::new().fail_cell("[panics]", FaultKind::PanicFault, Some(1));
+        let h = Harness::new().with_retry(RetryPolicy::immediate(3)).with_plan(plan);
+        let c = RunContext::new("exp", "TestCpu", "w", "panics");
+        let (v, retries) = h.run_value(&c, |_| Ok(CellValue::Num(8.0)));
+        assert_eq!(v.unwrap(), CellValue::Num(8.0), "recovers after the injected panic");
+        assert_eq!(retries, 1);
+        assert_eq!(h.stats().panics_caught, 1);
     }
 
     #[test]

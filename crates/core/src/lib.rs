@@ -29,6 +29,9 @@
 //! * [`obs`] — executor observability: a structured event bus with a
 //!   swappable clock, a Chrome trace-event exporter, and a
 //!   Prometheus-style metrics exposition.
+//! * [`persist`] — crash-safe persistence primitives: CRC32, atomic
+//!   (tmp + fsync + rename) artifact writes, and the torn/bit-flip
+//!   damage shapes the fault plan injects on the journal write path.
 
 // A failed cell must surface as a typed ExperimentError, never a panic:
 // regeneration sweeps have to survive any single cell dying.
@@ -42,18 +45,21 @@ pub mod faultplan;
 pub mod harness;
 pub mod micro;
 pub mod obs;
+pub mod persist;
 pub mod plan;
 pub mod probe;
 pub mod report;
 pub mod stats;
 
 pub use attribution::{attribute, Attribution, Slice, Toggle, OS_TOGGLES};
-pub use executor::{default_jobs, Executor};
+pub use executor::{default_jobs, Executor, DEFAULT_PANIC_BREAKER};
 pub use faultplan::{FaultKind, FaultPlan, FaultRule};
 pub use harness::{
-    ExperimentError, Harness, HarnessStats, Journal, RetryPolicy, RunContext, Watchdog,
+    classify_line, fsck_journal, ExperimentError, FsckReport, Harness, HarnessStats, Journal,
+    JournalScan, LineClass, RetryPolicy, RunContext, Watchdog, JOURNAL_HEADER_V2,
 };
 pub use obs::{Clock, Event, EventBus, EventKind, SystemClock, VirtualClock};
+pub use persist::{atomic_write, crc32, WriteDamage};
 pub use plan::{CellOutcome, CellSource, CellSpec, CellValue, ExperimentPlan};
 pub use probe::{ProbeConfig, ProbeResult};
 pub use stats::{geomean, measure_until, Measurement, NoiseModel, StatsError, StopPolicy};

@@ -88,6 +88,10 @@ pub fn prometheus_text(events: &[Event], stats: &HarnessStats) -> String {
     let mut faults = 0u64;
     let mut watchdogs = 0u64;
     let mut plans = 0u64;
+    let mut panics = 0u64;
+    let mut journal_write_errors = 0u64;
+    let mut breaker_tripped = 0u64;
+    let mut breaker_skipped = 0u64;
 
     // Queue latency: pair each CellQueued with the next CellStarted for
     // the same cell key (FIFO per key; a re-executed plan can queue the
@@ -107,6 +111,10 @@ pub fn prometheus_text(events: &[Event], stats: &HarnessStats) -> String {
             EventKind::Retry => retries += 1,
             EventKind::FaultInjected { .. } => faults += 1,
             EventKind::WatchdogFired => watchdogs += 1,
+            EventKind::PanicCaught => panics += 1,
+            EventKind::JournalWriteError => journal_write_errors += 1,
+            EventKind::BreakerTripped => breaker_tripped += 1,
+            EventKind::BreakerSkipped => breaker_skipped += 1,
             EventKind::CellQueued => {
                 queued.entry(e.cell.as_str()).or_default().push_back(e.ts);
             }
@@ -161,6 +169,39 @@ pub fn prometheus_text(events: &[Event], stats: &HarnessStats) -> String {
     );
     counter(&mut out, "regen_watchdog_fired_total", "Wall-clock watchdog kills.", watchdogs);
     counter(&mut out, "regen_plans_total", "Experiment plans executed.", plans);
+    counter(
+        &mut out,
+        "regen_panics_caught_total",
+        "Compute-closure panics caught at the harness boundary.",
+        panics,
+    );
+    counter(
+        &mut out,
+        "regen_journal_write_errors_total",
+        "Journal appends/flushes/fsyncs that failed.",
+        journal_write_errors,
+    );
+    counter(
+        &mut out,
+        "regen_breaker_tripped_total",
+        "Experiments whose consecutive-panic circuit breaker opened.",
+        breaker_tripped,
+    );
+    counter(
+        &mut out,
+        "regen_breaker_skipped_total",
+        "Cells degraded unrun by an open panic circuit breaker.",
+        breaker_skipped,
+    );
+
+    // Journal line classification comes from HarnessStats (it is an
+    // open-time scan, not an event-stream phenomenon).
+    header(&mut out, "regen_journal_stale_lines", "gauge", "Stale-seed journal lines skipped on resume.");
+    let _ = writeln!(out, "regen_journal_stale_lines {}", stats.journal_stale);
+    header(&mut out, "regen_journal_corrupt_lines", "gauge", "Checksum-failed journal lines skipped on resume.");
+    let _ = writeln!(out, "regen_journal_corrupt_lines {}", stats.journal_corrupt);
+    header(&mut out, "regen_journal_truncated_lines", "gauge", "Torn-tail journal lines skipped on resume.");
+    let _ = writeln!(out, "regen_journal_truncated_lines {}", stats.journal_truncated);
 
     header(&mut out, "regen_sim_busy_seconds", "gauge", "Cumulative wall time simulating fresh cells.");
     let _ = writeln!(out, "regen_sim_busy_seconds {}", secs(stats.sim_time));

@@ -90,6 +90,17 @@ pub enum EventKind {
     /// The harness's wall-clock deadline killed a completed-but-late
     /// attempt.
     WatchdogFired,
+    /// A compute closure panicked and the unwind was caught at the
+    /// harness boundary.
+    PanicCaught,
+    /// A journal append/flush/fsync failed; the cell will re-run on
+    /// resume.
+    JournalWriteError,
+    /// An experiment crossed its consecutive-panic threshold; its
+    /// remaining cells degrade without burning retries.
+    BreakerTripped,
+    /// A cell was short-circuited (degraded unrun) by an open breaker.
+    BreakerSkipped,
 }
 
 impl EventKind {
@@ -106,6 +117,10 @@ impl EventKind {
             EventKind::Retry => "retry",
             EventKind::FaultInjected { .. } => "fault_injected",
             EventKind::WatchdogFired => "watchdog_fired",
+            EventKind::PanicCaught => "panic_caught",
+            EventKind::JournalWriteError => "journal_write_error",
+            EventKind::BreakerTripped => "breaker_tripped",
+            EventKind::BreakerSkipped => "breaker_skipped",
         }
     }
 }

@@ -116,7 +116,11 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
             | EventKind::JournalReplay
             | EventKind::Retry
             | EventKind::FaultInjected { .. }
-            | EventKind::WatchdogFired => {
+            | EventKind::WatchdogFired
+            | EventKind::PanicCaught
+            | EventKind::JournalWriteError
+            | EventKind::BreakerTripped
+            | EventKind::BreakerSkipped => {
                 records.push(format!(
                     "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"ts\":{},\"s\":\"t\",\
                      \"pid\":1,\"tid\":{},\"args\":{{\"cell\":\"{}\",\"attempt\":{}}}}}",

@@ -1,0 +1,176 @@
+//! Crash-safe file persistence primitives.
+//!
+//! Everything the sweep writes to disk that must survive a crash goes
+//! through this module:
+//!
+//! * [`atomic_write`] — the classic tmp-file + fsync + rename dance, so
+//!   a reader (or a resumed run) never observes a half-written
+//!   `results_regenerated.txt`, trace export, metrics exposition, or
+//!   compacted journal. The rename is atomic on POSIX; the directory is
+//!   fsynced afterwards so the new name itself is durable.
+//! * [`crc32`] — the IEEE CRC-32 used by journal format v2 to checksum
+//!   each line's payload. CRC-32 detects *every* single-byte corruption
+//!   (and all burst errors up to 32 bits), which is exactly the property
+//!   the journal property test pins down.
+//! * [`WriteDamage`] — the I/O-layer fault model: how an injected
+//!   `torn-write` or `journal-corrupt` fault mangles the bytes the
+//!   journal was about to append, so recovery from real-world disk
+//!   failures is testable from `--inject` like simulator faults already
+//!   are.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// The IEEE CRC-32 lookup table, built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// IEEE CRC-32 (the zlib/PNG polynomial) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for b in bytes {
+        c = CRC32_TABLE[((c ^ *b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// The temporary sibling `atomic_write` stages into before renaming.
+fn staging_path(path: &Path) -> PathBuf {
+    let file_name = path.file_name().and_then(|n| n.to_str()).unwrap_or("out");
+    path.with_file_name(format!(".{file_name}.tmp-{}", std::process::id()))
+}
+
+/// Durably replaces the file at `path` with `bytes`: write to a
+/// temporary sibling, fsync it, rename it over `path`, then fsync the
+/// containing directory. A crash at any point leaves either the old
+/// file or the new one — never a torn mixture — and after a clean
+/// return the data and the rename both survive power loss.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = staging_path(path);
+    let result = (|| {
+        let mut f = OpenOptions::new().write(true).create(true).truncate(true).open(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)?;
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            // Directory fsync makes the rename itself durable. Some
+            // filesystems refuse to open directories for writing; a
+            // failure here downgrades durability, not atomicity.
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// How an injected I/O fault mangles a journal append. Applied to the
+/// encoded line *after* the in-memory copy is stored, so only the
+/// on-disk durability is damaged — exactly what a torn disk write does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteDamage {
+    /// Write only a prefix of the line and no trailing newline (a torn
+    /// write from a crash mid-append).
+    Torn,
+    /// Write the full line but with one payload byte flipped (silent
+    /// media corruption); the checksum no longer matches.
+    BitFlip,
+}
+
+impl WriteDamage {
+    /// Applies the damage to an encoded journal line (which includes its
+    /// trailing newline), returning the bytes that actually reach disk.
+    pub fn apply(self, line: &str) -> Vec<u8> {
+        let bytes = line.as_bytes();
+        match self {
+            WriteDamage::Torn => bytes[..bytes.len() * 2 / 3].to_vec(),
+            WriteDamage::BitFlip => {
+                let mut out = bytes.to_vec();
+                // Flip a bit in the middle of the payload, away from the
+                // newline, so the line still reads as one line.
+                let i = out.len() / 2;
+                out[i] ^= 0x01;
+                if out[i] == b'\n' {
+                    out[i] ^= 0x03;
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 test vectors.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn crc32_detects_every_single_byte_change() {
+        let payload = b"{\"cell\":\"a/b/c\",\"seed\":3,\"kind\":\"num\",\"v\":[1.5]}";
+        let clean = crc32(payload);
+        let mut mutated = payload.to_vec();
+        for i in 0..mutated.len() {
+            let original = mutated[i];
+            mutated[i] = original.wrapping_add(1);
+            assert_ne!(crc32(&mutated), clean, "byte {i}");
+            mutated[i] = original;
+        }
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_cleans_up() {
+        let dir = std::env::temp_dir().join(format!("spectrebench-persist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.txt");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        // No staging litter left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn damage_shapes_are_distinct() {
+        let line = "v2 deadbeef {\"cell\":\"x\",\"seed\":0,\"kind\":\"num\",\"v\":[2]}\n";
+        let torn = WriteDamage::Torn.apply(line);
+        assert!(torn.len() < line.len());
+        assert!(!torn.ends_with(b"\n"));
+        let flipped = WriteDamage::BitFlip.apply(line);
+        assert_eq!(flipped.len(), line.len());
+        assert_ne!(flipped, line.as_bytes());
+        assert_eq!(flipped.iter().filter(|b| **b == b'\n').count(), 1);
+    }
+}

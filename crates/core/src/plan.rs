@@ -139,6 +139,11 @@ pub struct CellSpec {
     /// simulations use 0; seeded cells must put every value-determining
     /// seed here so a stale journal entry cannot be replayed.
     pub seed: u64,
+    /// A cell the driver's reduce step cannot bridge over (lattice
+    /// anchors): the panic circuit breaker still attempts these when
+    /// open, because skipping one aborts the whole artifact — the
+    /// opposite of the breaker's degrade-gracefully purpose.
+    pub critical: bool,
     compute: CellFn,
 }
 
@@ -147,6 +152,7 @@ impl std::fmt::Debug for CellSpec {
         f.debug_struct("CellSpec")
             .field("ctx", &self.ctx)
             .field("seed", &self.seed)
+            .field("critical", &self.critical)
             .finish_non_exhaustive()
     }
 }
@@ -158,7 +164,14 @@ impl CellSpec {
         seed: u64,
         compute: impl Fn(u32) -> Result<CellValue, ExperimentError> + Send + Sync + 'static,
     ) -> CellSpec {
-        CellSpec { ctx, seed, compute: Arc::new(compute) }
+        CellSpec { ctx, seed, critical: false, compute: Arc::new(compute) }
+    }
+
+    /// Marks the cell critical: the panic circuit breaker must attempt
+    /// it even when open, because no reduce step can bridge over it.
+    pub fn critical(mut self) -> CellSpec {
+        self.critical = true;
+        self
     }
 
     /// The content-addressed cache key: the cell key *minus* the
