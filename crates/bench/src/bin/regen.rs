@@ -11,6 +11,8 @@
 //! cargo run --release -p bench --bin regen -- --trace-out trace.json --metrics-out metrics.prom
 //! cargo run --release -p bench --bin regen -- --out results.txt
 //! cargo run --release -p bench --bin regen -- fsck run.jsonl   # verify/repair a journal
+//! cargo run --release -p bench --bin regen -- --list           # artifact inventory
+//! cargo run --release -p bench --bin regen -- fetch http://127.0.0.1:7979 figure2
 //! ```
 //!
 //! Exit codes: 0 clean; 1 at least one artifact failed or was degraded
@@ -21,14 +23,16 @@
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
 
 use bench::{Artifact, RegenOptions, run_regen};
-use spectrebench::{fsck_journal, FaultPlan};
+use spectrebench::{fsck_journal, jobs_from_env, FaultPlan};
 
 fn usage(to_stdout: bool) {
     let mut text = String::from(
         "usage: regen [options] [artifact ...]\n\
          \x20      regen fsck <journal>\n\
+         \x20      regen fetch <base-url> <artifact|results>\n\
          \n\
          subcommands:\n\
          \x20 fsck <journal>    verify the journal's per-line checksums,\n\
@@ -36,8 +40,12 @@ fn usage(to_stdout: bool) {
          \x20                   and atomically rewrite a compacted valid journal.\n\
          \x20                   Exits 0 (clean), 1 (recoverable crash artifacts),\n\
          \x20                   or 2 (corruption found / unreadable)\n\
+         \x20 fetch <url> <a>   pull one artifact rendering (or 'results' for\n\
+         \x20                   all of them) off a running regend and print it;\n\
+         \x20                   retries politely on 429 + Retry-After\n\
          \n\
          options:\n\
+         \x20 --list            list the artifacts and exit\n\
          \x20 --quick           fast workload variants\n\
          \x20 --keep-going      continue past failed artifacts\n\
          \x20 --retries <n>     attempts per measurement cell (default 3)\n\
@@ -110,13 +118,63 @@ fn parse_args(args: &[String]) -> Result<RegenOptions, String> {
             }
             name if !name.starts_with("--") => match Artifact::parse(name) {
                 Some(a) => opts.artifacts.push(a),
-                None => return Err(format!("unknown artifact: {name}")),
+                None => return Err(unknown_artifact(name)),
             },
             other => return Err(format!("unknown flag: {other}")),
         }
         i += 1;
     }
     Ok(opts)
+}
+
+/// "unknown artifact" with a nearest-name hint when one is close.
+fn unknown_artifact(name: &str) -> String {
+    match Artifact::suggest(name) {
+        Some(s) => format!("unknown artifact: {name} (did you mean: {s}?)"),
+        None => format!("unknown artifact: {name} (see --list)"),
+    }
+}
+
+/// `regen fetch <base-url> <artifact|results>`: pull a rendering off a
+/// running regend and print it to stdout, exactly as `regen <artifact>`
+/// would have (the server's bytes are golden-pinned to the same
+/// renderer).
+fn run_fetch(base: &str, what: &str) -> ExitCode {
+    let path = match what {
+        "results" => "/results".to_string(),
+        name => match Artifact::parse(name) {
+            Some(a) => format!("/artifact/{}", a.name()),
+            None => {
+                eprintln!("regen: {}", unknown_artifact(name));
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let base = base.strip_suffix('/').unwrap_or(base);
+    let url = format!("{base}{path}");
+    match bench::client::http_get_retrying(&url, Duration::from_secs(120), 5) {
+        Ok(r) if r.status == 200 => {
+            if r.header("x-regend-degraded").is_some() {
+                eprintln!("regen: warning: {what} is DEGRADED (bridged over failed cells)");
+            }
+            if r.header("x-regend-quick").is_some() {
+                eprintln!("regen: note: the server rendered the quick variant");
+            }
+            print!("{}", r.text());
+            ExitCode::SUCCESS
+        }
+        Ok(r) => {
+            eprintln!("regen: fetch {url} failed: HTTP {}", r.status);
+            for line in r.text().lines() {
+                eprintln!("regen:   {line}");
+            }
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("regen: fetch {url} failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// `regen fsck <journal>`: verify, quarantine, compact. Severity maps
@@ -153,6 +211,23 @@ fn main() -> ExitCode {
         usage(true);
         return ExitCode::SUCCESS;
     }
+    if args.iter().any(|a| a == "--list") {
+        for a in Artifact::ALL {
+            println!("{:14} {}", a.name(), a.caption());
+        }
+        return ExitCode::SUCCESS;
+    }
+    if args.first().map(String::as_str) == Some("fetch") {
+        return match (args.get(1), args.get(2)) {
+            (Some(base), Some(what)) if args.len() == 3 => run_fetch(base, what),
+            _ => {
+                eprintln!("regen: fetch takes exactly two arguments: <base-url> <artifact|results>");
+                eprintln!();
+                usage(false);
+                ExitCode::from(2)
+            }
+        };
+    }
     if args.first().map(String::as_str) == Some("fsck") {
         return match args.get(1) {
             Some(path) if args.len() == 2 => run_fsck(Path::new(path)),
@@ -164,7 +239,7 @@ fn main() -> ExitCode {
             }
         };
     }
-    let opts = match parse_args(&args) {
+    let mut opts = match parse_args(&args) {
         Ok(opts) => opts,
         Err(msg) => {
             eprintln!("regen: {msg}");
@@ -173,6 +248,17 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // Validate REGEN_JOBS up front: a malformed value is a usage error
+    // (exit 2), not a silent fallback to machine parallelism.
+    if opts.jobs.is_none() {
+        match jobs_from_env() {
+            Ok(n) => opts.jobs = n,
+            Err(msg) => {
+                eprintln!("regen: {msg}");
+                return ExitCode::from(2);
+            }
+        }
+    }
 
     let report = match run_regen(&opts) {
         Ok(report) => report,

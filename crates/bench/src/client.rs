@@ -1,0 +1,154 @@
+//! A tiny HTTP/1.1 client for `regen fetch`.
+//!
+//! Just enough to talk to `regend`: one `GET` per connection,
+//! `Connection: close`, fixed-length bodies. Mirrors the server's
+//! hand-rolled wire layer (the dependency policy cuts both ways).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One parsed response.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// `(lowercased-name, value)` pairs, in order.
+    pub headers: Vec<(String, String)>,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// First value of header `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers.iter().find(|(k, _)| *k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Splits `http://host:port/path` into authority and path.
+fn split_url(url: &str) -> Result<(&str, &str), String> {
+    let rest = url
+        .strip_prefix("http://")
+        .ok_or_else(|| format!("unsupported URL {url:?}: only http:// is spoken"))?;
+    let (authority, path) = match rest.find('/') {
+        Some(i) => (&rest[..i], &rest[i..]),
+        None => (rest, "/"),
+    };
+    if authority.is_empty() {
+        return Err(format!("bad URL {url:?}: empty host"));
+    }
+    Ok((authority, path))
+}
+
+/// Performs one `GET` and reads the whole response. `timeout` bounds
+/// connect, each read, and each write independently.
+pub fn http_get(url: &str, timeout: Duration) -> Result<HttpResponse, String> {
+    let (authority, path) = split_url(url)?;
+    let addr = first_addr(authority).map_err(|e| format!("cannot resolve {authority:?}: {e}"))?;
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)
+        .map_err(|e| format!("cannot connect to {authority}: {e}"))?;
+    stream.set_read_timeout(Some(timeout)).map_err(|e| e.to_string())?;
+    stream.set_write_timeout(Some(timeout)).map_err(|e| e.to_string())?;
+    let request =
+        format!("GET {path} HTTP/1.1\r\nHost: {authority}\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes()).map_err(|e| format!("write failed: {e}"))?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).map_err(|e| format!("read failed: {e}"))?;
+    parse_response(&raw)
+}
+
+/// Parses a full wire response (head + body).
+pub fn parse_response(raw: &[u8]) -> Result<HttpResponse, String> {
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| "truncated response: no header terminator".to_string())?;
+    let head = std::str::from_utf8(&raw[..head_end])
+        .map_err(|_| "non-UTF-8 response head".to_string())?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| format!("bad status line: {status_line:?}"))?;
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    let rest = &raw[head_end + 4..];
+    let body = match headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+    {
+        Some(len) if len <= rest.len() => rest[..len].to_vec(),
+        Some(len) => {
+            return Err(format!("truncated body: {} of {len} byte(s)", rest.len()));
+        }
+        None => rest.to_vec(),
+    };
+    Ok(HttpResponse { status, headers, body })
+}
+
+/// `GET` with bounded retry on 429: sleeps the server's `Retry-After`
+/// (default one second) between attempts — the client half of the
+/// admission-control contract.
+pub fn http_get_retrying(
+    url: &str,
+    timeout: Duration,
+    max_attempts: u32,
+) -> Result<HttpResponse, String> {
+    let mut last = String::new();
+    for _ in 0..max_attempts.max(1) {
+        match http_get(url, timeout) {
+            Ok(r) if r.status == 429 => {
+                let secs =
+                    r.header("retry-after").and_then(|v| v.parse::<u64>().ok()).unwrap_or(1);
+                last = format!("server busy (429, Retry-After: {secs})");
+                std::thread::sleep(Duration::from_secs(secs));
+            }
+            other => return other,
+        }
+    }
+    Err(format!("gave up after {max_attempts} attempt(s): {last}"))
+}
+
+fn first_addr(authority: &str) -> std::io::Result<std::net::SocketAddr> {
+    use std::net::ToSocketAddrs;
+    authority.to_socket_addrs()?.next().ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::NotFound, "no address for host")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_urls() {
+        assert_eq!(split_url("http://127.0.0.1:7979/artifact/table1").unwrap(),
+                   ("127.0.0.1:7979", "/artifact/table1"));
+        assert_eq!(split_url("http://localhost:80").unwrap(), ("localhost:80", "/"));
+        assert!(split_url("https://x/").is_err());
+        assert!(split_url("http:///x").is_err());
+    }
+
+    #[test]
+    fn parses_responses() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\nContent-Length: 3\r\n\r\nhi\n";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.header("content-type"), Some("text/plain"));
+        assert_eq!(r.text(), "hi\n");
+        assert!(parse_response(b"HTTP/1.1 200 OK\r\nContent-Length: 9\r\n\r\nhi").is_err());
+        assert!(parse_response(b"garbage").is_err());
+    }
+}

@@ -7,7 +7,11 @@
 //!
 //! The regeneration sweep itself is a library ([`run_regen`]) so the
 //! integration tests can drive `--keep-going`, fault injection, and
-//! `--resume` without spawning processes.
+//! `--resume` without spawning processes. The [`client`] module is the
+//! other half of the serving story: a small HTTP client behind
+//! `regen fetch`, for pulling renderings off a running `regend`.
+
+pub mod client;
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -123,6 +127,18 @@ impl Artifact {
     /// Parses a CLI name.
     pub fn parse(name: &str) -> Option<Artifact> {
         Artifact::ALL.iter().copied().find(|a| a.name() == name)
+    }
+
+    /// The closest valid artifact name by edit distance, for
+    /// "did you mean" hints on unknown names. `None` when nothing is
+    /// plausibly close.
+    pub fn suggest(name: &str) -> Option<&'static str> {
+        Artifact::ALL
+            .iter()
+            .map(|a| (edit_distance(name, a.name()), a.name()))
+            .min()
+            .filter(|(d, _)| *d <= 3 && *d < name.len())
+            .map(|(_, n)| n)
     }
 
     /// Paper caption.
@@ -248,6 +264,25 @@ impl Artifact {
         };
         Ok(out)
     }
+}
+
+/// Levenshtein edit distance (insert/delete/substitute, all cost 1);
+/// powers [`Artifact::suggest`]. Both strings are short CLI names, so
+/// the O(nm) two-row DP is plenty.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
 }
 
 /// Options for one regeneration sweep.
@@ -430,6 +465,30 @@ mod tests {
             assert_eq!(Artifact::parse(a.name()), Some(a));
         }
         assert_eq!(Artifact::parse("nope"), None);
+    }
+
+    #[test]
+    fn suggestions_catch_typos_but_not_noise() {
+        // Ties (figure2/3/5 are all one edit away) break toward the
+        // lexicographically smallest candidate.
+        assert_eq!(Artifact::suggest("figure4"), Some("figure2"));
+        assert_eq!(Artifact::suggest("tabel1"), Some("table1"));
+        assert_eq!(Artifact::suggest("dicussion"), Some("discussion"));
+        assert_eq!(Artifact::suggest("vms"), Some("vm"));
+        assert_eq!(Artifact::suggest("zzzzzzzzzz"), None);
+        // An exact name suggests itself at distance zero (callers only
+        // consult suggest() after parse() failed, so this is moot, but
+        // pin it down).
+        assert_eq!(Artifact::suggest("table1"), Some("table1"));
+    }
+
+    #[test]
+    fn edit_distance_is_levenshtein() {
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("abc", ""), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("figure2", "figure3"), 1);
+        assert_eq!(edit_distance("table", "tabel"), 2);
     }
 
     #[test]

@@ -32,16 +32,37 @@ use crate::plan::{CellOutcome, CellSource, CellValue, ExperimentPlan};
 /// on a closure that is evidently broken.
 pub const DEFAULT_PANIC_BREAKER: u32 = 3;
 
-/// Resolves the default worker count: the `REGEN_JOBS` environment
-/// variable if set to a positive integer, else the machine's available
-/// parallelism, else 1.
+/// Strictly validates the `REGEN_JOBS` environment variable: `Ok(None)`
+/// when unset or empty, `Ok(Some(n))` for a positive integer, and a
+/// one-line error message for anything else (`0`, non-numeric, noise).
+///
+/// The binaries (`regen`, `regend`) call this at startup and exit 2 on
+/// `Err`, so a typo'd environment fails loudly instead of silently
+/// falling back to the machine default and skewing a sweep's worker
+/// count.
+pub fn jobs_from_env() -> Result<Option<usize>, String> {
+    let v = match std::env::var("REGEN_JOBS") {
+        Ok(v) => v,
+        Err(_) => return Ok(None),
+    };
+    let v = v.trim();
+    if v.is_empty() {
+        return Ok(None);
+    }
+    match v.parse::<usize>() {
+        Ok(0) => Err("REGEN_JOBS must be at least 1".to_string()),
+        Ok(n) => Ok(Some(n)),
+        Err(_) => Err(format!("REGEN_JOBS must be a positive integer, got {v:?}")),
+    }
+}
+
+/// Resolves the default worker count: a valid `REGEN_JOBS` environment
+/// variable, else the machine's available parallelism, else 1. Invalid
+/// `REGEN_JOBS` values are ignored here (library construction must not
+/// fail); binaries reject them up front via [`jobs_from_env`].
 pub fn default_jobs() -> usize {
-    if let Ok(v) = std::env::var("REGEN_JOBS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
+    if let Ok(Some(n)) = jobs_from_env() {
+        return n;
     }
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
@@ -177,6 +198,22 @@ impl Executor {
     /// Cell-level counters so far (cumulative across plans).
     pub fn stats(&self) -> HarnessStats {
         self.harness.stats()
+    }
+
+    /// Looks up one completed cell in the content-addressed cache
+    /// without scheduling anything. This is how the serving layer
+    /// answers point queries (`GET /cell/...`) after the owning
+    /// artifact has been computed: the cache is shared across every
+    /// plan executed through this executor, so any cell a sweep has
+    /// touched is addressable by `(content key, seed)`.
+    pub fn cache_lookup(&self, content_key: &str, seed: u64) -> Option<CellValue> {
+        lock(&self.cache).get(&(content_key.to_string(), seed)).cloned()
+    }
+
+    /// Number of distinct `(content key, seed)` entries currently in
+    /// the cross-experiment cache (exposed by `regend /healthz`).
+    pub fn cache_len(&self) -> usize {
+        lock(&self.cache).len()
     }
 
     /// Executes a plan and returns one outcome per cell, in plan order.

@@ -730,16 +730,25 @@ impl JournalScan {
     }
 }
 
-/// Encodes one cell entry as a v2 journal line (with trailing newline):
-/// `v2 <crc32-of-payload, 8 hex digits> <payload JSON>`.
-fn encode_v2_line(key: &str, seed: u64, v: &CellValue) -> String {
-    let payload = format!(
+/// Renders one completed cell as the journal's payload JSON object:
+/// `{"cell":"...","seed":N,"kind":"...",...}`. This is the same shape a
+/// v2 journal line carries (minus the checksum framing), so the serving
+/// layer's `GET /cell/...` responses and the on-disk resume format
+/// cannot drift apart.
+pub fn cell_value_json(key: &str, seed: u64, v: &CellValue) -> String {
+    format!(
         "{{\"cell\":\"{}\",\"seed\":{},\"kind\":\"{}\",{}}}",
         escape_json(key),
         seed,
         v.kind(),
         journal_value_fields(v)
-    );
+    )
+}
+
+/// Encodes one cell entry as a v2 journal line (with trailing newline):
+/// `v2 <crc32-of-payload, 8 hex digits> <payload JSON>`.
+fn encode_v2_line(key: &str, seed: u64, v: &CellValue) -> String {
+    let payload = cell_value_json(key, seed, v);
     format!("v2 {:08x} {}\n", crc32(payload.as_bytes()), payload)
 }
 
@@ -1105,7 +1114,9 @@ fn journal_value_fields(v: &CellValue) -> String {
     }
 }
 
-pub(crate) fn escape_json(s: &str) -> String {
+/// Escapes a string for embedding in the hand-rolled JSON the journal,
+/// the trace writer, and the metrics exposition emit.
+pub fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

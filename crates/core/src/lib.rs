@@ -32,6 +32,8 @@
 //! * [`persist`] — crash-safe persistence primitives: CRC32, atomic
 //!   (tmp + fsync + rename) artifact writes, and the torn/bit-flip
 //!   damage shapes the fault plan injects on the journal write path.
+//! * [`singleflight`] — in-flight request coalescing for the serving
+//!   layer: concurrent identical queries share one computation.
 
 // A failed cell must surface as a typed ExperimentError, never a panic:
 // regeneration sweeps have to survive any single cell dying.
@@ -49,15 +51,18 @@ pub mod persist;
 pub mod plan;
 pub mod probe;
 pub mod report;
+pub mod singleflight;
 pub mod stats;
 
 pub use attribution::{attribute, Attribution, Slice, Toggle, OS_TOGGLES};
-pub use executor::{default_jobs, Executor, DEFAULT_PANIC_BREAKER};
+pub use executor::{default_jobs, jobs_from_env, Executor, DEFAULT_PANIC_BREAKER};
 pub use faultplan::{FaultKind, FaultPlan, FaultRule};
 pub use harness::{
-    classify_line, fsck_journal, ExperimentError, FsckReport, Harness, HarnessStats, Journal,
-    JournalScan, LineClass, RetryPolicy, RunContext, Watchdog, JOURNAL_HEADER_V2,
+    cell_value_json, classify_line, escape_json, fsck_journal, ExperimentError, FsckReport,
+    Harness, HarnessStats, Journal, JournalScan, LineClass, RetryPolicy, RunContext, Watchdog,
+    JOURNAL_HEADER_V2,
 };
+pub use singleflight::{FlightOutcome, SingleFlight};
 pub use obs::{Clock, Event, EventBus, EventKind, SystemClock, VirtualClock};
 pub use persist::{atomic_write, crc32, WriteDamage};
 pub use plan::{CellOutcome, CellSource, CellSpec, CellValue, ExperimentPlan};

@@ -21,6 +21,12 @@ const QUEUE_BUCKETS: [f64; 6] = [1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0];
 /// Bucket boundaries (seconds) for the per-experiment wall-clock
 /// histogram.
 const WALL_BUCKETS: [f64; 8] = [0.01, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0];
+/// Bucket boundaries (requests) for the server admission-queue depth
+/// histogram, observed at each admission.
+const DEPTH_BUCKETS: [f64; 8] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+/// Bucket boundaries (seconds) for the server end-to-end request
+/// latency histogram (admission to response written).
+const REQUEST_BUCKETS: [f64; 8] = [0.001, 0.01, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0];
 
 /// A fixed-bucket cumulative histogram.
 #[derive(Debug, Clone)]
@@ -93,6 +99,19 @@ pub fn prometheus_text(events: &[Event], stats: &HarnessStats) -> String {
     let mut breaker_tripped = 0u64;
     let mut breaker_skipped = 0u64;
 
+    // Serving-layer (`regend`) families. `requests` counts admissions;
+    // responses are grouped by (endpoint, status) where the endpoint is
+    // the event's experiment field.
+    let mut requests = 0u64;
+    let mut rejected = 0u64;
+    let mut artifact_cache_hits = 0u64;
+    let mut coalesced = 0u64;
+    let mut deadlines_expired = 0u64;
+    let mut completed = 0u64;
+    let mut responses: HashMap<(String, u16), u64> = HashMap::new();
+    let mut depth_hist = Histogram::new(&DEPTH_BUCKETS);
+    let mut request_hist = Histogram::new(&REQUEST_BUCKETS);
+
     // Queue latency: pair each CellQueued with the next CellStarted for
     // the same cell key (FIFO per key; a re-executed plan can queue the
     // same key again later).
@@ -115,6 +134,19 @@ pub fn prometheus_text(events: &[Event], stats: &HarnessStats) -> String {
             EventKind::JournalWriteError => journal_write_errors += 1,
             EventKind::BreakerTripped => breaker_tripped += 1,
             EventKind::BreakerSkipped => breaker_skipped += 1,
+            EventKind::RequestReceived { queue_depth } => {
+                requests += 1;
+                depth_hist.observe(*queue_depth as f64);
+            }
+            EventKind::RequestRejected => rejected += 1,
+            EventKind::RequestCompleted { status, micros } => {
+                completed += 1;
+                *responses.entry((e.experiment.clone(), *status)).or_default() += 1;
+                request_hist.observe(*micros as f64 / 1e6);
+            }
+            EventKind::ArtifactCacheHit => artifact_cache_hits += 1,
+            EventKind::FlightCoalesced => coalesced += 1,
+            EventKind::DeadlineExpired => deadlines_expired += 1,
             EventKind::CellQueued => {
                 queued.entry(e.cell.as_str()).or_default().push_back(e.ts);
             }
@@ -228,6 +260,77 @@ pub fn prometheus_text(events: &[Event], stats: &HarnessStats) -> String {
         let labels = format!("experiment=\"{}\",", escape_json(exp));
         wall[*exp].expose(&mut out, "regen_experiment_wall_seconds", &labels);
     }
+
+    // Serving-layer families (all zero unless the events came from a
+    // `regend` process).
+    counter(
+        &mut out,
+        "regend_requests_total",
+        "Connections admitted to the request queue.",
+        requests,
+    );
+    counter(
+        &mut out,
+        "regend_rejected_total",
+        "Connections rejected with 429 because the request queue was full.",
+        rejected,
+    );
+    counter(
+        &mut out,
+        "regend_artifact_cache_hits_total",
+        "Artifact requests served from the rendered-artifact memory cache.",
+        artifact_cache_hits,
+    );
+    counter(
+        &mut out,
+        "regend_coalesced_total",
+        "Requests coalesced onto a concurrent identical computation (single-flight).",
+        coalesced,
+    );
+    counter(
+        &mut out,
+        "regend_deadline_expired_total",
+        "Requests whose deadline expired before they could be served.",
+        deadlines_expired,
+    );
+    header(
+        &mut out,
+        "regend_responses_total",
+        "counter",
+        "Responses written, by endpoint and HTTP status.",
+    );
+    let mut statuses: Vec<&(String, u16)> = responses.keys().collect();
+    statuses.sort();
+    for key in statuses {
+        let _ = writeln!(
+            out,
+            "regend_responses_total{{endpoint=\"{}\",status=\"{}\"}} {}",
+            escape_json(&key.0),
+            key.1,
+            responses[key]
+        );
+    }
+    header(
+        &mut out,
+        "regend_in_flight",
+        "gauge",
+        "Requests admitted but not yet answered.",
+    );
+    let _ = writeln!(out, "regend_in_flight {}", requests.saturating_sub(completed));
+    header(
+        &mut out,
+        "regend_queue_depth",
+        "histogram",
+        "Admission-queue depth observed as each request was admitted.",
+    );
+    depth_hist.expose(&mut out, "regend_queue_depth", "");
+    header(
+        &mut out,
+        "regend_request_latency_seconds",
+        "histogram",
+        "End-to-end request latency: admission to response written.",
+    );
+    request_hist.expose(&mut out, "regend_request_latency_seconds", "");
     out
 }
 

@@ -101,6 +101,36 @@ pub enum EventKind {
     BreakerTripped,
     /// A cell was short-circuited (degraded unrun) by an open breaker.
     BreakerSkipped,
+
+    // Serving-layer kinds, emitted by `regend` (crates/serve). The
+    // `cell` field carries the request path; `experiment` is the
+    // artifact or endpoint being served.
+    /// A connection was admitted to the server's bounded request queue;
+    /// `queue_depth` is the depth right after admission.
+    RequestReceived {
+        /// Queue depth including this request.
+        queue_depth: usize,
+    },
+    /// A connection was rejected at admission (HTTP 429 + `Retry-After`)
+    /// because the request queue was full.
+    RequestRejected,
+    /// A response was fully written back to the client.
+    RequestCompleted {
+        /// The HTTP status code sent.
+        status: u16,
+        /// End-to-end latency (admission to response written) in
+        /// microseconds, measured by the serving worker.
+        micros: u64,
+    },
+    /// An artifact request was served from the rendered-artifact memory
+    /// cache without touching the executor.
+    ArtifactCacheHit,
+    /// A request was coalesced onto a concurrent identical computation
+    /// (single-flight follower: it waited, computed nothing).
+    FlightCoalesced,
+    /// A request's deadline expired before it could be served; it was
+    /// answered with an error instead of stale or partial data.
+    DeadlineExpired,
 }
 
 impl EventKind {
@@ -121,6 +151,12 @@ impl EventKind {
             EventKind::JournalWriteError => "journal_write_error",
             EventKind::BreakerTripped => "breaker_tripped",
             EventKind::BreakerSkipped => "breaker_skipped",
+            EventKind::RequestReceived { .. } => "request_received",
+            EventKind::RequestRejected => "request_rejected",
+            EventKind::RequestCompleted { .. } => "request_completed",
+            EventKind::ArtifactCacheHit => "artifact_cache_hit",
+            EventKind::FlightCoalesced => "flight_coalesced",
+            EventKind::DeadlineExpired => "deadline_expired",
         }
     }
 }

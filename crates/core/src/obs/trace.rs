@@ -120,7 +120,13 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
             | EventKind::PanicCaught
             | EventKind::JournalWriteError
             | EventKind::BreakerTripped
-            | EventKind::BreakerSkipped => {
+            | EventKind::BreakerSkipped
+            | EventKind::RequestReceived { .. }
+            | EventKind::RequestRejected
+            | EventKind::RequestCompleted { .. }
+            | EventKind::ArtifactCacheHit
+            | EventKind::FlightCoalesced
+            | EventKind::DeadlineExpired => {
                 records.push(format!(
                     "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"ts\":{},\"s\":\"t\",\
                      \"pid\":1,\"tid\":{},\"args\":{{\"cell\":\"{}\",\"attempt\":{}}}}}",

@@ -1,0 +1,157 @@
+//! `regend` — serves the paper's regenerated artifacts over HTTP.
+//!
+//! ```text
+//! cargo run --release -p serve --bin regend                    # 127.0.0.1:7979
+//! cargo run --release -p serve --bin regend -- --addr 0.0.0.0:8080
+//! cargo run --release -p serve --bin regend -- --quick --workers 8 --queue 256
+//! cargo run --release -p serve --bin regend -- --deadline-ms 30000
+//! curl http://127.0.0.1:7979/artifact/figure2
+//! curl http://127.0.0.1:7979/results > results.txt
+//! ```
+//!
+//! Runs until SIGTERM (or `POST /shutdown`), drains the admitted
+//! queue, prints the run's counters, and exits 0. Exit code 2 means
+//! bad usage.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use serve::{install_sigterm_hook, Server, ServerConfig};
+use spectrebench::{jobs_from_env, FaultPlan};
+
+fn usage(to_stdout: bool) {
+    let text = "usage: regend [options]\n\
+         \n\
+         options:\n\
+         \x20 --addr <ip:port>    bind address (default 127.0.0.1:7979; port 0\n\
+         \x20                     picks a free port and prints it)\n\
+         \x20 --workers <n>       request worker threads (default 4)\n\
+         \x20 --queue <n>         admission queue capacity; a full queue answers\n\
+         \x20                     429 + Retry-After (default 128)\n\
+         \x20 --quick             serve the fast workload variants by default\n\
+         \x20                     (clients can override per-request with ?quick=)\n\
+         \x20 --jobs <n>          executor worker threads per computation\n\
+         \x20                     (default: REGEN_JOBS, else machine parallelism)\n\
+         \x20 --retries <n>       attempts per measurement cell (default 3)\n\
+         \x20 --deadline-ms <n>   default per-request deadline; expired requests\n\
+         \x20                     answer 504 (clients can set ?deadline_ms=)\n\
+         \x20 --journal <log>     journal completed cells to <log> (also reused\n\
+         \x20                     on startup, like regen --resume)\n\
+         \x20 --inject <spec>     deterministic fault plan (same syntax as\n\
+         \x20                     regen --inject; for testing recovery)\n\
+         \n\
+         endpoints: /healthz /metrics /artifacts /artifact/<name>\n\
+         \x20          /results /cell/<experiment>/<key> POST /shutdown\n";
+    if to_stdout {
+        print!("{text}");
+    } else {
+        eprint!("{text}");
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
+    let mut cfg = ServerConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let mut value = |flag: &str| -> Result<String, String> {
+            i += 1;
+            args.get(i).cloned().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = value("--addr")?,
+            "--quick" => cfg.quick = true,
+            "--workers" => {
+                let v = value("--workers")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --workers value: {v}"))?;
+                if n == 0 {
+                    return Err("--workers must be at least 1".to_string());
+                }
+                cfg.workers = n;
+            }
+            "--queue" => {
+                let v = value("--queue")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --queue value: {v}"))?;
+                if n == 0 {
+                    return Err("--queue must be at least 1".to_string());
+                }
+                cfg.queue_capacity = n;
+            }
+            "--jobs" => {
+                let v = value("--jobs")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --jobs value: {v}"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+                cfg.jobs = Some(n);
+            }
+            "--retries" => {
+                let v = value("--retries")?;
+                cfg.retries = Some(v.parse().map_err(|_| format!("bad --retries value: {v}"))?);
+            }
+            "--deadline-ms" => {
+                let v = value("--deadline-ms")?;
+                let ms: u64 = v.parse().map_err(|_| format!("bad --deadline-ms value: {v}"))?;
+                cfg.default_deadline = Some(Duration::from_millis(ms));
+            }
+            "--journal" => cfg.journal = Some(value("--journal")?.into()),
+            "--inject" => {
+                let spec = value("--inject")?;
+                cfg.inject =
+                    Some(FaultPlan::parse_spec(&spec).map_err(|e| format!("bad --inject: {e}"))?);
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+        i += 1;
+    }
+    Ok(cfg)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage(true);
+        return ExitCode::SUCCESS;
+    }
+    let mut cfg = match parse_args(&args) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("regend: {msg}");
+            eprintln!();
+            usage(false);
+            return ExitCode::from(2);
+        }
+    };
+    // Same strict REGEN_JOBS validation as regen: a bad value is a
+    // usage error up front, not a silent fallback mid-serve.
+    if cfg.jobs.is_none() {
+        match jobs_from_env() {
+            Ok(n) => cfg.jobs = n,
+            Err(msg) => {
+                eprintln!("regend: {msg}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let server = match Server::bind(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("regend: cannot start: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    install_sigterm_hook();
+    eprintln!("regend: listening on http://{}/ (SIGTERM to drain)", server.local_addr());
+    let summary = server.run();
+    eprintln!(
+        "regend: drained: {} request(s) served, {} admitted, {} rejected with 429",
+        summary.served, summary.admitted, summary.rejected
+    );
+    let s = &summary.stats;
+    eprintln!(
+        "regend: executor: {} cells run, {} from cache, {} retries, {} faults injected, {} cells failed",
+        s.cells_run, s.cells_from_cache, s.retries, s.faults_injected, s.cells_failed
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,350 @@
+//! A minimal, hand-rolled HTTP/1.1 layer.
+//!
+//! `regend` speaks just enough HTTP for its read-only query surface:
+//! request-line + headers in, fixed-length `Connection: close` response
+//! out. No chunked encoding, no keep-alive, no TLS — the repo's
+//! dependency policy (hand-rolled JSON/CRC32/RNG, no external crates)
+//! extends to the wire. Limits are enforced while parsing so a
+//! malformed or hostile peer costs a bounded amount of memory and one
+//! worker's read timeout, never the process.
+
+use std::io::{BufRead, Write};
+
+/// Upper bound on one header line (request line included).
+const MAX_LINE: usize = 8 * 1024;
+/// Upper bound on the number of headers.
+const MAX_HEADERS: usize = 64;
+/// Upper bound on a discarded request body.
+const MAX_BODY: u64 = 64 * 1024;
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Syntactically invalid or over a parser limit (maps to 400).
+    Malformed(String),
+    /// The underlying socket failed or timed out.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+/// One parsed request. The target is split into a percent-decoded path
+/// and its query parameters; header names are lowercased.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// `GET`, `POST`, ... (uppercase as sent).
+    pub method: String,
+    /// Percent-decoded path, without the query string.
+    pub path: String,
+    /// Decoded `(key, value)` pairs from the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// `(lowercased-name, value)` pairs, in order.
+    pub headers: Vec<(String, String)>,
+}
+
+impl Request {
+    /// First value of query parameter `name`, if present.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// First value of header `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers.iter().find(|(k, _)| *k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Reads and parses one request from `reader`. Any declared body is
+    /// read and discarded (bounded) so the connection is left clean.
+    pub fn parse(reader: &mut impl BufRead) -> Result<Request, HttpError> {
+        let line = read_line(reader)?;
+        let mut parts = line.split(' ');
+        let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(m), Some(t), Some(v)) if parts.next().is_none() && !m.is_empty() => {
+                (m.to_string(), t.to_string(), v)
+            }
+            _ => return Err(HttpError::Malformed(format!("bad request line: {line:?}"))),
+        };
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::Malformed(format!("unsupported version: {version:?}")));
+        }
+        let mut headers = Vec::new();
+        loop {
+            let line = read_line(reader)?;
+            if line.is_empty() {
+                break;
+            }
+            if headers.len() >= MAX_HEADERS {
+                return Err(HttpError::Malformed("too many headers".to_string()));
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| HttpError::Malformed(format!("bad header line: {line:?}")))?;
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+        let request = {
+            let (raw_path, raw_query) = match target.split_once('?') {
+                Some((p, q)) => (p, q),
+                None => (target.as_str(), ""),
+            };
+            Request {
+                method,
+                path: percent_decode(raw_path),
+                query: parse_query(raw_query),
+                headers,
+            }
+        };
+        // Discard any body so a follow-up write doesn't race unread
+        // input; regend's endpoints carry no request payload.
+        if let Some(len) = request.header("content-length").and_then(|v| v.parse::<u64>().ok()) {
+            if len > MAX_BODY {
+                return Err(HttpError::Malformed("request body too large".to_string()));
+            }
+            let mut remaining = len as usize;
+            let mut sink = [0u8; 512];
+            while remaining > 0 {
+                let chunk = sink.len().min(remaining);
+                match std::io::Read::read(reader, &mut sink[..chunk]) {
+                    Ok(0) => break,
+                    Ok(n) => remaining -= n,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(HttpError::Io(e)),
+                }
+            }
+        }
+        Ok(request)
+    }
+}
+
+/// Reads one CRLF (or LF) terminated line, enforcing [`MAX_LINE`].
+fn read_line(reader: &mut impl BufRead) -> Result<String, HttpError> {
+    let mut buf = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match std::io::Read::read(reader, &mut byte) {
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Ok(0) => {
+                if buf.is_empty() {
+                    return Err(HttpError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "connection closed before a full request line",
+                    )));
+                }
+                break;
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                buf.push(byte[0]);
+                if buf.len() > MAX_LINE {
+                    return Err(HttpError::Malformed("header line too long".to_string()));
+                }
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf).map_err(|_| HttpError::Malformed("non-UTF-8 header".to_string()))
+}
+
+/// Decodes `%XX` escapes (and `+` as space); malformed escapes pass
+/// through literally.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3);
+                match hex.and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok())
+                {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Percent-encodes a path segment (everything but unreserved chars and
+/// `/`), for clients building URLs out of cell keys that contain spaces
+/// and brackets.
+pub fn percent_encode_path(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' | b'/' => {
+                out.push(b as char)
+            }
+            b => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+fn parse_query(q: &str) -> Vec<(String, String)> {
+    q.split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(kv), String::new()),
+        })
+        .collect()
+}
+
+/// One response, written with `Content-Length` and `Connection: close`.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Extra headers, e.g. `Retry-After`.
+    pub extra_headers: Vec<(String, String)>,
+    /// The body.
+    pub body: String,
+}
+
+impl Response {
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response { status, content_type: "text/plain; charset=utf-8", extra_headers: Vec::new(), body: body.into() }
+    }
+
+    /// An `application/json` response.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response { status, content_type: "application/json", extra_headers: Vec::new(), body: body.into() }
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Response {
+        self.extra_headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Serializes status line, headers, and body to `w`.
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            status_reason(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        for (name, value) in &self.extra_headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(self.body.as_bytes())?;
+        w.flush()
+    }
+}
+
+/// Reason phrase for the status codes regend uses.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse_str(s: &str) -> Result<Request, HttpError> {
+        Request::parse(&mut BufReader::new(s.as_bytes()))
+    }
+
+    #[test]
+    fn parses_a_basic_get() {
+        let r = parse_str("GET /artifact/table1?seed=0&quick=1 HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/artifact/table1");
+        assert_eq!(r.query_param("seed"), Some("0"));
+        assert_eq!(r.query_param("quick"), Some("1"));
+        assert_eq!(r.header("host"), Some("x"));
+        assert_eq!(r.header("HOST"), Some("x"));
+    }
+
+    #[test]
+    fn percent_decoding_round_trips_cell_keys() {
+        let key = "Cascade Lake (2019)/lebench/[nopti]";
+        let encoded = percent_encode_path(key);
+        assert!(!encoded.contains(' ') && !encoded.contains('['));
+        assert_eq!(percent_decode(&encoded), key);
+        let r = parse_str(&format!("GET /cell/figure2/{encoded} HTTP/1.1\r\n\r\n")).unwrap();
+        assert_eq!(r.path, format!("/cell/figure2/{key}"));
+    }
+
+    #[test]
+    fn rejects_garbage_and_oversized_lines() {
+        assert!(matches!(parse_str("NONSENSE\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(parse_str(""), Err(HttpError::Io(_))));
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(9000));
+        assert!(matches!(parse_str(&long), Err(HttpError::Malformed(_))));
+    }
+
+    #[test]
+    fn response_serializes_with_content_length_and_extra_headers() {
+        let mut out = Vec::new();
+        Response::text(429, "queue full\n")
+            .with_header("Retry-After", "1")
+            .write_to(&mut out)
+            .unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(s.contains("Content-Length: 11\r\n"));
+        assert!(s.contains("Retry-After: 1\r\n"));
+        assert!(s.contains("Connection: close\r\n"));
+        assert!(s.ends_with("\r\n\r\nqueue full\n"));
+    }
+
+    #[test]
+    fn discards_declared_bodies() {
+        let mut reader =
+            BufReader::new(&b"POST /shutdown HTTP/1.1\r\nContent-Length: 5\r\n\r\nhelloGARBAGE"[..]);
+        let r = Request::parse(&mut reader).unwrap();
+        assert_eq!(r.method, "POST");
+        // The body was consumed; what remains is the next request's bytes.
+        let mut rest = String::new();
+        std::io::Read::read_to_string(&mut reader, &mut rest).unwrap();
+        assert_eq!(rest, "GARBAGE");
+    }
+}

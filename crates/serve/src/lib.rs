@@ -1,0 +1,28 @@
+//! # serve — the `regend` query daemon
+//!
+//! The CLI regenerates the paper's artifacts as a batch; `regend`
+//! serves the same renderings over the network, on demand, to many
+//! concurrent clients. It answers from the same [`Executor`]
+//! machinery as `regen` — same plans, same retry/watchdog/fault
+//! envelope, same content-addressed cell cache — so anything it
+//! returns is byte-identical to what the CLI would have printed (and,
+//! for a full-fidelity server, to the committed
+//! `results_regenerated.txt`).
+//!
+//! * [`http`] — a minimal hand-rolled HTTP/1.1 layer (the repo's
+//!   no-external-crates policy extends to the wire).
+//! * [`server`] — admission control (bounded queue, 429 +
+//!   `Retry-After`), a fixed worker pool, single-flight coalescing of
+//!   concurrent identical queries, per-request deadlines, the
+//!   `/metrics` exposition, and graceful drain on SIGTERM.
+//!
+//! [`Executor`]: spectrebench::Executor
+
+pub mod http;
+pub mod server;
+
+pub use http::{percent_decode, percent_encode_path, Request, Response};
+pub use server::{
+    experiment_artifact, install_sigterm_hook, Rendered, RunSummary, Server, ServerConfig,
+    ServerHandle,
+};

@@ -1,0 +1,713 @@
+//! The `regend` server: admission control, dispatch, and drain.
+//!
+//! ```text
+//!            accept            bounded queue             worker pool
+//!  clients ────────▶ acceptor ───────────────▶ workers ─────────────▶ responses
+//!                      │  full? 429 + Retry-After │
+//!                      ▼                          ▼
+//!               RequestRejected          rendered-artifact cache
+//!                                          │ miss
+//!                                          ▼
+//!                                   single-flight group
+//!                                          │ leader only
+//!                                          ▼
+//!                             shared Executor (plan → schedule →
+//!                             content-addressed cell cache)
+//! ```
+//!
+//! Three layers of deduplication keep a hot server cheap:
+//!
+//! 1. the **rendered-artifact cache** answers repeat queries from
+//!    memory (byte-identical to the first rendering, which the golden
+//!    pin ties to `results_regenerated.txt`);
+//! 2. the **single-flight group** coalesces concurrent queries for the
+//!    same artifact onto one computation — the leader executes the
+//!    experiment's `ExperimentPlan`s once for the whole batch of
+//!    waiting requests;
+//! 3. the shared **executor cache** deduplicates overlapping *cells*
+//!    across different artifacts (Figure 2's anchors serve the
+//!    ablations, etc.), exactly as in a CLI sweep.
+//!
+//! Backpressure is explicit: a full admission queue answers 429 with
+//! `Retry-After` immediately instead of queueing unboundedly or
+//! dropping the connection. Per-request deadlines (`?deadline_ms=` or
+//! the server default) are checked at dispatch and again before the
+//! response is written; the computation itself is bounded by the
+//! harness watchdog, so every request has the end-to-end bound
+//! `queue wait + attempts x wall_deadline`.
+//!
+//! Drain is graceful: SIGTERM (or `POST /shutdown`, or
+//! [`ServerHandle::drain`]) stops the acceptor, lets the workers finish
+//! everything already admitted, then returns from [`Server::run`].
+
+// regend serves results; a request must never take down the process.
+#![allow(clippy::result_large_err)]
+
+use std::collections::{HashMap, VecDeque};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use bench::{render_artifact_block, Artifact, ArtifactResult};
+use spectrebench::obs::metrics::prometheus_text;
+use spectrebench::obs::EventKind;
+use spectrebench::{
+    cell_value_json, default_jobs, EventBus, Executor, FaultPlan, FlightOutcome, Harness,
+    HarnessStats, Journal, RetryPolicy, SingleFlight,
+};
+
+use crate::http::{percent_encode_path, HttpError, Request, Response};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Configuration for one [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7979` (port 0 for tests).
+    pub addr: String,
+    /// Worker threads serving parsed requests.
+    pub workers: usize,
+    /// Admission-queue capacity; a full queue answers 429.
+    pub queue_capacity: usize,
+    /// Serve the quick workload variants (tests; the golden renderings
+    /// are the full variants).
+    pub quick: bool,
+    /// Executor worker threads per plan (`None`: `REGEN_JOBS` / machine
+    /// default).
+    pub jobs: Option<usize>,
+    /// Attempts per measurement cell (`None`: the standard 3).
+    pub retries: Option<u32>,
+    /// Deterministic fault injection on the backing executor (tests).
+    pub inject: Option<FaultPlan>,
+    /// Journal completed cells here (also the target of injected
+    /// torn-write/journal-corrupt I/O faults).
+    pub journal: Option<std::path::PathBuf>,
+    /// Default per-request deadline; `None` means no deadline unless
+    /// the request carries `?deadline_ms=`.
+    pub default_deadline: Option<Duration>,
+    /// Socket read/write timeout, so a stalled peer costs one worker at
+    /// most this long.
+    pub io_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:7979".to_string(),
+            workers: 4,
+            queue_capacity: 128,
+            quick: false,
+            jobs: None,
+            retries: None,
+            inject: None,
+            journal: None,
+            default_deadline: None,
+            io_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// A rendered artifact held in the serving cache: the exact block the
+/// CLI prints (`== caption ==\n<text>\n`), plus its degraded flag.
+#[derive(Debug, Clone)]
+pub struct Rendered {
+    /// The response body.
+    pub body: String,
+    /// Whether any attribution slice had to be bridged.
+    pub degraded: bool,
+}
+
+/// Outcome of obtaining an artifact: the rendering or the error text.
+type ArtifactEntry = Result<Rendered, String>;
+
+/// One admitted connection waiting for a worker.
+struct Pending {
+    stream: TcpStream,
+    arrived: Instant,
+}
+
+#[derive(Default)]
+struct Queue {
+    items: VecDeque<Pending>,
+    draining: bool,
+}
+
+/// End-of-run counters, reported by `regend` at exit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunSummary {
+    /// Connections admitted to the queue.
+    pub admitted: u64,
+    /// Connections rejected with 429.
+    pub rejected: u64,
+    /// Responses written (any status).
+    pub served: u64,
+    /// Executor counters at drain time.
+    pub stats: HarnessStats,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    exec: Executor,
+    bus: Arc<EventBus>,
+    flights: SingleFlight<ArtifactEntry>,
+    rendered: Mutex<HashMap<(&'static str, bool), Rendered>>,
+    queue: Mutex<Queue>,
+    cv: Condvar,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    served: AtomicU64,
+    in_flight: AtomicU64,
+}
+
+/// The `regend` server. [`Server::bind`], then [`Server::run`] (which
+/// blocks until drained). [`Server::handle`] gives a clonable handle
+/// for triggering drain from tests or signal handlers.
+pub struct Server {
+    shared: Arc<Shared>,
+    listener: TcpListener,
+    local_addr: SocketAddr,
+}
+
+/// Clonable handle onto a running server.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Initiates graceful drain: stop accepting, serve what is queued,
+    /// then let [`Server::run`] return.
+    pub fn drain(&self) {
+        self.shared.start_drain();
+    }
+
+    /// True once drain has started.
+    pub fn is_draining(&self) -> bool {
+        lock(&self.shared.queue).draining
+    }
+}
+
+// SIGTERM handling without a libc crate: libc itself is always linked
+// on the targets std supports, so declaring `signal` suffices. The
+// handler only stores to an atomic, which is async-signal-safe.
+static SIGTERM: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+#[cfg(unix)]
+extern "C" fn on_sigterm(_sig: i32) {
+    SIGTERM.store(true, Ordering::SeqCst);
+}
+
+/// Installs the SIGTERM hook (no-op off unix). Called by the `regend`
+/// binary; in-process tests drain via [`ServerHandle`] instead.
+pub fn install_sigterm_hook() {
+    #[cfg(unix)]
+    {
+        const SIGTERM_NUM: i32 = 15;
+        unsafe {
+            signal(SIGTERM_NUM, on_sigterm as extern "C" fn(i32) as *const () as usize);
+        }
+    }
+}
+
+impl Server {
+    /// Binds the listener and builds the shared executor. No thread is
+    /// spawned until [`Server::run`].
+    pub fn bind(cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let bus = Arc::new(EventBus::new());
+        let mut harness = Harness::new();
+        if let Some(plan) = &cfg.inject {
+            harness = harness.with_plan(plan.clone());
+        }
+        if let Some(n) = cfg.retries {
+            let mut retry = RetryPolicy::standard();
+            retry.max_attempts = n.max(1);
+            harness = harness.with_retry(retry);
+        }
+        let mut exec = Executor::new(harness)
+            .with_jobs(cfg.jobs.unwrap_or_else(default_jobs))
+            .with_obs(Arc::clone(&bus));
+        if let Some(path) = &cfg.journal {
+            exec = exec.with_journal(Journal::open(path)?);
+        }
+        let shared = Arc::new(Shared {
+            cfg,
+            exec,
+            bus,
+            flights: SingleFlight::new(),
+            rendered: Mutex::new(HashMap::new()),
+            queue: Mutex::new(Queue::default()),
+            cv: Condvar::new(),
+            admitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+        });
+        Ok(Server { shared, listener, local_addr })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A handle for triggering drain.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Serves until drained (SIGTERM, `POST /shutdown`, or
+    /// [`ServerHandle::drain`]), then returns the run's counters.
+    /// Everything admitted before drain began is answered.
+    pub fn run(self) -> RunSummary {
+        let shared = &*self.shared;
+        std::thread::scope(|s| {
+            for _ in 0..shared.cfg.workers.max(1) {
+                s.spawn(move || shared.worker_loop());
+            }
+            // The acceptor runs on the calling thread; drain unblocks
+            // it via the nonblocking accept loop.
+            shared.acceptor_loop(&self.listener);
+            // Acceptor stopped: wake every idle worker so they can
+            // observe the drain flag once the queue empties.
+            self.shared.cv.notify_all();
+        });
+        RunSummary {
+            admitted: shared.admitted.load(Ordering::SeqCst),
+            rejected: shared.rejected.load(Ordering::SeqCst),
+            served: shared.served.load(Ordering::SeqCst),
+            stats: shared.exec.stats(),
+        }
+    }
+}
+
+impl Shared {
+    fn start_drain(&self) {
+        lock(&self.queue).draining = true;
+        self.cv.notify_all();
+    }
+
+    fn is_draining(&self) -> bool {
+        lock(&self.queue).draining
+    }
+
+    /// Accepts connections until drain, applying admission control.
+    fn acceptor_loop(&self, listener: &TcpListener) {
+        loop {
+            if SIGTERM.load(Ordering::SeqCst) {
+                self.start_drain();
+            }
+            if self.is_draining() {
+                return;
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => self.admit(stream),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+    }
+
+    /// Admits one connection, or rejects it with 429 + `Retry-After`
+    /// when the queue is full. The rejection response is written from
+    /// the acceptor thread — it is a handful of bytes with a short
+    /// write timeout, and rejecting must not depend on a free worker.
+    fn admit(&self, mut stream: TcpStream) {
+        let arrived = Instant::now();
+        {
+            let mut q = lock(&self.queue);
+            if q.items.len() < self.cfg.queue_capacity {
+                q.items.push_back(Pending { stream, arrived });
+                let depth = q.items.len();
+                drop(q);
+                self.admitted.fetch_add(1, Ordering::SeqCst);
+                self.in_flight.fetch_add(1, Ordering::SeqCst);
+                self.bus
+                    .emit("regend", "", "", 0, EventKind::RequestReceived { queue_depth: depth });
+                self.cv.notify_one();
+                return;
+            }
+        }
+        self.rejected.fetch_add(1, Ordering::SeqCst);
+        self.bus.emit("regend", "", "", 0, EventKind::RequestRejected);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+        // Drain the request head before answering: closing with unread
+        // bytes in the receive buffer turns the close into an RST,
+        // which can destroy the 429 before the client reads it.
+        let mut head = [0u8; 1024];
+        let mut seen = 0usize;
+        while seen < 8 * 1024 {
+            match std::io::Read::read(&mut stream, &mut head) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => {
+                    seen += n;
+                    if head[..n].windows(4).any(|w| w == b"\r\n\r\n") {
+                        break;
+                    }
+                }
+            }
+        }
+        let _ = Response::text(429, "regend: admission queue full, retry shortly\n")
+            .with_header("Retry-After", "1")
+            .write_to(&mut stream);
+    }
+
+    /// Pops admitted connections and serves them until the queue is
+    /// empty *and* drain has been requested.
+    fn worker_loop(&self) {
+        loop {
+            let pending = {
+                let mut q = lock(&self.queue);
+                loop {
+                    if let Some(p) = q.items.pop_front() {
+                        break Some(p);
+                    }
+                    if q.draining {
+                        break None;
+                    }
+                    q = self.cv.wait(q).unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            let Some(p) = pending else { return };
+            self.serve_connection(p);
+        }
+    }
+
+    /// Parses and answers one connection.
+    fn serve_connection(&self, p: Pending) {
+        let _ = p.stream.set_read_timeout(Some(self.cfg.io_timeout));
+        let _ = p.stream.set_write_timeout(Some(self.cfg.io_timeout));
+        let mut reader = BufReader::new(match p.stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => {
+                self.finish("error", "", 499, p.arrived);
+                return;
+            }
+        });
+        let request = match Request::parse(&mut reader) {
+            Ok(r) => r,
+            Err(HttpError::Malformed(m)) => {
+                let mut stream = p.stream;
+                let _ = Response::text(400, format!("regend: {m}\n")).write_to(&mut stream);
+                self.finish("error", "", 400, p.arrived);
+                return;
+            }
+            Err(HttpError::Io(_)) => {
+                // Peer died or stalled past the read timeout; nothing
+                // to write. 499 keeps the in-flight gauge honest.
+                self.finish("error", "", 499, p.arrived);
+                return;
+            }
+        };
+        let deadline = self.request_deadline(&request);
+        let (endpoint, response) = if deadline_expired(deadline, p.arrived) {
+            self.bus.emit("regend", &request.path, "", 0, EventKind::DeadlineExpired);
+            ("deadline", Response::text(504, "regend: deadline expired in queue\n"))
+        } else {
+            let (endpoint, mut response) = self.route(&request);
+            if deadline_expired(deadline, p.arrived) && response.status == 200 {
+                // Computed, but too late to promise freshness bounds:
+                // the client asked for a deadline, honor it.
+                self.bus.emit("regend", &request.path, "", 0, EventKind::DeadlineExpired);
+                response = Response::text(504, "regend: deadline expired while computing\n");
+                (endpoint, response)
+            } else {
+                (endpoint, response)
+            }
+        };
+        let status = response.status;
+        let mut stream = p.stream;
+        let _ = response.write_to(&mut stream);
+        self.finish(endpoint, &request.path, status, p.arrived);
+    }
+
+    /// Records a finished request: counters, gauge, and the completion
+    /// event carrying the measured end-to-end latency.
+    fn finish(&self, endpoint: &str, path: &str, status: u16, arrived: Instant) {
+        self.served.fetch_add(1, Ordering::SeqCst);
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        let micros = arrived.elapsed().as_micros() as u64;
+        self.bus.emit(endpoint, path, "", 0, EventKind::RequestCompleted { status, micros });
+    }
+
+    fn request_deadline(&self, request: &Request) -> Option<Duration> {
+        if let Some(ms) = request.query_param("deadline_ms") {
+            if let Ok(ms) = ms.parse::<u64>() {
+                return Some(Duration::from_millis(ms));
+            }
+        }
+        self.cfg.default_deadline
+    }
+
+    /// Routes a parsed request to its handler.
+    fn route(&self, request: &Request) -> (&'static str, Response) {
+        let segments: Vec<&str> =
+            request.path.split('/').filter(|s| !s.is_empty()).collect();
+        match (request.method.as_str(), segments.as_slice()) {
+            ("GET", ["healthz"]) => ("healthz", self.healthz()),
+            ("GET", ["metrics"]) => ("metrics", self.metrics()),
+            ("GET", ["artifacts"]) => ("artifacts", self.artifact_index()),
+            ("GET", ["results"]) => ("results", self.results(request)),
+            ("GET", ["artifact", name]) => ("artifact", self.artifact(request, name)),
+            ("GET", ["cell", experiment, rest @ ..]) if !rest.is_empty() => {
+                ("cell", self.cell(request, experiment, &rest.join("/")))
+            }
+            ("POST", ["shutdown"]) => {
+                self.start_drain();
+                ("shutdown", Response::text(200, "draining\n"))
+            }
+            ("GET", ["shutdown"]) => {
+                ("shutdown", Response::text(405, "regend: shutdown requires POST\n"))
+            }
+            ("GET", _) => ("error", Response::text(404, endpoint_index())),
+            _ => ("error", Response::text(405, "regend: method not allowed\n")),
+        }
+    }
+
+    fn healthz(&self) -> Response {
+        let q = lock(&self.queue);
+        let status = if q.draining { "draining" } else { "ok" };
+        let depth = q.items.len();
+        drop(q);
+        Response::json(
+            200,
+            format!(
+                "{{\"status\":\"{}\",\"queue_depth\":{},\"in_flight\":{},\"cache_cells\":{},\"artifacts_cached\":{}}}\n",
+                status,
+                depth,
+                self.in_flight.load(Ordering::SeqCst),
+                self.exec.cache_len(),
+                lock(&self.rendered).len()
+            ),
+        )
+    }
+
+    fn metrics(&self) -> Response {
+        Response::text(200, prometheus_text(&self.bus.snapshot(), &self.exec.stats()))
+    }
+
+    fn artifact_index(&self) -> Response {
+        let mut body = String::new();
+        for a in Artifact::ALL {
+            body.push_str(&format!("{:14} {}\n", a.name(), a.caption()));
+        }
+        Response::text(200, body)
+    }
+
+    /// `GET /artifact/<name>[?quick=0|1][&seed=0][&deadline_ms=..]`
+    fn artifact(&self, request: &Request, name: &str) -> Response {
+        let artifact = match Artifact::parse(name) {
+            Some(a) => a,
+            None => return unknown_artifact(name),
+        };
+        if let Some(seed) = request.query_param("seed") {
+            if seed != "0" && seed != "default" {
+                return Response::text(
+                    400,
+                    "regend: only the pinned default seed (seed=0) is served; \
+                     renderings at other seeds are not golden-comparable\n",
+                );
+            }
+        }
+        let quick = match self.quick_for(request) {
+            Ok(q) => q,
+            Err(resp) => return resp,
+        };
+        match self.obtain(artifact, quick, &request.path) {
+            Ok(r) => {
+                let mut resp = Response::text(200, r.body);
+                if r.degraded {
+                    resp = resp.with_header("X-Regend-Degraded", "true");
+                }
+                if quick {
+                    resp = resp.with_header("X-Regend-Quick", "true");
+                }
+                resp
+            }
+            Err(e) => Response::text(500, format!("regend: {} failed: {e}\n", artifact.name())),
+        }
+    }
+
+    /// `GET /results[?quick=0|1]`: every artifact in paper order, one
+    /// document — byte-identical to `regen`'s stdout (and, for a full
+    /// non-quick server, to the committed `results_regenerated.txt`).
+    fn results(&self, request: &Request) -> Response {
+        let quick = match self.quick_for(request) {
+            Ok(q) => q,
+            Err(resp) => return resp,
+        };
+        let mut body = String::new();
+        let mut failures = 0u32;
+        for artifact in Artifact::ALL {
+            match self.obtain(artifact, quick, &request.path) {
+                Ok(r) => body.push_str(&r.body),
+                Err(_) => {
+                    failures += 1;
+                    body.push_str(&format!("== {} == FAILED\n\n", artifact.caption()));
+                }
+            }
+        }
+        let mut resp = Response::text(200, body);
+        if failures > 0 {
+            resp = resp.with_header("X-Regend-Failures", failures.to_string());
+        }
+        resp
+    }
+
+    /// `GET /cell/<experiment>/<content-key>[?seed=N]`: one lattice
+    /// cell as journal-shaped JSON. Computes the owning artifact first
+    /// if needed (through the same single-flight/cache path), then
+    /// reads the cell out of the executor's content-addressed cache.
+    fn cell(&self, request: &Request, experiment: &str, content_key: &str) -> Response {
+        let artifact = match experiment_artifact(experiment) {
+            Some(a) => a,
+            None => return unknown_artifact(experiment),
+        };
+        let seed = match request.query_param("seed").unwrap_or("0").parse::<u64>() {
+            Ok(s) => s,
+            Err(_) => return Response::text(400, "regend: seed must be a non-negative integer\n"),
+        };
+        let quick = match self.quick_for(request) {
+            Ok(q) => q,
+            Err(resp) => return resp,
+        };
+        if self.exec.cache_lookup(content_key, seed).is_none() {
+            if let Err(e) = self.obtain(artifact, quick, &request.path) {
+                return Response::text(
+                    500,
+                    format!("regend: computing {} for this cell failed: {e}\n", artifact.name()),
+                );
+            }
+        }
+        match self.exec.cache_lookup(content_key, seed) {
+            Some(v) => Response::json(200, format!("{}\n", cell_value_json(content_key, seed, &v))),
+            None => Response::text(
+                404,
+                format!(
+                    "regend: no cell {:?} (seed {seed}) under {}; try\n  GET /cell/{}/{}?seed={seed}\nafter checking the key against the journal or trace output\n",
+                    content_key,
+                    experiment,
+                    experiment,
+                    percent_encode_path(content_key),
+                ),
+            ),
+        }
+    }
+
+    /// Resolves the effective quick flag: the server default, overridden
+    /// by `?quick=0|1`.
+    fn quick_for(&self, request: &Request) -> Result<bool, Response> {
+        match request.query_param("quick") {
+            None => Ok(self.cfg.quick),
+            Some("1") | Some("true") => Ok(true),
+            Some("0") | Some("false") => Ok(false),
+            Some(other) => {
+                Err(Response::text(400, format!("regend: bad quick value {other:?} (use 0 or 1)\n")))
+            }
+        }
+    }
+
+    /// Obtains one artifact entry: rendered cache, then single-flight
+    /// computation on the shared executor. Successful (including
+    /// degraded) renderings are cached; failures are not, so a
+    /// transiently failing artifact recovers on the next query.
+    fn obtain(&self, artifact: Artifact, quick: bool, path: &str) -> ArtifactEntry {
+        let cache_key = (artifact.name(), quick);
+        if let Some(r) = lock(&self.rendered).get(&cache_key).cloned() {
+            self.bus.emit(artifact.name(), path, "", 0, EventKind::ArtifactCacheHit);
+            return Ok(r);
+        }
+        let flight_key = format!("{}/{}", artifact.name(), quick);
+        let (entry, outcome) = self.flights.run(&flight_key, || {
+            match artifact.regenerate(quick, &self.exec) {
+                Ok(out) => {
+                    let block = render_artifact_block(&ArtifactResult {
+                        artifact,
+                        outcome: Ok(out.clone()),
+                        cells: HarnessStats::default(),
+                    });
+                    let rendered = Rendered { body: block, degraded: out.degraded };
+                    lock(&self.rendered).insert(cache_key, rendered.clone());
+                    Ok(rendered)
+                }
+                Err(e) => Err(e.to_string()),
+            }
+        });
+        if outcome == FlightOutcome::Coalesced {
+            self.bus.emit(artifact.name(), path, "", 0, EventKind::FlightCoalesced);
+        }
+        entry
+    }
+}
+
+fn deadline_expired(deadline: Option<Duration>, arrived: Instant) -> bool {
+    deadline.is_some_and(|d| arrived.elapsed() > d)
+}
+
+/// Maps an experiment driver name onto the artifact whose sweep
+/// computes its cells. Identical for every driver except the two that
+/// feed the discussion artifact.
+pub fn experiment_artifact(experiment: &str) -> Option<Artifact> {
+    match experiment {
+        "ablations" | "smt" => Some(Artifact::Discussion),
+        other => Artifact::parse(other),
+    }
+}
+
+fn unknown_artifact(name: &str) -> Response {
+    let mut body = format!("regend: unknown artifact: {name}\n");
+    if let Some(suggestion) = Artifact::suggest(name) {
+        body.push_str(&format!("did you mean: {suggestion}?\n"));
+    }
+    body.push_str("see GET /artifacts for the full list\n");
+    Response::text(404, body)
+}
+
+fn endpoint_index() -> String {
+    "regend endpoints:\n\
+     \x20 GET  /healthz                         liveness + queue depth\n\
+     \x20 GET  /metrics                         Prometheus-style exposition\n\
+     \x20 GET  /artifacts                       artifact names and captions\n\
+     \x20 GET  /artifact/<name>[?quick=0|1]     one artifact rendering\n\
+     \x20 GET  /results[?quick=0|1]             every artifact, paper order\n\
+     \x20 GET  /cell/<experiment>/<key>[?seed=N] one lattice cell as JSON\n\
+     \x20 POST /shutdown                        graceful drain\n"
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_names_map_onto_artifacts() {
+        assert_eq!(experiment_artifact("figure2"), Some(Artifact::Figure2));
+        assert_eq!(experiment_artifact("table3"), Some(Artifact::Table3));
+        assert_eq!(experiment_artifact("ablations"), Some(Artifact::Discussion));
+        assert_eq!(experiment_artifact("smt"), Some(Artifact::Discussion));
+        assert_eq!(experiment_artifact("eibrs-bimodal"), Some(Artifact::EibrsBimodal));
+        assert_eq!(experiment_artifact("nope"), None);
+    }
+
+    #[test]
+    fn unknown_artifact_suggests_the_closest_name() {
+        let resp = unknown_artifact("figre2");
+        assert_eq!(resp.status, 404);
+        assert!(resp.body.contains("did you mean: figure2?"), "{}", resp.body);
+    }
+}
