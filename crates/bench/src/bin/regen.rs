@@ -13,26 +13,47 @@
 //! cargo run --release -p bench --bin regen -- fsck run.jsonl   # verify/repair a journal
 //! cargo run --release -p bench --bin regen -- --list           # artifact inventory
 //! cargo run --release -p bench --bin regen -- fetch http://127.0.0.1:7979 figure2
+//! cargo run --release -p bench --bin regen -- campaign --quick table1  # fault-space sweep
 //! ```
 //!
 //! Exit codes: 0 clean; 1 at least one artifact failed or was degraded
 //! (or a journal append was lost); 2 bad usage (unknown artifact or
 //! malformed flag). `regen fsck` exits 0 when every line was valid, 1
 //! when only recoverable crash artifacts (stale / torn tail) were
-//! found, 2 on checksum or structural corruption.
+//! found, 2 on checksum or structural corruption. `regen campaign`
+//! exits 0 when every explored coordinate was absorbed, degraded, or
+//! failed loud; 1 when the reference sweep was not clean; 2 on any
+//! silent-corruption classification (or bad usage).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
 
+use bench::campaign::{run_campaign, CampaignError, CampaignOptions};
 use bench::{Artifact, RegenOptions, run_regen};
-use spectrebench::{fsck_journal, jobs_from_env, FaultPlan};
+use spectrebench::campaign::SurvivalClass;
+use spectrebench::{fsck_journal, jobs_from_env, FaultKind, FaultPlan};
 
 fn usage(to_stdout: bool) {
-    let mut text = String::from(
+    // The kind lists come from FaultKind::ALL so --help can never
+    // drift from what parse_spec accepts.
+    let compute_kinds = FaultKind::ALL
+        .iter()
+        .filter(|k| !k.is_io())
+        .map(|k| k.name())
+        .collect::<Vec<_>>()
+        .join("|");
+    let io_kinds = FaultKind::ALL
+        .iter()
+        .filter(|k| k.is_io())
+        .map(|k| k.name())
+        .collect::<Vec<_>>()
+        .join("|");
+    let mut text = format!(
         "usage: regen [options] [artifact ...]\n\
          \x20      regen fsck <journal>\n\
          \x20      regen fetch <base-url> <artifact|results>\n\
+         \x20      regen campaign [campaign-options] [artifact ...]\n\
          \n\
          subcommands:\n\
          \x20 fsck <journal>    verify the journal's per-line checksums,\n\
@@ -42,7 +63,18 @@ fn usage(to_stdout: bool) {
          \x20                   or 2 (corruption found / unreadable)\n\
          \x20 fetch <url> <a>   pull one artifact rendering (or 'results' for\n\
          \x20                   all of them) off a running regend and print it;\n\
-         \x20                   retries politely on 429 + Retry-After\n\
+         \x20                   retries politely on 429 + Retry-After, and with\n\
+         \x20                   seeded backoff on refused/timed-out connections\n\
+         \x20 campaign          explore the whole (cell x attempt x fault-kind)\n\
+         \x20                   space: reference sweep, one perturbed sweep per\n\
+         \x20                   coordinate (all of {compute_kinds},\n\
+         \x20                   {io_kinds}), survivability report.\n\
+         \x20                   Campaign options: --sample <n> (seeded stratified\n\
+         \x20                   sample), --seed <n>, --dir <d> (scratch + campaign\n\
+         \x20                   journal), --resume (continue an interrupted\n\
+         \x20                   campaign), --report <f> (JSON report, atomic),\n\
+         \x20                   plus --quick/--retries/--jobs as below.\n\
+         \x20                   Exits 2 on any silent-corruption verdict\n\
          \n\
          options:\n\
          \x20 --list            list the artifacts and exit\n\
@@ -57,8 +89,8 @@ fn usage(to_stdout: bool) {
          \x20 --inject <spec>   deterministic fault plan, e.g.\n\
          \x20                   'cell=<substr>:kind=<kind>:times=<n|forever>'\n\
          \x20                   or 'seed=<n>:prob=<p>'. Compute kinds\n\
-         \x20                   sim|timeout|corrupt|panic fail attempts; I/O kinds\n\
-         \x20                   torn-write|journal-corrupt damage the cell's\n\
+         \x20                   {compute_kinds} fail attempts; I/O kinds\n\
+         \x20                   {io_kinds} damage the cell's\n\
          \x20                   journal line instead (the value still renders)\n\
          \x20 --trace-out <f>   write a Chrome trace-event JSON timeline of the\n\
          \x20                   sweep (one lane per worker; open in Perfetto or\n\
@@ -177,6 +209,126 @@ fn run_fetch(base: &str, what: &str) -> ExitCode {
     }
 }
 
+/// Parses `regen campaign` arguments (everything after the subcommand
+/// word).
+fn parse_campaign_args(args: &[String]) -> Result<CampaignOptions, String> {
+    let mut opts = CampaignOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let mut value = |flag: &str| -> Result<String, String> {
+            i += 1;
+            args.get(i).cloned().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--retries" => {
+                let v = value("--retries")?;
+                let n: u32 = v.parse().map_err(|_| format!("bad --retries value: {v}"))?;
+                if n == 0 {
+                    return Err("--retries must be at least 1".to_string());
+                }
+                opts.retries = n;
+            }
+            "--jobs" => {
+                let v = value("--jobs")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --jobs value: {v}"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+                opts.jobs = Some(n);
+            }
+            "--sample" => {
+                let v = value("--sample")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --sample value: {v}"))?;
+                if n == 0 {
+                    return Err("--sample must be at least 1".to_string());
+                }
+                opts.sample = Some(n);
+            }
+            "--seed" => {
+                let v = value("--seed")?;
+                opts.seed = v.parse().map_err(|_| format!("bad --seed value: {v}"))?;
+            }
+            "--dir" => opts.dir = PathBuf::from(value("--dir")?),
+            "--resume" => opts.resume = true,
+            "--report" => opts.report_out = Some(PathBuf::from(value("--report")?)),
+            name if !name.starts_with("--") => match Artifact::parse(name) {
+                Some(a) => opts.artifacts.push(a),
+                None => return Err(unknown_artifact(name)),
+            },
+            other => return Err(format!("unknown campaign flag: {other}")),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+/// `regen campaign`: the three-phase fault-space exploration. Prints
+/// the survivability matrix to stdout; exit 2 on any silent-corruption
+/// verdict, exit 1 when the reference sweep could not baseline.
+fn run_campaign_cmd(args: &[String]) -> ExitCode {
+    let mut opts = match parse_campaign_args(args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("regen campaign: {msg}");
+            eprintln!();
+            usage(false);
+            return ExitCode::from(2);
+        }
+    };
+    if opts.jobs.is_none() {
+        match jobs_from_env() {
+            Ok(n) => opts.jobs = n,
+            Err(msg) => {
+                eprintln!("regen: {msg}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let run = match run_campaign(&opts) {
+        Ok(run) => run,
+        Err(e @ CampaignError::ReferenceNotClean(_)) => {
+            eprintln!("regen campaign: {e}");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("regen campaign: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", run.report.render_matrix());
+    eprintln!(
+        "regen campaign: {} coordinate(s) explored ({} executed now, {} replayed from {}), \
+         space {} over {} cell(s)",
+        run.report.outcomes.len(),
+        run.executed,
+        run.replayed,
+        opts.dir.join("campaign.jsonl").display(),
+        run.report.space,
+        run.report.cells
+    );
+    let s = &run.stats;
+    eprintln!(
+        "regen campaign: {} cells run, {} retries, {} faults injected, {} cells failed, {} panic(s) caught",
+        s.cells_run, s.retries, s.faults_injected, s.cells_failed, s.panics_caught
+    );
+    if let Some(path) = &opts.report_out {
+        eprintln!("regen campaign: report written to {}", path.display());
+    }
+    let silent = run.report.silent_corruptions();
+    if silent.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for o in &silent {
+            eprintln!("regen campaign: SILENT CORRUPTION at {} ({})", o.coord.id(), o.detail);
+        }
+        // Reserve exit 2 for the one verdict that is always a bug.
+        debug_assert!(silent.iter().all(|o| o.class == SurvivalClass::SilentCorruption));
+        ExitCode::from(2)
+    }
+}
+
 /// `regen fsck <journal>`: verify, quarantine, compact. Severity maps
 /// directly to the exit code; an unreadable journal is severity 2.
 fn run_fsck(path: &Path) -> ExitCode {
@@ -227,6 +379,9 @@ fn main() -> ExitCode {
                 ExitCode::from(2)
             }
         };
+    }
+    if args.first().map(String::as_str) == Some("campaign") {
+        return run_campaign_cmd(&args[1..]);
     }
     if args.first().map(String::as_str) == Some("fsck") {
         return match args.get(1) {

@@ -47,21 +47,66 @@ fn split_url(url: &str) -> Result<(&str, &str), String> {
     Ok((authority, path))
 }
 
+/// Whether an I/O failure is worth retrying: the peer was not there
+/// yet (connection refused — a daemon still binding its socket) or
+/// stopped answering within the timeout (a daemon still warming up).
+/// Anything else — unresolvable host, protocol garbage — is permanent.
+fn is_transient(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionRefused
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::TimedOut
+            // Unix reports a read/write timeout on a nonblocking-style
+            // deadline as WouldBlock.
+            | std::io::ErrorKind::WouldBlock
+    )
+}
+
+/// A `GET` attempt that remembers whether its failure was transient.
+fn http_get_classified(url: &str, timeout: Duration) -> Result<HttpResponse, (bool, String)> {
+    let (authority, path) = split_url(url).map_err(|e| (false, e))?;
+    let addr = first_addr(authority)
+        .map_err(|e| (false, format!("cannot resolve {authority:?}: {e}")))?;
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)
+        .map_err(|e| (is_transient(&e), format!("cannot connect to {authority}: {e}")))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| (false, e.to_string()))?;
+    stream
+        .set_write_timeout(Some(timeout))
+        .map_err(|e| (false, e.to_string()))?;
+    let request =
+        format!("GET {path} HTTP/1.1\r\nHost: {authority}\r\nConnection: close\r\n\r\n");
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| (is_transient(&e), format!("write failed: {e}")))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| (is_transient(&e), format!("read failed: {e}")))?;
+    parse_response(&raw).map_err(|e| (false, e))
+}
+
 /// Performs one `GET` and reads the whole response. `timeout` bounds
 /// connect, each read, and each write independently.
 pub fn http_get(url: &str, timeout: Duration) -> Result<HttpResponse, String> {
-    let (authority, path) = split_url(url)?;
-    let addr = first_addr(authority).map_err(|e| format!("cannot resolve {authority:?}: {e}"))?;
-    let mut stream = TcpStream::connect_timeout(&addr, timeout)
-        .map_err(|e| format!("cannot connect to {authority}: {e}"))?;
-    stream.set_read_timeout(Some(timeout)).map_err(|e| e.to_string())?;
-    stream.set_write_timeout(Some(timeout)).map_err(|e| e.to_string())?;
-    let request =
-        format!("GET {path} HTTP/1.1\r\nHost: {authority}\r\nConnection: close\r\n\r\n");
-    stream.write_all(request.as_bytes()).map_err(|e| format!("write failed: {e}"))?;
-    let mut raw = Vec::new();
-    stream.read_to_end(&mut raw).map_err(|e| format!("read failed: {e}"))?;
-    parse_response(&raw)
+    http_get_classified(url, timeout).map_err(|(_, e)| e)
+}
+
+/// Bounded exponential backoff with deterministic jitter for transient
+/// failures: 50ms base doubling to a 1s cap, plus a jitter of up to
+/// half the step derived from an FNV hash of `(url, attempt)` — seeded,
+/// so two clients hammering the same slow daemon from different URLs
+/// de-synchronize, and a given invocation is reproducible.
+fn backoff_delay(url: &str, attempt: u32) -> Duration {
+    let base_ms = 50u64.saturating_mul(1 << attempt.min(5)).min(1_000);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in url.bytes().chain(attempt.to_le_bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    Duration::from_millis(base_ms + h % (base_ms / 2).max(1))
 }
 
 /// Parses a full wire response (head + body).
@@ -98,24 +143,43 @@ pub fn parse_response(raw: &[u8]) -> Result<HttpResponse, String> {
     Ok(HttpResponse { status, headers, body })
 }
 
-/// `GET` with bounded retry on 429: sleeps the server's `Retry-After`
-/// (default one second) between attempts — the client half of the
-/// admission-control contract.
+/// `GET` with bounded retry on the failures a healthy deployment still
+/// produces:
+///
+/// * **429** — sleeps the server's `Retry-After` (default one second);
+///   the client half of the admission-control contract;
+/// * **connection refused / read-timeout** — sleeps a capped
+///   exponential backoff with seeded jitter ([`backoff_delay`]), so
+///   `regen fetch` survives the race against a daemon that is still
+///   binding its socket or warming its caches.
+///
+/// Permanent failures (unresolvable host, protocol errors, any other
+/// HTTP status) return immediately.
 pub fn http_get_retrying(
     url: &str,
     timeout: Duration,
     max_attempts: u32,
 ) -> Result<HttpResponse, String> {
+    let max_attempts = max_attempts.max(1);
     let mut last = String::new();
-    for _ in 0..max_attempts.max(1) {
-        match http_get(url, timeout) {
+    for attempt in 0..max_attempts {
+        match http_get_classified(url, timeout) {
             Ok(r) if r.status == 429 => {
                 let secs =
                     r.header("retry-after").and_then(|v| v.parse::<u64>().ok()).unwrap_or(1);
                 last = format!("server busy (429, Retry-After: {secs})");
-                std::thread::sleep(Duration::from_secs(secs));
+                if attempt + 1 < max_attempts {
+                    std::thread::sleep(Duration::from_secs(secs));
+                }
             }
-            other => return other,
+            Err((true, e)) => {
+                last = e;
+                if attempt + 1 < max_attempts {
+                    std::thread::sleep(backoff_delay(url, attempt));
+                }
+            }
+            Err((false, e)) => return Err(e),
+            Ok(r) => return Ok(r),
         }
     }
     Err(format!("gave up after {max_attempts} attempt(s): {last}"))
@@ -139,6 +203,64 @@ mod tests {
         assert_eq!(split_url("http://localhost:80").unwrap(), ("localhost:80", "/"));
         assert!(split_url("https://x/").is_err());
         assert!(split_url("http:///x").is_err());
+    }
+
+    #[test]
+    fn backoff_is_seeded_bounded_and_growing() {
+        let url = "http://127.0.0.1:7979/results";
+        // Deterministic for a fixed (url, attempt)...
+        assert_eq!(backoff_delay(url, 0), backoff_delay(url, 0));
+        // ...different across urls (jitter de-synchronizes clients)...
+        assert_ne!(
+            backoff_delay("http://127.0.0.1:7979/a", 3),
+            backoff_delay("http://127.0.0.1:7979/b", 3)
+        );
+        // ...never below the base step, capped with jitter at 1.5s.
+        for attempt in 0..40 {
+            let d = backoff_delay(url, attempt);
+            assert!(d >= Duration::from_millis(50), "attempt {attempt}: {d:?}");
+            assert!(d <= Duration::from_millis(1_500), "attempt {attempt}: {d:?}");
+        }
+        // The schedule grows: a late attempt waits at least the cap's
+        // base where an early one may wait only the first step.
+        assert!(backoff_delay(url, 10) >= Duration::from_millis(1_000));
+    }
+
+    #[test]
+    fn connection_refused_is_retried_then_reported() {
+        // Bind-then-drop guarantees a port nobody is listening on.
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let url = format!("http://127.0.0.1:{port}/results");
+        let start = std::time::Instant::now();
+        let err = http_get_retrying(&url, Duration::from_secs(1), 3).unwrap_err();
+        assert!(err.starts_with("gave up after 3 attempt(s)"), "{err}");
+        assert!(err.contains("cannot connect"), "{err}");
+        // Two backoff sleeps happened (attempts 0 and 1): at least the
+        // first two base steps.
+        assert!(start.elapsed() >= Duration::from_millis(150), "{:?}", start.elapsed());
+    }
+
+    #[test]
+    fn permanent_failures_do_not_retry() {
+        // An unsupported scheme fails before any socket is opened; the
+        // error comes straight back without the give-up wrapper.
+        let err =
+            http_get_retrying("https://example.invalid/", Duration::from_secs(1), 5).unwrap_err();
+        assert!(err.contains("only http:// is spoken"), "{err}");
+        assert!(!err.contains("gave up"), "{err}");
+    }
+
+    #[test]
+    fn transient_classification_is_by_error_kind() {
+        use std::io::{Error, ErrorKind};
+        assert!(is_transient(&Error::from(ErrorKind::ConnectionRefused)));
+        assert!(is_transient(&Error::from(ErrorKind::TimedOut)));
+        assert!(is_transient(&Error::from(ErrorKind::WouldBlock)));
+        assert!(!is_transient(&Error::from(ErrorKind::NotFound)));
+        assert!(!is_transient(&Error::from(ErrorKind::PermissionDenied)));
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! other half of the serving story: a small HTTP client behind
 //! `regen fetch`, for pulling renderings off a running `regend`.
 
+pub mod campaign;
 pub mod client;
 
 use std::path::PathBuf;

@@ -1,0 +1,839 @@
+//! Fault-space exploration campaigns: search the injection space
+//! instead of sampling it.
+//!
+//! [`crate::faultplan`] injects at hand-picked coordinates, so every
+//! recovery proof so far covers exactly the faults somebody thought of.
+//! A *campaign* closes that gap the way the paper replaced anecdotal
+//! attack PoCs with a systematic sweep of the attack space: take a clean
+//! reference sweep, enumerate **every** `(content-key, attempt,
+//! fault-kind)` coordinate its cell set admits (or a seeded stratified
+//! sample for large spaces), execute each coordinate as an independent
+//! perturbed sweep through the unchanged executor/retry/breaker/fsck
+//! machinery, and classify what came out:
+//!
+//! * [`SurvivalClass::Absorbed`] — the artifact bytes are identical to
+//!   the reference; retry / fsck ate the fault whole.
+//! * [`SurvivalClass::Degraded`] — the output differs but is correctly
+//!   accounted as partial (`†`-bridged slices, `DEGRADED` reported).
+//! * [`SurvivalClass::FailedLoud`] — an artifact failed with a typed
+//!   error and a nonzero exit; noisy, but honest.
+//! * [`SurvivalClass::SilentCorruption`] — the output differs from the
+//!   reference while the sweep claims to be clean, **or** a damaged
+//!   journal line would replay a wrong value on resume. Always a bug.
+//!
+//! This module is the pure half of the feature: coordinate enumeration,
+//! deterministic stratified sampling, outcome classification, the
+//! crash-safe campaign journal (so an interrupted campaign resumes),
+//! and the byte-deterministic report. The sweep-running half lives in
+//! the `bench` crate, which owns the artifact drivers.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+
+use crate::faultplan::{FaultKind, FaultPlan};
+use crate::harness::{classify_line, escape_json, lock, JournalScan, LineClass};
+use crate::persist::crc32;
+use crate::plan::CellValue;
+use std::sync::Mutex;
+
+/// What the machinery did with one injected fault coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SurvivalClass {
+    /// Artifact bytes identical to the reference sweep: the fault was
+    /// retried / recovered away completely.
+    Absorbed,
+    /// Output differs but is accounted: `†`-bridged slices and a
+    /// DEGRADED verdict (exit 1).
+    Degraded,
+    /// An artifact failed outright with a typed error (exit 1); loud,
+    /// attributable, recoverable by a re-run.
+    FailedLoud,
+    /// Output differs from the reference while the sweep claims to be
+    /// clean (or resume state would silently replay a wrong value).
+    /// Always a bug in the machinery, never an acceptable outcome.
+    SilentCorruption,
+}
+
+impl SurvivalClass {
+    /// Every class, in lattice order (best to worst).
+    pub const ALL: [SurvivalClass; 4] = [
+        SurvivalClass::Absorbed,
+        SurvivalClass::Degraded,
+        SurvivalClass::FailedLoud,
+        SurvivalClass::SilentCorruption,
+    ];
+
+    /// Stable name used in the campaign journal, report, and metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            SurvivalClass::Absorbed => "absorbed",
+            SurvivalClass::Degraded => "degraded",
+            SurvivalClass::FailedLoud => "failed-loud",
+            SurvivalClass::SilentCorruption => "silent-corruption",
+        }
+    }
+
+    /// Parses a stable name (the campaign journal reader).
+    pub fn parse(s: &str) -> Option<SurvivalClass> {
+        SurvivalClass::ALL.into_iter().find(|c| c.name() == s)
+    }
+}
+
+impl fmt::Display for SurvivalClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One point of the fault space: inject `kind` into the cell addressed
+/// by `(content_key, seed)` for its first `attempt + 1` attempts.
+///
+/// The attempt axis makes retry depth part of the search: `attempt 0`
+/// kills only the first try (one retry must absorb it), and
+/// `attempt == retries - 1` kills every try (the cell fails permanently
+/// and the degradation path is on trial). I/O-layer kinds have a single
+/// coordinate per cell — a cell's value is journaled exactly once.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Coordinate {
+    /// Content-addressed cell key (`cpu/workload/[config]`). Targeting
+    /// the content key (not the per-experiment cell key) means the
+    /// fault fires in whichever experiment computes the cell first —
+    /// exactly where a real failure would land under the shared cache.
+    pub content_key: String,
+    /// The cell's seed, as recorded by the reference sweep.
+    pub seed: u64,
+    /// 0-based attempt depth: the injected rule fires `attempt + 1`
+    /// times.
+    pub attempt: u32,
+    /// Which failure to inject.
+    pub kind: FaultKind,
+}
+
+impl Coordinate {
+    /// Canonical id: `kind:attempt:seed:content-key` (the key goes
+    /// last because it may contain any character except a newline).
+    pub fn id(&self) -> String {
+        format!("{}:{}:{}:{}", self.kind.name(), self.attempt, self.seed, self.content_key)
+    }
+
+    /// Parses a canonical id back into a coordinate.
+    pub fn parse_id(id: &str) -> Option<Coordinate> {
+        let mut parts = id.splitn(4, ':');
+        let kind = FaultKind::parse(parts.next()?)?;
+        let attempt = parts.next()?.parse().ok()?;
+        let seed = parts.next()?.parse().ok()?;
+        let content_key = parts.next()?.to_string();
+        if content_key.is_empty() {
+            return None;
+        }
+        Some(Coordinate { content_key, seed, attempt, kind })
+    }
+
+    /// The fault plan that realises this coordinate: one targeted rule
+    /// matching the content key, delivered `attempt + 1` times.
+    pub fn fault_plan(&self) -> FaultPlan {
+        FaultPlan::new().fail_cell(self.content_key.clone(), self.kind, Some(self.attempt + 1))
+    }
+}
+
+impl fmt::Display for Coordinate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id())
+    }
+}
+
+/// Enumerates the full coordinate space of a cell set: every
+/// `(cell, attempt, kind)` point, duplicate-free and in a canonical
+/// order (cells sorted by key then seed; kinds in [`FaultKind::ALL`]
+/// order; attempts ascending). Compute-path kinds get `retries`
+/// attempt depths; I/O kinds get one (a cell journals once).
+pub fn enumerate_coordinates(cells: &[(String, u64)], retries: u32) -> Vec<Coordinate> {
+    let mut cells: Vec<(String, u64)> = cells.to_vec();
+    cells.sort();
+    cells.dedup();
+    let retries = retries.max(1);
+    let mut out = Vec::new();
+    for (key, seed) in &cells {
+        for kind in FaultKind::ALL {
+            let depths = if kind.is_io() { 1 } else { retries };
+            for attempt in 0..depths {
+                out.push(Coordinate {
+                    content_key: key.clone(),
+                    seed: *seed,
+                    attempt,
+                    kind,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Deterministic stratified sample of `n` coordinates from `space`,
+/// decided by `seed`:
+///
+/// * strata are the fault kinds, so a small sample still exercises
+///   every failure mode the space contains;
+/// * per-stratum quotas are proportional with largest-remainder
+///   rounding, so quotas sum to exactly `min(n, space.len())`;
+/// * within a stratum, coordinates are ranked by a seeded hash of
+///   their id — same seed, same sample, independent of how the caller
+///   ordered the space;
+/// * the result preserves the enumeration order of `space` (so the
+///   report reads like a filtered full report).
+pub fn stratified_sample(space: &[Coordinate], n: usize, seed: u64) -> Vec<Coordinate> {
+    if n >= space.len() {
+        return space.to_vec();
+    }
+    // Group indices by kind, preserving order.
+    let mut strata: Vec<(FaultKind, Vec<usize>)> = Vec::new();
+    for kind in FaultKind::ALL {
+        let idx: Vec<usize> =
+            (0..space.len()).filter(|&i| space[i].kind == kind).collect();
+        if !idx.is_empty() {
+            strata.push((kind, idx));
+        }
+    }
+    // Largest-remainder quotas.
+    let total = space.len();
+    let mut quotas: Vec<usize> = Vec::with_capacity(strata.len());
+    let mut remainders: Vec<(u128, usize)> = Vec::with_capacity(strata.len());
+    let mut assigned = 0usize;
+    for (s, (_, idx)) in strata.iter().enumerate() {
+        let exact_num = (n as u128) * (idx.len() as u128);
+        let q = (exact_num / total as u128) as usize;
+        quotas.push(q.min(idx.len()));
+        assigned += quotas[s];
+        remainders.push((exact_num % total as u128, s));
+    }
+    // Hand out the remaining slots by remainder size (ties broken by
+    // stratum order — deterministic).
+    remainders.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let mut left = n.saturating_sub(assigned);
+    while left > 0 {
+        let mut gave = false;
+        for &(_, s) in &remainders {
+            if left == 0 {
+                break;
+            }
+            if quotas[s] < strata[s].1.len() {
+                quotas[s] += 1;
+                left -= 1;
+                gave = true;
+            }
+        }
+        if !gave {
+            break;
+        }
+    }
+    // Rank each stratum by seeded hash, take the quota, then restore
+    // enumeration order.
+    let mut picked: Vec<usize> = Vec::with_capacity(n);
+    for (s, (_, idx)) in strata.iter().enumerate() {
+        let mut ranked: Vec<(u64, usize)> = idx
+            .iter()
+            .map(|&i| (sample_hash(seed, &space[i].id()), i))
+            .collect();
+        ranked.sort();
+        picked.extend(ranked.into_iter().take(quotas[s]).map(|(_, i)| i));
+    }
+    picked.sort_unstable();
+    picked.into_iter().map(|i| space[i].clone()).collect()
+}
+
+/// FNV-1a + xorshift* hash of (seed, id) — the sampling rank.
+fn sample_hash(seed: u64, id: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in id.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut x = h ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+/// What the campaign driver observed from one perturbed sweep, reduced
+/// to the facts classification needs.
+#[derive(Debug, Clone, Default)]
+pub struct SweepObservation {
+    /// The concatenated artifact renderings (the sweep's stdout).
+    pub rendered: String,
+    /// Artifacts that failed with a typed error.
+    pub failed_artifacts: Vec<String>,
+    /// Artifacts that rendered but carry degraded (`†`-bridged) slices.
+    pub degraded_artifacts: Vec<String>,
+    /// Extra attempts the harness spent across the sweep.
+    pub retries: u64,
+    /// Faults the plan actually delivered (0 means the coordinate never
+    /// fired — e.g. a cell served from cache before its fault could).
+    pub faults_injected: u64,
+    /// Whether the perturbed sweep's journal, re-scanned after the
+    /// sweep, shows the injected damage as detected (corrupt or torn
+    /// lines counted) — the I/O-kind absorption proof.
+    pub journal_damage_detected: bool,
+    /// Whether any journal entry that would replay on resume differs
+    /// from the reference value for the same (cell, seed) — the resume
+    /// path's silent-corruption detector.
+    pub journal_replay_mismatch: bool,
+}
+
+/// Classifies one coordinate's observation against the reference
+/// rendering. The lattice is checked worst-first: a replay mismatch is
+/// silent corruption even if the rendered bytes matched.
+pub fn classify(reference: &str, obs: &SweepObservation) -> SurvivalClass {
+    if obs.journal_replay_mismatch {
+        return SurvivalClass::SilentCorruption;
+    }
+    if obs.rendered == reference
+        && obs.failed_artifacts.is_empty()
+        && obs.degraded_artifacts.is_empty()
+    {
+        return SurvivalClass::Absorbed;
+    }
+    if !obs.degraded_artifacts.is_empty() {
+        return SurvivalClass::Degraded;
+    }
+    if !obs.failed_artifacts.is_empty() {
+        return SurvivalClass::FailedLoud;
+    }
+    if obs.rendered == reference {
+        // Bytes match and nothing failed or degraded — but the guard
+        // above already returned Absorbed for that; reaching here means
+        // inconsistent accounting, which is its own (loud) bug class.
+        return SurvivalClass::Absorbed;
+    }
+    SurvivalClass::SilentCorruption
+}
+
+/// Scans a cell journal's text the way `Journal::open` would (without
+/// printing warnings or touching the file), returning the per-class
+/// line counts and the entries a resume would replay.
+pub fn scan_journal_text(text: &str) -> (JournalScan, HashMap<(String, u64), CellValue>) {
+    let mut scan = JournalScan::default();
+    let mut entries = HashMap::new();
+    let complete_tail = text.ends_with('\n');
+    let lines: Vec<&str> = text.lines().collect();
+    let n = lines.len();
+    for (i, line) in lines.iter().enumerate() {
+        let is_last = i + 1 == n && !complete_tail;
+        match classify_line(line, is_last) {
+            LineClass::Valid(key, seed, v) => {
+                scan.valid += 1;
+                entries.insert((key, seed), v);
+            }
+            LineClass::Stale => scan.stale += 1,
+            LineClass::TruncatedTail => scan.truncated += 1,
+            LineClass::Corrupt => scan.corrupt += 1,
+            LineClass::Header | LineClass::Blank => {}
+        }
+    }
+    (scan, entries)
+}
+
+/// One classified coordinate, as recorded in the campaign journal and
+/// the report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoordinateOutcome {
+    /// Which fault-space point.
+    pub coord: Coordinate,
+    /// The survivability verdict.
+    pub class: SurvivalClass,
+    /// Retries the perturbed sweep spent (deterministic for a fixed
+    /// plan, so it is safe to include in the byte-pinned report).
+    pub retries: u64,
+    /// Faults the plan actually delivered.
+    pub faults_injected: u64,
+    /// A short deterministic note: the first failed or degraded
+    /// artifact, or journal-damage accounting for I/O kinds.
+    pub detail: String,
+}
+
+impl CoordinateOutcome {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"coord\":\"{}\",\"kind\":\"{}\",\"attempt\":{},\"cell\":\"{}\",\"seed\":{},\
+             \"class\":\"{}\",\"retries\":{},\"faults\":{},\"detail\":\"{}\"}}",
+            escape_json(&self.coord.id()),
+            self.coord.kind.name(),
+            self.coord.attempt,
+            escape_json(&self.coord.content_key),
+            self.coord.seed,
+            self.class.name(),
+            self.retries,
+            self.faults_injected,
+            escape_json(&self.detail)
+        )
+    }
+}
+
+/// The header line a campaign journal starts with.
+pub const CAMPAIGN_JOURNAL_HEADER: &str = "#regen-campaign v1";
+
+/// Append-only, CRC-checksummed journal of classified coordinates, so
+/// a campaign killed at coordinate 800 of 1000 resumes with 800 rows
+/// replayed instead of re-running them. Line format mirrors the cell
+/// journal's v2 framing (`c1 <crc32 lowercase-hex> <payload JSON>`);
+/// damaged lines (the torn tail of a killed campaign) are skipped on
+/// load and simply re-run.
+#[derive(Debug)]
+pub struct CampaignJournal {
+    file: Mutex<BufWriter<File>>,
+    path: PathBuf,
+}
+
+impl CampaignJournal {
+    /// Opens (or creates) a campaign journal, returning the outcomes
+    /// already on record. Damaged lines are counted, not fatal: a
+    /// SIGKILLed campaign may leave a torn tail, and the coordinate it
+    /// belonged to just re-runs.
+    pub fn open(path: &Path) -> io::Result<(CampaignJournal, Vec<CoordinateOutcome>, u64)> {
+        let mut replayed = Vec::new();
+        let mut skipped = 0u64;
+        let mut had_content = false;
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                had_content = !text.is_empty();
+                for line in text.lines() {
+                    let trimmed = line.trim_end_matches('\r');
+                    if trimmed.trim().is_empty() || trimmed.starts_with('#') {
+                        continue;
+                    }
+                    match decode_campaign_line(trimmed) {
+                        Some(outcome) => replayed.push(outcome),
+                        None => skipped += 1,
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let mut file = BufWriter::new(OpenOptions::new().create(true).append(true).open(path)?);
+        if !had_content {
+            file.write_all(CAMPAIGN_JOURNAL_HEADER.as_bytes())?;
+            file.write_all(b"\n")?;
+            file.flush()?;
+        }
+        Ok((
+            CampaignJournal { file: Mutex::new(file), path: path.to_path_buf() },
+            replayed,
+            skipped,
+        ))
+    }
+
+    /// Where this journal lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one classified coordinate and flushes, so a kill right
+    /// after costs at most the coordinate in flight.
+    pub fn record(&self, outcome: &CoordinateOutcome) -> io::Result<()> {
+        let payload = outcome.to_json();
+        let line = format!("c1 {:08x} {}\n", crc32(payload.as_bytes()), payload);
+        let mut file = lock(&self.file);
+        file.write_all(line.as_bytes())?;
+        file.flush()
+    }
+
+    /// Fsyncs the backing file (called once per coordinate batch).
+    pub fn sync(&self) -> io::Result<()> {
+        let mut file = lock(&self.file);
+        file.flush()?;
+        file.get_ref().sync_data()
+    }
+}
+
+/// Decodes one `c1 <crc> <payload>` campaign-journal line.
+fn decode_campaign_line(line: &str) -> Option<CoordinateOutcome> {
+    let rest = line.strip_prefix("c1 ")?;
+    let (crc_hex, payload) = rest.split_once(' ')?;
+    if crc_hex.len() != 8
+        || !crc_hex.bytes().all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+    {
+        return None;
+    }
+    let declared = u32::from_str_radix(crc_hex, 16).ok()?;
+    if crc32(payload.as_bytes()) != declared {
+        return None;
+    }
+    let coord = Coordinate::parse_id(&extract_str(payload, "coord")?)?;
+    let class = SurvivalClass::parse(&extract_str(payload, "class")?)?;
+    let retries = extract_u64(payload, "retries")?;
+    let faults_injected = extract_u64(payload, "faults")?;
+    let detail = extract_str(payload, "detail")?;
+    Some(CoordinateOutcome { coord, class, retries, faults_injected, detail })
+}
+
+/// Extracts a string field from the flat, trusted-shape JSON the
+/// campaign journal writes (same conventions as the cell journal: the
+/// writer escapes only `"` `\` and control characters).
+fn extract_str(payload: &str, field: &str) -> Option<String> {
+    let needle = format!("\"{field}\":\"");
+    let start = payload.find(&needle)? + needle.len();
+    let bytes = payload.as_bytes();
+    let mut out = String::new();
+    let mut i = start;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return Some(out),
+            b'\\' => {
+                let next = *bytes.get(i + 1)?;
+                match next {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'u' => {
+                        let hex = payload.get(i + 2..i + 6)?;
+                        let code = u32::from_str_radix(hex, 16).ok()?;
+                        out.push(char::from_u32(code)?);
+                        i += 4;
+                    }
+                    _ => return None,
+                }
+                i += 2;
+            }
+            _ => {
+                let c = payload[i..].chars().next()?;
+                out.push(c);
+                i += c.len_utf8();
+            }
+        }
+    }
+    None
+}
+
+/// Extracts an unsigned integer field from a flat JSON payload.
+fn extract_u64(payload: &str, field: &str) -> Option<u64> {
+    let needle = format!("\"{field}\":");
+    let start = payload.find(&needle)? + needle.len();
+    let digits: String =
+        payload[start..].chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// The reduced verdict of a whole campaign: every classified
+/// coordinate plus the inputs that make the report reproducible.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Artifact names the sweeps regenerated, in paper order.
+    pub artifacts: Vec<String>,
+    /// Whether the quick workload variants were used.
+    pub quick: bool,
+    /// The retry budget (attempts per cell) — the attempt-axis depth.
+    pub retries: u32,
+    /// Sampling seed (meaningful only when `sample` is set).
+    pub seed: u64,
+    /// Stratified-sample size, if the space was sampled.
+    pub sample: Option<usize>,
+    /// Distinct cells the reference sweep recorded.
+    pub cells: usize,
+    /// Size of the full coordinate space (before sampling).
+    pub space: usize,
+    /// Classified coordinates, in enumeration order.
+    pub outcomes: Vec<CoordinateOutcome>,
+}
+
+impl CampaignReport {
+    /// Per-class totals, in lattice order.
+    pub fn counts(&self) -> [(SurvivalClass, usize); 4] {
+        SurvivalClass::ALL.map(|c| {
+            (c, self.outcomes.iter().filter(|o| o.class == c).count())
+        })
+    }
+
+    /// The coordinates classified as silent corruption — each one a
+    /// bug.
+    pub fn silent_corruptions(&self) -> Vec<&CoordinateOutcome> {
+        self.outcomes
+            .iter()
+            .filter(|o| o.class == SurvivalClass::SilentCorruption)
+            .collect()
+    }
+
+    /// Byte-deterministic JSON rendering (no timestamps, no timings;
+    /// outcomes in enumeration order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"campaign\": {");
+        out.push_str(&format!(
+            "\"artifacts\":[{}],\"quick\":{},\"retries\":{},\"seed\":{},\"sample\":{},\
+             \"cells\":{},\"space\":{},\"explored\":{}}},\n",
+            self.artifacts
+                .iter()
+                .map(|a| format!("\"{}\"", escape_json(a)))
+                .collect::<Vec<_>>()
+                .join(","),
+            self.quick,
+            self.retries,
+            self.seed,
+            self.sample.map(|n| n.to_string()).unwrap_or_else(|| "null".to_string()),
+            self.cells,
+            self.space,
+            self.outcomes.len(),
+        ));
+        out.push_str("  \"summary\": {");
+        let counts = self.counts();
+        out.push_str(
+            &counts
+                .iter()
+                .map(|(c, n)| format!("\"{}\":{n}", c.name()))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push_str("},\n  \"results\": [\n");
+        for (i, o) in self.outcomes.iter().enumerate() {
+            out.push_str("    ");
+            out.push_str(&o.to_json());
+            if i + 1 < self.outcomes.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// The human-readable survivability matrix: one row per fault
+    /// kind, one column per class, plus the attempt-depth split for
+    /// compute kinds and an explicit list of any silent corruptions.
+    pub fn render_matrix(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "survivability matrix ({} coordinate(s) over {} cell(s), retry budget {}):\n",
+            self.outcomes.len(),
+            self.cells,
+            self.retries
+        ));
+        out.push_str(&format!(
+            "  {:16} {:>9} {:>9} {:>12} {:>18}\n",
+            "fault kind", "absorbed", "degraded", "failed-loud", "silent-corruption"
+        ));
+        for kind in FaultKind::ALL {
+            let row: Vec<usize> = SurvivalClass::ALL
+                .iter()
+                .map(|c| {
+                    self.outcomes
+                        .iter()
+                        .filter(|o| o.coord.kind == kind && o.class == *c)
+                        .count()
+                })
+                .collect();
+            if row.iter().sum::<usize>() == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "  {:16} {:>9} {:>9} {:>12} {:>18}\n",
+                kind.name(),
+                row[0],
+                row[1],
+                row[2],
+                row[3]
+            ));
+        }
+        let silent = self.silent_corruptions();
+        if silent.is_empty() {
+            out.push_str("  no silent corruption: every divergence was accounted.\n");
+        } else {
+            out.push_str(&format!(
+                "  {} SILENT CORRUPTION coordinate(s) — each one is a bug:\n",
+                silent.len()
+            ));
+            for o in silent {
+                out.push_str(&format!("    {}  ({})\n", o.coord.id(), o.detail));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cells() -> Vec<(String, u64)> {
+        vec![
+            ("cpuB/w/[cfg]".to_string(), 0),
+            ("cpuA/w/[cfg]".to_string(), 7),
+            ("cpuA/w/[cfg]".to_string(), 7), // duplicate, must collapse
+        ]
+    }
+
+    #[test]
+    fn enumeration_is_sorted_dedup_and_sized() {
+        let space = enumerate_coordinates(&cells(), 3);
+        // 2 distinct cells x (4 compute kinds x 3 attempts + 2 io kinds).
+        assert_eq!(space.len(), 2 * (4 * 3 + 2));
+        let ids: std::collections::HashSet<String> =
+            space.iter().map(Coordinate::id).collect();
+        assert_eq!(ids.len(), space.len(), "duplicate-free");
+        assert_eq!(space, enumerate_coordinates(&cells(), 3), "deterministic");
+        assert!(space[0].content_key <= space[space.len() - 1].content_key, "sorted by cell");
+        // IO kinds get exactly one attempt depth.
+        assert!(space
+            .iter()
+            .filter(|c| c.kind.is_io())
+            .all(|c| c.attempt == 0));
+    }
+
+    #[test]
+    fn coordinate_ids_round_trip() {
+        for coord in enumerate_coordinates(&cells(), 2) {
+            assert_eq!(Coordinate::parse_id(&coord.id()), Some(coord.clone()), "{coord}");
+        }
+        // Keys containing the separator still round-trip (key is last).
+        let c = Coordinate {
+            content_key: "cpu/w/[x:y=1]".to_string(),
+            seed: 3,
+            attempt: 1,
+            kind: FaultKind::Timeout,
+        };
+        assert_eq!(Coordinate::parse_id(&c.id()), Some(c));
+        assert_eq!(Coordinate::parse_id("nope"), None);
+    }
+
+    #[test]
+    fn coordinate_fault_plans_fire_exactly_attempt_plus_one_times() {
+        let c = Coordinate {
+            content_key: "cpu/w/[cfg]".to_string(),
+            seed: 0,
+            attempt: 1,
+            kind: FaultKind::SimFault,
+        };
+        let plan = c.fault_plan();
+        let key = "exp/cpu/w/[cfg]";
+        assert_eq!(plan.inject(key, 0), Some(FaultKind::SimFault));
+        assert_eq!(plan.inject(key, 1), Some(FaultKind::SimFault));
+        assert_eq!(plan.inject(key, 2), None, "attempt 3 gets through");
+    }
+
+    #[test]
+    fn sample_is_seed_stable_and_a_subset() {
+        let space = enumerate_coordinates(
+            &(0..20).map(|i| (format!("cpu{i}/w/[c]"), 0)).collect::<Vec<_>>(),
+            3,
+        );
+        let a = stratified_sample(&space, 25, 42);
+        let b = stratified_sample(&space, 25, 42);
+        assert_eq!(a, b, "seed-stable");
+        assert_eq!(a.len(), 25);
+        let all: std::collections::HashSet<String> = space.iter().map(Coordinate::id).collect();
+        assert!(a.iter().all(|c| all.contains(&c.id())), "subset of the space");
+        // Every kind is represented (25 >= 6 strata).
+        for kind in FaultKind::ALL {
+            assert!(a.iter().any(|c| c.kind == kind), "stratum {kind} covered");
+        }
+        // A different seed picks a different sample (overwhelmingly).
+        let c = stratified_sample(&space, 25, 43);
+        assert_ne!(a, c, "seed changes the pick");
+        // Oversampling returns the whole space.
+        assert_eq!(stratified_sample(&space, space.len() + 10, 1), space);
+    }
+
+    #[test]
+    fn classification_lattice() {
+        let reference = "== T ==\nvalue 1\n";
+        let clean = SweepObservation { rendered: reference.to_string(), ..Default::default() };
+        assert_eq!(classify(reference, &clean), SurvivalClass::Absorbed);
+
+        let degraded = SweepObservation {
+            rendered: "== T ==\nvalue 1 \u{2020}\n".to_string(),
+            degraded_artifacts: vec!["t".to_string()],
+            ..Default::default()
+        };
+        assert_eq!(classify(reference, &degraded), SurvivalClass::Degraded);
+
+        let failed = SweepObservation {
+            rendered: "== T == FAILED\n".to_string(),
+            failed_artifacts: vec!["t".to_string()],
+            ..Default::default()
+        };
+        assert_eq!(classify(reference, &failed), SurvivalClass::FailedLoud);
+
+        let silent = SweepObservation {
+            rendered: "== T ==\nvalue 2\n".to_string(),
+            ..Default::default()
+        };
+        assert_eq!(classify(reference, &silent), SurvivalClass::SilentCorruption);
+
+        // A replay mismatch is silent corruption even with clean bytes.
+        let replay = SweepObservation {
+            rendered: reference.to_string(),
+            journal_replay_mismatch: true,
+            ..Default::default()
+        };
+        assert_eq!(classify(reference, &replay), SurvivalClass::SilentCorruption);
+    }
+
+    #[test]
+    fn campaign_journal_round_trips_and_survives_torn_tails() {
+        let dir = std::env::temp_dir().join(format!("sb-campaign-j-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let outcome = CoordinateOutcome {
+            coord: Coordinate {
+                content_key: "cpu/w/[a \"q\"]".to_string(),
+                seed: 9,
+                attempt: 2,
+                kind: FaultKind::PanicFault,
+            },
+            class: SurvivalClass::FailedLoud,
+            retries: 4,
+            faults_injected: 3,
+            detail: "table1 failed".to_string(),
+        };
+        {
+            let (j, replayed, skipped) = CampaignJournal::open(&path).unwrap();
+            assert!(replayed.is_empty());
+            assert_eq!(skipped, 0);
+            j.record(&outcome).unwrap();
+            j.sync().unwrap();
+        }
+        // Tear the tail: append half a line, as a SIGKILL mid-append
+        // would.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"c1 deadbeef {\"coord\":\"sim:0:0:x").unwrap();
+        }
+        let (_j, replayed, skipped) = CampaignJournal::open(&path).unwrap();
+        assert_eq!(replayed, vec![outcome]);
+        assert_eq!(skipped, 1, "torn tail skipped, not fatal");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn report_json_is_deterministic_and_well_formed() {
+        let space = enumerate_coordinates(&[("cpu/w/[c]".to_string(), 1)], 2);
+        let outcomes: Vec<CoordinateOutcome> = space
+            .iter()
+            .map(|c| CoordinateOutcome {
+                coord: c.clone(),
+                class: SurvivalClass::Absorbed,
+                retries: 1,
+                faults_injected: 1,
+                detail: String::new(),
+            })
+            .collect();
+        let report = CampaignReport {
+            artifacts: vec!["table1".to_string()],
+            quick: true,
+            retries: 2,
+            seed: 7,
+            sample: None,
+            cells: 1,
+            space: space.len(),
+            outcomes,
+        };
+        let a = report.to_json();
+        assert_eq!(a, report.to_json(), "byte-deterministic");
+        crate::obs::trace::validate_json(&a).expect("report is well-formed JSON");
+        let matrix = report.render_matrix();
+        assert!(matrix.contains("no silent corruption"));
+        assert!(matrix.contains("sim"), "{matrix}");
+    }
+}

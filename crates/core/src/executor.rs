@@ -162,6 +162,12 @@ impl Executor {
         &self.harness
     }
 
+    /// The attached journal, if any — fault campaigns read the cell
+    /// census out of it after the reference sweep.
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
+    }
+
     /// True once `experiment` has accumulated `panic_breaker`
     /// consecutive panic-failed cells.
     fn breaker_is_open(&self, experiment: &str) -> bool {

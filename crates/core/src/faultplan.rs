@@ -37,6 +37,23 @@ pub enum FaultKind {
 }
 
 impl FaultKind {
+    /// Every kind, in the canonical order campaigns enumerate them:
+    /// compute-path kinds first, then the I/O-layer kinds.
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::SimFault,
+        FaultKind::Timeout,
+        FaultKind::CorruptSample,
+        FaultKind::PanicFault,
+        FaultKind::TornWrite,
+        FaultKind::JournalCorrupt,
+    ];
+
+    /// The CLI names of every kind, comma-joined — the single source of
+    /// truth for usage text and "unknown kind" errors.
+    pub fn all_names() -> String {
+        FaultKind::ALL.map(FaultKind::name).join(", ")
+    }
+
     /// CLI name (`--inject kind=...`).
     pub fn name(self) -> &'static str {
         match self {
@@ -179,8 +196,12 @@ impl FaultPlan {
                 match key {
                     "cell" => cell = Some(value.to_string()),
                     "kind" => {
-                        kind = FaultKind::parse(value)
-                            .ok_or_else(|| format!("unknown fault kind: {value:?}"))?
+                        kind = FaultKind::parse(value).ok_or_else(|| {
+                            format!(
+                                "unknown fault kind {value:?} (valid kinds: {})",
+                                FaultKind::all_names()
+                            )
+                        })?
                     }
                     "times" => {
                         times = if value == "forever" {
@@ -369,6 +390,15 @@ mod tests {
         assert!(FaultKind::PanicFault.name() == "panic");
         assert!(!FaultKind::PanicFault.is_io());
         assert!(FaultKind::TornWrite.is_io() && FaultKind::JournalCorrupt.is_io());
+    }
+
+    #[test]
+    fn unknown_kind_error_lists_every_valid_kind() {
+        let err = FaultPlan::parse_spec("cell=x:kind=nope").unwrap_err();
+        for k in FaultKind::ALL {
+            assert!(err.contains(k.name()), "{err:?} must name {}", k.name());
+        }
+        assert_eq!(FaultKind::ALL.len(), 6, "campaigns enumerate exactly six kinds");
     }
 
     #[test]

@@ -341,6 +341,25 @@ impl HarnessStats {
             plan_time: self.plan_time.saturating_sub(earlier.plan_time),
         }
     }
+
+    /// Adds another snapshot's counters into this one — how a fault
+    /// campaign aggregates totals across its many independent sweeps.
+    pub fn absorb(&mut self, other: &HarnessStats) {
+        self.cells_run += other.cells_run;
+        self.cells_from_cache += other.cells_from_cache;
+        self.cells_from_journal += other.cells_from_journal;
+        self.retries += other.retries;
+        self.faults_injected += other.faults_injected;
+        self.cells_failed += other.cells_failed;
+        self.panics_caught += other.panics_caught;
+        self.breaker_skipped += other.breaker_skipped;
+        self.journal_write_errors += other.journal_write_errors;
+        self.journal_stale += other.journal_stale;
+        self.journal_corrupt += other.journal_corrupt;
+        self.journal_truncated += other.journal_truncated;
+        self.sim_time += other.sim_time;
+        self.plan_time += other.plan_time;
+    }
 }
 
 /// The fault-tolerant cell runner beneath the [`crate::executor`].
@@ -945,6 +964,19 @@ impl Journal {
     /// and never returned.
     pub fn lookup(&self, key: &str, seed: u64) -> Option<CellValue> {
         lock(&self.entries).get(&(key.to_string(), seed)).cloned()
+    }
+
+    /// Every completed cell on record, sorted by `(key, seed)` — the
+    /// deterministic cell census a fault campaign enumerates its
+    /// coordinate space from. Workers append in nondeterministic order;
+    /// sorting here is what makes the campaign's space stable.
+    pub fn entries(&self) -> Vec<((String, u64), CellValue)> {
+        let mut out: Vec<((String, u64), CellValue)> = lock(&self.entries)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
     }
 
     /// Records a completed cell: inserts it in memory, appends a v2

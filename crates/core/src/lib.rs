@@ -40,6 +40,7 @@
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod attribution;
+pub mod campaign;
 pub mod cells;
 pub mod executor;
 pub mod experiments;
@@ -55,6 +56,11 @@ pub mod singleflight;
 pub mod stats;
 
 pub use attribution::{attribute, Attribution, Slice, Toggle, OS_TOGGLES};
+pub use campaign::{
+    classify, enumerate_coordinates, scan_journal_text, stratified_sample, CampaignJournal,
+    CampaignReport, Coordinate, CoordinateOutcome, SurvivalClass, SweepObservation,
+    CAMPAIGN_JOURNAL_HEADER,
+};
 pub use executor::{default_jobs, jobs_from_env, Executor, DEFAULT_PANIC_BREAKER};
 pub use faultplan::{FaultKind, FaultPlan, FaultRule};
 pub use harness::{

@@ -112,6 +112,12 @@ pub fn prometheus_text(events: &[Event], stats: &HarnessStats) -> String {
     let mut depth_hist = Histogram::new(&DEPTH_BUCKETS);
     let mut request_hist = Histogram::new(&REQUEST_BUCKETS);
 
+    // Fault-campaign families, grouped by survivability class.
+    let mut campaigns = 0u64;
+    let mut campaign_replayed = 0u64;
+    let mut campaign_finished = 0u64;
+    let mut campaign_classes: HashMap<&'static str, u64> = HashMap::new();
+
     // Queue latency: pair each CellQueued with the next CellStarted for
     // the same cell key (FIFO per key; a re-executed plan can queue the
     // same key again later).
@@ -147,6 +153,12 @@ pub fn prometheus_text(events: &[Event], stats: &HarnessStats) -> String {
             EventKind::ArtifactCacheHit => artifact_cache_hits += 1,
             EventKind::FlightCoalesced => coalesced += 1,
             EventKind::DeadlineExpired => deadlines_expired += 1,
+            EventKind::CampaignStarted { .. } => campaigns += 1,
+            EventKind::CampaignCoordinate { class, .. } => {
+                *campaign_classes.entry(class.name()).or_default() += 1;
+            }
+            EventKind::CampaignReplayed => campaign_replayed += 1,
+            EventKind::CampaignFinished => campaign_finished += 1,
             EventKind::CellQueued => {
                 queued.entry(e.cell.as_str()).or_default().push_back(e.ts);
             }
@@ -331,6 +343,41 @@ pub fn prometheus_text(events: &[Event], stats: &HarnessStats) -> String {
         "End-to-end request latency: admission to response written.",
     );
     request_hist.expose(&mut out, "regend_request_latency_seconds", "");
+
+    // Fault-campaign families (all zero unless the events came from a
+    // `regen campaign` run).
+    counter(
+        &mut out,
+        "regen_campaign_runs_total",
+        "Fault campaigns started.",
+        campaigns,
+    );
+    counter(
+        &mut out,
+        "regen_campaign_replayed_total",
+        "Coordinates skipped because the campaign journal already had their verdict.",
+        campaign_replayed,
+    );
+    counter(
+        &mut out,
+        "regen_campaign_finished_total",
+        "Campaigns that reduced their outcomes into a survivability report.",
+        campaign_finished,
+    );
+    header(
+        &mut out,
+        "regen_campaign_coordinates_total",
+        "counter",
+        "Fault coordinates executed and classified, by survivability class.",
+    );
+    for class in crate::campaign::SurvivalClass::ALL {
+        let _ = writeln!(
+            out,
+            "regen_campaign_coordinates_total{{class=\"{}\"}} {}",
+            class.name(),
+            campaign_classes.get(class.name()).copied().unwrap_or(0)
+        );
+    }
     out
 }
 

@@ -131,6 +131,28 @@ pub enum EventKind {
     /// A request's deadline expired before it could be served; it was
     /// answered with an error instead of stale or partial data.
     DeadlineExpired,
+
+    // Fault-campaign kinds, emitted by the campaign driver. The
+    // `experiment` field carries the campaign label; `cell` carries the
+    // coordinate id for per-coordinate kinds.
+    /// A fault campaign began; `coordinates` is the number it will
+    /// explore (after sampling and resume-skipping).
+    CampaignStarted {
+        /// Coordinates left to execute in this run.
+        coordinates: usize,
+    },
+    /// One coordinate's perturbed sweep was executed and classified.
+    CampaignCoordinate {
+        /// The fault kind that was injected.
+        fault: FaultKind,
+        /// The survivability verdict.
+        class: crate::campaign::SurvivalClass,
+    },
+    /// A coordinate was skipped because the campaign journal already
+    /// had its verdict (resume).
+    CampaignReplayed,
+    /// The campaign reduced its outcomes into the survivability report.
+    CampaignFinished,
 }
 
 impl EventKind {
@@ -157,6 +179,10 @@ impl EventKind {
             EventKind::ArtifactCacheHit => "artifact_cache_hit",
             EventKind::FlightCoalesced => "flight_coalesced",
             EventKind::DeadlineExpired => "deadline_expired",
+            EventKind::CampaignStarted { .. } => "campaign_started",
+            EventKind::CampaignCoordinate { .. } => "campaign_coordinate",
+            EventKind::CampaignReplayed => "campaign_replayed",
+            EventKind::CampaignFinished => "campaign_finished",
         }
     }
 }

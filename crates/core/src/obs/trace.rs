@@ -126,7 +126,11 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
             | EventKind::RequestCompleted { .. }
             | EventKind::ArtifactCacheHit
             | EventKind::FlightCoalesced
-            | EventKind::DeadlineExpired => {
+            | EventKind::DeadlineExpired
+            | EventKind::CampaignStarted { .. }
+            | EventKind::CampaignCoordinate { .. }
+            | EventKind::CampaignReplayed
+            | EventKind::CampaignFinished => {
                 records.push(format!(
                     "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"ts\":{},\"s\":\"t\",\
                      \"pid\":1,\"tid\":{},\"args\":{{\"cell\":\"{}\",\"attempt\":{}}}}}",
