@@ -13,6 +13,7 @@
 
 pub mod campaign;
 pub mod client;
+pub mod uarch_bench;
 
 use std::path::PathBuf;
 use std::sync::Arc;

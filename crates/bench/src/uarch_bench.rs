@@ -1,0 +1,554 @@
+//! `regen bench-uarch`: the interpreter's own benchmark.
+//!
+//! Every artifact regeneration is ultimately bounded by how fast
+//! [`uarch::Machine`] retires instructions, so this module measures the
+//! interpreter itself: a pinned, deterministic four-workload mix —
+//! branch-heavy, load/store-heavy, syscall-heavy, and transient-window —
+//! executed twice per workload, once through the pre-decoded dispatch
+//! loop ([`Machine::run`]) and once through the preserved reference
+//! interpreter ([`Machine::run_reference`], the pre-refactor stepper).
+//!
+//! Two kinds of numbers come out:
+//!
+//! * **Retired-work counts** (instructions, cycles, transient windows)
+//!   are *deterministic*: same binary, same counts, on any machine. CI
+//!   pins them with `--check BENCH_uarch.json` — drift means the
+//!   interpreter's semantics changed, which must never happen silently.
+//! * **Instructions/sec and the decoded/reference speedup** are
+//!   *measurements*: they vary with the host and are reported but never
+//!   gated on exactly; `--check` only requires the decoded path not to
+//!   be slower than the reference path.
+//!
+//! The workloads run on the Skylake Client model (vulnerable to the full
+//! attack menu, so mispredicted branches really open transient windows)
+//! and every run double-checks that both steppers retire identical
+//! instruction and cycle counts — the benchmark is also an equivalence
+//! test.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use cpu_models::CpuId;
+use uarch::machine::{Machine, NoEnv};
+use uarch::mmu::{make_cr3, PageTable, Pte};
+use uarch::program::ProgramBuilder;
+use uarch::{Cond, Inst, PrivMode, Reg, Width};
+
+/// Base address of the user/benchmark code segment.
+const CODE_BASE: u64 = 0x40_0000;
+/// Base address of the kernel stub (syscall workload).
+const KERNEL_BASE: u64 = 0x80_0000;
+/// Base of the mapped data area.
+const DATA_BASE: u64 = 0x1_0000;
+/// Mapped data pages.
+const DATA_PAGES: u64 = 16;
+
+/// Timed repetitions per (workload, stepper); the fastest is reported.
+const REPS: usize = 3;
+
+/// The four pinned workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Data-dependent branches off an xorshift stream: dispatch + branch
+    /// predictor pressure.
+    BranchHeavy,
+    /// Store/load pairs marching through the mapped pages: MMU, store
+    /// buffer, and cache pressure.
+    LoadStoreHeavy,
+    /// A user-mode syscall loop bouncing through the kernel stub: mode
+    /// switches and kernel-entry mitigation costs.
+    SyscallHeavy,
+    /// Alternating-direction branches the predictor keeps missing:
+    /// every mispredict executes a wrong-path transient window.
+    TransientWindow,
+}
+
+impl Workload {
+    /// All workloads, report order.
+    pub const ALL: [Workload; 4] =
+        [Workload::BranchHeavy, Workload::LoadStoreHeavy, Workload::SyscallHeavy, Workload::TransientWindow];
+
+    /// Stable snake_case name used in the JSON report.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::BranchHeavy => "branch_heavy",
+            Workload::LoadStoreHeavy => "loadstore_heavy",
+            Workload::SyscallHeavy => "syscall_heavy",
+            Workload::TransientWindow => "transient_window",
+        }
+    }
+
+    /// Loop iterations for this workload at a given scale. Syscalls are
+    /// far more expensive per iteration (kernel-entry side effects), so
+    /// that loop is shorter.
+    fn iterations(self, scale: u64) -> u64 {
+        match self {
+            Workload::SyscallHeavy => scale / 4,
+            _ => scale,
+        }
+    }
+}
+
+/// Options for [`run_bench_uarch`].
+#[derive(Debug, Clone)]
+pub struct UarchBenchOptions {
+    /// Loop iterations per workload (before per-workload adjustment).
+    pub scale: u64,
+}
+
+impl Default for UarchBenchOptions {
+    fn default() -> UarchBenchOptions {
+        UarchBenchOptions { scale: 300_000 }
+    }
+}
+
+impl UarchBenchOptions {
+    /// The reduced scale used by `--quick` (and CI).
+    pub fn quick() -> UarchBenchOptions {
+        UarchBenchOptions { scale: 30_000 }
+    }
+}
+
+/// Per-workload result: pinned retired-work counts plus host-dependent
+/// timings.
+#[derive(Debug, Clone)]
+pub struct WorkloadResult {
+    /// Workload name (snake_case, stable).
+    pub name: &'static str,
+    /// Committed instructions retired (deterministic).
+    pub retired: u64,
+    /// Simulated cycles consumed (deterministic).
+    pub cycles: u64,
+    /// Transient windows opened (deterministic).
+    pub transient_windows: u64,
+    /// Transient (squashed) instructions executed (deterministic).
+    pub transient_insts: u64,
+    /// Best-of-[`REPS`] wall seconds for the decoded dispatch loop.
+    pub decoded_secs: f64,
+    /// Best-of-[`REPS`] wall seconds for the reference interpreter.
+    pub reference_secs: f64,
+}
+
+impl WorkloadResult {
+    /// Decoded-path retirement rate, instructions per second.
+    pub fn decoded_ips(&self) -> f64 {
+        self.retired as f64 / self.decoded_secs
+    }
+
+    /// Reference-path retirement rate, instructions per second.
+    pub fn reference_ips(&self) -> f64 {
+        self.retired as f64 / self.reference_secs
+    }
+
+    /// Decoded-over-reference speedup.
+    pub fn speedup(&self) -> f64 {
+        self.reference_secs / self.decoded_secs
+    }
+}
+
+/// The full benchmark report.
+#[derive(Debug, Clone)]
+pub struct UarchBenchReport {
+    /// One entry per workload, [`Workload::ALL`] order.
+    pub workloads: Vec<WorkloadResult>,
+    /// Scale the workloads ran at (for the JSON header).
+    pub scale: u64,
+    /// Delta of `uarch::pmc::global` instruction counter across the
+    /// decoded runs — proves the process-wide counters see this work.
+    pub global_instructions_delta: u64,
+}
+
+impl UarchBenchReport {
+    /// Total retired instructions across workloads (decoded path).
+    pub fn total_retired(&self) -> u64 {
+        self.workloads.iter().map(|w| w.retired).sum()
+    }
+
+    /// Aggregate decoded instructions/sec (total work over total time).
+    pub fn total_decoded_ips(&self) -> f64 {
+        let secs: f64 = self.workloads.iter().map(|w| w.decoded_secs).sum();
+        self.total_retired() as f64 / secs
+    }
+
+    /// Aggregate reference instructions/sec.
+    pub fn total_reference_ips(&self) -> f64 {
+        let secs: f64 = self.workloads.iter().map(|w| w.reference_secs).sum();
+        self.total_retired() as f64 / secs
+    }
+
+    /// Aggregate decoded-over-reference speedup.
+    pub fn total_speedup(&self) -> f64 {
+        let d: f64 = self.workloads.iter().map(|w| w.decoded_secs).sum();
+        let r: f64 = self.workloads.iter().map(|w| w.reference_secs).sum();
+        r / d
+    }
+
+    /// Renders the JSON report (`BENCH_uarch.json`). Deterministic
+    /// fields (`retired`, `cycles`, `transient_windows`,
+    /// `transient_insts`) come first in each object; everything after
+    /// them is a host-dependent measurement.
+    pub fn render_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"bench-uarch/v1\",\n");
+        let _ = writeln!(s, "  \"scale\": {},", self.scale);
+        s.push_str("  \"workloads\": [\n");
+        for (i, w) in self.workloads.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"name\": \"{}\", \"retired\": {}, \"cycles\": {}, \"transient_windows\": {}, \"transient_insts\": {}, \"decoded_ips\": {:.0}, \"reference_ips\": {:.0}, \"speedup\": {:.2}}}",
+                w.name,
+                w.retired,
+                w.cycles,
+                w.transient_windows,
+                w.transient_insts,
+                w.decoded_ips(),
+                w.reference_ips(),
+                w.speedup()
+            );
+            s.push_str(if i + 1 < self.workloads.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ],\n");
+        let _ = writeln!(
+            s,
+            "  \"total\": {{\"retired\": {}, \"decoded_ips\": {:.0}, \"reference_ips\": {:.0}, \"speedup\": {:.2}}},",
+            self.total_retired(),
+            self.total_decoded_ips(),
+            self.total_reference_ips(),
+            self.total_speedup()
+        );
+        let _ = writeln!(s, "  \"global_instructions_delta\": {}", self.global_instructions_delta);
+        s.push_str("}\n");
+        s
+    }
+
+    /// Renders the human-readable table printed to stdout.
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{:<18} {:>12} {:>12} {:>9} {:>14} {:>14} {:>8}",
+            "workload", "retired", "cycles", "windows", "decoded i/s", "reference i/s", "speedup"
+        );
+        for w in &self.workloads {
+            let _ = writeln!(
+                s,
+                "{:<18} {:>12} {:>12} {:>9} {:>14.0} {:>14.0} {:>7.2}x",
+                w.name,
+                w.retired,
+                w.cycles,
+                w.transient_windows,
+                w.decoded_ips(),
+                w.reference_ips(),
+                w.speedup()
+            );
+        }
+        let _ = writeln!(
+            s,
+            "{:<18} {:>12} {:>12} {:>9} {:>14.0} {:>14.0} {:>7.2}x",
+            "total",
+            self.total_retired(),
+            "",
+            "",
+            self.total_decoded_ips(),
+            self.total_reference_ips(),
+            self.total_speedup()
+        );
+        s
+    }
+}
+
+/// Builds a fresh, fully set-up machine for one workload.
+fn build_machine(w: Workload, scale: u64) -> Machine {
+    let n = w.iterations(scale);
+    let mut m = Machine::new(CpuId::SkylakeClient.model());
+    let mut pt = PageTable::new();
+    pt.map_range(DATA_BASE, 0x100, DATA_PAGES, Pte::user(0));
+    let id = m.mmu.register_table(pt);
+    assert!(m.mmu.load_cr3(make_cr3(id, 0, false)));
+    m.set_reg(Reg::SP, DATA_BASE + DATA_PAGES * 4096 - 0x100);
+
+    let mut b = ProgramBuilder::new();
+    match w {
+        Workload::BranchHeavy => {
+            // xorshift in R1; branch on bit 0 of the stream. The branch
+            // direction is effectively random, so the conditional
+            // predictor takes sustained misses.
+            b.mov_imm(Reg::R0, n);
+            b.mov_imm(Reg::R1, 0x9e37_79b9_7f4a_7c15);
+            b.mov_imm(Reg::R3, 1);
+            let top = b.here();
+            let skip = b.new_label();
+            b.push(Inst::Mov(Reg::R2, Reg::R1));
+            b.push(Inst::Shl(Reg::R2, 13));
+            b.push(Inst::Xor(Reg::R1, Reg::R2));
+            b.push(Inst::Mov(Reg::R2, Reg::R1));
+            b.push(Inst::Shr(Reg::R2, 7));
+            b.push(Inst::Xor(Reg::R1, Reg::R2));
+            b.push(Inst::Test(Reg::R1, Reg::R3));
+            b.jcc(Cond::Ne, skip);
+            b.add_imm(Reg::R4, 1);
+            b.bind(skip);
+            b.sub_imm(Reg::R0, 1);
+            b.cmp_imm(Reg::R0, 0);
+            b.jcc(Cond::Ne, top);
+            b.push(Inst::Halt);
+        }
+        Workload::LoadStoreHeavy => {
+            // Store then reload a marching pointer: store-to-load
+            // forwarding, TLB, and both cache levels stay busy.
+            b.mov_imm(Reg::R0, n);
+            b.mov_imm(Reg::R8, DATA_BASE);
+            b.mov_imm(Reg::R9, 0);
+            b.mov_imm(Reg::R1, 0xdead_beef);
+            let top = b.here();
+            b.push(Inst::Mov(Reg::R7, Reg::R8));
+            b.push(Inst::Add(Reg::R7, Reg::R9));
+            b.push(Inst::Store { src: Reg::R1, base: Reg::R7, offset: 0, width: Width::B8 });
+            b.push(Inst::Load { dst: Reg::R2, base: Reg::R7, offset: 0, width: Width::B8 });
+            b.push(Inst::Load { dst: Reg::R3, base: Reg::R7, offset: 8, width: Width::B4 });
+            b.push(Inst::Add(Reg::R1, Reg::R2));
+            b.add_imm(Reg::R9, 64);
+            b.push(Inst::AndImm(Reg::R9, (DATA_PAGES * 4096 - 64) & !63));
+            b.sub_imm(Reg::R0, 1);
+            b.cmp_imm(Reg::R0, 0);
+            b.jcc(Cond::Ne, top);
+            b.push(Inst::Halt);
+        }
+        Workload::SyscallHeavy => {
+            // User loop; the kernel stub below sysrets straight back.
+            b.mov_imm(Reg::R0, n);
+            let top = b.here();
+            b.push(Inst::Syscall);
+            b.sub_imm(Reg::R0, 1);
+            b.cmp_imm(Reg::R0, 0);
+            b.jcc(Cond::Ne, top);
+            b.push(Inst::Halt);
+
+            let mut k = ProgramBuilder::new();
+            k.push(Inst::Swapgs);
+            k.push(Inst::Swapgs);
+            k.push(Inst::Sysret);
+            m.load_program(k.link(KERNEL_BASE));
+            m.syscall_entry = Some(KERNEL_BASE);
+            m.mode = PrivMode::User;
+        }
+        Workload::TransientWindow => {
+            // The branch direction follows an xorshift bit stream — no
+            // history length learns it — and each arm loads from a
+            // different line, so roughly every other iteration opens a
+            // wrong-path window with real microarchitectural effects.
+            b.mov_imm(Reg::R0, n);
+            b.mov_imm(Reg::R8, DATA_BASE);
+            b.mov_imm(Reg::R1, 0x2545_f491_4f6c_dd1d);
+            let top = b.here();
+            let even = b.new_label();
+            let join = b.new_label();
+            b.push(Inst::Mov(Reg::R2, Reg::R1));
+            b.push(Inst::Shl(Reg::R2, 13));
+            b.push(Inst::Xor(Reg::R1, Reg::R2));
+            b.push(Inst::Mov(Reg::R2, Reg::R1));
+            b.push(Inst::Shr(Reg::R2, 7));
+            b.push(Inst::Xor(Reg::R1, Reg::R2));
+            b.push(Inst::Mov(Reg::R2, Reg::R1));
+            b.push(Inst::AndImm(Reg::R2, 1));
+            b.cmp_imm(Reg::R2, 0);
+            b.jcc(Cond::Eq, even);
+            b.push(Inst::Load { dst: Reg::R2, base: Reg::R8, offset: 0, width: Width::B8 });
+            b.push(Inst::Add(Reg::R3, Reg::R2));
+            b.jmp(join);
+            b.bind(even);
+            b.push(Inst::Load { dst: Reg::R2, base: Reg::R8, offset: 64, width: Width::B8 });
+            b.push(Inst::Add(Reg::R3, Reg::R2));
+            b.bind(join);
+            b.sub_imm(Reg::R0, 1);
+            b.cmp_imm(Reg::R0, 0);
+            b.jcc(Cond::Ne, top);
+            b.push(Inst::Halt);
+        }
+    }
+    m.load_program(b.link(CODE_BASE));
+    m.pc = CODE_BASE;
+    m
+}
+
+/// Runs one workload through one stepper, returning (seconds, machine).
+fn time_one(w: Workload, scale: u64, reference: bool) -> Result<(f64, Machine), String> {
+    let mut m = build_machine(w, scale);
+    let start = Instant::now();
+    let result = if reference {
+        m.run_reference(&mut NoEnv, u64::MAX)
+    } else {
+        m.run(&mut NoEnv, u64::MAX)
+    };
+    let secs = start.elapsed().as_secs_f64();
+    match result {
+        Ok(_) => Ok((secs, m)),
+        Err(e) => Err(format!("{} ({} path) failed: {e}", w.name(), if reference { "reference" } else { "decoded" })),
+    }
+}
+
+/// Runs the whole benchmark: every workload, both steppers, best of
+/// [`REPS`] repetitions, with a cross-stepper equivalence check on the
+/// deterministic counters.
+pub fn run_bench_uarch(opts: &UarchBenchOptions) -> Result<UarchBenchReport, String> {
+    let (global_before, _, _) = uarch::pmc::global::snapshot();
+    let mut workloads = Vec::new();
+    for w in Workload::ALL {
+        // Warmup (untimed) — faults in page frames, touches the code.
+        let (_, decoded_m) = time_one(w, opts.scale, false)?;
+        let mut decoded_secs = f64::INFINITY;
+        for _ in 0..REPS {
+            let (secs, m) = time_one(w, opts.scale, false)?;
+            decoded_secs = decoded_secs.min(secs);
+            if m.inst_count() != decoded_m.inst_count() || m.cycles() != decoded_m.cycles() {
+                return Err(format!("{}: decoded path is not deterministic across runs", w.name()));
+            }
+        }
+        let mut reference_secs = f64::INFINITY;
+        let mut reference_m = None;
+        for _ in 0..REPS {
+            let (secs, m) = time_one(w, opts.scale, true)?;
+            reference_secs = reference_secs.min(secs);
+            reference_m = Some(m);
+        }
+        let rm = reference_m.ok_or("no reference run")?;
+        // The benchmark doubles as an equivalence test: both steppers
+        // must retire identical work.
+        if rm.inst_count() != decoded_m.inst_count() || rm.cycles() != decoded_m.cycles() {
+            return Err(format!(
+                "{}: decoded and reference steppers diverged (retired {} vs {}, cycles {} vs {})",
+                w.name(),
+                decoded_m.inst_count(),
+                rm.inst_count(),
+                decoded_m.cycles(),
+                rm.cycles()
+            ));
+        }
+        workloads.push(WorkloadResult {
+            name: w.name(),
+            retired: decoded_m.inst_count(),
+            cycles: decoded_m.cycles(),
+            transient_windows: decoded_m.transient_window_count(),
+            transient_insts: decoded_m.transient_inst_count(),
+            decoded_secs,
+            reference_secs,
+        });
+    }
+    let (global_after, _, _) = uarch::pmc::global::snapshot();
+    Ok(UarchBenchReport {
+        workloads,
+        scale: opts.scale,
+        global_instructions_delta: global_after - global_before,
+    })
+}
+
+/// Extracts `"key": <digits>` following `from` in `text`.
+fn scan_u64(text: &str, from: usize, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\": ");
+    let at = text[from..].find(&needle)? + from + needle.len();
+    let digits: String = text[at..].chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// A drift found by [`check_report`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Drift {
+    /// Workload name.
+    pub workload: String,
+    /// Which counter drifted.
+    pub field: &'static str,
+    /// Value in the committed file.
+    pub pinned: u64,
+    /// Value measured now.
+    pub measured: u64,
+}
+
+impl std::fmt::Display for Drift {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}.{}: pinned {} but measured {}",
+            self.workload, self.field, self.pinned, self.measured
+        )
+    }
+}
+
+/// Compares a fresh report's deterministic counters against a committed
+/// `BENCH_uarch.json`. Timings are never compared — only retired work.
+/// The committed file's `scale` decides the scale the fresh run must
+/// use, so callers parse that first with [`pinned_scale`].
+pub fn check_report(pinned: &str, fresh: &UarchBenchReport) -> Result<Vec<Drift>, String> {
+    let mut drifts = Vec::new();
+    for w in &fresh.workloads {
+        let name_at = pinned
+            .find(&format!("\"name\": \"{}\"", w.name))
+            .ok_or_else(|| format!("pinned report lacks workload {}", w.name))?;
+        for (field, measured) in [
+            ("retired", w.retired),
+            ("cycles", w.cycles),
+            ("transient_windows", w.transient_windows),
+            ("transient_insts", w.transient_insts),
+        ] {
+            let pinned_v = scan_u64(pinned, name_at, field)
+                .ok_or_else(|| format!("pinned report lacks {}.{field}", w.name))?;
+            if pinned_v != measured {
+                drifts.push(Drift {
+                    workload: w.name.to_string(),
+                    field,
+                    pinned: pinned_v,
+                    measured,
+                });
+            }
+        }
+    }
+    Ok(drifts)
+}
+
+/// Reads the `scale` header from a committed report.
+pub fn pinned_scale(pinned: &str) -> Result<u64, String> {
+    scan_u64(pinned, 0, "scale").ok_or_else(|| "pinned report lacks a scale field".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> UarchBenchOptions {
+        UarchBenchOptions { scale: 2_000 }
+    }
+
+    #[test]
+    fn bench_runs_and_workloads_do_real_work() {
+        let report = run_bench_uarch(&tiny()).unwrap();
+        assert_eq!(report.workloads.len(), 4);
+        for w in &report.workloads {
+            assert!(w.retired > 1_000, "{}: retired {}", w.name, w.retired);
+            assert!(w.cycles > w.retired, "{}: cycles {}", w.name, w.cycles);
+        }
+        let tw = &report.workloads[3];
+        assert_eq!(tw.name, "transient_window");
+        assert!(tw.transient_windows > 100, "mispredict loop opened {} windows", tw.transient_windows);
+        assert!(report.global_instructions_delta >= report.total_retired());
+    }
+
+    #[test]
+    fn check_passes_against_own_render_and_catches_drift() {
+        let report = run_bench_uarch(&tiny()).unwrap();
+        let json = report.render_json();
+        assert_eq!(pinned_scale(&json).unwrap(), 2_000);
+        assert!(check_report(&json, &report).unwrap().is_empty());
+
+        let mut tampered = report.clone();
+        tampered.workloads[0].retired += 1;
+        let drifts = check_report(&json, &tampered).unwrap();
+        assert_eq!(drifts.len(), 1);
+        assert_eq!(drifts[0].field, "retired");
+    }
+
+    #[test]
+    fn scan_handles_missing_fields() {
+        assert_eq!(scan_u64("{}", 0, "retired"), None);
+        assert!(pinned_scale("{}").is_err());
+    }
+}

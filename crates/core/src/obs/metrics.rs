@@ -378,6 +378,31 @@ pub fn prometheus_text(events: &[Event], stats: &HarnessStats) -> String {
             campaign_classes.get(class.name()).copied().unwrap_or(0)
         );
     }
+
+    // Interpreter throughput families: process-wide totals published by
+    // every `uarch::Machine` when a run or slice ends. Unlike the other
+    // counters these do not come from the event stream — the interpreter
+    // hot loop must not emit events — so they are sampled here at
+    // exposition time.
+    let (insts, transient_insts, transient_windows) = uarch::pmc::global::snapshot();
+    counter(
+        &mut out,
+        "regen_uarch_instructions_total",
+        "Committed instructions executed by all uarch machines in this process.",
+        insts,
+    );
+    counter(
+        &mut out,
+        "regen_uarch_transient_instructions_total",
+        "Transient (squashed) instructions executed inside speculation windows.",
+        transient_insts,
+    );
+    counter(
+        &mut out,
+        "regen_uarch_transient_windows_total",
+        "Transient-execution windows opened (mispredicts, faulting loads, SSB).",
+        transient_windows,
+    );
     out
 }
 
@@ -416,6 +441,15 @@ mod tests {
         assert_eq!(metric_value(&text, "regen_queue_latency_seconds_count"), Some(1.0));
         assert!(text.contains("regen_experiment_wall_seconds_bucket{experiment=\"exp\",le=\"+Inf\"} 1"));
         assert!(text.contains("# TYPE regen_cells_simulated_total counter"));
+    }
+
+    #[test]
+    fn uarch_counter_family_is_exposed() {
+        let text = prometheus_text(&[], &HarnessStats::default());
+        assert!(text.contains("# TYPE regen_uarch_instructions_total counter"));
+        assert!(metric_value(&text, "regen_uarch_instructions_total").is_some());
+        assert!(metric_value(&text, "regen_uarch_transient_instructions_total").is_some());
+        assert!(metric_value(&text, "regen_uarch_transient_windows_total").is_some());
     }
 
     #[test]

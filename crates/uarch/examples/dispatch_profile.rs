@@ -1,0 +1,73 @@
+//! Scratch profiling harness: where does a simulated instruction's time
+//! go? Times decoded vs reference dispatch on a pure-ALU loop (no
+//! memory, no mispredicts) and on a load/store loop.
+
+use std::time::Instant;
+
+use uarch::machine::{Machine, NoEnv};
+use uarch::mmu::{make_cr3, PageTable, Pte};
+use uarch::program::ProgramBuilder;
+use uarch::{Cond, CpuModel, Inst, Reg, Width};
+
+const N: u64 = 400_000;
+
+fn machine(alu_only: bool) -> Machine {
+    let mut m = Machine::new(CpuModel::test_model());
+    let mut pt = PageTable::new();
+    pt.map_range(0x1_0000, 0x100, 16, Pte::user(0));
+    let id = m.mmu.register_table(pt);
+    assert!(m.mmu.load_cr3(make_cr3(id, 0, false)));
+    let mut b = ProgramBuilder::new();
+    b.mov_imm(Reg::R0, N);
+    b.mov_imm(Reg::R8, 0x1_0000);
+    let top = b.here();
+    if alu_only {
+        for _ in 0..4 {
+            b.push(Inst::Add(Reg::R1, Reg::R2));
+            b.push(Inst::Xor(Reg::R3, Reg::R1));
+            b.push(Inst::Mov(Reg::R4, Reg::R3));
+            b.push(Inst::Shl(Reg::R4, 3));
+        }
+    } else {
+        for _ in 0..4 {
+            b.push(Inst::Store { src: Reg::R1, base: Reg::R8, offset: 0, width: Width::B8 });
+            b.push(Inst::Load { dst: Reg::R2, base: Reg::R8, offset: 0, width: Width::B8 });
+            b.push(Inst::Load { dst: Reg::R3, base: Reg::R8, offset: 64, width: Width::B8 });
+            b.push(Inst::Add(Reg::R1, Reg::R2));
+        }
+    }
+    b.sub_imm(Reg::R0, 1);
+    b.cmp_imm(Reg::R0, 0);
+    b.jcc(Cond::Ne, top);
+    b.push(Inst::Halt);
+    m.load_program(b.link(0x40_0000));
+    m.pc = 0x40_0000;
+    m
+}
+
+fn time(alu_only: bool, reference: bool) -> f64 {
+    let mut best = f64::INFINITY;
+    let mut retired = 0;
+    for _ in 0..3 {
+        let mut m = machine(alu_only);
+        let t = Instant::now();
+        let r = if reference {
+            m.run_reference(&mut NoEnv, u64::MAX)
+        } else {
+            m.run(&mut NoEnv, u64::MAX)
+        };
+        let secs = t.elapsed().as_secs_f64();
+        r.unwrap();
+        retired = m.inst_count();
+        best = best.min(secs);
+    }
+    retired as f64 / best
+}
+
+fn main() {
+    for (label, alu) in [("alu", true), ("mem", false)] {
+        let d = time(alu, false);
+        let r = time(alu, true);
+        println!("{label}: decoded {d:.0} i/s, reference {r:.0} i/s, speedup {:.2}x", d / r);
+    }
+}

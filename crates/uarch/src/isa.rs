@@ -117,6 +117,16 @@ impl FReg {
     pub fn index(self) -> usize {
         self as usize
     }
+
+    /// Returns the FP register with the given index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 8`.
+    #[inline]
+    pub fn from_index(idx: usize) -> FReg {
+        FReg::ALL[idx]
+    }
 }
 
 impl fmt::Display for FReg {
@@ -139,6 +149,25 @@ pub enum Width {
 }
 
 impl Width {
+    /// All widths in index order.
+    pub const ALL: [Width; 4] = [Width::B1, Width::B2, Width::B4, Width::B8];
+
+    /// Returns the width's index in [`Width::ALL`] (0–3).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Returns the width with the given index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 4`.
+    #[inline]
+    pub fn from_index(idx: usize) -> Width {
+        Width::ALL[idx]
+    }
+
     /// Number of bytes this width covers.
     #[inline]
     pub fn bytes(self) -> u64 {
@@ -193,6 +222,36 @@ pub enum Cond {
 }
 
 impl Cond {
+    /// All condition codes in index order.
+    pub const ALL: [Cond; 10] = [
+        Cond::Eq,
+        Cond::Ne,
+        Cond::Below,
+        Cond::AboveEq,
+        Cond::Above,
+        Cond::BelowEq,
+        Cond::Lt,
+        Cond::Ge,
+        Cond::Gt,
+        Cond::Le,
+    ];
+
+    /// Returns the condition's index in [`Cond::ALL`] (0–9).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Returns the condition with the given index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 10`.
+    #[inline]
+    pub fn from_index(idx: usize) -> Cond {
+        Cond::ALL[idx]
+    }
+
     /// Returns the negation of this condition.
     pub fn negate(self) -> Cond {
         match self {
@@ -340,6 +399,16 @@ impl Pmc {
     #[inline]
     pub fn index(self) -> usize {
         self as usize
+    }
+
+    /// Returns the counter with the given index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 6`.
+    #[inline]
+    pub fn from_index(idx: usize) -> Pmc {
+        Pmc::ALL[idx]
     }
 }
 

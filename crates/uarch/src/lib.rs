@@ -44,7 +44,13 @@
 //! assert_eq!(m.reg(Reg::R0), 42);
 //! ```
 
+// The interpreter is the compute kernel under every figure: a stray
+// `unwrap` on its hot path is both a panic risk and an optimizer
+// barrier. Tests are exempt (see `clippy.toml`).
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod cache;
+pub mod decode;
 pub mod fault;
 pub mod fill_buffer;
 pub mod fpu;
@@ -57,10 +63,12 @@ pub mod msr;
 pub mod pmc;
 pub mod predictor;
 pub mod program;
+pub mod reference;
 pub mod store_buffer;
 pub mod trace;
 pub mod transient;
 
+pub use decode::{DecodedInst, DecodedProgram, Op};
 pub use fault::{Fault, SimError};
 pub use isa::{Cond, FReg, Inst, Pmc, Reg, Width};
 pub use machine::{Env, Machine, NoEnv, Stop};

@@ -16,10 +16,11 @@
 //! sees.
 
 use crate::cache::{CacheOutcome, L1Cache};
+use crate::decode::{DecodedInst, Op};
 use crate::fault::{Fault, SimError};
 use crate::fill_buffer::FillBuffers;
 use crate::fpu::Fpu;
-use crate::isa::{spec_ctrl, Flags, Inst, Pmc, Reg, Width};
+use crate::isa::{spec_ctrl, Cond, Flags, Pmc, Reg, Width};
 use crate::mem::PhysMemory;
 use crate::mmu::{Access, Mmu};
 use crate::model::{CpuModel, Vendor};
@@ -103,18 +104,35 @@ impl FaultVectors {
 }
 
 /// The simulated CPU plus its memory system.
+///
+/// The hot architectural state (registers, flags, PC, clock, instruction
+/// count, fetch hint) is declared together at the top so the dispatch
+/// loop's working set clusters into a few cache lines.
 #[derive(Debug)]
 pub struct Machine {
-    /// The CPU model being simulated.
-    pub model: CpuModel,
     /// General-purpose registers.
     pub regs: [u64; 16],
     /// Flags from the last compare.
     pub flags: Flags,
     /// Program counter.
     pub pc: u64,
+    /// Cycle counter (the TSC).
+    pub(crate) cycles: u64,
+    /// Committed instruction count.
+    pub(crate) insts: u64,
+    /// Index of the code segment that satisfied the last decoded fetch;
+    /// a pure performance hint (see [`CodeMem::fetch_decoded`]).
+    seg_hint: usize,
     /// Current privilege mode.
     pub mode: PrivMode,
+    /// An `lfence` just committed on an AMD part: the next indirect branch
+    /// does not speculate (the "AMD retpoline" semantics).
+    pub(crate) lfence_shadow: bool,
+    /// Cycle at which the most recent committed load finished; `lfence`
+    /// is only expensive while loads are in flight (paper §5.4's caveat).
+    pub(crate) last_load_cycle: u64,
+    /// The CPU model being simulated.
+    pub model: CpuModel,
     /// Physical memory.
     pub mem: PhysMemory,
     /// Code memory.
@@ -150,23 +168,24 @@ pub struct Machine {
     pub fault_vectors: FaultVectors,
     /// Pending fault frame for `iret`.
     pub fault_frame: Option<FaultFrame>,
-    /// Cycle counter (the TSC).
-    cycles: u64,
-    /// Committed instruction count.
-    insts: u64,
     /// Kernel entries seen while eIBRS is active (drives the §6.2.2
     /// bimodal-latency behaviour).
     entry_counter: u64,
-    /// An `lfence` just committed on an AMD part: the next indirect branch
-    /// does not speculate (the "AMD retpoline" semantics).
-    lfence_shadow: bool,
-    /// Cycle at which the most recent committed load finished; `lfence`
-    /// is only expensive while loads are in flight (paper §5.4's caveat).
-    last_load_cycle: u64,
     /// Cycle of the last SSBD disambiguation stall: once a load has
     /// waited out the store queue, the addresses are resolved and
     /// immediately-following loads need not wait again.
-    last_ssbd_stall: u64,
+    pub(crate) last_ssbd_stall: u64,
+    /// Transient (squashed) instructions executed, monotonic (unlike the
+    /// resettable PMC copy); feeds the process-wide obs counters.
+    pub(crate) transient_insts: u64,
+    /// Transient windows opened, monotonic.
+    pub(crate) transient_windows: u64,
+    /// Portion of `insts` already published to [`crate::pmc::global`].
+    flushed_insts: u64,
+    /// Portion of `transient_insts` already published.
+    flushed_transient: u64,
+    /// Portion of `transient_windows` already published.
+    flushed_windows: u64,
     /// GS-base selector (flips on `swapgs`; semantic payload is not
     /// modelled, only the mitigation cost around it).
     pub swapgs_user: bool,
@@ -211,10 +230,16 @@ impl Machine {
             fault_frame: None,
             cycles: 0,
             insts: 0,
+            seg_hint: 0,
             entry_counter: 0,
             lfence_shadow: false,
             last_load_cycle: 0,
             last_ssbd_stall: 0,
+            transient_insts: 0,
+            transient_windows: 0,
+            flushed_insts: 0,
+            flushed_transient: 0,
+            flushed_windows: 0,
             swapgs_user: true,
             tracer: None,
             model,
@@ -239,6 +264,19 @@ impl Machine {
         self.insts
     }
 
+    /// Transient (squashed, wrong-path) instructions executed.
+    #[inline]
+    pub fn transient_inst_count(&self) -> u64 {
+        self.transient_insts
+    }
+
+    /// Transient-execution windows opened (mispredicts, faulting loads,
+    /// store-bypass opportunities, stale-FPU uses).
+    #[inline]
+    pub fn transient_window_count(&self) -> u64 {
+        self.transient_windows
+    }
+
     /// Adds cycles to the clock (used by host hooks to charge for work
     /// done in Rust on the machine's behalf, and by the hypervisor for
     /// host-side handling time).
@@ -251,7 +289,7 @@ impl Machine {
     /// Refunds cycles that overlapped with other work (e.g. an `lfence`
     /// whose wait overlaps the following branch's target resolution).
     #[inline]
-    fn refund(&mut self, cycles: u64) {
+    pub(crate) fn refund(&mut self, cycles: u64) {
         self.cycles = self.cycles.saturating_sub(cycles);
     }
 
@@ -383,8 +421,184 @@ impl Machine {
     /// Runs until `Halt`, `Vmcall`, an error, or the instruction budget is
     /// exhausted.
     pub fn run(&mut self, env: &mut dyn Env, budget: u64) -> Result<Stop, SimError> {
+        let result = self.run_inner(env, budget);
+        self.flush_global_counters();
+        result
+    }
+
+    fn run_inner(&mut self, env: &mut dyn Env, budget: u64) -> Result<Stop, SimError> {
         let mut remaining = budget;
         loop {
+            // Tight inline loop over the hot ops: unprivileged ALU,
+            // compares, and direct jumps execute here with the
+            // per-instruction `Instructions` counter batched in `pending`.
+            // None of these ops can fault, stop, open a transient window,
+            // or observe the counters, so batching is architecturally
+            // invisible; everything else (and every error path) falls back
+            // to [`Machine::step`], flushing first. Skipped entirely when a
+            // tracer is attached, which needs the per-step record.
+            if self.tracer.is_none() {
+                let mut pending: u64 = 0;
+                'hot: while remaining != 0 {
+                    let d = match self.code.fetch_decoded(self.pc, &mut self.seg_hint) {
+                        Some(d) => d,
+                        None => break 'hot, // step() raises BadFetch
+                    };
+                    match d.op {
+                        Op::Nop | Op::Pause => {
+                            self.charge(self.model.lat.alu);
+                            self.pc += INST_SIZE;
+                        }
+                        Op::MovImm => self.alu_write(d.a, d.imm),
+                        Op::Mov => self.alu_write(d.a, self.rv(d.b)),
+                        Op::Add => self.alu_write(d.a, self.rv(d.a).wrapping_add(self.rv(d.b))),
+                        Op::AddImm => self.alu_write(d.a, self.rv(d.a).wrapping_add(d.imm)),
+                        Op::Sub => self.alu_write(d.a, self.rv(d.a).wrapping_sub(self.rv(d.b))),
+                        Op::SubImm => self.alu_write(d.a, self.rv(d.a).wrapping_sub(d.imm)),
+                        Op::Mul => {
+                            self.charge(2);
+                            let v = self.rv(d.a).wrapping_mul(self.rv(d.b));
+                            self.set_rv(d.a, v);
+                            self.pc += INST_SIZE;
+                        }
+                        Op::And => self.alu_write(d.a, self.rv(d.a) & self.rv(d.b)),
+                        Op::AndImm => self.alu_write(d.a, self.rv(d.a) & d.imm),
+                        Op::Or => self.alu_write(d.a, self.rv(d.a) | self.rv(d.b)),
+                        Op::Xor => self.alu_write(d.a, self.rv(d.a) ^ self.rv(d.b)),
+                        Op::XorImm => self.alu_write(d.a, self.rv(d.a) ^ d.imm),
+                        Op::Shl => self.alu_write(d.a, self.rv(d.a) << (d.b & 63)),
+                        Op::Shr => self.alu_write(d.a, self.rv(d.a) >> (d.b & 63)),
+                        Op::Not => self.alu_write(d.a, !self.rv(d.a)),
+                        Op::Cmp => {
+                            self.flags = Flags::compare(self.rv(d.a), self.rv(d.b));
+                            self.charge(self.model.lat.alu);
+                            self.pc += INST_SIZE;
+                        }
+                        Op::CmpImm => {
+                            self.flags = Flags::compare(self.rv(d.a), d.imm);
+                            self.charge(self.model.lat.alu);
+                            self.pc += INST_SIZE;
+                        }
+                        Op::Test => {
+                            let v = self.rv(d.a) & self.rv(d.b);
+                            self.flags = Flags {
+                                zero: v == 0,
+                                carry: false,
+                                sign: (v as i64) < 0,
+                                overflow: false,
+                            };
+                            self.charge(self.model.lat.alu);
+                            self.pc += INST_SIZE;
+                        }
+                        Op::Jmp => {
+                            let pc = self.pc;
+                            self.charge(self.model.lat.alu);
+                            self.bhb.record(pc, d.imm);
+                            self.pc = d.imm;
+                        }
+                        Op::Jcc => {
+                            let pc = self.pc;
+                            self.charge(self.model.lat.alu);
+                            let target = d.imm;
+                            let taken = self.flags.eval(Cond::from_index(d.c as usize));
+                            let predicted_taken = self.cond_pred.predict(pc, &self.bhb);
+                            if predicted_taken != taken {
+                                // The wrong-path window can observe the
+                                // counters (`rdpmc`): flush the batch,
+                                // current instruction included.
+                                remaining -= 1;
+                                self.insts += pending + 1;
+                                self.pmc.add(Pmc::Instructions, pending + 1);
+                                pending = 0;
+                                self.lfence_shadow = false;
+                                let wrong_path =
+                                    if predicted_taken { target } else { pc + INST_SIZE };
+                                self.mispredict_window(wrong_path);
+                                self.cond_pred.update(pc, &self.bhb, taken);
+                                if taken {
+                                    self.bhb.record(pc, target);
+                                    self.pc = target;
+                                } else {
+                                    self.pc += INST_SIZE;
+                                }
+                                continue 'hot;
+                            }
+                            self.cond_pred.update(pc, &self.bhb, taken);
+                            if taken {
+                                self.bhb.record(pc, target);
+                                self.pc = target;
+                            } else {
+                                self.pc += INST_SIZE;
+                            }
+                        }
+                        Op::Load => {
+                            let pc = self.pc;
+                            let width = Width::from_index((d.c & 3) as usize);
+                            let vaddr = self.rv(d.b).wrapping_add(d.imm);
+                            match self.read_virt(vaddr, width) {
+                                Ok(v) => {
+                                    self.set_rv(d.a, v);
+                                    let dst = Reg::from_index((d.a & 15) as usize);
+                                    if let Some(stale) = self.ssb_stale(vaddr, width, dst) {
+                                        // SSB window: flush, then open.
+                                        remaining -= 1;
+                                        self.insts += pending + 1;
+                                        self.pmc.add(Pmc::Instructions, pending + 1);
+                                        pending = 0;
+                                        self.lfence_shadow = false;
+                                        transient::run_window(
+                                            self,
+                                            TransientStart::StoreBypass {
+                                                stale,
+                                                dst,
+                                                next_pc: pc + INST_SIZE,
+                                            },
+                                        );
+                                        self.pc = pc + INST_SIZE;
+                                        continue 'hot;
+                                    }
+                                    self.pc += INST_SIZE;
+                                }
+                                Err(fault) => {
+                                    // Faulting-load window + fault delivery:
+                                    // flush first, error paths included.
+                                    remaining -= 1;
+                                    self.insts += pending + 1;
+                                    self.pmc.add(Pmc::Instructions, pending + 1);
+                                    pending = 0;
+                                    self.lfence_shadow = false;
+                                    self.load_fault(fault, pc, vaddr, width, d.a)?;
+                                    continue 'hot;
+                                }
+                            }
+                        }
+                        Op::Store => {
+                            let pc = self.pc;
+                            let width = Width::from_index((d.c & 3) as usize);
+                            let vaddr = self.rv(d.b).wrapping_add(d.imm);
+                            let value = self.rv(d.a);
+                            match self.write_virt(vaddr, value, width) {
+                                Ok(()) => self.pc += INST_SIZE,
+                                Err(fault) => {
+                                    remaining -= 1;
+                                    self.insts += pending + 1;
+                                    self.pmc.add(Pmc::Instructions, pending + 1);
+                                    pending = 0;
+                                    self.lfence_shadow = false;
+                                    self.deliver_fault(fault, pc)?;
+                                    continue 'hot;
+                                }
+                            }
+                        }
+                        _ => break 'hot,
+                    }
+                    remaining -= 1;
+                    pending += 1;
+                    self.lfence_shadow = false;
+                }
+                self.insts += pending;
+                self.pmc.add(Pmc::Instructions, pending);
+            }
             if remaining == 0 {
                 return Err(SimError::InstructionBudgetExhausted);
             }
@@ -401,20 +615,73 @@ impl Machine {
     /// was exhausted with the machine still runnable. Lets callers
     /// observe microarchitectural state at intermediate points.
     pub fn step_slice(&mut self, env: &mut dyn Env, n: u64) -> Result<bool, SimError> {
+        let mut stopped = false;
         for _ in 0..n {
-            if self.step(env)?.is_some() {
-                return Ok(true);
+            match self.step(env) {
+                Ok(Some(_)) => {
+                    stopped = true;
+                    break;
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    self.flush_global_counters();
+                    return Err(e);
+                }
             }
         }
-        Ok(false)
+        self.flush_global_counters();
+        Ok(stopped)
+    }
+
+    /// Publishes counter deltas to the process-wide totals in
+    /// [`crate::pmc::global`]. Called when a run or slice ends (and on
+    /// drop), so the per-step dispatch path stays free of atomics.
+    fn flush_global_counters(&mut self) {
+        crate::pmc::global::flush(
+            self.insts - self.flushed_insts,
+            self.transient_insts - self.flushed_transient,
+            self.transient_windows - self.flushed_windows,
+        );
+        self.flushed_insts = self.insts;
+        self.flushed_transient = self.transient_insts;
+        self.flushed_windows = self.transient_windows;
+    }
+
+    /// Reads a register by decoded operand index. The mask proves the
+    /// index in-range, so the array access compiles bounds-check-free.
+    #[inline(always)]
+    fn rv(&self, i: u8) -> u64 {
+        self.regs[(i & 15) as usize]
+    }
+
+    /// Writes a register by decoded operand index.
+    #[inline(always)]
+    fn set_rv(&mut self, i: u8, v: u64) {
+        self.regs[(i & 15) as usize] = v;
+    }
+
+    /// Common ALU epilogue: one latency charge, one register write, fall
+    /// through to the next instruction.
+    #[inline(always)]
+    fn alu_write(&mut self, d: u8, v: u64) {
+        self.charge(self.model.lat.alu);
+        self.set_rv(d, v);
+        self.pc += INST_SIZE;
     }
 
     /// Executes one committed instruction (handling any fault it raises).
     /// Returns `Some(stop)` when the machine should stop.
+    ///
+    /// This is the decoded-dispatch fast path: one indexed fetch from the
+    /// pre-decoded stream, a jump-table `match` on the dense [`Op`] tag,
+    /// with faults and the rare system instructions out-of-line behind
+    /// `#[cold]` helpers. The original `Inst`-matching interpreter is
+    /// preserved in [`crate::reference`] as the semantics oracle; property
+    /// tests pin the two equal on every counter.
     pub fn step(&mut self, env: &mut dyn Env) -> Result<Option<Stop>, SimError> {
         let pc = self.pc;
-        let inst = match self.code.fetch(pc) {
-            Some(i) => i.clone(),
+        let d = match self.code.fetch_decoded(pc, &mut self.seg_hint) {
+            Some(d) => d,
             None => return Err(SimError::BadFetch { addr: pc }),
         };
         self.insts += 1;
@@ -424,64 +691,57 @@ impl Machine {
                 pc,
                 cycles: self.cycles,
                 mode: self.mode,
-                mnemonic: inst.mnemonic(),
+                mnemonic: d.op.mnemonic(),
             });
         }
 
-        // Privilege check first: privileged instructions fault in user mode.
-        if self.mode == PrivMode::User && inst.is_privileged() {
-            self.deliver_fault(Fault::GeneralProtection, pc)?;
+        // Privilege check first: privileged instructions fault in user
+        // mode. The bit was precomputed at decode time.
+        if self.mode == PrivMode::User && d.is_privileged() {
+            self.user_privilege_fault(pc)?;
             return Ok(None);
         }
 
         let lfence_shadow = std::mem::take(&mut self.lfence_shadow);
 
-        match inst {
-            Inst::Nop | Inst::Pause => {
+        match d.op {
+            Op::Nop | Op::Pause => {
                 self.charge(self.model.lat.alu);
                 self.pc += INST_SIZE;
             }
-            Inst::Halt => {
+            Op::Halt => {
                 self.charge(self.model.lat.alu);
                 // Advance past the halt so callers can resume execution
                 // at the following instruction (checkpoint pattern).
                 self.pc += INST_SIZE;
                 return Ok(Some(Stop::Halted));
             }
-            Inst::Vmcall => {
+            Op::Vmcall => {
                 // Guest-visible exit cost; host adds its handling time.
                 self.charge(self.model.lat.vmexit);
                 self.pc += INST_SIZE;
                 return Ok(Some(Stop::Vmcall));
             }
-            Inst::Host(id) => {
+            Op::Host => {
                 self.charge(self.model.lat.alu);
                 self.pc += INST_SIZE;
-                env.host_call(self, id)?;
+                env.host_call(self, d.imm as u16)?;
             }
 
-            Inst::MovImm(d, v) => self.alu1(|_| v, d),
-            Inst::Mov(d, s) => {
-                let v = self.reg(s);
-                self.alu1(|_| v, d)
-            }
-            Inst::Add(d, s) => {
-                let v = self.reg(s);
-                self.alu1(|x| x.wrapping_add(v), d)
-            }
-            Inst::AddImm(d, v) => self.alu1(|x| x.wrapping_add(v), d),
-            Inst::Sub(d, s) => {
-                let v = self.reg(s);
-                self.alu1(|x| x.wrapping_sub(v), d)
-            }
-            Inst::SubImm(d, v) => self.alu1(|x| x.wrapping_sub(v), d),
-            Inst::Mul(d, s) => {
-                let v = self.reg(s);
+            Op::MovImm => self.alu_write(d.a, d.imm),
+            Op::Mov => self.alu_write(d.a, self.rv(d.b)),
+            Op::Add => self.alu_write(d.a, self.rv(d.a).wrapping_add(self.rv(d.b))),
+            Op::AddImm => self.alu_write(d.a, self.rv(d.a).wrapping_add(d.imm)),
+            Op::Sub => self.alu_write(d.a, self.rv(d.a).wrapping_sub(self.rv(d.b))),
+            Op::SubImm => self.alu_write(d.a, self.rv(d.a).wrapping_sub(d.imm)),
+            Op::Mul => {
                 self.charge(2); // multiply is slightly slower than simple ALU
-                self.alu1_free(|x| x.wrapping_mul(v), d)
+                let v = self.rv(d.a).wrapping_mul(self.rv(d.b));
+                self.set_rv(d.a, v);
+                self.pc += INST_SIZE;
             }
-            Inst::Div(d, s) => {
-                let divisor = self.reg(s);
+            Op::Div => {
+                let divisor = self.rv(d.b);
                 if divisor == 0 {
                     self.deliver_fault(Fault::DivideError, pc)?;
                     return Ok(None);
@@ -489,85 +749,74 @@ impl Machine {
                 let div_lat = self.model.lat.div;
                 self.charge(div_lat);
                 self.pmc.add(Pmc::DividerActive, div_lat);
-                let v = self.reg(d) / divisor;
-                self.set_reg(d, v);
+                let v = self.rv(d.a) / divisor;
+                self.set_rv(d.a, v);
                 self.pc += INST_SIZE;
             }
-            Inst::And(d, s) => {
-                let v = self.reg(s);
-                self.alu1(|x| x & v, d)
-            }
-            Inst::AndImm(d, v) => self.alu1(|x| x & v, d),
-            Inst::Or(d, s) => {
-                let v = self.reg(s);
-                self.alu1(|x| x | v, d)
-            }
-            Inst::Xor(d, s) => {
-                let v = self.reg(s);
-                self.alu1(|x| x ^ v, d)
-            }
-            Inst::XorImm(d, v) => self.alu1(|x| x ^ v, d),
-            Inst::Shl(d, n) => self.alu1(|x| x << (n & 63), d),
-            Inst::Shr(d, n) => self.alu1(|x| x >> (n & 63), d),
-            Inst::Not(d) => self.alu1(|x| !x, d),
+            Op::And => self.alu_write(d.a, self.rv(d.a) & self.rv(d.b)),
+            Op::AndImm => self.alu_write(d.a, self.rv(d.a) & d.imm),
+            Op::Or => self.alu_write(d.a, self.rv(d.a) | self.rv(d.b)),
+            Op::Xor => self.alu_write(d.a, self.rv(d.a) ^ self.rv(d.b)),
+            Op::XorImm => self.alu_write(d.a, self.rv(d.a) ^ d.imm),
+            Op::Shl => self.alu_write(d.a, self.rv(d.a) << (d.b & 63)),
+            Op::Shr => self.alu_write(d.a, self.rv(d.a) >> (d.b & 63)),
+            Op::Not => self.alu_write(d.a, !self.rv(d.a)),
 
-            Inst::Load { dst, base, offset, width } => {
-                let vaddr = self.reg(base).wrapping_add(offset as u64);
+            Op::Load => {
+                let width = Width::from_index((d.c & 3) as usize);
+                let vaddr = self.rv(d.b).wrapping_add(d.imm);
                 match self.read_virt(vaddr, width) {
                     Ok(v) => {
-                        self.set_reg(dst, v);
+                        self.set_rv(d.a, v);
                         // Speculative Store Bypass: if the load *forwarded*
                         // from an in-flight store, a vulnerable part may
                         // first have run ahead with the stale value.
-                        self.maybe_ssb_window(vaddr, width, dst, pc + INST_SIZE);
+                        self.maybe_ssb_window(
+                            vaddr,
+                            width,
+                            Reg::from_index((d.a & 15) as usize),
+                            pc + INST_SIZE,
+                        );
                         self.pc += INST_SIZE;
                     }
-                    Err(fault) => {
-                        // The faulting load's dependents execute transiently
-                        // with whatever the vulnerability lets through
-                        // (Meltdown / L1TF / MDS).
-                        transient::run_window(
-                            self,
-                            TransientStart::FaultingLoad { vaddr, width, dst, next_pc: pc + INST_SIZE },
-                        );
-                        self.deliver_fault(fault, pc)?;
-                    }
+                    Err(fault) => self.load_fault(fault, pc, vaddr, width, d.a)?,
                 }
             }
-            Inst::Store { src, base, offset, width } => {
-                let vaddr = self.reg(base).wrapping_add(offset as u64);
-                let value = self.reg(src);
+            Op::Store => {
+                let width = Width::from_index((d.c & 3) as usize);
+                let vaddr = self.rv(d.b).wrapping_add(d.imm);
+                let value = self.rv(d.a);
                 match self.write_virt(vaddr, value, width) {
                     Ok(()) => self.pc += INST_SIZE,
                     Err(fault) => self.deliver_fault(fault, pc)?,
                 }
             }
 
-            Inst::Cmp(a, b) => {
-                self.flags = Flags::compare(self.reg(a), self.reg(b));
+            Op::Cmp => {
+                self.flags = Flags::compare(self.rv(d.a), self.rv(d.b));
                 self.charge(self.model.lat.alu);
                 self.pc += INST_SIZE;
             }
-            Inst::CmpImm(a, imm) => {
-                self.flags = Flags::compare(self.reg(a), imm);
+            Op::CmpImm => {
+                self.flags = Flags::compare(self.rv(d.a), d.imm);
                 self.charge(self.model.lat.alu);
                 self.pc += INST_SIZE;
             }
-            Inst::Test(a, b) => {
-                let v = self.reg(a) & self.reg(b);
+            Op::Test => {
+                let v = self.rv(d.a) & self.rv(d.b);
                 self.flags = Flags { zero: v == 0, carry: false, sign: (v as i64) < 0, overflow: false };
                 self.charge(self.model.lat.alu);
                 self.pc += INST_SIZE;
             }
 
-            Inst::Jcc(cond, target) => {
+            Op::Jcc => {
                 self.charge(self.model.lat.alu);
-                let taken = self.flags.eval(cond);
+                let target = d.imm;
+                let taken = self.flags.eval(Cond::from_index(d.c as usize));
                 let predicted_taken = self.cond_pred.predict(pc, &self.bhb);
                 if predicted_taken != taken {
-                    self.charge(self.model.lat.mispredict_penalty);
                     let wrong_path = if predicted_taken { target } else { pc + INST_SIZE };
-                    transient::run_window(self, TransientStart::WrongPath { pc: wrong_path });
+                    self.mispredict_window(wrong_path);
                 }
                 self.cond_pred.update(pc, &self.bhb, taken);
                 if taken {
@@ -577,31 +826,31 @@ impl Machine {
                     self.pc += INST_SIZE;
                 }
             }
-            Inst::Jmp(target) => {
+            Op::Jmp => {
                 self.charge(self.model.lat.alu);
-                self.bhb.record(pc, target);
-                self.pc = target;
+                self.bhb.record(pc, d.imm);
+                self.pc = d.imm;
             }
-            Inst::JmpInd(r) => {
-                let target = self.reg(r);
+            Op::JmpInd => {
+                let target = self.rv(d.a);
                 self.indirect_branch(pc, target, lfence_shadow);
                 self.pc = target;
             }
-            Inst::Call(target) => {
+            Op::Call => {
                 self.charge(self.model.lat.alu);
                 self.push_stack(pc + INST_SIZE)?;
                 self.rsb.push(pc + INST_SIZE);
-                self.bhb.record(pc, target);
-                self.pc = target;
+                self.bhb.record(pc, d.imm);
+                self.pc = d.imm;
             }
-            Inst::CallInd(r) => {
-                let target = self.reg(r);
+            Op::CallInd => {
+                let target = self.rv(d.a);
                 self.indirect_branch(pc, target, lfence_shadow);
                 self.push_stack(pc + INST_SIZE)?;
                 self.rsb.push(pc + INST_SIZE);
                 self.pc = target;
             }
-            Inst::Ret => {
+            Op::Ret => {
                 self.charge(self.model.lat.alu);
                 let actual = self.pop_stack()?;
                 let predicted = self.rsb.pop();
@@ -628,31 +877,31 @@ impl Machine {
                 self.pc = actual;
             }
 
-            Inst::Cmov(cond, d, s) => {
+            Op::Cmov => {
                 // Conditional moves are cheap to execute but sit on the
                 // dependency chain of whatever consumes the result — for
                 // index masking, the following load cannot begin until the
                 // flags and both inputs resolve. The extra cycles model
                 // that serialization (the real cost of the mitigation,
                 // §5.4).
-                let v = self.reg(s);
-                let take = self.flags.eval(cond);
+                let v = self.rv(d.b);
+                let take = self.flags.eval(Cond::from_index(d.c as usize));
                 self.charge(self.model.lat.alu + 3);
                 if take {
-                    self.set_reg(d, v);
+                    self.set_rv(d.a, v);
                 }
                 self.pc += INST_SIZE;
             }
-            Inst::CmovImm(cond, d, imm) => {
-                let take = self.flags.eval(cond);
+            Op::CmovImm => {
+                let take = self.flags.eval(Cond::from_index(d.c as usize));
                 self.charge(self.model.lat.alu + 3);
                 if take {
-                    self.set_reg(d, imm);
+                    self.set_rv(d.a, d.imm);
                 }
                 self.pc += INST_SIZE;
             }
 
-            Inst::Lfence => {
+            Op::Lfence => {
                 // On Intel, `lfence` only waits for in-flight loads: with
                 // nothing outstanding (e.g. right after `swapgs` on kernel
                 // entry) it is nearly free — which is why the paper found
@@ -672,13 +921,13 @@ impl Machine {
                 }
                 self.pc += INST_SIZE;
             }
-            Inst::Mfence | Inst::Sfence => {
+            Op::Mfence | Op::Sfence => {
                 self.charge(self.model.lat.lfence + 10);
                 self.store_buffer.flush();
                 self.pc += INST_SIZE;
             }
-            Inst::Clflush(r) => {
-                let vaddr = self.reg(r);
+            Op::Clflush => {
+                let vaddr = self.rv(d.a);
                 self.charge(self.model.lat.l1_hit + 8);
                 let user = self.mode == PrivMode::User;
                 if let Ok(tr) = self.mmu.translate(vaddr, Access::Read, user) {
@@ -687,52 +936,22 @@ impl Machine {
                 self.pc += INST_SIZE;
             }
 
-            Inst::Rdtsc(d) => {
+            Op::Rdtsc => {
                 self.charge(15);
                 let c = self.cycles;
-                self.set_reg(d, c);
+                self.set_rv(d.a, c);
                 self.pc += INST_SIZE;
             }
-            Inst::Rdpmc { pmc, dst } => {
+            Op::Rdpmc => {
                 self.charge(20);
-                let v = self.pmc.read(pmc);
-                self.set_reg(dst, v);
+                let v = self.pmc.read(Pmc::from_index((d.b & 7) as usize));
+                self.set_rv(d.a, v);
                 self.pc += INST_SIZE;
             }
-            Inst::Wrmsr { msr, src } => {
-                let value = self.reg(src);
-                let cost = if msr == crate::isa::msr_index::IA32_SPEC_CTRL {
-                    self.model.lat.wrmsr_spec_ctrl
-                } else if msr == crate::isa::msr_index::IA32_PRED_CMD {
-                    self.model.lat.ibpb
-                } else if msr == crate::isa::msr_index::IA32_FLUSH_CMD {
-                    self.model.lat.l1d_flush
-                } else {
-                    100
-                };
-                match self.msrs.write(msr, value) {
-                    Ok(effect) => {
-                        self.charge(cost);
-                        match effect {
-                            MsrEffect::None => {}
-                            MsrEffect::Ibpb => self.btb.ibpb(),
-                            MsrEffect::L1dFlush => self.l1d.flush_all(),
-                        }
-                        self.pc += INST_SIZE;
-                    }
-                    Err(fault) => self.deliver_fault(fault, pc)?,
-                }
-            }
-            Inst::Rdmsr { msr, dst } => match self.msrs.read(msr) {
-                Ok(v) => {
-                    self.charge(60);
-                    self.set_reg(dst, v);
-                    self.pc += INST_SIZE;
-                }
-                Err(fault) => self.deliver_fault(fault, pc)?,
-            },
+            Op::Wrmsr => self.exec_wrmsr(pc, d.imm as u32, d.a)?,
+            Op::Rdmsr => self.exec_rdmsr(pc, d.imm as u32, d.a)?,
 
-            Inst::Syscall => {
+            Op::Syscall => {
                 if self.mode == PrivMode::Kernel {
                     return Err(SimError::ModeViolation { what: "syscall from kernel mode" });
                 }
@@ -747,17 +966,17 @@ impl Machine {
                 self.kernel_entry_side_effects();
                 self.pc = entry;
             }
-            Inst::Sysret => {
+            Op::Sysret => {
                 self.charge(self.model.lat.sysret);
                 self.mode = PrivMode::User;
                 self.pc = self.reg(Reg::R11);
             }
-            Inst::Swapgs => {
+            Op::Swapgs => {
                 self.charge(self.model.lat.alu + 2);
                 self.swapgs_user = !self.swapgs_user;
                 self.pc += INST_SIZE;
             }
-            Inst::Iret => {
+            Op::Iret => {
                 let frame = match self.fault_frame.take() {
                     Some(f) => f,
                     None => return Err(SimError::ModeViolation { what: "iret with no frame" }),
@@ -766,15 +985,15 @@ impl Machine {
                 self.mode = frame.prior_mode;
                 self.pc = frame.resume_pc;
             }
-            Inst::MovCr3(r) => {
-                let value = self.reg(r);
+            Op::MovCr3 => {
+                let value = self.rv(d.a);
                 self.charge(self.model.lat.swap_cr3);
                 if !self.mmu.load_cr3(value) {
                     return Err(SimError::BadPageTable { cr3: value });
                 }
                 self.pc += INST_SIZE;
             }
-            Inst::Verw => {
+            Op::Verw => {
                 if self.model.spec.md_clear {
                     self.charge(self.model.lat.verw_clear);
                     self.fill_buffers.clear();
@@ -783,41 +1002,32 @@ impl Machine {
                 }
                 self.pc += INST_SIZE;
             }
-            Inst::Invlpg(r) => {
-                let vaddr = self.reg(r);
+            Op::Invlpg => {
+                let vaddr = self.rv(d.a);
                 self.charge(120);
                 self.mmu.flush_tlb_page(vaddr);
                 self.pc += INST_SIZE;
             }
 
-            Inst::Fadd(..)
-            | Inst::Fsub(..)
-            | Inst::Fmul(..)
-            | Inst::Fdiv(..)
-            | Inst::FmovImm(..)
-            | Inst::Fload { .. }
-            | Inst::Fstore { .. }
-            | Inst::FtoG(..) => {
+            Op::Fadd
+            | Op::Fsub
+            | Op::Fmul
+            | Op::Fdiv
+            | Op::FmovImm
+            | Op::Fload
+            | Op::Fstore
+            | Op::FtoG => {
                 if !self.fpu.enabled {
-                    // LazyFP trap point: architecturally this faults. On a
-                    // vulnerable part the *transient* dependents still see
-                    // the stale registers.
-                    if self.model.vuln.lazy_fp {
-                        transient::run_window(
-                            self,
-                            TransientStart::StaleFpu { inst: inst.clone(), next_pc: pc + INST_SIZE },
-                        );
-                    }
-                    self.deliver_fault(Fault::DeviceNotAvailable, pc)?;
+                    self.fp_disabled(d, pc)?;
                     return Ok(None);
                 }
-                if let Err(fault) = self.exec_fp(&inst) {
+                if let Err(fault) = self.exec_fp_decoded(d) {
                     self.deliver_fault(fault, pc)?;
                     return Ok(None);
                 }
                 self.pc += INST_SIZE;
             }
-            Inst::Xsave => {
+            Op::Xsave => {
                 let cost = if self.model.spec.xsaveopt {
                     self.model.lat.xsave
                 } else {
@@ -826,7 +1036,7 @@ impl Machine {
                 self.charge(cost);
                 self.pc += INST_SIZE;
             }
-            Inst::Xrstor => {
+            Op::Xrstor => {
                 self.charge(self.model.lat.xrstor);
                 self.pc += INST_SIZE;
             }
@@ -834,9 +1044,150 @@ impl Machine {
         Ok(None)
     }
 
+    /// A privileged instruction fetched in user mode: `#GP`.
+    #[cold]
+    fn user_privilege_fault(&mut self, pc: u64) -> Result<(), SimError> {
+        self.deliver_fault(Fault::GeneralProtection, pc)
+    }
+
+    /// A committed load faulted: its dependents execute transiently with
+    /// whatever the vulnerability profile lets through (Meltdown / L1TF /
+    /// MDS), then the fault is delivered.
+    #[cold]
+    fn load_fault(
+        &mut self,
+        fault: Fault,
+        pc: u64,
+        vaddr: u64,
+        width: Width,
+        dst: u8,
+    ) -> Result<(), SimError> {
+        transient::run_window(
+            self,
+            TransientStart::FaultingLoad {
+                vaddr,
+                width,
+                dst: Reg::from_index((dst & 15) as usize),
+                next_pc: pc + INST_SIZE,
+            },
+        );
+        self.deliver_fault(fault, pc)
+    }
+
+    /// A conditional branch mispredicted: charge the penalty and run the
+    /// wrong-path transient window.
+    #[cold]
+    fn mispredict_window(&mut self, wrong_path: u64) {
+        self.charge(self.model.lat.mispredict_penalty);
+        transient::run_window(self, TransientStart::WrongPath { pc: wrong_path });
+    }
+
+    #[cold]
+    fn exec_wrmsr(&mut self, pc: u64, msr: u32, src: u8) -> Result<(), SimError> {
+        let value = self.rv(src);
+        let cost = if msr == crate::isa::msr_index::IA32_SPEC_CTRL {
+            self.model.lat.wrmsr_spec_ctrl
+        } else if msr == crate::isa::msr_index::IA32_PRED_CMD {
+            self.model.lat.ibpb
+        } else if msr == crate::isa::msr_index::IA32_FLUSH_CMD {
+            self.model.lat.l1d_flush
+        } else {
+            100
+        };
+        match self.msrs.write(msr, value) {
+            Ok(effect) => {
+                self.charge(cost);
+                match effect {
+                    MsrEffect::None => {}
+                    MsrEffect::Ibpb => self.btb.ibpb(),
+                    MsrEffect::L1dFlush => self.l1d.flush_all(),
+                }
+                self.pc += INST_SIZE;
+                Ok(())
+            }
+            Err(fault) => self.deliver_fault(fault, pc),
+        }
+    }
+
+    #[cold]
+    fn exec_rdmsr(&mut self, pc: u64, msr: u32, dst: u8) -> Result<(), SimError> {
+        match self.msrs.read(msr) {
+            Ok(v) => {
+                self.charge(60);
+                self.set_rv(dst, v);
+                self.pc += INST_SIZE;
+                Ok(())
+            }
+            Err(fault) => self.deliver_fault(fault, pc),
+        }
+    }
+
+    /// An FP instruction trapped on a disabled FPU. LazyFP trap point:
+    /// architecturally this faults, but on a vulnerable part the
+    /// *transient* dependents still see the stale registers.
+    #[cold]
+    fn fp_disabled(&mut self, d: DecodedInst, pc: u64) -> Result<(), SimError> {
+        if self.model.vuln.lazy_fp {
+            transient::run_window(
+                self,
+                TransientStart::StaleFpu { inst: d, next_pc: pc + INST_SIZE },
+            );
+        }
+        self.deliver_fault(Fault::DeviceNotAvailable, pc)
+    }
+
+    /// Executes an enabled-FPU floating point instruction (decoded form).
+    fn exec_fp_decoded(&mut self, d: DecodedInst) -> Result<(), Fault> {
+        let fa = (d.a & 7) as usize;
+        let fb = (d.b & 7) as usize;
+        match d.op {
+            Op::Fadd => {
+                self.charge(3);
+                self.fpu.state.regs[fa] += self.fpu.state.regs[fb];
+            }
+            Op::Fsub => {
+                self.charge(3);
+                self.fpu.state.regs[fa] -= self.fpu.state.regs[fb];
+            }
+            Op::Fmul => {
+                self.charge(4);
+                self.fpu.state.regs[fa] *= self.fpu.state.regs[fb];
+            }
+            Op::Fdiv => {
+                let lat = self.model.lat.div;
+                self.charge(lat);
+                self.pmc.add(Pmc::DividerActive, lat);
+                self.fpu.state.regs[fa] /= self.fpu.state.regs[fb];
+            }
+            Op::FmovImm => {
+                self.charge(self.model.lat.alu);
+                self.fpu.state.regs[fa] = f64::from_bits(d.imm);
+            }
+            Op::Fload => {
+                let vaddr = self.rv(d.b).wrapping_add(d.imm);
+                let bits = self.read_virt(vaddr, Width::B8)?;
+                self.fpu.state.regs[fa] = f64::from_bits(bits);
+            }
+            Op::Fstore => {
+                let vaddr = self.rv(d.b).wrapping_add(d.imm);
+                let bits = self.fpu.state.regs[fa].to_bits();
+                self.write_virt(vaddr, bits, Width::B8)?;
+            }
+            Op::FtoG => {
+                self.charge(self.model.lat.alu + 1);
+                self.set_rv(d.a, self.fpu.state.regs[fb].to_bits());
+            }
+            // A non-FP opcode routed here is a dispatch bug in the caller;
+            // surface it as an architectural #UD instead of aborting the
+            // whole process.
+            _ => return Err(Fault::InvalidOpcode),
+        }
+        Ok(())
+    }
+
     /// Kernel-entry side effects shared by syscalls and faults: the
     /// eIBRS periodic flush (§6.2.2 bimodal latency).
-    fn kernel_entry_side_effects(&mut self) {
+    pub(crate) fn kernel_entry_side_effects(&mut self) {
         if self.model.spec.eibrs
             && self.ibrs_active()
             && self.model.spec.eibrs_flush_interval > 0
@@ -849,56 +1200,9 @@ impl Machine {
         }
     }
 
-    /// Executes an enabled-FPU floating point instruction.
-    fn exec_fp(&mut self, inst: &Inst) -> Result<(), Fault> {
-        match *inst {
-            Inst::Fadd(d, s) => {
-                self.charge(3);
-                self.fpu.state.regs[d.index()] += self.fpu.state.regs[s.index()];
-            }
-            Inst::Fsub(d, s) => {
-                self.charge(3);
-                self.fpu.state.regs[d.index()] -= self.fpu.state.regs[s.index()];
-            }
-            Inst::Fmul(d, s) => {
-                self.charge(4);
-                self.fpu.state.regs[d.index()] *= self.fpu.state.regs[s.index()];
-            }
-            Inst::Fdiv(d, s) => {
-                let lat = self.model.lat.div;
-                self.charge(lat);
-                self.pmc.add(Pmc::DividerActive, lat);
-                self.fpu.state.regs[d.index()] /= self.fpu.state.regs[s.index()];
-            }
-            Inst::FmovImm(d, v) => {
-                self.charge(self.model.lat.alu);
-                self.fpu.state.regs[d.index()] = v;
-            }
-            Inst::Fload { dst, base, offset } => {
-                let vaddr = self.reg(base).wrapping_add(offset as u64);
-                let bits = self.read_virt(vaddr, Width::B8)?;
-                self.fpu.state.regs[dst.index()] = f64::from_bits(bits);
-            }
-            Inst::Fstore { src, base, offset } => {
-                let vaddr = self.reg(base).wrapping_add(offset as u64);
-                let bits = self.fpu.state.regs[src.index()].to_bits();
-                self.write_virt(vaddr, bits, Width::B8)?;
-            }
-            Inst::FtoG(d, s) => {
-                self.charge(self.model.lat.alu + 1);
-                self.regs[d.index()] = self.fpu.state.regs[s.index()].to_bits();
-            }
-            // A non-FP instruction routed here is a decoder bug in the
-            // caller; surface it as an architectural #UD instead of
-            // aborting the whole process.
-            _ => return Err(Fault::InvalidOpcode),
-        }
-        Ok(())
-    }
-
     /// Committed indirect branch bookkeeping: prediction check, transient
     /// window on mispredict, BTB training, BHB update.
-    fn indirect_branch(&mut self, pc: u64, actual: u64, lfence_shadow: bool) {
+    pub(crate) fn indirect_branch(&mut self, pc: u64, actual: u64, lfence_shadow: bool) {
         if lfence_shadow {
             // AMD retpoline: the serializing lfence's wait overlaps the
             // branch's own target resolution, so the *net* extra cost of
@@ -933,24 +1237,30 @@ impl Machine {
     /// Opens the Speculative Store Bypass transient window when a committed
     /// load forwarded from an in-flight store on a vulnerable part: the
     /// load's dependents first ran ahead with the *stale* pre-store value.
-    fn maybe_ssb_window(&mut self, vaddr: u64, width: Width, dst: Reg, next_pc: u64) {
+    pub(crate) fn maybe_ssb_window(&mut self, vaddr: u64, width: Width, dst: Reg, next_pc: u64) {
+        if let Some(stale) = self.ssb_stale(vaddr, width, dst) {
+            transient::run_window(self, TransientStart::StoreBypass { stale, dst, next_pc });
+        }
+    }
+
+    /// The gate of [`Machine::maybe_ssb_window`]: returns the stale
+    /// bypassed value when the window should open, without opening it —
+    /// so the batched run loop can flush its counters first.
+    pub(crate) fn ssb_stale(&mut self, vaddr: u64, width: Width, dst: Reg) -> Option<u64> {
         if !self.model.vuln.ssb || self.ssbd_active() {
-            return;
+            return None;
         }
         let now = self.cycles;
-        let stale = match self.store_buffer.bypass_value(vaddr, width, now) {
-            Some(s) => s,
-            None => return,
-        };
+        let stale = self.store_buffer.bypass_value(vaddr, width, now)?;
         if stale == self.reg(dst) {
             // Bypass world indistinguishable from the committed world.
-            return;
+            return None;
         }
-        transient::run_window(self, TransientStart::StoreBypass { stale, dst, next_pc });
+        Some(stale)
     }
 
     /// Pushes a value on the simulated stack (SP convention register).
-    fn push_stack(&mut self, value: u64) -> Result<(), SimError> {
+    pub(crate) fn push_stack(&mut self, value: u64) -> Result<(), SimError> {
         let sp = self.reg(Reg::SP).wrapping_sub(8);
         self.set_reg(Reg::SP, sp);
         match self.write_virt(sp, value, Width::B8) {
@@ -960,7 +1270,7 @@ impl Machine {
     }
 
     /// Pops a value from the simulated stack.
-    fn pop_stack(&mut self) -> Result<u64, SimError> {
+    pub(crate) fn pop_stack(&mut self) -> Result<u64, SimError> {
         let sp = self.reg(Reg::SP);
         let v = match self.read_virt(sp, Width::B8) {
             Ok(v) => v,
@@ -971,7 +1281,8 @@ impl Machine {
     }
 
     /// Delivers a fault: saves a frame and vectors to the handler.
-    fn deliver_fault(&mut self, fault: Fault, faulting_pc: u64) -> Result<(), SimError> {
+    #[cold]
+    pub(crate) fn deliver_fault(&mut self, fault: Fault, faulting_pc: u64) -> Result<(), SimError> {
         let entry = match self.fault_vectors.entry_for(fault) {
             Some(e) => e,
             None => return Err(SimError::UnhandledFault { fault, at: faulting_pc }),
@@ -992,15 +1303,12 @@ impl Machine {
         self.pc = entry;
         Ok(())
     }
+}
 
-    fn alu1(&mut self, f: impl FnOnce(u64) -> u64, d: Reg) {
-        self.charge(self.model.lat.alu);
-        self.alu1_free(f, d);
-    }
-
-    fn alu1_free(&mut self, f: impl FnOnce(u64) -> u64, d: Reg) {
-        let v = f(self.reg(d));
-        self.set_reg(d, v);
-        self.pc += INST_SIZE;
+impl Drop for Machine {
+    fn drop(&mut self) {
+        // Publish any counter deltas a caller-driven `step` loop (or an
+        // errored run) left unflushed.
+        self.flush_global_counters();
     }
 }

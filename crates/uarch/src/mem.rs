@@ -4,6 +4,7 @@
 //! touch. All accesses are by *physical* address; virtual-to-physical
 //! translation happens in [`crate::mmu`].
 
+use std::cell::Cell;
 use std::collections::HashMap;
 
 use crate::isa::Width;
@@ -35,39 +36,80 @@ pub fn line_number(addr: u64) -> u64 {
     addr >> LINE_SHIFT
 }
 
+/// Cache-slot sentinel: no frame number is ever `u64::MAX` in practice
+/// (it would imply a physical address above 2^76).
+const NO_FRAME: u64 = u64::MAX;
+
 /// Sparse byte-addressable physical memory.
 ///
 /// Reads of untouched memory return zero, mirroring zero-fill-on-demand.
+/// Frames live in a stable slab (`slabs`) indexed by a `pfn -> slot` hash
+/// map; a one-entry [`Cell`] cache keeps the simulator's hot loop off the
+/// hash map entirely when consecutive accesses land in the same frame —
+/// which is nearly always, since a cache line never spans frames.
 #[derive(Debug, Default)]
 pub struct PhysMemory {
-    frames: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
-    /// One-entry cache of the most recently touched frame, to keep the
-    /// simulator's hot loop off the hash map.
-    last_frame: Option<u64>,
+    slabs: Vec<Box<[u8; PAGE_SIZE as usize]>>,
+    index: HashMap<u64, u32>,
+    /// `(pfn, slab slot)` of the most recently touched frame;
+    /// `(NO_FRAME, _)` when empty. A `Cell` so the read path can refresh
+    /// it through `&self`.
+    last: Cell<(u64, u32)>,
 }
 
 impl PhysMemory {
     /// Creates empty physical memory.
     pub fn new() -> PhysMemory {
-        PhysMemory::default()
+        PhysMemory { slabs: Vec::new(), index: HashMap::new(), last: Cell::new((NO_FRAME, 0)) }
     }
 
     /// Number of frames that have been touched.
     pub fn resident_frames(&self) -> usize {
-        self.frames.len()
+        self.slabs.len()
+    }
+
+    /// Resolves a frame for reading, refreshing the one-entry cache.
+    #[inline]
+    fn frame(&self, pfn: u64) -> Option<&[u8; PAGE_SIZE as usize]> {
+        let (cached_pfn, slot) = self.last.get();
+        if cached_pfn == pfn {
+            return Some(&self.slabs[slot as usize]);
+        }
+        let slot = *self.index.get(&pfn)?;
+        self.last.set((pfn, slot));
+        Some(&self.slabs[slot as usize])
+    }
+
+    /// Resolves a frame without the cache: one hash lookup per call, the
+    /// seed's cost model. Used only by the `*_reference` entry points.
+    #[inline]
+    fn frame_uncached(&self, pfn: u64) -> Option<&[u8; PAGE_SIZE as usize]> {
+        let slot = *self.index.get(&pfn)?;
+        Some(&self.slabs[slot as usize])
     }
 
     fn frame_mut(&mut self, pfn: u64) -> &mut [u8; PAGE_SIZE as usize] {
-        self.last_frame = Some(pfn);
-        self.frames
-            .entry(pfn)
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]))
+        let (cached_pfn, slot) = self.last.get();
+        if cached_pfn == pfn {
+            return &mut self.slabs[slot as usize];
+        }
+        let slot = match self.index.get(&pfn) {
+            Some(&s) => s,
+            None => {
+                let s = self.slabs.len() as u32;
+                self.slabs.push(Box::new([0u8; PAGE_SIZE as usize]));
+                self.index.insert(pfn, s);
+                s
+            }
+        };
+        self.last.set((pfn, slot));
+        &mut self.slabs[slot as usize]
     }
 
     /// Reads one byte at a physical address.
     #[inline]
     pub fn read_u8(&self, paddr: u64) -> u8 {
-        match self.frames.get(&page_number(paddr)) {
+        match self.frame(page_number(paddr)) {
             Some(f) => f[page_offset(paddr) as usize],
             None => 0,
         }
@@ -82,9 +124,25 @@ impl PhysMemory {
 
     /// Reads `width` bytes (little-endian, zero-extended).
     ///
-    /// Accesses may straddle a page boundary; they are performed bytewise.
+    /// An access that stays inside one frame — the overwhelmingly common
+    /// case — costs at most a single frame lookup (usually none, via the
+    /// one-entry cache); only accesses that straddle a page boundary fall
+    /// back to the bytewise path.
     pub fn read(&self, paddr: u64, width: Width) -> u64 {
         let n = width.bytes();
+        let off = page_offset(paddr) as usize;
+        if off as u64 + n <= PAGE_SIZE {
+            return match self.frame(page_number(paddr)) {
+                Some(f) => {
+                    let mut v = 0u64;
+                    for (i, b) in f[off..off + n as usize].iter().enumerate() {
+                        v |= (*b as u64) << (8 * i);
+                    }
+                    v
+                }
+                None => 0,
+            };
+        }
         let mut v = 0u64;
         for i in 0..n {
             v |= (self.read_u8(paddr.wrapping_add(i)) as u64) << (8 * i);
@@ -95,8 +153,49 @@ impl PhysMemory {
     /// Writes the low `width` bytes of `v` (little-endian).
     pub fn write(&mut self, paddr: u64, v: u64, width: Width) {
         let n = width.bytes();
+        let off = page_offset(paddr) as usize;
+        if off as u64 + n <= PAGE_SIZE {
+            let f = self.frame_mut(page_number(paddr));
+            for i in 0..n as usize {
+                f[off + i] = (v >> (8 * i)) as u8;
+            }
+            return;
+        }
         for i in 0..n {
             self.write_u8(paddr.wrapping_add(i), (v >> (8 * i)) as u8);
+        }
+    }
+
+    /// The seed's bytewise read, kept verbatim (one uncached frame lookup
+    /// per byte) so the reference interpreter's timing reflects the
+    /// pre-refactor implementation. Observable-identical to
+    /// [`PhysMemory::read`].
+    pub(crate) fn read_reference(&self, paddr: u64, width: Width) -> u64 {
+        let mut v = 0u64;
+        for i in 0..width.bytes() {
+            let a = paddr.wrapping_add(i);
+            let byte = match self.frame_uncached(page_number(a)) {
+                Some(f) => f[page_offset(a) as usize],
+                None => 0,
+            };
+            v |= (byte as u64) << (8 * i);
+        }
+        v
+    }
+
+    /// The seed's bytewise write; see [`PhysMemory::read_reference`].
+    /// Allocation still goes through [`PhysMemory::frame_mut`] (the seed
+    /// allocated on first touch too); the per-byte hash lookup is the
+    /// preserved cost.
+    pub(crate) fn write_reference(&mut self, paddr: u64, v: u64, width: Width) {
+        for i in 0..width.bytes() {
+            let a = paddr.wrapping_add(i);
+            let pfn = page_number(a);
+            let off = page_offset(a) as usize;
+            match self.index.get(&pfn) {
+                Some(&slot) => self.slabs[slot as usize][off] = (v >> (8 * i)) as u8,
+                None => self.frame_mut(pfn)[off] = (v >> (8 * i)) as u8,
+            }
         }
     }
 

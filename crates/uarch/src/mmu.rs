@@ -195,6 +195,13 @@ pub struct Mmu {
     tlb: Vec<TlbEntry>,
     tlb_capacity: usize,
     stamp: u64,
+    /// Last-translation micro-cache: `(pcid, vpn, pte)` of the most recent
+    /// hit or fill. Hot loops touch the same page repeatedly, so this
+    /// answers most walks without the linear TLB scan. Invariant: when
+    /// `Some`, the entry is also live in `tlb` and is what
+    /// [`Mmu::tlb_lookup`] would return — every TLB mutation clears or
+    /// overwrites it — so hit/miss accounting is bit-identical.
+    last: Option<(u16, u64, Pte)>,
     /// Whether PCID tagging is honoured (CPU + kernel enable it).
     pub pcid_enabled: bool,
     /// Count of full TLB flushes (diagnostics).
@@ -211,6 +218,7 @@ impl Mmu {
             tlb: Vec::with_capacity(tlb_capacity),
             tlb_capacity,
             stamp: 0,
+            last: None,
             pcid_enabled: false,
             flush_count: 0,
         }
@@ -268,6 +276,7 @@ impl Mmu {
     /// Flushes the entire TLB.
     pub fn flush_tlb_all(&mut self) {
         self.tlb.clear();
+        self.last = None;
         self.flush_count += 1;
     }
 
@@ -275,6 +284,7 @@ impl Mmu {
     pub fn flush_tlb_page(&mut self, vaddr: u64) {
         let pcid = self.current_pcid();
         let vpn = page_number(vaddr);
+        self.last = None;
         self.tlb.retain(|e| !(e.pcid == pcid && e.vpn == vpn));
     }
 
@@ -299,6 +309,9 @@ impl Mmu {
             }
         }
         self.tlb.push(TlbEntry { pcid, vpn, pte, stamp: self.stamp });
+        // The just-inserted entry is by construction live and youngest, so
+        // it is always safe to cache (an eviction above cannot remove it).
+        self.last = Some((pcid, vpn, pte));
     }
 
     /// Performs the page walk for `vaddr` in the current address space,
@@ -309,7 +322,13 @@ impl Mmu {
     pub fn walk(&mut self, vaddr: u64) -> WalkResult {
         let (table, pcid, _) = split_cr3(self.cr3);
         let vpn = page_number(vaddr);
+        if let Some((lp, lv, pte)) = self.last {
+            if lv == vpn && (!self.pcid_enabled || lp == pcid) {
+                return WalkResult { pte: Some(pte), tlb_hit: true };
+            }
+        }
         if let Some(pte) = self.tlb_lookup(pcid, vpn) {
+            self.last = Some((pcid, vpn, pte));
             return WalkResult { pte: Some(pte), tlb_hit: true };
         }
         let pte = self.tables.get(&table).and_then(|t| t.entries.get(&vpn)).copied();
@@ -330,6 +349,71 @@ impl Mmu {
         user_mode: bool,
     ) -> Result<Translation, Fault> {
         let walk = self.walk(vaddr);
+        let pte = match walk.pte {
+            None => {
+                return Err(Fault::Page {
+                    vaddr,
+                    kind: PageFaultKind::NotMapped,
+                    write: access == Access::Write,
+                })
+            }
+            Some(p) => p,
+        };
+        if !pte.present {
+            return Err(Fault::Page {
+                vaddr,
+                kind: PageFaultKind::NotPresent,
+                write: access == Access::Write,
+            });
+        }
+        if user_mode && !pte.user {
+            return Err(Fault::Page {
+                vaddr,
+                kind: PageFaultKind::Supervisor,
+                write: access == Access::Write,
+            });
+        }
+        if access == Access::Write && !pte.writable {
+            return Err(Fault::Page { vaddr, kind: PageFaultKind::ReadOnly, write: true });
+        }
+        if access == Access::Fetch && pte.nx {
+            return Err(Fault::Page { vaddr, kind: PageFaultKind::NoExecute, write: false });
+        }
+        Ok(Translation {
+            paddr: (pte.pfn << PAGE_SHIFT) | page_offset(vaddr),
+            tlb_hit: walk.tlb_hit,
+        })
+    }
+
+    /// The seed's page walk, kept verbatim (no last-translation
+    /// micro-cache, the TLB scan runs every time) so the reference
+    /// interpreter's timing reflects the pre-refactor implementation.
+    /// Observable-identical to [`Mmu::walk`]; the property tests in
+    /// `tests/decode_roundtrip.rs` pin that equivalence.
+    pub(crate) fn walk_reference(&mut self, vaddr: u64) -> WalkResult {
+        let (table, pcid, _) = split_cr3(self.cr3);
+        let vpn = page_number(vaddr);
+        if let Some(pte) = self.tlb_lookup(pcid, vpn) {
+            return WalkResult { pte: Some(pte), tlb_hit: true };
+        }
+        let pte = self.tables.get(&table).and_then(|t| t.entries.get(&vpn)).copied();
+        if let Some(pte) = pte {
+            if pte.present {
+                self.tlb_insert(pcid, vpn, pte);
+            }
+        }
+        WalkResult { pte, tlb_hit: false }
+    }
+
+    /// [`Mmu::translate`] on top of [`Mmu::walk_reference`]: the
+    /// pre-refactor translation path, for the reference interpreter.
+    pub(crate) fn translate_reference(
+        &mut self,
+        vaddr: u64,
+        access: Access,
+        user_mode: bool,
+    ) -> Result<Translation, Fault> {
+        let walk = self.walk_reference(vaddr);
         let pte = match walk.pte {
             None => {
                 return Err(Fault::Page {

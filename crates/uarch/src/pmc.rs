@@ -43,6 +43,49 @@ impl PmcBank {
     }
 }
 
+/// Process-wide interpreter throughput counters.
+///
+/// Every [`crate::machine::Machine`] publishes its committed-instruction
+/// and transient-window deltas here when a run or slice ends (and on
+/// drop). The per-step dispatch loop never touches these atomics — the
+/// flush is batched — so the counters are free on the hot path but still
+/// monotonic and accurate at every observation point that matters
+/// (between experiment runs). The `serve` crate exports them as
+/// `regen_uarch_*` metrics.
+pub mod global {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Committed instructions across all machines in this process.
+    pub static INSTRUCTIONS: AtomicU64 = AtomicU64::new(0);
+    /// Transient (squashed) instructions across all machines.
+    pub static TRANSIENT_INSTRUCTIONS: AtomicU64 = AtomicU64::new(0);
+    /// Transient windows opened across all machines.
+    pub static TRANSIENT_WINDOWS: AtomicU64 = AtomicU64::new(0);
+
+    /// Publishes one machine's counter deltas.
+    pub fn flush(insts: u64, transient_insts: u64, transient_windows: u64) {
+        if insts != 0 {
+            INSTRUCTIONS.fetch_add(insts, Ordering::Relaxed);
+        }
+        if transient_insts != 0 {
+            TRANSIENT_INSTRUCTIONS.fetch_add(transient_insts, Ordering::Relaxed);
+        }
+        if transient_windows != 0 {
+            TRANSIENT_WINDOWS.fetch_add(transient_windows, Ordering::Relaxed);
+        }
+    }
+
+    /// A consistent-enough snapshot of the three totals, in the order
+    /// (instructions, transient instructions, transient windows).
+    pub fn snapshot() -> (u64, u64, u64) {
+        (
+            INSTRUCTIONS.load(Ordering::Relaxed),
+            TRANSIENT_INSTRUCTIONS.load(Ordering::Relaxed),
+            TRANSIENT_WINDOWS.load(Ordering::Relaxed),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -7,6 +7,7 @@
 
 use std::collections::HashMap;
 
+use crate::decode::{DecodedInst, DecodedProgram};
 use crate::isa::{Cond, Inst, Reg};
 
 /// Bytes of address space per instruction.
@@ -159,7 +160,10 @@ impl ProgramBuilder {
     /// Panics if any referenced label is unbound.
     pub fn link(mut self, base: u64) -> Program {
         let resolve = |labels: &[Option<usize>], l: Label| -> u64 {
-            let off = labels[l.0].expect("unbound label referenced");
+            let off = match labels[l.0] {
+                Some(off) => off,
+                None => panic!("unbound label referenced"),
+            };
             base + off as u64 * INST_SIZE
         };
         for (idx, label, fixup) in std::mem::take(&mut self.fixups) {
@@ -177,16 +181,21 @@ impl ProgramBuilder {
             .enumerate()
             .filter_map(|(i, off)| off.map(|o| (Label(i), base + o as u64 * INST_SIZE)))
             .collect();
-        Program { base, insts: self.insts, label_addrs }
+        // Decode-once: the machine dispatches over this stream and never
+        // pattern-matches `Inst` again.
+        let decoded = DecodedProgram::from_insts(base, &self.insts);
+        Program { base, insts: self.insts, label_addrs, decoded }
     }
 }
 
-/// A linked program: instructions at consecutive addresses from `base`.
+/// A linked program: instructions at consecutive addresses from `base`,
+/// plus the pre-decoded stream built once at link time.
 #[derive(Debug, Clone)]
 pub struct Program {
     base: u64,
     insts: Vec<Inst>,
     label_addrs: HashMap<Label, u64>,
+    decoded: DecodedProgram,
 }
 
 impl Program {
@@ -216,12 +225,20 @@ impl Program {
     ///
     /// Panics if the label was never bound.
     pub fn addr(&self, label: Label) -> u64 {
-        *self.label_addrs.get(&label).expect("label not bound in this program")
+        match self.label_addrs.get(&label) {
+            Some(addr) => *addr,
+            None => panic!("label not bound in this program"),
+        }
     }
 
     /// The instructions.
     pub fn insts(&self) -> &[Inst] {
         &self.insts
+    }
+
+    /// The pre-decoded instruction stream.
+    pub fn decoded(&self) -> &DecodedProgram {
+        &self.decoded
     }
 }
 
@@ -266,6 +283,60 @@ impl CodeMem {
             return None;
         }
         seg.insts.get(((addr - seg.base()) / INST_SIZE) as usize)
+    }
+
+    /// Fetches the pre-decoded instruction at `addr`, if any.
+    ///
+    /// `hint` caches the index of the segment that satisfied the previous
+    /// fetch: straight-line and loop execution stay inside one segment, so
+    /// the common case is a single bounds check with no search. On a miss
+    /// (cross-segment branch, syscall entry) the binary search runs and the
+    /// hint is refreshed. A stale or garbage hint is never incorrect — only
+    /// slow — so callers may carry it across `load` calls.
+    #[inline]
+    pub fn fetch_decoded(&self, addr: u64, hint: &mut usize) -> Option<DecodedInst> {
+        if let Some(seg) = self.segments.get(*hint) {
+            if let Some(d) = seg.decoded.fetch(addr) {
+                return Some(d);
+            }
+        }
+        self.fetch_decoded_slow(addr, hint)
+    }
+
+    /// The search path of [`CodeMem::fetch_decoded`], out of line so the
+    /// hinted fast path stays small.
+    #[cold]
+    fn fetch_decoded_slow(&self, addr: u64, hint: &mut usize) -> Option<DecodedInst> {
+        let pos = self.segments.partition_point(|s| s.base() <= addr);
+        if pos == 0 {
+            return None;
+        }
+        let d = self.segments[pos - 1].decoded.fetch(addr)?;
+        *hint = pos - 1;
+        Some(d)
+    }
+
+    /// Resolves the decoded segment whose stream contains `addr`, for
+    /// callers that walk the stream by index ([`DecodedProgram::get`])
+    /// instead of fetching one instruction per call. Same hint protocol
+    /// as [`CodeMem::fetch_decoded`].
+    pub fn decoded_segment(&self, addr: u64, hint: &mut usize) -> Option<&crate::decode::DecodedProgram> {
+        if let Some(seg) = self.segments.get(*hint) {
+            if seg.decoded.contains(addr) {
+                return Some(&seg.decoded);
+            }
+        }
+        let pos = self.segments.partition_point(|s| s.base() <= addr);
+        if pos == 0 {
+            return None;
+        }
+        let d = &self.segments[pos - 1].decoded;
+        if d.contains(addr) {
+            *hint = pos - 1;
+            Some(d)
+        } else {
+            None
+        }
     }
 
     /// Total instruction count across segments.

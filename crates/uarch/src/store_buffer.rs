@@ -75,6 +75,14 @@ pub struct StoreBuffer {
     /// Number of loads that used store-to-load forwarding (diagnostics and
     /// the SSBD cost model).
     pub forwards: u64,
+    /// Conservative address-range superset of every buffered store:
+    /// `[lo, hi)` contains all entries' bytes. It only grows while the
+    /// buffer is non-empty (draining does not shrink it) and resets when
+    /// the buffer empties. A load disjoint from the superset provably
+    /// overlaps nothing, so the per-load reverse scan — the hot cost of
+    /// every committed load — is skipped without changing any outcome.
+    lo: u64,
+    hi: u64,
 }
 
 impl StoreBuffer {
@@ -86,6 +94,13 @@ impl StoreBuffer {
     /// Records a committed store at the given cycle. `stale` is the memory
     /// value being overwritten (the SSB leak payload).
     pub fn push(&mut self, vaddr: u64, width: Width, value: u64, stale: u64, cycle: u64) {
+        if self.entries.is_empty() {
+            self.lo = vaddr;
+            self.hi = vaddr + width.bytes();
+        } else {
+            self.lo = self.lo.min(vaddr);
+            self.hi = self.hi.max(vaddr + width.bytes());
+        }
         if self.entries.len() >= CAPACITY {
             self.entries.pop_front();
         }
@@ -107,11 +122,24 @@ impl StoreBuffer {
                 break;
             }
         }
+        if self.entries.is_empty() {
+            self.lo = 0;
+            self.hi = 0;
+        }
     }
 
     /// Empties the buffer (mfence/sfence, serializing events).
     pub fn flush(&mut self) {
         self.entries.clear();
+        self.lo = 0;
+        self.hi = 0;
+    }
+
+    /// Whether a load of `width` at `vaddr` is disjoint from the range
+    /// superset (and therefore from every buffered store).
+    #[inline]
+    fn disjoint(&self, vaddr: u64, width: Width) -> bool {
+        self.entries.is_empty() || vaddr + width.bytes() <= self.lo || vaddr >= self.hi
     }
 
     /// Checks whether a load at `vaddr` of `width` at cycle `now` hits an
@@ -120,6 +148,9 @@ impl StoreBuffer {
     /// The youngest overlapping store wins, as on hardware.
     pub fn check_load(&mut self, vaddr: u64, width: Width, now: u64) -> ForwardOutcome {
         self.drain(now);
+        if self.disjoint(vaddr, width) {
+            return ForwardOutcome::NoConflict;
+        }
         for st in self.entries.iter().rev() {
             if !st.overlaps(vaddr, width) {
                 continue;
@@ -141,6 +172,9 @@ impl StoreBuffer {
     /// a vulnerable CPU without SSBD may transiently read the **stale**
     /// memory value instead of the store's value.
     pub fn bypass_possible(&self, vaddr: u64, width: Width, now: u64) -> bool {
+        if self.disjoint(vaddr, width) {
+            return false;
+        }
         self.entries.iter().any(|st| {
             now.saturating_sub(st.cycle) <= DRAIN_WINDOW && st.overlaps(vaddr, width)
         })
@@ -150,6 +184,46 @@ impl StoreBuffer {
     /// contents recorded by the youngest in-flight store fully covering
     /// the load. `None` if no bypass is possible.
     pub fn bypass_value(&self, vaddr: u64, width: Width, now: u64) -> Option<u64> {
+        if self.disjoint(vaddr, width) {
+            return None;
+        }
+        for st in self.entries.iter().rev() {
+            if now.saturating_sub(st.cycle) > DRAIN_WINDOW || !st.overlaps(vaddr, width) {
+                continue;
+            }
+            if st.vaddr <= vaddr && vaddr + width.bytes() <= st.vaddr + st.width.bytes() {
+                let shift = (vaddr - st.vaddr) * 8;
+                return Some(width.truncate(st.stale >> shift));
+            }
+            return None;
+        }
+        None
+    }
+
+    /// The seed's [`StoreBuffer::check_load`], kept verbatim (the
+    /// reverse scan runs on every load, no range-superset filter) so the
+    /// reference interpreter's timing reflects the pre-refactor
+    /// implementation. Observable-identical to `check_load`.
+    pub(crate) fn check_load_reference(&mut self, vaddr: u64, width: Width, now: u64) -> ForwardOutcome {
+        self.drain(now);
+        for st in self.entries.iter().rev() {
+            if !st.overlaps(vaddr, width) {
+                continue;
+            }
+            if st.vaddr <= vaddr && vaddr + width.bytes() <= st.vaddr + st.width.bytes() {
+                let shift = (vaddr - st.vaddr) * 8;
+                let value = width.truncate(st.value >> shift);
+                self.forwards += 1;
+                return ForwardOutcome::Forwarded { value };
+            }
+            return ForwardOutcome::PartialOverlap;
+        }
+        ForwardOutcome::NoConflict
+    }
+
+    /// The seed's [`StoreBuffer::bypass_value`], without the
+    /// range-superset filter; see `check_load_reference`.
+    pub(crate) fn bypass_value_reference(&self, vaddr: u64, width: Width, now: u64) -> Option<u64> {
         for st in self.entries.iter().rev() {
             if now.saturating_sub(st.cycle) > DRAIN_WINDOW || !st.overlaps(vaddr, width) {
                 continue;

@@ -16,9 +16,14 @@
 //! vulnerability profile: Meltdown parts see supervisor data, L1TF parts
 //! see L1-resident data behind non-present PTEs, MDS parts sample stale
 //! fill-buffer contents, and fixed parts see zeroes or stop the window.
+//!
+//! Like the committed path, the window executes from the pre-decoded
+//! stream ([`crate::decode`]): wrong-path fetch is the same three-array
+//! read as committed fetch, so deep windows stay cheap to simulate.
 
+use crate::decode::{DecodedInst, Op};
 use crate::fpu::FpuState;
-use crate::isa::{Flags, Inst, Pmc, Width};
+use crate::isa::{Cond, Flags, Inst, Pmc, Width};
 use crate::machine::Machine;
 use crate::mem::PAGE_SHIFT;
 use crate::predictor::PrivMode;
@@ -58,8 +63,8 @@ pub enum TransientStart {
     /// An FP instruction trapped on a disabled FPU but the part is LazyFP
     /// vulnerable: it and its dependents run on the stale FP registers.
     StaleFpu {
-        /// The trapping FP instruction.
-        inst: Inst,
+        /// The trapping FP instruction, pre-decoded.
+        inst: DecodedInst,
         /// Where the window continues.
         next_pc: u64,
     },
@@ -84,6 +89,7 @@ struct Shadow {
 /// Runs a transient window on `m`. Architectural state is untouched;
 /// microarchitectural state (cache, fill buffers, PMCs) is not.
 pub fn run_window(m: &mut Machine, start: TransientStart) {
+    m.transient_windows += 1;
     let mut sh = Shadow {
         regs: m.regs,
         flags: m.flags,
@@ -108,24 +114,203 @@ pub fn run_window(m: &mut Machine, start: TransientStart) {
         }
         TransientStart::StaleFpu { inst, next_pc } => {
             // Execute the trapping instruction itself on the stale state.
-            if exec_transient(m, &mut sh, &inst).is_none() {
+            if exec_transient(m, &mut sh, inst).is_none() {
                 return;
             }
             sh.pc = next_pc;
         }
     }
 
-    for _ in 0..m.model.spec.window {
-        let inst = match m.code.fetch(sh.pc) {
-            Some(i) => i.clone(),
-            None => return,
+    // The window loop proper. The overwhelmingly common transient
+    // instructions — pure shadow-state ALU, compares, and control flow —
+    // execute in an inner loop that pins the decoded segment once and
+    // walks it *by index*: no per-instruction address resolution, no
+    // machine-state traffic at all. That is legal precisely because hot
+    // transient ops touch only `sh` (windows charge no cycles), so the
+    // shared borrow of the stream never conflicts.
+    //
+    // The per-instruction counters are batched in `pending`: none of the
+    // inline ops can observe them, and the batch is flushed before
+    // anything that can (the full executor handles loads, stores, the
+    // divider, `rdpmc`, the serializing set) and at every window exit, so
+    // the architecturally visible counter values are bit-identical to
+    // incrementing per instruction.
+    let mut hint = 0usize;
+    let mut left = m.model.spec.window;
+    let mut pending: u64 = 0;
+    'window: while left > 0 {
+        let dp = match m.code.decoded_segment(sh.pc, &mut hint) {
+            Some(dp) => dp,
+            None => break,
         };
-        m.pmc.incr(Pmc::TransientInstructions);
-        match exec_transient(m, &mut sh, &inst) {
-            Some(()) => {}
-            None => return,
+        let base = dp.base();
+        let n = dp.len();
+        let mut idx = ((sh.pc - base) / INST_SIZE) as usize;
+        let mut deferred = None;
+        while left > 0 && idx < n {
+            let d = dp.get(idx);
+            let a = (d.a & 15) as usize;
+            let b = (d.b & 15) as usize;
+            match d.op {
+                Op::Nop | Op::Pause | Op::Mfence | Op::Sfence | Op::Clflush => idx += 1,
+                Op::MovImm => {
+                    sh.regs[a] = d.imm;
+                    idx += 1;
+                }
+                Op::Mov => {
+                    sh.regs[a] = sh.regs[b];
+                    idx += 1;
+                }
+                Op::Add => {
+                    sh.regs[a] = sh.regs[a].wrapping_add(sh.regs[b]);
+                    idx += 1;
+                }
+                Op::AddImm => {
+                    sh.regs[a] = sh.regs[a].wrapping_add(d.imm);
+                    idx += 1;
+                }
+                Op::Sub => {
+                    sh.regs[a] = sh.regs[a].wrapping_sub(sh.regs[b]);
+                    idx += 1;
+                }
+                Op::SubImm => {
+                    sh.regs[a] = sh.regs[a].wrapping_sub(d.imm);
+                    idx += 1;
+                }
+                Op::Mul => {
+                    sh.regs[a] = sh.regs[a].wrapping_mul(sh.regs[b]);
+                    idx += 1;
+                }
+                Op::And => {
+                    sh.regs[a] &= sh.regs[b];
+                    idx += 1;
+                }
+                Op::AndImm => {
+                    sh.regs[a] &= d.imm;
+                    idx += 1;
+                }
+                Op::Or => {
+                    sh.regs[a] |= sh.regs[b];
+                    idx += 1;
+                }
+                Op::Xor => {
+                    sh.regs[a] ^= sh.regs[b];
+                    idx += 1;
+                }
+                Op::XorImm => {
+                    sh.regs[a] ^= d.imm;
+                    idx += 1;
+                }
+                Op::Shl => {
+                    sh.regs[a] <<= (d.b & 63) as u32;
+                    idx += 1;
+                }
+                Op::Shr => {
+                    sh.regs[a] >>= (d.b & 63) as u32;
+                    idx += 1;
+                }
+                Op::Not => {
+                    sh.regs[a] = !sh.regs[a];
+                    idx += 1;
+                }
+                Op::Cmp => {
+                    sh.flags = Flags::compare(sh.regs[a], sh.regs[b]);
+                    idx += 1;
+                }
+                Op::CmpImm => {
+                    sh.flags = Flags::compare(sh.regs[a], d.imm);
+                    idx += 1;
+                }
+                Op::Test => {
+                    let v = sh.regs[a] & sh.regs[b];
+                    sh.flags =
+                        Flags { zero: v == 0, carry: false, sign: (v as i64) < 0, overflow: false };
+                    idx += 1;
+                }
+                Op::Cmov => {
+                    if sh.flags.eval(Cond::from_index(d.c as usize)) {
+                        sh.regs[a] = sh.regs[b];
+                    }
+                    idx += 1;
+                }
+                Op::CmovImm => {
+                    if sh.flags.eval(Cond::from_index(d.c as usize)) {
+                        sh.regs[a] = d.imm;
+                    }
+                    idx += 1;
+                }
+                Op::Jcc => {
+                    if sh.flags.eval(Cond::from_index(d.c as usize)) {
+                        let off = d.imm.wrapping_sub(base);
+                        if off & (INST_SIZE - 1) == 0 && off / INST_SIZE < n as u64 {
+                            idx = (off / INST_SIZE) as usize;
+                        } else {
+                            // Target outside this segment: consume the
+                            // branch, then re-resolve (or end the window).
+                            sh.pc = d.imm;
+                            left -= 1;
+                            pending += 1;
+                            continue 'window;
+                        }
+                    } else {
+                        idx += 1;
+                    }
+                }
+                Op::Jmp => {
+                    let off = d.imm.wrapping_sub(base);
+                    if off & (INST_SIZE - 1) == 0 && off / INST_SIZE < n as u64 {
+                        idx = (off / INST_SIZE) as usize;
+                    } else {
+                        sh.pc = d.imm;
+                        left -= 1;
+                        pending += 1;
+                        continue 'window;
+                    }
+                }
+                Op::JmpInd => {
+                    let t = sh.regs[a];
+                    let off = t.wrapping_sub(base);
+                    if off & (INST_SIZE - 1) == 0 && off / INST_SIZE < n as u64 {
+                        idx = (off / INST_SIZE) as usize;
+                    } else {
+                        sh.pc = t;
+                        left -= 1;
+                        pending += 1;
+                        continue 'window;
+                    }
+                }
+                _ => {
+                    // Loads, stores, divider, rdpmc, calls/rets, the
+                    // serializing set: executed by the full executor once
+                    // the stream borrow is released.
+                    deferred = Some(d);
+                    break;
+                }
+            }
+            left -= 1;
+            pending += 1;
+        }
+        sh.pc = base + idx as u64 * INST_SIZE;
+        match deferred {
+            Some(d) => {
+                // Flush the batch first: the full executor may observe the
+                // counters (`rdpmc`), and the current instruction counts
+                // *before* it executes, exactly as the per-step path did.
+                m.pmc.add(Pmc::TransientInstructions, pending + 1);
+                m.transient_insts += pending + 1;
+                pending = 0;
+                if exec_transient(m, &mut sh, d).is_none() {
+                    return;
+                }
+                left -= 1;
+            }
+            // Ran off the end of the segment (or exhausted the window):
+            // re-resolve from `sh.pc`; an unmapped pc ends the window.
+            None => continue 'window,
         }
     }
+    m.pmc.add(Pmc::TransientInstructions, pending);
+    m.transient_insts += pending;
 }
 
 /// Performs a transient load, applying vulnerability semantics.
@@ -210,7 +395,293 @@ fn transient_load(
 
 /// Executes one instruction transiently. `Some(())` continues the window,
 /// `None` ends it.
-fn exec_transient(m: &mut Machine, sh: &mut Shadow, inst: &Inst) -> Option<()> {
+fn exec_transient(m: &mut Machine, sh: &mut Shadow, d: DecodedInst) -> Option<()> {
+    let pc = sh.pc;
+    sh.pc = pc + INST_SIZE;
+    let a = (d.a & 15) as usize;
+    let b = (d.b & 15) as usize;
+    match d.op {
+        Op::Nop | Op::Pause => {}
+        // Serializing / privileged / mode-changing: the window cannot
+        // proceed past these.
+        Op::Halt
+        | Op::Vmcall
+        | Op::Host
+        | Op::Syscall
+        | Op::Sysret
+        | Op::Iret
+        | Op::Swapgs
+        | Op::Wrmsr
+        | Op::Rdmsr
+        | Op::MovCr3
+        | Op::Verw
+        | Op::Invlpg
+        | Op::Xsave
+        | Op::Xrstor => return None,
+        // `lfence` waits for all loads: transient execution stops here.
+        // This is exactly why `lfence` after a bounds check mitigates
+        // Spectre V1.
+        Op::Lfence => return None,
+        Op::Mfence | Op::Sfence => {}
+        Op::Clflush => {}
+        Op::Rdtsc => sh.regs[a] = m.cycles(),
+        Op::Rdpmc => sh.regs[a] = m.pmc.read(Pmc::from_index((d.b & 7) as usize)),
+
+        Op::MovImm => sh.regs[a] = d.imm,
+        Op::Mov => sh.regs[a] = sh.regs[b],
+        Op::Add => sh.regs[a] = sh.regs[a].wrapping_add(sh.regs[b]),
+        Op::AddImm => sh.regs[a] = sh.regs[a].wrapping_add(d.imm),
+        Op::Sub => sh.regs[a] = sh.regs[a].wrapping_sub(sh.regs[b]),
+        Op::SubImm => sh.regs[a] = sh.regs[a].wrapping_sub(d.imm),
+        Op::Mul => sh.regs[a] = sh.regs[a].wrapping_mul(sh.regs[b]),
+        Op::Div => {
+            let divisor = sh.regs[b];
+            if divisor == 0 {
+                return None;
+            }
+            // The divider is occupied even though the result is squashed:
+            // the probe's observable.
+            let lat = m.model.lat.div;
+            m.pmc.add(Pmc::DividerActive, lat);
+            sh.regs[a] /= divisor;
+        }
+        Op::And => sh.regs[a] &= sh.regs[b],
+        Op::AndImm => sh.regs[a] &= d.imm,
+        Op::Or => sh.regs[a] |= sh.regs[b],
+        Op::Xor => sh.regs[a] ^= sh.regs[b],
+        Op::XorImm => sh.regs[a] ^= d.imm,
+        Op::Shl => sh.regs[a] <<= (d.b & 63) as u32,
+        Op::Shr => sh.regs[a] >>= (d.b & 63) as u32,
+        Op::Not => sh.regs[a] = !sh.regs[a],
+
+        Op::Load => {
+            let width = Width::from_index((d.c & 3) as usize);
+            let vaddr = sh.regs[b].wrapping_add(d.imm);
+            // Within the window, an in-flight store may also be bypassed
+            // (nested SSB), but the simple model reads the current memory
+            // image, which already reflects committed stores.
+            let v = transient_load(m, sh, vaddr, width, false)?;
+            sh.regs[a] = v;
+        }
+        Op::Store => {
+            // Transient stores never reach cache or memory — but they do
+            // forward to younger loads in the same window (see
+            // `Shadow::stores`).
+            let width = Width::from_index((d.c & 3) as usize);
+            let vaddr = sh.regs[b].wrapping_add(d.imm);
+            let value = width.truncate(sh.regs[a]);
+            sh.stores.push((vaddr, width, value));
+        }
+
+        Op::Cmp => sh.flags = Flags::compare(sh.regs[a], sh.regs[b]),
+        Op::CmpImm => sh.flags = Flags::compare(sh.regs[a], d.imm),
+        Op::Test => {
+            let v = sh.regs[a] & sh.regs[b];
+            sh.flags = Flags { zero: v == 0, carry: false, sign: (v as i64) < 0, overflow: false };
+        }
+        Op::Cmov => {
+            // Data-dependent: resolves with the (shadow) flags, which is
+            // why index masking works — the mask is applied even on the
+            // wrong path.
+            if sh.flags.eval(Cond::from_index(d.c as usize)) {
+                sh.regs[a] = sh.regs[b];
+            }
+        }
+        Op::CmovImm => {
+            if sh.flags.eval(Cond::from_index(d.c as usize)) {
+                sh.regs[a] = d.imm;
+            }
+        }
+
+        Op::Jcc => {
+            if sh.flags.eval(Cond::from_index(d.c as usize)) {
+                sh.pc = d.imm;
+            }
+        }
+        Op::Jmp => sh.pc = d.imm,
+        Op::JmpInd => sh.pc = sh.regs[a],
+        Op::Call => {
+            sh.ret_stack.push(pc + INST_SIZE);
+            sh.pc = d.imm;
+        }
+        Op::CallInd => {
+            sh.ret_stack.push(pc + INST_SIZE);
+            sh.pc = sh.regs[a];
+        }
+        Op::Ret => match sh.ret_stack.pop() {
+            Some(ra) => sh.pc = ra,
+            // Returning past the window's start: prediction state for it
+            // is unknowable here, so the window ends.
+            None => return None,
+        },
+
+        Op::Fadd | Op::Fsub | Op::Fmul | Op::Fdiv => {
+            if !m.fpu.enabled && !m.model.vuln.lazy_fp {
+                return None;
+            }
+            // On LazyFP-vulnerable parts the stale registers are used.
+            let fa = (d.a & 7) as usize;
+            let sv = sh.fregs.regs[(d.b & 7) as usize];
+            let dv = &mut sh.fregs.regs[fa];
+            match d.op {
+                Op::Fadd => *dv += sv,
+                Op::Fsub => *dv -= sv,
+                Op::Fmul => *dv *= sv,
+                Op::Fdiv => {
+                    let lat = m.model.lat.div;
+                    m.pmc.add(Pmc::DividerActive, lat);
+                    *dv /= sv;
+                }
+                _ => unreachable!(),
+            }
+        }
+        Op::FmovImm => {
+            if !m.fpu.enabled && !m.model.vuln.lazy_fp {
+                return None;
+            }
+            sh.fregs.regs[(d.a & 7) as usize] = f64::from_bits(d.imm);
+        }
+        Op::Fload => {
+            if !m.fpu.enabled && !m.model.vuln.lazy_fp {
+                return None;
+            }
+            let vaddr = sh.regs[b].wrapping_add(d.imm);
+            let bits = transient_load(m, sh, vaddr, Width::B8, false)?;
+            sh.fregs.regs[(d.a & 7) as usize] = f64::from_bits(bits);
+        }
+        Op::Fstore => {}
+        Op::FtoG => {
+            if !m.fpu.enabled && !m.model.vuln.lazy_fp {
+                return None;
+            }
+            sh.regs[a] = sh.fregs.regs[(d.b & 7) as usize].to_bits();
+        }
+    }
+    Some(())
+}
+
+// ---------------------------------------------------------------------------
+// The seed's window machinery, frozen for the reference interpreter.
+// ---------------------------------------------------------------------------
+
+/// The pre-refactor window runner, kept verbatim for the reference
+/// interpreter: per-instruction `Inst` fetch (binary search, no segment
+/// hint) and a pattern-match executor, with the seed's bytewise memory
+/// and uncached page walks underneath. Observable-identical to
+/// [`run_window`]; `regen bench-uarch` times the two against each other
+/// and the decode property tests pin the equivalence.
+pub(crate) fn run_window_reference(m: &mut Machine, start: TransientStart) {
+    m.transient_windows += 1;
+    let mut sh = Shadow {
+        regs: m.regs,
+        flags: m.flags,
+        fregs: m.fpu.state,
+        pc: 0,
+        ret_stack: Vec::new(),
+        stores: Vec::new(),
+    };
+
+    match start {
+        TransientStart::WrongPath { pc } => sh.pc = pc,
+        TransientStart::FaultingLoad { vaddr, width, dst, next_pc } => {
+            match transient_load_reference(m, &sh, vaddr, width, true) {
+                Some(v) => sh.regs[dst.index()] = v,
+                None => return,
+            }
+            sh.pc = next_pc;
+        }
+        TransientStart::StoreBypass { stale, dst, next_pc } => {
+            sh.regs[dst.index()] = stale;
+            sh.pc = next_pc;
+        }
+        TransientStart::StaleFpu { inst, next_pc } => {
+            // Execute the trapping instruction itself on the stale state.
+            if exec_transient_reference(m, &mut sh, &inst.to_inst()).is_none() {
+                return;
+            }
+            sh.pc = next_pc;
+        }
+    }
+
+    for _ in 0..m.model.spec.window {
+        let inst = match m.code.fetch(sh.pc) {
+            Some(i) => i.clone(),
+            None => return,
+        };
+        m.pmc.incr(Pmc::TransientInstructions);
+        m.transient_insts += 1;
+        match exec_transient_reference(m, &mut sh, &inst) {
+            Some(()) => {}
+            None => return,
+        }
+    }
+}
+
+/// The seed's transient load: same vulnerability semantics as
+/// [`transient_load`], on the pre-refactor walk and memory paths.
+fn transient_load_reference(
+    m: &mut Machine,
+    sh: &Shadow,
+    vaddr: u64,
+    width: Width,
+    faulting: bool,
+) -> Option<u64> {
+    let _ = faulting;
+    for (sv, sw, value) in sh.stores.iter().rev() {
+        if *sv <= vaddr && vaddr + width.bytes() <= sv + sw.bytes() {
+            let shift = (vaddr - sv) * 8;
+            return Some(width.truncate(value >> shift));
+        }
+        let overlap = *sv < vaddr + width.bytes() && vaddr < sv + sw.bytes();
+        if overlap {
+            return None;
+        }
+    }
+    let user = m.mode == PrivMode::User;
+    let walk = m.mmu.walk_reference(vaddr);
+    let pte = match walk.pte {
+        None => {
+            if m.model.vuln.mds {
+                return Some(width.truncate(m.fill_buffers.sample_rotating().unwrap_or(0)));
+            }
+            return None;
+        }
+        Some(p) => p,
+    };
+    let paddr = (pte.pfn << PAGE_SHIFT) | (vaddr & ((1 << PAGE_SHIFT) - 1));
+    if !pte.present {
+        if m.model.vuln.l1tf {
+            if m.l1d.probe(paddr) {
+                let v = m.mem.read_reference(paddr, width);
+                m.l1d.access(paddr);
+                m.fill_buffers.record(v);
+                return Some(v);
+            }
+            return Some(0);
+        }
+        if m.model.vuln.mds {
+            return Some(width.truncate(m.fill_buffers.sample_rotating().unwrap_or(0)));
+        }
+        return None;
+    }
+    if user && !pte.user {
+        if m.model.vuln.meltdown {
+            let v = m.mem.read_reference(paddr, width);
+            m.l1d.access(paddr);
+            m.fill_buffers.record(v);
+            return Some(v);
+        }
+        return Some(0);
+    }
+    let v = m.mem.read_reference(paddr, width);
+    m.l1d.access(paddr);
+    m.fill_buffers.record(v);
+    Some(v)
+}
+
+/// The seed's transient executor: one `Inst` pattern-match per shadow
+/// instruction. `Some(())` continues the window, `None` ends it.
+fn exec_transient_reference(m: &mut Machine, sh: &mut Shadow, inst: &Inst) -> Option<()> {
     use Inst::*;
     let pc = sh.pc;
     sh.pc = pc + INST_SIZE;
@@ -220,9 +691,6 @@ fn exec_transient(m: &mut Machine, sh: &mut Shadow, inst: &Inst) -> Option<()> {
         // proceed past these.
         Halt | Vmcall | Host(_) | Syscall | Sysret | Iret | Swapgs | Wrmsr { .. }
         | Rdmsr { .. } | MovCr3(_) | Verw | Invlpg(_) | Xsave | Xrstor => return None,
-        // `lfence` waits for all loads: transient execution stops here.
-        // This is exactly why `lfence` after a bounds check mitigates
-        // Spectre V1.
         Lfence => return None,
         Mfence | Sfence => {}
         Clflush(_) => {}
@@ -241,8 +709,6 @@ fn exec_transient(m: &mut Machine, sh: &mut Shadow, inst: &Inst) -> Option<()> {
             if divisor == 0 {
                 return None;
             }
-            // The divider is occupied even though the result is squashed:
-            // the probe's observable.
             let lat = m.model.lat.div;
             m.pmc.add(Pmc::DividerActive, lat);
             sh.regs[d.index()] /= divisor;
@@ -258,16 +724,10 @@ fn exec_transient(m: &mut Machine, sh: &mut Shadow, inst: &Inst) -> Option<()> {
 
         Load { dst, base, offset, width } => {
             let vaddr = sh.regs[base.index()].wrapping_add(offset as u64);
-            // Within the window, an in-flight store may also be bypassed
-            // (nested SSB), but the simple model reads the current memory
-            // image, which already reflects committed stores.
-            let v = transient_load(m, sh, vaddr, width, false)?;
+            let v = transient_load_reference(m, sh, vaddr, width, false)?;
             sh.regs[dst.index()] = v;
         }
         Store { src, base, offset, width } => {
-            // Transient stores never reach cache or memory — but they do
-            // forward to younger loads in the same window (see
-            // `Shadow::stores`).
             let vaddr = sh.regs[base.index()].wrapping_add(offset as u64);
             let value = width.truncate(sh.regs[src.index()]);
             sh.stores.push((vaddr, width, value));
@@ -280,9 +740,6 @@ fn exec_transient(m: &mut Machine, sh: &mut Shadow, inst: &Inst) -> Option<()> {
             sh.flags = Flags { zero: v == 0, carry: false, sign: (v as i64) < 0, overflow: false };
         }
         Cmov(c, d, s) => {
-            // Data-dependent: resolves with the (shadow) flags, which is
-            // why index masking works — the mask is applied even on the
-            // wrong path.
             if sh.flags.eval(c) {
                 sh.regs[d.index()] = sh.regs[s.index()];
             }
@@ -310,8 +767,6 @@ fn exec_transient(m: &mut Machine, sh: &mut Shadow, inst: &Inst) -> Option<()> {
         }
         Ret => match sh.ret_stack.pop() {
             Some(ra) => sh.pc = ra,
-            // Returning past the window's start: prediction state for it
-            // is unknowable here, so the window ends.
             None => return None,
         },
 
@@ -319,7 +774,6 @@ fn exec_transient(m: &mut Machine, sh: &mut Shadow, inst: &Inst) -> Option<()> {
             if !m.fpu.enabled && !m.model.vuln.lazy_fp {
                 return None;
             }
-            // On LazyFP-vulnerable parts the stale registers are used.
             let sv = sh.fregs.regs[s.index()];
             let dv = &mut sh.fregs.regs[d.index()];
             match inst {
@@ -331,7 +785,7 @@ fn exec_transient(m: &mut Machine, sh: &mut Shadow, inst: &Inst) -> Option<()> {
                     m.pmc.add(Pmc::DividerActive, lat);
                     *dv /= sv;
                 }
-                _ => unreachable!(),
+                _ => return None,
             }
         }
         FmovImm(d, v) => {
@@ -345,7 +799,7 @@ fn exec_transient(m: &mut Machine, sh: &mut Shadow, inst: &Inst) -> Option<()> {
                 return None;
             }
             let vaddr = sh.regs[base.index()].wrapping_add(offset as u64);
-            let bits = transient_load(m, sh, vaddr, Width::B8, false)?;
+            let bits = transient_load_reference(m, sh, vaddr, Width::B8, false)?;
             sh.fregs.regs[dst.index()] = f64::from_bits(bits);
         }
         Fstore { .. } => {}
