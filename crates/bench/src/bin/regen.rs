@@ -16,6 +16,7 @@
 //! cargo run --release -p bench --bin regen -- campaign --quick table1  # fault-space sweep
 //! cargo run --release -p bench --bin regen -- bench-uarch --out BENCH_uarch.json
 //! cargo run --release -p bench --bin regen -- bench-uarch --check BENCH_uarch.json
+//! cargo run --release -p bench --bin regen -- loadgen http://127.0.0.1:7979/artifact/table2
 //! ```
 //!
 //! Exit codes: 0 clean; 1 at least one artifact failed or was degraded
@@ -55,6 +56,7 @@ fn usage(to_stdout: bool) {
         "usage: regen [options] [artifact ...]\n\
          \x20      regen fsck <journal>\n\
          \x20      regen fetch <base-url> <artifact|results>\n\
+         \x20      regen loadgen [loadgen-options] <url>\n\
          \x20      regen campaign [campaign-options] [artifact ...]\n\
          \n\
          subcommands:\n\
@@ -75,6 +77,16 @@ fn usage(to_stdout: bool) {
          \x20                   fail on any retired-count drift; timings never\n\
          \x20                   gate), --scale <n>, --quick. Exits 1 on drift or\n\
          \x20                   if the decoded path is slower than the reference\n\
+         \x20 loadgen <url>     open-loop HTTP load generator against a running\n\
+         \x20                   regend: arrivals on a fixed-rate clock, latency\n\
+         \x20                   measured from each scheduled arrival (no\n\
+         \x20                   coordinated omission), keep-alive connection\n\
+         \x20                   reuse, p50/p90/p99/max + achieved throughput.\n\
+         \x20                   Options: --rate <req/s> (default 200),\n\
+         \x20                   --requests <n> (default 1000), --connections <n>\n\
+         \x20                   (default 8), --timeout-ms <n>, --histogram <f>\n\
+         \x20                   (write the latency histogram to <f>).\n\
+         \x20                   Exits 1 when any request errored\n\
          \x20 campaign          explore the whole (cell x attempt x fault-kind)\n\
          \x20                   space: reference sweep, one perturbed sweep per\n\
          \x20                   coordinate (all of {compute_kinds},\n\
@@ -467,6 +479,96 @@ fn run_bench_uarch_cmd(args: &[String]) -> ExitCode {
     }
 }
 
+/// Parses `regen loadgen` arguments (everything after the subcommand
+/// word; the first bare argument is the URL).
+fn parse_loadgen_args(args: &[String]) -> Result<(bench::loadgen::LoadgenOptions, Option<PathBuf>), String> {
+    let mut opts = bench::loadgen::LoadgenOptions::default();
+    let mut histogram = None;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let mut value = |flag: &str| -> Result<String, String> {
+            i += 1;
+            args.get(i).cloned().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--rate" => {
+                let v = value("--rate")?;
+                let r: f64 = v.parse().map_err(|_| format!("bad --rate value: {v}"))?;
+                if !r.is_finite() || r <= 0.0 {
+                    return Err("--rate must be positive".to_string());
+                }
+                opts.rate = r;
+            }
+            "--requests" => {
+                let v = value("--requests")?;
+                let n: u64 = v.parse().map_err(|_| format!("bad --requests value: {v}"))?;
+                if n == 0 {
+                    return Err("--requests must be at least 1".to_string());
+                }
+                opts.requests = n;
+            }
+            "--connections" => {
+                let v = value("--connections")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --connections value: {v}"))?;
+                if n == 0 {
+                    return Err("--connections must be at least 1".to_string());
+                }
+                opts.connections = n;
+            }
+            "--timeout-ms" => {
+                let v = value("--timeout-ms")?;
+                let ms: u64 = v.parse().map_err(|_| format!("bad --timeout-ms value: {v}"))?;
+                opts.timeout = Duration::from_millis(ms.max(1));
+            }
+            "--histogram" => histogram = Some(PathBuf::from(value("--histogram")?)),
+            url if !url.starts_with("--") && opts.url.is_empty() => opts.url = url.to_string(),
+            other => return Err(format!("unknown loadgen flag: {other}")),
+        }
+        i += 1;
+    }
+    if opts.url.is_empty() {
+        return Err("loadgen needs a target URL".to_string());
+    }
+    Ok((opts, histogram))
+}
+
+/// `regen loadgen <url>`: open-loop load against a running regend.
+/// Exit 1 when any request failed outright (429s are responses, not
+/// errors: they are the server keeping its overload contract).
+fn run_loadgen_cmd(args: &[String]) -> ExitCode {
+    let (opts, histogram) = match parse_loadgen_args(args) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("regen loadgen: {msg}");
+            eprintln!();
+            usage(false);
+            return ExitCode::from(2);
+        }
+    };
+    let report = match bench::loadgen::run_loadgen(&opts) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("regen loadgen: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.render_text());
+    if let Some(path) = &histogram {
+        if let Err(e) = spectrebench::atomic_write(path, report.render_histogram().as_bytes()) {
+            eprintln!("regen loadgen: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("regen loadgen: histogram written to {}", path.display());
+    }
+    if report.errors > 0 {
+        eprintln!("regen loadgen: {} request(s) failed", report.errors);
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 /// `regen fsck <journal>`: verify, quarantine, compact. Severity maps
 /// directly to the exit code; an unreadable journal is severity 2.
 fn run_fsck(path: &Path) -> ExitCode {
@@ -523,6 +625,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("bench-uarch") {
         return run_bench_uarch_cmd(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("loadgen") {
+        return run_loadgen_cmd(&args[1..]);
     }
     if args.first().map(String::as_str) == Some("fsck") {
         return match args.get(1) {

@@ -1,8 +1,17 @@
-//! A tiny HTTP/1.1 client for `regen fetch`.
+//! A tiny HTTP/1.1 client for `regen fetch` and `regen loadgen`.
 //!
-//! Just enough to talk to `regend`: one `GET` per connection,
-//! `Connection: close`, fixed-length bodies. Mirrors the server's
-//! hand-rolled wire layer (the dependency policy cuts both ways).
+//! Two wire disciplines, mirroring the two server front ends:
+//!
+//! * [`http_get`] — one `GET` per connection, `Connection: close`,
+//!   read-to-EOF framing. This is the PR 5 client, kept verbatim: the
+//!   determinism suite uses it as the close-per-request wire pin.
+//! * [`Connection`] — a persistent HTTP/1.1 keep-alive connection:
+//!   many `GET`s per socket, `Content-Length` framing, optional
+//!   pipelining. `regen loadgen` and the keep-alive determinism tests
+//!   ride on this.
+//!
+//! Mirrors the server's hand-rolled wire layer (the dependency policy
+//! cuts both ways).
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -33,7 +42,7 @@ impl HttpResponse {
 }
 
 /// Splits `http://host:port/path` into authority and path.
-fn split_url(url: &str) -> Result<(&str, &str), String> {
+pub(crate) fn split_url(url: &str) -> Result<(&str, &str), String> {
     let rest = url
         .strip_prefix("http://")
         .ok_or_else(|| format!("unsupported URL {url:?}: only http:// is spoken"))?;
@@ -143,6 +152,253 @@ pub fn parse_response(raw: &[u8]) -> Result<HttpResponse, String> {
     Ok(HttpResponse { status, headers, body })
 }
 
+/// A persistent HTTP/1.1 keep-alive connection to one authority.
+///
+/// Connects lazily on the first request and transparently reconnects
+/// when the socket has been poisoned. The reuse discipline (pinned by
+/// unit tests) is:
+///
+/// * a **fully read response** — any status, 429 included — leaves the
+///   connection clean, and the next request reuses the same socket;
+/// * any failure **after request bytes may have been written** (partial
+///   write, read error, truncated response) poisons the socket: the
+///   server's framing state is unknowable, so the next request must
+///   reconnect;
+/// * a failure **before the request was written** (connect error) never
+///   had a socket to poison; the next attempt simply connects again.
+///
+/// `regend` answers every response with `Content-Length`, which is what
+/// keep-alive framing needs; a response without one falls back to
+/// read-to-EOF and poisons the connection (the server chose close
+/// framing).
+#[derive(Debug)]
+pub struct Connection {
+    authority: String,
+    timeout: Duration,
+    stream: Option<TcpStream>,
+    /// Bytes read past the end of the previous response (pipelining).
+    carry: Vec<u8>,
+    /// Sockets opened over this connection's lifetime.
+    opened: u64,
+    /// Responses completed on the *current* socket.
+    on_socket: u64,
+}
+
+impl Connection {
+    /// A connection to `authority` (`host:port`). No socket is opened
+    /// until the first request.
+    pub fn new(authority: &str, timeout: Duration) -> Connection {
+        Connection {
+            authority: authority.to_string(),
+            timeout,
+            stream: None,
+            carry: Vec::new(),
+            opened: 0,
+            on_socket: 0,
+        }
+    }
+
+    /// A connection to the authority of `url` (the path part is
+    /// ignored; pass paths to [`Connection::get`]).
+    pub fn to_url(url: &str, timeout: Duration) -> Result<Connection, String> {
+        let (authority, _) = split_url(url)?;
+        Ok(Connection::new(authority, timeout))
+    }
+
+    /// How many TCP sockets this connection has opened so far. A
+    /// keep-alive client doing N requests should report 1 here; every
+    /// extra count is a reconnect.
+    pub fn sockets_opened(&self) -> u64 {
+        self.opened
+    }
+
+    /// Whether a live socket is currently held.
+    pub fn is_connected(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    /// Drops the current socket (if any); the next request reconnects.
+    pub fn poison(&mut self) {
+        self.stream = None;
+        self.carry.clear();
+        self.on_socket = 0;
+    }
+
+    fn ensure_connected(&mut self) -> Result<(), (bool, String)> {
+        if self.stream.is_some() {
+            return Ok(());
+        }
+        let addr = first_addr(&self.authority)
+            .map_err(|e| (false, format!("cannot resolve {:?}: {e}", self.authority)))?;
+        let stream = TcpStream::connect_timeout(&addr, self.timeout)
+            .map_err(|e| (is_transient(&e), format!("cannot connect to {}: {e}", self.authority)))?;
+        stream.set_read_timeout(Some(self.timeout)).map_err(|e| (false, e.to_string()))?;
+        stream.set_write_timeout(Some(self.timeout)).map_err(|e| (false, e.to_string()))?;
+        let _ = stream.set_nodelay(true);
+        self.stream = Some(stream);
+        self.opened += 1;
+        self.on_socket = 0;
+        Ok(())
+    }
+
+    /// One keep-alive `GET`. On error the bool reports whether the
+    /// failure is transient (worth retrying).
+    pub fn get_classified(&mut self, path: &str) -> Result<HttpResponse, (bool, String)> {
+        self.ensure_connected()?;
+        let request = format!("GET {path} HTTP/1.1\r\nHost: {}\r\n\r\n", self.authority);
+        if let Err(e) = self.stream.as_mut().expect("connected").write_all(request.as_bytes()) {
+            let transient = is_transient(&e);
+            self.poison();
+            return Err((transient, format!("write failed: {e}")));
+        }
+        self.read_response()
+    }
+
+    /// One keep-alive `GET` (errors as plain strings).
+    pub fn get(&mut self, path: &str) -> Result<HttpResponse, String> {
+        self.get_classified(path).map_err(|(_, e)| e)
+    }
+
+    /// Writes every request back-to-back, then reads the responses in
+    /// order — a fully pipelined burst on one socket.
+    pub fn pipeline(&mut self, paths: &[&str]) -> Result<Vec<HttpResponse>, String> {
+        self.ensure_connected().map_err(|(_, e)| e)?;
+        let mut burst = String::new();
+        for path in paths {
+            burst.push_str(&format!("GET {path} HTTP/1.1\r\nHost: {}\r\n\r\n", self.authority));
+        }
+        if let Err(e) = self.stream.as_mut().expect("connected").write_all(burst.as_bytes()) {
+            self.poison();
+            return Err(format!("write failed: {e}"));
+        }
+        let mut responses = Vec::with_capacity(paths.len());
+        for path in paths {
+            let r = self.read_response().map_err(|(_, e)| format!("GET {path}: {e}"))?;
+            responses.push(r);
+        }
+        Ok(responses)
+    }
+
+    /// Reads one `Content-Length`-framed response off the socket,
+    /// leaving any bytes past it (pipelined follow-ups) buffered.
+    fn read_response(&mut self) -> Result<HttpResponse, (bool, String)> {
+        // 1. Buffer until the head terminator is in `carry`.
+        let head_end = loop {
+            if let Some(i) = self.carry.windows(4).position(|w| w == b"\r\n\r\n") {
+                break i;
+            }
+            match self.read_more() {
+                Ok(0) => {
+                    // Clean EOF. On a reused socket with no response
+                    // bytes this is the classic stale keep-alive race
+                    // (the server idle-closed between requests):
+                    // transient, retry on a fresh socket. Anything else
+                    // is a truncated response.
+                    let stale = self.on_socket > 0 && self.carry.is_empty();
+                    self.poison();
+                    return Err((
+                        stale,
+                        if stale {
+                            "stale keep-alive connection: closed between requests".to_string()
+                        } else {
+                            "truncated response: no header terminator".to_string()
+                        },
+                    ));
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    let transient = is_transient(&e);
+                    self.poison();
+                    return Err((transient, format!("read failed: {e}")));
+                }
+            }
+        };
+        let head = match std::str::from_utf8(&self.carry[..head_end]) {
+            Ok(h) => h.to_string(),
+            Err(_) => {
+                self.poison();
+                return Err((false, "non-UTF-8 response head".to_string()));
+            }
+        };
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or_default();
+        let status = match status_line.split(' ').nth(1).and_then(|s| s.parse::<u16>().ok()) {
+            Some(s) => s,
+            None => {
+                self.poison();
+                return Err((false, format!("bad status line: {status_line:?}")));
+            }
+        };
+        let headers: Vec<(String, String)> = lines
+            .filter_map(|l| l.split_once(':'))
+            .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+            .collect();
+        let content_length = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .and_then(|(_, v)| v.parse::<usize>().ok());
+
+        // 2. Buffer until the declared body is complete.
+        let body = match content_length {
+            Some(len) => {
+                while self.carry.len() < head_end + 4 + len {
+                    match self.read_more() {
+                        Ok(0) => {
+                            let got = self.carry.len() - head_end - 4;
+                            self.poison();
+                            return Err((false, format!("truncated body: {got} of {len} byte(s)")));
+                        }
+                        Ok(_) => {}
+                        Err(e) => {
+                            let transient = is_transient(&e);
+                            self.poison();
+                            return Err((transient, format!("read failed: {e}")));
+                        }
+                    }
+                }
+                let body = self.carry[head_end + 4..head_end + 4 + len].to_vec();
+                self.carry.drain(..head_end + 4 + len);
+                body
+            }
+            None => {
+                // No length: the server is using close framing. Read to
+                // EOF; this socket cannot carry another request.
+                loop {
+                    match self.read_more() {
+                        Ok(0) => break,
+                        Ok(_) => {}
+                        Err(e) => {
+                            let transient = is_transient(&e);
+                            self.poison();
+                            return Err((transient, format!("read failed: {e}")));
+                        }
+                    }
+                }
+                let body = self.carry[head_end + 4..].to_vec();
+                self.poison();
+                body
+            }
+        };
+        if self.stream.is_some() {
+            self.on_socket += 1;
+            let close = headers
+                .iter()
+                .any(|(k, v)| k == "connection" && v.eq_ignore_ascii_case("close"));
+            if close {
+                self.poison();
+            }
+        }
+        Ok(HttpResponse { status, headers, body })
+    }
+
+    fn read_more(&mut self) -> std::io::Result<usize> {
+        let mut buf = [0u8; 16 * 1024];
+        let n = self.stream.as_mut().expect("connected").read(&mut buf)?;
+        self.carry.extend_from_slice(&buf[..n]);
+        Ok(n)
+    }
+}
+
 /// `GET` with bounded retry on the failures a healthy deployment still
 /// produces:
 ///
@@ -155,15 +411,23 @@ pub fn parse_response(raw: &[u8]) -> Result<HttpResponse, String> {
 ///
 /// Permanent failures (unresolvable host, protocol errors, any other
 /// HTTP status) return immediately.
+///
+/// Retries ride one [`Connection`]: a fully read 429 leaves the socket
+/// clean, so the polite retry reuses it; a failure after the request
+/// was (possibly) written poisons the socket and the retry reconnects;
+/// a connect failure just connects again. The unit tests pin both
+/// paths by counting server-side accepts.
 pub fn http_get_retrying(
     url: &str,
     timeout: Duration,
     max_attempts: u32,
 ) -> Result<HttpResponse, String> {
+    let (authority, path) = split_url(url)?;
+    let mut conn = Connection::new(authority, timeout);
     let max_attempts = max_attempts.max(1);
     let mut last = String::new();
     for attempt in 0..max_attempts {
-        match http_get_classified(url, timeout) {
+        match conn.get_classified(path) {
             Ok(r) if r.status == 429 => {
                 let secs =
                     r.header("retry-after").and_then(|v| v.parse::<u64>().ok()).unwrap_or(1);
@@ -261,6 +525,137 @@ mod tests {
         assert!(is_transient(&Error::from(ErrorKind::WouldBlock)));
         assert!(!is_transient(&Error::from(ErrorKind::NotFound)));
         assert!(!is_transient(&Error::from(ErrorKind::PermissionDenied)));
+    }
+
+    /// Reads one request head off a test-server socket (requests here
+    /// carry no body).
+    fn read_request(stream: &mut TcpStream) -> bool {
+        let mut buf = Vec::new();
+        let mut byte = [0u8; 1];
+        loop {
+            match stream.read(&mut byte) {
+                Ok(0) | Err(_) => return false,
+                Ok(_) => buf.push(byte[0]),
+            }
+            if buf.ends_with(b"\r\n\r\n") {
+                return true;
+            }
+        }
+    }
+
+    fn keepalive_reply(stream: &mut TcpStream, status: &str, extra: &str, body: &str) {
+        let reply = format!(
+            "HTTP/1.1 {status}\r\nContent-Length: {}\r\n{extra}\r\n{body}",
+            body.len()
+        );
+        stream.write_all(reply.as_bytes()).unwrap();
+    }
+
+    /// The reuse path: a fully read 429 leaves the keep-alive socket
+    /// clean, so the polite retry rides the same connection — the
+    /// server sees exactly one accept for three requests.
+    #[test]
+    fn retrying_reuses_the_connection_across_fully_read_429s() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let url = format!("http://{}/artifact/table1", listener.local_addr().unwrap());
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut requests = 0;
+            for status in ["429 Too Many Requests", "429 Too Many Requests", "200 OK"] {
+                assert!(read_request(&mut stream), "request {requests} arrived");
+                let extra =
+                    if status.starts_with("429") { "Retry-After: 0\r\n" } else { "" };
+                keepalive_reply(&mut stream, status, extra, "ok\n");
+                requests += 1;
+            }
+            // One accepted socket carried every attempt; a second
+            // accept would hang the test (and fail read_request above
+            // with EOF when the client gave up).
+            requests
+        });
+        let r = http_get_retrying(&url, Duration::from_secs(5), 5).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.text(), "ok\n");
+        assert_eq!(server.join().unwrap(), 3);
+    }
+
+    /// The reconnect path: an attempt that failed *after* the request
+    /// was written (server went silent; read timed out) poisons the
+    /// socket — the retry must arrive on a fresh connection.
+    #[test]
+    fn retrying_reconnects_after_a_mid_response_failure() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let url = format!("http://{}/artifact/table1", listener.local_addr().unwrap());
+        let server = std::thread::spawn(move || {
+            // First connection: swallow the request, answer nothing,
+            // and keep the socket open so the client sees a timeout
+            // rather than an EOF.
+            let (mut first, _) = listener.accept().unwrap();
+            assert!(read_request(&mut first));
+            // Second connection: the retry. Answer it properly.
+            let (mut second, _) = listener.accept().unwrap();
+            assert!(read_request(&mut second));
+            keepalive_reply(&mut second, "200 OK", "", "ok\n");
+            drop(first);
+            2u32
+        });
+        let r = http_get_retrying(&url, Duration::from_millis(300), 5).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.text(), "ok\n");
+        assert_eq!(server.join().unwrap(), 2, "the retry opened a second connection");
+    }
+
+    /// A stale keep-alive socket (server closed between requests) is a
+    /// transparent reconnect, not an error.
+    #[test]
+    fn connection_survives_a_server_side_idle_close() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let authority = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            // First socket: answer one request, then close it.
+            let (mut stream, _) = listener.accept().unwrap();
+            assert!(read_request(&mut stream));
+            keepalive_reply(&mut stream, "200 OK", "", "a\n");
+            drop(stream);
+            // Second socket: the client noticed the stale conn.
+            let (mut stream, _) = listener.accept().unwrap();
+            assert!(read_request(&mut stream));
+            keepalive_reply(&mut stream, "200 OK", "", "b\n");
+        });
+        let mut conn = Connection::new(&authority, Duration::from_secs(5));
+        assert_eq!(conn.get("/x").unwrap().text(), "a\n");
+        // The server closed; the bare get() reports the stale socket...
+        let (transient, msg) = conn.get_classified("/y").unwrap_err();
+        assert!(transient, "stale keep-alive close is transient: {msg}");
+        assert!(msg.contains("stale keep-alive"), "{msg}");
+        // ...and the follow-up attempt reconnects and succeeds.
+        assert_eq!(conn.get("/y").unwrap().text(), "b\n");
+        assert_eq!(conn.sockets_opened(), 2);
+        server.join().unwrap();
+    }
+
+    /// Pipelined bursts write every request up front and read the
+    /// responses back in order off one socket.
+    #[test]
+    fn pipeline_reads_responses_in_order_from_one_socket() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let authority = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            for i in 0..3 {
+                assert!(read_request(&mut stream));
+                keepalive_reply(&mut stream, "200 OK", "", &format!("body{i}\n"));
+            }
+        });
+        let mut conn = Connection::new(&authority, Duration::from_secs(5));
+        let responses = conn.pipeline(&["/a", "/b", "/c"]).unwrap();
+        assert_eq!(responses.len(), 3);
+        for (i, r) in responses.iter().enumerate() {
+            assert_eq!(r.status, 200);
+            assert_eq!(r.text(), format!("body{i}\n"));
+        }
+        assert_eq!(conn.sockets_opened(), 1);
+        server.join().unwrap();
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 pub mod campaign;
 pub mod client;
+pub mod loadgen;
 pub mod uarch_bench;
 
 use std::path::PathBuf;

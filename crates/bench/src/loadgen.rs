@@ -1,0 +1,319 @@
+//! `regen loadgen`: an open-loop HTTP load generator for `regend`.
+//!
+//! Arrivals are scheduled on a fixed-rate clock *before* any response
+//! comes back — the open-loop discipline — and each request's latency is
+//! measured from its **scheduled due time**, not from when a worker got
+//! around to sending it. A server that stalls therefore shows the stall
+//! in the tail percentiles instead of silently slowing the offered load
+//! (the coordinated-omission trap closed-loop generators fall into).
+//!
+//! A fixed pool of keep-alive [`Connection`]s carries the traffic:
+//! worker `k` sends arrival `i` as soon as both `i`'s due time has
+//! passed and `k`'s previous response has been read. Backlogged workers
+//! thus *add* the queueing delay to the measured latency rather than
+//! suppressing arrivals.
+//!
+//! Errors are counted, never retried — retry would hide exactly the
+//! overload behaviour the generator exists to measure. 429s count as
+//! responses (the server answered; that is its overload contract).
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::client::Connection;
+
+/// Options for [`run_loadgen`].
+#[derive(Debug, Clone)]
+pub struct LoadgenOptions {
+    /// Full URL to hammer (e.g. `http://127.0.0.1:7979/artifact/table2`).
+    pub url: String,
+    /// Offered load, requests per second.
+    pub rate: f64,
+    /// Total arrivals to schedule.
+    pub requests: u64,
+    /// Keep-alive connections (= worker threads) carrying the load.
+    pub connections: usize,
+    /// Per-operation socket timeout.
+    pub timeout: Duration,
+}
+
+impl Default for LoadgenOptions {
+    fn default() -> LoadgenOptions {
+        LoadgenOptions {
+            url: String::new(),
+            rate: 200.0,
+            requests: 1_000,
+            connections: 8,
+            timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// What one loadgen run observed.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Arrivals scheduled.
+    pub requests: u64,
+    /// Responses fully read (any status).
+    pub responses: u64,
+    /// Responses with status 200.
+    pub responses_200: u64,
+    /// Responses with status 429 (admission shed).
+    pub responses_429: u64,
+    /// Transport/protocol failures (no response).
+    pub errors: u64,
+    /// Body bytes received across all responses.
+    pub body_bytes: u64,
+    /// TCP sockets the pool opened (ideally == `connections`).
+    pub sockets_opened: u64,
+    /// Keep-alive connections in the pool.
+    pub connections: usize,
+    /// Offered rate (requests/sec).
+    pub offered_rps: f64,
+    /// Wall seconds from first due time to last response.
+    pub elapsed_secs: f64,
+    /// Due-time-to-response-read latencies, microseconds, sorted.
+    pub latencies_micros: Vec<u64>,
+}
+
+impl LoadgenReport {
+    /// Achieved throughput: completed responses over the wall clock.
+    pub fn achieved_rps(&self) -> f64 {
+        if self.elapsed_secs > 0.0 { self.responses as f64 / self.elapsed_secs } else { 0.0 }
+    }
+
+    /// The `p`-th percentile latency in microseconds (`p` in 0..=100),
+    /// nearest-rank definition. Zero when nothing completed.
+    pub fn percentile_micros(&self, p: f64) -> u64 {
+        let n = self.latencies_micros.len();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0 * n as f64).ceil() as usize).clamp(1, n);
+        self.latencies_micros[rank - 1]
+    }
+
+    /// Maximum observed latency in microseconds.
+    pub fn max_micros(&self) -> u64 {
+        self.latencies_micros.last().copied().unwrap_or(0)
+    }
+
+    /// The human-readable summary `regen loadgen` prints.
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "loadgen: {} arrival(s) at {:.0} req/s over {} keep-alive connection(s)",
+            self.requests, self.offered_rps, self.connections
+        );
+        let _ = writeln!(
+            s,
+            "loadgen: {} response(s) ({} x 200, {} x 429), {} error(s), {} socket(s) opened, {} body byte(s)",
+            self.responses,
+            self.responses_200,
+            self.responses_429,
+            self.errors,
+            self.sockets_opened,
+            self.body_bytes
+        );
+        let _ = writeln!(
+            s,
+            "loadgen: achieved {:.1} req/s in {:.2}s",
+            self.achieved_rps(),
+            self.elapsed_secs
+        );
+        let _ = writeln!(
+            s,
+            "loadgen: latency from scheduled arrival: p50 {} us, p90 {} us, p99 {} us, max {} us",
+            self.percentile_micros(50.0),
+            self.percentile_micros(90.0),
+            self.percentile_micros(99.0),
+            self.max_micros()
+        );
+        s
+    }
+
+    /// A power-of-two-bucket latency histogram (text, one `<= N us`
+    /// line per occupied bucket) — the artifact CI uploads.
+    pub fn render_histogram(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "# loadgen latency histogram ({} sample(s), microseconds)", self.latencies_micros.len());
+        if self.latencies_micros.is_empty() {
+            return s;
+        }
+        let max = self.max_micros();
+        let mut bound = 1u64;
+        let mut from = 0usize;
+        loop {
+            // latencies are sorted: count the slice within this bucket.
+            let to = self.latencies_micros.partition_point(|&v| v <= bound);
+            let count = to - from;
+            if count > 0 {
+                let _ = writeln!(s, "le {:>10} us: {count}", bound);
+            }
+            from = to;
+            if bound >= max {
+                break;
+            }
+            bound = bound.saturating_mul(2);
+        }
+        s
+    }
+}
+
+/// Runs the open-loop generator. Fails only on setup errors (bad URL);
+/// per-request failures are counted in the report.
+pub fn run_loadgen(opts: &LoadgenOptions) -> Result<LoadgenReport, String> {
+    if opts.rate <= 0.0 {
+        return Err("rate must be positive".to_string());
+    }
+    if opts.requests == 0 || opts.connections == 0 {
+        return Err("requests and connections must be at least 1".to_string());
+    }
+    let (authority, path) = crate::client::split_url(&opts.url)?;
+    let interval = Duration::from_secs_f64(1.0 / opts.rate);
+
+    struct WorkerOut {
+        latencies: Vec<u64>,
+        responses: u64,
+        responses_200: u64,
+        responses_429: u64,
+        errors: u64,
+        body_bytes: u64,
+        sockets: u64,
+    }
+
+    let next = AtomicU64::new(0);
+    let start = Instant::now() + Duration::from_millis(5);
+    let outs: Vec<WorkerOut> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..opts.connections)
+            .map(|_| {
+                let next = &next;
+                s.spawn(move || {
+                    let mut conn = Connection::new(authority, opts.timeout);
+                    let mut out = WorkerOut {
+                        latencies: Vec::new(),
+                        responses: 0,
+                        responses_200: 0,
+                        responses_429: 0,
+                        errors: 0,
+                        body_bytes: 0,
+                        sockets: 0,
+                    };
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= opts.requests {
+                            break;
+                        }
+                        // Open loop: arrival i is *due* at a fixed time
+                        // regardless of how the server is doing.
+                        let due = start + interval.mul_f64(i as f64);
+                        let now = Instant::now();
+                        if now < due {
+                            std::thread::sleep(due - now);
+                        }
+                        match conn.get(path) {
+                            Ok(r) => {
+                                out.responses += 1;
+                                match r.status {
+                                    200 => out.responses_200 += 1,
+                                    429 => out.responses_429 += 1,
+                                    _ => {}
+                                }
+                                out.body_bytes += r.body.len() as u64;
+                                // Latency from the scheduled due time:
+                                // backlog shows up here, not in a
+                                // silently-reduced offered rate.
+                                out.latencies
+                                    .push(due.elapsed().as_micros().min(u128::from(u64::MAX))
+                                        as u64);
+                            }
+                            Err(_) => out.errors += 1,
+                        }
+                    }
+                    out.sockets = conn.sockets_opened();
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("loadgen worker")).collect()
+    });
+    let elapsed_secs = start.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<u64> = outs.iter().flat_map(|o| o.latencies.iter().copied()).collect();
+    latencies.sort_unstable();
+    Ok(LoadgenReport {
+        requests: opts.requests,
+        responses: outs.iter().map(|o| o.responses).sum(),
+        responses_200: outs.iter().map(|o| o.responses_200).sum(),
+        responses_429: outs.iter().map(|o| o.responses_429).sum(),
+        errors: outs.iter().map(|o| o.errors).sum(),
+        body_bytes: outs.iter().map(|o| o.body_bytes).sum(),
+        sockets_opened: outs.iter().map(|o| o.sockets).sum(),
+        connections: opts.connections,
+        offered_rps: opts.rate,
+        elapsed_secs,
+        latencies_micros: latencies,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with(latencies: Vec<u64>) -> LoadgenReport {
+        LoadgenReport {
+            requests: latencies.len() as u64,
+            responses: latencies.len() as u64,
+            responses_200: latencies.len() as u64,
+            responses_429: 0,
+            errors: 0,
+            body_bytes: 0,
+            sockets_opened: 1,
+            connections: 1,
+            offered_rps: 100.0,
+            elapsed_secs: 2.0,
+            latencies_micros: latencies,
+        }
+    }
+
+    #[test]
+    fn percentiles_read_the_sorted_tail() {
+        let r = report_with((1..=100).collect());
+        assert_eq!(r.percentile_micros(50.0), 50);
+        assert_eq!(r.percentile_micros(99.0), 99);
+        assert_eq!(r.max_micros(), 100);
+        assert_eq!(r.achieved_rps(), 50.0);
+        let empty = report_with(vec![]);
+        assert_eq!(empty.percentile_micros(99.0), 0);
+        assert_eq!(empty.max_micros(), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_double_and_cover_every_sample() {
+        let r = report_with(vec![1, 2, 3, 700, 100_000]);
+        let h = r.render_histogram();
+        // Each occupied power-of-two bucket appears once; counts sum to
+        // the sample count.
+        let total: usize = h
+            .lines()
+            .filter(|l| l.starts_with("le "))
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<usize>().unwrap())
+            .sum();
+        assert_eq!(total, 5, "{h}");
+        assert!(h.contains("le          1 us: 1"), "{h}");
+        assert!(h.contains("le          2 us: 1"), "{h}");
+    }
+
+    #[test]
+    fn rejects_nonsense_options() {
+        let bad = LoadgenOptions { rate: 0.0, ..LoadgenOptions::default() };
+        assert!(run_loadgen(&bad).is_err());
+        let bad = LoadgenOptions {
+            url: "gopher://x".to_string(),
+            ..LoadgenOptions::default()
+        };
+        assert!(run_loadgen(&bad).is_err());
+    }
+}

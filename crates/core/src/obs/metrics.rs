@@ -27,6 +27,9 @@ const DEPTH_BUCKETS: [f64; 8] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
 /// Bucket boundaries (seconds) for the server end-to-end request
 /// latency histogram (admission to response written).
 const REQUEST_BUCKETS: [f64; 8] = [0.001, 0.01, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0];
+/// Bucket boundaries (requests) for the pipeline-depth histogram:
+/// outstanding requests on a connection as each request arrives.
+const PIPELINE_BUCKETS: [f64; 7] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
 
 /// A fixed-bucket cumulative histogram.
 #[derive(Debug, Clone)]
@@ -112,6 +115,16 @@ pub fn prometheus_text(events: &[Event], stats: &HarnessStats) -> String {
     let mut depth_hist = Histogram::new(&DEPTH_BUCKETS);
     let mut request_hist = Histogram::new(&REQUEST_BUCKETS);
 
+    // Keep-alive front-end families (PR 8): connection lifecycle and
+    // pipelining, derived from the connection events the event loop
+    // emits.
+    let mut connections_opened = 0u64;
+    let mut connections_closed = 0u64;
+    let mut keepalive_requests = 0u64;
+    let mut disconnects = 0u64;
+    let mut idle_timeouts = 0u64;
+    let mut pipeline_hist = Histogram::new(&PIPELINE_BUCKETS);
+
     // Fault-campaign families, grouped by survivability class.
     let mut campaigns = 0u64;
     let mut campaign_replayed = 0u64;
@@ -153,6 +166,14 @@ pub fn prometheus_text(events: &[Event], stats: &HarnessStats) -> String {
             EventKind::ArtifactCacheHit => artifact_cache_hits += 1,
             EventKind::FlightCoalesced => coalesced += 1,
             EventKind::DeadlineExpired => deadlines_expired += 1,
+            EventKind::ConnectionOpened => connections_opened += 1,
+            EventKind::ConnectionClosed { requests } => {
+                connections_closed += 1;
+                keepalive_requests += requests;
+            }
+            EventKind::ClientDisconnected => disconnects += 1,
+            EventKind::IdleTimeout => idle_timeouts += 1,
+            EventKind::PipelineObserved { depth } => pipeline_hist.observe(*depth as f64),
             EventKind::CampaignStarted { .. } => campaigns += 1,
             EventKind::CampaignCoordinate { class, .. } => {
                 *campaign_classes.entry(class.name()).or_default() += 1;
@@ -344,6 +365,46 @@ pub fn prometheus_text(events: &[Event], stats: &HarnessStats) -> String {
     );
     request_hist.expose(&mut out, "regend_request_latency_seconds", "");
 
+    // Keep-alive front-end families (all zero for the pre-PR-8 model
+    // where every connection carried exactly one request).
+    counter(
+        &mut out,
+        "regend_keepalive_connections_total",
+        "Client connections accepted by the event-driven front end.",
+        connections_opened,
+    );
+    counter(
+        &mut out,
+        "regend_keepalive_closed_total",
+        "Client connections closed (any reason).",
+        connections_closed,
+    );
+    counter(
+        &mut out,
+        "regend_keepalive_requests_total",
+        "Responses carried by closed connections (keep-alive reuse).",
+        keepalive_requests,
+    );
+    counter(
+        &mut out,
+        "regend_disconnects_total",
+        "Peers that vanished mid-request or mid-response.",
+        disconnects,
+    );
+    counter(
+        &mut out,
+        "regend_idle_timeouts_total",
+        "Connections reaped by the idle/stall deadline while holding partial state.",
+        idle_timeouts,
+    );
+    header(
+        &mut out,
+        "regend_pipeline_depth",
+        "histogram",
+        "Outstanding requests on a connection as each request arrived (1 = serial).",
+    );
+    pipeline_hist.expose(&mut out, "regend_pipeline_depth", "");
+
     // Fault-campaign families (all zero unless the events came from a
     // `regen campaign` run).
     counter(
@@ -441,6 +502,28 @@ mod tests {
         assert_eq!(metric_value(&text, "regen_queue_latency_seconds_count"), Some(1.0));
         assert!(text.contains("regen_experiment_wall_seconds_bucket{experiment=\"exp\",le=\"+Inf\"} 1"));
         assert!(text.contains("# TYPE regen_cells_simulated_total counter"));
+    }
+
+    #[test]
+    fn keepalive_families_derive_from_connection_events() {
+        let bus = EventBus::with_clock(Arc::new(VirtualClock::new()));
+        bus.emit("regend", "", "", 0, EventKind::ConnectionOpened);
+        bus.emit("regend", "", "", 0, EventKind::ConnectionOpened);
+        bus.emit("regend", "/a", "", 0, EventKind::PipelineObserved { depth: 1 });
+        bus.emit("regend", "/b", "", 0, EventKind::PipelineObserved { depth: 3 });
+        bus.emit("regend", "", "", 0, EventKind::ClientDisconnected);
+        bus.emit("regend", "", "", 0, EventKind::IdleTimeout);
+        bus.emit("regend", "", "", 0, EventKind::ConnectionClosed { requests: 5 });
+        bus.emit("regend", "", "", 0, EventKind::ConnectionClosed { requests: 2 });
+        let text = prometheus_text(&bus.snapshot(), &HarnessStats::default());
+        assert_eq!(metric_value(&text, "regend_keepalive_connections_total"), Some(2.0));
+        assert_eq!(metric_value(&text, "regend_keepalive_closed_total"), Some(2.0));
+        assert_eq!(metric_value(&text, "regend_keepalive_requests_total"), Some(7.0));
+        assert_eq!(metric_value(&text, "regend_disconnects_total"), Some(1.0));
+        assert_eq!(metric_value(&text, "regend_idle_timeouts_total"), Some(1.0));
+        assert_eq!(metric_value(&text, "regend_pipeline_depth_count"), Some(2.0));
+        assert!(text.contains("regend_pipeline_depth_bucket{le=\"2\"} 1"));
+        assert!(text.contains("regend_pipeline_depth_bucket{le=\"4\"} 2"));
     }
 
     #[test]

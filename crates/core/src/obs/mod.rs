@@ -131,6 +131,27 @@ pub enum EventKind {
     /// A request's deadline expired before it could be served; it was
     /// answered with an error instead of stale or partial data.
     DeadlineExpired,
+    /// A client connection was accepted by the event-driven front end
+    /// (keep-alive: one connection now carries many requests).
+    ConnectionOpened,
+    /// A connection was closed (any reason); `requests` is how many
+    /// responses it carried — the keep-alive reuse factor.
+    ConnectionClosed {
+        /// Responses completed on this connection over its lifetime.
+        requests: u64,
+    },
+    /// A peer vanished mid-request or mid-response (reset, or EOF with
+    /// work still owed); its slot was freed immediately.
+    ClientDisconnected,
+    /// A connection was reaped by the idle/stall deadline while holding
+    /// partial state (half a request, or an undrained response).
+    IdleTimeout,
+    /// One request was parsed; `depth` counts the requests outstanding
+    /// on its connection including itself (1 = no pipelining).
+    PipelineObserved {
+        /// Outstanding requests on the connection, this one included.
+        depth: usize,
+    },
 
     // Fault-campaign kinds, emitted by the campaign driver. The
     // `experiment` field carries the campaign label; `cell` carries the
@@ -179,6 +200,11 @@ impl EventKind {
             EventKind::ArtifactCacheHit => "artifact_cache_hit",
             EventKind::FlightCoalesced => "flight_coalesced",
             EventKind::DeadlineExpired => "deadline_expired",
+            EventKind::ConnectionOpened => "connection_opened",
+            EventKind::ConnectionClosed { .. } => "connection_closed",
+            EventKind::ClientDisconnected => "client_disconnected",
+            EventKind::IdleTimeout => "idle_timeout",
+            EventKind::PipelineObserved { .. } => "pipeline_observed",
             EventKind::CampaignStarted { .. } => "campaign_started",
             EventKind::CampaignCoordinate { .. } => "campaign_coordinate",
             EventKind::CampaignReplayed => "campaign_replayed",

@@ -127,6 +127,11 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
             | EventKind::ArtifactCacheHit
             | EventKind::FlightCoalesced
             | EventKind::DeadlineExpired
+            | EventKind::ConnectionOpened
+            | EventKind::ConnectionClosed { .. }
+            | EventKind::ClientDisconnected
+            | EventKind::IdleTimeout
+            | EventKind::PipelineObserved { .. }
             | EventKind::CampaignStarted { .. }
             | EventKind::CampaignCoordinate { .. }
             | EventKind::CampaignReplayed

@@ -1,0 +1,130 @@
+//! The frozen PR 5 acceptor model: thread-per-connection,
+//! `Connection: close`, one request per socket.
+//!
+//! Kept in-tree for the same reason `crates/uarch` keeps its seed
+//! interpreter as `reference.rs`: `regen bench-serve` measures the
+//! event-driven front end *against* this model on the same
+//! [`Core`] — same routing, same caches, same response bytes — so the
+//! committed speedup in `BENCH_serve.json` compares acceptor models
+//! and nothing else. Do not optimize this module; its slowness is the
+//! baseline.
+//!
+//! Differences from the real PR 5 server are deliberate and minimal:
+//! the shared `Core` replaces the old inline routing (so both front
+//! ends provably serve identical bytes), and admission control is
+//! omitted (the bench drives it below capacity; rejection behaviour is
+//! the event loop's to prove).
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use spectrebench::obs::EventKind;
+
+use crate::core::{Action, Core, RunSummary, ServerConfig};
+use crate::http::{HttpError, Request, Response};
+
+/// The baseline server: [`BaselineServer::bind`], then
+/// [`BaselineServer::run`] (blocks until drained via
+/// [`BaselineHandle::drain`] or a served `POST /shutdown`).
+pub struct BaselineServer {
+    core: Arc<Core>,
+    listener: TcpListener,
+    local_addr: SocketAddr,
+}
+
+/// Clonable drain handle.
+#[derive(Clone)]
+pub struct BaselineHandle {
+    core: Arc<Core>,
+}
+
+impl BaselineHandle {
+    /// Stops the accept loop; in-flight connection threads finish.
+    pub fn drain(&self) {
+        self.core.draining.store(true, Ordering::SeqCst);
+    }
+}
+
+impl BaselineServer {
+    /// Binds the listener and builds the shared core.
+    pub fn bind(cfg: ServerConfig) -> std::io::Result<BaselineServer> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let core = Arc::new(Core::new(cfg)?);
+        Ok(BaselineServer { core, listener, local_addr })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A drain handle.
+    pub fn handle(&self) -> BaselineHandle {
+        BaselineHandle { core: Arc::clone(&self.core) }
+    }
+
+    /// Accepts until drained: every connection costs a fresh thread,
+    /// serves exactly one request, and closes — the PR 5 model.
+    pub fn run(self) -> RunSummary {
+        std::thread::scope(|s| {
+            loop {
+                if self.core.is_draining() {
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let core = Arc::clone(&self.core);
+                        s.spawn(move || serve_one(&core, stream));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(1)),
+                }
+            }
+        });
+        self.core.summary()
+    }
+}
+
+/// Parses and answers one request, then closes the connection.
+fn serve_one(core: &Core, mut stream: TcpStream) {
+    core.connections.fetch_add(1, Ordering::SeqCst);
+    let arrived = Instant::now();
+    let _ = stream.set_read_timeout(Some(core.cfg.io_timeout));
+    let _ = stream.set_write_timeout(Some(core.cfg.io_timeout));
+    let mut reader = std::io::BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let request = match Request::parse(&mut reader) {
+        Ok(r) => r,
+        Err(HttpError::Malformed(m)) => {
+            let _ = Response::text(400, format!("regend: {m}\n")).write_to(&mut stream);
+            return;
+        }
+        Err(HttpError::Io(_)) => return,
+    };
+    core.admitted.fetch_add(1, Ordering::SeqCst);
+    core.in_flight.fetch_add(1, Ordering::SeqCst);
+    core.bus.emit("regend", "", "", 0, EventKind::RequestReceived { queue_depth: 0 });
+    let (endpoint, action) = core.route(&request, 0);
+    let response = match action {
+        Action::Done(r) => r,
+        Action::Slow(work) => core.execute(&work, &request.path),
+        Action::StartDrain(r) => {
+            core.draining.store(true, Ordering::SeqCst);
+            r
+        }
+    };
+    let status = response.status;
+    let _ = response.write_to(&mut stream);
+    core.served.fetch_add(1, Ordering::SeqCst);
+    core.in_flight.fetch_sub(1, Ordering::SeqCst);
+    let micros = arrived.elapsed().as_micros() as u64;
+    core.bus.emit(endpoint, &request.path, "", 0, EventKind::RequestCompleted { status, micros });
+}

@@ -1,0 +1,435 @@
+//! `bench-serve`: the serving front end's own benchmark.
+//!
+//! Boots both `regend` front ends in-process — the event-driven epoll
+//! loop ([`serve::Server`]) and the preserved PR 5 thread-per-connection
+//! `Connection: close` acceptor ([`serve::BaselineServer`]) — over the
+//! *same* [`serve::core`] routing and caches, warms the rendered cache
+//! with one `/artifact/table2`, then pushes an identical closed-loop
+//! keep-alive workload through each and compares throughput.
+//!
+//! Two kinds of numbers come out, exactly like `bench-uarch`:
+//!
+//! * **Wire counters** (requests sent, 200s received, body bytes,
+//!   protocol errors) are *deterministic*: table2 renders from static
+//!   data, so its body is byte-pinned and `requests x body_len` is a
+//!   fixed product. CI pins them with `--check BENCH_serve.json` —
+//!   drift means the wire protocol or the rendering changed, which must
+//!   never happen silently.
+//! * **Requests/sec and the keep-alive/baseline speedup** are
+//!   *measurements*: host-dependent, reported but never gated exactly;
+//!   `--check` only requires the event front end not to be slower than
+//!   the thread-per-connection baseline it replaced.
+//!
+//! The keep-alive side pipelines [`PIPELINE_DEPTH`] requests per write
+//! (the front end's whole point); the baseline side opens one
+//! connection per request (its wire contract).
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use bench::client::{http_get, Connection};
+
+use crate::baseline::BaselineServer;
+use crate::core::ServerConfig;
+use crate::server::Server;
+
+/// Requests pipelined per burst on the keep-alive side.
+pub const PIPELINE_DEPTH: usize = 8;
+
+/// Options for [`run_bench_serve`].
+#[derive(Debug, Clone)]
+pub struct ServeBenchOptions {
+    /// Requests pushed through *each* front end.
+    pub requests: u64,
+    /// Concurrent clients (keep-alive connections / closing loops).
+    pub connections: usize,
+}
+
+impl Default for ServeBenchOptions {
+    fn default() -> ServeBenchOptions {
+        ServeBenchOptions { requests: 2_000, connections: 8 }
+    }
+}
+
+/// One front end's side of the comparison.
+#[derive(Debug, Clone)]
+pub struct FrontEndResult {
+    /// Requests sent (deterministic).
+    pub requests: u64,
+    /// 200 responses fully read (deterministic; must equal `requests`).
+    pub responses_200: u64,
+    /// Body bytes received (deterministic: `requests x table2 length`).
+    pub body_bytes: u64,
+    /// Transport/protocol failures (deterministic: must be 0).
+    pub protocol_errors: u64,
+    /// TCP sockets the clients opened.
+    pub sockets_opened: u64,
+    /// Wall seconds for the whole run (measurement).
+    pub secs: f64,
+}
+
+impl FrontEndResult {
+    /// Requests per second (measurement).
+    pub fn rps(&self) -> f64 {
+        if self.secs > 0.0 { self.responses_200 as f64 / self.secs } else { 0.0 }
+    }
+}
+
+/// The full comparison report.
+#[derive(Debug, Clone)]
+pub struct ServeBenchReport {
+    /// Concurrent clients both sides ran with.
+    pub connections: usize,
+    /// Keep-alive pipelining depth the event side used.
+    pub pipeline_depth: usize,
+    /// The event-driven keep-alive front end.
+    pub keepalive: FrontEndResult,
+    /// The thread-per-connection `Connection: close` baseline.
+    pub baseline: FrontEndResult,
+}
+
+impl ServeBenchReport {
+    /// Keep-alive throughput over baseline throughput.
+    pub fn speedup(&self) -> f64 {
+        let b = self.baseline.rps();
+        if b > 0.0 { self.keepalive.rps() / b } else { 0.0 }
+    }
+
+    /// Renders the JSON report (`BENCH_serve.json`). Deterministic
+    /// fields first; everything from `keepalive_rps` on is a
+    /// host-dependent measurement.
+    pub fn render_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"bench-serve/v1\",\n");
+        let _ = writeln!(s, "  \"requests\": {},", self.keepalive.requests);
+        let _ = writeln!(s, "  \"connections\": {},", self.connections);
+        let _ = writeln!(s, "  \"pipeline_depth\": {},", self.pipeline_depth);
+        let _ = writeln!(s, "  \"responses_200\": {},", self.keepalive.responses_200);
+        let _ = writeln!(s, "  \"body_bytes\": {},", self.keepalive.body_bytes);
+        let _ = writeln!(s, "  \"protocol_errors\": {},", self.keepalive.protocol_errors);
+        let _ = writeln!(s, "  \"keepalive_sockets\": {},", self.keepalive.sockets_opened);
+        let _ = writeln!(s, "  \"keepalive_rps\": {:.0},", self.keepalive.rps());
+        let _ = writeln!(s, "  \"baseline_rps\": {:.0},", self.baseline.rps());
+        let _ = writeln!(s, "  \"speedup\": {:.2}", self.speedup());
+        s.push_str("}\n");
+        s
+    }
+
+    /// The human-readable summary printed to stdout.
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{:<22} {:>10} {:>10} {:>12} {:>8} {:>12}",
+            "front end", "requests", "200s", "body bytes", "sockets", "req/s"
+        );
+        for (name, r) in
+            [("keep-alive (epoll)", &self.keepalive), ("close-per-request", &self.baseline)]
+        {
+            let _ = writeln!(
+                s,
+                "{:<22} {:>10} {:>10} {:>12} {:>8} {:>12.0}",
+                name, r.requests, r.responses_200, r.body_bytes, r.sockets_opened, r.rps()
+            );
+        }
+        let _ = writeln!(
+            s,
+            "speedup: {:.2}x over {} connection(s), pipeline depth {}",
+            self.speedup(),
+            self.connections,
+            self.pipeline_depth
+        );
+        s
+    }
+}
+
+/// A quick-mode config for the benched servers: both front ends share
+/// it, so the only difference measured is the wire discipline.
+fn bench_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        quick: true,
+        workers: 2,
+        queue_capacity: 1024,
+        ..ServerConfig::default()
+    }
+}
+
+/// Drives `per_conn` fetches of `path` on one keep-alive connection,
+/// in pipelined bursts of [`PIPELINE_DEPTH`].
+fn keepalive_worker(authority: &str, path: &str, per_conn: u64) -> FrontEndResult {
+    let mut conn = Connection::new(authority, Duration::from_secs(60));
+    let mut out = FrontEndResult {
+        requests: 0,
+        responses_200: 0,
+        body_bytes: 0,
+        protocol_errors: 0,
+        sockets_opened: 0,
+        secs: 0.0,
+    };
+    let mut left = per_conn;
+    while left > 0 {
+        let burst = left.min(PIPELINE_DEPTH as u64) as usize;
+        let paths: Vec<&str> = vec![path; burst];
+        out.requests += burst as u64;
+        match conn.pipeline(&paths) {
+            Ok(responses) => {
+                for r in responses {
+                    if r.status == 200 {
+                        out.responses_200 += 1;
+                        out.body_bytes += r.body.len() as u64;
+                    } else {
+                        out.protocol_errors += 1;
+                    }
+                }
+            }
+            Err(_) => out.protocol_errors += burst as u64,
+        }
+        left -= burst as u64;
+    }
+    out.sockets_opened = conn.sockets_opened();
+    out
+}
+
+/// Drives `per_conn` close-framed fetches (one connection each).
+fn baseline_worker(url: &str, per_conn: u64) -> FrontEndResult {
+    let mut out = FrontEndResult {
+        requests: per_conn,
+        responses_200: 0,
+        body_bytes: 0,
+        protocol_errors: 0,
+        sockets_opened: per_conn,
+        secs: 0.0,
+    };
+    for _ in 0..per_conn {
+        match http_get(url, Duration::from_secs(60)) {
+            Ok(r) if r.status == 200 => {
+                out.responses_200 += 1;
+                out.body_bytes += r.body.len() as u64;
+            }
+            _ => out.protocol_errors += 1,
+        }
+    }
+    out
+}
+
+fn merge(parts: Vec<FrontEndResult>, secs: f64) -> FrontEndResult {
+    FrontEndResult {
+        requests: parts.iter().map(|p| p.requests).sum(),
+        responses_200: parts.iter().map(|p| p.responses_200).sum(),
+        body_bytes: parts.iter().map(|p| p.body_bytes).sum(),
+        protocol_errors: parts.iter().map(|p| p.protocol_errors).sum(),
+        sockets_opened: parts.iter().map(|p| p.sockets_opened).sum(),
+        secs,
+    }
+}
+
+/// Splits `total` across `n` workers, first workers taking the excess.
+fn shares(total: u64, n: usize) -> Vec<u64> {
+    let base = total / n as u64;
+    let extra = (total % n as u64) as usize;
+    (0..n).map(|i| base + u64::from(i < extra)).collect()
+}
+
+/// Runs the comparison: event front end first, then the baseline, each
+/// warmed with one request so the rendered cache is hot and the whole
+/// measured window is pure front-end work.
+pub fn run_bench_serve(opts: &ServeBenchOptions) -> Result<ServeBenchReport, String> {
+    if opts.requests == 0 || opts.connections == 0 {
+        return Err("requests and connections must be at least 1".to_string());
+    }
+    let path = "/artifact/table2";
+
+    // --- Event-driven keep-alive front end ---
+    let server = Server::bind(bench_config()).map_err(|e| format!("bind event server: {e}"))?;
+    let authority = server.local_addr().to_string();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+    // Warm the rendered cache (table2 has no executor cells, but the
+    // first request still renders and caches the body).
+    let warm = http_get(&format!("http://{authority}{path}"), Duration::from_secs(60))
+        .map_err(|e| format!("warm event server: {e}"))?;
+    if warm.status != 200 {
+        return Err(format!("warm event server: HTTP {}", warm.status));
+    }
+    let keepalive = {
+        let share = shares(opts.requests, opts.connections);
+        let start = Instant::now();
+        let parts = std::thread::scope(|s| {
+            let handles: Vec<_> = share
+                .iter()
+                .map(|&n| {
+                    let authority = &authority;
+                    s.spawn(move || keepalive_worker(authority, path, n))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("keepalive worker")).collect()
+        });
+        merge(parts, start.elapsed().as_secs_f64())
+    };
+    handle.drain();
+    join.join().expect("event server thread").map_err(|e| format!("event loop: {e}"))?;
+
+    // --- Thread-per-connection close baseline ---
+    let server =
+        BaselineServer::bind(bench_config()).map_err(|e| format!("bind baseline server: {e}"))?;
+    let url = format!("http://{}{path}", server.local_addr());
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+    let warm =
+        http_get(&url, Duration::from_secs(60)).map_err(|e| format!("warm baseline: {e}"))?;
+    if warm.status != 200 {
+        return Err(format!("warm baseline server: HTTP {}", warm.status));
+    }
+    let baseline = {
+        let share = shares(opts.requests, opts.connections);
+        let start = Instant::now();
+        let parts = std::thread::scope(|s| {
+            let handles: Vec<_> = share
+                .iter()
+                .map(|&n| {
+                    let url = &url;
+                    s.spawn(move || baseline_worker(url, n))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("baseline worker")).collect()
+        });
+        merge(parts, start.elapsed().as_secs_f64())
+    };
+    handle.drain();
+    join.join().expect("baseline server thread");
+
+    // Cross-check the deterministic invariants before reporting: both
+    // sides must have served every request, byte-for-byte the same
+    // table2 body, with zero failures.
+    for (name, r) in [("keep-alive", &keepalive), ("baseline", &baseline)] {
+        if r.protocol_errors != 0 || r.responses_200 != r.requests {
+            return Err(format!(
+                "{name} front end dropped requests: {} of {} answered 200, {} error(s)",
+                r.responses_200, r.requests, r.protocol_errors
+            ));
+        }
+    }
+    if keepalive.body_bytes != baseline.body_bytes {
+        return Err(format!(
+            "front ends served different bytes: keep-alive {} vs baseline {}",
+            keepalive.body_bytes, baseline.body_bytes
+        ));
+    }
+
+    Ok(ServeBenchReport {
+        connections: opts.connections,
+        pipeline_depth: PIPELINE_DEPTH,
+        keepalive,
+        baseline,
+    })
+}
+
+/// Extracts `"key": <digits>` from the pinned JSON.
+fn scan_u64(text: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\": ");
+    let at = text.find(&needle)? + needle.len();
+    let digits: String = text[at..].chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Reads the pinned request count (the scale a `--check` run must use).
+pub fn pinned_requests(pinned: &str) -> Result<u64, String> {
+    scan_u64(pinned, "requests").ok_or_else(|| "pinned report lacks a requests field".to_string())
+}
+
+/// Reads the pinned connection count.
+pub fn pinned_connections(pinned: &str) -> Result<usize, String> {
+    scan_u64(pinned, "connections")
+        .map(|n| n as usize)
+        .ok_or_else(|| "pinned report lacks a connections field".to_string())
+}
+
+/// A drift found by [`check_report`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Drift {
+    /// Which counter drifted.
+    pub field: &'static str,
+    /// Value in the committed file.
+    pub pinned: u64,
+    /// Value measured now.
+    pub measured: u64,
+}
+
+impl std::fmt::Display for Drift {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: pinned {} but measured {}", self.field, self.pinned, self.measured)
+    }
+}
+
+/// Compares a fresh report's deterministic wire counters against a
+/// committed `BENCH_serve.json`. Timings (`*_rps`, `speedup`) are never
+/// compared — only counters that must be identical on any host.
+pub fn check_report(pinned: &str, fresh: &ServeBenchReport) -> Result<Vec<Drift>, String> {
+    let mut drifts = Vec::new();
+    for (field, measured) in [
+        ("requests", fresh.keepalive.requests),
+        ("responses_200", fresh.keepalive.responses_200),
+        ("body_bytes", fresh.keepalive.body_bytes),
+        ("protocol_errors", fresh.keepalive.protocol_errors),
+    ] {
+        let pinned_v =
+            scan_u64(pinned, field).ok_or_else(|| format!("pinned report lacks {field}"))?;
+        if pinned_v != measured {
+            drifts.push(Drift { field, pinned: pinned_v, measured });
+        }
+    }
+    Ok(drifts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ServeBenchOptions {
+        ServeBenchOptions { requests: 64, connections: 4 }
+    }
+
+    #[test]
+    fn bench_serves_every_request_and_check_pins_counters() {
+        let report = run_bench_serve(&tiny()).unwrap();
+        assert_eq!(report.keepalive.responses_200, 64);
+        assert_eq!(report.baseline.responses_200, 64);
+        assert_eq!(report.keepalive.protocol_errors, 0);
+        assert!(report.keepalive.body_bytes > 0);
+        // Keep-alive really reused sockets: at most one per connection
+        // (plus none extra — the server never closed on us).
+        assert!(
+            report.keepalive.sockets_opened <= report.connections as u64,
+            "keep-alive opened {} sockets for {} connections",
+            report.keepalive.sockets_opened,
+            report.connections
+        );
+        assert_eq!(report.baseline.sockets_opened, 64, "baseline is one socket per request");
+
+        let json = report.render_json();
+        assert_eq!(pinned_requests(&json).unwrap(), 64);
+        assert_eq!(pinned_connections(&json).unwrap(), 4);
+        assert!(check_report(&json, &report).unwrap().is_empty());
+
+        let mut tampered = report.clone();
+        tampered.keepalive.body_bytes += 1;
+        let drifts = check_report(&json, &tampered).unwrap();
+        assert_eq!(drifts.len(), 1);
+        assert_eq!(drifts[0].field, "body_bytes");
+    }
+
+    #[test]
+    fn share_split_covers_the_total() {
+        assert_eq!(shares(10, 3), vec![4, 3, 3]);
+        assert_eq!(shares(2, 4), vec![1, 1, 0, 0]);
+        assert_eq!(shares(8, 4).iter().sum::<u64>(), 8);
+    }
+
+    #[test]
+    fn scan_handles_missing_fields() {
+        assert!(pinned_requests("{}").is_err());
+        assert!(pinned_connections("{}").is_err());
+    }
+}

@@ -1,0 +1,177 @@
+//! `bench-serve` — event-driven vs thread-per-connection front end.
+//!
+//! ```text
+//! cargo run --release -p serve --bin bench-serve                      # measure
+//! cargo run --release -p serve --bin bench-serve -- --out BENCH_serve.json
+//! cargo run --release -p serve --bin bench-serve -- --check BENCH_serve.json
+//! cargo run --release -p serve --bin bench-serve -- --requests 5000 --connections 16
+//! ```
+//!
+//! Boots both `regend` front ends in-process over identical routing and
+//! pushes the same `/artifact/table2` workload through each. `--check`
+//! re-runs at the committed report's scale and fails on any drift in
+//! the deterministic wire counters (requests, 200s, body bytes,
+//! protocol errors) — throughput numbers are reported but gate only in
+//! the one way that is always a bug: the event front end being slower
+//! than the baseline it replaced. Exit codes: 0 clean, 1 drift or
+//! regression, 2 bad usage.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use serve::bench_serve::{
+    check_report, pinned_connections, pinned_requests, run_bench_serve, ServeBenchOptions,
+};
+
+fn usage(to_stdout: bool) {
+    let text = "usage: bench-serve [options]\n\
+         \n\
+         options:\n\
+         \x20 --requests <n>     requests per front end (default 2000)\n\
+         \x20 --connections <n>  concurrent client connections (default 8)\n\
+         \x20 --out <f>          write the JSON report atomically to <f>\n\
+         \x20 --check <f>        re-run at <f>'s scale and fail on any\n\
+         \x20                    deterministic-counter drift (timings never\n\
+         \x20                    gate exactly; the event front end must only\n\
+         \x20                    not be slower than the baseline)\n";
+    if to_stdout {
+        print!("{text}");
+    } else {
+        eprint!("{text}");
+    }
+}
+
+struct Args {
+    opts: ServeBenchOptions,
+    scale_overridden: bool,
+    out: Option<PathBuf>,
+    check: Option<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut parsed = Args {
+        opts: ServeBenchOptions::default(),
+        scale_overridden: false,
+        out: None,
+        check: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let mut value = |flag: &str| -> Result<String, String> {
+            i += 1;
+            args.get(i).cloned().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--requests" => {
+                let v = value("--requests")?;
+                let n: u64 = v.parse().map_err(|_| format!("bad --requests value: {v}"))?;
+                if n == 0 {
+                    return Err("--requests must be at least 1".to_string());
+                }
+                parsed.opts.requests = n;
+                parsed.scale_overridden = true;
+            }
+            "--connections" => {
+                let v = value("--connections")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --connections value: {v}"))?;
+                if n == 0 {
+                    return Err("--connections must be at least 1".to_string());
+                }
+                parsed.opts.connections = n;
+                parsed.scale_overridden = true;
+            }
+            "--out" => parsed.out = Some(PathBuf::from(value("--out")?)),
+            "--check" => parsed.check = Some(PathBuf::from(value("--check")?)),
+            other => return Err(format!("unknown flag: {other}")),
+        }
+        i += 1;
+    }
+    Ok(parsed)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage(true);
+        return ExitCode::SUCCESS;
+    }
+    let mut parsed = match parse_args(&args) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("bench-serve: {msg}");
+            eprintln!();
+            usage(false);
+            return ExitCode::from(2);
+        }
+    };
+    let pinned = match &parsed.check {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => {
+                if !parsed.scale_overridden {
+                    match (pinned_requests(&text), pinned_connections(&text)) {
+                        (Ok(r), Ok(c)) => {
+                            parsed.opts.requests = r;
+                            parsed.opts.connections = c;
+                        }
+                        (Err(msg), _) | (_, Err(msg)) => {
+                            eprintln!("bench-serve: {}: {msg}", path.display());
+                            return ExitCode::from(2);
+                        }
+                    }
+                }
+                Some(text)
+            }
+            Err(e) => {
+                eprintln!("bench-serve: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+    let report = match run_bench_serve(&parsed.opts) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("bench-serve: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.render_text());
+    if let Some(path) = &parsed.out {
+        if let Err(e) = spectrebench::atomic_write(path, report.render_json().as_bytes()) {
+            eprintln!("bench-serve: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("bench-serve: report written to {}", path.display());
+    }
+    let mut failed = false;
+    if let Some(pinned) = pinned {
+        match check_report(&pinned, &report) {
+            Ok(drifts) if drifts.is_empty() => {
+                eprintln!("bench-serve: wire counters match the pinned report");
+            }
+            Ok(drifts) => {
+                for d in &drifts {
+                    eprintln!("bench-serve: DRIFT: {d}");
+                }
+                failed = true;
+            }
+            Err(msg) => {
+                eprintln!("bench-serve: {msg}");
+                failed = true;
+            }
+        }
+        if report.speedup() < 1.0 {
+            eprintln!(
+                "bench-serve: keep-alive front end is SLOWER than the close baseline ({:.2}x)",
+                report.speedup()
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

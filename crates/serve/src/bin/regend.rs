@@ -35,6 +35,8 @@ fn usage(to_stdout: bool) {
          \x20 --retries <n>       attempts per measurement cell (default 3)\n\
          \x20 --deadline-ms <n>   default per-request deadline; expired requests\n\
          \x20                     answer 504 (clients can set ?deadline_ms=)\n\
+         \x20 --idle-timeout-ms <n>  reap keep-alive connections that make no\n\
+         \x20                     progress for this long (default 30000)\n\
          \x20 --journal <log>     journal completed cells to <log> (also reused\n\
          \x20                     on startup, like regen --resume)\n\
          \x20 --inject <spec>     deterministic fault plan (same syntax as\n\
@@ -94,6 +96,15 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
                 let ms: u64 = v.parse().map_err(|_| format!("bad --deadline-ms value: {v}"))?;
                 cfg.default_deadline = Some(Duration::from_millis(ms));
             }
+            "--idle-timeout-ms" => {
+                let v = value("--idle-timeout-ms")?;
+                let ms: u64 =
+                    v.parse().map_err(|_| format!("bad --idle-timeout-ms value: {v}"))?;
+                if ms == 0 {
+                    return Err("--idle-timeout-ms must be at least 1".to_string());
+                }
+                cfg.idle_timeout = Duration::from_millis(ms);
+            }
             "--journal" => cfg.journal = Some(value("--journal")?.into()),
             "--inject" => {
                 let spec = value("--inject")?;
@@ -143,10 +154,20 @@ fn main() -> ExitCode {
     };
     install_sigterm_hook();
     eprintln!("regend: listening on http://{}/ (SIGTERM to drain)", server.local_addr());
-    let summary = server.run();
+    let summary = match server.run() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("regend: event loop failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
     eprintln!(
         "regend: drained: {} request(s) served, {} admitted, {} rejected with 429",
         summary.served, summary.admitted, summary.rejected
+    );
+    eprintln!(
+        "regend: connections: {} accepted, {} disconnects, {} idle timeouts",
+        summary.connections, summary.disconnects, summary.idle_timeouts
     );
     let s = &summary.stats;
     eprintln!(

@@ -1,14 +1,24 @@
-//! A minimal, hand-rolled HTTP/1.1 layer.
+//! A minimal, hand-rolled HTTP/1.1 layer with keep-alive and
+//! pipelining.
 //!
-//! `regend` speaks just enough HTTP for its read-only query surface:
-//! request-line + headers in, fixed-length `Connection: close` response
-//! out. No chunked encoding, no keep-alive, no TLS — the repo's
-//! dependency policy (hand-rolled JSON/CRC32/RNG, no external crates)
-//! extends to the wire. Limits are enforced while parsing so a
-//! malformed or hostile peer costs a bounded amount of memory and one
-//! worker's read timeout, never the process.
+//! `regend` speaks just enough HTTP for its read-only query surface.
+//! The parser is *incremental*: [`RequestParser`] is fed raw bytes in
+//! whatever fragments the socket produces and yields complete
+//! [`Request`]s — one per call — exactly as if the stream had arrived
+//! in one piece. That is what lets the event-driven server
+//! (`serve::server`) run thousands of keep-alive connections without a
+//! thread per socket, and what makes pipelined bursts (several requests
+//! back-to-back in one segment) parse identically to byte-dribbled
+//! ones; `crates/serve/tests/http_parser.rs` pins that equivalence
+//! property.
+//!
+//! No chunked encoding, no TLS — the repo's dependency policy
+//! (hand-rolled JSON/CRC32/RNG, no external crates) extends to the
+//! wire. Limits are enforced *while buffering*, so a malformed or
+//! hostile peer costs a bounded amount of memory, never the process.
 
 use std::io::{BufRead, Write};
+use std::sync::Arc;
 
 /// Upper bound on one header line (request line included).
 const MAX_LINE: usize = 8 * 1024;
@@ -47,6 +57,10 @@ pub struct Request {
     pub query: Vec<(String, String)>,
     /// `(lowercased-name, value)` pairs, in order.
     pub headers: Vec<(String, String)>,
+    /// Whether the connection may serve another request after this one:
+    /// HTTP/1.1 unless `Connection: close`, HTTP/1.0 only with
+    /// `Connection: keep-alive`.
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -61,104 +75,288 @@ impl Request {
         self.headers.iter().find(|(k, _)| *k == name).map(|(_, v)| v.as_str())
     }
 
-    /// Reads and parses one request from `reader`. Any declared body is
-    /// read and discarded (bounded) so the connection is left clean.
+    /// Reads and parses one request from `reader`, blocking. Any
+    /// declared body is read and discarded (bounded) so the connection
+    /// is left positioned at the next request — the same incremental
+    /// parser drives this, one byte at a time, so the blocking and
+    /// nonblocking paths cannot disagree.
     pub fn parse(reader: &mut impl BufRead) -> Result<Request, HttpError> {
-        let line = read_line(reader)?;
-        let mut parts = line.split(' ');
-        let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
-            (Some(m), Some(t), Some(v)) if parts.next().is_none() && !m.is_empty() => {
-                (m.to_string(), t.to_string(), v)
-            }
-            _ => return Err(HttpError::Malformed(format!("bad request line: {line:?}"))),
-        };
-        if !version.starts_with("HTTP/1.") {
-            return Err(HttpError::Malformed(format!("unsupported version: {version:?}")));
-        }
-        let mut headers = Vec::new();
+        let mut parser = RequestParser::new();
         loop {
-            let line = read_line(reader)?;
-            if line.is_empty() {
-                break;
+            if let Some(r) = parser.next_request()? {
+                return Ok(r);
             }
-            if headers.len() >= MAX_HEADERS {
-                return Err(HttpError::Malformed("too many headers".to_string()));
-            }
-            let (name, value) = line
-                .split_once(':')
-                .ok_or_else(|| HttpError::Malformed(format!("bad header line: {line:?}")))?;
-            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
-        }
-        let request = {
-            let (raw_path, raw_query) = match target.split_once('?') {
-                Some((p, q)) => (p, q),
-                None => (target.as_str(), ""),
-            };
-            Request {
-                method,
-                path: percent_decode(raw_path),
-                query: parse_query(raw_query),
-                headers,
-            }
-        };
-        // Discard any body so a follow-up write doesn't race unread
-        // input; regend's endpoints carry no request payload.
-        if let Some(len) = request.header("content-length").and_then(|v| v.parse::<u64>().ok()) {
-            if len > MAX_BODY {
-                return Err(HttpError::Malformed("request body too large".to_string()));
-            }
-            let mut remaining = len as usize;
-            let mut sink = [0u8; 512];
-            while remaining > 0 {
-                let chunk = sink.len().min(remaining);
-                match std::io::Read::read(reader, &mut sink[..chunk]) {
-                    Ok(0) => break,
-                    Ok(n) => remaining -= n,
-                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                    Err(e) => return Err(HttpError::Io(e)),
+            let mut byte = [0u8; 1];
+            match std::io::Read::read(reader, &mut byte) {
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(HttpError::Io(e)),
+                Ok(0) => {
+                    if parser.is_empty() {
+                        return Err(HttpError::Io(std::io::Error::new(
+                            std::io::ErrorKind::UnexpectedEof,
+                            "connection closed before a full request line",
+                        )));
+                    }
+                    return match parser.finish_eof()? {
+                        Some(r) => Ok(r),
+                        None => Err(HttpError::Io(std::io::Error::new(
+                            std::io::ErrorKind::UnexpectedEof,
+                            "connection closed before a full request line",
+                        ))),
+                    };
                 }
+                Ok(_) => parser.push(&byte),
             }
         }
-        Ok(request)
     }
 }
 
-/// Reads one CRLF (or LF) terminated line, enforcing [`MAX_LINE`].
-fn read_line(reader: &mut impl BufRead) -> Result<String, HttpError> {
-    let mut buf = Vec::new();
-    let mut byte = [0u8; 1];
-    loop {
-        match std::io::Read::read(reader, &mut byte) {
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Ok(0) => {
-                if buf.is_empty() {
-                    return Err(HttpError::Io(std::io::Error::new(
-                        std::io::ErrorKind::UnexpectedEof,
-                        "connection closed before a full request line",
-                    )));
-                }
-                break;
+/// Incremental HTTP/1.1 request parser: feed bytes with
+/// [`RequestParser::push`], harvest complete requests with
+/// [`RequestParser::next_request`]. Tolerates arbitrary fragmentation
+/// (including CRLF split across reads) and pipelined back-to-back
+/// requests; enforces the same limits as the original blocking parser
+/// *while buffering*, so memory stays bounded even when no request ever
+/// completes. A malformed head is a sticky error: every later call
+/// reports it again, and the connection should answer 400 and close.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    /// First unconsumed byte.
+    start: usize,
+    /// How far the head scan has advanced (absolute index).
+    scanned: usize,
+    /// Where the head line currently being scanned begins.
+    line_start: usize,
+    /// Completed head lines so far (0 = still in the request line).
+    lines: usize,
+    /// A parsed head waiting for its body bytes to be discarded.
+    pending_body: Option<(Request, u64)>,
+    /// Sticky malformed-head error.
+    error: Option<String>,
+}
+
+impl RequestParser {
+    /// A fresh parser.
+    pub fn new() -> RequestParser {
+        RequestParser::default()
+    }
+
+    /// Appends raw bytes from the socket.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// True when the parser holds no partial request at all.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.buf.len() && self.pending_body.is_none()
+    }
+
+    /// Bytes buffered but not yet consumed (partial request data).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    fn fail(&mut self, msg: String) -> HttpError {
+        self.error = Some(msg.clone());
+        HttpError::Malformed(msg)
+    }
+
+    /// Reclaims consumed prefix space once it dominates the buffer.
+    fn compact(&mut self) {
+        if self.start == self.buf.len() {
+            self.buf.clear();
+        } else if self.start > 8 * 1024 {
+            self.buf.drain(..self.start);
+        } else {
+            return;
+        }
+        self.scanned -= self.start;
+        self.line_start -= self.start;
+        self.start = 0;
+    }
+
+    /// Parses the next complete request out of the buffered bytes.
+    /// `Ok(None)` means more bytes are needed; a `Malformed` error is
+    /// sticky and terminal for the connection.
+    pub fn next_request(&mut self) -> Result<Option<Request>, HttpError> {
+        if let Some(msg) = &self.error {
+            return Err(HttpError::Malformed(msg.clone()));
+        }
+        // Discard a declared body so a pipelined follow-up request
+        // doesn't get misread as payload.
+        if let Some((_, remaining)) = &mut self.pending_body {
+            let avail = (self.buf.len() - self.start) as u64;
+            let take = avail.min(*remaining);
+            self.start += take as usize;
+            // Keep the head-scan cursors in step with the consumed
+            // prefix; the next head starts scanning at `start`.
+            self.scanned = self.start;
+            self.line_start = self.start;
+            *remaining -= take;
+            if *remaining > 0 {
+                self.compact();
+                return Ok(None);
             }
-            Ok(_) => {
-                if byte[0] == b'\n' {
-                    break;
+            let (request, _) = self.pending_body.take().expect("pending body");
+            self.compact();
+            return Ok(Some(request));
+        }
+        while self.scanned < self.buf.len() {
+            if self.buf[self.scanned] == b'\n' {
+                let mut line_end = self.scanned;
+                if line_end > self.line_start && self.buf[line_end - 1] == b'\r' {
+                    line_end -= 1;
                 }
-                buf.push(byte[0]);
-                if buf.len() > MAX_LINE {
-                    return Err(HttpError::Malformed("header line too long".to_string()));
+                let empty = line_end == self.line_start;
+                self.lines += 1;
+                // An empty line terminates the head. (An empty *first*
+                // line parses as an empty request line and is rejected
+                // below, matching the blocking parser of PR 5.)
+                if empty {
+                    let head_end = self.scanned + 1;
+                    let head = self.buf[self.start..head_end].to_vec();
+                    self.start = head_end;
+                    self.scanned = head_end;
+                    self.line_start = head_end;
+                    self.lines = 0;
+                    let (request, body_len) =
+                        parse_head(&head).map_err(|m| self.fail(m))?;
+                    if body_len > MAX_BODY {
+                        return Err(self.fail("request body too large".to_string()));
+                    }
+                    if body_len > 0 {
+                        self.pending_body = Some((request, body_len));
+                        return self.next_request();
+                    }
+                    self.compact();
+                    return Ok(Some(request));
                 }
+                // Reject a 65th header even before the head completes,
+                // so an endless header stream cannot buffer unboundedly.
+                if self.lines >= MAX_HEADERS + 2 {
+                    return Err(self.fail("too many headers".to_string()));
+                }
+                self.scanned += 1;
+                self.line_start = self.scanned;
+                continue;
             }
-            Err(e) => return Err(HttpError::Io(e)),
+            self.scanned += 1;
+            if self.scanned - self.line_start > MAX_LINE {
+                return Err(self.fail("header line too long".to_string()));
+            }
+        }
+        Ok(None)
+    }
+
+    /// The peer closed its write side. Mirrors the blocking parser's
+    /// EOF behaviour: a truncated body yields the request anyway (the
+    /// body is discarded either way); a head whose final newline never
+    /// arrived is given one implied newline, which completes requests
+    /// like `...\r\n\r` + EOF and otherwise reports the truncation.
+    pub fn finish_eof(&mut self) -> Result<Option<Request>, HttpError> {
+        if let Some((request, _)) = self.pending_body.take() {
+            return Ok(Some(request));
+        }
+        self.push(b"\n");
+        match self.next_request()? {
+            Some(r) => Ok(Some(r)),
+            None => Ok(self.pending_body.take().map(|(r, _)| r)),
         }
     }
-    if buf.last() == Some(&b'\r') {
-        buf.pop();
+}
+
+/// Parses one complete head (`request line .. blank line`, newline
+/// included). Returns the request plus its declared body length. Error
+/// strings match the PR 5 blocking parser exactly, so rejection is
+/// byte-identical no matter how the head was fragmented.
+fn parse_head(head: &[u8]) -> Result<(Request, u64), String> {
+    let text =
+        std::str::from_utf8(head).map_err(|_| "non-UTF-8 header".to_string())?;
+    let mut lines = text.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+    let line = lines.next().unwrap_or("");
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if parts.next().is_none() && !m.is_empty() => {
+            (m.to_string(), t.to_string(), v)
+        }
+        _ => return Err(format!("bad request line: {line:?}")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported version: {version:?}"));
     }
-    String::from_utf8(buf).map_err(|_| HttpError::Malformed("non-UTF-8 header".to_string()))
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err("too many headers".to_string());
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| format!("bad header line: {line:?}"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    // Strict percent-encoding: every '%' in the target must introduce a
+    // valid two-digit escape. (A lenient decode here would make two
+    // differently-fragmented copies of a hostile target decode to the
+    // same path only by accident.)
+    if !percent_escapes_valid(&target) {
+        return Err(format!("bad percent-encoding in target: {target:?}"));
+    }
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target.as_str(), ""),
+    };
+    let connection = headers
+        .iter()
+        .find(|(k, _)| k == "connection")
+        .map(|(_, v)| v.as_str())
+        .unwrap_or("");
+    let keep_alive = if version == "HTTP/1.0" {
+        connection.eq_ignore_ascii_case("keep-alive")
+    } else {
+        !connection.eq_ignore_ascii_case("close")
+    };
+    let body_len = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse::<u64>().ok())
+        .unwrap_or(0);
+    let request = Request {
+        method,
+        path: percent_decode(raw_path),
+        query: parse_query(raw_query),
+        headers,
+        keep_alive,
+    };
+    Ok((request, body_len))
+}
+
+/// True when every `%` in `s` is followed by two hex digits.
+fn percent_escapes_valid(s: &str) -> bool {
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let ok = bytes
+                .get(i + 1..i + 3)
+                .is_some_and(|h| h.iter().all(u8::is_ascii_hexdigit));
+            if !ok {
+                return false;
+            }
+            i += 3;
+        } else {
+            i += 1;
+        }
+    }
+    true
 }
 
 /// Decodes `%XX` escapes (and `+` as space); malformed escapes pass
-/// through literally.
+/// through literally (request targets are pre-validated, but this is
+/// also used on journal-shaped keys that may contain literal `%`).
 pub fn percent_decode(s: &str) -> String {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
@@ -218,7 +416,9 @@ fn parse_query(q: &str) -> Vec<(String, String)> {
         .collect()
 }
 
-/// One response, written with `Content-Length` and `Connection: close`.
+/// One response. Bodies are either owned strings (small, built per
+/// request) or shared pre-rendered bytes served zero-copy out of the
+/// artifact cache.
 #[derive(Debug, Clone)]
 pub struct Response {
     /// HTTP status code.
@@ -228,18 +428,71 @@ pub struct Response {
     /// Extra headers, e.g. `Retry-After`.
     pub extra_headers: Vec<(String, String)>,
     /// The body.
-    pub body: String,
+    pub body: Body,
+}
+
+/// A response body: owned text, or a shared pre-rendered buffer.
+#[derive(Debug, Clone)]
+pub enum Body {
+    /// Owned text, serialized into the head buffer.
+    Text(String),
+    /// Shared bytes (the rendered-artifact cache); the connection
+    /// writes straight from this buffer without copying it.
+    Shared(Arc<[u8]>),
+}
+
+impl Body {
+    /// Body length in bytes.
+    pub fn len(&self) -> usize {
+        match self {
+            Body::Text(s) => s.len(),
+            Body::Shared(b) => b.len(),
+        }
+    }
+
+    /// True when the body has no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The body bytes as a slice.
+    pub fn as_bytes(&self) -> &[u8] {
+        match self {
+            Body::Text(s) => s.as_bytes(),
+            Body::Shared(b) => b,
+        }
+    }
 }
 
 impl Response {
     /// A `text/plain` response.
     pub fn text(status: u16, body: impl Into<String>) -> Response {
-        Response { status, content_type: "text/plain; charset=utf-8", extra_headers: Vec::new(), body: body.into() }
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            extra_headers: Vec::new(),
+            body: Body::Text(body.into()),
+        }
     }
 
     /// An `application/json` response.
     pub fn json(status: u16, body: impl Into<String>) -> Response {
-        Response { status, content_type: "application/json", extra_headers: Vec::new(), body: body.into() }
+        Response {
+            status,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body: Body::Text(body.into()),
+        }
+    }
+
+    /// A `text/plain` response over shared pre-rendered bytes.
+    pub fn shared(status: u16, body: Arc<[u8]>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            extra_headers: Vec::new(),
+            body: Body::Shared(body),
+        }
     }
 
     /// Adds a header.
@@ -248,20 +501,29 @@ impl Response {
         self
     }
 
-    /// Serializes status line, headers, and body to `w`.
-    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+    /// Serializes the status line and headers with the requested
+    /// connection framing. The body is *not* included — callers either
+    /// append it (owned) or write it zero-copy from its shared buffer.
+    pub fn render_head(&self, keep_alive: bool) -> Vec<u8> {
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             status_reason(self.status),
             self.content_type,
-            self.body.len()
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
         );
         for (name, value) in &self.extra_headers {
             head.push_str(&format!("{name}: {value}\r\n"));
         }
         head.push_str("\r\n");
-        w.write_all(head.as_bytes())?;
+        head.into_bytes()
+    }
+
+    /// Serializes status line, headers, and body to `w` with
+    /// `Connection: close` framing (the blocking, one-request path).
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        w.write_all(&self.render_head(false))?;
         w.write_all(self.body.as_bytes())?;
         w.flush()
     }
@@ -301,6 +563,17 @@ mod tests {
         assert_eq!(r.query_param("quick"), Some("1"));
         assert_eq!(r.header("host"), Some("x"));
         assert_eq!(r.header("HOST"), Some("x"));
+        assert!(r.keep_alive, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn connection_framing_follows_version_and_header() {
+        assert!(!parse_str("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap().keep_alive);
+        assert!(!parse_str("GET / HTTP/1.0\r\n\r\n").unwrap().keep_alive);
+        assert!(parse_str("GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n")
+            .unwrap()
+            .keep_alive);
+        assert!(parse_str("GET / HTTP/1.1\r\nConnection: CLOSE\r\n\r\n").is_ok_and(|r| !r.keep_alive));
     }
 
     #[test]
@@ -322,6 +595,60 @@ mod tests {
     }
 
     #[test]
+    fn rejects_bad_percent_escapes_in_the_target() {
+        let err = parse_str("GET /artifact/%zz HTTP/1.1\r\n\r\n").unwrap_err();
+        assert!(matches!(&err, HttpError::Malformed(m) if m.contains("percent-encoding")), "{err}");
+        let err = parse_str("GET /x% HTTP/1.1\r\n\r\n").unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(_)));
+        // Valid escapes still decode.
+        assert_eq!(parse_str("GET /a%20b HTTP/1.1\r\n\r\n").unwrap().path, "/a b");
+    }
+
+    #[test]
+    fn incremental_parser_handles_fragmentation_and_pipelining() {
+        let wire = b"GET /healthz HTTP/1.1\r\nHost: a\r\n\r\nGET /metrics HTTP/1.1\r\n\r\n";
+        // One byte at a time...
+        let mut p = RequestParser::new();
+        let mut got = Vec::new();
+        for b in wire.iter() {
+            p.push(std::slice::from_ref(b));
+            while let Some(r) = p.next_request().unwrap() {
+                got.push(r.path.clone());
+            }
+        }
+        assert_eq!(got, ["/healthz", "/metrics"]);
+        assert!(p.is_empty());
+        // ...and the whole burst at once parse identically.
+        let mut p = RequestParser::new();
+        p.push(wire);
+        assert_eq!(p.next_request().unwrap().unwrap().path, "/healthz");
+        assert_eq!(p.next_request().unwrap().unwrap().path, "/metrics");
+        assert!(p.next_request().unwrap().is_none());
+    }
+
+    #[test]
+    fn split_crlf_across_fragments_parses() {
+        let mut p = RequestParser::new();
+        p.push(b"GET / HTTP/1.1\r");
+        assert!(p.next_request().unwrap().is_none());
+        p.push(b"\nHost: x\r\n\r");
+        assert!(p.next_request().unwrap().is_none());
+        p.push(b"\n");
+        let r = p.next_request().unwrap().unwrap();
+        assert_eq!(r.path, "/");
+        assert_eq!(r.header("host"), Some("x"));
+    }
+
+    #[test]
+    fn malformed_heads_are_sticky() {
+        let mut p = RequestParser::new();
+        p.push(b"NONSENSE\r\n\r\n");
+        assert!(matches!(p.next_request(), Err(HttpError::Malformed(_))));
+        p.push(b"GET / HTTP/1.1\r\n\r\n");
+        assert!(matches!(p.next_request(), Err(HttpError::Malformed(_))));
+    }
+
+    #[test]
     fn response_serializes_with_content_length_and_extra_headers() {
         let mut out = Vec::new();
         Response::text(429, "queue full\n")
@@ -337,6 +664,19 @@ mod tests {
     }
 
     #[test]
+    fn keep_alive_framing_only_changes_the_connection_header() {
+        let resp = Response::text(200, "hi\n");
+        let ka = String::from_utf8(resp.render_head(true)).unwrap();
+        let cl = String::from_utf8(resp.render_head(false)).unwrap();
+        assert!(ka.contains("Connection: keep-alive\r\n"));
+        assert!(cl.contains("Connection: close\r\n"));
+        assert_eq!(
+            ka.replace("Connection: keep-alive", "Connection: close"),
+            cl
+        );
+    }
+
+    #[test]
     fn discards_declared_bodies() {
         let mut reader =
             BufReader::new(&b"POST /shutdown HTTP/1.1\r\nContent-Length: 5\r\n\r\nhelloGARBAGE"[..]);
@@ -346,5 +686,13 @@ mod tests {
         let mut rest = String::new();
         std::io::Read::read_to_string(&mut reader, &mut rest).unwrap();
         assert_eq!(rest, "GARBAGE");
+    }
+
+    #[test]
+    fn pipelined_request_after_a_body_is_not_eaten() {
+        let mut p = RequestParser::new();
+        p.push(b"POST /shutdown HTTP/1.1\r\nContent-Length: 5\r\n\r\nhelloGET /healthz HTTP/1.1\r\n\r\n");
+        assert_eq!(p.next_request().unwrap().unwrap().method, "POST");
+        assert_eq!(p.next_request().unwrap().unwrap().path, "/healthz");
     }
 }

@@ -9,20 +9,37 @@
 //! for a full-fidelity server, to the committed
 //! `results_regenerated.txt`).
 //!
-//! * [`http`] — a minimal hand-rolled HTTP/1.1 layer (the repo's
+//! * [`http`] — a minimal hand-rolled HTTP/1.1 layer with an
+//!   incremental, fragmentation-tolerant parser (the repo's
 //!   no-external-crates policy extends to the wire).
-//! * [`server`] — admission control (bounded queue, 429 +
-//!   `Retry-After`), a fixed worker pool, single-flight coalescing of
-//!   concurrent identical queries, per-request deadlines, the
-//!   `/metrics` exposition, and graceful drain on SIGTERM.
+//! * [`sys`] — raw `epoll(7)`/`eventfd(2)` shims, no libc crate.
+//! * [`core`] — routing, validation, the three deduplication layers
+//!   (rendered cache, single-flight, executor cell cache), and run
+//!   counters, shared by both front ends below.
+//! * [`server`] — the event-driven front end: one epoll readiness
+//!   loop, HTTP/1.1 keep-alive with pipelining, zero-copy cache hits,
+//!   bounded dispatch to a worker pool (429 + `Retry-After` when
+//!   full), per-request deadlines, idle/stall reaping, the `/metrics`
+//!   exposition, graceful drain on SIGTERM.
+//! * [`baseline`] — the frozen PR 5 thread-per-connection,
+//!   `Connection: close` acceptor, kept as the in-tree reference that
+//!   `bench-serve` measures the event loop against.
+//! * [`bench_serve`] — the `bench-serve` binary's engine: pushes an
+//!   identical workload through both front ends and pins the
+//!   deterministic wire counters in `BENCH_serve.json`.
 //!
 //! [`Executor`]: spectrebench::Executor
 
+pub mod baseline;
+pub mod bench_serve;
+pub mod core;
 pub mod http;
 pub mod server;
+pub mod sys;
 
-pub use http::{percent_decode, percent_encode_path, Request, Response};
-pub use server::{
-    experiment_artifact, install_sigterm_hook, Rendered, RunSummary, Server, ServerConfig,
-    ServerHandle,
+pub use baseline::{BaselineHandle, BaselineServer};
+pub use core::{
+    experiment_artifact, Rendered, RunSummary, ServerConfig, SlowWork,
 };
+pub use http::{percent_decode, percent_encode_path, Body, Request, RequestParser, Response};
+pub use server::{install_sigterm_hook, Server, ServerHandle};

@@ -1,195 +1,65 @@
-//! The `regend` server: admission control, dispatch, and drain.
+//! The event-driven `regend` front end: one epoll readiness loop,
+//! keep-alive connections, pipelined requests, zero-copy cache hits.
 //!
 //! ```text
-//!            accept            bounded queue             worker pool
-//!  clients ────────▶ acceptor ───────────────▶ workers ─────────────▶ responses
-//!                      │  full? 429 + Retry-After │
-//!                      ▼                          ▼
-//!               RequestRejected          rendered-artifact cache
-//!                                          │ miss
-//!                                          ▼
-//!                                   single-flight group
-//!                                          │ leader only
-//!                                          ▼
-//!                             shared Executor (plan → schedule →
-//!                             content-addressed cell cache)
+//!                       ┌────────────── readiness loop ──────────────┐
+//!  clients ── accept ──▶│ epoll_wait ─▶ read ─▶ incremental parser   │
+//!   (keep-alive,        │     ▲                  │ requests          │
+//!    pipelined)         │     │        fast path │     slow path     │
+//!                       │     │    (cache hits,  ▼         ▼         │
+//!                       │     │     /metrics) response   bounded     │
+//!                       │     │         slots ◀─────┐   dispatch q   │
+//!                       │     │           │          │ full? 429     │
+//!                       │  wakeup fd      ▼          │     │         │
+//!                       └─────┼─── ordered flush ◀───┼─────┼─────────┘
+//!                             │                      ▼     ▼
+//!                         completions ◀── worker pool (Core::execute:
+//!                                          single-flight ▸ Executor)
 //! ```
 //!
-//! Three layers of deduplication keep a hot server cheap:
+//! The PR 5 server spent a TCP handshake and a dedicated thread on
+//! every request. Here one thread owns every socket through raw
+//! `epoll` syscalls ([`crate::sys`]); each connection is a small state
+//! machine — an incremental [`RequestParser`], an ordered queue of
+//! response *slots*, and a write cursor. Requests that only need a
+//! `HashMap` probe (rendered-cache hits, `/healthz`, `/metrics`) are
+//! answered on the loop thread, bodies written zero-copy from shared
+//! `Arc<[u8]>` buffers. Cold work is classified by [`Core::route`]
+//! into [`SlowWork`], admission-checked against the bounded dispatch
+//! queue (full ⇒ immediate 429 + `Retry-After`), and executed on the
+//! worker pool; completions come back over a mutex queue plus an
+//! `eventfd` wakeup, and are flushed strictly in request order so
+//! pipelined clients see HTTP/1.1 ordering.
 //!
-//! 1. the **rendered-artifact cache** answers repeat queries from
-//!    memory (byte-identical to the first rendering, which the golden
-//!    pin ties to `results_regenerated.txt`);
-//! 2. the **single-flight group** coalesces concurrent queries for the
-//!    same artifact onto one computation — the leader executes the
-//!    experiment's `ExperimentPlan`s once for the whole batch of
-//!    waiting requests;
-//! 3. the shared **executor cache** deduplicates overlapping *cells*
-//!    across different artifacts (Figure 2's anchors serve the
-//!    ablations, etc.), exactly as in a CLI sweep.
-//!
-//! Backpressure is explicit: a full admission queue answers 429 with
-//! `Retry-After` immediately instead of queueing unboundedly or
-//! dropping the connection. Per-request deadlines (`?deadline_ms=` or
-//! the server default) are checked at dispatch and again before the
-//! response is written; the computation itself is bounded by the
-//! harness watchdog, so every request has the end-to-end bound
-//! `queue wait + attempts x wall_deadline`.
-//!
-//! Drain is graceful: SIGTERM (or `POST /shutdown`, or
-//! [`ServerHandle::drain`]) stops the acceptor, lets the workers finish
-//! everything already admitted, then returns from [`Server::run`].
-
-// regend serves results; a request must never take down the process.
-#![allow(clippy::result_large_err)]
+//! Hygiene: a connection that stops making progress — half a request
+//! then silence, or a reader that never drains its responses — is
+//! reaped at `idle_timeout` without touching any other connection; a
+//! peer that vanishes mid-response is counted in
+//! `regend_disconnects_total` and its slot freed immediately. Drain
+//! (SIGTERM, `POST /shutdown`, [`ServerHandle::drain`]) closes the
+//! listener, finishes every admitted request, flushes, and returns
+//! from [`Server::run`] with the run's counters.
 
 use std::collections::{HashMap, VecDeque};
-use std::io::BufReader;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use bench::{render_artifact_block, Artifact, ArtifactResult};
-use spectrebench::obs::metrics::prometheus_text;
 use spectrebench::obs::EventKind;
-use spectrebench::{
-    cell_value_json, default_jobs, EventBus, Executor, FaultPlan, FlightOutcome, Harness,
-    HarnessStats, Journal, RetryPolicy, SingleFlight,
-};
 
-use crate::http::{percent_encode_path, HttpError, Request, Response};
+use crate::core::{deadline_expired, lock, Action, Core, RunSummary, ServerConfig, SlowWork};
+use crate::http::{Body, HttpError, Request, RequestParser, Response};
+use crate::sys::{Epoll, EpollEvent, WakeFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
-}
-
-/// Configuration for one [`Server`].
-#[derive(Debug, Clone)]
-pub struct ServerConfig {
-    /// Bind address, e.g. `127.0.0.1:7979` (port 0 for tests).
-    pub addr: String,
-    /// Worker threads serving parsed requests.
-    pub workers: usize,
-    /// Admission-queue capacity; a full queue answers 429.
-    pub queue_capacity: usize,
-    /// Serve the quick workload variants (tests; the golden renderings
-    /// are the full variants).
-    pub quick: bool,
-    /// Executor worker threads per plan (`None`: `REGEN_JOBS` / machine
-    /// default).
-    pub jobs: Option<usize>,
-    /// Attempts per measurement cell (`None`: the standard 3).
-    pub retries: Option<u32>,
-    /// Deterministic fault injection on the backing executor (tests).
-    pub inject: Option<FaultPlan>,
-    /// Journal completed cells here (also the target of injected
-    /// torn-write/journal-corrupt I/O faults).
-    pub journal: Option<std::path::PathBuf>,
-    /// Default per-request deadline; `None` means no deadline unless
-    /// the request carries `?deadline_ms=`.
-    pub default_deadline: Option<Duration>,
-    /// Socket read/write timeout, so a stalled peer costs one worker at
-    /// most this long.
-    pub io_timeout: Duration,
-}
-
-impl Default for ServerConfig {
-    fn default() -> ServerConfig {
-        ServerConfig {
-            addr: "127.0.0.1:7979".to_string(),
-            workers: 4,
-            queue_capacity: 128,
-            quick: false,
-            jobs: None,
-            retries: None,
-            inject: None,
-            journal: None,
-            default_deadline: None,
-            io_timeout: Duration::from_secs(10),
-        }
-    }
-}
-
-/// A rendered artifact held in the serving cache: the exact block the
-/// CLI prints (`== caption ==\n<text>\n`), plus its degraded flag.
-#[derive(Debug, Clone)]
-pub struct Rendered {
-    /// The response body.
-    pub body: String,
-    /// Whether any attribution slice had to be bridged.
-    pub degraded: bool,
-}
-
-/// Outcome of obtaining an artifact: the rendering or the error text.
-type ArtifactEntry = Result<Rendered, String>;
-
-/// One admitted connection waiting for a worker.
-struct Pending {
-    stream: TcpStream,
-    arrived: Instant,
-}
-
-#[derive(Default)]
-struct Queue {
-    items: VecDeque<Pending>,
-    draining: bool,
-}
-
-/// End-of-run counters, reported by `regend` at exit.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct RunSummary {
-    /// Connections admitted to the queue.
-    pub admitted: u64,
-    /// Connections rejected with 429.
-    pub rejected: u64,
-    /// Responses written (any status).
-    pub served: u64,
-    /// Executor counters at drain time.
-    pub stats: HarnessStats,
-}
-
-struct Shared {
-    cfg: ServerConfig,
-    exec: Executor,
-    bus: Arc<EventBus>,
-    flights: SingleFlight<ArtifactEntry>,
-    rendered: Mutex<HashMap<(&'static str, bool), Rendered>>,
-    queue: Mutex<Queue>,
-    cv: Condvar,
-    admitted: AtomicU64,
-    rejected: AtomicU64,
-    served: AtomicU64,
-    in_flight: AtomicU64,
-}
-
-/// The `regend` server. [`Server::bind`], then [`Server::run`] (which
-/// blocks until drained). [`Server::handle`] gives a clonable handle
-/// for triggering drain from tests or signal handlers.
-pub struct Server {
-    shared: Arc<Shared>,
-    listener: TcpListener,
-    local_addr: SocketAddr,
-}
-
-/// Clonable handle onto a running server.
-#[derive(Clone)]
-pub struct ServerHandle {
-    shared: Arc<Shared>,
-}
-
-impl ServerHandle {
-    /// Initiates graceful drain: stop accepting, serve what is queued,
-    /// then let [`Server::run`] return.
-    pub fn drain(&self) {
-        self.shared.start_drain();
-    }
-
-    /// True once drain has started.
-    pub fn is_draining(&self) -> bool {
-        lock(&self.shared.queue).draining
-    }
-}
+/// epoll token of the listening socket.
+const TOKEN_LISTENER: u64 = 0;
+/// epoll token of the wakeup eventfd.
+const TOKEN_WAKE: u64 = 1;
+/// First connection token.
+const TOKEN_CONN0: u64 = 2;
 
 // SIGTERM handling without a libc crate: libc itself is always linked
 // on the targets std supports, so declaring `signal` suffices. The
@@ -218,44 +88,235 @@ pub fn install_sigterm_hook() {
     }
 }
 
+/// One slow request handed to the worker pool.
+struct Job {
+    conn: u64,
+    slot: u64,
+    work: SlowWork,
+    path: String,
+    arrived: Instant,
+    deadline: Option<Duration>,
+}
+
+/// The bounded dispatch queue between the loop and the workers.
+struct Dispatch {
+    jobs: Mutex<(VecDeque<Job>, bool)>,
+    cv: Condvar,
+}
+
+impl Dispatch {
+    fn new() -> Dispatch {
+        Dispatch { jobs: Mutex::new((VecDeque::new(), false)), cv: Condvar::new() }
+    }
+
+    fn depth(&self) -> usize {
+        lock(&self.jobs).0.len()
+    }
+
+    fn push(&self, job: Job) {
+        lock(&self.jobs).0.push_back(job);
+        self.cv.notify_one();
+    }
+
+    fn shutdown(&self) {
+        lock(&self.jobs).1 = true;
+        self.cv.notify_all();
+    }
+}
+
+/// A finished slow job, traveling back to the loop.
+struct Completion {
+    conn: u64,
+    slot: u64,
+    response: Response,
+}
+
+/// Bookkeeping for one request occupying a response slot.
+struct SlotMeta {
+    id: u64,
+    endpoint: &'static str,
+    path: String,
+    arrived: Instant,
+    keep_alive: bool,
+    /// Admitted requests carry completion accounting (`served`,
+    /// in-flight gauge, `RequestCompleted`); 429 rejections do not,
+    /// matching the PR 5 counters.
+    counted: bool,
+}
+
+/// One response slot: pipelined requests each get a slot in arrival
+/// order, and slots flush strictly in that order.
+enum Slot {
+    /// Dispatched to the worker pool; the response is on its way.
+    Waiting(SlotMeta),
+    /// Response known, waiting its turn on the wire.
+    Ready(SlotMeta, Response),
+}
+
+impl Slot {
+    fn meta(&self) -> &SlotMeta {
+        match self {
+            Slot::Waiting(m) | Slot::Ready(m, _) => m,
+        }
+    }
+}
+
+/// The response currently being written: serialized head (plus any
+/// owned body), then an optional shared body written zero-copy.
+struct Writing {
+    meta: SlotMeta,
+    status: u16,
+    head: Vec<u8>,
+    pos: usize,
+    body: Option<Arc<[u8]>>,
+    body_pos: usize,
+}
+
+fn start_writing(meta: SlotMeta, response: Response) -> Writing {
+    let status = response.status;
+    let head = {
+        let mut head = response.render_head(meta.keep_alive);
+        if let Body::Text(s) = &response.body {
+            head.extend_from_slice(s.as_bytes());
+        }
+        head
+    };
+    let body = match response.body {
+        Body::Text(_) => None,
+        Body::Shared(b) => Some(b),
+    };
+    Writing { meta, status, head, pos: 0, body, body_pos: 0 }
+}
+
+/// Why a connection is being closed (decides the hygiene counters).
+#[derive(Clone, Copy, PartialEq)]
+enum CloseReason {
+    /// Clean close: peer finished, drain, or quiet idle reap.
+    Normal,
+    /// Peer vanished mid-request or mid-response.
+    Disconnect,
+    /// Reaped by the idle deadline while holding partial state.
+    IdleStall,
+}
+
+/// Per-connection state machine.
+struct Conn {
+    stream: TcpStream,
+    fd: i32,
+    parser: RequestParser,
+    slots: VecDeque<Slot>,
+    writing: Option<Writing>,
+    next_slot: u64,
+    /// Responses completed on this connection.
+    requests: u64,
+    last_activity: Instant,
+    close_after_flush: bool,
+    /// Peer half-closed its sending side (we may still owe responses).
+    peer_eof: bool,
+    /// Sticky parse failure: stop reading, flush the 400, close.
+    stop_reading: bool,
+    /// Interest bits currently registered with epoll.
+    registered: u32,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, fd: i32) -> Conn {
+        Conn {
+            stream,
+            fd,
+            parser: RequestParser::new(),
+            slots: VecDeque::new(),
+            writing: None,
+            next_slot: 0,
+            requests: 0,
+            last_activity: Instant::now(),
+            close_after_flush: false,
+            peer_eof: false,
+            stop_reading: false,
+            registered: EPOLLIN | EPOLLRDHUP,
+        }
+    }
+
+    fn has_waiting(&self) -> bool {
+        self.slots.iter().any(|s| matches!(s, Slot::Waiting(_)))
+    }
+
+    fn write_pending(&self) -> bool {
+        self.writing.is_some() || matches!(self.slots.front(), Some(Slot::Ready(..)))
+    }
+
+    /// Once everything owed is flushed, should this connection close —
+    /// and how should the close be classified?
+    fn finished(&self) -> Option<CloseReason> {
+        if self.writing.is_some() || !self.slots.is_empty() {
+            return None;
+        }
+        if self.close_after_flush {
+            return Some(CloseReason::Normal);
+        }
+        if self.peer_eof {
+            // EOF with half a request buffered means the peer gave up
+            // mid-send; a clean EOF between requests is a normal close.
+            return Some(if self.parser.buffered() > 0 {
+                CloseReason::Disconnect
+            } else {
+                CloseReason::Normal
+            });
+        }
+        None
+    }
+}
+
+/// Outcome of a flush attempt.
+enum FlushOutcome {
+    /// Wrote all it could; nothing pending or socket still writable.
+    Progress,
+    /// Peer gone (write error).
+    Dead,
+}
+
+/// The event-driven `regend` server. [`Server::bind`], then
+/// [`Server::run`] (which blocks until drained). [`Server::handle`]
+/// gives a clonable handle for triggering drain from tests or signal
+/// handlers.
+pub struct Server {
+    core: Arc<Core>,
+    wake: Arc<WakeFd>,
+    listener: TcpListener,
+    local_addr: SocketAddr,
+}
+
+/// Clonable handle onto a running server.
+#[derive(Clone)]
+pub struct ServerHandle {
+    core: Arc<Core>,
+    wake: Arc<WakeFd>,
+}
+
+impl ServerHandle {
+    /// Initiates graceful drain: stop accepting, finish everything
+    /// admitted, flush, then let [`Server::run`] return.
+    pub fn drain(&self) {
+        self.core.draining.store(true, Ordering::SeqCst);
+        self.wake.wake();
+    }
+
+    /// True once drain has started.
+    pub fn is_draining(&self) -> bool {
+        self.core.is_draining()
+    }
+}
+
 impl Server {
-    /// Binds the listener and builds the shared executor. No thread is
+    /// Binds the listener and builds the shared core. No thread is
     /// spawned until [`Server::run`].
     pub fn bind(cfg: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
-
-        let bus = Arc::new(EventBus::new());
-        let mut harness = Harness::new();
-        if let Some(plan) = &cfg.inject {
-            harness = harness.with_plan(plan.clone());
-        }
-        if let Some(n) = cfg.retries {
-            let mut retry = RetryPolicy::standard();
-            retry.max_attempts = n.max(1);
-            harness = harness.with_retry(retry);
-        }
-        let mut exec = Executor::new(harness)
-            .with_jobs(cfg.jobs.unwrap_or_else(default_jobs))
-            .with_obs(Arc::clone(&bus));
-        if let Some(path) = &cfg.journal {
-            exec = exec.with_journal(Journal::open(path)?);
-        }
-        let shared = Arc::new(Shared {
-            cfg,
-            exec,
-            bus,
-            flights: SingleFlight::new(),
-            rendered: Mutex::new(HashMap::new()),
-            queue: Mutex::new(Queue::default()),
-            cv: Condvar::new(),
-            admitted: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            served: AtomicU64::new(0),
-            in_flight: AtomicU64::new(0),
-        });
-        Ok(Server { shared, listener, local_addr })
+        let core = Arc::new(Core::new(cfg)?);
+        let wake = Arc::new(WakeFd::new()?);
+        Ok(Server { core, wake, listener, local_addr })
     }
 
     /// The bound address (resolves port 0).
@@ -265,449 +326,555 @@ impl Server {
 
     /// A handle for triggering drain.
     pub fn handle(&self) -> ServerHandle {
-        ServerHandle { shared: Arc::clone(&self.shared) }
+        ServerHandle { core: Arc::clone(&self.core), wake: Arc::clone(&self.wake) }
     }
 
-    /// Serves until drained (SIGTERM, `POST /shutdown`, or
-    /// [`ServerHandle::drain`]), then returns the run's counters.
+    /// Serves until drained, then returns the run's counters.
     /// Everything admitted before drain began is answered.
-    pub fn run(self) -> RunSummary {
-        let shared = &*self.shared;
+    pub fn run(self) -> std::io::Result<RunSummary> {
+        let core = &*self.core;
+        let dispatch = Dispatch::new();
+        let completions: Mutex<Vec<Completion>> = Mutex::new(Vec::new());
+        let epoll = Epoll::new()?;
+        epoll.add(self.listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
+        epoll.add(self.wake.fd(), EPOLLIN, TOKEN_WAKE)?;
         std::thread::scope(|s| {
-            for _ in 0..shared.cfg.workers.max(1) {
-                s.spawn(move || shared.worker_loop());
+            for _ in 0..core.cfg.workers.max(1) {
+                s.spawn(|| worker_loop(core, &dispatch, &completions, &self.wake));
             }
-            // The acceptor runs on the calling thread; drain unblocks
-            // it via the nonblocking accept loop.
-            shared.acceptor_loop(&self.listener);
-            // Acceptor stopped: wake every idle worker so they can
-            // observe the drain flag once the queue empties.
-            self.shared.cv.notify_all();
+            let mut event_loop = EventLoop {
+                core,
+                dispatch: &dispatch,
+                completions: &completions,
+                wake: &self.wake,
+                epoll,
+                listener: Some(&self.listener),
+                conns: HashMap::new(),
+                next_conn: TOKEN_CONN0,
+                jobs_in_flight: 0,
+            };
+            event_loop.run();
+            dispatch.shutdown();
         });
-        RunSummary {
-            admitted: shared.admitted.load(Ordering::SeqCst),
-            rejected: shared.rejected.load(Ordering::SeqCst),
-            served: shared.served.load(Ordering::SeqCst),
-            stats: shared.exec.stats(),
-        }
+        Ok(core.summary())
     }
 }
 
-impl Shared {
-    fn start_drain(&self) {
-        lock(&self.queue).draining = true;
-        self.cv.notify_all();
+/// A worker: pops slow jobs, applies the deadline policy around
+/// [`Core::execute`], posts the completion, wakes the loop.
+fn worker_loop(
+    core: &Core,
+    dispatch: &Dispatch,
+    completions: &Mutex<Vec<Completion>>,
+    wake: &WakeFd,
+) {
+    loop {
+        let job = {
+            let mut g = lock(&dispatch.jobs);
+            loop {
+                if let Some(job) = g.0.pop_front() {
+                    break Some(job);
+                }
+                if g.1 {
+                    break None;
+                }
+                g = dispatch.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let Some(job) = job else { return };
+        let response = run_job(core, &job);
+        lock(completions).push(Completion { conn: job.conn, slot: job.slot, response });
+        wake.wake();
     }
+}
 
-    fn is_draining(&self) -> bool {
-        lock(&self.queue).draining
+fn run_job(core: &Core, job: &Job) -> Response {
+    if deadline_expired(job.deadline, job.arrived) {
+        core.bus.emit("regend", &job.path, "", 0, EventKind::DeadlineExpired);
+        return Response::text(504, "regend: deadline expired in queue\n");
     }
+    let mut response = core.execute(&job.work, &job.path);
+    if deadline_expired(job.deadline, job.arrived) && response.status == 200 {
+        // Computed, but too late to promise freshness bounds: the
+        // client asked for a deadline, honor it.
+        core.bus.emit("regend", &job.path, "", 0, EventKind::DeadlineExpired);
+        response = Response::text(504, "regend: deadline expired while computing\n");
+    }
+    response
+}
 
-    /// Accepts connections until drain, applying admission control.
-    fn acceptor_loop(&self, listener: &TcpListener) {
+/// The readiness loop: owns every socket, the parser states, and the
+/// ordered response slots. Runs on the thread that called
+/// [`Server::run`].
+struct EventLoop<'a> {
+    core: &'a Core,
+    dispatch: &'a Dispatch,
+    completions: &'a Mutex<Vec<Completion>>,
+    wake: &'a WakeFd,
+    epoll: Epoll,
+    listener: Option<&'a TcpListener>,
+    conns: HashMap<u64, Conn>,
+    next_conn: u64,
+    /// Jobs pushed but whose completions the loop has not consumed.
+    jobs_in_flight: u64,
+}
+
+impl EventLoop<'_> {
+    fn run(&mut self) {
+        let mut events = [EpollEvent::default(); 64];
         loop {
             if SIGTERM.load(Ordering::SeqCst) {
-                self.start_drain();
+                self.core.draining.store(true, Ordering::SeqCst);
             }
-            if self.is_draining() {
-                return;
-            }
-            match listener.accept() {
-                Ok((stream, _peer)) => self.admit(stream),
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(10));
-                }
-                Err(_) => std::thread::sleep(Duration::from_millis(10)),
-            }
-        }
-    }
-
-    /// Admits one connection, or rejects it with 429 + `Retry-After`
-    /// when the queue is full. The rejection response is written from
-    /// the acceptor thread — it is a handful of bytes with a short
-    /// write timeout, and rejecting must not depend on a free worker.
-    fn admit(&self, mut stream: TcpStream) {
-        let arrived = Instant::now();
-        {
-            let mut q = lock(&self.queue);
-            if q.items.len() < self.cfg.queue_capacity {
-                q.items.push_back(Pending { stream, arrived });
-                let depth = q.items.len();
-                drop(q);
-                self.admitted.fetch_add(1, Ordering::SeqCst);
-                self.in_flight.fetch_add(1, Ordering::SeqCst);
-                self.bus
-                    .emit("regend", "", "", 0, EventKind::RequestReceived { queue_depth: depth });
-                self.cv.notify_one();
-                return;
-            }
-        }
-        self.rejected.fetch_add(1, Ordering::SeqCst);
-        self.bus.emit("regend", "", "", 0, EventKind::RequestRejected);
-        let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
-        let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
-        // Drain the request head before answering: closing with unread
-        // bytes in the receive buffer turns the close into an RST,
-        // which can destroy the 429 before the client reads it.
-        let mut head = [0u8; 1024];
-        let mut seen = 0usize;
-        while seen < 8 * 1024 {
-            match std::io::Read::read(&mut stream, &mut head) {
-                Ok(0) | Err(_) => break,
-                Ok(n) => {
-                    seen += n;
-                    if head[..n].windows(4).any(|w| w == b"\r\n\r\n") {
-                        break;
-                    }
+            if self.core.is_draining() {
+                self.begin_drain();
+                if self.conns.is_empty() && self.jobs_in_flight == 0 {
+                    return;
                 }
             }
-        }
-        let _ = Response::text(429, "regend: admission queue full, retry shortly\n")
-            .with_header("Retry-After", "1")
-            .write_to(&mut stream);
-    }
-
-    /// Pops admitted connections and serves them until the queue is
-    /// empty *and* drain has been requested.
-    fn worker_loop(&self) {
-        loop {
-            let pending = {
-                let mut q = lock(&self.queue);
-                loop {
-                    if let Some(p) = q.items.pop_front() {
-                        break Some(p);
-                    }
-                    if q.draining {
-                        break None;
-                    }
-                    q = self.cv.wait(q).unwrap_or_else(|e| e.into_inner());
+            let n = match self.epoll.wait(&mut events, 50) {
+                Ok(n) => n,
+                Err(_) => {
+                    // An unusable epoll fd is unrecoverable; drain so
+                    // the process exits cleanly instead of spinning.
+                    self.core.draining.store(true, Ordering::SeqCst);
+                    0
                 }
             };
-            let Some(p) = pending else { return };
-            self.serve_connection(p);
+            let mut touched: Vec<u64> = Vec::with_capacity(n);
+            for ev in events.iter().take(n) {
+                let (bits, token) = (ev.events, ev.data);
+                match token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKE => self.wake.drain(),
+                    id => {
+                        self.conn_ready(id, bits);
+                        touched.push(id);
+                    }
+                }
+            }
+            let delivered = self.deliver_completions();
+            for id in touched.into_iter().chain(delivered) {
+                self.settle(id);
+            }
+            self.sweep_idle();
         }
     }
 
-    /// Parses and answers one connection.
-    fn serve_connection(&self, p: Pending) {
-        let _ = p.stream.set_read_timeout(Some(self.cfg.io_timeout));
-        let _ = p.stream.set_write_timeout(Some(self.cfg.io_timeout));
-        let mut reader = BufReader::new(match p.stream.try_clone() {
-            Ok(s) => s,
-            Err(_) => {
-                self.finish("error", "", 499, p.arrived);
-                return;
+    /// First pass after drain is requested: stop accepting and mark
+    /// every connection close-after-flush. Idempotent.
+    fn begin_drain(&mut self) {
+        if let Some(listener) = self.listener.take() {
+            let _ = self.epoll.delete(listener.as_raw_fd());
+            for conn in self.conns.values_mut() {
+                conn.close_after_flush = true;
             }
-        });
-        let request = match Request::parse(&mut reader) {
-            Ok(r) => r,
-            Err(HttpError::Malformed(m)) => {
-                let mut stream = p.stream;
-                let _ = Response::text(400, format!("regend: {m}\n")).write_to(&mut stream);
-                self.finish("error", "", 400, p.arrived);
-                return;
+            let ids: Vec<u64> = self.conns.keys().copied().collect();
+            for id in ids {
+                self.settle(id);
             }
-            Err(HttpError::Io(_)) => {
-                // Peer died or stalled past the read timeout; nothing
-                // to write. 499 keeps the in-flight gauge honest.
-                self.finish("error", "", 499, p.arrived);
-                return;
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        let Some(listener) = self.listener else { return };
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let fd = stream.as_raw_fd();
+                    let id = self.next_conn;
+                    self.next_conn += 1;
+                    if self.epoll.add(fd, EPOLLIN | EPOLLRDHUP, id).is_err() {
+                        continue;
+                    }
+                    self.conns.insert(id, Conn::new(stream, fd));
+                    self.core.connections.fetch_add(1, Ordering::SeqCst);
+                    self.core.bus.emit("regend", "", "", 0, EventKind::ConnectionOpened);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
             }
-        };
-        let deadline = self.request_deadline(&request);
-        let (endpoint, response) = if deadline_expired(deadline, p.arrived) {
-            self.bus.emit("regend", &request.path, "", 0, EventKind::DeadlineExpired);
-            ("deadline", Response::text(504, "regend: deadline expired in queue\n"))
-        } else {
-            let (endpoint, mut response) = self.route(&request);
-            if deadline_expired(deadline, p.arrived) && response.status == 200 {
-                // Computed, but too late to promise freshness bounds:
-                // the client asked for a deadline, honor it.
-                self.bus.emit("regend", &request.path, "", 0, EventKind::DeadlineExpired);
-                response = Response::text(504, "regend: deadline expired while computing\n");
-                (endpoint, response)
+        }
+    }
+
+    /// Handles readiness on one connection: read newly arrived bytes
+    /// through the parser (admitting / rejecting / answering each
+    /// request), then push pending response bytes.
+    fn conn_ready(&mut self, id: u64, bits: u32) {
+        let Self { core, dispatch, conns, jobs_in_flight, .. } = self;
+        let Some(conn) = conns.get_mut(&id) else { return };
+        if bits & (EPOLLERR | EPOLLHUP) != 0 {
+            mark_dead(conn);
+            return;
+        }
+        if bits & (EPOLLIN | EPOLLRDHUP) != 0 && !conn.stop_reading && !conn.close_after_flush {
+            read_ready(core, dispatch, jobs_in_flight, id, conn);
+        }
+        if conn.write_pending() {
+            if let FlushOutcome::Dead = try_flush(core, conn) {
+                mark_dead(conn);
+            }
+        }
+    }
+
+    /// Consumes completed slow jobs; returns the connections touched.
+    fn deliver_completions(&mut self) -> Vec<u64> {
+        let done: Vec<Completion> = std::mem::take(&mut *lock(self.completions));
+        let mut touched = Vec::with_capacity(done.len());
+        for c in done {
+            self.jobs_in_flight -= 1;
+            let Some(conn) = self.conns.get_mut(&c.conn) else {
+                // The connection died while the job ran; its 499 was
+                // accounted at close time.
+                continue;
+            };
+            let pos = conn
+                .slots
+                .iter()
+                .position(|s| s.meta().id == c.slot && matches!(s, Slot::Waiting(_)));
+            if let Some(pos) = pos {
+                if let Some(Slot::Waiting(meta)) = conn.slots.remove(pos) {
+                    conn.slots.insert(pos, Slot::Ready(meta, c.response));
+                }
+            }
+            conn.last_activity = Instant::now();
+            if let FlushOutcome::Dead = try_flush(self.core, conn) {
+                mark_dead(conn);
+            }
+            touched.push(c.conn);
+        }
+        touched
+    }
+
+    /// Re-registers interest for one connection, or closes it if it is
+    /// finished or dead.
+    fn settle(&mut self, id: u64) {
+        let Some(conn) = self.conns.get_mut(&id) else { return };
+        if conn.stop_reading && conn.registered == u32::MAX {
+            // Marked dead by an earlier phase this iteration.
+            self.close_conn(id, CloseReason::Disconnect);
+            return;
+        }
+        if let Some(reason) = conn.finished() {
+            self.close_conn(id, reason);
+            return;
+        }
+        let mut want = EPOLLRDHUP;
+        if !conn.stop_reading && !conn.close_after_flush && !conn.peer_eof {
+            want |= EPOLLIN;
+        }
+        if conn.write_pending() {
+            want |= EPOLLOUT;
+        }
+        if want != conn.registered {
+            if self.epoll.modify(conn.fd, want, id).is_ok() {
+                conn.registered = want;
             } else {
-                (endpoint, response)
-            }
-        };
-        let status = response.status;
-        let mut stream = p.stream;
-        let _ = response.write_to(&mut stream);
-        self.finish(endpoint, &request.path, status, p.arrived);
-    }
-
-    /// Records a finished request: counters, gauge, and the completion
-    /// event carrying the measured end-to-end latency.
-    fn finish(&self, endpoint: &str, path: &str, status: u16, arrived: Instant) {
-        self.served.fetch_add(1, Ordering::SeqCst);
-        self.in_flight.fetch_sub(1, Ordering::SeqCst);
-        let micros = arrived.elapsed().as_micros() as u64;
-        self.bus.emit(endpoint, path, "", 0, EventKind::RequestCompleted { status, micros });
-    }
-
-    fn request_deadline(&self, request: &Request) -> Option<Duration> {
-        if let Some(ms) = request.query_param("deadline_ms") {
-            if let Ok(ms) = ms.parse::<u64>() {
-                return Some(Duration::from_millis(ms));
+                self.close_conn(id, CloseReason::Disconnect);
             }
         }
-        self.cfg.default_deadline
     }
 
-    /// Routes a parsed request to its handler.
-    fn route(&self, request: &Request) -> (&'static str, Response) {
-        let segments: Vec<&str> =
-            request.path.split('/').filter(|s| !s.is_empty()).collect();
-        match (request.method.as_str(), segments.as_slice()) {
-            ("GET", ["healthz"]) => ("healthz", self.healthz()),
-            ("GET", ["metrics"]) => ("metrics", self.metrics()),
-            ("GET", ["artifacts"]) => ("artifacts", self.artifact_index()),
-            ("GET", ["results"]) => ("results", self.results(request)),
-            ("GET", ["artifact", name]) => ("artifact", self.artifact(request, name)),
-            ("GET", ["cell", experiment, rest @ ..]) if !rest.is_empty() => {
-                ("cell", self.cell(request, experiment, &rest.join("/")))
-            }
-            ("POST", ["shutdown"]) => {
-                self.start_drain();
-                ("shutdown", Response::text(200, "draining\n"))
-            }
-            ("GET", ["shutdown"]) => {
-                ("shutdown", Response::text(405, "regend: shutdown requires POST\n"))
-            }
-            ("GET", _) => ("error", Response::text(404, endpoint_index())),
-            _ => ("error", Response::text(405, "regend: method not allowed\n")),
+    /// Removes a connection: deregisters the fd, accounts unanswered
+    /// admitted requests as 499, and emits the close-reason events the
+    /// hygiene metrics are derived from.
+    fn close_conn(&mut self, id: u64, reason: CloseReason) {
+        let Some(conn) = self.conns.remove(&id) else { return };
+        let _ = self.epoll.delete(conn.fd);
+        let unanswered = conn
+            .writing
+            .iter()
+            .map(|w| &w.meta)
+            .chain(conn.slots.iter().map(|s| s.meta()));
+        for meta in unanswered {
+            finish(self.core, meta, 499);
         }
-    }
-
-    fn healthz(&self) -> Response {
-        let q = lock(&self.queue);
-        let status = if q.draining { "draining" } else { "ok" };
-        let depth = q.items.len();
-        drop(q);
-        Response::json(
-            200,
-            format!(
-                "{{\"status\":\"{}\",\"queue_depth\":{},\"in_flight\":{},\"cache_cells\":{},\"artifacts_cached\":{}}}\n",
-                status,
-                depth,
-                self.in_flight.load(Ordering::SeqCst),
-                self.exec.cache_len(),
-                lock(&self.rendered).len()
-            ),
-        )
-    }
-
-    fn metrics(&self) -> Response {
-        Response::text(200, prometheus_text(&self.bus.snapshot(), &self.exec.stats()))
-    }
-
-    fn artifact_index(&self) -> Response {
-        let mut body = String::new();
-        for a in Artifact::ALL {
-            body.push_str(&format!("{:14} {}\n", a.name(), a.caption()));
-        }
-        Response::text(200, body)
-    }
-
-    /// `GET /artifact/<name>[?quick=0|1][&seed=0][&deadline_ms=..]`
-    fn artifact(&self, request: &Request, name: &str) -> Response {
-        let artifact = match Artifact::parse(name) {
-            Some(a) => a,
-            None => return unknown_artifact(name),
-        };
-        if let Some(seed) = request.query_param("seed") {
-            if seed != "0" && seed != "default" {
-                return Response::text(
-                    400,
-                    "regend: only the pinned default seed (seed=0) is served; \
-                     renderings at other seeds are not golden-comparable\n",
-                );
+        match reason {
+            CloseReason::Normal => {}
+            CloseReason::Disconnect => {
+                self.core.disconnects.fetch_add(1, Ordering::SeqCst);
+                self.core.bus.emit("regend", "", "", 0, EventKind::ClientDisconnected);
+            }
+            CloseReason::IdleStall => {
+                self.core.idle_timeouts.fetch_add(1, Ordering::SeqCst);
+                self.core.bus.emit("regend", "", "", 0, EventKind::IdleTimeout);
             }
         }
-        let quick = match self.quick_for(request) {
-            Ok(q) => q,
-            Err(resp) => return resp,
-        };
-        match self.obtain(artifact, quick, &request.path) {
-            Ok(r) => {
-                let mut resp = Response::text(200, r.body);
-                if r.degraded {
-                    resp = resp.with_header("X-Regend-Degraded", "true");
+        self.core
+            .bus
+            .emit("regend", "", "", 0, EventKind::ConnectionClosed { requests: conn.requests });
+    }
+
+    /// Reaps connections that stopped making progress. A connection
+    /// merely waiting on slow server-side work is exempt — the stall
+    /// deadline measures the *peer*, not the executor.
+    fn sweep_idle(&mut self) {
+        let timeout = self.core.cfg.idle_timeout;
+        let now = Instant::now();
+        let mut reap: Vec<(u64, CloseReason)> = Vec::new();
+        for (id, conn) in &self.conns {
+            if conn.has_waiting() {
+                continue;
+            }
+            if now.saturating_duration_since(conn.last_activity) <= timeout {
+                continue;
+            }
+            let stalled =
+                conn.write_pending() || conn.parser.buffered() > 0 || conn.close_after_flush;
+            let reason =
+                if stalled { CloseReason::IdleStall } else { CloseReason::Normal };
+            reap.push((*id, reason));
+        }
+        for (id, reason) in reap {
+            self.close_conn(id, reason);
+        }
+    }
+}
+
+/// Marks a connection for closure as a disconnect at settle time.
+fn mark_dead(conn: &mut Conn) {
+    conn.stop_reading = true;
+    conn.registered = u32::MAX;
+}
+
+/// Records a finished admitted request: counters, gauge, and the
+/// completion event carrying the measured end-to-end latency.
+fn finish(core: &Core, meta: &SlotMeta, status: u16) {
+    if !meta.counted {
+        return;
+    }
+    core.served.fetch_add(1, Ordering::SeqCst);
+    core.in_flight.fetch_sub(1, Ordering::SeqCst);
+    let micros = meta.arrived.elapsed().as_micros() as u64;
+    core.bus.emit(meta.endpoint, &meta.path, "", 0, EventKind::RequestCompleted {
+        status,
+        micros,
+    });
+}
+
+/// Reads everything available, feeding the incremental parser and
+/// handling each complete request as it surfaces.
+fn read_ready(
+    core: &Core,
+    dispatch: &Dispatch,
+    jobs_in_flight: &mut u64,
+    conn_id: u64,
+    conn: &mut Conn,
+) {
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        match (&conn.stream).read(&mut buf) {
+            Ok(0) => {
+                conn.peer_eof = true;
+                break;
+            }
+            Ok(n) => {
+                conn.last_activity = Instant::now();
+                conn.parser.push(&buf[..n]);
+                loop {
+                    match conn.parser.next_request() {
+                        Ok(Some(request)) => {
+                            handle_request(core, dispatch, jobs_in_flight, conn_id, conn, request);
+                        }
+                        Ok(None) => break,
+                        Err(HttpError::Malformed(m)) => {
+                            reject_malformed(core, dispatch, conn, &m);
+                            return;
+                        }
+                        Err(HttpError::Io(_)) => break,
+                    }
                 }
-                if quick {
-                    resp = resp.with_header("X-Regend-Quick", "true");
+                if conn.stop_reading || conn.close_after_flush {
+                    return;
                 }
-                resp
-            }
-            Err(e) => Response::text(500, format!("regend: {} failed: {e}\n", artifact.name())),
-        }
-    }
-
-    /// `GET /results[?quick=0|1]`: every artifact in paper order, one
-    /// document — byte-identical to `regen`'s stdout (and, for a full
-    /// non-quick server, to the committed `results_regenerated.txt`).
-    fn results(&self, request: &Request) -> Response {
-        let quick = match self.quick_for(request) {
-            Ok(q) => q,
-            Err(resp) => return resp,
-        };
-        let mut body = String::new();
-        let mut failures = 0u32;
-        for artifact in Artifact::ALL {
-            match self.obtain(artifact, quick, &request.path) {
-                Ok(r) => body.push_str(&r.body),
-                Err(_) => {
-                    failures += 1;
-                    body.push_str(&format!("== {} == FAILED\n\n", artifact.caption()));
+                if n < buf.len() {
+                    break;
                 }
             }
-        }
-        let mut resp = Response::text(200, body);
-        if failures > 0 {
-            resp = resp.with_header("X-Regend-Failures", failures.to_string());
-        }
-        resp
-    }
-
-    /// `GET /cell/<experiment>/<content-key>[?seed=N]`: one lattice
-    /// cell as journal-shaped JSON. Computes the owning artifact first
-    /// if needed (through the same single-flight/cache path), then
-    /// reads the cell out of the executor's content-addressed cache.
-    fn cell(&self, request: &Request, experiment: &str, content_key: &str) -> Response {
-        let artifact = match experiment_artifact(experiment) {
-            Some(a) => a,
-            None => return unknown_artifact(experiment),
-        };
-        let seed = match request.query_param("seed").unwrap_or("0").parse::<u64>() {
-            Ok(s) => s,
-            Err(_) => return Response::text(400, "regend: seed must be a non-negative integer\n"),
-        };
-        let quick = match self.quick_for(request) {
-            Ok(q) => q,
-            Err(resp) => return resp,
-        };
-        if self.exec.cache_lookup(content_key, seed).is_none() {
-            if let Err(e) = self.obtain(artifact, quick, &request.path) {
-                return Response::text(
-                    500,
-                    format!("regend: computing {} for this cell failed: {e}\n", artifact.name()),
-                );
-            }
-        }
-        match self.exec.cache_lookup(content_key, seed) {
-            Some(v) => Response::json(200, format!("{}\n", cell_value_json(content_key, seed, &v))),
-            None => Response::text(
-                404,
-                format!(
-                    "regend: no cell {:?} (seed {seed}) under {}; try\n  GET /cell/{}/{}?seed={seed}\nafter checking the key against the journal or trace output\n",
-                    content_key,
-                    experiment,
-                    experiment,
-                    percent_encode_path(content_key),
-                ),
-            ),
-        }
-    }
-
-    /// Resolves the effective quick flag: the server default, overridden
-    /// by `?quick=0|1`.
-    fn quick_for(&self, request: &Request) -> Result<bool, Response> {
-        match request.query_param("quick") {
-            None => Ok(self.cfg.quick),
-            Some("1") | Some("true") => Ok(true),
-            Some("0") | Some("false") => Ok(false),
-            Some(other) => {
-                Err(Response::text(400, format!("regend: bad quick value {other:?} (use 0 or 1)\n")))
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                mark_dead(conn);
+                return;
             }
         }
     }
+}
 
-    /// Obtains one artifact entry: rendered cache, then single-flight
-    /// computation on the shared executor. Successful (including
-    /// degraded) renderings are cached; failures are not, so a
-    /// transiently failing artifact recovers on the next query.
-    fn obtain(&self, artifact: Artifact, quick: bool, path: &str) -> ArtifactEntry {
-        let cache_key = (artifact.name(), quick);
-        if let Some(r) = lock(&self.rendered).get(&cache_key).cloned() {
-            self.bus.emit(artifact.name(), path, "", 0, EventKind::ArtifactCacheHit);
-            return Ok(r);
+/// A sticky parse failure: answer 400 once (accounted like any other
+/// admitted request, as PR 5 did), stop reading, close after flush.
+fn reject_malformed(core: &Core, dispatch: &Dispatch, conn: &mut Conn, message: &str) {
+    admit(core, dispatch.depth());
+    let meta = new_slot_meta(conn, "error", String::new(), false, true);
+    conn.slots
+        .push_back(Slot::Ready(meta, Response::text(400, format!("regend: {message}\n"))));
+    conn.stop_reading = true;
+    conn.close_after_flush = true;
+}
+
+fn admit(core: &Core, queue_depth: usize) {
+    core.admitted.fetch_add(1, Ordering::SeqCst);
+    core.in_flight.fetch_add(1, Ordering::SeqCst);
+    core.bus.emit("regend", "", "", 0, EventKind::RequestReceived { queue_depth });
+}
+
+fn new_slot_meta(
+    conn: &mut Conn,
+    endpoint: &'static str,
+    path: String,
+    keep_alive: bool,
+    counted: bool,
+) -> SlotMeta {
+    let id = conn.next_slot;
+    conn.next_slot += 1;
+    SlotMeta { id, endpoint, path, arrived: Instant::now(), keep_alive, counted }
+}
+
+/// Routes one parsed request: fast-path answers become Ready slots on
+/// the spot; slow work is admission-checked and dispatched; `POST
+/// /shutdown` flips the drain flag.
+fn handle_request(
+    core: &Core,
+    dispatch: &Dispatch,
+    jobs_in_flight: &mut u64,
+    conn_id: u64,
+    conn: &mut Conn,
+    request: Request,
+) {
+    let arrived = Instant::now();
+    let depth = conn.slots.len() + usize::from(conn.writing.is_some()) + 1;
+    core.bus.emit("regend", &request.path, "", 0, EventKind::PipelineObserved { depth });
+
+    if core.is_draining() {
+        admit(core, dispatch.depth());
+        let meta = new_slot_meta(conn, "error", request.path.clone(), false, true);
+        conn.slots.push_back(Slot::Ready(
+            meta,
+            Response::text(503, "regend: draining, connection closing\n"),
+        ));
+        conn.close_after_flush = true;
+        return;
+    }
+
+    let keep_alive = request.keep_alive;
+    let deadline = core.request_deadline(&request);
+    let (endpoint, action) = core.route(&request, dispatch.depth());
+    match action {
+        Action::Done(response) => {
+            admit(core, dispatch.depth());
+            let meta = new_slot_meta(conn, endpoint, request.path.clone(), keep_alive, true);
+            let response = if deadline_expired(deadline, arrived) {
+                core.bus.emit("regend", &request.path, "", 0, EventKind::DeadlineExpired);
+                Response::text(504, "regend: deadline expired in queue\n")
+            } else {
+                response
+            };
+            conn.slots.push_back(Slot::Ready(meta, response));
+            if !keep_alive {
+                conn.close_after_flush = true;
+            }
         }
-        let flight_key = format!("{}/{}", artifact.name(), quick);
-        let (entry, outcome) = self.flights.run(&flight_key, || {
-            match artifact.regenerate(quick, &self.exec) {
-                Ok(out) => {
-                    let block = render_artifact_block(&ArtifactResult {
-                        artifact,
-                        outcome: Ok(out.clone()),
-                        cells: HarnessStats::default(),
-                    });
-                    let rendered = Rendered { body: block, degraded: out.degraded };
-                    lock(&self.rendered).insert(cache_key, rendered.clone());
-                    Ok(rendered)
+        Action::StartDrain(response) => {
+            core.draining.store(true, Ordering::SeqCst);
+            admit(core, dispatch.depth());
+            let meta = new_slot_meta(conn, endpoint, request.path.clone(), false, true);
+            conn.slots.push_back(Slot::Ready(meta, response));
+            conn.close_after_flush = true;
+        }
+        Action::Slow(work) => {
+            let queue_depth = dispatch.depth();
+            if queue_depth >= core.cfg.queue_capacity.max(1) {
+                core.rejected.fetch_add(1, Ordering::SeqCst);
+                core.bus.emit("regend", "", "", 0, EventKind::RequestRejected);
+                let meta =
+                    new_slot_meta(conn, endpoint, request.path.clone(), keep_alive, false);
+                conn.slots.push_back(Slot::Ready(
+                    meta,
+                    Response::text(429, "regend: admission queue full, retry shortly\n")
+                        .with_header("Retry-After", "1"),
+                ));
+                if !keep_alive {
+                    conn.close_after_flush = true;
                 }
-                Err(e) => Err(e.to_string()),
+                return;
             }
-        });
-        if outcome == FlightOutcome::Coalesced {
-            self.bus.emit(artifact.name(), path, "", 0, EventKind::FlightCoalesced);
+            admit(core, queue_depth + 1);
+            let meta = new_slot_meta(conn, endpoint, request.path.clone(), keep_alive, true);
+            let job = Job {
+                conn: conn_id,
+                slot: meta.id,
+                work,
+                path: request.path.clone(),
+                arrived,
+                deadline,
+            };
+            conn.slots.push_back(Slot::Waiting(meta));
+            *jobs_in_flight += 1;
+            dispatch.push(job);
+            if !keep_alive {
+                conn.close_after_flush = true;
+            }
         }
-        entry
     }
 }
 
-fn deadline_expired(deadline: Option<Duration>, arrived: Instant) -> bool {
-    deadline.is_some_and(|d| arrived.elapsed() > d)
-}
-
-/// Maps an experiment driver name onto the artifact whose sweep
-/// computes its cells. Identical for every driver except the two that
-/// feed the discussion artifact.
-pub fn experiment_artifact(experiment: &str) -> Option<Artifact> {
-    match experiment {
-        "ablations" | "smt" => Some(Artifact::Discussion),
-        other => Artifact::parse(other),
-    }
-}
-
-fn unknown_artifact(name: &str) -> Response {
-    let mut body = format!("regend: unknown artifact: {name}\n");
-    if let Some(suggestion) = Artifact::suggest(name) {
-        body.push_str(&format!("did you mean: {suggestion}?\n"));
-    }
-    body.push_str("see GET /artifacts for the full list\n");
-    Response::text(404, body)
-}
-
-fn endpoint_index() -> String {
-    "regend endpoints:\n\
-     \x20 GET  /healthz                         liveness + queue depth\n\
-     \x20 GET  /metrics                         Prometheus-style exposition\n\
-     \x20 GET  /artifacts                       artifact names and captions\n\
-     \x20 GET  /artifact/<name>[?quick=0|1]     one artifact rendering\n\
-     \x20 GET  /results[?quick=0|1]             every artifact, paper order\n\
-     \x20 GET  /cell/<experiment>/<key>[?seed=N] one lattice cell as JSON\n\
-     \x20 POST /shutdown                        graceful drain\n"
-        .to_string()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn experiment_names_map_onto_artifacts() {
-        assert_eq!(experiment_artifact("figure2"), Some(Artifact::Figure2));
-        assert_eq!(experiment_artifact("table3"), Some(Artifact::Table3));
-        assert_eq!(experiment_artifact("ablations"), Some(Artifact::Discussion));
-        assert_eq!(experiment_artifact("smt"), Some(Artifact::Discussion));
-        assert_eq!(experiment_artifact("eibrs-bimodal"), Some(Artifact::EibrsBimodal));
-        assert_eq!(experiment_artifact("nope"), None);
-    }
-
-    #[test]
-    fn unknown_artifact_suggests_the_closest_name() {
-        let resp = unknown_artifact("figre2");
-        assert_eq!(resp.status, 404);
-        assert!(resp.body.contains("did you mean: figure2?"), "{}", resp.body);
+/// Pushes response bytes: the front Ready slot's serialized head, then
+/// its shared body zero-copy, strictly in slot order. Stops at
+/// `WouldBlock` (EPOLLOUT takes over) or a dead peer.
+fn try_flush(core: &Core, conn: &mut Conn) -> FlushOutcome {
+    loop {
+        if conn.writing.is_none() {
+            match conn.slots.front() {
+                Some(Slot::Ready(..)) => {
+                    let Some(Slot::Ready(meta, response)) = conn.slots.pop_front() else {
+                        unreachable!()
+                    };
+                    conn.writing = Some(start_writing(meta, response));
+                }
+                _ => return FlushOutcome::Progress,
+            }
+        }
+        let Some(w) = conn.writing.as_mut() else { return FlushOutcome::Progress };
+        while w.pos < w.head.len() {
+            match (&conn.stream).write(&w.head[w.pos..]) {
+                Ok(0) => return FlushOutcome::Dead,
+                Ok(n) => {
+                    w.pos += n;
+                    conn.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    return FlushOutcome::Progress
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return FlushOutcome::Dead,
+            }
+        }
+        if let Some(body) = &w.body {
+            while w.body_pos < body.len() {
+                match (&conn.stream).write(&body[w.body_pos..]) {
+                    Ok(0) => return FlushOutcome::Dead,
+                    Ok(n) => {
+                        w.body_pos += n;
+                        conn.last_activity = Instant::now();
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        return FlushOutcome::Progress
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => return FlushOutcome::Dead,
+                }
+            }
+        }
+        let w = conn.writing.take().unwrap_or_else(|| unreachable!());
+        conn.requests += 1;
+        finish(core, &w.meta, w.status);
+        if !w.meta.keep_alive {
+            conn.close_after_flush = true;
+            return FlushOutcome::Progress;
+        }
     }
 }

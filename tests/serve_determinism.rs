@@ -12,7 +12,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
 
-use bench::client::{http_get, http_get_retrying, HttpResponse};
+use bench::client::{http_get, http_get_retrying, Connection, HttpResponse};
 use bench::{render_artifact_block, run_regen, Artifact, RegenOptions};
 use serve::{Server, ServerConfig, ServerHandle};
 use spectrebench::{FaultKind, FaultPlan};
@@ -31,7 +31,7 @@ fn boot(cfg: ServerConfig) -> (String, ServerHandle, std::thread::JoinHandle<ser
         .expect("bind to a free port");
     let base = format!("http://{}", server.local_addr());
     let handle = server.handle();
-    let join = std::thread::spawn(move || server.run());
+    let join = std::thread::spawn(move || server.run().expect("event loop"));
     (base, handle, join)
 }
 
@@ -53,6 +53,22 @@ fn serial_blocks(artifacts: &[Artifact], quick: bool, opts: RegenOptions) -> Vec
     .expect("serial sweep");
     assert_eq!(report.results.len(), artifacts.len());
     report.results.iter().map(render_artifact_block).collect()
+}
+
+/// Polls `/metrics` until `name` reaches `min` (or the deadline
+/// passes), returning the last value seen. Close-derived counters are
+/// updated when the event loop processes the close, a beat after the
+/// client observes it — polling absorbs that gap without sleeps sized
+/// by guesswork.
+fn await_metric(base: &str, name: &str, min: f64, deadline: Duration) -> f64 {
+    let start = std::time::Instant::now();
+    loop {
+        let v = metric(&get(base, "/metrics").text(), name);
+        if v >= min || start.elapsed() > deadline {
+            return v;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
 }
 
 /// Reads one counter out of a Prometheus-style exposition.
@@ -307,6 +323,171 @@ fn overload_answers_429_with_retry_after() {
     handle.drain();
     let summary = join.join().expect("server thread");
     assert_eq!(summary.rejected, rejected.load(Ordering::SeqCst) as u64);
+}
+
+/// Keep-alive must change the framing, never the bytes: 64 clients
+/// each holding ONE socket and sending interleaved pipelined bursts
+/// see responses byte-identical to the serial sweep and to the
+/// close-per-request wire pin — with transient faults injected
+/// underneath, exactly as the thread-per-connection front end was
+/// pinned in PR 5.
+#[test]
+fn keepalive_pipelined_bursts_match_serial_and_close_framing() {
+    const CLIENTS: usize = 64;
+    const ROUNDS: usize = 3;
+    let artifacts = [Artifact::Table1, Artifact::Table2, Artifact::Table9, Artifact::Table10];
+    let paths: Vec<String> =
+        artifacts.iter().map(|a| format!("/artifact/{}", a.name())).collect();
+    // Transient compute panics under the retry budget: the faulted
+    // serial test already pins that these recover to the clean bytes,
+    // so the clean sweep is the oracle here too.
+    let plan = FaultPlan::new().fail_cell("mitigations", FaultKind::PanicFault, Some(2));
+    let expect = serial_blocks(&artifacts, true, RegenOptions::default());
+
+    let (base, handle, join) = boot(ServerConfig {
+        quick: true,
+        workers: 2,
+        queue_capacity: 2 * CLIENTS * artifacts.len(),
+        inject: Some(plan),
+        ..ServerConfig::default()
+    });
+
+    // The close-per-request wire pin: one `Connection: close` GET per
+    // artifact (this is also the cold phase — each artifact computes
+    // once, through the injected faults).
+    for (i, path) in paths.iter().enumerate() {
+        let r = http_get(&format!("{base}{path}"), Duration::from_secs(300))
+            .unwrap_or_else(|e| panic!("close-framing GET {path}: {e}"));
+        assert_eq!(r.status, 200, "{path}");
+        assert_eq!(r.text(), expect[i], "close framing disagrees with the serial sweep");
+    }
+
+    let mismatches = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for client in 0..CLIENTS {
+            let (base, paths, expect, mismatches) = (&base, &paths, &expect, &mismatches);
+            s.spawn(move || {
+                let mut conn =
+                    Connection::to_url(base, Duration::from_secs(300)).expect("client url");
+                for _ in 0..ROUNDS {
+                    // Stagger the order per client so concurrent bursts
+                    // interleave different artifacts on the wire.
+                    let order: Vec<usize> =
+                        (0..paths.len()).map(|i| (i + client) % paths.len()).collect();
+                    let burst: Vec<&str> =
+                        order.iter().map(|&i| paths[i].as_str()).collect();
+                    let responses = conn.pipeline(&burst).expect("pipelined burst");
+                    assert_eq!(responses.len(), burst.len());
+                    for (r, &idx) in responses.iter().zip(&order) {
+                        assert_eq!(r.status, 200, "client {client}: {}", paths[idx]);
+                        if r.text() != expect[idx] {
+                            mismatches.fetch_add(1, Ordering::SeqCst);
+                            eprintln!("client {client}: keep-alive mismatch on {}", paths[idx]);
+                        }
+                    }
+                }
+                // The whole session rode one socket: pipelining and
+                // keep-alive actually happened, this was not 768
+                // reconnects that accidentally pass.
+                assert_eq!(conn.sockets_opened(), 1, "client {client} reconnected");
+            });
+        }
+    });
+    assert_eq!(mismatches.load(Ordering::SeqCst), 0, "keep-alive bytes == serial bytes");
+
+    // Keep-alive accounting (counted when the event loop processes each
+    // close, so poll): every client connection closed having carried
+    // ROUNDS bursts, and the loop observed pipelined reads.
+    let per_client = (ROUNDS * paths.len()) as f64;
+    let closed =
+        await_metric(&base, "regend_keepalive_closed_total", CLIENTS as f64, Duration::from_secs(10));
+    assert!(closed >= CLIENTS as f64, "clients closed: {closed}");
+    let ka_requests = metric(&get(&base, "/metrics").text(), "regend_keepalive_requests_total");
+    assert!(
+        ka_requests >= CLIENTS as f64 * per_client,
+        "requests carried over keep-alive: {ka_requests}"
+    );
+    let depth_samples = metric(&get(&base, "/metrics").text(), "regend_pipeline_depth_count");
+    assert!(depth_samples >= 1.0, "no pipelined read was ever observed");
+
+    handle.drain();
+    let summary = join.join().expect("server thread");
+    assert!(summary.stats.faults_injected > 0, "the plan actually fired");
+    assert!(summary.connections >= CLIENTS as u64);
+    assert!(summary.served >= (CLIENTS * ROUNDS * paths.len() + paths.len()) as u64);
+    assert_eq!(summary.rejected, 0, "queue was sized for the burst");
+    assert_eq!(summary.disconnects, 0, "clean keep-alive closes are not disconnects");
+}
+
+/// Connection hygiene: a client that stalls mid-request is idle-reaped
+/// without touching anyone else, and a client that vanishes with a
+/// response owed is detected, counted in `regend_disconnects_total`,
+/// and its admitted work accounted — the event loop keeps serving
+/// throughout.
+#[test]
+fn stalled_and_vanished_clients_are_reaped_without_poisoning_the_loop() {
+    use std::io::{Read, Write};
+
+    let (base, handle, join) = boot(ServerConfig {
+        quick: true,
+        workers: 1,
+        idle_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    });
+    let addr = base.strip_prefix("http://").expect("base url").to_string();
+
+    // Warm the cheap artifact so its responses come from the rendered
+    // cache while the single worker is busy later.
+    assert_eq!(get(&base, "/artifact/table2").status, 200);
+
+    // --- A peer that sends half a request head and stalls. ---
+    let mut stall = std::net::TcpStream::connect(&addr).expect("connect");
+    stall.write_all(b"GET /healthz HTT").expect("partial head");
+    stall.set_read_timeout(Some(Duration::from_secs(10))).expect("read timeout");
+    // The idle sweep must reap it (close, not hang): EOF within the
+    // read timeout, well after the 2s idle deadline.
+    let mut sink = [0u8; 64];
+    match stall.read(&mut sink) {
+        Ok(0) | Err(_) => {}
+        Ok(n) => panic!("stalled connection got {n} unexpected byte(s)"),
+    }
+    let idle = await_metric(&base, "regend_idle_timeouts_total", 1.0, Duration::from_secs(10));
+    assert!(idle >= 1.0, "stall reap counted: {idle}");
+
+    // --- A peer that vanishes with a response owed. ---
+    // Pipelined pair: a cached hit (whose response lands in the client
+    // kernel, unread) and a slow cold artifact (admitted to the single
+    // worker). Closing with unread data makes TCP send RST, so the
+    // event loop sees the death immediately — while the slow slot is
+    // still owed — and must free the connection without waiting for
+    // the computation.
+    {
+        let mut doomed = std::net::TcpStream::connect(&addr).expect("connect");
+        doomed
+            .write_all(
+                b"GET /artifact/table2 HTTP/1.1\r\nHost: x\r\n\r\n\
+                  GET /artifact/discussion HTTP/1.1\r\nHost: x\r\n\r\n",
+            )
+            .expect("pipelined pair");
+        // Let the cached response reach this socket's receive buffer.
+        std::thread::sleep(Duration::from_millis(300));
+        // Drop without reading: RST.
+    }
+    let disconnects =
+        await_metric(&base, "regend_disconnects_total", 1.0, Duration::from_secs(30));
+    assert!(disconnects >= 1.0, "vanished client counted: {disconnects}");
+
+    // Neither casualty poisoned the loop: fast and slow paths both
+    // still answer (the latter also proves the worker pool survived
+    // the orphaned computation).
+    assert_eq!(get(&base, "/healthz").status, 200);
+    assert_eq!(get(&base, "/artifact/table9").status, 200);
+
+    handle.drain();
+    let summary = join.join().expect("server thread");
+    assert!(summary.idle_timeouts >= 1, "summary counts the stall reap");
+    assert!(summary.disconnects >= 1, "summary counts the vanish");
+    assert_eq!(summary.stats.cells_failed, 0);
 }
 
 /// Graceful drain: `POST /shutdown` answers the in-flight queue, then
