@@ -85,7 +85,10 @@ fn usage(to_stdout: bool) {
          \x20                   Options: --rate <req/s> (default 200),\n\
          \x20                   --requests <n> (default 1000), --connections <n>\n\
          \x20                   (default 8), --timeout-ms <n>, --histogram <f>\n\
-         \x20                   (write the latency histogram to <f>).\n\
+         \x20                   (write the latency histogram to <f>),\n\
+         \x20                   --target <url> (repeatable; arrivals rotate over\n\
+         \x20                   all targets and the summary adds per-target\n\
+         \x20                   latency splits).\n\
          \x20                   Exits 1 when any request errored\n\
          \x20 campaign          explore the whole (cell x attempt x fault-kind)\n\
          \x20                   space: reference sweep, one perturbed sweep per\n\
@@ -522,13 +525,14 @@ fn parse_loadgen_args(args: &[String]) -> Result<(bench::loadgen::LoadgenOptions
                 opts.timeout = Duration::from_millis(ms.max(1));
             }
             "--histogram" => histogram = Some(PathBuf::from(value("--histogram")?)),
-            url if !url.starts_with("--") && opts.url.is_empty() => opts.url = url.to_string(),
+            "--target" => opts.targets.push(value("--target")?),
+            url if !url.starts_with("--") => opts.targets.push(url.to_string()),
             other => return Err(format!("unknown loadgen flag: {other}")),
         }
         i += 1;
     }
-    if opts.url.is_empty() {
-        return Err("loadgen needs a target URL".to_string());
+    if opts.targets.is_empty() {
+        return Err("loadgen needs a target URL (bare or --target)".to_string());
     }
     Ok((opts, histogram))
 }

@@ -107,8 +107,10 @@ pub fn http_get(url: &str, timeout: Duration) -> Result<HttpResponse, String> {
 /// failures: 50ms base doubling to a 1s cap, plus a jitter of up to
 /// half the step derived from an FNV hash of `(url, attempt)` — seeded,
 /// so two clients hammering the same slow daemon from different URLs
-/// de-synchronize, and a given invocation is reproducible.
-fn backoff_delay(url: &str, attempt: u32) -> Duration {
+/// de-synchronize, and a given invocation is reproducible. Public
+/// because the cluster proxy reuses the same schedule for its
+/// shard-fetch retries.
+pub fn backoff_delay(url: &str, attempt: u32) -> Duration {
     let base_ms = 50u64.saturating_mul(1 << attempt.min(5)).min(1_000);
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in url.bytes().chain(attempt.to_le_bytes()) {
@@ -402,8 +404,10 @@ impl Connection {
 /// `GET` with bounded retry on the failures a healthy deployment still
 /// produces:
 ///
-/// * **429** — sleeps the server's `Retry-After` (default one second);
-///   the client half of the admission-control contract;
+/// * **429 / 503** — sleeps the server's `Retry-After` (default one
+///   second); the client half of the admission-control and
+///   degraded-mode contracts (a draining or shard-degraded `regend`
+///   sheds load with 503 + `Retry-After`);
 /// * **connection refused / read-timeout** — sleeps a capped
 ///   exponential backoff with seeded jitter ([`backoff_delay`]), so
 ///   `regen fetch` survives the race against a daemon that is still
@@ -422,24 +426,71 @@ pub fn http_get_retrying(
     timeout: Duration,
     max_attempts: u32,
 ) -> Result<HttpResponse, String> {
-    let (authority, path) = split_url(url)?;
-    let mut conn = Connection::new(authority, timeout);
+    http_get_failover(std::slice::from_ref(&url.to_string()), timeout, max_attempts)
+}
+
+/// [`http_get_retrying`] across a list of candidate base URLs: every
+/// retryable failure (429/503 pushback, transient connection error)
+/// rotates to the next candidate, so a client pointed at a cluster
+/// keeps working while any member is up. Each candidate keeps its own
+/// keep-alive [`Connection`]; the backoff between attempts uses the
+/// same seeded jitter schedule as the single-URL path, keyed by the
+/// URL being abandoned so clients de-synchronize. All URLs must share
+/// one path (candidates are replicas, not alternatives).
+pub fn http_get_failover(
+    urls: &[String],
+    timeout: Duration,
+    max_attempts: u32,
+) -> Result<HttpResponse, String> {
+    if urls.is_empty() {
+        return Err("no candidate URLs".to_string());
+    }
+    let mut conns = Vec::with_capacity(urls.len());
+    let mut path0: Option<String> = None;
+    for url in urls {
+        let (authority, path) = split_url(url)?;
+        match &path0 {
+            None => path0 = Some(path.to_string()),
+            Some(p) if p != path => {
+                return Err(format!(
+                    "candidate URLs disagree on the path: {p:?} vs {path:?}"
+                ));
+            }
+            Some(_) => {}
+        }
+        conns.push(Connection::new(authority, timeout));
+    }
+    let path = path0.unwrap_or_else(|| "/".to_string());
     let max_attempts = max_attempts.max(1);
     let mut last = String::new();
     for attempt in 0..max_attempts {
-        match conn.get_classified(path) {
-            Ok(r) if r.status == 429 => {
+        let which = attempt as usize % conns.len();
+        let url = &urls[which];
+        match conns[which].get_classified(&path) {
+            Ok(r) if r.status == 429 || r.status == 503 => {
                 let secs =
                     r.header("retry-after").and_then(|v| v.parse::<u64>().ok()).unwrap_or(1);
-                last = format!("server busy (429, Retry-After: {secs})");
+                last = format!("server busy ({}, Retry-After: {secs})", r.status);
                 if attempt + 1 < max_attempts {
-                    std::thread::sleep(Duration::from_secs(secs));
+                    // With several candidates the rotation is the
+                    // backoff: trying the next replica immediately
+                    // beats sleeping on a busy one.
+                    if conns.len() == 1 {
+                        std::thread::sleep(Duration::from_secs(secs));
+                    } else {
+                        std::thread::sleep(backoff_delay(url, attempt / conns.len() as u32));
+                    }
                 }
             }
             Err((true, e)) => {
                 last = e;
                 if attempt + 1 < max_attempts {
-                    std::thread::sleep(backoff_delay(url, attempt));
+                    let delay = if conns.len() == 1 {
+                        backoff_delay(url, attempt)
+                    } else {
+                        backoff_delay(url, attempt / conns.len() as u32)
+                    };
+                    std::thread::sleep(delay);
                 }
             }
             Err((false, e)) => return Err(e),
@@ -656,6 +707,91 @@ mod tests {
         }
         assert_eq!(conn.sockets_opened(), 1);
         server.join().unwrap();
+    }
+
+    /// 503 + `Retry-After` is the degraded-mode sibling of 429: the
+    /// client honors the hint and retries on the same socket.
+    #[test]
+    fn retrying_honors_retry_after_on_503() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let url = format!("http://{}/results", listener.local_addr().unwrap());
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut requests = 0;
+            for status in ["503 Service Unavailable", "200 OK"] {
+                assert!(read_request(&mut stream), "request {requests} arrived");
+                let extra =
+                    if status.starts_with("503") { "Retry-After: 0\r\n" } else { "" };
+                keepalive_reply(&mut stream, status, extra, "ok\n");
+                requests += 1;
+            }
+            requests
+        });
+        let r = http_get_retrying(&url, Duration::from_secs(5), 5).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(server.join().unwrap(), 2, "503 retried on the same socket");
+    }
+
+    /// Failover rotates to the next candidate on pushback instead of
+    /// sleeping on the busy one: the second server answers while the
+    /// first keeps shedding.
+    #[test]
+    fn failover_rotates_across_candidates_on_pushback() {
+        let busy = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let ready = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let urls = vec![
+            format!("http://{}/results", busy.local_addr().unwrap()),
+            format!("http://{}/results", ready.local_addr().unwrap()),
+        ];
+        let busy_server = std::thread::spawn(move || {
+            let (mut stream, _) = busy.accept().unwrap();
+            assert!(read_request(&mut stream));
+            keepalive_reply(&mut stream, "503 Service Unavailable", "Retry-After: 30\r\n", "");
+        });
+        let ready_server = std::thread::spawn(move || {
+            let (mut stream, _) = ready.accept().unwrap();
+            assert!(read_request(&mut stream));
+            keepalive_reply(&mut stream, "200 OK", "", "ok\n");
+        });
+        let start = std::time::Instant::now();
+        let r = http_get_failover(&urls, Duration::from_secs(5), 4).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.text(), "ok\n");
+        // The 30-second Retry-After was NOT slept: rotation beat it.
+        assert!(start.elapsed() < Duration::from_secs(10), "{:?}", start.elapsed());
+        busy_server.join().unwrap();
+        ready_server.join().unwrap();
+    }
+
+    /// A dead candidate (nobody listening) is skipped by the rotation.
+    #[test]
+    fn failover_skips_a_dead_candidate() {
+        let dead_port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let ready = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let urls = vec![
+            format!("http://127.0.0.1:{dead_port}/a"),
+            format!("http://{}/a", ready.local_addr().unwrap()),
+        ];
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = ready.accept().unwrap();
+            assert!(read_request(&mut stream));
+            keepalive_reply(&mut stream, "200 OK", "", "ok\n");
+        });
+        let r = http_get_failover(&urls, Duration::from_secs(5), 4).unwrap();
+        assert_eq!(r.status, 200);
+        server.join().unwrap();
+        // Mismatched candidate paths are rejected up front.
+        let err = http_get_failover(
+            &["http://h:1/a".to_string(), "http://h:2/b".to_string()],
+            Duration::from_secs(1),
+            1,
+        )
+        .unwrap_err();
+        assert!(err.contains("disagree on the path"), "{err}");
+        assert!(http_get_failover(&[], Duration::from_secs(1), 1).is_err());
     }
 
     #[test]

@@ -33,7 +33,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{self, BufWriter, Write as _};
 use std::path::{Path, PathBuf};
 
-use crate::faultplan::{FaultKind, FaultPlan};
+use crate::faultplan::{FaultKind, FaultPlan, NetFaultKind, NetFaultPlan};
 use crate::harness::{classify_line, escape_json, lock, JournalScan, LineClass};
 use crate::persist::crc32;
 use crate::plan::CellValue;
@@ -650,6 +650,295 @@ impl CampaignReport {
     }
 }
 
+/// When along a hop's lifetime a cluster-campaign fault fires.
+///
+/// The serving tier's analogue of the compute campaign's attempt axis:
+/// `First` kills only the first attempt per hop (the proxy's bounded
+/// retry must absorb it), `Always` kills every attempt (the shard is
+/// effectively unreachable and the failover-to-local-recompute path is
+/// on trial).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultTiming {
+    /// The fault fires once per hop; retry must absorb it.
+    First,
+    /// The fault fires on every attempt; failover must cover it.
+    Always,
+}
+
+impl FaultTiming {
+    /// Both timings, in enumeration order.
+    pub const ALL: [FaultTiming; 2] = [FaultTiming::First, FaultTiming::Always];
+
+    /// Stable name used in coordinate ids and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultTiming::First => "first",
+            FaultTiming::Always => "always",
+        }
+    }
+
+    /// Parses a stable name.
+    pub fn parse(s: &str) -> Option<FaultTiming> {
+        FaultTiming::ALL.into_iter().find(|t| t.name() == s)
+    }
+}
+
+impl fmt::Display for FaultTiming {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One point of the serving-tier fault space: inject `kind` into every
+/// proxy↔shard hop that targets `shard`, with `timing` deciding whether
+/// the hop's first attempt or all attempts are hit.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ClusterCoordinate {
+    /// Index of the shard whose hops are attacked.
+    pub shard: usize,
+    /// Which network failure to inject.
+    pub kind: NetFaultKind,
+    /// Whether retry (first) or failover (always) is on trial.
+    pub timing: FaultTiming,
+}
+
+impl ClusterCoordinate {
+    /// Canonical id: `kind:timing:shard`.
+    pub fn id(&self) -> String {
+        format!("{}:{}:{}", self.kind.name(), self.timing.name(), self.shard)
+    }
+
+    /// Parses a canonical id back into a coordinate.
+    pub fn parse_id(id: &str) -> Option<ClusterCoordinate> {
+        let mut parts = id.splitn(3, ':');
+        let kind = NetFaultKind::parse(parts.next()?)?;
+        let timing = FaultTiming::parse(parts.next()?)?;
+        let shard = parts.next()?.parse().ok()?;
+        Some(ClusterCoordinate { shard, kind, timing })
+    }
+
+    /// The network fault plan this coordinate describes: a single
+    /// targeted rule on the shard, firing once per hop (`first`) or
+    /// forever (`always`).
+    pub fn net_fault_plan(&self) -> NetFaultPlan {
+        let times = match self.timing {
+            FaultTiming::First => Some(1),
+            FaultTiming::Always => None,
+        };
+        NetFaultPlan::new().fail_hop(Some(self.shard), "", self.kind, times)
+    }
+}
+
+impl fmt::Display for ClusterCoordinate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id())
+    }
+}
+
+/// Enumerates the full (shard × net-fault-kind × timing) space for an
+/// `shards`-shard cluster, in deterministic order.
+pub fn enumerate_cluster_coordinates(shards: usize) -> Vec<ClusterCoordinate> {
+    let mut space = Vec::with_capacity(shards * NetFaultKind::ALL.len() * FaultTiming::ALL.len());
+    for shard in 0..shards {
+        for kind in NetFaultKind::ALL {
+            for timing in FaultTiming::ALL {
+                space.push(ClusterCoordinate { shard, kind, timing });
+            }
+        }
+    }
+    space
+}
+
+/// What the cluster campaign driver observed from one perturbed burst,
+/// reduced to the facts classification needs. Raw counts here are *not*
+/// byte-deterministic across runs (they depend on scheduling), so the
+/// report records only the derived class.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterObservation {
+    /// Requests that completed 200 with bytes identical to the serial
+    /// reference.
+    pub responses_200: u64,
+    /// Requests shed with 503 + `Retry-After` (degraded-mode pushback).
+    pub responses_503: u64,
+    /// Requests that errored at the client after exhausting retries.
+    pub errors: u64,
+    /// 200-responses whose bytes differed from the serial reference —
+    /// each one is silent corruption.
+    pub mismatches: u64,
+    /// Hops the proxy failed over to local recompute.
+    pub failovers: u64,
+    /// Responses carrying a degraded-mode marker
+    /// (`X-Regend-Shard-Degraded`).
+    pub degraded: u64,
+}
+
+/// Classifies one cluster coordinate's observation, worst-first on the
+/// same lattice as the compute tier: any byte mismatch is silent
+/// corruption; client-visible errors or an all-failed burst are loud;
+/// shed load or degraded markers are degraded; clean bytes with the
+/// fault fully hidden are absorbed.
+pub fn classify_cluster(obs: &ClusterObservation) -> SurvivalClass {
+    if obs.mismatches > 0 {
+        return SurvivalClass::SilentCorruption;
+    }
+    if obs.errors > 0 || obs.responses_200 == 0 {
+        return SurvivalClass::FailedLoud;
+    }
+    if obs.responses_503 > 0 || obs.degraded > 0 {
+        return SurvivalClass::Degraded;
+    }
+    SurvivalClass::Absorbed
+}
+
+/// One classified cluster coordinate, as recorded in the report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterOutcome {
+    /// Which serving-tier fault-space point.
+    pub coord: ClusterCoordinate,
+    /// The survivability verdict.
+    pub class: SurvivalClass,
+    /// A short deterministic note (e.g. `failover` when the proxy
+    /// recomputed locally); never raw counts.
+    pub detail: String,
+}
+
+impl ClusterOutcome {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"coord\":\"{}\",\"kind\":\"{}\",\"timing\":\"{}\",\"shard\":{},\
+             \"class\":\"{}\",\"detail\":\"{}\"}}",
+            escape_json(&self.coord.id()),
+            self.coord.kind.name(),
+            self.coord.timing.name(),
+            self.coord.shard,
+            self.class.name(),
+            escape_json(&self.detail)
+        )
+    }
+}
+
+/// The reduced verdict of a serving-tier campaign. Deliberately
+/// class-only: request counts, latencies and retry totals vary with
+/// scheduling, so including them would unpin the committed baseline.
+#[derive(Debug, Clone)]
+pub struct ClusterCampaignReport {
+    /// How many shards the cluster ran.
+    pub shards: usize,
+    /// Requests issued per coordinate burst.
+    pub requests_per_coordinate: usize,
+    /// Whether quick workload variants were used.
+    pub quick: bool,
+    /// Classified coordinates, in enumeration order.
+    pub outcomes: Vec<ClusterOutcome>,
+}
+
+impl ClusterCampaignReport {
+    /// Per-class totals, in lattice order.
+    pub fn counts(&self) -> [(SurvivalClass, usize); 4] {
+        SurvivalClass::ALL.map(|c| (c, self.outcomes.iter().filter(|o| o.class == c).count()))
+    }
+
+    /// The coordinates classified as silent corruption — each one a
+    /// bug in the serving tier.
+    pub fn silent_corruptions(&self) -> Vec<&ClusterOutcome> {
+        self.outcomes
+            .iter()
+            .filter(|o| o.class == SurvivalClass::SilentCorruption)
+            .collect()
+    }
+
+    /// Byte-deterministic JSON rendering (classes only, enumeration
+    /// order, no counts or timings).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"cluster_campaign\": {");
+        out.push_str(&format!(
+            "\"version\":\"regend-cluster-campaign/v1\",\"shards\":{},\
+             \"requests_per_coordinate\":{},\"quick\":{},\"explored\":{}}},\n",
+            self.shards,
+            self.requests_per_coordinate,
+            self.quick,
+            self.outcomes.len(),
+        ));
+        out.push_str("  \"summary\": {");
+        out.push_str(
+            &self
+                .counts()
+                .iter()
+                .map(|(c, n)| format!("\"{}\":{n}", c.name()))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push_str("},\n  \"results\": [\n");
+        for (i, o) in self.outcomes.iter().enumerate() {
+            out.push_str("    ");
+            out.push_str(&o.to_json());
+            if i + 1 < self.outcomes.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// The human-readable matrix: one row per net-fault kind, split by
+    /// timing, one column per class.
+    pub fn render_matrix(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "cluster survivability matrix ({} coordinate(s), {} shard(s), {} request(s) each):\n",
+            self.outcomes.len(),
+            self.shards,
+            self.requests_per_coordinate
+        ));
+        out.push_str(&format!(
+            "  {:22} {:>9} {:>9} {:>12} {:>18}\n",
+            "net fault × timing", "absorbed", "degraded", "failed-loud", "silent-corruption"
+        ));
+        for kind in NetFaultKind::ALL {
+            for timing in FaultTiming::ALL {
+                let row: Vec<usize> = SurvivalClass::ALL
+                    .iter()
+                    .map(|c| {
+                        self.outcomes
+                            .iter()
+                            .filter(|o| {
+                                o.coord.kind == kind
+                                    && o.coord.timing == timing
+                                    && o.class == *c
+                            })
+                            .count()
+                    })
+                    .collect();
+                if row.iter().sum::<usize>() == 0 {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "  {:22} {:>9} {:>9} {:>12} {:>18}\n",
+                    format!("{} ({})", kind.name(), timing.name()),
+                    row[0],
+                    row[1],
+                    row[2],
+                    row[3]
+                ));
+            }
+        }
+        let silent = self.silent_corruptions();
+        if silent.is_empty() {
+            out.push_str("  no silent corruption: every divergence was accounted.\n");
+        } else {
+            out.push_str(&format!(
+                "  {} SILENT CORRUPTION coordinate(s) — each one is a bug:\n",
+                silent.len()
+            ));
+            for o in silent {
+                out.push_str(&format!("    {}  ({})\n", o.coord.id(), o.detail));
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -835,5 +1124,92 @@ mod tests {
         let matrix = report.render_matrix();
         assert!(matrix.contains("no silent corruption"));
         assert!(matrix.contains("sim"), "{matrix}");
+    }
+
+    #[test]
+    fn cluster_enumeration_covers_the_space_and_ids_round_trip() {
+        let space = enumerate_cluster_coordinates(4);
+        assert_eq!(space.len(), 4 * 4 * 2, "shard x kind x timing");
+        let ids: std::collections::HashSet<String> =
+            space.iter().map(ClusterCoordinate::id).collect();
+        assert_eq!(ids.len(), space.len(), "duplicate-free");
+        assert_eq!(space, enumerate_cluster_coordinates(4), "deterministic");
+        for coord in &space {
+            assert_eq!(ClusterCoordinate::parse_id(&coord.id()), Some(coord.clone()), "{coord}");
+        }
+        assert_eq!(ClusterCoordinate::parse_id("nope"), None);
+        assert_eq!(ClusterCoordinate::parse_id("drop:never:0"), None);
+    }
+
+    #[test]
+    fn cluster_coordinate_plans_match_their_timing() {
+        let first = ClusterCoordinate {
+            shard: 1,
+            kind: NetFaultKind::Drop,
+            timing: FaultTiming::First,
+        };
+        let plan = first.net_fault_plan();
+        assert_eq!(plan.inject(1, "/cell/x", 0), Some(NetFaultKind::Drop));
+        assert_eq!(plan.inject(1, "/cell/x", 1), None, "first timing fires once per hop");
+        assert_eq!(plan.inject(0, "/cell/x", 0), None, "other shards untouched");
+
+        let always = ClusterCoordinate {
+            shard: 2,
+            kind: NetFaultKind::Stall,
+            timing: FaultTiming::Always,
+        };
+        let plan = always.net_fault_plan();
+        for attempt in 0..5 {
+            assert_eq!(plan.inject(2, "/artifact/t", attempt), Some(NetFaultKind::Stall));
+        }
+    }
+
+    #[test]
+    fn cluster_classification_lattice() {
+        let clean = ClusterObservation { responses_200: 64, ..Default::default() };
+        assert_eq!(classify_cluster(&clean), SurvivalClass::Absorbed);
+
+        let shed = ClusterObservation { responses_200: 60, responses_503: 4, ..Default::default() };
+        assert_eq!(classify_cluster(&shed), SurvivalClass::Degraded);
+
+        let marked = ClusterObservation { responses_200: 64, degraded: 3, ..Default::default() };
+        assert_eq!(classify_cluster(&marked), SurvivalClass::Degraded);
+
+        let loud = ClusterObservation { responses_200: 63, errors: 1, ..Default::default() };
+        assert_eq!(classify_cluster(&loud), SurvivalClass::FailedLoud);
+
+        let dead = ClusterObservation::default();
+        assert_eq!(classify_cluster(&dead), SurvivalClass::FailedLoud, "no 200s is loud");
+
+        // A byte mismatch outranks everything, even a clean-looking run.
+        let silent = ClusterObservation { responses_200: 64, mismatches: 1, ..Default::default() };
+        assert_eq!(classify_cluster(&silent), SurvivalClass::SilentCorruption);
+    }
+
+    #[test]
+    fn cluster_report_json_is_deterministic_and_well_formed() {
+        let outcomes: Vec<ClusterOutcome> = enumerate_cluster_coordinates(2)
+            .into_iter()
+            .map(|coord| {
+                let class = match coord.timing {
+                    FaultTiming::First => SurvivalClass::Absorbed,
+                    FaultTiming::Always => SurvivalClass::Degraded,
+                };
+                ClusterOutcome { coord, class, detail: "failover".to_string() }
+            })
+            .collect();
+        let report = ClusterCampaignReport {
+            shards: 2,
+            requests_per_coordinate: 16,
+            quick: true,
+            outcomes,
+        };
+        let a = report.to_json();
+        assert_eq!(a, report.to_json(), "byte-deterministic");
+        crate::obs::trace::validate_json(&a).expect("report is well-formed JSON");
+        assert!(a.contains("regend-cluster-campaign/v1"));
+        let matrix = report.render_matrix();
+        assert!(matrix.contains("no silent corruption"));
+        assert!(matrix.contains("corrupt-byte (always)"), "{matrix}");
     }
 }

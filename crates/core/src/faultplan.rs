@@ -299,6 +299,255 @@ impl FaultPlan {
     }
 }
 
+/// What kind of failure to inject into one proxy↔shard network hop.
+///
+/// The serving-tier sibling of [`FaultKind`]: where `FaultKind`
+/// perturbs the compute/journal path inside one process, a
+/// `NetFaultKind` perturbs the wire between the cluster proxy and a
+/// shard. Injection is client-side (in the proxy's fetch path), so the
+/// shard under test is untouched and the same seed reproduces the same
+/// hop-level failures on any machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetFaultKind {
+    /// The request never reaches the shard (models a dropped packet /
+    /// dead route): the fetch fails immediately with a transport error.
+    Drop,
+    /// The shard stops answering (models a hung peer): the fetch blocks
+    /// for the stall window, then fails with a timeout.
+    Stall,
+    /// The response body is cut short mid-flight (models a torn
+    /// transfer); length/checksum verification must catch it.
+    Truncate,
+    /// One body byte is flipped in flight (models silent wire
+    /// corruption); the body checksum must catch it — a corrupt byte
+    /// that reaches a client is silent corruption by definition.
+    CorruptByte,
+}
+
+impl NetFaultKind {
+    /// Every kind, in the canonical order cluster campaigns enumerate
+    /// them.
+    pub const ALL: [NetFaultKind; 4] = [
+        NetFaultKind::Drop,
+        NetFaultKind::Stall,
+        NetFaultKind::Truncate,
+        NetFaultKind::CorruptByte,
+    ];
+
+    /// The CLI names of every kind, comma-joined.
+    pub fn all_names() -> String {
+        NetFaultKind::ALL.map(NetFaultKind::name).join(", ")
+    }
+
+    /// CLI name (`regend --net-inject kind=...`).
+    pub fn name(self) -> &'static str {
+        match self {
+            NetFaultKind::Drop => "drop",
+            NetFaultKind::Stall => "stall",
+            NetFaultKind::Truncate => "truncate",
+            NetFaultKind::CorruptByte => "corrupt-byte",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<NetFaultKind> {
+        NetFaultKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
+impl fmt::Display for NetFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One targeted network rule: hops to `shard` (or any shard when
+/// `None`) whose request path contains `path_substr` fail with `kind`
+/// on their first `times` attempts per hop (`None` = every attempt).
+#[derive(Debug, Clone)]
+pub struct NetFaultRule {
+    /// Shard index the rule targets; `None` matches every shard.
+    pub shard: Option<usize>,
+    /// Substring matched against the request path (empty matches all).
+    pub path_substr: String,
+    /// Failure to inject on the hop.
+    pub kind: NetFaultKind,
+    /// How many attempts to kill per (rule, hop); `None` kills all.
+    pub times: Option<u32>,
+}
+
+/// A deterministic network-fault plan for the proxy↔shard hop.
+///
+/// Mirrors [`FaultPlan`]'s two mechanisms — targeted rules plus seeded
+/// background noise — and its delivery accounting: counters are keyed
+/// per (rule, hop), where a hop is `shard:path`, so injection is
+/// independent of how proxy workers interleave fetches.
+#[derive(Debug, Default)]
+pub struct NetFaultPlan {
+    rules: Vec<NetFaultRule>,
+    seed: u64,
+    probability: f64,
+    delivered: Mutex<HashMap<(usize, String), u32>>,
+}
+
+impl Clone for NetFaultPlan {
+    fn clone(&self) -> NetFaultPlan {
+        NetFaultPlan {
+            rules: self.rules.clone(),
+            seed: self.seed,
+            probability: self.probability,
+            delivered: Mutex::new(
+                self.delivered.lock().unwrap_or_else(|e| e.into_inner()).clone(),
+            ),
+        }
+    }
+}
+
+impl NetFaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> NetFaultPlan {
+        NetFaultPlan::default()
+    }
+
+    /// A background-flakiness plan: each (hop, attempt) fails with
+    /// probability `probability`, decided deterministically from `seed`,
+    /// rotating through every [`NetFaultKind`].
+    pub fn seeded(seed: u64, probability: f64) -> NetFaultPlan {
+        NetFaultPlan { seed, probability: probability.clamp(0.0, 1.0), ..NetFaultPlan::default() }
+    }
+
+    /// Adds a targeted rule (builder style).
+    pub fn fail_hop(
+        mut self,
+        shard: Option<usize>,
+        path_substr: impl Into<String>,
+        kind: NetFaultKind,
+        times: Option<u32>,
+    ) -> NetFaultPlan {
+        self.rules.push(NetFaultRule { shard, path_substr: path_substr.into(), kind, times });
+        self
+    }
+
+    /// Whether the plan can ever inject anything.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty() && self.probability == 0.0
+    }
+
+    /// Parses the `regend --net-inject` specification:
+    ///
+    /// ```text
+    /// shard=<n|any>:kind=<drop|stall|truncate|corrupt-byte>:times=<n|forever>[:path=<substr>][,<rule>...]
+    /// seed=<n>:prob=<float>
+    /// ```
+    pub fn parse_spec(spec: &str) -> Result<NetFaultPlan, String> {
+        let mut plan = NetFaultPlan::new();
+        for rule in spec.split(',').filter(|r| !r.is_empty()) {
+            let mut shard: Option<Option<usize>> = None;
+            let mut kind = None;
+            let mut times = None;
+            let mut path = String::new();
+            let mut seed = None;
+            let mut prob = None;
+            for part in rule.split(':') {
+                let (key, value) = part
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad --net-inject part (want key=value): {part:?}"))?;
+                match key {
+                    "shard" => {
+                        shard = Some(if value == "any" {
+                            None
+                        } else {
+                            Some(value.parse::<usize>().map_err(|e| {
+                                format!("bad shard value {value:?}: {e}")
+                            })?)
+                        })
+                    }
+                    "kind" => {
+                        kind = Some(NetFaultKind::parse(value).ok_or_else(|| {
+                            format!(
+                                "unknown net fault kind {value:?} (valid kinds: {})",
+                                NetFaultKind::all_names()
+                            )
+                        })?)
+                    }
+                    "times" => {
+                        times = if value == "forever" {
+                            None
+                        } else {
+                            Some(value.parse::<u32>().map_err(|e| {
+                                format!("bad times value {value:?}: {e}")
+                            })?)
+                        }
+                    }
+                    "path" => path = value.to_string(),
+                    "seed" => {
+                        seed = Some(
+                            value
+                                .parse::<u64>()
+                                .map_err(|e| format!("bad seed value {value:?}: {e}"))?,
+                        )
+                    }
+                    "prob" => {
+                        prob = Some(
+                            value
+                                .parse::<f64>()
+                                .map_err(|e| format!("bad prob value {value:?}: {e}"))?,
+                        )
+                    }
+                    other => return Err(format!("unknown --net-inject key: {other:?}")),
+                }
+            }
+            match (shard, kind, seed, prob) {
+                (Some(s), Some(k), None, None) => {
+                    plan.rules.push(NetFaultRule { shard: s, path_substr: path, kind: k, times });
+                }
+                (None, None, Some(s), Some(p)) => {
+                    plan.seed = s;
+                    plan.probability = p.clamp(0.0, 1.0);
+                }
+                _ => {
+                    return Err(format!(
+                        "--net-inject rule needs shard=...:kind=... or seed=...:prob=...: {rule:?}"
+                    ))
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Decides whether attempt `attempt` of the hop `(shard, path)`
+    /// suffers an injected network fault, and which. Deterministic
+    /// given the plan's history, independent of fetch interleaving
+    /// across hops.
+    pub fn inject(&self, shard: usize, path: &str, attempt: u32) -> Option<NetFaultKind> {
+        let hop = format!("{shard}:{path}");
+        for (i, rule) in self.rules.iter().enumerate() {
+            if rule.shard.is_some_and(|s| s != shard) || !path.contains(rule.path_substr.as_str())
+            {
+                continue;
+            }
+            match rule.times {
+                None => return Some(rule.kind),
+                Some(limit) => {
+                    let mut delivered =
+                        self.delivered.lock().unwrap_or_else(|e| e.into_inner());
+                    let count = delivered.entry((i, hop.clone())).or_insert(0);
+                    if *count < limit {
+                        *count += 1;
+                        return Some(rule.kind);
+                    }
+                }
+            }
+        }
+        if self.probability > 0.0 && unit_hash(self.seed, &hop, attempt) < self.probability {
+            let pick = (mix(self.seed ^ 0xBAD_CAB1E, &hop, attempt)
+                % NetFaultKind::ALL.len() as u64) as usize;
+            return Some(NetFaultKind::ALL[pick]);
+        }
+        None
+    }
+}
+
 /// Deterministic hash of (seed, key, attempt) into a u64.
 fn mix(seed: u64, key: &str, attempt: u32) -> u64 {
     // FNV-1a over the key, then an xorshift* finalizer with the seed and
@@ -410,5 +659,68 @@ mod tests {
         assert!(FaultPlan::parse_spec("cell=x:kind=nope").is_err());
         assert!(FaultPlan::parse_spec("kind=sim").is_err());
         assert!(FaultPlan::parse_spec("cell=x:times=abc").is_err());
+    }
+
+    #[test]
+    fn net_targeted_rule_counts_per_hop() {
+        let p = NetFaultPlan::new().fail_hop(Some(1), "/cell/", NetFaultKind::Drop, Some(2));
+        // Wrong shard and wrong path are untouched.
+        assert_eq!(p.inject(0, "/cell/abc", 0), None);
+        assert_eq!(p.inject(1, "/healthz", 0), None);
+        // Each matching hop gets its own delivery budget.
+        assert_eq!(p.inject(1, "/cell/abc", 0), Some(NetFaultKind::Drop));
+        assert_eq!(p.inject(1, "/cell/abc", 1), Some(NetFaultKind::Drop));
+        assert_eq!(p.inject(1, "/cell/abc", 2), None, "times=2 exhausted");
+        assert_eq!(p.inject(1, "/cell/def", 0), Some(NetFaultKind::Drop));
+    }
+
+    #[test]
+    fn net_any_shard_rule_and_forever() {
+        let p = NetFaultPlan::new().fail_hop(None, "", NetFaultKind::Stall, None);
+        for shard in 0..4 {
+            for attempt in 0..3 {
+                assert_eq!(p.inject(shard, "/artifact/figure2", attempt), Some(NetFaultKind::Stall));
+            }
+        }
+    }
+
+    #[test]
+    fn net_seeded_background_is_deterministic() {
+        let a = NetFaultPlan::seeded(42, 0.3);
+        let b = NetFaultPlan::seeded(42, 0.3);
+        for attempt in 0..20 {
+            assert_eq!(a.inject(2, "/cell/k", attempt), b.inject(2, "/cell/k", attempt));
+        }
+        let p = NetFaultPlan::seeded(7, 0.25);
+        let hits = (0..1000usize)
+            .filter(|i| p.inject(i % 4, &format!("/cell/{i}"), 0).is_some())
+            .count();
+        assert!((150..350).contains(&hits), "rate {hits}/1000");
+        // A clone replays identically from the same delivery history.
+        let p = NetFaultPlan::new().fail_hop(Some(0), "", NetFaultKind::Truncate, Some(1));
+        assert_eq!(p.inject(0, "/x", 0), Some(NetFaultKind::Truncate));
+        let c = p.clone();
+        assert_eq!(c.inject(0, "/x", 1), None, "clone carries delivery counters");
+    }
+
+    #[test]
+    fn net_spec_round_trips() {
+        let p = NetFaultPlan::parse_spec("shard=1:kind=drop:times=1").unwrap();
+        assert_eq!(p.inject(1, "/cell/x", 0), Some(NetFaultKind::Drop));
+        assert_eq!(p.inject(1, "/cell/x", 1), None);
+        let p = NetFaultPlan::parse_spec(
+            "shard=any:kind=corrupt-byte:times=forever:path=/cell/,seed=3:prob=0.5",
+        )
+        .unwrap();
+        assert_eq!(p.inject(3, "/cell/x", 0), Some(NetFaultKind::CorruptByte));
+        assert!(!p.is_empty());
+        assert!(NetFaultPlan::parse_spec("shard=0:kind=nope").is_err());
+        assert!(NetFaultPlan::parse_spec("kind=drop").is_err());
+        assert!(NetFaultPlan::parse_spec("shard=x:kind=drop").is_err());
+        let err = NetFaultPlan::parse_spec("shard=0:kind=bogus").unwrap_err();
+        for k in NetFaultKind::ALL {
+            assert!(err.contains(k.name()), "{err:?} must name {}", k.name());
+        }
+        assert!(NetFaultPlan::new().is_empty());
     }
 }

@@ -57,19 +57,20 @@ pub mod stats;
 
 pub use attribution::{attribute, Attribution, Slice, Toggle, OS_TOGGLES};
 pub use campaign::{
-    classify, enumerate_coordinates, scan_journal_text, stratified_sample, CampaignJournal,
-    CampaignReport, Coordinate, CoordinateOutcome, SurvivalClass, SweepObservation,
-    CAMPAIGN_JOURNAL_HEADER,
+    classify, classify_cluster, enumerate_cluster_coordinates, enumerate_coordinates,
+    scan_journal_text, stratified_sample, CampaignJournal, CampaignReport, ClusterCampaignReport,
+    ClusterCoordinate, ClusterObservation, ClusterOutcome, Coordinate, CoordinateOutcome,
+    FaultTiming, SurvivalClass, SweepObservation, CAMPAIGN_JOURNAL_HEADER,
 };
 pub use executor::{default_jobs, jobs_from_env, Executor, DEFAULT_PANIC_BREAKER};
-pub use faultplan::{FaultKind, FaultPlan, FaultRule};
+pub use faultplan::{FaultKind, FaultPlan, FaultRule, NetFaultKind, NetFaultPlan, NetFaultRule};
 pub use harness::{
     cell_value_json, classify_line, escape_json, fsck_journal, ExperimentError, FsckReport,
     Harness, HarnessStats, Journal, JournalScan, LineClass, RetryPolicy, RunContext, Watchdog,
     JOURNAL_HEADER_V2,
 };
 pub use singleflight::{FlightOutcome, SingleFlight};
-pub use obs::{Clock, Event, EventBus, EventKind, SystemClock, VirtualClock};
+pub use obs::{Clock, Event, EventBus, EventKind, ShardState, SystemClock, VirtualClock};
 pub use persist::{atomic_write, crc32, WriteDamage};
 pub use plan::{CellOutcome, CellSource, CellSpec, CellValue, ExperimentPlan};
 pub use probe::{ProbeConfig, ProbeResult};

@@ -7,6 +7,7 @@
 //! a tautology. Histograms cover per-experiment wall clock and per-cell
 //! queue latency.
 
+use std::collections::BTreeMap;
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::fmt::Write as _;
@@ -131,6 +132,13 @@ pub fn prometheus_text(events: &[Event], stats: &HarnessStats) -> String {
     let mut campaign_finished = 0u64;
     let mut campaign_classes: HashMap<&'static str, u64> = HashMap::new();
 
+    // Cluster families, emitted by the sharded-serving proxy. BTreeMaps
+    // keep label order deterministic without a sort pass.
+    let mut shard_fetches: BTreeMap<(usize, bool), u64> = BTreeMap::new();
+    let mut shard_failovers: BTreeMap<usize, u64> = BTreeMap::new();
+    let mut shard_states: BTreeMap<usize, super::ShardState> = BTreeMap::new();
+    let mut net_faults: HashMap<&'static str, u64> = HashMap::new();
+
     // Queue latency: pair each CellQueued with the next CellStarted for
     // the same cell key (FIFO per key; a re-executed plan can queue the
     // same key again later).
@@ -180,6 +188,18 @@ pub fn prometheus_text(events: &[Event], stats: &HarnessStats) -> String {
             }
             EventKind::CampaignReplayed => campaign_replayed += 1,
             EventKind::CampaignFinished => campaign_finished += 1,
+            EventKind::ShardFetch { shard, ok } => {
+                *shard_fetches.entry((*shard, *ok)).or_default() += 1;
+            }
+            EventKind::ShardStateChanged { shard, state } => {
+                shard_states.insert(*shard, *state);
+            }
+            EventKind::ShardFailover { shard } => {
+                *shard_failovers.entry(*shard).or_default() += 1;
+            }
+            EventKind::NetFaultInjected { fault } => {
+                *net_faults.entry(fault.name()).or_default() += 1;
+            }
             EventKind::CellQueued => {
                 queued.entry(e.cell.as_str()).or_default().push_back(e.ts);
             }
@@ -440,6 +460,53 @@ pub fn prometheus_text(events: &[Event], stats: &HarnessStats) -> String {
         );
     }
 
+    // Cluster families (all zero unless the events came from a sharded
+    // `regend` proxy).
+    header(
+        &mut out,
+        "regend_shard_fetches_total",
+        "counter",
+        "Proxy fetch attempts against shards, by shard and outcome.",
+    );
+    for ((shard, ok), n) in &shard_fetches {
+        let _ = writeln!(
+            out,
+            "regend_shard_fetches_total{{shard=\"{shard}\",ok=\"{ok}\"}} {n}"
+        );
+    }
+    header(
+        &mut out,
+        "regend_shard_failovers_total",
+        "counter",
+        "Requests the proxy answered by local recompute after giving up on a shard.",
+    );
+    for (shard, n) in &shard_failovers {
+        let _ = writeln!(out, "regend_shard_failovers_total{{shard=\"{shard}\"}} {n}");
+    }
+    header(
+        &mut out,
+        "regend_shard_state",
+        "gauge",
+        "Last observed shard health state (0 = healthy, 1 = suspect, 2 = down).",
+    );
+    for (shard, state) in &shard_states {
+        let _ = writeln!(out, "regend_shard_state{{shard=\"{shard}\"}} {}", state.gauge());
+    }
+    header(
+        &mut out,
+        "regend_net_faults_injected_total",
+        "counter",
+        "Network faults the proxy's plan injected into proxy-shard hops, by kind.",
+    );
+    for kind in crate::faultplan::NetFaultKind::ALL {
+        let _ = writeln!(
+            out,
+            "regend_net_faults_injected_total{{kind=\"{}\"}} {}",
+            kind.name(),
+            net_faults.get(kind.name()).copied().unwrap_or(0)
+        );
+    }
+
     // Interpreter throughput families: process-wide totals published by
     // every `uarch::Machine` when a run or slice ends. Unlike the other
     // counters these do not come from the event stream — the interpreter
@@ -524,6 +591,47 @@ mod tests {
         assert_eq!(metric_value(&text, "regend_pipeline_depth_count"), Some(2.0));
         assert!(text.contains("regend_pipeline_depth_bucket{le=\"2\"} 1"));
         assert!(text.contains("regend_pipeline_depth_bucket{le=\"4\"} 2"));
+    }
+
+    #[test]
+    fn cluster_families_derive_from_shard_events() {
+        use super::super::ShardState;
+        use crate::faultplan::NetFaultKind;
+        let bus = EventBus::with_clock(Arc::new(VirtualClock::new()));
+        bus.emit("regend", "/cell/x", "", 0, EventKind::ShardFetch { shard: 1, ok: true });
+        bus.emit("regend", "/cell/x", "", 1, EventKind::ShardFetch { shard: 1, ok: false });
+        bus.emit("regend", "/cell/x", "", 1, EventKind::ShardFetch { shard: 1, ok: false });
+        bus.emit(
+            "regend",
+            "",
+            "",
+            0,
+            EventKind::ShardStateChanged { shard: 1, state: ShardState::Suspect },
+        );
+        bus.emit(
+            "regend",
+            "",
+            "",
+            0,
+            EventKind::ShardStateChanged { shard: 1, state: ShardState::Down },
+        );
+        bus.emit("regend", "/cell/x", "", 0, EventKind::ShardFailover { shard: 1 });
+        bus.emit(
+            "regend",
+            "/cell/x",
+            "",
+            0,
+            EventKind::NetFaultInjected { fault: NetFaultKind::Drop },
+        );
+        let text = prometheus_text(&bus.snapshot(), &HarnessStats::default());
+        assert!(text.contains("regend_shard_fetches_total{shard=\"1\",ok=\"true\"} 1"));
+        assert!(text.contains("regend_shard_fetches_total{shard=\"1\",ok=\"false\"} 2"));
+        assert!(text.contains("regend_shard_failovers_total{shard=\"1\"} 1"));
+        // The gauge reflects the *last* state change, not a sum.
+        assert!(text.contains("regend_shard_state{shard=\"1\"} 2"), "{text}");
+        assert!(text.contains("regend_net_faults_injected_total{kind=\"drop\"} 1"));
+        // Every net-fault label is always present, even at zero.
+        assert!(text.contains("regend_net_faults_injected_total{kind=\"corrupt-byte\"} 0"));
     }
 
     #[test]

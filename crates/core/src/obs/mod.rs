@@ -174,6 +174,34 @@ pub enum EventKind {
     CampaignReplayed,
     /// The campaign reduced its outcomes into the survivability report.
     CampaignFinished,
+
+    // Cluster kinds, emitted by the sharded-serving proxy. The `cell`
+    // field carries the request path of the hop (or probe).
+    /// The proxy completed one fetch attempt against a shard.
+    ShardFetch {
+        /// Index of the shard the hop targeted.
+        shard: usize,
+        /// Whether the fetch returned a verified response.
+        ok: bool,
+    },
+    /// A shard's health state machine moved to a new state.
+    ShardStateChanged {
+        /// Index of the shard whose state changed.
+        shard: usize,
+        /// The state it moved to.
+        state: ShardState,
+    },
+    /// The proxy gave up on a shard for one request and recomputed the
+    /// answer locally (failover; bytes stay identical by construction).
+    ShardFailover {
+        /// Index of the shard that was failed over.
+        shard: usize,
+    },
+    /// The proxy's network fault plan injected a failure into a hop.
+    NetFaultInjected {
+        /// The injected network failure kind.
+        fault: crate::faultplan::NetFaultKind,
+    },
 }
 
 impl EventKind {
@@ -209,7 +237,57 @@ impl EventKind {
             EventKind::CampaignCoordinate { .. } => "campaign_coordinate",
             EventKind::CampaignReplayed => "campaign_replayed",
             EventKind::CampaignFinished => "campaign_finished",
+            EventKind::ShardFetch { .. } => "shard_fetch",
+            EventKind::ShardStateChanged { .. } => "shard_state_changed",
+            EventKind::ShardFailover { .. } => "shard_failover",
+            EventKind::NetFaultInjected { .. } => "net_fault_injected",
         }
+    }
+}
+
+/// The health state of one shard, as judged by the proxy's probe loop
+/// plus passive fetch outcomes. The machine is deliberately small:
+/// one failure makes a shard *suspect* (still routed to, retried
+/// harder), three consecutive failures make it *down* (skipped —
+/// requests fail over to local recompute immediately), and any success
+/// snaps it back to *healthy*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShardState {
+    /// Last probe/fetch succeeded; routed to normally.
+    Healthy,
+    /// At least one recent failure; routed to, but treated warily.
+    Suspect,
+    /// Consecutive-failure threshold crossed; fail over without trying.
+    Down,
+}
+
+impl ShardState {
+    /// Every state, in escalation order.
+    pub const ALL: [ShardState; 3] = [ShardState::Healthy, ShardState::Suspect, ShardState::Down];
+
+    /// Stable name, used by `/healthz` JSON and metric labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShardState::Healthy => "healthy",
+            ShardState::Suspect => "suspect",
+            ShardState::Down => "down",
+        }
+    }
+
+    /// Numeric gauge value for the Prometheus exposition
+    /// (0 = healthy, 1 = suspect, 2 = down).
+    pub fn gauge(self) -> u64 {
+        match self {
+            ShardState::Healthy => 0,
+            ShardState::Suspect => 1,
+            ShardState::Down => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for ShardState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 

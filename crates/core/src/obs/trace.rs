@@ -135,7 +135,11 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
             | EventKind::CampaignStarted { .. }
             | EventKind::CampaignCoordinate { .. }
             | EventKind::CampaignReplayed
-            | EventKind::CampaignFinished => {
+            | EventKind::CampaignFinished
+            | EventKind::ShardFetch { .. }
+            | EventKind::ShardStateChanged { .. }
+            | EventKind::ShardFailover { .. }
+            | EventKind::NetFaultInjected { .. } => {
                 records.push(format!(
                     "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"ts\":{},\"s\":\"t\",\
                      \"pid\":1,\"tid\":{},\"args\":{{\"cell\":\"{}\",\"attempt\":{}}}}}",

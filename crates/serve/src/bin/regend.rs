@@ -16,11 +16,16 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use serve::{install_sigterm_hook, Server, ServerConfig};
-use spectrebench::{jobs_from_env, FaultPlan};
+use serve::{
+    boot_shards, install_sigterm_hook, proxy_config, run_cluster_campaign, Server, ServerConfig,
+    ClusterCampaignConfig,
+};
+use spectrebench::{atomic_write, jobs_from_env, FaultPlan, NetFaultPlan};
 
 fn usage(to_stdout: bool) {
     let text = "usage: regend [options]\n\
+         \x20      regend campaign [--shards <n>] [--full] [--jobs <n>]\n\
+         \x20                      [--report <f>] [--check <baseline>]\n\
          \n\
          options:\n\
          \x20 --addr <ip:port>    bind address (default 127.0.0.1:7979; port 0\n\
@@ -42,6 +47,22 @@ fn usage(to_stdout: bool) {
          \x20 --inject <spec>     deterministic fault plan (same syntax as\n\
          \x20                     regen --inject; for testing recovery)\n\
          \n\
+         cluster options:\n\
+         \x20 --shards <n>        boot an in-process cluster: n shard servers on\n\
+         \x20                     ephemeral ports plus this proxy front end;\n\
+         \x20                     content keys are consistent-hashed across shards\n\
+         \x20 --shard-addrs <a,b> proxy an existing cluster at these addresses\n\
+         \x20                     (mutually exclusive with --shards)\n\
+         \x20 --net-inject <spec> deterministic network faults on the proxy<->shard\n\
+         \x20                     hop: kind=drop|stall|truncate|corrupt-byte,\n\
+         \x20                     shard=<n>|any, times=<n>|forever, path=<substr>,\n\
+         \x20                     seed=<n>, prob=<p>\n\
+         \x20 --probe-interval-ms <n>  shard health probe cadence (default 100)\n\
+         \n\
+         campaign: enumerate the (shard x net-fault x timing) space, boot a\n\
+         \x20  cluster per coordinate, classify client-visible outcomes; exits 1\n\
+         \x20  on any silent corruption, 1 on --check baseline drift\n\
+         \n\
          endpoints: /healthz /metrics /artifacts /artifact/<name>\n\
          \x20          /results /cell/<experiment>/<key> POST /shutdown\n";
     if to_stdout {
@@ -51,8 +72,9 @@ fn usage(to_stdout: bool) {
     }
 }
 
-fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
+fn parse_args(args: &[String]) -> Result<(ServerConfig, Option<usize>), String> {
     let mut cfg = ServerConfig::default();
+    let mut shards: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         let arg = &args[i];
@@ -111,11 +133,136 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
                 cfg.inject =
                     Some(FaultPlan::parse_spec(&spec).map_err(|e| format!("bad --inject: {e}"))?);
             }
+            "--shards" => {
+                let v = value("--shards")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --shards value: {v}"))?;
+                if n == 0 {
+                    return Err("--shards must be at least 1".to_string());
+                }
+                shards = Some(n);
+            }
+            "--shard-addrs" => {
+                cfg.shard_addrs = value("--shard-addrs")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if cfg.shard_addrs.is_empty() {
+                    return Err("--shard-addrs needs at least one address".to_string());
+                }
+            }
+            "--net-inject" => {
+                let spec = value("--net-inject")?;
+                cfg.net_inject = Some(
+                    NetFaultPlan::parse_spec(&spec)
+                        .map_err(|e| format!("bad --net-inject: {e}"))?,
+                );
+            }
+            "--probe-interval-ms" => {
+                let v = value("--probe-interval-ms")?;
+                let ms: u64 =
+                    v.parse().map_err(|_| format!("bad --probe-interval-ms value: {v}"))?;
+                if ms == 0 {
+                    return Err("--probe-interval-ms must be at least 1".to_string());
+                }
+                cfg.probe_interval = Duration::from_millis(ms);
+            }
             other => return Err(format!("unknown flag: {other}")),
         }
         i += 1;
     }
-    Ok(cfg)
+    if shards.is_some() && !cfg.shard_addrs.is_empty() {
+        return Err("--shards and --shard-addrs are mutually exclusive".to_string());
+    }
+    Ok((cfg, shards))
+}
+
+/// Parses and runs `regend campaign`: the serving-tier fault-space
+/// sweep. Exits 1 on silent corruption or baseline drift, 2 on usage.
+fn run_campaign_cmd(args: &[String]) -> ExitCode {
+    let mut cfg = ClusterCampaignConfig::default();
+    let mut report_path: Option<std::path::PathBuf> = None;
+    let mut check_path: Option<std::path::PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let mut value = |flag: &str| -> Result<String, String> {
+            i += 1;
+            args.get(i).cloned().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        let parsed: Result<(), String> = (|| {
+            match arg.as_str() {
+                "--shards" => {
+                    let v = value("--shards")?;
+                    cfg.shards =
+                        v.parse().map_err(|_| format!("bad --shards value: {v}"))?;
+                    if cfg.shards == 0 {
+                        return Err("--shards must be at least 1".to_string());
+                    }
+                }
+                "--full" => cfg.quick = false,
+                "--jobs" => {
+                    let v = value("--jobs")?;
+                    cfg.jobs =
+                        Some(v.parse().map_err(|_| format!("bad --jobs value: {v}"))?);
+                }
+                "--report" => report_path = Some(value("--report")?.into()),
+                "--check" => check_path = Some(value("--check")?.into()),
+                other => return Err(format!("unknown campaign flag: {other}")),
+            }
+            Ok(())
+        })();
+        if let Err(msg) = parsed {
+            eprintln!("regend campaign: {msg}");
+            return ExitCode::from(2);
+        }
+        i += 1;
+    }
+    let report = match run_cluster_campaign(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("regend campaign: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", report.render_matrix());
+    let json = report.to_json();
+    if let Some(path) = &report_path {
+        if let Err(e) = atomic_write(path, json.as_bytes()) {
+            eprintln!("regend campaign: cannot write report: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("regend campaign: report written to {}", path.display());
+    }
+    let mut failed = false;
+    for o in report.silent_corruptions() {
+        eprintln!("regend campaign: SILENT CORRUPTION at {} ({})", o.coord.id(), o.detail);
+        failed = true;
+    }
+    if let Some(path) = &check_path {
+        match std::fs::read(path) {
+            Ok(baseline) if baseline == json.as_bytes() => {
+                eprintln!("regend campaign: matches baseline {}", path.display());
+            }
+            Ok(_) => {
+                eprintln!(
+                    "regend campaign: DRIFT from baseline {} (rerun with --report to refresh \
+                     after reviewing the diff)",
+                    path.display()
+                );
+                failed = true;
+            }
+            Err(e) => {
+                eprintln!("regend campaign: cannot read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn main() -> ExitCode {
@@ -124,8 +271,11 @@ fn main() -> ExitCode {
         usage(true);
         return ExitCode::SUCCESS;
     }
-    let mut cfg = match parse_args(&args) {
-        Ok(cfg) => cfg,
+    if args.first().map(String::as_str) == Some("campaign") {
+        return run_campaign_cmd(&args[1..]);
+    }
+    let (mut cfg, shards) = match parse_args(&args) {
+        Ok(parsed) => parsed,
         Err(msg) => {
             eprintln!("regend: {msg}");
             eprintln!();
@@ -140,6 +290,28 @@ fn main() -> ExitCode {
             Ok(n) => cfg.jobs = n,
             Err(msg) => {
                 eprintln!("regend: {msg}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // --shards N: boot the shard tier in-process, then serve as its
+    // proxy. Each shard is a full regend server on its own ephemeral
+    // port with its own executor and journal (<journal>-shard<i>).
+    let mut shard_instances = Vec::new();
+    if let Some(n) = shards {
+        match boot_shards(&cfg, n) {
+            Ok(instances) => {
+                let addrs: Vec<String> =
+                    instances.iter().map(|s| s.addr.clone()).collect();
+                for s in &instances {
+                    eprintln!("regend: shard {} on http://{}/", s.index, s.addr);
+                }
+                cfg = proxy_config(&cfg, addrs);
+                shard_instances = instances;
+            }
+            Err(e) => {
+                eprintln!("regend: cannot boot shards: {e}");
                 return ExitCode::from(2);
             }
         }
@@ -161,6 +333,11 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // The proxy has drained; drain the in-process shard tier behind it.
+    for s in shard_instances {
+        s.handle.drain();
+        let _ = s.join.join();
+    }
     eprintln!(
         "regend: drained: {} request(s) served, {} admitted, {} rejected with 429",
         summary.served, summary.admitted, summary.rejected

@@ -1,0 +1,213 @@
+//! Serving-tier fault-space campaigns: enumerate every
+//! (shard × net-fault-kind × timing) coordinate, boot a real cluster
+//! under that fault, burst requests through the proxy, and classify
+//! what clients observed on the absorbed / degraded / failed-loud /
+//! silent-corruption lattice.
+//!
+//! This is the cluster analogue of the executor-level campaign
+//! (`regen campaign`): where that one proves the *compute* tier's
+//! retry/journal envelope, this one proves the *serving* tier's
+//! retry/failover envelope. The report is byte-deterministic (classes
+//! only — see [`ClusterCampaignReport`]) so `CAMPAIGN_CLUSTER_BASELINE
+//! .json` can be committed and CI can hold the line at zero silent
+//! corruption.
+//!
+//! Topology per run: one set of shard servers (booted once — shard
+//! caches only make hops faster, never change bytes) and one fresh
+//! proxy per coordinate carrying that coordinate's [`NetFaultPlan`]
+//! with zeroed delivery counters. Every burst compares response bytes
+//! against a serial single-server reference fetched up front.
+//!
+//! [`NetFaultPlan`]: spectrebench::NetFaultPlan
+
+use bench::client::Connection;
+use bench::Artifact;
+use spectrebench::{
+    classify_cluster, enumerate_cluster_coordinates, ClusterCampaignReport, ClusterObservation,
+    ClusterOutcome, SurvivalClass,
+};
+
+use crate::cluster::{boot_shards, proxy_config, shard_config};
+use crate::core::ServerConfig;
+use crate::server::Server;
+
+/// Knobs for one serving-tier campaign.
+#[derive(Debug, Clone)]
+pub struct ClusterCampaignConfig {
+    /// Cluster width; the coordinate space scales linearly with it.
+    pub shards: usize,
+    /// Quick workload variants (the committed baseline uses quick —
+    /// the serving tier's behavior is variant-independent).
+    pub quick: bool,
+    /// Executor worker threads per plan (`None`: `REGEN_JOBS` /
+    /// machine default).
+    pub jobs: Option<usize>,
+}
+
+impl Default for ClusterCampaignConfig {
+    fn default() -> ClusterCampaignConfig {
+        ClusterCampaignConfig { shards: 4, quick: true, jobs: None }
+    }
+}
+
+/// The burst issued per coordinate: the whole-document fan-out plus
+/// every single-artifact path, so at least one hop lands on every
+/// shard that owns anything.
+fn burst_paths(quick: bool) -> Vec<String> {
+    let q = u32::from(quick);
+    let mut paths = vec![format!("/results?quick={q}")];
+    for artifact in Artifact::ALL {
+        paths.push(format!("/artifact/{}?quick={q}", artifact.name()));
+    }
+    paths
+}
+
+fn timeout() -> std::time::Duration {
+    std::time::Duration::from_secs(60)
+}
+
+/// Fetches every burst path once from `addr`, returning the bodies.
+fn fetch_bodies(addr: &str, paths: &[String]) -> Result<Vec<Vec<u8>>, String> {
+    let mut conn = Connection::new(addr, timeout());
+    paths
+        .iter()
+        .map(|p| match conn.get_classified(p) {
+            Ok(r) if r.status == 200 => Ok(r.body),
+            Ok(r) => Err(format!("{p} answered {}", r.status)),
+            Err((_, e)) => Err(format!("{p} failed: {e}")),
+        })
+        .collect()
+}
+
+/// Runs the full campaign and returns the deterministic report.
+pub fn run_cluster_campaign(
+    cfg: &ClusterCampaignConfig,
+) -> std::io::Result<ClusterCampaignReport> {
+    let base = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        quick: cfg.quick,
+        jobs: cfg.jobs,
+        // Two attempts per hop keep `first`-timing absorption observable
+        // while bounding the worst-case backoff spent before failover.
+        fetch_attempts: 2,
+        ..ServerConfig::default()
+    };
+    let paths = burst_paths(cfg.quick);
+
+    // Serial reference: one plain server, every path once.
+    let reference = {
+        let server = Server::bind(shard_config(&base, usize::MAX))?;
+        let addr = server.local_addr().to_string();
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run());
+        let bodies = fetch_bodies(&addr, &paths);
+        handle.drain();
+        let _ = join.join();
+        bodies.map_err(|e| {
+            std::io::Error::other(format!("serial reference sweep failed: {e}"))
+        })?
+    };
+
+    // The shard tier, shared across coordinates.
+    let shards = boot_shards(&base, cfg.shards)?;
+    let addrs: Vec<String> = shards.iter().map(|s| s.addr.clone()).collect();
+
+    let mut outcomes = Vec::new();
+    for coord in enumerate_cluster_coordinates(cfg.shards) {
+        let mut proxy_cfg = proxy_config(&base, addrs.clone());
+        proxy_cfg.net_inject = Some(coord.net_fault_plan());
+        let proxy = Server::bind(proxy_cfg)?;
+        let proxy_addr = proxy.local_addr().to_string();
+        let handle = proxy.handle();
+        let join = std::thread::spawn(move || proxy.run());
+
+        let mut obs = ClusterObservation::default();
+        let mut conn = Connection::new(&proxy_addr, timeout());
+        for (i, path) in paths.iter().enumerate() {
+            match conn.get_classified(path) {
+                Ok(r) if r.status == 200 => {
+                    if r.body == reference[i] {
+                        obs.responses_200 += 1;
+                    } else {
+                        obs.mismatches += 1;
+                    }
+                    if r.header("x-regend-shard-degraded").is_some() {
+                        obs.failovers += 1;
+                        obs.degraded += 1;
+                    }
+                }
+                Ok(r) if r.status == 503 => obs.responses_503 += 1,
+                Ok(_) => obs.errors += 1,
+                Err(_) => obs.errors += 1,
+            }
+        }
+        handle.drain();
+        let _ = join.join();
+
+        let class = classify_cluster(&obs);
+        let detail = match class {
+            SurvivalClass::Absorbed => "retry absorbed the fault".to_string(),
+            SurvivalClass::Degraded => "failover to local recompute".to_string(),
+            SurvivalClass::FailedLoud => "request errors reached the client".to_string(),
+            SurvivalClass::SilentCorruption => "byte mismatch reached the client".to_string(),
+        };
+        outcomes.push(ClusterOutcome { coord, class, detail });
+    }
+
+    for shard in shards {
+        shard.handle.drain();
+        let _ = shard.join.join();
+    }
+
+    Ok(ClusterCampaignReport {
+        shards: cfg.shards,
+        requests_per_coordinate: paths.len(),
+        quick: cfg.quick,
+        outcomes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spectrebench::{FaultTiming, NetFaultKind};
+
+    /// A one-shard campaign end to end: the whole coordinate space is
+    /// classified, nothing silently corrupts, and `always`-timing
+    /// faults degrade (failover) rather than fail loud.
+    #[test]
+    fn one_shard_campaign_classifies_the_space() {
+        let report = run_cluster_campaign(&ClusterCampaignConfig {
+            shards: 1,
+            quick: true,
+            jobs: Some(2),
+        })
+        .expect("campaign runs");
+        assert_eq!(report.outcomes.len(), NetFaultKind::ALL.len() * FaultTiming::ALL.len());
+        assert!(
+            report.silent_corruptions().is_empty(),
+            "silent corruption:\n{}",
+            report.render_matrix()
+        );
+        for outcome in &report.outcomes {
+            match outcome.coord.timing {
+                FaultTiming::First => assert_eq!(
+                    outcome.class,
+                    SurvivalClass::Absorbed,
+                    "first-timing fault must be absorbed by retry: {}\n{}",
+                    outcome.coord.id(),
+                    report.render_matrix()
+                ),
+                FaultTiming::Always => assert_eq!(
+                    outcome.class,
+                    SurvivalClass::Degraded,
+                    "always-timing fault must degrade, not fail: {}\n{}",
+                    outcome.coord.id(),
+                    report.render_matrix()
+                ),
+            }
+        }
+        // The report is byte-deterministic: rendering twice is identical.
+        assert_eq!(report.to_json(), report.to_json());
+    }
+}

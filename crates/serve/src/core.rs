@@ -21,7 +21,7 @@
 // regend serves results; a request must never take down the process.
 #![allow(clippy::result_large_err)]
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -30,11 +30,12 @@ use bench::{render_artifact_block, Artifact, ArtifactResult};
 use spectrebench::obs::metrics::prometheus_text;
 use spectrebench::obs::EventKind;
 use spectrebench::{
-    cell_value_json, default_jobs, EventBus, Executor, FaultPlan, FlightOutcome, Harness,
-    HarnessStats, Journal, RetryPolicy, SingleFlight,
+    cell_value_json, crc32, default_jobs, EventBus, Executor, FaultPlan, FlightOutcome, Harness,
+    HarnessStats, Journal, NetFaultPlan, RetryPolicy, SingleFlight,
 };
 
 use crate::http::{percent_encode_path, Request, Response};
+use crate::shard::Cluster;
 
 pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
@@ -71,6 +72,22 @@ pub struct ServerConfig {
     /// progress (no bytes read or written) before the event loop
     /// reaps it.
     pub idle_timeout: Duration,
+    /// Shard listener addresses. Empty: this instance answers from its
+    /// own executor (a plain server, or one shard of a cluster).
+    /// Non-empty: this instance is the cluster proxy — slow work is
+    /// routed to the owning shard and only recomputed locally on
+    /// failover.
+    pub shard_addrs: Vec<String>,
+    /// Deterministic network-fault injection on the proxy↔shard hop
+    /// (tests/campaigns; the executor-level `inject` stays separate).
+    pub net_inject: Option<NetFaultPlan>,
+    /// How often the proxy probes each shard's `/healthz`.
+    pub probe_interval: Duration,
+    /// Socket timeout for one proxy→shard fetch.
+    pub fetch_timeout: Duration,
+    /// Fetch attempts per shard hop before the proxy fails over to
+    /// local recompute.
+    pub fetch_attempts: u32,
 }
 
 impl Default for ServerConfig {
@@ -87,6 +104,11 @@ impl Default for ServerConfig {
             default_deadline: None,
             io_timeout: Duration::from_secs(10),
             idle_timeout: Duration::from_secs(30),
+            shard_addrs: Vec::new(),
+            net_inject: None,
+            probe_interval: Duration::from_millis(100),
+            fetch_timeout: Duration::from_secs(10),
+            fetch_attempts: 3,
         }
     }
 }
@@ -177,9 +199,18 @@ pub struct Core {
     pub exec: Executor,
     /// Event bus feeding `/metrics` and trace exports.
     pub bus: Arc<EventBus>,
+    /// The shard cluster when this instance is the proxy front end
+    /// (see [`crate::proxy`]); `None` for plain servers and shards.
+    pub cluster: Option<Cluster>,
     flights: SingleFlight<ArtifactEntry>,
-    rendered: Mutex<HashMap<(&'static str, bool), Rendered>>,
-    results: Mutex<HashMap<bool, Arc<[u8]>>>,
+    pub(crate) rendered: Mutex<HashMap<(&'static str, bool), Rendered>>,
+    /// `(artifact, quick)` pairs whose sweep ran on *this* executor, so
+    /// its cell cache holds their values. A proxy's rendered cache can
+    /// be filled from shard bytes instead, which satisfy `/artifact`
+    /// and `/results` but carry no cell values — `/cell` failover must
+    /// consult this, not the rendered cache.
+    swept: Mutex<HashSet<(&'static str, bool)>>,
+    pub(crate) results: Mutex<HashMap<bool, Arc<[u8]>>>,
     /// Drain flag (SIGTERM, `POST /shutdown`, or a handle).
     pub draining: AtomicBool,
     /// Requests admitted.
@@ -217,12 +248,24 @@ impl Core {
         if let Some(path) = &cfg.journal {
             exec = exec.with_journal(Journal::open(path)?);
         }
+        let cluster = if cfg.shard_addrs.is_empty() {
+            None
+        } else {
+            Some(Cluster::new(
+                &cfg.shard_addrs,
+                cfg.net_inject.clone(),
+                cfg.fetch_timeout,
+                cfg.fetch_attempts,
+            ))
+        };
         Ok(Core {
             cfg,
             exec,
             bus,
+            cluster,
             flights: SingleFlight::new(),
             rendered: Mutex::new(HashMap::new()),
+            swept: Mutex::new(HashSet::new()),
             results: Mutex::new(HashMap::new()),
             draining: AtomicBool::new(false),
             admitted: AtomicU64::new(0),
@@ -290,8 +333,18 @@ impl Core {
         }
     }
 
-    /// Runs one piece of classified slow work to completion.
+    /// Runs one piece of classified slow work to completion. A proxy
+    /// core routes it to the owning shard (with failover back to the
+    /// local executor); a plain core runs it locally.
     pub fn execute(&self, work: &SlowWork, path: &str) -> Response {
+        match &self.cluster {
+            Some(cluster) => crate::proxy::execute(self, cluster, work, path),
+            None => self.execute_local(work, path),
+        }
+    }
+
+    /// Runs slow work on this instance's own executor.
+    pub(crate) fn execute_local(&self, work: &SlowWork, path: &str) -> Response {
         match work {
             SlowWork::Artifact { artifact, quick } => match self.obtain(*artifact, *quick, path) {
                 Ok(r) => artifact_response(&r, *quick),
@@ -308,17 +361,35 @@ impl Core {
 
     fn healthz(&self, queue_depth: usize) -> Response {
         let status = if self.is_draining() { "draining" } else { "ok" };
-        Response::json(
-            200,
-            format!(
-                "{{\"status\":\"{}\",\"queue_depth\":{},\"in_flight\":{},\"cache_cells\":{},\"artifacts_cached\":{}}}\n",
-                status,
-                queue_depth,
-                self.in_flight.load(Ordering::SeqCst),
-                self.exec.cache_len(),
-                lock(&self.rendered).len()
-            ),
-        )
+        let mut body = format!(
+            "{{\"status\":\"{}\",\"queue_depth\":{},\"in_flight\":{},\"cache_cells\":{},\"artifacts_cached\":{}",
+            status,
+            queue_depth,
+            self.in_flight.load(Ordering::SeqCst),
+            self.exec.cache_len(),
+            lock(&self.rendered).len()
+        );
+        // A proxy also reports per-shard readiness: id, address,
+        // state-machine position, and seconds since last contact.
+        if let Some(cluster) = &self.cluster {
+            body.push_str(",\"shards\":[");
+            for (i, s) in cluster.statuses().iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                let age = match s.last_seen_secs {
+                    Some(a) => format!("{a:.3}"),
+                    None => "null".to_string(),
+                };
+                body.push_str(&format!(
+                    "{{\"shard\":{},\"addr\":\"{}\",\"state\":\"{}\",\"last_probe_age_secs\":{}}}",
+                    s.shard, s.addr, s.state, age
+                ));
+            }
+            body.push(']');
+        }
+        body.push_str("}\n");
+        Response::json(200, body)
     }
 
     fn metrics(&self) -> Response {
@@ -415,10 +486,10 @@ impl Core {
             Err(resp) => return Action::Done(resp),
         };
         if let Some(v) = self.exec.cache_lookup(content_key, seed) {
-            return Action::Done(Response::json(
-                200,
-                format!("{}\n", cell_value_json(content_key, seed, &v)),
-            ));
+            return Action::Done(cell_json_response(format!(
+                "{}\n",
+                cell_value_json(content_key, seed, &v)
+            )));
         }
         Action::Slow(SlowWork::Cell {
             artifact,
@@ -440,7 +511,7 @@ impl Core {
         path: &str,
     ) -> Response {
         if self.exec.cache_lookup(content_key, seed).is_none() {
-            if let Err(e) = self.obtain(artifact, quick, path) {
+            if let Err(e) = self.ensure_cells(artifact, quick, path) {
                 return Response::text(
                     500,
                     format!("regend: computing {} for this cell failed: {e}\n", artifact.name()),
@@ -448,7 +519,9 @@ impl Core {
             }
         }
         match self.exec.cache_lookup(content_key, seed) {
-            Some(v) => Response::json(200, format!("{}\n", cell_value_json(content_key, seed, &v))),
+            Some(v) => {
+                cell_json_response(format!("{}\n", cell_value_json(content_key, seed, &v)))
+            }
             None => Response::text(
                 404,
                 format!(
@@ -480,12 +553,35 @@ impl Core {
     /// computation on the shared executor. Successful (including
     /// degraded) renderings are cached; failures are not, so a
     /// transiently failing artifact recovers on the next query.
-    fn obtain(&self, artifact: Artifact, quick: bool, path: &str) -> ArtifactEntry {
-        let cache_key = (artifact.name(), quick);
-        if let Some(r) = lock(&self.rendered).get(&cache_key).cloned() {
+    pub(crate) fn obtain(&self, artifact: Artifact, quick: bool, path: &str) -> ArtifactEntry {
+        if let Some(r) = lock(&self.rendered).get(&(artifact.name(), quick)).cloned() {
             self.bus.emit(artifact.name(), path, "", 0, EventKind::ArtifactCacheHit);
             return Ok(r);
         }
+        self.sweep(artifact, quick, path)
+    }
+
+    /// Guarantees this executor's cell cache holds `artifact`'s cells,
+    /// running the sweep if it has not run here yet. A rendered-cache
+    /// hit is *not* sufficient evidence: on a proxy the rendered body
+    /// may have been filled from a shard's bytes, which answer
+    /// `/artifact` and `/results` but carry no cell values.
+    pub(crate) fn ensure_cells(
+        &self,
+        artifact: Artifact,
+        quick: bool,
+        path: &str,
+    ) -> Result<(), String> {
+        if lock(&self.swept).contains(&(artifact.name(), quick)) {
+            return Ok(());
+        }
+        self.sweep(artifact, quick, path).map(|_| ())
+    }
+
+    /// Runs the artifact's sweep on the local executor (single-flight:
+    /// concurrent callers coalesce onto one run), rendering and caching
+    /// the block and marking the cells swept.
+    fn sweep(&self, artifact: Artifact, quick: bool, path: &str) -> ArtifactEntry {
         let flight_key = format!("{}/{}", artifact.name(), quick);
         let (entry, outcome) = self.flights.run(&flight_key, || {
             match artifact.regenerate(quick, &self.exec) {
@@ -497,7 +593,8 @@ impl Core {
                     });
                     let rendered =
                         Rendered { body: block.into_bytes().into(), degraded: out.degraded };
-                    lock(&self.rendered).insert(cache_key, rendered.clone());
+                    lock(&self.rendered).insert((artifact.name(), quick), rendered.clone());
+                    lock(&self.swept).insert((artifact.name(), quick));
                     Ok(rendered)
                 }
                 Err(e) => Err(e.to_string()),
@@ -511,9 +608,11 @@ impl Core {
 }
 
 /// Builds the 200 response for a rendered artifact (zero-copy body,
-/// degraded/quick marker headers).
-fn artifact_response(r: &Rendered, quick: bool) -> Response {
-    let mut resp = Response::shared(200, Arc::clone(&r.body));
+/// degraded/quick marker headers, and a body checksum so the cluster
+/// proxy can detect damage on the proxy↔shard hop).
+pub(crate) fn artifact_response(r: &Rendered, quick: bool) -> Response {
+    let mut resp = Response::shared(200, Arc::clone(&r.body))
+        .with_header("X-Regend-Crc32", format!("{:08x}", crc32(&r.body)));
     if r.degraded {
         resp = resp.with_header("X-Regend-Degraded", "true");
     }
@@ -521,6 +620,13 @@ fn artifact_response(r: &Rendered, quick: bool) -> Response {
         resp = resp.with_header("X-Regend-Quick", "true");
     }
     resp
+}
+
+/// Builds the 200 response for one cell's JSON, checksummed like
+/// artifact bodies (the proxy verifies cross-shard cell fills).
+pub(crate) fn cell_json_response(body: String) -> Response {
+    let checksum = format!("{:08x}", crc32(body.as_bytes()));
+    Response::json(200, body).with_header("X-Regend-Crc32", checksum)
 }
 
 /// True once `arrived + deadline` has passed.

@@ -27,19 +27,41 @@
 //! * [`bench_serve`] — the `bench-serve` binary's engine: pushes an
 //!   identical workload through both front ends and pins the
 //!   deterministic wire counters in `BENCH_serve.json`.
+//! * [`shard`] — the cluster building blocks: the consistent-hash
+//!   routing ring, the per-shard health state machine
+//!   (healthy → suspect → down), and the pooled fetch path with
+//!   seeded network-fault injection and CRC-verified bodies.
+//! * [`proxy`] — the cluster front end: route slow work to the owning
+//!   shard, reassemble `/results` from the fan-out, fail over to local
+//!   recompute (same bytes, degraded-mode headers) when a shard
+//!   cannot answer.
+//! * [`cluster`] — boot N shard instances plus a proxy in one process
+//!   (`regend --shards N`, tests, the campaign driver).
+//! * [`cluster_campaign`] — `regend campaign`: enumerate every
+//!   (shard × net-fault × timing) coordinate, classify client-visible
+//!   outcomes on the absorbed/degraded/failed-loud/silent-corruption
+//!   lattice, and hold `CAMPAIGN_CLUSTER_BASELINE.json` at zero
+//!   silent corruption.
 //!
 //! [`Executor`]: spectrebench::Executor
 
 pub mod baseline;
 pub mod bench_serve;
+pub mod cluster;
+pub mod cluster_campaign;
 pub mod core;
 pub mod http;
+pub mod proxy;
 pub mod server;
+pub mod shard;
 pub mod sys;
 
 pub use baseline::{BaselineHandle, BaselineServer};
+pub use cluster::{boot_shards, proxy_config, shard_config, ShardInstance};
+pub use cluster_campaign::{run_cluster_campaign, ClusterCampaignConfig};
 pub use core::{
     experiment_artifact, Rendered, RunSummary, ServerConfig, SlowWork,
 };
 pub use http::{percent_decode, percent_encode_path, Body, Request, RequestParser, Response};
 pub use server::{install_sigterm_hook, Server, ServerHandle};
+pub use shard::{Cluster, HashRing, ShardHealth, ShardStatus};

@@ -1,0 +1,178 @@
+//! The cluster front end: route slow work to the owning shard, fail
+//! over to local recompute when the shard cannot answer.
+//!
+//! A proxy `regend` runs the same routing/core as a plain server —
+//! `Core::route` still answers cache hits and validation inline — but
+//! its [`Core::execute`] lands here instead of on the local executor.
+//! Every piece of slow work has a single *owner* shard determined by
+//! the consistent-hash ring ([`crate::shard::HashRing`]): artifacts
+//! hash by name, cells by content key, and `/results` fans out one
+//! fetch per artifact in paper order and reassembles the document.
+//! Fetched renderings land in the proxy's own rendered cache, so a
+//! cross-shard cache miss is filled from the shard that already
+//! journalled the work instead of being recomputed.
+//!
+//! Failure handling is layered, worst case last:
+//!
+//! 1. the hop itself retries with seeded backoff
+//!    ([`Cluster::fetch`]), absorbing transient faults;
+//! 2. a hop that stays broken — or a shard already marked down — fails
+//!    over to the proxy's local executor, which recomputes the same
+//!    deterministic bytes (`ShardFailover` event, `X-Regend-Shard-
+//!    Degraded` header);
+//! 3. a down shard additionally stamps `Retry-After: 1`, telling
+//!    clients the cluster is degraded and when to try again.
+//!
+//! Silent corruption is structurally excluded: shard bodies carry
+//! `X-Regend-Crc32`, verified on receipt — a damaged hop is a
+//! *detected* transient failure that re-enters layer 1.
+
+use bench::Artifact;
+use spectrebench::obs::{EventKind, ShardState};
+
+use crate::core::{artifact_response, cell_json_response, lock, Core, Rendered, SlowWork};
+use crate::http::{percent_encode_path, Response};
+use crate::shard::Cluster;
+
+/// Runs one piece of slow work through the cluster.
+pub(crate) fn execute(core: &Core, cluster: &Cluster, work: &SlowWork, path: &str) -> Response {
+    match work {
+        SlowWork::Artifact { artifact, quick } => {
+            let (entry, failover) = fill_artifact(core, cluster, *artifact, *quick, path);
+            let resp = match entry {
+                Ok(r) => artifact_response(&r, *quick),
+                Err(e) => {
+                    Response::text(500, format!("regend: {} failed: {e}\n", artifact.name()))
+                }
+            };
+            degrade(resp, cluster, &failover.into_iter().collect::<Vec<_>>())
+        }
+        SlowWork::Results { quick } => results_document(core, cluster, *quick, path),
+        SlowWork::Cell { artifact: _, experiment, content_key, seed, quick } => {
+            cell(core, cluster, work, experiment, content_key, *seed, *quick, path)
+        }
+    }
+}
+
+/// Obtains one artifact rendering: proxy rendered cache, then the
+/// owning shard, then local recompute. Returns the entry plus the
+/// shard index if layer 2 (failover) had to answer.
+fn fill_artifact(
+    core: &Core,
+    cluster: &Cluster,
+    artifact: Artifact,
+    quick: bool,
+    path: &str,
+) -> (Result<Rendered, String>, Option<usize>) {
+    if let Some(r) = lock(&core.rendered).get(&(artifact.name(), quick)).cloned() {
+        core.bus.emit(artifact.name(), path, "", 0, EventKind::ArtifactCacheHit);
+        return (Ok(r), None);
+    }
+    let shard = cluster.owner(artifact.name());
+    let hop = format!("/artifact/{}?quick={}", artifact.name(), u32::from(quick));
+    match cluster.fetch(&core.bus, shard, &hop) {
+        Ok(resp) if resp.status == 200 => {
+            let degraded = resp.header("x-regend-degraded").is_some();
+            let rendered = Rendered { body: resp.body.into(), degraded };
+            lock(&core.rendered).insert((artifact.name(), quick), rendered.clone());
+            (Ok(rendered), None)
+        }
+        // A non-200 from a live shard (draining 503, artifact failure
+        // 500) and a dead hop both take the same exit: recompute on
+        // the proxy's own executor. The bytes are deterministic, so
+        // failover cannot change what a client reads — only how long
+        // it waits.
+        Ok(_) | Err(_) => {
+            core.bus.emit(artifact.name(), path, "", 0, EventKind::ShardFailover { shard });
+            (core.obtain(artifact, quick, path), Some(shard))
+        }
+    }
+}
+
+/// `/results` on the proxy: one owner fetch per artifact, reassembled
+/// in paper order — byte-identical to a single server's document.
+fn results_document(core: &Core, cluster: &Cluster, quick: bool, path: &str) -> Response {
+    let mut body = Vec::new();
+    let mut failures = 0u32;
+    let mut failovers: Vec<usize> = Vec::new();
+    for artifact in Artifact::ALL {
+        let (entry, failover) = fill_artifact(core, cluster, artifact, quick, path);
+        if let Some(shard) = failover {
+            if !failovers.contains(&shard) {
+                failovers.push(shard);
+            }
+        }
+        match entry {
+            Ok(r) => body.extend_from_slice(&r.body),
+            Err(_) => {
+                failures += 1;
+                body.extend_from_slice(
+                    format!("== {} == FAILED\n\n", artifact.caption()).as_bytes(),
+                );
+            }
+        }
+    }
+    let body: std::sync::Arc<[u8]> = body.into();
+    if failures == 0 {
+        lock(&core.results).insert(quick, std::sync::Arc::clone(&body));
+    }
+    let mut resp = Response::shared(200, body);
+    if failures > 0 {
+        resp = resp.with_header("X-Regend-Failures", failures.to_string());
+    }
+    degrade(resp, cluster, &failovers)
+}
+
+/// `/cell/...` on the proxy: fetch from the content key's owner, pass
+/// the answer through; recompute locally on a broken hop.
+#[allow(clippy::too_many_arguments)]
+fn cell(
+    core: &Core,
+    cluster: &Cluster,
+    work: &SlowWork,
+    experiment: &str,
+    content_key: &str,
+    seed: u64,
+    quick: bool,
+    path: &str,
+) -> Response {
+    let shard = cluster.owner(content_key);
+    let hop = format!(
+        "/cell/{}/{}?seed={seed}&quick={}",
+        experiment,
+        percent_encode_path(content_key),
+        u32::from(quick)
+    );
+    match cluster.fetch(&core.bus, shard, &hop) {
+        Ok(resp) if resp.status == 200 => {
+            cell_json_response(String::from_utf8_lossy(&resp.body).into_owned())
+        }
+        // Client-side errors (bad seed, unknown key) are the shard's
+        // verdict on the request, not a shard failure — pass them
+        // through verbatim.
+        Ok(resp) if resp.status < 500 => {
+            Response::text(resp.status, String::from_utf8_lossy(&resp.body).into_owned())
+        }
+        Ok(_) | Err(_) => {
+            core.bus.emit(experiment, path, content_key, 0, EventKind::ShardFailover { shard });
+            degrade(core.execute_local(work, path), cluster, &[shard])
+        }
+    }
+}
+
+/// Stamps degraded-mode accounting onto a response that needed
+/// failover: which shards were bypassed, and `Retry-After: 1` when any
+/// of them is currently down (clients should expect elevated latency
+/// until the prober sees it recover).
+fn degrade(resp: Response, cluster: &Cluster, failovers: &[usize]) -> Response {
+    if failovers.is_empty() {
+        return resp;
+    }
+    let list =
+        failovers.iter().map(ToString::to_string).collect::<Vec<_>>().join(",");
+    let mut resp = resp.with_header("X-Regend-Shard-Degraded", list);
+    if failovers.iter().any(|&s| cluster.state(s) == ShardState::Down) {
+        resp = resp.with_header("Retry-After", "1");
+    }
+    resp
+}

@@ -342,6 +342,9 @@ impl Server {
             for _ in 0..core.cfg.workers.max(1) {
                 s.spawn(|| worker_loop(core, &dispatch, &completions, &self.wake));
             }
+            if core.cluster.is_some() {
+                s.spawn(|| prober_loop(core));
+            }
             let mut event_loop = EventLoop {
                 core,
                 dispatch: &dispatch,
@@ -357,6 +360,24 @@ impl Server {
             dispatch.shutdown();
         });
         Ok(core.summary())
+    }
+}
+
+/// The health prober on a cluster proxy: walks every shard's
+/// `/healthz` each probe interval, feeding the per-shard state
+/// machines so fetch paths skip straight to failover on down shards
+/// and resumed shards are noticed without a client request. Sleeps in
+/// short steps so drain is honored within ~50ms.
+fn prober_loop(core: &Core) {
+    let Some(cluster) = &core.cluster else { return };
+    while !core.is_draining() {
+        cluster.probe_all(&core.bus);
+        let mut remaining = core.cfg.probe_interval;
+        while !remaining.is_zero() && !core.is_draining() {
+            let step = remaining.min(std::time::Duration::from_millis(50));
+            std::thread::sleep(step);
+            remaining = remaining.saturating_sub(step);
+        }
     }
 }
 

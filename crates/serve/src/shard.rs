@@ -1,0 +1,457 @@
+//! Consistent-hash routing and shard health for the `regend` cluster.
+//!
+//! A sharded deployment is N ordinary `regend` instances, each owning
+//! the content keys a [`HashRing`] maps to it, behind one proxy (see
+//! [`crate::proxy`]). This module is the proxy's model of those peers:
+//!
+//! * [`HashRing`] — deterministic content-key → shard routing with
+//!   virtual nodes. The ring hashes only stable strings (shard indices
+//!   and content keys) with FNV-1a, so two processes — or the same
+//!   process across runs — always agree on ownership; no `HashMap`
+//!   iteration order leaks in.
+//! * [`ShardHealth`] — the per-shard state machine
+//!   (healthy → suspect → down) fed by active probes and passive fetch
+//!   outcomes.
+//! * [`Cluster`] — the fetch path: pooled keep-alive connections per
+//!   shard, deterministic network-fault injection on every hop
+//!   ([`NetFaultPlan`]), CRC verification of shard response bodies
+//!   (a truncated or corrupted hop becomes a *detected* transient
+//!   failure, never silent corruption), bounded retry with the
+//!   client's seeded backoff, and health accounting.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use bench::client::{backoff_delay, Connection, HttpResponse};
+use spectrebench::obs::ShardState;
+use spectrebench::{crc32, EventBus, EventKind, NetFaultKind, NetFaultPlan};
+
+use crate::core::lock;
+
+/// Virtual nodes per shard on the ring. 64 points per shard keeps the
+/// key split within a few percent of even for small clusters while the
+/// ring stays tiny (4 shards = 256 points).
+pub const VNODES: usize = 64;
+
+/// Consecutive failures that move a shard from suspect to down.
+pub const DOWN_THRESHOLD: u32 = 3;
+
+/// FNV-1a over `bytes`, finished with an xorshift-multiply scramble so
+/// nearby keys spread over the whole u64 range.
+fn ring_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h
+}
+
+/// A consistent-hash ring: each shard contributes [`VNODES`] points,
+/// and a key belongs to the shard owning the first point at or after
+/// the key's hash (wrapping).
+///
+/// Everything is derived from stable strings and sorted `Vec`s, so the
+/// assignment is a pure function of the shard set — identical across
+/// processes, machines, and runs.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(point hash, shard index)`, sorted by hash.
+    points: Vec<(u64, usize)>,
+    shards: Vec<usize>,
+}
+
+impl HashRing {
+    /// A ring over an explicit shard set (used by the removal property
+    /// tests; production rings are contiguous `0..n`).
+    pub fn with_shards(shards: &[usize]) -> HashRing {
+        let mut points = Vec::with_capacity(shards.len() * VNODES);
+        for &shard in shards {
+            for vnode in 0..VNODES {
+                points.push((ring_hash(format!("shard-{shard}/vnode-{vnode}").as_bytes()), shard));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points, shards: shards.to_vec() }
+    }
+
+    /// A ring over shards `0..n`.
+    pub fn new(n: usize) -> HashRing {
+        let shards: Vec<usize> = (0..n).collect();
+        HashRing::with_shards(&shards)
+    }
+
+    /// The shard set this ring was built over.
+    pub fn shards(&self) -> &[usize] {
+        &self.shards
+    }
+
+    /// The shard owning `content_key`. Ownership never consults shard
+    /// health: a down shard keeps its ranges (failover covers the gap),
+    /// so cache placement stays stable across blips.
+    pub fn owner(&self, content_key: &str) -> usize {
+        let h = ring_hash(content_key.as_bytes());
+        let i = self.points.partition_point(|&(p, _)| p < h);
+        let (_, shard) = self.points[i % self.points.len()];
+        shard
+    }
+}
+
+/// The proxy's health record for one shard.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardHealth {
+    /// Current state-machine position.
+    pub state: ShardState,
+    /// Consecutive failures since the last success.
+    pub consecutive_failures: u32,
+    /// When the last probe or fetch finished (None before first
+    /// contact).
+    pub last_seen: Option<Instant>,
+}
+
+impl ShardHealth {
+    fn new() -> ShardHealth {
+        ShardHealth { state: ShardState::Healthy, consecutive_failures: 0, last_seen: None }
+    }
+
+    /// Feeds one observation through the state machine; returns the new
+    /// state if it changed. Any success snaps back to healthy; one
+    /// failure is suspect; [`DOWN_THRESHOLD`] consecutive failures are
+    /// down.
+    fn record(&mut self, ok: bool, now: Instant) -> Option<ShardState> {
+        self.last_seen = Some(now);
+        let next = if ok {
+            self.consecutive_failures = 0;
+            ShardState::Healthy
+        } else {
+            self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+            if self.consecutive_failures >= DOWN_THRESHOLD {
+                ShardState::Down
+            } else {
+                ShardState::Suspect
+            }
+        };
+        if next == self.state {
+            return None;
+        }
+        self.state = next;
+        Some(next)
+    }
+}
+
+/// One shard as the proxy sees it: its address, health, and a pool of
+/// keep-alive connections (workers check one out per fetch).
+#[derive(Debug)]
+pub struct ShardEndpoint {
+    /// `host:port` of the shard's listener.
+    pub addr: String,
+    health: Mutex<ShardHealth>,
+    pool: Mutex<Vec<Connection>>,
+    /// Monotonic per-endpoint probe counter (the probe hop's attempt
+    /// axis for fault injection).
+    probes: AtomicU32,
+}
+
+/// A snapshot of one shard's health, for `/healthz` and tests.
+#[derive(Debug, Clone)]
+pub struct ShardStatus {
+    /// Shard index.
+    pub shard: usize,
+    /// Listener address.
+    pub addr: String,
+    /// State-machine position.
+    pub state: ShardState,
+    /// Seconds since the last probe/fetch finished (None before first
+    /// contact).
+    pub last_seen_secs: Option<f64>,
+}
+
+/// The proxy's cluster model: ring + endpoints + fetch machinery.
+#[derive(Debug)]
+pub struct Cluster {
+    ring: HashRing,
+    endpoints: Vec<ShardEndpoint>,
+    net_inject: Option<NetFaultPlan>,
+    fetch_timeout: Duration,
+    fetch_attempts: u32,
+}
+
+impl Cluster {
+    /// Builds the model over `addrs` (shard `i` is `addrs[i]`).
+    pub fn new(
+        addrs: &[String],
+        net_inject: Option<NetFaultPlan>,
+        fetch_timeout: Duration,
+        fetch_attempts: u32,
+    ) -> Cluster {
+        Cluster {
+            ring: HashRing::new(addrs.len()),
+            endpoints: addrs
+                .iter()
+                .map(|addr| ShardEndpoint {
+                    addr: addr.clone(),
+                    health: Mutex::new(ShardHealth::new()),
+                    pool: Mutex::new(Vec::new()),
+                    probes: AtomicU32::new(0),
+                })
+                .collect(),
+            net_inject,
+            fetch_timeout,
+            fetch_attempts: fetch_attempts.max(1),
+        }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// True when the cluster has no shards (never in practice; the
+    /// config layer rejects it).
+    pub fn is_empty(&self) -> bool {
+        self.endpoints.is_empty()
+    }
+
+    /// The routing ring.
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// The shard owning `content_key`.
+    pub fn owner(&self, content_key: &str) -> usize {
+        self.ring.owner(content_key)
+    }
+
+    /// Current health of `shard`.
+    pub fn state(&self, shard: usize) -> ShardState {
+        lock(&self.endpoints[shard].health).state
+    }
+
+    /// Health snapshot of every shard, in index order.
+    pub fn statuses(&self) -> Vec<ShardStatus> {
+        let now = Instant::now();
+        self.endpoints
+            .iter()
+            .enumerate()
+            .map(|(i, ep)| {
+                let h = *lock(&ep.health);
+                ShardStatus {
+                    shard: i,
+                    addr: ep.addr.clone(),
+                    state: h.state,
+                    last_seen_secs: h.last_seen.map(|t| now.duration_since(t).as_secs_f64()),
+                }
+            })
+            .collect()
+    }
+
+    /// Records one hop outcome into the shard's health machine and
+    /// emits the fetch/state events.
+    fn record(&self, bus: &EventBus, shard: usize, path: &str, ok: bool) {
+        let changed = lock(&self.endpoints[shard].health).record(ok, Instant::now());
+        bus.emit("regend", path, "", 0, EventKind::ShardFetch { shard, ok });
+        if let Some(state) = changed {
+            bus.emit("regend", path, "", 0, EventKind::ShardStateChanged { shard, state });
+        }
+    }
+
+    /// One fetch attempt against `shard`, with fault injection applied
+    /// *before* the wire (drop/stall) or *after* it (truncate/
+    /// corrupt-byte, which damage the received bytes so the CRC check
+    /// must catch them). On error the bool reports transience.
+    fn fetch_once(
+        &self,
+        bus: &EventBus,
+        shard: usize,
+        path: &str,
+        attempt: u32,
+    ) -> Result<HttpResponse, (bool, String)> {
+        let injected = self.net_inject.as_ref().and_then(|p| p.inject(shard, path, attempt));
+        if let Some(kind) = injected {
+            bus.emit("regend", path, "", attempt, EventKind::NetFaultInjected { fault: kind });
+        }
+        match injected {
+            Some(NetFaultKind::Drop) => {
+                return Err((true, format!("injected drop on shard {shard} hop {path}")));
+            }
+            Some(NetFaultKind::Stall) => {
+                // A stalled peer looks like a timeout: burn a bounded
+                // wait, then fail transiently.
+                std::thread::sleep(Duration::from_millis(50));
+                return Err((true, format!("injected stall on shard {shard} hop {path}")));
+            }
+            _ => {}
+        }
+        let ep = &self.endpoints[shard];
+        let mut conn = lock(&ep.pool)
+            .pop()
+            .unwrap_or_else(|| Connection::new(&ep.addr, self.fetch_timeout));
+        // An errored connection is dropped here, not pooled.
+        let mut response = conn.get_classified(path)?;
+        match injected {
+            Some(NetFaultKind::Truncate) => {
+                let cut = response.body.len() / 2;
+                response.body.truncate(cut);
+            }
+            Some(NetFaultKind::CorruptByte) => {
+                if let Some(b) = response.body.first_mut() {
+                    *b ^= 0x20;
+                }
+            }
+            _ => {}
+        }
+        // Verify the body against the shard's checksum. Damage on the
+        // wire (injected or real) becomes a detected transient failure
+        // here — by construction it can never reach a client.
+        if let Some(declared) = response.header("x-regend-crc32") {
+            let declared = declared.to_string();
+            let actual = format!("{:08x}", crc32(&response.body));
+            if declared != actual {
+                // The socket itself is clean (the damage is in our
+                // copy), so the connection is still poolable.
+                lock(&ep.pool).push(conn);
+                return Err((
+                    true,
+                    format!(
+                        "shard {shard} body checksum mismatch on {path}: got {actual}, declared {declared}"
+                    ),
+                ));
+            }
+        }
+        lock(&ep.pool).push(conn);
+        Ok(response)
+    }
+
+    /// Fetches `path` from `shard` with bounded retry + backoff.
+    /// A shard already marked down is skipped outright (the caller
+    /// fails over); otherwise up to `fetch_attempts` tries, sleeping
+    /// the client's seeded backoff between transient failures.
+    pub fn fetch(&self, bus: &EventBus, shard: usize, path: &str) -> Result<HttpResponse, String> {
+        if self.state(shard) == ShardState::Down {
+            return Err(format!("shard {shard} is down"));
+        }
+        let mut last = String::new();
+        for attempt in 0..self.fetch_attempts {
+            match self.fetch_once(bus, shard, path, attempt) {
+                Ok(r) => {
+                    self.record(bus, shard, path, true);
+                    return Ok(r);
+                }
+                Err((transient, e)) => {
+                    self.record(bus, shard, path, false);
+                    last = e;
+                    if !transient {
+                        break;
+                    }
+                    if attempt + 1 < self.fetch_attempts {
+                        let url = format!("http://{}{}", self.endpoints[shard].addr, path);
+                        std::thread::sleep(backoff_delay(&url, attempt));
+                    }
+                }
+            }
+        }
+        Err(format!(
+            "shard {shard} fetch failed after {} attempt(s): {last}",
+            self.fetch_attempts
+        ))
+    }
+
+    /// Probes every shard's `/healthz` once, feeding the state
+    /// machines. Down shards are probed too — that is how a resumed
+    /// shard comes back. Probe hops run through the same injection and
+    /// accounting as data hops.
+    pub fn probe_all(&self, bus: &EventBus) {
+        for shard in 0..self.endpoints.len() {
+            let attempt = self.endpoints[shard].probes.fetch_add(1, Ordering::Relaxed);
+            let ok = matches!(
+                self.fetch_once(bus, shard, "/healthz", attempt),
+                Ok(r) if r.status == 200
+            );
+            self.record(bus, shard, "/healthz", ok);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_owner_is_stable_and_covers_all_shards() {
+        let ring = HashRing::new(4);
+        let keys: Vec<String> = (0..500).map(|i| format!("cpu{i}/w/[cfg-{i}]")).collect();
+        let owners: Vec<usize> = keys.iter().map(|k| ring.owner(k)).collect();
+        // Stable on a fresh, identically-built ring.
+        let ring2 = HashRing::new(4);
+        let owners2: Vec<usize> = keys.iter().map(|k| ring2.owner(k)).collect();
+        assert_eq!(owners, owners2);
+        // Every shard owns something (64 vnodes over 500 keys).
+        for shard in 0..4 {
+            assert!(owners.contains(&shard), "shard {shard} owns no keys");
+        }
+    }
+
+    #[test]
+    fn health_machine_escalates_and_snaps_back() {
+        let mut h = ShardHealth::new();
+        let t = Instant::now();
+        assert_eq!(h.record(false, t), Some(ShardState::Suspect));
+        assert_eq!(h.record(false, t), None, "still suspect at 2 failures");
+        assert_eq!(h.record(false, t), Some(ShardState::Down));
+        assert_eq!(h.record(false, t), None, "stays down");
+        assert_eq!(h.record(true, t), Some(ShardState::Healthy), "one success recovers");
+        assert_eq!(h.consecutive_failures, 0);
+    }
+
+    #[test]
+    fn down_shard_is_skipped_without_a_wire_attempt() {
+        // Point the endpoint at a dead port; after DOWN_THRESHOLD
+        // failures, fetch() must answer instantly from the state
+        // machine instead of burning connect timeouts.
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let cluster =
+            Cluster::new(&[dead], None, Duration::from_millis(200), 1);
+        let bus = EventBus::new();
+        for _ in 0..DOWN_THRESHOLD {
+            assert!(cluster.fetch(&bus, 0, "/healthz").is_err());
+        }
+        assert_eq!(cluster.state(0), ShardState::Down);
+        let start = Instant::now();
+        let err = cluster.fetch(&bus, 0, "/healthz").unwrap_err();
+        assert!(err.contains("is down"), "{err}");
+        assert!(start.elapsed() < Duration::from_millis(50), "no wire attempt");
+    }
+
+    #[test]
+    fn injected_drop_counts_as_a_failed_hop() {
+        let plan = NetFaultPlan::new().fail_hop(Some(0), "", NetFaultKind::Drop, None);
+        let cluster = Cluster::new(
+            &["127.0.0.1:1".to_string()],
+            Some(plan),
+            Duration::from_millis(200),
+            2,
+        );
+        let bus = EventBus::new();
+        let err = cluster.fetch(&bus, 0, "/cell/x").unwrap_err();
+        assert!(err.contains("injected drop"), "{err}");
+        let events = bus.snapshot();
+        let drops = events
+            .iter()
+            .filter(|e| {
+                matches!(e.kind, EventKind::NetFaultInjected { fault: NetFaultKind::Drop })
+            })
+            .count();
+        assert_eq!(drops, 2, "both attempts injected");
+        assert!(events.iter().any(|e| matches!(
+            e.kind,
+            EventKind::ShardStateChanged { shard: 0, state: ShardState::Suspect }
+        )));
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for the consistent-hash routing ring.
+//!
+//! The cluster's correctness leans on three ring properties: the
+//! assignment is a pure function of the shard-set *identity* (not of
+//! construction order, process, or any `HashMap` iteration order);
+//! removing one shard moves only the keys that shard owned, about
+//! K/N of them, and strands nothing; and the assignment spreads keys
+//! over every shard. These tests pin all three over a realistic
+//! content-key population.
+
+use serve::HashRing;
+
+/// A population shaped like real content keys: `cpu/workload/[config]`.
+fn keys() -> Vec<String> {
+    let cpus = ["coffee-lake", "cascade-lake", "ice-lake", "skylake", "zen2"];
+    let workloads = ["apache", "nginx", "redis", "pgbench", "compile", "syscall"];
+    let mut keys = Vec::new();
+    for cpu in cpus {
+        for workload in workloads {
+            for cfg in 0..20 {
+                keys.push(format!("{cpu}/{workload}/[mitigation-set {cfg}]"));
+            }
+        }
+    }
+    keys
+}
+
+#[test]
+fn assignment_is_a_function_of_shard_set_identity() {
+    let population = keys();
+    let a = HashRing::new(4);
+    let b = HashRing::with_shards(&[0, 1, 2, 3]);
+    // Construction order of the shard list must not matter either.
+    let c = HashRing::with_shards(&[3, 1, 0, 2]);
+    for key in &population {
+        let owner = a.owner(key);
+        assert_eq!(owner, b.owner(key), "explicit shard list diverged on {key}");
+        assert_eq!(owner, c.owner(key), "shard list order leaked into routing of {key}");
+    }
+}
+
+#[test]
+fn every_shard_owns_a_fair_share() {
+    let population = keys();
+    let ring = HashRing::new(4);
+    let mut counts = [0usize; 4];
+    for key in &population {
+        counts[ring.owner(key)] += 1;
+    }
+    let fair = population.len() / 4;
+    for (shard, &count) in counts.iter().enumerate() {
+        assert!(
+            count > fair / 3,
+            "shard {shard} owns {count} of {} keys (fair share {fair}): ring is badly skewed",
+            population.len()
+        );
+    }
+}
+
+#[test]
+fn removing_one_shard_moves_only_its_keys() {
+    let population = keys();
+    let full = HashRing::new(4);
+    let removed = 2usize;
+    let reduced = HashRing::with_shards(&[0, 1, 3]);
+    let mut moved = 0usize;
+    for key in &population {
+        let before = full.owner(key);
+        let after = reduced.owner(key);
+        assert_ne!(after, removed, "{key} routed to the removed shard");
+        if before != removed {
+            // Consistent hashing's defining property: survivors keep
+            // every key they already owned.
+            assert_eq!(before, after, "{key} moved between surviving shards");
+        } else {
+            moved += 1;
+        }
+    }
+    // The removed shard owned roughly K/N keys; all of them (and only
+    // them) relocated.
+    let expected = population.len() / 4;
+    assert!(
+        moved > expected / 3 && moved < expected * 3,
+        "moved {moved} keys, expected about {expected}"
+    );
+}
+
+#[test]
+fn routing_is_pinned_across_processes() {
+    // Hardcoded expected owners: any change to the hash, vnode count,
+    // or point layout breaks cross-process agreement between proxies
+    // and must show up here as a deliberate diff.
+    let ring = HashRing::new(4);
+    let pinned = [
+        ("coffee-lake/apache/[mitigation-set 0]", 1),
+        ("zen2/syscall/[mitigation-set 19]", 3),
+        ("table1", 3),
+        ("figure2", 3),
+        ("results", 2),
+        ("cascade-lake/redis/[mitigation-set 7]", 1),
+    ];
+    for (key, owner) in pinned {
+        assert_eq!(
+            ring.owner(key),
+            owner,
+            "routing of {key} changed: every proxy in a rolling deploy must agree on ownership"
+        );
+    }
+}

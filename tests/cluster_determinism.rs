@@ -1,0 +1,455 @@
+//! Cluster determinism: a sharded `regend` deployment — N shard
+//! servers behind a forwarding proxy — must hand every client the
+//! exact bytes a serial in-process sweep produces, with faults on the
+//! proxy↔shard network hop, and with a shard lost mid-burst and later
+//! resumed from its journal.
+//!
+//! Everything here is in-process (threads + loopback TCP, ports
+//! chosen by the kernel) so drains are deterministic; the CI
+//! `cluster-soak` job covers the spawned-process path with a real
+//! SIGKILL.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use bench::client::{http_get_retrying, HttpResponse};
+use bench::{render_artifact_block, run_regen, Artifact, RegenOptions};
+use serve::{
+    boot_shards, percent_encode_path, proxy_config, HashRing, Server, ServerConfig, ServerHandle,
+    ShardInstance,
+};
+use spectrebench::{NetFaultKind, NetFaultPlan};
+
+/// Scratch directory unique to (test, process).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("regend-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Boots one server (shard, proxy, or plain) on a free port.
+fn boot(cfg: ServerConfig) -> (String, ServerHandle, std::thread::JoinHandle<serve::RunSummary>) {
+    let server = Server::bind(ServerConfig { addr: "127.0.0.1:0".to_string(), ..cfg })
+        .expect("bind to a free port");
+    let base = format!("http://{}", server.local_addr());
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("event loop"));
+    (base, handle, join)
+}
+
+/// GET with retries and a cold-compute-sized timeout.
+fn get(base: &str, path: &str) -> HttpResponse {
+    http_get_retrying(&format!("{base}{path}"), Duration::from_secs(300), 10)
+        .unwrap_or_else(|e| panic!("GET {path}: {e}"))
+}
+
+/// The serial oracle: one in-process sweep, rendered per artifact.
+fn serial_blocks(artifacts: &[Artifact], quick: bool) -> Vec<String> {
+    let report = run_regen(&RegenOptions {
+        artifacts: artifacts.to_vec(),
+        quick,
+        keep_going: true,
+        ..RegenOptions::default()
+    })
+    .expect("serial sweep");
+    report.results.iter().map(render_artifact_block).collect()
+}
+
+/// Reads one counter out of a Prometheus-style exposition, summed over
+/// labels.
+fn metric(text: &str, name: &str) -> f64 {
+    text.lines()
+        .filter(|l| !l.starts_with('#'))
+        .filter_map(|l| l.split_once(' '))
+        .filter(|(k, _)| *k == name || k.starts_with(&format!("{name}{{")))
+        .map(|(_, v)| v.trim().parse::<f64>().unwrap_or(0.0))
+        .sum()
+}
+
+/// Polls a metric on `base` until it reaches `min` or the deadline.
+fn await_metric(base: &str, name: &str, min: f64, deadline: Duration) -> f64 {
+    let start = std::time::Instant::now();
+    loop {
+        let v = metric(&get(base, "/metrics").text(), name);
+        if v >= min || start.elapsed() > deadline {
+            return v;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Table 1's per-CPU cell keys (one per catalog microarchitecture);
+/// routed across shards by content key, and computable on demand from
+/// either side of a failover.
+fn cell_keys() -> Vec<String> {
+    [
+        "Broadwell",
+        "Skylake Client",
+        "Cascade Lake",
+        "Ice Lake Client",
+        "Ice Lake Server",
+        "Zen",
+        "Zen 2",
+        "Zen 3",
+    ]
+    .iter()
+    .map(|m| format!("{m}/mitigations"))
+    .collect()
+}
+
+fn cell_path(key: &str) -> String {
+    format!("/cell/table1/{}?seed=0", percent_encode_path(key))
+}
+
+fn drain_all(shards: Vec<ShardInstance>) {
+    for s in shards {
+        s.handle.drain();
+        let _ = s.join.join();
+    }
+}
+
+/// The tentpole guarantee: 64 concurrent clients bursting against a
+/// 4-shard cluster observe bytes identical to a serial sweep; the
+/// reassembled `/results` document matches too; the proxy actually
+/// fetched from shards (this was not one server wearing a trench
+/// coat); and `/healthz` reports the full shard roster healthy.
+#[test]
+fn sixty_four_clients_against_four_shards_match_a_serial_sweep() {
+    const CLIENTS: usize = 64;
+    let artifacts = Artifact::ALL;
+    let expect = serial_blocks(&artifacts, true);
+    let expected_results: String = expect.concat();
+
+    let base_cfg = ServerConfig {
+        quick: true,
+        workers: 2,
+        queue_capacity: 2 * CLIENTS * artifacts.len(),
+        probe_interval: Duration::from_millis(50),
+        ..ServerConfig::default()
+    };
+    let shards = boot_shards(&base_cfg, 4).expect("boot shard tier");
+    let addrs: Vec<String> = shards.iter().map(|s| s.addr.clone()).collect();
+    let (proxy, handle, join) = boot(proxy_config(&base_cfg, addrs));
+
+    let mismatches = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for client in 0..CLIENTS {
+            let (proxy, expect, mismatches) = (&proxy, &expect, &mismatches);
+            s.spawn(move || {
+                for i in 0..artifacts.len() {
+                    let idx = (i + client) % artifacts.len();
+                    let a = artifacts[idx];
+                    let r = get(proxy, &format!("/artifact/{}", a.name()));
+                    assert_eq!(r.status, 200, "client {client}: {}", a.name());
+                    assert!(
+                        r.header("x-regend-shard-degraded").is_none(),
+                        "no failover on a healthy cluster ({})",
+                        a.name()
+                    );
+                    if r.text() != expect[idx] {
+                        mismatches.fetch_add(1, Ordering::SeqCst);
+                        eprintln!("client {client}: byte mismatch on {}", a.name());
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(mismatches.load(Ordering::SeqCst), 0, "every client sees the serial bytes");
+
+    let results = get(&proxy, "/results");
+    assert_eq!(results.status, 200);
+    assert_eq!(
+        results.text(),
+        expected_results,
+        "/results reassembled from shard fan-out is the serial document"
+    );
+
+    // The proxy's own telemetry: it really fetched from shards, and
+    // /healthz names all four, healthy, with fresh probe ages.
+    let metrics = get(&proxy, "/metrics").text();
+    assert!(
+        metric(&metrics, "regend_shard_fetches_total") >= artifacts.len() as f64,
+        "at least one owner fetch per artifact"
+    );
+    assert_eq!(metric(&metrics, "regend_shard_failovers_total"), 0.0);
+    let health = get(&proxy, "/healthz").text();
+    assert!(health.contains("\"status\":\"ok\""), "{health}");
+    for shard in 0..4 {
+        assert!(health.contains(&format!("\"shard\":{shard}")), "{health}");
+    }
+    assert_eq!(health.matches("\"state\":\"healthy\"").count(), 4, "{health}");
+
+    handle.drain();
+    let summary = join.join().expect("proxy thread");
+    assert_eq!(summary.rejected, 0, "queue was sized for the burst");
+    drain_all(shards);
+}
+
+/// Seeded network faults on every proxy↔shard hop: a targeted
+/// first-attempt fault on each distinct hop plus background noise on
+/// later attempts. Retry and failover must keep every response at 200
+/// with serial bytes — the CRC check turns wire damage into detected
+/// transient failures, so no corruption can reach a client.
+#[test]
+fn bursts_under_net_faults_on_every_hop_stay_byte_identical() {
+    const CLIENTS: usize = 16;
+    let artifacts = [Artifact::Table1, Artifact::Table2, Artifact::Table9, Artifact::Table10];
+    let expect = serial_blocks(&artifacts, true);
+
+    // Ground truth for cell bodies: a plain single server (already
+    // pinned against the sweep by tests/serve_determinism.rs).
+    let keys = cell_keys();
+    let (plain, plain_handle, plain_join) = boot(ServerConfig {
+        quick: true,
+        workers: 2,
+        ..ServerConfig::default()
+    });
+    let cell_expect: Vec<String> =
+        keys.iter().map(|k| get(&plain, &cell_path(k)).text()).collect();
+    plain_handle.drain();
+    plain_join.join().expect("plain server");
+
+    // Every distinct hop takes a drop on its first attempt; later
+    // attempts roll seeded dice over all four fault kinds. Both plans
+    // ride the same deterministic (seed, hop, attempt) hashing.
+    let plan = NetFaultPlan::seeded(0xC1A5_7E12, 0.2)
+        .fail_hop(None, "", NetFaultKind::Drop, Some(1));
+    let base_cfg = ServerConfig {
+        quick: true,
+        workers: 2,
+        queue_capacity: 4 * CLIENTS * keys.len(),
+        probe_interval: Duration::from_millis(50),
+        fetch_attempts: 3,
+        ..ServerConfig::default()
+    };
+    let shards = boot_shards(&base_cfg, 4).expect("boot shard tier");
+    let addrs: Vec<String> = shards.iter().map(|s| s.addr.clone()).collect();
+    let mut proxy_cfg = proxy_config(&base_cfg, addrs);
+    proxy_cfg.net_inject = Some(plan);
+    let (proxy, handle, join) = boot(proxy_cfg);
+
+    let mismatches = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for client in 0..CLIENTS {
+            let (proxy, expect, keys, cell_expect, mismatches) =
+                (&proxy, &expect, &keys, &cell_expect, &mismatches);
+            s.spawn(move || {
+                for (i, a) in artifacts.iter().enumerate() {
+                    let r = get(proxy, &format!("/artifact/{}", a.name()));
+                    assert_eq!(r.status, 200, "client {client}: {}", a.name());
+                    if r.text() != expect[i] {
+                        mismatches.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+                // Cells are never cached on the proxy, so every one of
+                // these crosses the faulted wire.
+                for (i, key) in keys.iter().enumerate() {
+                    let r = get(proxy, &cell_path(key));
+                    assert_eq!(r.status, 200, "client {client}: cell {key}");
+                    if r.text() != cell_expect[i] {
+                        mismatches.fetch_add(1, Ordering::SeqCst);
+                        eprintln!("client {client}: cell mismatch on {key}");
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(
+        mismatches.load(Ordering::SeqCst),
+        0,
+        "faults on the shard hop never surface as different bytes"
+    );
+
+    let metrics = get(&proxy, "/metrics").text();
+    assert!(
+        metric(&metrics, "regend_net_faults_injected_total") >= keys.len() as f64,
+        "the plan actually fired on the hops"
+    );
+
+    handle.drain();
+    join.join().expect("proxy thread");
+    drain_all(shards);
+}
+
+/// Shard loss and resume: one shard of two goes away mid-burst — every
+/// in-burst response still carries serial bytes (failover recomputes
+/// locally, stamped with degraded markers); the prober marks the shard
+/// down; and a replacement booted from the lost shard's journal
+/// replays its cells instead of recomputing, behind a fresh proxy,
+/// still byte-identical.
+#[test]
+fn shard_loss_mid_burst_fails_over_and_resumes_from_the_journal() {
+    const CLIENTS: usize = 16;
+    let dir = scratch("cluster-journal");
+    let keys = cell_keys();
+
+    let base_cfg = ServerConfig {
+        quick: true,
+        workers: 2,
+        queue_capacity: 4 * CLIENTS * keys.len(),
+        journal: Some(dir.join("journal.jsonl")),
+        probe_interval: Duration::from_millis(25),
+        fetch_attempts: 2,
+        ..ServerConfig::default()
+    };
+    let mut shards = boot_shards(&base_cfg, 2).expect("boot shard tier");
+    let addrs: Vec<String> = shards.iter().map(|s| s.addr.clone()).collect();
+    let (proxy, handle, join) = boot(proxy_config(&base_cfg, addrs.clone()));
+
+    // Phase 1: warm pass. Each cell computes on its owning shard (and
+    // lands in that shard's journal); the bodies are the ground truth
+    // for everything after.
+    let expect: Vec<String> = keys.iter().map(|k| get(&proxy, &cell_path(k)).text()).collect();
+
+    // Kill the shard that owns the first key, so the burst is
+    // guaranteed to cross the hole. (In-process stand-in for SIGKILL;
+    // the CI soak job kills a real process.)
+    let victim = HashRing::new(2).owner(&keys[0]);
+    let lost = shards.remove(victim);
+    lost.handle.drain();
+    let _ = lost.join.join();
+
+    // Phase 2: burst across the hole. Every response must still be the
+    // phase-1 bytes; requests that needed the dead shard fail over to
+    // the proxy's local executor and say so on the wire.
+    let failovers = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for client in 0..CLIENTS {
+            let (proxy, keys, expect, failovers) = (&proxy, &keys, &expect, &failovers);
+            s.spawn(move || {
+                for (i, key) in keys.iter().enumerate() {
+                    let r = get(proxy, &cell_path(key));
+                    assert_eq!(r.status, 200, "client {client}: cell {key}");
+                    assert_eq!(r.text(), expect[i], "client {client}: bytes changed after loss");
+                    if r.header("x-regend-shard-degraded").is_some() {
+                        failovers.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            });
+        }
+    });
+    assert!(
+        failovers.load(Ordering::SeqCst) >= 1,
+        "keys owned by the lost shard were answered via failover"
+    );
+    assert!(
+        await_metric(&proxy, "regend_shard_failovers_total", 1.0, Duration::from_secs(10)) >= 1.0
+    );
+    // The prober marks the victim down (gauge 2; the survivor holds 0).
+    assert!(
+        await_metric(&proxy, "regend_shard_state", 2.0, Duration::from_secs(10)) >= 2.0,
+        "prober never marked the lost shard down"
+    );
+
+    handle.drain();
+    join.join().expect("proxy thread");
+
+    // Resume: a replacement shard boots from the victim's journal on a
+    // fresh port. Its first queries replay journalled cells instead of
+    // recomputing them.
+    let resumed_cfg = ServerConfig {
+        journal: base_cfg.journal.as_ref().map(|p| {
+            let mut os = p.clone().into_os_string();
+            os.push(format!("-shard{victim}"));
+            PathBuf::from(os)
+        }),
+        ..base_cfg.clone()
+    };
+    let (resumed, resumed_handle, resumed_join) = boot(resumed_cfg);
+    let survivor_addr = shards[0].addr.clone();
+    let resumed_addr = resumed.strip_prefix("http://").expect("base url").to_string();
+    let new_addrs = if victim == 0 {
+        vec![resumed_addr, survivor_addr]
+    } else {
+        vec![survivor_addr, resumed_addr]
+    };
+    let (proxy2, handle2, join2) = boot(proxy_config(&base_cfg, new_addrs));
+    for (i, key) in keys.iter().enumerate() {
+        let r = get(&proxy2, &cell_path(key));
+        assert_eq!(r.status, 200, "post-resume cell {key}");
+        assert_eq!(r.text(), expect[i], "post-resume bytes for {key}");
+        assert!(
+            r.header("x-regend-shard-degraded").is_none(),
+            "no failover once the shard is back ({key})"
+        );
+    }
+    let replayed = metric(&get(&resumed, "/metrics").text(), "regen_cells_replayed_total");
+    assert!(
+        replayed >= 1.0,
+        "the resumed shard answered from its journal, not by recomputing"
+    );
+
+    handle2.drain();
+    join2.join().expect("proxy2 thread");
+    resumed_handle.drain();
+    resumed_join.join().expect("resumed shard");
+    drain_all(shards);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Regression: a proxy whose rendered cache was filled from shard
+/// bytes (one `/results` fetch) must still answer cells by failover
+/// when the owner dies. The rendered body proves nothing about the
+/// proxy's *cell* cache — an earlier build answered 404 here, because
+/// cell failover asked `obtain`, which was satisfied by the
+/// shard-filled rendered entry without ever running the sweep locally.
+#[test]
+fn cell_failover_still_computes_after_results_warmed_the_rendered_cache() {
+    let keys = cell_keys();
+    let base_cfg = ServerConfig {
+        quick: true,
+        workers: 2,
+        probe_interval: Duration::from_millis(25),
+        fetch_attempts: 2,
+        ..ServerConfig::default()
+    };
+    let mut shards = boot_shards(&base_cfg, 2).expect("boot shard tier");
+    let addrs: Vec<String> = shards.iter().map(|s| s.addr.clone()).collect();
+    let (proxy, handle, join) = boot(proxy_config(&base_cfg, addrs));
+
+    // Ground truth for the cells, fetched through the healthy cluster
+    // (these hops warm nothing on the proxy: cells pass through).
+    let expect: Vec<String> = keys.iter().map(|k| get(&proxy, &cell_path(k)).text()).collect();
+    // THE trigger: /results fills the proxy's rendered cache for every
+    // artifact from shard bytes, without a single local cell value.
+    assert_eq!(get(&proxy, "/results").status, 200);
+
+    let victim = HashRing::new(2).owner(&keys[0]);
+    let lost = shards.remove(victim);
+    lost.handle.drain();
+    let _ = lost.join.join();
+
+    for (i, key) in keys.iter().enumerate() {
+        let r = get(&proxy, &cell_path(key));
+        assert_eq!(r.status, 200, "cell {key} after owner loss");
+        assert_eq!(r.text(), expect[i], "cell {key} bytes after owner loss");
+    }
+    let metrics = get(&proxy, "/metrics").text();
+    assert!(
+        metric(&metrics, "regend_shard_failovers_total") >= 1.0,
+        "the lost shard's keys were answered by local recompute"
+    );
+
+    handle.drain();
+    join.join().expect("proxy thread");
+    drain_all(shards);
+}
+
+/// The seeded net-fault plan itself is deterministic: the same (seed,
+/// hop, attempt) triple decides the same way in two independently
+/// parsed plans — the property the campaign baseline rests on.
+#[test]
+fn net_fault_spec_round_trip_is_deterministic() {
+    let a = NetFaultPlan::parse_spec("seed=7:prob=0.3").expect("spec");
+    let b = NetFaultPlan::parse_spec("seed=7:prob=0.3").expect("spec");
+    for attempt in 0..50u32 {
+        for shard in 0..4usize {
+            assert_eq!(
+                a.inject(shard, "/cell/table1/x", attempt),
+                b.inject(shard, "/cell/table1/x", attempt)
+            );
+        }
+    }
+}
