@@ -3,10 +3,19 @@
 //! The gadget is the paper's Figure 1: `x = array[index]; y = probe[x *
 //! stride]` guarded by a bounds check. Training the conditional predictor
 //! in-bounds and then supplying an out-of-bounds index makes the loads
-//! run transiently past the check. The two software mitigations the paper
-//! measures — index masking (§5.4, the SpiderMonkey strategy) and
-//! `lfence` after the check — are toggleable.
+//! run transiently past the check. Every [`V1Policy`] is executable
+//! against it: the two blanket software mitigations the paper measures —
+//! index masking (§5.4, the SpiderMonkey strategy) and `lfence` after
+//! the check — plus the beyond-the-paper `targeted` policy, which runs
+//! the `spec-taint` branch-attackability analysis over the gadget and
+//! hardens only flagged branches.
+//!
+//! Soundness of `targeted` is adversarial, not assumed:
+//! [`run_targeted_forced`] lets tests force the analysis verdict both
+//! ways and demonstrates that the PoC still leaks when its branch is
+//! (wrongly) left unflagged and is blocked when flagged.
 
+use spec_taint::{analyze, harden_lfence};
 use uarch::isa::{Cond, Inst, Reg, Width};
 use uarch::model::CpuModel;
 use uarch::ProgramBuilder;
@@ -14,34 +23,28 @@ use uarch::ProgramBuilder;
 use crate::channel::AttackOutcome;
 use crate::scene::{Scene, CODE_BASE, DATA_BASE, PROBE_BASE};
 
-/// Which Spectre V1 mitigation the victim gadget applies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum V1Mitigation {
-    /// Unmitigated gadget.
-    None,
-    /// Conditional-move index masking (zero the index when out of bounds).
-    IndexMask,
-    /// `lfence` after the bounds check.
-    Lfence,
-}
+/// The Spectre-V1 policy the victim is built under — the same enum the
+/// kernel's `spectre_v1=` boot parameter parses, so attack tests and
+/// boot configuration can never name different worlds. The old
+/// `V1Mitigation` name remains as an alias (`None` → [`V1Policy::Off`],
+/// `IndexMask` → [`V1Policy::Mask`]).
+pub use spec_taint::V1Policy;
 
-/// Runs the attack against `model` with the given mitigation. The secret
-/// lives 64 bytes past the end of an 8-byte array.
-pub fn run(model: CpuModel, mitigation: V1Mitigation) -> AttackOutcome {
-    let secret: u8 = 0xA7;
-    let secret_offset = 64u64;
-    let mut s = Scene::new(model);
-    s.plant_user_byte(secret_offset, secret);
+/// Backwards-compatible alias for the unified policy enum.
+pub type V1Mitigation = V1Policy;
 
-    // The gadget: R0 = index, R1 = array, R2 = len, R3 = probe.
+/// The victim gadget under a blanket policy. `Off` is the unmitigated
+/// Figure-1 sequence; `Lfence`/`Mask` insert the paper's two blanket
+/// mitigations after the bounds check.
+fn gadget(policy: V1Policy) -> ProgramBuilder {
     let mut b = ProgramBuilder::new();
     let skip = b.new_label();
     b.push(Inst::Cmp(Reg::R0, Reg::R2));
     b.jcc(Cond::AboveEq, skip);
-    if mitigation == V1Mitigation::Lfence {
+    if policy == V1Policy::Lfence {
         b.push(Inst::Lfence);
     }
-    if mitigation == V1Mitigation::IndexMask {
+    if policy == V1Policy::Mask {
         b.push(Inst::CmovImm(Cond::AboveEq, Reg::R0, 0));
     }
     b.push(Inst::Add(Reg::R0, Reg::R1));
@@ -51,8 +54,11 @@ pub fn run(model: CpuModel, mitigation: V1Mitigation) -> AttackOutcome {
     b.push(Inst::Load { dst: Reg::R5, base: Reg::R4, offset: 0, width: Width::B1 });
     b.bind(skip);
     b.push(Inst::Halt);
-    s.machine.load_program(b.link(CODE_BASE));
+    b
+}
 
+/// Trains, strikes, and reads the probe for an already-loaded victim.
+fn execute(mut s: Scene, secret: u8, secret_offset: u64) -> AttackOutcome {
     let invoke = |s: &mut Scene, index: u64| {
         s.machine.bhb.clear();
         s.machine.set_reg(Reg::R0, index);
@@ -71,34 +77,146 @@ pub fn run(model: CpuModel, mitigation: V1Mitigation) -> AttackOutcome {
     AttackOutcome { secret, recovered: s.probe.readout(&s.machine) }
 }
 
+/// Runs the attack against `model` under `policy`. The secret lives 64
+/// bytes past the end of an 8-byte array.
+pub fn run(model: CpuModel, policy: V1Policy) -> AttackOutcome {
+    let secret: u8 = 0xA7;
+    let secret_offset = 64u64;
+    let mut s = Scene::new(model);
+    s.plant_user_byte(secret_offset, secret);
+
+    let prog = match policy {
+        // Blanket worlds: the mitigation (or its absence) is baked in.
+        V1Policy::Off | V1Policy::Lfence | V1Policy::Mask => gadget(policy).link(CODE_BASE),
+        // Targeted: build the *unmitigated* gadget, let the analysis
+        // find the attackable branch, and harden exactly what it flags.
+        V1Policy::Targeted => {
+            let bare = gadget(V1Policy::Off).link(CODE_BASE);
+            let report = analyze(bare.base(), bare.insts());
+            let hardened = harden_lfence(bare.base(), bare.insts(), &report.flagged_indices());
+            let mut nb = ProgramBuilder::new();
+            nb.extend(hardened.insts.iter().cloned());
+            nb.link(CODE_BASE)
+        }
+    };
+    s.machine.load_program(prog);
+    execute(s, secret, secret_offset)
+}
+
+/// The adversarial-soundness harness: runs the *targeted* pipeline with
+/// the analysis verdict forced. `flagged = false` simulates a broken
+/// analysis that misses the gadget's branch (nothing is hardened — the
+/// PoC must still leak, proving the attack corpus keeps the analysis
+/// honest); `flagged = true` hardens the branch the analysis actually
+/// flags (the PoC must be blocked).
+pub fn run_targeted_forced(model: CpuModel, flagged: bool) -> AttackOutcome {
+    let secret: u8 = 0xA7;
+    let secret_offset = 64u64;
+    let mut s = Scene::new(model);
+    s.plant_user_byte(secret_offset, secret);
+
+    let bare = gadget(V1Policy::Off).link(CODE_BASE);
+    let indices = if flagged {
+        let report = analyze(bare.base(), bare.insts());
+        report.flagged_indices()
+    } else {
+        Vec::new()
+    };
+    let hardened = harden_lfence(bare.base(), bare.insts(), &indices);
+    let mut nb = ProgramBuilder::new();
+    nb.extend(hardened.insts.iter().cloned());
+    s.machine.load_program(nb.link(CODE_BASE));
+    execute(s, secret, secret_offset)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cpu_models::CpuId;
+    use cpu_models::{CpuId, RiscvId};
+
+    /// Every model the matrix runs over: the paper's eight plus the
+    /// extended RISC-V catalog.
+    fn all_cpus() -> Vec<(String, CpuModel)> {
+        let mut v: Vec<(String, CpuModel)> =
+            CpuId::ALL.iter().map(|id| (id.to_string(), id.model())).collect();
+        v.extend(RiscvId::ALL.iter().map(|id| (id.to_string(), id.model())));
+        v
+    }
 
     #[test]
     fn leaks_on_every_cpu_without_mitigation() {
-        // §4.6: Spectre V1 is unfixed everywhere, including Zen 3 and Ice
-        // Lake Server.
-        for id in CpuId::ALL {
-            let out = run(id.model(), V1Mitigation::None);
-            assert!(out.leaked(), "{id}: expected leak, got {:?}", out.recovered);
+        // §4.6: Spectre V1 is unfixed everywhere, including Zen 3, Ice
+        // Lake Server, and the RISC-V parts.
+        for (name, model) in all_cpus() {
+            let out = run(model, V1Policy::Off);
+            assert!(out.leaked(), "{name}: expected leak, got {:?}", out.recovered);
         }
     }
 
     #[test]
     fn index_masking_blocks_on_every_cpu() {
-        for id in CpuId::ALL {
-            let out = run(id.model(), V1Mitigation::IndexMask);
-            assert!(!out.leaked(), "{id}");
+        for (name, model) in all_cpus() {
+            let out = run(model, V1Policy::Mask);
+            assert!(!out.leaked(), "{name}");
         }
     }
 
     #[test]
     fn lfence_blocks_on_every_cpu() {
-        for id in CpuId::ALL {
-            let out = run(id.model(), V1Mitigation::Lfence);
-            assert!(!out.leaked(), "{id}");
+        for (name, model) in all_cpus() {
+            let out = run(model, V1Policy::Lfence);
+            assert!(!out.leaked(), "{name}");
         }
+    }
+
+    /// The lockstep attack matrix: {off, lfence, mask, targeted} × every
+    /// CPU (paper + RISC-V). Leakage iff the policy is `off`.
+    #[test]
+    fn attack_matrix_leaks_iff_off() {
+        for policy in V1Policy::ALL {
+            for (name, model) in all_cpus() {
+                let out = run(model, policy);
+                assert_eq!(
+                    out.leaked(),
+                    policy == V1Policy::Off,
+                    "{name} under spectre_v1={policy}: recovered {:?}",
+                    out.recovered
+                );
+            }
+        }
+    }
+
+    /// Adversarial soundness, direction one: if the analysis wrongly
+    /// leaves the gadget's branch unflagged, the targeted pipeline
+    /// hardens nothing and the PoC still leaks — so a regression that
+    /// makes the analysis miss this shape cannot pass the test suite
+    /// silently.
+    #[test]
+    fn targeted_with_branch_unflagged_still_leaks() {
+        for (name, model) in all_cpus() {
+            let out = run_targeted_forced(model, false);
+            assert!(out.leaked(), "{name}: unflagged gadget must keep leaking");
+        }
+    }
+
+    /// Adversarial soundness, direction two: hardening exactly the
+    /// flagged branch blocks the leak on every CPU.
+    #[test]
+    fn targeted_with_branch_flagged_blocks() {
+        for (name, model) in all_cpus() {
+            let out = run_targeted_forced(model, true);
+            assert!(!out.leaked(), "{name}: flagged gadget must be blocked");
+        }
+    }
+
+    /// The analysis flags exactly one branch in the PoC gadget — the
+    /// bounds check — so `targeted` inserts exactly one fence.
+    #[test]
+    fn analysis_flags_exactly_the_bounds_check() {
+        let bare = gadget(V1Policy::Off).link(CODE_BASE);
+        let report = analyze(bare.base(), bare.insts());
+        assert_eq!(report.scanned(), 1);
+        assert_eq!(report.flagged_indices().len(), 1);
+        assert!(matches!(bare.insts()[report.flagged_indices()[0]], Inst::Jcc(..)));
     }
 }

@@ -132,6 +132,18 @@ fn usage(to_stdout: bool) {
     for a in Artifact::ALL {
         text.push_str(&format!("  {:14} {}\n", a.name(), a.caption()));
     }
+    // The policy list comes from V1Policy::ALL — the same slice the
+    // kernel's spectre_v1= parser accepts — so the help can never name
+    // a policy the boot parameter rejects, or vice versa.
+    let policies = sim_kernel::V1Policy::ALL
+        .iter()
+        .map(|p| p.name())
+        .collect::<Vec<_>>()
+        .join("|");
+    text.push_str(&format!(
+        "\nThe 'targeted' artifact measures every spectre_v1= boot policy\n\
+         ({policies}) over the paper CPUs plus the extended RISC-V catalog.\n"
+    ));
     if to_stdout {
         print!("{text}");
     } else {

@@ -64,6 +64,9 @@ pub enum Artifact {
     EbpfBoundary,
     /// §7 what-ifs + design ablations (beyond the paper's artifacts).
     Discussion,
+    /// Targeted Spectre-V1 hardening vs the blanket policies, across the
+    /// paper CPUs and the extended RISC-V catalog (beyond the paper).
+    Targeted,
 }
 
 /// One regenerated artifact: its text plus whether any slice had to be
@@ -84,7 +87,7 @@ impl ArtifactOutput {
 
 impl Artifact {
     /// All artifacts in paper order.
-    pub const ALL: [Artifact; 17] = [
+    pub const ALL: [Artifact; 18] = [
         Artifact::Table1,
         Artifact::Table2,
         Artifact::Figure2,
@@ -102,6 +105,7 @@ impl Artifact {
         Artifact::EibrsBimodal,
         Artifact::EbpfBoundary,
         Artifact::Discussion,
+        Artifact::Targeted,
     ];
 
     /// CLI name.
@@ -124,6 +128,7 @@ impl Artifact {
             Artifact::EibrsBimodal => "eibrs-bimodal",
             Artifact::EbpfBoundary => "ebpf",
             Artifact::Discussion => "discussion",
+            Artifact::Targeted => "targeted",
         }
     }
 
@@ -167,6 +172,9 @@ impl Artifact {
             }
             Artifact::Discussion => {
                 "Beyond the paper: section 7 what-ifs and design ablations"
+            }
+            Artifact::Targeted => {
+                "Beyond the paper: targeted Spectre V1 hardening vs blanket (incl. RISC-V)"
             }
         }
     }
@@ -264,6 +272,9 @@ impl Artifact {
                 )?));
                 ArtifactOutput::clean(s)
             }
+            Artifact::Targeted => ArtifactOutput::clean(exp::targeted::render(
+                &exp::targeted::run(exec, quick)?,
+            )),
         };
         Ok(out)
     }

@@ -25,6 +25,7 @@
 //! | [`ablations`] | §7 what-ifs + design-choice ablations (beyond the paper's artifacts) |
 //! | [`ebpf`] | the eBPF/kernel boundary (the paper's acknowledged gap) |
 //! | [`smt`] | the §3.3 verw-vs-SMT-off trade-off behind Table 1's "Disable SMT" row |
+//! | [`targeted`] | targeted Spectre-V1 hardening from branch-attackability analysis (beyond the paper) |
 
 pub mod ablations;
 pub mod ebpf;
@@ -35,6 +36,7 @@ pub mod figure3;
 pub mod figure5;
 pub mod table1;
 pub mod table2;
+pub mod targeted;
 pub mod tables3to8;
 pub mod tables9and10;
 pub mod vm;

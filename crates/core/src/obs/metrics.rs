@@ -200,6 +200,11 @@ pub fn prometheus_text(events: &[Event], stats: &HarnessStats) -> String {
             EventKind::NetFaultInjected { fault } => {
                 *net_faults.entry(fault.name()).or_default() += 1;
             }
+            // Analysis totals are exposed from the process-wide
+            // spec-taint counters below (the analysis also runs at
+            // boot, outside any event-emitting driver); the event only
+            // marks the trace.
+            EventKind::SpecTaintAnalyzed { .. } => {}
             EventKind::CellQueued => {
                 queued.entry(e.cell.as_str()).or_default().push_back(e.ts);
             }
@@ -531,6 +536,30 @@ pub fn prometheus_text(events: &[Event], stats: &HarnessStats) -> String {
         "Transient-execution windows opened (mispredicts, faulting loads, SSB).",
         transient_windows,
     );
+
+    // Branch-attackability analysis totals: process-wide counters the
+    // `spec-taint` crate bumps on every analysis and hardening pass
+    // (boot-time kernel text, BPF load, experiment corpus). Like the
+    // interpreter family above, they are sampled at exposition time.
+    let (scanned, flagged, fences) = spec_taint::counters::snapshot();
+    counter(
+        &mut out,
+        "regen_spec_taint_branches_scanned_total",
+        "Conditional branches classified by the spec-taint analysis in this process.",
+        scanned,
+    );
+    counter(
+        &mut out,
+        "regen_spec_taint_branches_flagged_total",
+        "Branches the analysis flagged attackable (Figure-1 gadget in the shadow).",
+        flagged,
+    );
+    counter(
+        &mut out,
+        "regen_spec_taint_fences_inserted_total",
+        "Hardening instructions inserted by spec-taint instrumentation passes.",
+        fences,
+    );
     out
 }
 
@@ -641,6 +670,24 @@ mod tests {
         assert!(metric_value(&text, "regen_uarch_instructions_total").is_some());
         assert!(metric_value(&text, "regen_uarch_transient_instructions_total").is_some());
         assert!(metric_value(&text, "regen_uarch_transient_windows_total").is_some());
+    }
+
+    #[test]
+    fn spec_taint_counter_family_is_exposed_and_tracks_analyses() {
+        // Run one analysis so the scanned counter is provably live, then
+        // check all three families are exposed with sane values.
+        let report = spec_taint::analyze(
+            0x1000,
+            &[uarch::isa::Inst::Cmp(uarch::isa::Reg::R0, uarch::isa::Reg::R2)],
+        );
+        assert_eq!(report.scanned(), 0);
+        let text = prometheus_text(&[], &HarnessStats::default());
+        assert!(text.contains("# TYPE regen_spec_taint_branches_scanned_total counter"));
+        let scanned = metric_value(&text, "regen_spec_taint_branches_scanned_total");
+        let flagged = metric_value(&text, "regen_spec_taint_branches_flagged_total");
+        let fences = metric_value(&text, "regen_spec_taint_fences_inserted_total");
+        assert!(scanned.is_some() && flagged.is_some() && fences.is_some());
+        assert!(flagged.unwrap() <= scanned.unwrap());
     }
 
     #[test]

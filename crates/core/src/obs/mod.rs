@@ -202,6 +202,17 @@ pub enum EventKind {
         /// The injected network failure kind.
         fault: crate::faultplan::NetFaultKind,
     },
+
+    // Branch-analysis kinds, emitted by the `targeted` experiment
+    // driver. The `experiment` field carries the driver name.
+    /// The spec-taint branch-attackability analysis classified a
+    /// program set; counts are summed over every program analysed.
+    SpecTaintAnalyzed {
+        /// Conditional branches the analysis classified.
+        scanned: usize,
+        /// Branches flagged attackable (hardened under `targeted`).
+        flagged: usize,
+    },
 }
 
 impl EventKind {
@@ -241,6 +252,7 @@ impl EventKind {
             EventKind::ShardStateChanged { .. } => "shard_state_changed",
             EventKind::ShardFailover { .. } => "shard_failover",
             EventKind::NetFaultInjected { .. } => "net_fault_injected",
+            EventKind::SpecTaintAnalyzed { .. } => "spec_taint_analyzed",
         }
     }
 }

@@ -139,7 +139,8 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
             | EventKind::ShardFetch { .. }
             | EventKind::ShardStateChanged { .. }
             | EventKind::ShardFailover { .. }
-            | EventKind::NetFaultInjected { .. } => {
+            | EventKind::NetFaultInjected { .. }
+            | EventKind::SpecTaintAnalyzed { .. } => {
                 records.push(format!(
                     "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"ts\":{},\"s\":\"t\",\
                      \"pid\":1,\"tid\":{},\"args\":{{\"cell\":\"{}\",\"attempt\":{}}}}}",

@@ -28,12 +28,14 @@
 use uarch::model::{LatencyProfile, SpecProfile, Vendor};
 
 mod catalog;
+pub mod riscv;
 mod tables;
 
 pub use catalog::{
     all_models, broadwell, cascade_lake, ice_lake_client, ice_lake_server, skylake_client, zen,
     zen2, zen3,
 };
+pub use riscv::{extended_models, riscv_c920, riscv_p670, riscv_u74, RiscvId};
 pub use tables::{paper_table3, paper_table5, PaperTable3Row, PaperTable5Row};
 
 /// Identifier for one of the paper's eight CPUs, in Table 2 order.

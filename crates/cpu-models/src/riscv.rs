@@ -1,0 +1,256 @@
+//! The extended, beyond-the-paper catalog: RISC-V model descriptors.
+//!
+//! PAPERS.md's *Software Mitigation of RISC-V Spectre Attacks* direction:
+//! the same speculation primitives on a different ISA, with `fence`-
+//! analogue serialization (RISC-V has no `lfence`; the barrier is a
+//! `fence`+`fence.i`-style sequence, costed via the model's `lfence`
+//! field) and a retpoline-analogue thunk (costed via
+//! `generic_retpoline_extra`). None of these parts appear in the paper,
+//! so they live behind [`RiscvId`] / [`extended_models`] and the
+//! paper-pinned [`CpuId::ALL`](crate::CpuId::ALL) Table 2 set is
+//! untouched — the golden outputs for every paper artifact stay
+//! byte-identical.
+//!
+//! Geometry is calibrated from public microarchitecture disclosures, not
+//! from the paper: a dual-issue in-order part with a short pipeline and
+//! a small (but real — in-order machines still run past unresolved
+//! branches) speculation window, a mid-size out-of-order application
+//! core, and a many-core out-of-order server part. All three speculate
+//! far enough to cover the ~6-instruction Figure-1 gadget, so the
+//! Spectre-V1 PoC leaks on every one of them absent mitigation; none
+//! implement the Intel-specific MSR interfaces (IBRS/IBPB/SSBD), so the
+//! kernel's V2 choice degrades to the retpoline-analogue.
+
+use uarch::model::{CpuModel, Vendor, VulnProfile};
+
+use crate::Common;
+
+/// Vulnerability profile shared by the RISC-V parts: speculation exists
+/// (V1/V2), but there is no cross-privilege lazy data forwarding
+/// (Meltdown/L1TF/MDS-class) and no `swapgs` analogue.
+fn riscv_vuln(ssb: bool) -> VulnProfile {
+    VulnProfile {
+        meltdown: false,
+        l1tf: false,
+        lazy_fp: false,
+        spectre_v1: true,
+        spectre_v2: true,
+        ssb,
+        mds: false,
+        swapgs: false,
+    }
+}
+
+/// SiFive FU740-C000 — U74 (2020). Dual-issue in-order, 8-stage
+/// pipeline: a short speculation window (it still fetches and executes
+/// past a predicted branch while the compare resolves), cheap fences,
+/// cheap mispredicts.
+pub fn riscv_u74() -> CpuModel {
+    let mut lat = Common::base_latency();
+    lat.l1_miss = 160;
+    lat.syscall = 60;
+    lat.sysret = 50;
+    lat.indirect_branch = 5;
+    lat.generic_retpoline_extra = 12;
+    lat.lfence = 8; // fence + pipeline drain on a short in-order pipe
+    lat.mispredict_penalty = 6;
+    lat.indirect_mispredict = 8;
+    lat.ret_mispredict = 8;
+    lat.rsb_fill = 40;
+
+    let mut spec = Common::base_spec();
+    spec.window = 12; // covers the 6-instruction Figure-1 gadget
+    spec.btb_entries = 512;
+    spec.rsb_entries = 6;
+    spec.bhb_len = 8;
+    spec.ibrs_supported = false;
+    spec.ibpb_supported = false;
+    spec.ssbd_supported = false;
+    spec.pcid = false;
+    spec.xsaveopt = false;
+    spec.smt = false;
+
+    CpuModel {
+        name: "FU740-C000",
+        microarch: "U74",
+        vendor: Vendor::RiscV,
+        year: 2020,
+        power_watts: 5,
+        clock_ghz: 1.4,
+        cores: 4,
+        vuln: riscv_vuln(false),
+        lat,
+        spec,
+    }
+}
+
+/// SiFive P670 — out-of-order application core (2022). Mid-size window,
+/// real store-to-load speculation (SSB applies), pricier barrier.
+pub fn riscv_p670() -> CpuModel {
+    let mut lat = Common::base_latency();
+    lat.l1_miss = 190;
+    lat.syscall = 48;
+    lat.sysret = 40;
+    lat.indirect_branch = 9;
+    lat.generic_retpoline_extra = 24;
+    lat.lfence = 26;
+    lat.mispredict_penalty = 13;
+    lat.indirect_mispredict = 18;
+    lat.ret_mispredict = 20;
+    lat.rsb_fill = 90;
+
+    let mut spec = Common::base_spec();
+    spec.window = 96;
+    spec.btb_entries = 2048;
+    spec.rsb_entries = 16;
+    spec.bhb_len = 16;
+    spec.ibrs_supported = false;
+    spec.ibpb_supported = false;
+    spec.ssbd_supported = false;
+    spec.pcid = false;
+    spec.xsaveopt = false;
+    spec.smt = false;
+
+    CpuModel {
+        name: "P670-SDK",
+        microarch: "P670",
+        vendor: Vendor::RiscV,
+        year: 2022,
+        power_watts: 15,
+        clock_ghz: 2.2,
+        cores: 8,
+        vuln: riscv_vuln(true),
+        lat,
+        spec,
+    }
+}
+
+/// Sophon SG2042 — C920 server part (2023). Deep out-of-order window,
+/// many cores, the most expensive fence-analogue of the three.
+pub fn riscv_c920() -> CpuModel {
+    let mut lat = Common::base_latency();
+    lat.l1_miss = 230;
+    lat.syscall = 55;
+    lat.sysret = 45;
+    lat.indirect_branch = 11;
+    lat.generic_retpoline_extra = 32;
+    lat.lfence = 38;
+    lat.mispredict_penalty = 15;
+    lat.indirect_mispredict = 22;
+    lat.ret_mispredict = 24;
+    lat.rsb_fill = 110;
+
+    let mut spec = Common::base_spec();
+    spec.window = 128;
+    spec.btb_entries = 4096;
+    spec.rsb_entries = 32;
+    spec.bhb_len = 16;
+    spec.ibrs_supported = false;
+    spec.ibpb_supported = false;
+    spec.ssbd_supported = false;
+    spec.pcid = false;
+    spec.xsaveopt = false;
+    spec.smt = false;
+
+    CpuModel {
+        name: "SG2042",
+        microarch: "C920",
+        vendor: Vendor::RiscV,
+        year: 2023,
+        power_watts: 120,
+        clock_ghz: 2.0,
+        cores: 64,
+        vuln: riscv_vuln(true),
+        lat,
+        spec,
+    }
+}
+
+/// Identifier for one of the extended-catalog RISC-V parts, mirroring
+/// [`CpuId`](crate::CpuId).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RiscvId {
+    /// SiFive U74 (dual-issue in-order).
+    U74,
+    /// SiFive P670 (out-of-order application core).
+    P670,
+    /// T-Head C920 (out-of-order server core, Sophon SG2042).
+    C920,
+}
+
+impl RiscvId {
+    /// All extended-catalog parts, in-order core first.
+    pub const ALL: [RiscvId; 3] = [RiscvId::U74, RiscvId::P670, RiscvId::C920];
+
+    /// Builds the model descriptor.
+    pub fn model(self) -> CpuModel {
+        match self {
+            RiscvId::U74 => riscv_u74(),
+            RiscvId::P670 => riscv_p670(),
+            RiscvId::C920 => riscv_c920(),
+        }
+    }
+
+    /// The microarchitecture name (stable cell label).
+    pub fn microarch(self) -> &'static str {
+        match self {
+            RiscvId::U74 => "U74",
+            RiscvId::P670 => "P670",
+            RiscvId::C920 => "C920",
+        }
+    }
+}
+
+impl std::fmt::Display for RiscvId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.microarch())
+    }
+}
+
+/// The extended catalog: the paper's Table 2 set (unchanged, in order)
+/// followed by the RISC-V parts.
+pub fn extended_models() -> Vec<CpuModel> {
+    let mut models = crate::all_models();
+    models.extend(RiscvId::ALL.iter().map(|id| id.model()));
+    models
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CpuId;
+
+    #[test]
+    fn extended_catalog_appends_without_touching_table2() {
+        let ext = extended_models();
+        assert_eq!(ext.len(), CpuId::ALL.len() + RiscvId::ALL.len());
+        // The paper-pinned prefix is exactly all_models().
+        for (a, b) in ext.iter().zip(crate::all_models().iter()) {
+            assert_eq!(a.microarch, b.microarch);
+            assert_eq!(a.name, b.name);
+        }
+        let mut names: Vec<_> = ext.iter().map(|m| m.microarch).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ext.len(), "microarch labels must stay unique");
+    }
+
+    #[test]
+    fn riscv_parts_speculate_past_the_gadget() {
+        for id in RiscvId::ALL {
+            let m = id.model();
+            assert_eq!(m.vendor, uarch::model::Vendor::RiscV);
+            assert!(m.vuln.spectre_v1 && m.vuln.spectre_v2, "{id}");
+            assert!(
+                m.spec.window >= 8,
+                "{id}: window {} cannot cover the Figure-1 gadget",
+                m.spec.window
+            );
+            // No Intel MSR interfaces: the kernel must fall back to the
+            // retpoline-analogue, never IBRS/IBPB.
+            assert!(!m.spec.ibrs_supported && !m.spec.ibpb_supported, "{id}");
+            // No hardware-unfixed Meltdown-class leaks on these parts.
+            assert!(!m.vuln.meltdown && !m.vuln.mds && !m.vuln.l1tf, "{id}");
+        }
+    }
+}

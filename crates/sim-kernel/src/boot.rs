@@ -5,7 +5,11 @@
 //! the harness drives the simulated kernel exactly the way the authors
 //! drove Linux: `mitigations=off`, `nopti`, `nospectre_v1`,
 //! `nospectre_v2`, `mds=off`, `l1tf=off`, `spec_store_bypass_disable=…`,
-//! plus a couple of toggles Linux exposes elsewhere (`eagerfpu=off`).
+//! plus a couple of toggles Linux exposes elsewhere (`eagerfpu=off`),
+//! and the beyond-the-paper `spectre_v1=off|lfence|mask|targeted` policy
+//! selector (see [`spec_taint::V1Policy`]).
+
+use spec_taint::V1Policy;
 
 /// How Speculative Store Bypass Disable is applied (Linux
 /// `spec_store_bypass_disable=`).
@@ -33,6 +37,13 @@ pub struct BootParams {
     pub nopti: bool,
     /// `nospectre_v1`: drop lfence/swapgs hardening.
     pub nospectre_v1: bool,
+    /// `spectre_v1=<policy>`: how bounds checks are hardened when the
+    /// V1 mitigation is on. `lfence` (the default) reproduces the
+    /// paper's blanket behaviour byte for byte; `targeted` consults the
+    /// `spec-taint` branch-attackability analysis and hardens only
+    /// flagged branches. `spectre_v1=off` is equivalent to
+    /// `nospectre_v1`.
+    pub spectre_v1: V1Policy,
     /// `nospectre_v2`: drop retpolines/eIBRS/IBPB/RSB stuffing.
     pub nospectre_v2: bool,
     /// `mds=off`: drop verw buffer clearing.
@@ -55,6 +66,7 @@ impl Default for BootParams {
             mitigations_off: false,
             nopti: false,
             nospectre_v1: false,
+            spectre_v1: V1Policy::Lfence,
             nospectre_v2: false,
             mds_off: false,
             l1tf_off: false,
@@ -82,6 +94,15 @@ impl BootParams {
                 "nopti" | "pti=off" => p.nopti = true,
                 "pti=on" => p.nopti = false,
                 "nospectre_v1" => p.nospectre_v1 = true,
+                _ if tok.starts_with("spectre_v1=") => {
+                    // Unknown policy values are ignored like any other
+                    // malformed token, but V1Policy::parse's error (and
+                    // the CLI help) name the accepted set from
+                    // V1Policy::ALL so they can never drift.
+                    if let Ok(policy) = V1Policy::parse(&tok["spectre_v1=".len()..]) {
+                        p.spectre_v1 = policy;
+                    }
+                }
                 "nospectre_v2" | "spectre_v2=off" => p.nospectre_v2 = true,
                 "spectre_v2=ibrs" => p.force_ibrs = true,
                 "mds=off" => p.mds_off = true,
@@ -132,5 +153,18 @@ mod tests {
     fn unknown_tokens_ignored() {
         let p = BootParams::parse("console=ttyS0 root=/dev/sda1 nopti");
         assert!(p.nopti);
+    }
+
+    #[test]
+    fn parse_spectre_v1_policies() {
+        // Every name in V1Policy::ALL round-trips through the cmdline.
+        for policy in V1Policy::ALL {
+            let p = BootParams::parse(&format!("spectre_v1={policy}"));
+            assert_eq!(p.spectre_v1, policy);
+        }
+        // The default is the paper's blanket lfence behaviour.
+        assert_eq!(BootParams::default().spectre_v1, V1Policy::Lfence);
+        // Malformed values are ignored like any unknown token.
+        assert_eq!(BootParams::parse("spectre_v1=bogus").spectre_v1, V1Policy::Lfence);
     }
 }

@@ -307,6 +307,33 @@ pub fn jit(prog: &VerifiedProg, maps: &[MapLoc], mask_indices: bool) -> ProgramB
     b
 }
 
+/// Decides whether the JIT applies index masking under `policy`.
+///
+/// `off` never masks; `lfence`/`mask` mask every program (Linux's
+/// blanket `bpf_jit_harden` behaviour, and exactly what the kernel did
+/// before the targeted policy existed). `targeted` JITs the program
+/// *unmasked* at its real load address, runs the branch-attackability
+/// analysis over the result, and masks only when a branch is flagged:
+/// a single map lookup is benign (the loaded value never feeds another
+/// load's address), while a lookup chain — lookup output used as the
+/// next lookup's index — is the eBPF Spectre V1 gadget.
+pub fn mask_decision(
+    policy: spec_taint::V1Policy,
+    prog: &VerifiedProg,
+    maps: &[MapLoc],
+    base: u64,
+) -> bool {
+    use spec_taint::V1Policy;
+    match policy {
+        V1Policy::Off => false,
+        V1Policy::Lfence | V1Policy::Mask => true,
+        V1Policy::Targeted => {
+            let probe = jit(prog, maps, false).link(base);
+            spec_taint::analyze(probe.base(), probe.insts()).any_attackable()
+        }
+    }
+}
+
 /// Reference interpreter for verified programs: defines the bytecode's
 /// architectural semantics in plain Rust, for differential testing
 /// against the JIT (maps are plain slices here).
@@ -411,6 +438,33 @@ mod tests {
         let mut p = vec![BpfInsn::MovImm(0, 0); MAX_INSNS + 1];
         *p.last_mut().unwrap() = BpfInsn::Exit;
         assert!(matches!(verify(&p, 0), Err(VerifierError::TooLong { .. })));
+    }
+
+    #[test]
+    fn targeted_masks_only_gadget_shaped_programs() {
+        use spec_taint::V1Policy;
+        let maps = [MapLoc { vaddr: 0x7000_0000, len: 8 }];
+        // A single lookup: out-of-bounds data is read transiently but
+        // never feeds another load — benign, no mask under targeted.
+        let single = verify(&ok_prog(), 1).unwrap();
+        assert!(!mask_decision(V1Policy::Targeted, &single, &maps, 0x9000_0000));
+        // A lookup chain: the first lookup's value indexes the second —
+        // the eBPF Spectre V1 gadget, masked under targeted.
+        let chain = verify(
+            &[
+                BpfInsn::MovImm(1, 3),
+                BpfInsn::MapLookup { dst: 2, map: 0, idx: 1 },
+                BpfInsn::MapLookup { dst: 0, map: 0, idx: 2 },
+                BpfInsn::Exit,
+            ],
+            1,
+        )
+        .unwrap();
+        assert!(mask_decision(V1Policy::Targeted, &chain, &maps, 0x9000_0000));
+        // Blanket policies mask everything; off masks nothing.
+        assert!(mask_decision(V1Policy::Lfence, &single, &maps, 0x9000_0000));
+        assert!(mask_decision(V1Policy::Mask, &single, &maps, 0x9000_0000));
+        assert!(!mask_decision(V1Policy::Off, &chain, &maps, 0x9000_0000));
     }
 
     #[test]

@@ -168,13 +168,36 @@ pub fn build_kernel_text(config: &MitigationConfig) -> (Program, EntryAddrs) {
     // regardless of configuration-dependent stub sizes.
 
     let prog = b.link(layout::KERNEL_TEXT_BASE);
-    let addrs = EntryAddrs {
+    let mut addrs = EntryAddrs {
         syscall_entry: prog.addr(syscall_entry),
         fault_entry: prog.addr(fault_entry),
         kernel_fn: prog.addr(kernel_fn),
         halt_pad: prog.addr(halt_pad),
         rsb_harmless: layout::RSB_HARMLESS,
     };
+
+    // Targeted V1 policy: run the branch-attackability analysis over the
+    // text we just generated and serialize only flagged branches. The
+    // kernel's one conditional branch (the dispatch-loop bound) has a
+    // pure-ALU shadow, so in practice nothing is inserted and the text
+    // stays byte-identical to the blanket-lfence build — pinned by the
+    // `targeted_text_matches_default` test. The swapgs lfence above is
+    // *kept* under `targeted`: the swapgs variant is not a
+    // conditional-branch gadget, so the analysis cannot vouch for it.
+    if config.spectre_v1 == spec_taint::V1Policy::Targeted {
+        let report = spec_taint::analyze(prog.base(), prog.insts());
+        let flagged = report.flagged_indices();
+        if !flagged.is_empty() {
+            let hardened = spec_taint::harden_lfence(prog.base(), prog.insts(), &flagged);
+            addrs.syscall_entry = hardened.remap(addrs.syscall_entry);
+            addrs.fault_entry = hardened.remap(addrs.fault_entry);
+            addrs.kernel_fn = hardened.remap(addrs.kernel_fn);
+            addrs.halt_pad = hardened.remap(addrs.halt_pad);
+            let mut nb = ProgramBuilder::new();
+            nb.extend(hardened.insts.iter().cloned());
+            return (nb.link(layout::KERNEL_TEXT_BASE), addrs);
+        }
+    }
     (prog, addrs)
 }
 
@@ -265,6 +288,28 @@ mod tests {
             }
         }
         assert_eq!(found, 0);
+    }
+
+    #[test]
+    fn targeted_text_matches_default() {
+        // The kernel's only conditional branch is the dispatch-loop
+        // bound, whose shadow is pure ALU — the analysis must leave it
+        // alone, so `spectre_v1=targeted` generates byte-identical text
+        // (and identical entry addresses) to the default blanket build.
+        for id in CpuId::ALL {
+            let (default_prog, default_addrs) = build_kernel_text(&config_for(id, ""));
+            let (targeted_prog, targeted_addrs) =
+                build_kernel_text(&config_for(id, "spectre_v1=targeted"));
+            assert_eq!(default_prog.insts(), targeted_prog.insts(), "{id}");
+            assert_eq!(default_addrs.syscall_entry, targeted_addrs.syscall_entry, "{id}");
+            assert_eq!(default_addrs.fault_entry, targeted_addrs.fault_entry, "{id}");
+        }
+        // And the analysis did actually look at the text: the dispatch
+        // loop's bound check is scanned and classified benign.
+        let (prog, _) = build_kernel_text(&config_for(CpuId::Broadwell, ""));
+        let report = spec_taint::analyze(prog.base(), prog.insts());
+        assert!(report.scanned() >= 1);
+        assert_eq!(report.flagged(), 0, "{:?}", report.findings);
     }
 
     #[test]

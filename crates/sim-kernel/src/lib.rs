@@ -47,6 +47,7 @@ pub mod resources;
 pub mod userlib;
 
 pub use boot::{BootParams, SsbdMode};
+pub use spec_taint::V1Policy;
 pub use kernel::{Kernel, KernelState, KernelStats};
 pub use mitigation::{Mitigation, MitigationConfig, SpectreV2Mode};
 pub use process::{Pid, ProcState};

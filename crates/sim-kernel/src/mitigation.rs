@@ -5,6 +5,7 @@
 //! a mitigation is used iff the CPU is vulnerable, the hardware lacks a
 //! fix, and the administrator did not disable it.
 
+use spec_taint::V1Policy;
 use uarch::model::{CpuModel, Vendor};
 
 use crate::boot::{BootParams, SsbdMode};
@@ -41,7 +42,14 @@ pub struct MitigationConfig {
     /// Eager FPU save/restore on context switch (LazyFP).
     pub eager_fpu: bool,
     /// `lfence` after `swapgs` and hardened bounds checks (Spectre V1).
+    /// True for every policy except [`V1Policy::Off`]; the policy below
+    /// refines *how* bounds checks are hardened.
     pub spectre_v1_lfence: bool,
+    /// The resolved Spectre-V1 hardening policy. [`V1Policy::Lfence`]
+    /// (the default) is byte-identical to the paper's blanket
+    /// behaviour; [`V1Policy::Targeted`] consults the `spec-taint`
+    /// branch analysis and hardens only flagged branches.
+    pub spectre_v1: V1Policy,
     /// Spectre V2 kernel strategy.
     pub spectre_v2: SpectreV2Mode,
     /// RSB stuffing on context switch (Spectre V2 / SpectreRSB).
@@ -86,7 +94,12 @@ impl MitigationConfig {
             // it is usually *faster* than trapping (§3.1); only the
             // explicit `eagerfpu=off` toggle reverts it.
             eager_fpu: !params.lazy_fpu,
-            spectre_v1_lfence: !off && !params.nospectre_v1,
+            spectre_v1_lfence: !off && !params.nospectre_v1 && params.spectre_v1 != V1Policy::Off,
+            spectre_v1: if off || params.nospectre_v1 {
+                V1Policy::Off
+            } else {
+                params.spectre_v1
+            },
             spectre_v2: v2,
             rsb_stuffing: !off && !params.nospectre_v2,
             ibpb_on_switch: model.spec.ibpb_supported && !off && !params.nospectre_v2,

@@ -1,0 +1,44 @@
+//! Process-wide analysis counters, mirroring `uarch::pmc::global`.
+//!
+//! The analysis can run from any thread (experiment workers, the
+//! serving tier's executor, kernel boot paths), so totals live in
+//! process-wide atomics that the Prometheus exposition samples at
+//! scrape time as `regen_spec_taint_*_total`. The analysis itself
+//! updates them once per program — never per instruction — so the walk
+//! stays allocation- and contention-free.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Conditional branches scanned by [`crate::analyze`] in this process.
+pub static BRANCHES_SCANNED: AtomicU64 = AtomicU64::new(0);
+/// Branches flagged attackable.
+pub static BRANCHES_FLAGGED: AtomicU64 = AtomicU64::new(0);
+/// Hardening instructions inserted by the [`crate::instrument`] pass.
+pub static FENCES_INSERTED: AtomicU64 = AtomicU64::new(0);
+
+/// Publishes one program's analysis totals.
+pub fn record_analysis(scanned: u64, flagged: u64) {
+    if scanned != 0 {
+        BRANCHES_SCANNED.fetch_add(scanned, Ordering::Relaxed);
+    }
+    if flagged != 0 {
+        BRANCHES_FLAGGED.fetch_add(flagged, Ordering::Relaxed);
+    }
+}
+
+/// Publishes one instrumentation pass's insertion count.
+pub fn record_fences(inserted: u64) {
+    if inserted != 0 {
+        FENCES_INSERTED.fetch_add(inserted, Ordering::Relaxed);
+    }
+}
+
+/// A consistent-enough snapshot, in the order
+/// (branches scanned, branches flagged, fences inserted).
+pub fn snapshot() -> (u64, u64, u64) {
+    (
+        BRANCHES_SCANNED.load(Ordering::Relaxed),
+        BRANCHES_FLAGGED.load(Ordering::Relaxed),
+        FENCES_INSERTED.load(Ordering::Relaxed),
+    )
+}

@@ -1,0 +1,122 @@
+//! Static branch-attackability analysis for Spectre V1.
+//!
+//! The paper's mitigations are all-or-nothing: `spectre_v1_lfence`
+//! hardens *every* bounds check, which is exactly the blanket
+//! over-protection whose cost Table 1 and §5.4 measure. This crate
+//! implements the "Beyond Over-Protection" direction: walk a program's
+//! instruction stream, classify each conditional branch by whether its
+//! not-taken shadow contains the Figure-1 gadget shape —
+//!
+//! ```text
+//!     cmp   idx, len          ; guard comparison taints idx/len
+//!     jae   skip              ; the analyzed branch
+//!     load  t  <- [idx+base]  ; transient load at an attacker index
+//!     shl   t, 9
+//!     load  _  <- [t+probe]   ; dependent load transmits t via the cache
+//! ```
+//!
+//! — i.e. an attacker-influenced index feeding a transient load whose
+//! result feeds a *second* load's address. Branches with that shape are
+//! [`Verdict::Attackable`]; everything else is benign with a stated
+//! [`Reason`]. The [`instrument`] pass then inserts `lfence` (or an
+//! index mask) only at flagged branches, and `sim-kernel`'s
+//! `spectre_v1=targeted` boot policy consults the analysis instead of
+//! fencing everywhere.
+//!
+//! The analysis is deliberately conservative in the sound direction:
+//! zero false negatives on the in-tree gadget [`corpus`] is a test
+//! invariant, and every accepted false positive is named there.
+
+pub mod analysis;
+pub mod corpus;
+pub mod counters;
+pub mod instrument;
+
+pub use analysis::{analyze, analyze_decoded, BranchFinding, BranchReport, Reason, Verdict};
+pub use instrument::{harden_all_lfence, harden_all_mask, harden_lfence, harden_mask, Hardened};
+
+/// The Spectre-V1 mitigation policy selected at boot
+/// (`spectre_v1=off|lfence|mask|targeted`).
+///
+/// This is the single source of truth for policy names: [`V1Policy::ALL`]
+/// drives both the parser error message and the CLI docs, so neither can
+/// drift from what [`V1Policy::parse`] accepts (the same pattern as
+/// `FaultKind::ALL` in the harness).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum V1Policy {
+    /// No V1 mitigation at all (`nospectre_v1`): every bounds check is
+    /// left speculating.
+    Off,
+    /// Blanket serialization: `lfence` after the `swapgs` entry paths and
+    /// conditional-move masking of every eBPF bounds check — the paper's
+    /// default Linux behaviour.
+    Lfence,
+    /// Blanket index masking: clamp every guarded index with a
+    /// conditional move instead of serializing.
+    Mask,
+    /// Targeted: run the branch-attackability analysis and harden only
+    /// the branches it flags; benign branches keep speculating.
+    Targeted,
+}
+
+impl V1Policy {
+    /// Every policy, in the order the docs list them.
+    pub const ALL: [V1Policy; 4] =
+        [V1Policy::Off, V1Policy::Lfence, V1Policy::Mask, V1Policy::Targeted];
+
+    /// The boot-parameter spelling (`spectre_v1=<name>`).
+    pub fn name(self) -> &'static str {
+        match self {
+            V1Policy::Off => "off",
+            V1Policy::Lfence => "lfence",
+            V1Policy::Mask => "mask",
+            V1Policy::Targeted => "targeted",
+        }
+    }
+
+    /// Parses a `spectre_v1=` value. The error message enumerates
+    /// [`V1Policy::ALL`] so it can never drift from what is accepted.
+    pub fn parse(s: &str) -> Result<V1Policy, String> {
+        V1Policy::ALL
+            .iter()
+            .copied()
+            .find(|p| p.name() == s)
+            .ok_or_else(|| {
+                let names: Vec<&str> = V1Policy::ALL.iter().map(|p| p.name()).collect();
+                format!("unknown spectre_v1 policy '{}' (expected one of: {})", s, names.join(", "))
+            })
+    }
+}
+
+impl std::fmt::Display for V1Policy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_policy_round_trips_through_parse() {
+        for p in V1Policy::ALL {
+            assert_eq!(V1Policy::parse(p.name()), Ok(p));
+        }
+    }
+
+    #[test]
+    fn parse_error_names_every_policy() {
+        let err = V1Policy::parse("bogus").unwrap_err();
+        for p in V1Policy::ALL {
+            assert!(err.contains(p.name()), "error message {err:?} omits {}", p.name());
+        }
+    }
+
+    #[test]
+    fn display_matches_name() {
+        for p in V1Policy::ALL {
+            assert_eq!(p.to_string(), p.name());
+        }
+    }
+}

@@ -25,6 +25,11 @@ pub enum Vendor {
     Intel,
     /// Advanced Micro Devices.
     Amd,
+    /// A RISC-V implementer (the extended, beyond-the-paper catalog).
+    /// Behaves like a non-AMD part everywhere the machine dispatches on
+    /// vendor: `lfence` is load-serializing without an MSR opt-in, and
+    /// retpolines take the generic (not the AMD lfence-pause) form.
+    RiscV,
 }
 
 impl std::fmt::Display for Vendor {
@@ -32,6 +37,7 @@ impl std::fmt::Display for Vendor {
         match self {
             Vendor::Intel => write!(f, "Intel"),
             Vendor::Amd => write!(f, "AMD"),
+            Vendor::RiscV => write!(f, "RISC-V"),
         }
     }
 }

@@ -45,8 +45,8 @@ fn main() {
     println!("{}", figure3::render(&fig));
 
     // What the 4% buys: index masking stops the in-sandbox Spectre V1.
-    let bare = spectre_v1::run(CpuId::Zen3.model(), V1Mitigation::None);
-    let masked = spectre_v1::run(CpuId::Zen3.model(), V1Mitigation::IndexMask);
+    let bare = spectre_v1::run(CpuId::Zen3.model(), V1Mitigation::Off);
+    let masked = spectre_v1::run(CpuId::Zen3.model(), V1Mitigation::Mask);
     println!(
         "Spectre V1 inside the sandbox on Zen 3: unmitigated recovers {:?}, \
          index-masked recovers {:?}",

@@ -77,7 +77,7 @@ fn old_attacks_remain_unfixed_everywhere() {
     use attacks::{spectre_v1, spectre_v2, ssb};
     for id in CpuId::ALL {
         assert!(
-            spectre_v1::run(id.model(), spectre_v1::V1Mitigation::None).leaked(),
+            spectre_v1::run(id.model(), spectre_v1::V1Mitigation::Off).leaked(),
             "{id}: Spectre V1"
         );
         assert!(
